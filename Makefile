@@ -1,0 +1,30 @@
+# Common workflows; see README.md for details.
+
+PYTHON ?= python
+
+.PHONY: install test bench reproduce selftest examples docs clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+reproduce:
+	$(PYTHON) -m repro reproduce
+
+selftest:
+	$(PYTHON) -m repro selftest
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+
+docs:
+	$(PYTHON) tools/regenerate_docs.py
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

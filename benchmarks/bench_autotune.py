@@ -1,0 +1,31 @@
+"""Blocking-autotuner bench: search cost and the quality of the winner."""
+
+from repro.core import ProblemSpec
+from repro.core.autotune import paper_rank, rank_tilings
+from repro.experiments import format_row
+
+SPEC = ProblemSpec(M=131072, N=1024, K=32)
+
+
+def test_autotune_search(benchmark, sink):
+    ranked = benchmark(rank_tilings, SPEC)
+
+    rows = [format_row(["rank", "tile", "kc", "modelled ms", "CTA/SM"], [4, 10, 4, 12, 6])]
+    for i, r in enumerate(ranked[:8]):
+        t = r.tiling
+        rows.append(
+            format_row(
+                [i + 1, f"{t.mc}x{t.nc}", t.kc, r.seconds * 1e3, r.blocks_per_sm],
+                [4, 10, 4, 12, 6],
+            )
+        )
+    pr = paper_rank(SPEC)
+    rows.append(f"paper's 128x128/kc=8 design point: rank {pr}/{len(ranked)}")
+    sink("autotune_search", "\n".join(rows))
+
+    # the hand-tuned paper point sits within 5% of the model's optimum
+    paper = next(
+        r for r in ranked
+        if (r.tiling.mc, r.tiling.nc, r.tiling.kc) == (128, 128, 8) and r.tiling.double_buffered
+    )
+    assert paper.seconds <= 1.05 * ranked[0].seconds

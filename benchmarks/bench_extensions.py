@@ -1,0 +1,89 @@
+"""Benches for the extension APIs beyond the paper's scope.
+
+Multi-weight, chunked, symmetric, and RFF evaluation, timed against the
+standard fused path on the same problem so the trade-offs are visible in
+one table.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ProblemSpec,
+    chunked_kernel_summation,
+    direct,
+    fused_kernel_summation,
+    generate,
+    multi_kernel_summation,
+    rff_kernel_summation,
+    symmetric_kernel_summation,
+)
+
+SPEC = ProblemSpec(M=2048, N=1024, K=16, h=0.8, seed=21)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate(SPEC)
+
+
+@pytest.fixture(scope="module")
+def reference(data):
+    return direct(data)
+
+
+def test_bench_multi_weight_4rhs(benchmark, data, reference):
+    W4 = np.stack([data.W, -data.W, 2 * data.W, data.W**2], axis=1).astype(np.float32)
+    V = benchmark(multi_kernel_summation, data.A, data.B, W4, SPEC.h)
+    np.testing.assert_allclose(V[:, 0], reference, rtol=2e-3, atol=1e-3)
+
+
+def test_bench_chunked(benchmark, data, reference):
+    V = benchmark(
+        chunked_kernel_summation, data.A, data.B, data.W, SPEC.h, "gaussian", 512
+    )
+    np.testing.assert_allclose(V, reference, rtol=1e-5, atol=1e-5)
+
+
+def test_bench_symmetric_self_interaction(benchmark):
+    rng = np.random.default_rng(3)
+    pts = rng.random((1024, 16), dtype=np.float32)
+    W = rng.standard_normal(1024).astype(np.float32)
+    V = benchmark(symmetric_kernel_summation, pts, W, 0.8)
+    assert V.shape == (1024,)
+
+
+def test_bench_rff_1024_features(benchmark, data, reference):
+    V = benchmark(
+        rff_kernel_summation, data.A, data.B, data.W, SPEC.h, 1024
+    )
+    # approximate: only sanity-check the scale
+    assert np.sqrt(np.mean((V - reference) ** 2)) < 0.1 * np.abs(reference).max()
+
+
+def test_bench_fused_baseline_for_comparison(benchmark, data, reference):
+    V = benchmark(fused_kernel_summation, data)
+    np.testing.assert_allclose(V, reference, rtol=2e-3, atol=1e-3)
+
+
+def test_bench_multi_rhs_model_scaling(benchmark, sink):
+    """Modelled GPU-time scaling of the multi-RHS fused kernel."""
+    from repro.core import PAPER_TILING
+    from repro.experiments import format_row
+    from repro.gpu import GTX970
+    from repro.perf import fused_multi_launch, time_kernel
+
+    spec = ProblemSpec(M=131072, N=1024, K=32)
+
+    def sweep():
+        return {
+            R: time_kernel(fused_multi_launch(spec, R, PAPER_TILING, GTX970), GTX970).seconds
+            for R in (1, 2, 4, 8)
+        }
+
+    times = benchmark(sweep)
+    rows = [format_row(["RHS", "modelled ms", "vs R separate"], [4, 12, 14])]
+    for R, t in times.items():
+        rows.append(format_row([R, t * 1e3, f"{R * times[1] / t:.2f}x"], [4, 12, 14]))
+    sink("extension_multi_rhs", "\n".join(rows))
+    assert times[8] < 2 * times[1]

@@ -1,0 +1,27 @@
+"""Fig. 1: energy breakdown of the cuBLAS-Unfused pipeline (N=1024).
+
+Paper claim: DRAM accesses account for ~10-30% of total energy, largest at
+small K — the motivation for attacking memory traffic.
+"""
+
+from repro.experiments import (
+    PAPER_GRID,
+    ExperimentRunner,
+    fig1_energy_breakdown,
+    render_figure,
+)
+
+
+def test_fig1_energy_breakdown(benchmark, sink):
+    result = benchmark(lambda: fig1_energy_breakdown(ExperimentRunner(), PAPER_GRID))
+    sink("fig1_energy_breakdown", render_figure(result))
+
+    labels = result.x_labels
+    dram = result.series["dram"]
+    # the motivating band, checked over the large-M points
+    big_points = [dram[i] for i, l in enumerate(labels) if "M=131072" in l or "M=524288" in l]
+    assert all(0.08 <= v <= 0.35 for v in big_points)
+    # DRAM share falls as K (compute) grows
+    k32 = [dram[i] for i, l in enumerate(labels) if l.startswith("K=32,")]
+    k256 = [dram[i] for i, l in enumerate(labels) if l.startswith("K=256,")]
+    assert min(k32) > max(k256)

@@ -1,0 +1,23 @@
+"""Fig. 2: L2 MPKI of the cuBLAS-Unfused pipeline (N=1024).
+
+Paper claim: MPKI is highest at K=32 — the intermediate matrix streams
+through the last-level cache while little compute amortizes it.
+"""
+
+from repro.experiments import PAPER_GRID, ExperimentRunner, fig2_l2_mpki, render_figure
+
+
+def test_fig2_l2_mpki(benchmark, sink):
+    result = benchmark(lambda: fig2_l2_mpki(ExperimentRunner(), PAPER_GRID))
+    sink("fig2_l2_mpki", render_figure(result))
+
+    labels = result.x_labels
+    mpki = result.series["l2_mpki"]
+    by_k = {}
+    for lab, v in zip(labels, mpki):
+        k = int(lab.split(",")[0][2:])
+        by_k.setdefault(k, []).append(v)
+    means = {k: sum(v) / len(v) for k, v in by_k.items()}
+    # monotone decreasing in K, max at K=32
+    ks = sorted(means)
+    assert all(means[a] > means[b] for a, b in zip(ks, ks[1:]))

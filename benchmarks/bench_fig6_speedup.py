@@ -1,0 +1,34 @@
+"""Fig. 6: execution time and speedup of Fused vs the unfused baselines.
+
+Paper claims: up to 1.8x over cuBLAS-Unfused at K=32, dropping below 1x at
+K>=128; up to ~3.7x over CUDA-Unfused, ~1.5x at K=256; the benefit grows
+with the number of points at low K.
+"""
+
+from repro.experiments import PAPER_GRID, ExperimentRunner, fig6_speedup, render_figure
+
+
+def _series_by_k(result, name, k):
+    return [
+        v
+        for lab, v in zip(result.x_labels, result.series[name])
+        if lab.startswith(f"K={k},")
+    ]
+
+
+def test_fig6_speedup(benchmark, sink):
+    result = benchmark(lambda: fig6_speedup(ExperimentRunner(), PAPER_GRID))
+    sink("fig6_speedup", render_figure(result))
+
+    spd = "speedup_vs_cublas_unfused"
+    # headline: max speedup ~1.8x, at K=32
+    all_spd = result.series[spd]
+    assert 1.5 <= max(all_spd) <= 2.1
+    assert max(_series_by_k(result, spd, 32)) == max(all_spd)
+    # crossover: fused loses at K=256
+    assert all(v < 1.0 for v in _series_by_k(result, spd, 256))
+    # fused always beats CUDA-Unfused
+    assert all(v > 1.0 for v in result.series["speedup_vs_cuda_unfused"])
+    # benefit grows with M at K=32
+    k32 = _series_by_k(result, spd, 32)
+    assert k32[-1] > k32[0]

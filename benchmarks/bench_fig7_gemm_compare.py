@@ -1,0 +1,21 @@
+"""Fig. 7: standalone CUDA-C GEMM vs cuBLAS GEMM.
+
+Paper claim: "the CUDA-C GEMM is [1.5x to 2x] slower than the cuBLAS GEMM"
+— the gap the fused kernel has to overcome with locality.
+"""
+
+from repro.experiments import (
+    PAPER_GRID,
+    ExperimentRunner,
+    fig7_gemm_comparison,
+    render_figure,
+)
+
+
+def test_fig7_gemm_comparison(benchmark, sink):
+    result = benchmark(lambda: fig7_gemm_comparison(ExperimentRunner(), PAPER_GRID))
+    sink("fig7_gemm_compare", render_figure(result))
+
+    ratios = result.series["cudac_over_cublas"]
+    assert all(1.3 <= r <= 2.2 for r in ratios)
+    assert max(ratios) >= 1.8  # the "two times slower" regime is reached

@@ -1,0 +1,25 @@
+"""Fig. 8a: L2 transactions normalized to cuBLAS-Unfused.
+
+Paper claim: Fused is below 50% in most cases; the advantage erodes at
+high K where the CUDA-C GEMM's extra L2 traffic offsets the fusion saving.
+"""
+
+from repro.experiments import (
+    PAPER_GRID,
+    ExperimentRunner,
+    fig8a_l2_transactions,
+    render_figure,
+)
+
+
+def test_fig8a_l2_transactions(benchmark, sink):
+    result = benchmark(lambda: fig8a_l2_transactions(ExperimentRunner(), PAPER_GRID))
+    sink("fig8a_l2_transactions", render_figure(result))
+
+    fused = dict(zip(result.x_labels, result.series["fused"]))
+    # below ~half at low K
+    low_k = [v for lab, v in fused.items() if lab.startswith(("K=32,", "K=64,"))]
+    assert all(v < 0.60 for v in low_k)
+    # the high-K exception the paper reports
+    high_k = [v for lab, v in fused.items() if lab.startswith("K=256,")]
+    assert all(v > 0.75 for v in high_k)

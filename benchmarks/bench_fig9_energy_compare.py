@@ -1,0 +1,35 @@
+"""Fig. 9: energy consumption and breakdown of all three implementations.
+
+Paper claims: Fused saves >80% of DRAM access energy everywhere; at high K
+more than 80% of energy goes to floating-point computation.
+"""
+
+from repro.experiments import (
+    PAPER_GRID,
+    ExperimentRunner,
+    fig9_energy_comparison,
+    render_figure,
+)
+
+
+def test_fig9_energy_comparison(benchmark, sink):
+    result = benchmark(lambda: fig9_energy_comparison(ExperimentRunner(), PAPER_GRID))
+    sink("fig9_energy_compare", render_figure(result, max_rows=28))
+
+    labels = result.x_labels
+    at_scale = [i for i, l in enumerate(labels) if "M=131072" in l or "M=524288" in l]
+
+    for i in at_scale:
+        f_dram = result.series["fused:dram"][i]
+        c_dram = result.series["cublas-unfused:dram"][i]
+        assert 1 - f_dram / c_dram > 0.80
+
+    k256 = [i for i, l in enumerate(labels) if l.startswith("K=256,") and i in at_scale]
+    for i in k256:
+        comp = result.series["fused:compute"][i]
+        total = result.series["fused:total"][i]
+        assert comp / total > 0.80
+
+    # fused total energy below cublas-unfused everywhere (Table III > 0)
+    for i in range(len(labels)):
+        assert result.series["fused:total"][i] < result.series["cublas-unfused:total"][i]

@@ -1,0 +1,59 @@
+"""Wall-clock benchmarks of the functional (NumPy) implementations.
+
+These time the real computations this library performs when used as a
+kernel-summation package on the host — the paper's GPU times come from the
+performance model; these keep the functional layer honest (the fused
+blocked evaluation must not be pathologically slower than the monolithic
+pipeline it mirrors).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ProblemSpec,
+    cublas_unfused,
+    direct,
+    fused_kernel_summation,
+    generate,
+    tiled_gemm,
+)
+
+SPEC = ProblemSpec(M=2048, N=1024, K=32, h=0.8, seed=7)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate(SPEC)
+
+
+@pytest.fixture(scope="module")
+def reference(data):
+    return direct(data)
+
+
+def test_bench_fused_functional(benchmark, data, reference):
+    V = benchmark(fused_kernel_summation, data)
+    np.testing.assert_allclose(V, reference, rtol=2e-3, atol=1e-3)
+
+
+def test_bench_unfused_functional(benchmark, data, reference):
+    res = benchmark(cublas_unfused, data)
+    np.testing.assert_allclose(res.V, reference, rtol=2e-3, atol=1e-3)
+
+
+def test_bench_tiled_gemm(benchmark, data):
+    C = benchmark(tiled_gemm, data.A, data.B)
+    np.testing.assert_allclose(C, data.A @ data.B, rtol=1e-3, atol=1e-3)
+
+
+def test_bench_reference_direct(benchmark, data):
+    V = benchmark(direct, data, 512)
+    assert V.shape == (SPEC.M,)
+
+
+@pytest.mark.parametrize("K", [16, 64, 256])
+def test_bench_fused_k_scaling(benchmark, K):
+    d = generate(ProblemSpec(M=1024, N=512, K=K, seed=K))
+    V = benchmark(fused_kernel_summation, d)
+    assert V.shape == (1024,)

@@ -1,0 +1,26 @@
+"""Table I: device configuration (paper vs model), plus occupancy timing."""
+
+from repro.core import PAPER_TILING
+from repro.experiments import render_table, table1_configuration
+from repro.gpu import GTX970, occupancy
+
+
+def test_table1_configuration(benchmark, sink):
+    table = benchmark(table1_configuration, GTX970)
+    sink("table1_device", render_table(table))
+    assert all(paper == model for _, paper, model in table.rows)
+
+
+def test_occupancy_calculator_throughput(benchmark):
+    """The occupancy calculation sits inside every timing query."""
+
+    def calc():
+        return occupancy(
+            GTX970,
+            PAPER_TILING.threads_per_block,
+            PAPER_TILING.regs_per_thread,
+            PAPER_TILING.smem_per_block,
+        )
+
+    occ = benchmark(calc)
+    assert occ.blocks_per_sm == 2

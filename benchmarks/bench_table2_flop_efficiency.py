@@ -1,0 +1,22 @@
+"""Table II: FLOP efficiency, paper vs model."""
+
+from repro.experiments import (
+    TABLE_GRID,
+    ExperimentRunner,
+    render_table,
+    table2_flop_efficiency,
+)
+
+
+def test_table2_flop_efficiency(benchmark, sink):
+    table = benchmark(lambda: table2_flop_efficiency(ExperimentRunner(), TABLE_GRID))
+    sink("table2_flop_efficiency", render_table(table))
+
+    for K, M, p_cublas, m_cublas, p_fused, m_fused in table.rows:
+        assert abs(m_cublas - p_cublas) <= 16.0, (K, M)
+        assert abs(m_fused - p_fused) <= 14.0, (K, M)
+
+    # the qualitative inversion: fused wins at K<=64, cuBLAS wins at K=256
+    rows = {(r[0], r[1]): r for r in table.rows}
+    assert rows[(32, 131072)][5] > rows[(32, 131072)][3]
+    assert rows[(256, 131072)][5] < rows[(256, 131072)][3]

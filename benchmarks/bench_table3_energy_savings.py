@@ -1,0 +1,22 @@
+"""Table III: total-energy savings of Fused vs cuBLAS-Unfused."""
+
+from repro.experiments import (
+    TABLE_GRID,
+    ExperimentRunner,
+    render_table,
+    table3_energy_savings,
+)
+
+
+def test_table3_energy_savings(benchmark, sink):
+    table = benchmark(lambda: table3_energy_savings(ExperimentRunner(), TABLE_GRID))
+    sink("table3_energy_savings", render_table(table))
+
+    for K, M, paper, model in table.rows:
+        assert abs(model - paper) <= 4.0, (K, M)
+        assert model > 0  # "fused approach always brings energy saving benefits"
+
+    # savings shrink as K grows (fixed M)
+    for M in (1024, 131072, 524288):
+        col = [model for K, m, _, model in table.rows if m == M]
+        assert all(a > b for a, b in zip(col, col[1:]))

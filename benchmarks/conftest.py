@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_*`` module both *times* a representative computation (via
+pytest-benchmark) and *regenerates* its paper table/figure, writing the
+rendered rows to ``benchmarks/results/<name>.txt`` and echoing them to the
+terminal (visible with ``-s``; always written to disk).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import ExperimentRunner
+from repro.gpu import GTX970
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(device=GTX970)
+
+
+@pytest.fixture(scope="session")
+def sink():
+    """Writes a rendered report to disk and echoes it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _sink(name: str, text: str) -> pathlib.Path:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+        return path
+
+    return _sink

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Demonstrate the Fig.-5 shared-memory mapping with real threads.
+
+Runs one CTA's k-panel (stage tileA/tileB into banked shared memory,
+barrier, rank-8 update) on the SIMT interpreter with 256 cooperative
+threads, under both the naive row-major layout and the paper's optimized
+"32 x 2 microtile" layout, and prints the transaction counts the banked
+shared-memory model measured.
+
+Run:  python examples/bank_conflict_demo.py
+"""
+
+import numpy as np
+
+from repro.core import run_stage_and_multiply
+from repro.core.mapping import store_assignment
+
+KC = 8
+
+
+def show_layout() -> None:
+    print("optimized store schedule (first lanes of each loader warp):")
+    for loader in (0, 1, 32, 33, 64, 96):
+        a = store_assignment(loader)
+        bank = a.smem_addresses[0] % 32
+        rows = f"{a.smem_addresses[0] // 32}-{a.smem_addresses[-1] // 32}"
+        print(
+            f"  loader {loader:3d} -> microtile {a.microtile:2d}, track {a.track} "
+            f"(tile point {a.point:3d}) -> bank {bank:2d}, rows {rows}"
+        )
+
+
+def run(layout: str) -> None:
+    rng = np.random.default_rng(1)
+    tileA = rng.standard_normal((128, KC)).astype(np.float32)
+    tileB = rng.standard_normal((KC, 128)).astype(np.float32)
+
+    acc, stats = run_stage_and_multiply(tileA, tileB, layout)
+    err = np.max(np.abs(acc - tileA @ tileB))
+    s = stats.smem.stats
+    print(f"\n{layout} layout:")
+    print(f"  result max error      {err:.2e}")
+    print(f"  store requests        {s.store_requests}, transactions {s.store_transactions} "
+          f"({stats.store_conflicts} replays)")
+    print(f"  load  requests        {s.load_requests}, transactions {s.load_transactions} "
+          f"({stats.load_conflicts} replays)")
+
+
+def main() -> None:
+    print("one CTA, one k-panel: 256 threads stage 2 x 1024 words and "
+          "rank-8-update a 128x128 tile\n")
+    show_layout()
+    run("optimized")
+    run("naive")
+    print("\nthe optimized layout eliminates every replay; the naive layout "
+          "replays each tileB operand load 4x (same bank, different words).")
+
+
+if __name__ == "__main__":
+    main()

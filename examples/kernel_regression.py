@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Nadaraya–Watson kernel regression with multi-weight kernel summation.
+
+Kernel regression ("non-parametric statistics ... regression" in the
+paper's related work) estimates f(x) = E[y | x] as
+
+    f_hat(x_q) = sum_j K(x_q, x_j) y_j  /  sum_j K(x_q, x_j)
+
+— two kernel summations over the same kernel matrix.  The multi-weight API
+evaluates both in one fused pass: W = [y, 1] gives the numerator and the
+denominator as the two output columns, so the M x N kernel matrix is
+produced exactly once.
+
+The target function is a smooth 6-D ridge; the example checks the
+regression beats predicting the mean and that the multi-RHS result matches
+two independent single-vector summations.
+
+Run:  python examples/kernel_regression.py
+"""
+
+import numpy as np
+
+from repro.core import multi_kernel_summation
+
+DIMS = 6
+N_TRAIN = 4096
+N_TEST = 1024
+BANDWIDTH = 0.25
+
+
+def target(x: np.ndarray) -> np.ndarray:
+    """A smooth anisotropic function of the inputs."""
+    return np.sin(2.0 * x[:, 0]) + 0.5 * x[:, 1] ** 2 - 0.3 * x[:, 2] * x[:, 3]
+
+
+def nadaraya_watson(queries, train_x, train_y, h):
+    """Both summations in one fused multi-weight call."""
+    W = np.stack([train_y, np.ones_like(train_y)], axis=1).astype(np.float32)
+    out = multi_kernel_summation(queries, train_x.T.copy(), W, h=h)
+    numer, denom = out[:, 0], out[:, 1]
+    return numer / np.maximum(denom, 1e-30)
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    train_x = rng.random((N_TRAIN, DIMS), dtype=np.float32)
+    train_y = (target(train_x) + 0.05 * rng.standard_normal(N_TRAIN)).astype(np.float32)
+    test_x = rng.random((N_TEST, DIMS), dtype=np.float32)
+    test_y = target(test_x)
+
+    pred = nadaraya_watson(test_x, train_x, train_y, BANDWIDTH)
+
+    mse = float(np.mean((pred - test_y) ** 2))
+    mse_mean = float(np.mean((test_y.mean() - test_y) ** 2))
+    print(f"Nadaraya-Watson regression: {N_TRAIN} train, {N_TEST} test, {DIMS}D, h={BANDWIDTH}")
+    print(f"  MSE (kernel regression): {mse:.5f}")
+    print(f"  MSE (predict the mean):  {mse_mean:.5f}")
+    print(f"  variance explained:      {1 - mse / mse_mean:.1%}")
+    assert mse < 0.25 * mse_mean, "regression should easily beat the mean"
+
+    # cross-check the fused multi-RHS against two single-vector passes
+    W = np.stack([train_y, np.ones_like(train_y)], axis=1).astype(np.float32)
+    both = multi_kernel_summation(test_x, train_x.T.copy(), W, h=BANDWIDTH)
+    numer = multi_kernel_summation(test_x, train_x.T.copy(), W[:, 0].copy(), h=BANDWIDTH)
+    np.testing.assert_allclose(both[:, 0], numer, rtol=1e-5, atol=1e-6)
+    print("  multi-RHS == single-RHS x2: OK (kernel matrix evaluated once)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Tour of the GTX970 performance and energy model.
+
+Walks one problem (K=32, N=1024, M=131072 — the paper's headline
+configuration) through the modelled pipelines and prints what nvprof and
+the CACTI/McPAT energy model would report: per-kernel times and
+bottlenecks, speedups, transaction counts, and the energy breakdown.
+
+Run:  python examples/performance_model_tour.py
+"""
+
+from repro.core import PAPER_TILING, ProblemSpec
+from repro.energy import EnergyModel
+from repro.gpu import GTX970, format_nvprof
+from repro.perf import DEFAULT_CALIBRATION, build_pipeline, model_run, time_kernel
+
+SPEC = ProblemSpec(M=131072, N=1024, K=32)
+
+
+def describe_pipeline(name: str) -> float:
+    print(f"\n{name}:")
+    total = 0.0
+    for launch in build_pipeline(name, SPEC):
+        t = time_kernel(launch, GTX970, DEFAULT_CALIBRATION)
+        total += t.seconds
+        print(
+            f"  {launch.name:24s} {t.seconds * 1e3:8.3f} ms   "
+            f"bottleneck={t.bottleneck:8s} occupancy={t.occupancy:.2f} "
+            f"grid={launch.grid_blocks}"
+        )
+    print(f"  {'total (kernels)':24s} {total * 1e3:8.3f} ms")
+    return total
+
+
+def main() -> None:
+    occ = PAPER_TILING.occupancy_on(GTX970)
+    print(f"device: {GTX970.name}, {GTX970.num_sms} SMs, "
+          f"{GTX970.peak_flops_sp / 1e12:.2f} TFLOP/s, "
+          f"{GTX970.peak_dram_bandwidth / 1e9:.0f} GB/s")
+    print(f"tiling: {PAPER_TILING.describe()}")
+    print(f"occupancy: {occ.blocks_per_sm} CTAs/SM, limited by {occ.limiter}")
+    print(f"\nproblem: M={SPEC.M}, N={SPEC.N}, K={SPEC.K} "
+          f"({SPEC.gemm_flops / 1e9:.1f} GFLOP of GEMM work)")
+
+    t_fused = describe_pipeline("fused")
+    t_cublas = describe_pipeline("cublas-unfused")
+    t_cuda = describe_pipeline("cuda-unfused")
+
+    print(f"\nspeedup vs cuBLAS-Unfused: {t_cublas / t_fused:.2f}x "
+          f"(paper: up to 1.8x at K=32)")
+    print(f"speedup vs CUDA-Unfused:   {t_cuda / t_fused:.2f}x "
+          f"(paper: up to 3.7x at K=32)")
+
+    print("\nnvprof view of the baseline:")
+    print(format_nvprof(model_run("cublas-unfused", SPEC)))
+
+    print("\nnvprof-style counters (fused vs cuBLAS-Unfused):")
+    em = EnergyModel(GTX970)
+    for name in ("fused", "cublas-unfused"):
+        run = model_run(name, SPEC)
+        b = em.breakdown(run)
+        shares = ", ".join(f"{k}={v * 100:.0f}%" for k, v in b.shares().items())
+        print(f"  {name}:")
+        print(f"    flop efficiency  {run.flop_efficiency() * 100:5.1f}%")
+        print(f"    DRAM traffic     {run.counters.dram.total_bytes / 1e6:8.1f} MB")
+        print(f"    L2 transactions  {run.l2_transactions / 1e6:8.1f} M")
+        print(f"    energy           {b.total * 1e3:8.1f} mJ  ({shares})")
+
+    fused = em.breakdown(model_run("fused", SPEC))
+    cublas = em.breakdown(model_run("cublas-unfused", SPEC))
+    print(f"\ntotal-energy saving: {fused.savings_vs(cublas) * 100:.1f}% "
+          f"(paper Table III: 32.5%)")
+    print(f"DRAM-energy saving:  {(1 - fused.dram / cublas.dram) * 100:.1f}% "
+          f"(paper: >80%)")
+
+
+if __name__ == "__main__":
+    main()

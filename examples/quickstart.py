@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Quickstart: compute a kernel summation and compare implementations.
+
+Computes V[i] = sum_j exp(-||a_i - b_j||^2 / 2h^2) * W[j] with the fused
+algorithm (the paper's contribution) and checks it against the unfused
+baselines and the brute-force reference.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import kernel_summation
+from repro.core import IMPLEMENTATIONS, direct, make_problem
+
+M, N, K, H = 2048, 1024, 32, 0.8
+
+rng = np.random.default_rng(42)
+A = rng.random((M, K), dtype=np.float32)  # M source points in K dimensions
+B = rng.random((K, N), dtype=np.float32)  # N target points (column-major layout)
+W = rng.standard_normal(N).astype(np.float32)  # per-target weights
+
+
+def main() -> None:
+    print(f"kernel summation: M={M} sources, N={N} targets, K={K} dims, h={H}")
+
+    # one call is all a downstream user needs
+    V = kernel_summation(A, B, W, h=H)
+    print(f"\nfused result:    V[:4] = {V[:4]}")
+
+    # the brute-force float64 reference
+    ref = direct(make_problem(A, B, W, h=H))
+    print(f"reference:       V[:4] = {ref[:4]}")
+
+    print("\nmax relative error vs reference, per implementation:")
+    for name in sorted(IMPLEMENTATIONS):
+        out = kernel_summation(A, B, W, h=H, implementation=name)
+        err = np.max(np.abs(out - ref) / (np.abs(ref) + 1e-3))
+        print(f"  {name:18s} {err:.3e}")
+
+    # other kernels from the registry work identically
+    V_nbody = kernel_summation(A, B, W, h=0.05, kernel="laplace")
+    print(f"\nlaplace kernel:  V[:4] = {V_nbody[:4]}")
+
+
+if __name__ == "__main__":
+    main()

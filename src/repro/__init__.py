@@ -1,0 +1,71 @@
+"""repro — fused GPGPU kernel summation, reproduced end to end.
+
+A from-scratch Python reproduction of Wang, Khawaja, Biros, Gerstlauer and
+John, *"Optimizing GPGPU Kernel Summation for Performance and Energy
+Efficiency"* (2016): the fused kernel-summation algorithm and its cuBLAS-
+style baselines (functional, NumPy-verified), a Maxwell-class GPU model
+(occupancy, banked shared memory, L2, DRAM, SIMT interpreter), an
+analytical performance model calibrated to the paper's GTX970, a
+CACTI/McPAT-style energy model, and an experiment harness that regenerates
+every table and figure of the evaluation.
+
+Quickstart::
+
+    import numpy as np
+    from repro import kernel_summation
+
+    rng = np.random.default_rng(0)
+    A = rng.random((2048, 32), dtype=np.float32)   # M sources in K dims
+    B = rng.random((32, 1024), dtype=np.float32)   # N targets
+    W = rng.standard_normal(1024).astype(np.float32)
+    V = kernel_summation(A, B, W, h=0.5)           # fused, Gaussian kernel
+"""
+
+from .core import (
+    IMPLEMENTATIONS,
+    KERNELS,
+    PAPER_TILING,
+    FusedKernelSummation,
+    ProblemData,
+    ProblemSpec,
+    TilingConfig,
+    cublas_unfused,
+    cuda_unfused,
+    fused_kernel_summation,
+    generate,
+    kernel_summation,
+    make_problem,
+    tiled_gemm,
+)
+from .energy import EnergyBreakdown, EnergyModel
+from .experiments import ExperimentRunner
+from .gpu import GTX970, DeviceSpec, get_device
+from .perf import Calibration, model_run
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "kernel_summation",
+    "make_problem",
+    "IMPLEMENTATIONS",
+    "KERNELS",
+    "ProblemSpec",
+    "ProblemData",
+    "generate",
+    "TilingConfig",
+    "PAPER_TILING",
+    "FusedKernelSummation",
+    "fused_kernel_summation",
+    "cublas_unfused",
+    "cuda_unfused",
+    "tiled_gemm",
+    "DeviceSpec",
+    "GTX970",
+    "get_device",
+    "Calibration",
+    "model_run",
+    "EnergyModel",
+    "EnergyBreakdown",
+    "ExperimentRunner",
+    "__version__",
+]

@@ -1,0 +1,301 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the library's main workflows without
+writing any code:
+
+* ``solve``     — run a kernel summation on generated data and verify it;
+* ``model``     — model one configuration on the GTX970 (times, counters);
+* ``figure``    — regenerate one of the paper's figures;
+* ``table``     — regenerate one of the paper's tables;
+* ``autotune``  — search the blocking space for one problem shape;
+* ``validate``  — trace-driven vs analytical DRAM-traffic comparison;
+* ``roofline``  — place the modelled kernels on the device roofline;
+* ``reproduce`` — run the whole reproduction and print the claim report;
+* ``selftest``  — numerical parity of every implementation vs the reference.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _spec_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("-M", type=int, default=16384, help="number of source points")
+    p.add_argument("-N", type=int, default=1024, help="number of target points")
+    p.add_argument("-K", type=int, default=32, help="point dimensionality")
+    p.add_argument("--h", type=float, default=1.0, help="kernel bandwidth")
+    p.add_argument("--kernel", default="gaussian", help="kernel name (see repro.core.KERNELS)")
+    p.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fused GPGPU kernel summation — paper reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("solve", help="run a kernel summation on generated data")
+    _spec_args(p)
+    p.add_argument(
+        "--implementation",
+        default="fused",
+        help="fused | cublas-unfused | cuda-unfused | reference",
+    )
+    p.add_argument("--check", action="store_true", help="verify against the reference")
+
+    p = sub.add_parser("model", help="model one configuration on the GTX970")
+    _spec_args(p)
+    p.add_argument(
+        "--implementations",
+        nargs="+",
+        default=["fused", "cublas-unfused", "cuda-unfused"],
+    )
+
+    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p.add_argument("name", choices=["fig1", "fig2", "fig5", "fig6", "fig7", "fig8a", "fig8b", "fig9"])
+    p.add_argument("--grid", choices=["paper", "table", "small"], default="paper")
+
+    p = sub.add_parser("table", help="regenerate a paper table")
+    p.add_argument("name", choices=["table1", "table2", "table3"])
+
+    p = sub.add_parser("autotune", help="search the blocking space for a problem shape")
+    _spec_args(p)
+    p.add_argument("--top", type=int, default=5, help="how many candidates to print")
+
+    p = sub.add_parser("validate", help="trace-driven vs analytical DRAM traffic")
+    _spec_args(p)
+    p.add_argument("--kernels", nargs="+", default=["fused", "gemm", "evalsum"])
+
+    p = sub.add_parser("roofline", help="place the modelled kernels on the device roofline")
+    _spec_args(p)
+
+    p = sub.add_parser("reproduce", help="run the full reproduction and print the report")
+    p.add_argument("--grid", choices=["paper", "table", "small"], default="paper")
+    p.add_argument("--no-figures", action="store_true", help="claims and tables only")
+
+    p = sub.add_parser("selftest", help="numerical parity check of every implementation")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("sweep", help="device-sensitivity sweeps of the fused speedup")
+    _spec_args(p)
+    p.add_argument(
+        "--axis",
+        choices=["bandwidth", "sms", "l2", "n"],
+        default="bandwidth",
+    )
+
+    return parser
+
+
+def _make_spec(args):
+    from .core import ProblemSpec
+
+    return ProblemSpec(M=args.M, N=args.N, K=args.K, h=args.h, kernel=args.kernel, seed=args.seed)
+
+
+def _cmd_solve(args) -> int:
+    from .core import IMPLEMENTATIONS, direct, generate
+
+    spec = _make_spec(args)
+    data = generate(spec)
+    if args.implementation not in IMPLEMENTATIONS:
+        print(f"unknown implementation {args.implementation!r}; "
+              f"available: {sorted(IMPLEMENTATIONS)}", file=sys.stderr)
+        return 2
+    from .core.tiling import PAPER_TILING
+
+    t0 = time.perf_counter()
+    V = IMPLEMENTATIONS[args.implementation](data, PAPER_TILING)
+    dt = time.perf_counter() - t0
+    print(f"{args.implementation}: M={spec.M} N={spec.N} K={spec.K} "
+          f"{dt * 1e3:.1f} ms (host), V[:4]={V[:4]}")
+    if args.check:
+        ref = direct(data)
+        err = float(np.max(np.abs(V - ref) / (np.abs(ref) + 1e-3)))
+        print(f"max relative error vs reference: {err:.3e}")
+        if err > 1e-2:
+            print("FAILED accuracy check", file=sys.stderr)
+            return 1
+    return 0
+
+
+def _cmd_model(args) -> int:
+    from .gpu import GTX970
+    from .energy import EnergyModel
+    from .perf import model_run
+
+    spec = _make_spec(args)
+    em = EnergyModel(GTX970)
+    print(f"modelled on {GTX970.name}: M={spec.M} N={spec.N} K={spec.K}")
+    base = None
+    for name in args.implementations:
+        run = model_run(name, spec)
+        b = em.breakdown(run)
+        if base is None:
+            base = run.total_seconds
+        print(f"  {name:18s} {run.total_seconds * 1e3:9.3f} ms  "
+              f"eff={run.flop_efficiency() * 100:5.1f}%  "
+              f"dram={run.counters.dram.total_bytes / 1e6:8.1f} MB  "
+              f"energy={b.total * 1e3:7.1f} mJ  "
+              f"speedup={base / run.total_seconds:5.2f}x")
+    return 0
+
+
+def _grid(name: str):
+    from .experiments import PAPER_GRID, SMALL_GRID, TABLE_GRID
+
+    return {"paper": PAPER_GRID, "table": TABLE_GRID, "small": SMALL_GRID}[name]
+
+
+def _cmd_figure(args) -> int:
+    from . import experiments as ex
+
+    builders: Dict[str, Callable] = {
+        "fig1": lambda r: ex.fig1_energy_breakdown(r, _grid(args.grid)),
+        "fig2": lambda r: ex.fig2_l2_mpki(r, _grid(args.grid)),
+        "fig5": lambda r: ex.fig5_bank_conflicts(),
+        "fig6": lambda r: ex.fig6_speedup(r, _grid(args.grid)),
+        "fig7": lambda r: ex.fig7_gemm_comparison(r, _grid(args.grid)),
+        "fig8a": lambda r: ex.fig8a_l2_transactions(r, _grid(args.grid)),
+        "fig8b": lambda r: ex.fig8b_dram_transactions(r, _grid(args.grid)),
+        "fig9": lambda r: ex.fig9_energy_comparison(r, _grid(args.grid)),
+    }
+    result = builders[args.name](ex.ExperimentRunner())
+    print(ex.render_figure(result))
+    return 0
+
+
+def _cmd_table(args) -> int:
+    from . import experiments as ex
+
+    runner = ex.ExperimentRunner()
+    builders: Dict[str, Callable] = {
+        "table1": lambda: ex.table1_configuration(),
+        "table2": lambda: ex.table2_flop_efficiency(runner),
+        "table3": lambda: ex.table3_energy_savings(runner),
+    }
+    print(ex.render_table(builders[args.name]()))
+    return 0
+
+
+def _cmd_autotune(args) -> int:
+    from .core.autotune import rank_tilings
+
+    spec = _make_spec(args)
+    ranked = rank_tilings(spec)
+    print(f"best blockings for M={spec.M} N={spec.N} K={spec.K} "
+          f"({len(ranked)} launchable candidates):")
+    for r in ranked[: args.top]:
+        t = r.tiling
+        print(f"  {t.mc:3d}x{t.nc:<3d} kc={t.kc:<2d} "
+              f"threads={t.block_dim_x}x{t.block_dim_y} "
+              f"micro={t.micro_m}x{t.micro_n} "
+              f"{'db' if t.double_buffered else 'sb'} -> "
+              f"{r.seconds * 1e3:8.3f} ms  ({r.blocks_per_sm} CTA/SM, {r.limiter}-limited)")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from .experiments.validation import validate_kernel_traffic
+
+    spec = _make_spec(args)
+    status = 0
+    for kernel in args.kernels:
+        v = validate_kernel_traffic(kernel, spec)
+        print(f"{kernel:8s} reads: model={v.analytical_read_bytes / 1e6:9.2f} MB "
+              f"trace={v.simulated_read_bytes / 1e6:9.2f} MB  "
+              f"writes: model={v.analytical_write_bytes / 1e6:8.2f} "
+              f"trace={v.simulated_write_bytes / 1e6:8.2f}")
+        if not (v.simulated_read_bytes <= v.analytical_read_bytes * 1.1):
+            print(f"  WARNING: trace reads exceed the analytical upper bound", file=sys.stderr)
+            status = 1
+    return status
+
+
+def _cmd_roofline(args) -> int:
+    from .core.tiling import PAPER_TILING
+    from .gpu import GTX970
+    from .perf import analyze, evalsum_launch, fused_launch, gemm_launch, render_roofline
+
+    spec = _make_spec(args)
+    launches = [
+        fused_launch(spec, PAPER_TILING, GTX970),
+        gemm_launch(spec, PAPER_TILING, GTX970, flavor="cublas"),
+        gemm_launch(spec, PAPER_TILING, GTX970, flavor="cudac"),
+        evalsum_launch(spec, GTX970),
+    ]
+    points = [analyze(l, GTX970) for l in launches]
+    print(render_roofline(points, GTX970))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .experiments import bandwidth_sweep, l2_size_sweep, n_sweep, render_bars, sm_count_sweep
+
+    spec = _make_spec(args)
+    if args.axis == "bandwidth":
+        points = bandwidth_sweep(spec)
+    elif args.axis == "sms":
+        points = sm_count_sweep(spec)
+    elif args.axis == "l2":
+        points = l2_size_sweep(spec)
+    else:
+        points = n_sweep(K=spec.K, M=spec.M)
+    print(f"fused speedup vs cuBLAS-Unfused, sweeping {args.axis} "
+          f"(M={spec.M}, N={spec.N}, K={spec.K} baseline):")
+    print(render_bars([p.label for p in points], [p.speedup for p in points], unit="x"))
+    return 0
+
+
+def _cmd_selftest(args) -> int:
+    from .core.selftest import parity_check
+
+    results = parity_check(seed=args.seed)
+    for r in results:
+        print(r.describe())
+    bad = [r for r in results if not r.ok]
+    print(f"\n{len(results) - len(bad)}/{len(results)} parity checks passed")
+    return 1 if bad else 0
+
+
+def _cmd_reproduce(args) -> int:
+    from .experiments import full_reproduction_report
+
+    report = full_reproduction_report(_grid(args.grid), include_figures=not args.no_figures)
+    print(report.render())
+    return 0 if report.passed == report.total else 1
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "solve": _cmd_solve,
+        "model": _cmd_model,
+        "figure": _cmd_figure,
+        "table": _cmd_table,
+        "autotune": _cmd_autotune,
+        "validate": _cmd_validate,
+        "roofline": _cmd_roofline,
+        "reproduce": _cmd_reproduce,
+        "selftest": _cmd_selftest,
+        "sweep": _cmd_sweep,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # output piped into a closed reader (e.g. `| head`) — not an error
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

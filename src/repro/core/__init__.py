@@ -1,0 +1,87 @@
+"""The paper's contribution: fused GPGPU kernel summation.
+
+Functional implementations (NumPy arithmetic with the GPU's exact blocking
+and reduction structure) of the three variants the paper compares — Fused,
+CUDA-Unfused, cuBLAS-Unfused — plus the problem/kernels/tiling vocabulary
+they share and the Fig.-5 shared-memory mapping.
+"""
+
+from .api import IMPLEMENTATIONS, kernel_summation, make_problem
+from .autotune import TuneResult, autotune, candidate_tilings, rank_tilings
+from .fused import FusedKernelSummation, fused_kernel_summation
+from .gemm import TiledGemm, pad_to_tiles, tiled_gemm
+from .kernels import KERNELS, KernelFunction, get_kernel
+from .accuracy import (
+    expansion_error_bound,
+    measured_expansion_error,
+    potential_error_bound,
+    summation_error_bound,
+)
+from .chunked import chunked_kernel_summation
+from .multi import multi_kernel_summation, multi_reference
+from .rff import RandomFourierFeatures, required_features, rff_kernel_summation
+from .selftest import ParityResult, parity_check
+from .symmetric import symmetric_kernel_summation
+from .problem import (
+    PAPER_K_VALUES,
+    PAPER_M_SWEEP,
+    PAPER_M_TABLE,
+    PAPER_N,
+    ProblemData,
+    ProblemSpec,
+    generate,
+)
+from .reference import direct, expanded, kernel_matrix, pairwise_sqdist
+from .simt_kernels import run_block_reduction, run_stage_and_multiply
+from .tiling import PAPER_TILING, TilingConfig
+from .unfused import PipelineResult, UnfusedPipeline, cublas_unfused, cuda_unfused
+
+__all__ = [
+    "kernel_summation",
+    "make_problem",
+    "IMPLEMENTATIONS",
+    "ProblemSpec",
+    "ProblemData",
+    "generate",
+    "PAPER_K_VALUES",
+    "PAPER_N",
+    "PAPER_M_SWEEP",
+    "PAPER_M_TABLE",
+    "KernelFunction",
+    "KERNELS",
+    "get_kernel",
+    "TilingConfig",
+    "PAPER_TILING",
+    "TiledGemm",
+    "tiled_gemm",
+    "pad_to_tiles",
+    "FusedKernelSummation",
+    "fused_kernel_summation",
+    "UnfusedPipeline",
+    "PipelineResult",
+    "cublas_unfused",
+    "cuda_unfused",
+    "direct",
+    "expanded",
+    "kernel_matrix",
+    "pairwise_sqdist",
+    "run_stage_and_multiply",
+    "run_block_reduction",
+    "autotune",
+    "candidate_tilings",
+    "rank_tilings",
+    "TuneResult",
+    "multi_kernel_summation",
+    "multi_reference",
+    "chunked_kernel_summation",
+    "RandomFourierFeatures",
+    "rff_kernel_summation",
+    "required_features",
+    "expansion_error_bound",
+    "measured_expansion_error",
+    "summation_error_bound",
+    "potential_error_bound",
+    "parity_check",
+    "ParityResult",
+    "symmetric_kernel_summation",
+]

@@ -1,0 +1,111 @@
+"""Floating-point error analysis of the expansion identity.
+
+The GPU implementations all compute squared distances through
+
+    ||a - b||^2 = ||a||^2 + ||b||^2 - 2 a.b                    (eq. 3)
+
+in float32, which *cancels catastrophically* when ``a ~ b``: the three
+terms are each O(||a||^2) while the result is O(||a-b||^2).  This module
+provides the standard forward bounds and measurement helpers so users can
+decide whether the expansion is safe for their data — the kind of
+numerical due diligence the paper leaves implicit.
+
+Key facts encoded here:
+
+* absolute error of the float32 expansion is ~ ``eps32 * (K+2) * R^2``
+  where ``R`` bounds the point norms — *independent of the distance*, so
+  the relative error of small distances blows up as ``R^2 / d^2``;
+* through the Gaussian kernel the *absolute* output error stays tame
+  (``|dK| <= |d(sqdist)| / (2 h^2)`` since ``|K'| <= 1/(2h^2) * K <= ...``),
+  which is why the paper's float32 pipeline is accurate for potentials
+  even when individual tiny distances are relatively wrong;
+* the final summation over N terms accumulates ~ ``eps32 * sqrt(N)``
+  relative error under round-to-nearest with random signs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .problem import ProblemData
+from .reference import pairwise_sqdist
+
+__all__ = [
+    "expansion_error_bound",
+    "measured_expansion_error",
+    "summation_error_bound",
+    "potential_error_bound",
+]
+
+EPS32 = float(np.finfo(np.float32).eps)
+
+
+def expansion_error_bound(K: int, radius: float) -> float:
+    """A priori absolute error bound of the float32 expansion identity.
+
+    For points with ``||x|| <= radius``: each of the three terms is
+    computed with ~``(K+1)`` float32 roundings on values of magnitude up
+    to ``4 * radius^2`` (the −2ab term), giving
+    ``err <= 3 (K+2) eps32 radius^2`` up to constants.
+    """
+    if K <= 0:
+        raise ValueError("K must be positive")
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    return 3.0 * (K + 2) * EPS32 * 4.0 * radius * radius
+
+
+def measured_expansion_error(data: ProblemData) -> float:
+    """Largest absolute float32-expansion error over all pairs.
+
+    Compares the float32 expansion (as the kernels compute it) with the
+    float64 direct distance; feasible for modest M x N.
+    """
+    A32 = data.A.astype(np.float32)
+    B32 = data.B.astype(np.float32)
+    na = np.einsum("ik,ik->i", A32, A32)
+    nb = np.einsum("kj,kj->j", B32, B32)
+    C = A32 @ B32
+    sq32 = na[:, None] + nb[None, :] - np.float32(2.0) * C
+    exact = pairwise_sqdist(data.A, data.B)
+    return float(np.max(np.abs(sq32.astype(np.float64) - exact)))
+
+
+def summation_error_bound(N: int, weight_scale: float) -> float:
+    """Probabilistic float32 bound for summing N kernel-weighted terms.
+
+    Terms are bounded by ``weight_scale`` (Gaussian kernel values are at
+    most 1); under round-to-nearest with stochastic signs the error grows
+    as ``eps32 * sqrt(N) * weight_scale * c`` — we use c = 2.
+    """
+    if N <= 0:
+        raise ValueError("N must be positive")
+    if weight_scale < 0:
+        raise ValueError("weight_scale cannot be negative")
+    return 2.0 * EPS32 * math.sqrt(N) * weight_scale
+
+
+def potential_error_bound(data: ProblemData, radius: float | None = None) -> float:
+    """End-to-end absolute error bound for one potential V[i].
+
+    Combines the distance-expansion error pushed through the Gaussian
+    (Lipschitz constant ``max|K'| = exp(-1/2)/(h sqrt(...)) <= 1/(2h^2)``
+    on the squared-distance argument) with the summation bound.
+    """
+    spec = data.spec
+    if radius is None:
+        radius = float(
+            max(
+                np.linalg.norm(data.A.astype(np.float64), axis=1).max(),
+                np.linalg.norm(data.B.astype(np.float64), axis=0).max(),
+            )
+        )
+    dist_err = expansion_error_bound(spec.K, radius)
+    lipschitz = 1.0 / (2.0 * spec.h * spec.h)
+    w_mass = float(np.abs(data.W.astype(np.float64)).sum())
+    w_scale = float(np.abs(data.W.astype(np.float64)).max())
+    kernel_err = dist_err * lipschitz * w_mass
+    sum_err = summation_error_bound(spec.N, w_scale)
+    return kernel_err + sum_err

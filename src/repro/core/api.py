@@ -1,0 +1,124 @@
+"""High-level public API.
+
+:func:`kernel_summation` is the one-call entry point a downstream user
+needs: hand it the point sets and weights, pick a kernel and an
+implementation, get the potential vector back.  The implementation registry
+also drives the benchmark harness, so every name here is directly
+comparable in the experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from .fused import fused_kernel_summation
+from .kernels import KERNELS
+from .problem import ProblemData, ProblemSpec
+from .reference import expanded
+from .tiling import PAPER_TILING, TilingConfig
+from .unfused import cublas_unfused, cuda_unfused
+
+__all__ = ["IMPLEMENTATIONS", "kernel_summation", "make_problem"]
+
+
+def _run_fused(data: ProblemData, tiling: TilingConfig) -> np.ndarray:
+    return fused_kernel_summation(data, tiling)
+
+
+def _run_cublas_unfused(data: ProblemData, tiling: TilingConfig) -> np.ndarray:
+    return cublas_unfused(data).V
+
+
+def _run_cuda_unfused(data: ProblemData, tiling: TilingConfig) -> np.ndarray:
+    return cuda_unfused(data, tiling).V
+
+
+def _run_reference(data: ProblemData, tiling: TilingConfig) -> np.ndarray:
+    return expanded(data)
+
+
+#: Registered implementations, keyed by the names the paper uses.
+IMPLEMENTATIONS: Dict[str, Callable[[ProblemData, TilingConfig], np.ndarray]] = {
+    "fused": _run_fused,
+    "cublas-unfused": _run_cublas_unfused,
+    "cuda-unfused": _run_cuda_unfused,
+    "reference": _run_reference,
+}
+
+
+def make_problem(
+    A: np.ndarray,
+    B: np.ndarray,
+    W: np.ndarray,
+    h: float = 1.0,
+    kernel: str = "gaussian",
+    check_finite: bool = True,
+) -> ProblemData:
+    """Wrap user arrays into a validated :class:`ProblemData`.
+
+    ``A`` is ``(M, K)`` sources, ``B`` is ``(K, N)`` targets, ``W`` is
+    ``(N,)`` weights.  Arrays must share a float32/float64 dtype.
+
+    ``check_finite`` rejects NaN/Inf inputs up front (a NaN coordinate
+    silently poisons entire rows of the output otherwise); pass ``False``
+    to skip the scan on very large inputs you already trust.
+    """
+    A = np.ascontiguousarray(A)
+    B = np.ascontiguousarray(B)
+    W = np.ascontiguousarray(W)
+    if check_finite:
+        for name, arr in (("A", A), ("B", B), ("W", W)):
+            if arr.dtype.kind == "f" and not np.isfinite(arr).all():
+                raise ValueError(f"{name} contains NaN or Inf values")
+    if A.ndim != 2 or B.ndim != 2 or W.ndim != 1:
+        raise ValueError("A and B must be 2-D, W 1-D")
+    if A.dtype != B.dtype or A.dtype != W.dtype:
+        raise ValueError("A, B, W must share one dtype")
+    if A.dtype not in (np.float32, np.float64):
+        raise ValueError("dtype must be float32 or float64")
+    M, K = A.shape
+    K2, N = B.shape
+    if K != K2:
+        raise ValueError(f"A is {A.shape} but B is {B.shape}: K dimensions disagree")
+    if W.shape != (N,):
+        raise ValueError(f"W must have length N={N}, got {W.shape}")
+    spec = ProblemSpec(M=M, N=N, K=K, h=h, kernel=kernel, dtype=str(A.dtype))
+    return ProblemData(spec=spec, A=A, B=B, W=W)
+
+
+def kernel_summation(
+    A: np.ndarray,
+    B: np.ndarray,
+    W: np.ndarray,
+    h: float = 1.0,
+    kernel: str = "gaussian",
+    implementation: str = "fused",
+    tiling: TilingConfig = PAPER_TILING,
+) -> np.ndarray:
+    """Compute ``V[i] = sum_j Kfn(a_i, b_j) * W[j]``.
+
+    Parameters
+    ----------
+    A, B, W:
+        Sources ``(M, K)``, targets ``(K, N)``, weights ``(N,)``.
+    h:
+        Kernel bandwidth (the paper's equation 1 constant).
+    kernel:
+        One of ``repro.core.kernels.KERNELS`` (default ``"gaussian"``).
+    implementation:
+        ``"fused"`` (the paper's contribution), ``"cublas-unfused"``,
+        ``"cuda-unfused"``, or ``"reference"``.
+    tiling:
+        Blocking configuration for the tiled implementations.
+    """
+    if kernel not in KERNELS:
+        raise KeyError(f"unknown kernel {kernel!r}; available: {sorted(KERNELS)}")
+    if implementation not in IMPLEMENTATIONS:
+        raise KeyError(
+            f"unknown implementation {implementation!r}; "
+            f"available: {sorted(IMPLEMENTATIONS)}"
+        )
+    data = make_problem(A, B, W, h=h, kernel=kernel)
+    return IMPLEMENTATIONS[implementation](data, tiling)

@@ -1,0 +1,134 @@
+"""Blocking autotuner.
+
+Section III-A reaches the 128x128 / 16x16 / 8x8 design point by manually
+walking the resource trade-offs ("Factors like GPU limits, trade-offs
+between high SM occupancy and less data locality, inter-influence between
+matrix size and matrix partition are taken into consideration").  This
+module automates exactly that walk: it enumerates every launchable
+:class:`~repro.core.tiling.TilingConfig` in a candidate space, evaluates
+each with the calibrated performance model, and ranks them.
+
+The search is a model-driven autotuner in the classic GEMM-tuning sense —
+nothing is executed; candidates that violate hardware launch rules
+(occupancy, shared-memory caps, register ceilings) are rejected by
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..gpu.device import GTX970, DeviceSpec
+from .problem import ProblemSpec
+from .tiling import PAPER_TILING, TilingConfig
+
+__all__ = ["TuneResult", "candidate_tilings", "autotune", "rank_tilings"]
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """One evaluated candidate."""
+
+    tiling: TilingConfig
+    seconds: float
+    blocks_per_sm: int
+    limiter: str
+
+    def __post_init__(self) -> None:
+        if self.seconds <= 0:
+            raise ValueError("modelled time must be positive")
+
+
+def candidate_tilings(
+    device: DeviceSpec = GTX970,
+    mc_values: Sequence[int] = (32, 64, 128, 256),
+    nc_values: Sequence[int] = (32, 64, 128, 256),
+    kc_values: Sequence[int] = (4, 8, 16),
+    include_single_buffered: bool = False,
+) -> List[TilingConfig]:
+    """Every launchable configuration in the candidate space.
+
+    Thread grids are derived from the tile shape so each thread owns an
+    8x8 microtile where possible, falling back to 4x4 for small tiles;
+    candidates that fail construction-time validation or cannot launch on
+    ``device`` are dropped.
+    """
+    out: List[TilingConfig] = []
+    buffer_opts = (True, False) if include_single_buffered else (True,)
+    for mc in mc_values:
+        for nc in nc_values:
+            for kc in kc_values:
+                for micro in (8, 4):
+                    bx, by = nc // micro, mc // micro
+                    if bx < 1 or by < 1 or bx * by > device.max_threads_per_block:
+                        continue
+                    if bx * by < 32:
+                        continue  # sub-warp blocks are never sensible
+                    for db in buffer_opts:
+                        try:
+                            t = TilingConfig(
+                                mc=mc, nc=nc, kc=kc,
+                                block_dim_x=bx, block_dim_y=by,
+                                double_buffered=db,
+                            )
+                            t.occupancy_on(device)  # must be launchable
+                        except ValueError:
+                            continue
+                        out.append(t)
+                    break  # prefer the 8x8 grid; don't also add 4x4 duplicates
+    # de-duplicate (identical configs can arise from the micro fallback)
+    seen, unique = set(), []
+    for t in out:
+        key = (t.mc, t.nc, t.kc, t.block_dim_x, t.block_dim_y, t.double_buffered)
+        if key not in seen:
+            seen.add(key)
+            unique.append(t)
+    return unique
+
+
+def rank_tilings(
+    spec: ProblemSpec,
+    candidates: Sequence[TilingConfig] | None = None,
+    device: DeviceSpec = GTX970,
+) -> List[TuneResult]:
+    """Model every candidate's fused-kernel runtime; best first."""
+    from ..perf.pipeline import model_run  # deferred: avoid import cycle
+
+    if candidates is None:
+        candidates = candidate_tilings(device)
+    if not candidates:
+        raise ValueError("no launchable candidates to rank")
+    results = []
+    for t in candidates:
+        run = model_run("fused", spec, t, device)
+        occ = t.occupancy_on(device)
+        results.append(
+            TuneResult(
+                tiling=t,
+                seconds=run.total_seconds,
+                blocks_per_sm=occ.blocks_per_sm,
+                limiter=occ.limiter,
+            )
+        )
+    results.sort(key=lambda r: r.seconds)
+    return results
+
+
+def autotune(
+    spec: ProblemSpec,
+    candidates: Sequence[TilingConfig] | None = None,
+    device: DeviceSpec = GTX970,
+) -> TuneResult:
+    """Best blocking for ``spec`` on ``device`` under the performance model."""
+    return rank_tilings(spec, candidates, device)[0]
+
+
+def paper_rank(spec: ProblemSpec, device: DeviceSpec = GTX970) -> int:
+    """1-based rank of the paper's design point among all candidates."""
+    ranked = rank_tilings(spec, None, device)
+    key = (PAPER_TILING.mc, PAPER_TILING.nc, PAPER_TILING.kc)
+    for i, r in enumerate(ranked):
+        if (r.tiling.mc, r.tiling.nc, r.tiling.kc) == key and r.tiling.double_buffered:
+            return i + 1
+    raise LookupError("paper tiling not among the candidates")

@@ -1,0 +1,127 @@
+"""Fused kernel summation (the paper's Algorithm 2), functional layer.
+
+Every CTA ``(bx, by)`` of the GEMM grid:
+
+1. accumulates its 128 x 128 ``subC`` through the rank-8 panel loop
+   (double-buffered on the GPU; arithmetic-order-identical here);
+2. applies the kernel function to
+   ``||a||^2 + ||b||^2 - 2 subC`` entirely out of registers;
+3. reduces in three levels — intra-thread (each thread row-sums its 8 x 8
+   microtile against its weight slice), intra-CTA (the 16 thread partials of
+   each row are summed in thread order), inter-CTA (each CTA ``atomicAdd``-s
+   its 128-element ``partialV`` into ``V``).
+
+The inter-CTA atomic order is *not deterministic on hardware*; float32
+addition is not associative, so the paper's kernel returns slightly
+different bits run to run.  :class:`FusedKernelSummation` exposes that
+through ``cta_order``: ``"rowmajor"`` (deterministic default),
+``"colmajor"``, or ``"shuffled"`` with a seed — tests use this to bound the
+non-determinism instead of pretending it away.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from .kernels import get_kernel
+from .problem import ProblemData
+from .tiling import PAPER_TILING, TilingConfig
+
+__all__ = ["FusedKernelSummation", "fused_kernel_summation"]
+
+CtaOrder = Literal["rowmajor", "colmajor", "shuffled"]
+
+
+class FusedKernelSummation:
+    """Callable implementing Algorithm 2 over NumPy tiles."""
+
+    def __init__(
+        self,
+        tiling: TilingConfig = PAPER_TILING,
+        cta_order: CtaOrder = "rowmajor",
+        seed: int = 0,
+    ) -> None:
+        if cta_order not in ("rowmajor", "colmajor", "shuffled"):
+            raise ValueError(f"unknown cta_order {cta_order!r}")
+        self.tiling = tiling
+        self.cta_order = cta_order
+        self.seed = seed
+
+    def _cta_sequence(self, grid_x: int, grid_y: int) -> list[tuple[int, int]]:
+        ctas = [(bx, by) for by in range(grid_y) for bx in range(grid_x)]
+        if self.cta_order == "colmajor":
+            ctas.sort(key=lambda c: (c[0], c[1]))
+        elif self.cta_order == "shuffled":
+            rng = np.random.default_rng(self.seed)
+            rng.shuffle(ctas)
+        return ctas
+
+    def __call__(self, data: ProblemData) -> np.ndarray:
+        spec = data.spec
+        t = self.tiling
+        dt = spec.np_dtype
+        kf = get_kernel(spec.kernel)
+
+        # --- norms kernel (one lightweight launch before the fused kernel) --
+        norm_a = data.source_norms  # (M,)
+        norm_b = data.target_norms  # (N,)
+
+        # --- pad to the CTA grid --------------------------------------------
+        from .gemm import pad_to_tiles  # local import to avoid cycle at module load
+
+        Ap = pad_to_tiles(data.A, t.mc, t.kc)
+        Bp = pad_to_tiles(data.B, t.kc, t.nc)
+        Wp = np.pad(data.W, (0, (-spec.N) % t.nc))
+        na = np.pad(norm_a, (0, (-spec.M) % t.mc))
+        nb = np.pad(norm_b, (0, (-spec.N) % t.nc))
+        Mp, Kp = Ap.shape
+        _, Np = Bp.shape
+        grid_x, grid_y = Np // t.nc, Mp // t.mc
+        k_iters = Kp // t.kc
+
+        # Padded target columns must not contribute: zero-padded B columns
+        # have zero norm and distance ||a||^2, which the kernel maps to a
+        # nonzero value — mask them via zero weights (Wp pads with zeros).
+        V = np.zeros(Mp, dtype=dt)
+
+        for bx, by in self._cta_sequence(grid_x, grid_y):
+            r0, r1 = by * t.mc, (by + 1) * t.mc
+            c0, c1 = bx * t.nc, (bx + 1) * t.nc
+
+            # GEMM portion: rank-kc updates, double-buffered on hardware.
+            subC = np.zeros((t.mc, t.nc), dtype=dt)
+            for ki in range(k_iters):
+                k0, k1 = ki * t.kc, (ki + 1) * t.kc
+                subC += Ap[r0:r1, k0:k1] @ Bp[k0:k1, c0:c1]
+
+            # Kernel evaluation straight out of "registers" (line 14).
+            sq = na[r0:r1, None] + nb[None, c0:c1] - dt.type(2.0) * subC
+            Kblk = kf.evaluate(sq, spec.h)
+
+            # Intra-thread reduction (line 16): thread (tx, ty) row-sums its
+            # 8 x 8 microtile against its 8 weights.  Equivalent reshaping:
+            gamma = (Kblk * Wp[None, c0:c1]).reshape(t.mc, t.block_dim_x, t.micro_n)
+            thread_partials = gamma.sum(axis=2, dtype=dt)  # (mc, 16)
+
+            # Intra-CTA reduction (line 20): one thread per row sums the 16
+            # partials sequentially in tx order.
+            partialV = np.zeros(t.mc, dtype=dt)
+            for tx in range(t.block_dim_x):
+                partialV += thread_partials[:, tx]
+
+            # Inter-CTA reduction (line 21): atomicAdd into the result.
+            V[r0:r1] += partialV
+
+        return V[: spec.M]
+
+
+def fused_kernel_summation(
+    data: ProblemData,
+    tiling: TilingConfig = PAPER_TILING,
+    cta_order: CtaOrder = "rowmajor",
+    seed: int = 0,
+) -> np.ndarray:
+    """One-shot convenience wrapper around :class:`FusedKernelSummation`."""
+    return FusedKernelSummation(tiling, cta_order, seed)(data)

@@ -1,0 +1,103 @@
+"""Functional tiled SGEMM with the paper's blocking structure.
+
+This is the CUDA-C GEMM of section III-A expressed over NumPy blocks: the
+CTA grid, the rank-``kc`` panel loop, and the per-panel accumulation order
+are identical to the GPU kernel, so the float32 result tracks what the
+hardware would produce.  (Within one 128 x kc by kc x 128 panel product we
+let NumPy multiply — the microtile decomposition inside a panel changes
+only *which thread* computes an element, not the arithmetic or its
+k-ordering.)
+
+Arbitrary shapes are supported by zero-padding up to the tile grid — the
+GPU kernel would instead predicate the boundary threads; zero padding is
+arithmetically identical for GEMM.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tiling import PAPER_TILING, TilingConfig
+
+__all__ = ["pad_to_tiles", "tiled_gemm", "TiledGemm"]
+
+
+def pad_to_tiles(
+    X: np.ndarray, row_multiple: int, col_multiple: int
+) -> np.ndarray:
+    """Zero-pad a 2-D array so both dimensions hit the tile multiples."""
+    if X.ndim != 2:
+        raise ValueError("expected a 2-D array")
+    r, c = X.shape
+    pr = (-r) % row_multiple
+    pc = (-c) % col_multiple
+    if pr == 0 and pc == 0:
+        return X
+    return np.pad(X, ((0, pr), (0, pc)))
+
+
+class TiledGemm:
+    """``C = A @ B`` computed CTA-by-CTA with rank-``kc`` panel updates.
+
+    Instances are reusable across calls; :meth:`__call__` validates shapes
+    and dtypes each time.  ``out`` lets the unfused pipeline write into a
+    preallocated intermediate (mirroring the GPU, where the GEMM output
+    buffer round-trips through DRAM).
+    """
+
+    def __init__(self, tiling: TilingConfig = PAPER_TILING) -> None:
+        self.tiling = tiling
+
+    def __call__(
+        self, A: np.ndarray, B: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        if A.ndim != 2 or B.ndim != 2:
+            raise ValueError("A and B must be 2-D")
+        M, K = A.shape
+        K2, N = B.shape
+        if K != K2:
+            raise ValueError(f"inner dimensions disagree: {A.shape} @ {B.shape}")
+        if A.dtype != B.dtype:
+            raise ValueError(f"mixed dtypes: {A.dtype} vs {B.dtype}")
+        dt = A.dtype
+        t = self.tiling
+
+        Ap = pad_to_tiles(A, t.mc, t.kc)
+        Bp = pad_to_tiles(B, t.kc, t.nc)
+        Mp, Kp = Ap.shape
+        _, Np = Bp.shape
+
+        if out is not None:
+            if out.shape != (M, N) or out.dtype != dt:
+                raise ValueError("out must be (M, N) with the input dtype")
+            C = out
+        else:
+            C = np.empty((M, N), dtype=dt)
+
+        k_iters = Kp // t.kc
+        grid_x, grid_y = Np // t.nc, Mp // t.mc
+        for by in range(grid_y):
+            r0, r1 = by * t.mc, (by + 1) * t.mc
+            for bx in range(grid_x):
+                c0, c1 = bx * t.nc, (bx + 1) * t.nc
+                acc = np.zeros((t.mc, t.nc), dtype=dt)
+                for ki in range(k_iters):
+                    k0, k1 = ki * t.kc, (ki + 1) * t.kc
+                    # rank-kc update; NumPy keeps float32 arithmetic for
+                    # float32 inputs, matching the GPU's FFMA chain.
+                    acc += Ap[r0:r1, k0:k1] @ Bp[k0:k1, c0:c1]
+                rr, cc = min(r1, M), min(c1, N)
+                C[r0:rr, c0:cc] = acc[: rr - r0, : cc - c0]
+        return C
+
+
+def tiled_gemm(
+    A: np.ndarray,
+    B: np.ndarray,
+    tiling: TilingConfig = PAPER_TILING,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Convenience wrapper around :class:`TiledGemm`."""
+    return TiledGemm(tiling)(A, B, out=out)

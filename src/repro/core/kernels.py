@@ -1,0 +1,96 @@
+"""Kernel functions and their cost signatures.
+
+The paper evaluates the Gaussian kernel (its equation 1); section VI notes
+the fusion scheme applies to other kernels unchanged, because every kernel
+here is a pointwise function of the squared Euclidean distance computed by
+the GEMM expansion.  The registry therefore exposes additional standard
+kernels (reciprocal-distance/Laplace, polynomial, Matérn-3/2) as the
+"future work" extension.
+
+Each :class:`KernelFunction` provides:
+
+* :meth:`evaluate` — vectorized evaluation on an array of squared distances
+  (clamped at zero: float32 cancellation in ``|a|^2+|b|^2-2ab`` can produce
+  tiny negatives, which the GPU code tolerates because ``exp`` is total but
+  ``sqrt`` is not);
+* a per-element flop/SFU cost used by the instruction-count model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+__all__ = ["KernelFunction", "KERNELS", "get_kernel"]
+
+
+@dataclass(frozen=True)
+class KernelFunction:
+    """A pointwise kernel of the squared distance.
+
+    ``fma_flops_per_element`` counts FP32-core operations per matrix element
+    and ``sfu_ops_per_element`` counts special-function (MUFU) operations;
+    both feed the fused/unfused instruction models.
+    """
+
+    name: str
+    fn: Callable[[np.ndarray, float], np.ndarray]
+    fma_flops_per_element: int
+    sfu_ops_per_element: int
+
+    def evaluate(self, sqdist: np.ndarray, h: float) -> np.ndarray:
+        """Evaluate on squared distances, clamping negatives from cancellation."""
+        if h <= 0:
+            raise ValueError("bandwidth h must be positive")
+        sq = np.maximum(sqdist, np.asarray(0, dtype=sqdist.dtype))
+        return self.fn(sq, h)
+
+
+def _gaussian(sq: np.ndarray, h: float) -> np.ndarray:
+    dt = sq.dtype
+    return np.exp(-sq / dt.type(2.0 * h * h)).astype(dt, copy=False)
+
+
+def _laplace(sq: np.ndarray, h: float) -> np.ndarray:
+    # Reciprocal-distance (3D Laplace potential) kernel with softening h to
+    # keep the self-interaction finite, as N-body codes do.
+    dt = sq.dtype
+    return (dt.type(1.0) / np.sqrt(sq + dt.type(h * h))).astype(dt, copy=False)
+
+
+def _polynomial(sq: np.ndarray, h: float) -> np.ndarray:
+    # Inverse multiquadric-style polynomial kernel: (1 + r^2/h^2)^-1.
+    dt = sq.dtype
+    return (dt.type(1.0) / (dt.type(1.0) + sq / dt.type(h * h))).astype(dt, copy=False)
+
+
+def _matern32(sq: np.ndarray, h: float) -> np.ndarray:
+    dt = sq.dtype
+    r = np.sqrt(sq) / dt.type(h)
+    c = dt.type(np.sqrt(3.0))
+    return ((dt.type(1.0) + c * r) * np.exp(-c * r)).astype(dt, copy=False)
+
+
+KERNELS: Dict[str, KernelFunction] = {
+    k.name: k
+    for k in [
+        # exp lowers to FMUL (scale) + MUFU.EX2; the subtract/scale of the
+        # exponent argument costs 2 more core flops.
+        KernelFunction("gaussian", _gaussian, fma_flops_per_element=3, sfu_ops_per_element=1),
+        # add softening + MUFU.RSQ
+        KernelFunction("laplace", _laplace, fma_flops_per_element=2, sfu_ops_per_element=1),
+        # add + divide (MUFU.RCP)
+        KernelFunction("polynomial", _polynomial, fma_flops_per_element=2, sfu_ops_per_element=1),
+        # sqrt + exp + polynomial factor
+        KernelFunction("matern32", _matern32, fma_flops_per_element=4, sfu_ops_per_element=2),
+    ]
+}
+
+
+def get_kernel(name: str) -> KernelFunction:
+    """Look up a kernel by registry name."""
+    if name not in KERNELS:
+        raise KeyError(f"unknown kernel {name!r}; available: {sorted(KERNELS)}")
+    return KERNELS[name]

@@ -1,0 +1,192 @@
+"""Thread <-> track <-> bank mapping for staging tiles in shared memory.
+
+This implements the paper's Figure 5.  The setting: a CTA stages a 128 x 8
+``tileA`` and an 8 x 128 ``tileB`` into shared memory every k-panel.  One
+half of the 256 threads (128 threads = 4 warps) loads ``tileA``, the other
+half ``tileB``.  Each tile is split into 16 microtiles of 8 x 8, and each
+microtile into eight 8-element *tracks* (one track = the 8 contiguous
+elements of one point: a row of A, or a column of B).
+
+Two layouts are provided:
+
+**Naive** — tiles stored row-major (``addr = k * 128 + n``).  Stores are
+conflict-free (thread ``l`` writes column ``l``, hitting bank ``l mod 32``
+every phase), but the compute-phase loads conflict four ways: thread ``tx``
+reads words ``8*tx + c``, and ``8*tx mod 32`` collides for
+``tx, tx+4, tx+8, tx+12``.
+
+**Optimized (Fig. 5)** — each 8 x 8 microtile is *reconstructed as 32 x 2*:
+microtile ``m`` owns bank pair ``{2m, 2m+1}`` across all 32 rows, so the 16
+microtiles exactly cover the 32 banks.  Track ``t`` of microtile ``m`` lands
+in bank ``2m + (t mod 2)``, rows ``8*(t//2) .. 8*(t//2)+7``:
+
+* *stores*: thread with lane ``l`` in loader-warp ``w`` fetches track
+  ``(l mod 2) + 2w`` of microtile ``l // 2`` and writes it into bank ``l``,
+  rows ``8w..8w+7`` — every store phase touches 32 distinct banks;
+* *loads*: at k-step ``k``, thread ``(tx, ty)`` reads its microtile's eight
+  values from bank pair ``{2tx, 2tx+1}`` (B) or ``{2ty, 2ty+1}`` (A); the 16
+  distinct ``tx`` of a warp cover all 32 banks and same-``tx`` lane pairs
+  read identical words, which the hardware broadcasts.
+
+Both properties are *verified*, not assumed: the audit functions at the
+bottom assemble real warp address vectors and count transactions with
+:func:`repro.gpu.sharedmem.warp_transactions`, and the SIMT tests execute
+the whole staging loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from ..gpu.sharedmem import warp_transactions
+from .tiling import TilingConfig, PAPER_TILING
+
+__all__ = [
+    "TrackAssignment",
+    "optimized_address",
+    "naive_address",
+    "store_assignment",
+    "compute_load_addresses",
+    "audit_store_conflicts",
+    "audit_load_conflicts",
+]
+
+Layout = Literal["optimized", "naive"]
+
+
+def optimized_address(track_pos: int, point: int, kc: int = 8) -> int:
+    """Shared-memory word address of tile element (track_pos, point).
+
+    ``point`` indexes the 128 points of the tile (column of B / row of A);
+    ``track_pos`` indexes the ``kc`` elements along the track.  The layout
+    is the Fig.-5 "32 x 2 microtile" arrangement described above.
+    """
+    if not 0 <= track_pos < kc:
+        raise ValueError(f"track_pos {track_pos} outside [0, {kc})")
+    if not 0 <= point < 128:
+        raise ValueError(f"point {point} outside [0, 128)")
+    microtile, track = divmod(point, kc)
+    row = kc * (track // 2) + track_pos
+    bank = 2 * microtile + (track % 2)
+    return row * 32 + bank
+
+
+def naive_address(track_pos: int, point: int, kc: int = 8) -> int:
+    """Row-major tile layout: ``addr = track_pos * 128 + point``."""
+    if not 0 <= track_pos < kc:
+        raise ValueError(f"track_pos {track_pos} outside [0, {kc})")
+    if not 0 <= point < 128:
+        raise ValueError(f"point {point} outside [0, 128)")
+    return track_pos * 128 + point
+
+
+def _address_fn(layout: Layout):
+    if layout == "optimized":
+        return optimized_address
+    if layout == "naive":
+        return naive_address
+    raise ValueError(f"unknown layout {layout!r}")
+
+
+@dataclass(frozen=True)
+class TrackAssignment:
+    """Which track a loader thread fetches and where it stores it."""
+
+    loader_index: int  # 0..127 within the half-block loading this tile
+    microtile: int  # 0..15
+    track: int  # 0..7
+    smem_addresses: tuple  # word address per track element
+
+    @property
+    def point(self) -> int:
+        """Global point index within the tile (column of B / row of A)."""
+        return self.microtile * 8 + self.track
+
+
+def store_assignment(
+    loader_index: int, layout: Layout = "optimized", kc: int = 8
+) -> TrackAssignment:
+    """Store schedule for one of the 128 loader threads of a tile.
+
+    Optimized: warp ``w = loader//32``, lane ``l = loader%32`` fetches track
+    ``(l % 2) + 2w`` of microtile ``l // 2``.  Naive: thread ``l`` fetches
+    point ``loader_index`` directly (track ``l % 8`` of microtile ``l // 8``).
+    """
+    if not 0 <= loader_index < 128:
+        raise ValueError("loader_index must lie in [0, 128)")
+    addr = _address_fn(layout)
+    if layout == "optimized":
+        warp, lane = divmod(loader_index, 32)
+        microtile, track = lane // 2, (lane % 2) + 2 * warp
+    else:
+        microtile, track = divmod(loader_index, kc)
+    point = microtile * kc + track
+    addresses = tuple(addr(p, point, kc) for p in range(kc))
+    return TrackAssignment(loader_index, microtile, track, addresses)
+
+
+def compute_load_addresses(
+    thread_coord: int, k_step: int, layout: Layout = "optimized", kc: int = 8
+) -> np.ndarray:
+    """Word addresses a compute thread reads for its microtile at one k-step.
+
+    ``thread_coord`` is ``tx`` when loading from tileB (thread consumes
+    points ``8*tx .. 8*tx+7``) and ``ty`` for tileA — the mapping is
+    symmetric.
+    """
+    if not 0 <= thread_coord < 16:
+        raise ValueError("thread_coord must lie in [0, 16)")
+    if not 0 <= k_step < kc:
+        raise ValueError(f"k_step outside [0, {kc})")
+    addr = _address_fn(layout)
+    base = thread_coord * 8
+    return np.array([addr(k_step, base + c, kc) for c in range(8)], dtype=np.int64)
+
+
+# --------------------------------------------------------------------------
+# Conflict audits: build real warp address vectors and count transactions.
+# --------------------------------------------------------------------------
+
+
+def audit_store_conflicts(layout: Layout = "optimized", kc: int = 8) -> int:
+    """Total store replays across all 4 loader warps x ``kc`` store phases."""
+    replays = 0
+    for warp in range(4):
+        assigns = [store_assignment(warp * 32 + lane, layout, kc) for lane in range(32)]
+        for phase in range(kc):
+            addrs = np.array([a.smem_addresses[phase] for a in assigns], dtype=np.int64)
+            replays += warp_transactions(addrs) - 1
+    return replays
+
+
+def audit_load_conflicts(
+    layout: Layout = "optimized",
+    tiling: TilingConfig = PAPER_TILING,
+    which: Literal["A", "B"] = "B",
+) -> int:
+    """Total load replays for the compute phase of one k-panel.
+
+    Walks every warp of the 16 x 16 block through all ``kc`` k-steps and the
+    8 per-element load instructions, counting replays.  A warp spans two
+    consecutive ``ty`` rows (lanes = ``ty * 16 + tx``); for tileB lanes with
+    equal ``tx`` read the same word (broadcast), for tileA all lanes of a
+    half-warp share ``ty`` and the whole row broadcasts.
+    """
+    if which not in ("A", "B"):
+        raise ValueError("which must be 'A' or 'B'")
+    bx, by = tiling.block_dim_x, tiling.block_dim_y
+    replays = 0
+    for warp_start in range(0, bx * by, 32):
+        lanes = np.arange(warp_start, warp_start + 32)
+        tx, ty = lanes % bx, lanes // bx
+        coord = tx if which == "B" else ty
+        for k_step in range(tiling.kc):
+            per_lane = np.stack(
+                [compute_load_addresses(int(c), k_step, layout, tiling.kc) for c in coord]
+            )  # (32 lanes, 8 elements)
+            for instr in range(8):
+                replays += warp_transactions(per_lane[:, instr]) - 1
+    return replays

@@ -1,0 +1,127 @@
+"""Kernel-summation problem specification and input generation.
+
+The paper's Algorithm 1 fixes the data layout this package uses throughout:
+
+* ``A`` — ``M x K`` row-major matrix of source-point coordinates
+  (row ``i`` is the point ``alpha_i``);
+* ``B`` — ``K x N`` column-major matrix of target-point coordinates
+  (column ``j`` is the point ``beta_j``);
+* ``W`` — length-``N`` weight vector;
+* output ``V`` — length-``M`` potential vector,
+  ``V[i] = sum_j  Kfn(alpha_i, beta_j) * W[j]``.
+
+The evaluation grid is N = 1024 fixed, K in {32, 64, 128, 256}, M from 1024
+to 524288 (section IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+__all__ = ["ProblemSpec", "ProblemData", "generate"]
+
+#: Parameter grid from the paper's experimental methodology (section IV).
+PAPER_K_VALUES = (32, 64, 128, 256)
+PAPER_N = 1024
+PAPER_M_SWEEP = (1024, 4096, 16384, 65536, 131072, 262144, 524288)
+PAPER_M_TABLE = (1024, 131072, 524288)
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """Shape and kernel parameters of one kernel-summation instance."""
+
+    M: int
+    N: int
+    K: int
+    h: float = 1.0
+    kernel: str = "gaussian"
+    dtype: str = "float32"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.M, self.N, self.K) <= 0:
+            raise ValueError("M, N, K must all be positive")
+        if self.h <= 0:
+            raise ValueError("bandwidth h must be positive")
+        if self.dtype not in ("float32", "float64"):
+            raise ValueError("dtype must be float32 or float64")
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        return np.dtype(self.dtype)
+
+    @property
+    def interaction_count(self) -> int:
+        """Number of pairwise interactions evaluated (M*N)."""
+        return self.M * self.N
+
+    @property
+    def gemm_flops(self) -> int:
+        """FLOPs of the C = A.B product (2*M*N*K)."""
+        return 2 * self.M * self.N * self.K
+
+    @property
+    def bytes_per_element(self) -> int:
+        return self.np_dtype.itemsize
+
+    def with_(self, **kwargs) -> "ProblemSpec":
+        """Copy with fields replaced."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class ProblemData:
+    """Concrete inputs for one problem instance."""
+
+    spec: ProblemSpec
+    A: np.ndarray  # (M, K) source points, row major
+    B: np.ndarray  # (K, N) target points, column major semantics
+    W: np.ndarray  # (N,) weights
+
+    def __post_init__(self) -> None:
+        s = self.spec
+        if self.A.shape != (s.M, s.K):
+            raise ValueError(f"A must be ({s.M}, {s.K}), got {self.A.shape}")
+        if self.B.shape != (s.K, s.N):
+            raise ValueError(f"B must be ({s.K}, {s.N}), got {self.B.shape}")
+        if self.W.shape != (s.N,):
+            raise ValueError(f"W must be ({s.N},), got {self.W.shape}")
+        for name, arr in (("A", self.A), ("B", self.B), ("W", self.W)):
+            if arr.dtype != s.np_dtype:
+                raise ValueError(f"{name} has dtype {arr.dtype}, expected {s.np_dtype}")
+
+    @property
+    def source_norms(self) -> np.ndarray:
+        """``||alpha_i||^2`` per source point (the paper's ``vec_alpha``)."""
+        # accumulate in float64 for a stable reference, cast back to data dtype
+        return np.einsum("ik,ik->i", self.A, self.A, dtype=np.float64).astype(
+            self.spec.np_dtype
+        )
+
+    @property
+    def target_norms(self) -> np.ndarray:
+        """``||beta_j||^2`` per target point (the paper's ``vec_beta``)."""
+        return np.einsum("kj,kj->j", self.B, self.B, dtype=np.float64).astype(
+            self.spec.np_dtype
+        )
+
+
+def generate(spec: ProblemSpec, point_scale: float = 1.0) -> ProblemData:
+    """Draw a reproducible random instance.
+
+    Points are uniform in ``[0, point_scale)^K`` — the usual setting for
+    Gaussian-kernel workloads (KDE, kernel regression) where coordinates are
+    normalized features — and weights are standard normal, so the output has
+    both signs and cancellation is exercised.
+    """
+    if point_scale <= 0:
+        raise ValueError("point_scale must be positive")
+    rng = np.random.default_rng(spec.seed)
+    dt = spec.np_dtype
+    A = rng.random((spec.M, spec.K), dtype=np.float64).astype(dt) * dt.type(point_scale)
+    B = rng.random((spec.K, spec.N), dtype=np.float64).astype(dt) * dt.type(point_scale)
+    W = rng.standard_normal(spec.N).astype(dt)
+    return ProblemData(spec=spec, A=A, B=B, W=W)

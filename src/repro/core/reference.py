@@ -1,0 +1,75 @@
+"""Golden reference implementations.
+
+Two independent formulations of the kernel summation, both straight NumPy:
+
+* :func:`direct` evaluates pairwise distances without the GEMM expansion —
+  slow but immune to the cancellation the expansion introduces; used as the
+  accuracy anchor in tests;
+* :func:`expanded` follows the paper's Algorithm 1 literally (norms + GEMM +
+  kernel evaluation + GEMV), in float64 accumulation; this is the value the
+  GPU-blocked implementations are compared against.
+
+Both return the length-``M`` potential vector ``V``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .kernels import get_kernel
+from .problem import ProblemData
+
+__all__ = ["direct", "expanded", "pairwise_sqdist", "kernel_matrix"]
+
+
+def pairwise_sqdist(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Exact squared distances ``||a_i - b_j||^2`` as an (M, N) float64 array."""
+    A64 = np.asarray(A, dtype=np.float64)
+    B64 = np.asarray(B, dtype=np.float64)
+    if A64.ndim != 2 or B64.ndim != 2 or A64.shape[1] != B64.shape[0]:
+        raise ValueError(f"incompatible shapes {A64.shape} x {B64.shape}")
+    diff = A64[:, :, None] - B64[None, :, :]
+    return np.einsum("mkn,mkn->mn", diff, diff)
+
+
+def kernel_matrix(data: ProblemData) -> np.ndarray:
+    """The full (M, N) kernel interaction matrix in float64."""
+    kf = get_kernel(data.spec.kernel)
+    sq = pairwise_sqdist(data.A, data.B)
+    return kf.fn(sq, data.spec.h)
+
+
+def direct(data: ProblemData, block: int = 512) -> np.ndarray:
+    """Row-blocked direct evaluation (no expansion identity), float64 inside.
+
+    ``block`` bounds the live (block, N) slab so this stays usable at
+    M = 131072 without allocating the whole M x N matrix.
+    """
+    if block <= 0:
+        raise ValueError("block must be positive")
+    spec = data.spec
+    kf = get_kernel(spec.kernel)
+    A64 = data.A.astype(np.float64)
+    B64 = data.B.astype(np.float64)
+    W64 = data.W.astype(np.float64)
+    V = np.empty(spec.M, dtype=np.float64)
+    for lo in range(0, spec.M, block):
+        hi = min(lo + block, spec.M)
+        sq = pairwise_sqdist(A64[lo:hi], B64)
+        V[lo:hi] = kf.fn(sq, spec.h) @ W64
+    return V.astype(spec.np_dtype)
+
+
+def expanded(data: ProblemData) -> np.ndarray:
+    """Algorithm 1 of the paper: norms + GEMM + kernel evaluation + GEMV."""
+    spec = data.spec
+    kf = get_kernel(spec.kernel)
+    A64 = data.A.astype(np.float64)
+    B64 = data.B.astype(np.float64)
+    norm_a = np.einsum("ik,ik->i", A64, A64)
+    norm_b = np.einsum("kj,kj->j", B64, B64)
+    C = A64 @ B64
+    R = norm_a[:, None] + norm_b[None, :] - 2.0 * C
+    Kmat = kf.fn(np.maximum(R, 0.0), spec.h)
+    V = Kmat @ data.W.astype(np.float64)
+    return V.astype(spec.np_dtype)

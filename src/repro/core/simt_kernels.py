@@ -1,0 +1,431 @@
+"""Cooperative kernels executed on the SIMT interpreter.
+
+These run the *actual* staging and reduction code paths of the fused kernel
+on :class:`repro.gpu.simt.Block` with 256 real threads, so the claims the
+analytical model takes as inputs (Fig.-5 staging is conflict-free; the
+three-level reduction with per-lane atomics is correct) are demonstrated by
+execution, not assumed.
+
+They are deliberately small (one CTA, one k-panel) — the functional layer
+in :mod:`repro.core.fused` covers full problems; these cover the warp-level
+mechanics the NumPy formulation abstracts away.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from ..gpu.simt import Block, BlockRunStats, ThreadCtx
+from .mapping import compute_load_addresses, store_assignment
+
+__all__ = [
+    "stage_tile_kernel",
+    "run_stage_and_multiply",
+    "block_reduce_kernel",
+    "run_block_reduction",
+    "warp_shuffle_reduce_kernel",
+    "run_warp_shuffle_reduction",
+    "fused_cta_kernel",
+    "run_fused_cta",
+    "evalsum_cta_kernel",
+    "run_evalsum_cta",
+    "double_buffered_gemm_kernel",
+    "run_double_buffered_gemm",
+]
+
+
+def stage_tile_kernel(
+    ctx: ThreadCtx,
+    tileA: np.ndarray,
+    tileB: np.ndarray,
+    acc: np.ndarray,
+    layout: Literal["optimized", "naive"],
+    kc: int,
+):
+    """One CTA's k-panel: stage both tiles, barrier, rank-kc update.
+
+    ``tileA`` is (128, kc) — one track per row; ``tileB`` is (kc, 128) —
+    one track per column.  ``acc`` is the (128, 128) accumulator the block
+    updates in place (each thread owns its 8 x 8 microtile).  tileA lives
+    at shared-word offset 0, tileB at offset 1024.
+    """
+    B_OFF = 128 * kc
+    half = ctx.block_dim[0] * ctx.block_dim[1] // 2
+    tid = ctx.tid
+
+    # --- staging: first half loads tileA, second half loads tileB --------
+    if tid < half:
+        assign = store_assignment(tid, layout, kc)
+        track = tileA[assign.point, :]  # contiguous row of A
+        for p in range(kc):
+            yield ctx.sts(assign.smem_addresses[p], [track[p]])
+    else:
+        assign = store_assignment(tid - half, layout, kc)
+        track = tileB[:, assign.point]  # contiguous column of B
+        for p in range(kc):
+            yield ctx.sts(B_OFF + assign.smem_addresses[p], [track[p]])
+
+    yield ctx.barrier()
+
+    # --- compute: every thread rank-kc-updates its 8 x 8 microtile --------
+    tx, ty = ctx.tx, ctx.ty
+    for k in range(kc):
+        a_addrs = compute_load_addresses(ty, k, layout, kc)
+        b_addrs = compute_load_addresses(tx, k, layout, kc)
+        a_vals = np.empty(8, dtype=np.float32)
+        b_vals = np.empty(8, dtype=np.float32)
+        for i in range(8):
+            a_vals[i] = yield ctx.lds(int(a_addrs[i]))
+        for i in range(8):
+            b_vals[i] = yield ctx.lds(B_OFF + int(b_addrs[i]))
+        acc[8 * ty : 8 * ty + 8, 8 * tx : 8 * tx + 8] += np.outer(a_vals, b_vals)
+
+    yield ctx.barrier()
+
+
+def run_stage_and_multiply(
+    tileA: np.ndarray,
+    tileB: np.ndarray,
+    layout: Literal["optimized", "naive"] = "optimized",
+) -> tuple[np.ndarray, BlockRunStats]:
+    """Execute one k-panel on the interpreter; returns (acc, stats)."""
+    tileA = np.asarray(tileA, dtype=np.float32)
+    tileB = np.asarray(tileB, dtype=np.float32)
+    kc = tileA.shape[1]
+    if tileA.shape != (128, kc) or tileB.shape != (kc, 128):
+        raise ValueError(f"expected (128, {kc}) x ({kc}, 128), got {tileA.shape} x {tileB.shape}")
+    block = Block(block_dim=(16, 16), smem_words=2 * 128 * kc)
+    acc = np.zeros((128, 128), dtype=np.float32)
+    stats = block.run(stage_tile_kernel, tileA, tileB, acc, layout, kc)
+    return acc, stats
+
+
+def block_reduce_kernel(ctx: ThreadCtx, values: np.ndarray, out: np.ndarray):
+    """Intra-CTA tree reduction used by the summation tail.
+
+    Each thread contributes one value through shared memory; thread 0 of
+    the block atomically adds the block total into ``out[0]``.
+    """
+    n = ctx.block_dim[0] * ctx.block_dim[1]
+    yield ctx.sts(ctx.tid, [values[ctx.tid]])
+    yield ctx.barrier()
+    stride = n // 2
+    while stride >= 1:
+        if ctx.tid < stride:
+            a = yield ctx.lds(ctx.tid)
+            b = yield ctx.lds(ctx.tid + stride)
+            yield ctx.sts(ctx.tid, [np.float32(a) + np.float32(b)])
+        else:
+            yield ctx.idle()
+        yield ctx.barrier()
+        stride //= 2
+    if ctx.tid == 0:
+        total = yield ctx.lds(0)
+        yield ctx.atomic_add(out, 0, float(total))
+
+
+def run_block_reduction(values: np.ndarray, block_dim=(16, 16)) -> tuple[float, BlockRunStats]:
+    """Reduce ``values`` (one per thread) on the interpreter."""
+    values = np.asarray(values, dtype=np.float32)
+    n = block_dim[0] * block_dim[1]
+    if values.shape != (n,):
+        raise ValueError(f"need exactly {n} values, got {values.shape}")
+    block = Block(block_dim=block_dim, smem_words=n)
+    out = np.zeros(1, dtype=np.float32)
+    stats = block.run(block_reduce_kernel, values, out)
+    return float(out[0]), stats
+
+
+def warp_shuffle_reduce_kernel(ctx: ThreadCtx, values: np.ndarray, out: np.ndarray):
+    """Butterfly warp reduction via shuffles (no shared memory at all).
+
+    Section II-C: threads of a warp "can exchange values using either
+    shared memory or the shuffle instruction" — this is the shuffle
+    variant: log2(32) exchange steps, then lane 0 of each warp atomically
+    contributes the warp total.
+    """
+    acc = np.float32(values[ctx.tid])
+    offset = 16
+    while offset >= 1:
+        other = yield ctx.shfl(float(acc), ctx.lane ^ offset)
+        acc = np.float32(acc) + np.float32(other)
+        offset //= 2
+    if ctx.lane == 0:
+        yield ctx.atomic_add(out, 0, float(acc))
+
+
+def run_warp_shuffle_reduction(values: np.ndarray, num_warps: int = 8):
+    """Reduce ``values`` (32 per warp) with the shuffle butterfly."""
+    values = np.asarray(values, dtype=np.float32)
+    n = 32 * num_warps
+    if values.shape != (n,):
+        raise ValueError(f"need exactly {n} values, got {values.shape}")
+    block = Block(block_dim=(32, num_warps), smem_words=1)
+    out = np.zeros(1, dtype=np.float32)
+    stats = block.run(warp_shuffle_reduce_kernel, values, out)
+    return float(out[0]), stats
+
+
+def fused_cta_kernel(
+    ctx: ThreadCtx,
+    tileA: np.ndarray,
+    tileB: np.ndarray,
+    norm_a: np.ndarray,
+    norm_b: np.ndarray,
+    weights: np.ndarray,
+    V: np.ndarray,
+    h: float,
+    kc: int,
+):
+    """Algorithm 2 for one CTA, executed at warp level.
+
+    The full fused tail on real cooperative threads: panel staging
+    (optimized Fig.-5 layout), rank-``kc`` update into per-thread microtile
+    registers, Gaussian evaluation in registers, the intra-thread
+    microtile-by-weights reduction, the intra-CTA staging of thread
+    partials through shared memory (region T at word offset ``2*128*kc``),
+    and one atomicAdd per row into ``V`` by the reducing half-block.
+    """
+    B_OFF = 128 * kc
+    T_OFF = 2 * 128 * kc  # the T matrix region (mc x 16 thread partials)
+    # row stride 17 (coprime with the 32 banks): consecutive rows start in
+    # different banks, so the reduction's 32-row warp loads never collide —
+    # the same repositioning idea as the Fig.-5 tile layout.
+    T_STRIDE = 17
+    half = ctx.block_dim[0] * ctx.block_dim[1] // 2
+    tid, tx, ty = ctx.tid, ctx.tx, ctx.ty
+
+    # --- staging (one panel: tiles are (128, kc) x (kc, 128)) ------------
+    if tid < half:
+        assign = store_assignment(tid, "optimized", kc)
+        track = tileA[assign.point, :]
+        for p in range(kc):
+            yield ctx.sts(assign.smem_addresses[p], [track[p]])
+    else:
+        assign = store_assignment(tid - half, "optimized", kc)
+        track = tileB[:, assign.point]
+        for p in range(kc):
+            yield ctx.sts(B_OFF + assign.smem_addresses[p], [track[p]])
+    yield ctx.barrier()
+
+    # --- GEMM portion: the thread's 8 x 8 microtile in "registers" -------
+    acc = np.zeros((8, 8), dtype=np.float32)
+    for k in range(kc):
+        a_addrs = compute_load_addresses(ty, k, "optimized", kc)
+        b_addrs = compute_load_addresses(tx, k, "optimized", kc)
+        a_vals = np.empty(8, dtype=np.float32)
+        b_vals = np.empty(8, dtype=np.float32)
+        for i in range(8):
+            a_vals[i] = yield ctx.lds(int(a_addrs[i]))
+        for i in range(8):
+            b_vals[i] = yield ctx.lds(B_OFF + int(b_addrs[i]))
+        acc += np.outer(a_vals, b_vals)
+
+    # --- kernel evaluation out of registers (line 14) ---------------------
+    rows = np.arange(8 * ty, 8 * ty + 8)
+    cols = np.arange(8 * tx, 8 * tx + 8)
+    sq = norm_a[rows][:, None] + norm_b[cols][None, :] - np.float32(2.0) * acc
+    kmat = np.exp(-np.maximum(sq, 0.0) / np.float32(2.0 * h * h)).astype(np.float32)
+
+    # --- intra-thread reduction (line 16): gamma = microtile x weights ----
+    gamma = (kmat * weights[cols][None, :]).sum(axis=1, dtype=np.float32)
+
+    # stage the 8 row-partials into T[row, tx]
+    for i in range(8):
+        yield ctx.sts(T_OFF + int(rows[i]) * T_STRIDE + tx, [float(gamma[i])])
+    yield ctx.barrier()
+
+    # --- intra-CTA reduction (lines 18-21): half the block, one row each --
+    if ty < ctx.block_dim[1] // 2:
+        row = tid  # 128 reducing threads <-> 128 rows
+        total = np.float32(0.0)
+        for j in range(16):
+            val = yield ctx.lds(T_OFF + row * T_STRIDE + j)
+            total = np.float32(total) + np.float32(val)
+        yield ctx.atomic_add(V, row, float(total))
+    else:
+        yield ctx.idle()
+
+
+def run_fused_cta(
+    tileA: np.ndarray,
+    tileB: np.ndarray,
+    weights: np.ndarray,
+    h: float = 1.0,
+) -> tuple[np.ndarray, BlockRunStats]:
+    """Run Algorithm 2 for one CTA (one k-panel) on the interpreter.
+
+    Returns the 128-element potential slice and the run statistics.  The
+    norms are computed host-side (the norms kernel of the pipeline).
+    """
+    tileA = np.asarray(tileA, dtype=np.float32)
+    tileB = np.asarray(tileB, dtype=np.float32)
+    weights = np.asarray(weights, dtype=np.float32)
+    kc = tileA.shape[1]
+    if tileA.shape != (128, kc) or tileB.shape != (kc, 128) or weights.shape != (128,):
+        raise ValueError("expected tiles (128, kc) x (kc, 128) and 128 weights")
+    norm_a = np.einsum("ik,ik->i", tileA, tileA).astype(np.float32)
+    norm_b = np.einsum("kj,kj->j", tileB, tileB).astype(np.float32)
+    V = np.zeros(128, dtype=np.float32)
+    # smem: two tile buffers + the T staging region (128 rows x 16 partials)
+    block = Block(block_dim=(16, 16), smem_words=2 * 128 * kc + 128 * 17)
+    stats = block.run(
+        fused_cta_kernel, tileA, tileB, norm_a, norm_b, weights, V, h, kc
+    )
+    return V, stats
+
+
+def evalsum_cta_kernel(
+    ctx: ThreadCtx,
+    c_tile: np.ndarray,
+    norm_a: np.ndarray,
+    norm_b: np.ndarray,
+    weights: np.ndarray,
+    V: np.ndarray,
+    h: float,
+):
+    """The baselines' eval+summation tail for one 128x128 C tile.
+
+    Each thread owns one column strip of 8 rows x 8 columns of the
+    already-materialized GEMM output (read from "global memory", i.e. the
+    numpy array — the round trip the fused kernel eliminates), applies the
+    Gaussian, multiplies by the weights, and reduces exactly like the
+    fused tail: partials staged through the stride-17 T region, one atomic
+    per row from the reducing half-block.
+    """
+    T_STRIDE = 17
+    tx, ty, tid = ctx.tx, ctx.ty, ctx.tid
+    rows = np.arange(8 * ty, 8 * ty + 8)
+    cols = np.arange(8 * tx, 8 * tx + 8)
+
+    # "global" reads of the intermediate + register-resident evaluation
+    sq = (
+        norm_a[rows][:, None]
+        + norm_b[cols][None, :]
+        - np.float32(2.0) * c_tile[np.ix_(rows, cols)]
+    )
+    kmat = np.exp(-np.maximum(sq, 0.0) / np.float32(2.0 * h * h)).astype(np.float32)
+    gamma = (kmat * weights[cols][None, :]).sum(axis=1, dtype=np.float32)
+
+    for i in range(8):
+        yield ctx.sts(int(rows[i]) * T_STRIDE + tx, [float(gamma[i])])
+    yield ctx.barrier()
+
+    if ty < ctx.block_dim[1] // 2:
+        row = tid
+        total = np.float32(0.0)
+        for j in range(16):
+            val = yield ctx.lds(row * T_STRIDE + j)
+            total = np.float32(total) + np.float32(val)
+        yield ctx.atomic_add(V, row, float(total))
+    else:
+        yield ctx.idle()
+
+
+def run_evalsum_cta(
+    c_tile: np.ndarray,
+    norm_a: np.ndarray,
+    norm_b: np.ndarray,
+    weights: np.ndarray,
+    h: float = 1.0,
+) -> tuple[np.ndarray, BlockRunStats]:
+    """Run the unfused tail for one tile on the interpreter."""
+    c_tile = np.asarray(c_tile, dtype=np.float32)
+    if c_tile.shape != (128, 128):
+        raise ValueError(f"expected a (128, 128) tile, got {c_tile.shape}")
+    for name, v in (("norm_a", norm_a), ("norm_b", norm_b), ("weights", weights)):
+        if np.asarray(v).shape != (128,):
+            raise ValueError(f"{name} must have shape (128,)")
+    V = np.zeros(128, dtype=np.float32)
+    block = Block(block_dim=(16, 16), smem_words=128 * 17)
+    stats = block.run(
+        evalsum_cta_kernel,
+        c_tile,
+        np.asarray(norm_a, dtype=np.float32),
+        np.asarray(norm_b, dtype=np.float32),
+        np.asarray(weights, dtype=np.float32),
+        V,
+        h,
+    )
+    return V, stats
+
+
+def double_buffered_gemm_kernel(
+    ctx: ThreadCtx,
+    tileAs: np.ndarray,
+    tileBs: np.ndarray,
+    acc: np.ndarray,
+    kc: int,
+):
+    """Algorithm 2's double-buffered panel loop (lines 5-13), executed.
+
+    ``tileAs``/``tileBs`` hold all k-panels ((panels, 128, kc) and
+    (panels, kc, 128)).  Shared memory holds two (tileA, tileB) buffer
+    pairs; the buffer index follows the paper's ``j <- j XOR 1``: panel
+    ``i+1`` is staged into buffer ``j^1`` while panel ``i`` in buffer ``j``
+    feeds the rank-kc update, with one barrier per iteration.
+    """
+    panels = tileAs.shape[0]
+    PAIR = 2 * 128 * kc  # words of one (tileA, tileB) buffer pair
+    B_OFF = 128 * kc
+    half = ctx.block_dim[0] * ctx.block_dim[1] // 2
+    tid, tx, ty = ctx.tid, ctx.tx, ctx.ty
+
+    def stage(panel: int, buf: int):
+        base = buf * PAIR
+        if tid < half:
+            assign = store_assignment(tid, "optimized", kc)
+            track = tileAs[panel, assign.point, :]
+            for p in range(kc):
+                yield ctx.sts(base + assign.smem_addresses[p], [track[p]])
+        else:
+            assign = store_assignment(tid - half, "optimized", kc)
+            track = tileBs[panel, :, assign.point]
+            for p in range(kc):
+                yield ctx.sts(base + B_OFF + assign.smem_addresses[p], [track[p]])
+
+    def compute(buf: int):
+        base = buf * PAIR
+        for k in range(kc):
+            a_addrs = compute_load_addresses(ty, k, "optimized", kc)
+            b_addrs = compute_load_addresses(tx, k, "optimized", kc)
+            a_vals = np.empty(8, dtype=np.float32)
+            b_vals = np.empty(8, dtype=np.float32)
+            for i in range(8):
+                a_vals[i] = yield ctx.lds(base + int(a_addrs[i]))
+            for i in range(8):
+                b_vals[i] = yield ctx.lds(base + B_OFF + int(b_addrs[i]))
+            acc[8 * ty : 8 * ty + 8, 8 * tx : 8 * tx + 8] += np.outer(a_vals, b_vals)
+
+    # line 5: prologue load of panel 0 into buffer 0
+    j = 0
+    yield from stage(0, j)
+    yield ctx.barrier()  # line 6
+    for i in range(1, panels):  # line 7
+        j ^= 1  # line 8
+        yield from stage(i, j)  # line 9: load next panel into the other buffer
+        yield from compute(j ^ 1)  # line 10: compute on the current buffer
+        yield ctx.barrier()  # line 11
+    yield from compute(j)  # line 13: the final panel
+
+
+def run_double_buffered_gemm(
+    A: np.ndarray, B: np.ndarray
+) -> tuple[np.ndarray, BlockRunStats]:
+    """Run the double-buffered panel loop for one CTA over all of K."""
+    A = np.asarray(A, dtype=np.float32)
+    B = np.asarray(B, dtype=np.float32)
+    kc = 8
+    if A.shape[0] != 128 or B.shape[1] != 128 or A.shape[1] != B.shape[0]:
+        raise ValueError(f"expected (128, K) x (K, 128), got {A.shape} x {B.shape}")
+    if A.shape[1] % kc:
+        raise ValueError("K must be a multiple of the k-panel depth (8)")
+    panels = A.shape[1] // kc
+    tileAs = np.stack([A[:, i * kc : (i + 1) * kc] for i in range(panels)])
+    tileBs = np.stack([B[i * kc : (i + 1) * kc, :] for i in range(panels)])
+    acc = np.zeros((128, 128), dtype=np.float32)
+    block = Block(block_dim=(16, 16), smem_words=2 * 2 * 128 * kc)
+    stats = block.run(double_buffered_gemm_kernel, tileAs, tileBs, acc, kc)
+    return acc, stats

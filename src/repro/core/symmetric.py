@@ -1,0 +1,77 @@
+"""Symmetric kernel summation (sources == targets).
+
+In KDE, kernel regression on the training set, and self-interaction
+N-body problems the two point sets coincide; the kernel matrix is then
+symmetric (``K(a_i, a_j) = K(a_j, a_i)``), so only the upper triangle of
+the tile grid needs evaluating — each off-diagonal 128x128 block
+contributes to two output slices at once.  That halves the dominant
+O(M^2 K) work; the GPU fused kernel does not exploit this (the divergent
+tile shapes fight the uniform CTA grid), which makes it a natural
+host-side extension and ablation point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .gemm import pad_to_tiles
+from .kernels import get_kernel
+from .tiling import PAPER_TILING, TilingConfig
+
+__all__ = ["symmetric_kernel_summation"]
+
+
+def symmetric_kernel_summation(
+    points: np.ndarray,
+    W: np.ndarray,
+    h: float = 1.0,
+    kernel: str = "gaussian",
+    tiling: TilingConfig = PAPER_TILING,
+) -> np.ndarray:
+    """``V[i] = sum_j Kfn(x_i, x_j) W[j]`` over one point set.
+
+    ``points`` is ``(M, K)`` row-major; ``W`` has length ``M``.  Each
+    off-diagonal tile pair is evaluated once: the block ``(bi, bj)`` with
+    ``bi < bj`` contributes ``K_blk @ W_j`` to ``V_i`` and ``K_blk.T @
+    W_i`` to ``V_j``.
+    """
+    if points.ndim != 2:
+        raise ValueError("points must be 2-D (M, K)")
+    M = points.shape[0]
+    if W.shape != (M,):
+        raise ValueError(f"W must have length {M}, got {W.shape}")
+    if h <= 0:
+        raise ValueError("bandwidth h must be positive")
+    if points.dtype not in (np.float32, np.float64):
+        raise ValueError("dtype must be float32 or float64")
+    if W.dtype != points.dtype:
+        raise ValueError("points and W must share one dtype")
+    kf = get_kernel(kernel)
+    dt = points.dtype
+    t = tiling
+
+    P = pad_to_tiles(np.ascontiguousarray(points), t.mc, t.kc)
+    Wp = np.pad(W, (0, (-M) % t.mc))
+    norms = np.pad(
+        np.einsum("ik,ik->i", points.astype(np.float64), points.astype(np.float64)).astype(dt),
+        (0, (-M) % t.mc),
+    )
+    Mp, Kp = P.shape
+    blocks = Mp // t.mc
+    PT = P.T.copy()  # the "B" view of the same points
+
+    V = np.zeros(Mp, dtype=dt)
+    for bi in range(blocks):
+        r0, r1 = bi * t.mc, (bi + 1) * t.mc
+        for bj in range(bi, blocks):
+            c0, c1 = bj * t.mc, (bj + 1) * t.mc
+            subC = np.zeros((t.mc, t.mc), dtype=dt)
+            for k0 in range(0, Kp, t.kc):
+                subC += P[r0:r1, k0 : k0 + t.kc] @ PT[k0 : k0 + t.kc, c0:c1]
+            sq = norms[r0:r1, None] + norms[None, c0:c1] - dt.type(2.0) * subC
+            Kblk = kf.evaluate(sq, h)
+            V[r0:r1] += Kblk @ Wp[c0:c1]
+            if bj > bi:
+                # the mirrored block, for free
+                V[c0:c1] += Kblk.T @ Wp[r0:r1]
+    return V[:M]

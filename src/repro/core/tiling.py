@@ -1,0 +1,135 @@
+"""Blocking configuration for the tiled GEMM / fused kernel.
+
+Section III-A of the paper settles on one design point after walking the
+resource trade-offs, and this module encodes both the point and the
+constraints that led to it:
+
+* each CTA computes a 128 x 128 ``submatrixC``;
+* the CTA is a 16 x 16 thread grid; each thread owns an 8 x 8 microtile
+  held entirely in registers (64 accumulators);
+* the k dimension is processed in rank-8 panels: ``tileA`` is 128 x 8 and
+  ``tileB`` is 8 x 128, staged through shared memory;
+* double buffering keeps two (tileA, tileB) pairs resident, so shared
+  memory per CTA is ``2 * (128*8 + 8*128) * 4B = 16 KiB``;
+* the register budget (64 accumulators + 16 rank-1 operands + ~32 for
+  indices/control, i.e. the paper's "96 to 128 registers") caps residency
+  at **two CTAs per SM** on the GTX970.
+
+:class:`TilingConfig` validates any alternative point (used by the ablation
+benches: 4 x 4 microtiles, single buffering, ...) against the same launch
+rules the hardware enforces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..gpu.device import DeviceSpec
+from ..gpu.occupancy import OccupancyResult, occupancy
+
+__all__ = ["TilingConfig", "PAPER_TILING"]
+
+
+@dataclass(frozen=True)
+class TilingConfig:
+    """One blocking scheme for the GEMM-structured kernels."""
+
+    mc: int = 128  # rows of submatrixC per CTA
+    nc: int = 128  # cols of submatrixC per CTA
+    kc: int = 8  # k-panel depth (rank-kc update)
+    block_dim_x: int = 16  # threads in x (column direction)
+    block_dim_y: int = 16  # threads in y (row direction)
+    double_buffered: bool = True
+    #: registers for indices, pointers, and control flow, on top of the
+    #: accumulators and rank-1 operands that the microtile shape dictates.
+    overhead_regs: int = 32
+    element_bytes: int = 4  # float32
+
+    def __post_init__(self) -> None:
+        if min(self.mc, self.nc, self.kc, self.block_dim_x, self.block_dim_y) <= 0:
+            raise ValueError("all tiling dimensions must be positive")
+        if self.mc % self.block_dim_y or self.nc % self.block_dim_x:
+            raise ValueError("CTA tile must divide evenly among the thread grid")
+        # every thread must load a whole number of elements per tile
+        tile_elems = self.mc * self.kc + self.kc * self.nc
+        if tile_elems % self.threads_per_block:
+            raise ValueError("tile elements must split evenly across threads for loading")
+
+    # -- derived shapes -----------------------------------------------------
+    @property
+    def micro_m(self) -> int:
+        """Rows of the per-thread microtile."""
+        return self.mc // self.block_dim_y
+
+    @property
+    def micro_n(self) -> int:
+        """Columns of the per-thread microtile."""
+        return self.nc // self.block_dim_x
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.block_dim_x * self.block_dim_y
+
+    @property
+    def warps_per_block(self) -> int:
+        return math.ceil(self.threads_per_block / 32)
+
+    # -- resource footprint --------------------------------------------------
+    @property
+    def smem_words_per_buffer(self) -> int:
+        """Words of one (tileA, tileB) pair."""
+        return self.mc * self.kc + self.kc * self.nc
+
+    @property
+    def smem_per_block(self) -> int:
+        """Shared-memory bytes per CTA (doubled when double buffering)."""
+        buffers = 2 if self.double_buffered else 1
+        return buffers * self.smem_words_per_buffer * self.element_bytes
+
+    @property
+    def regs_per_thread(self) -> int:
+        """Modelled register demand per thread (paper: 96-128 at the 8x8 point)."""
+        accumulators = self.micro_m * self.micro_n
+        operands = self.micro_m + self.micro_n
+        return accumulators + operands + self.overhead_regs
+
+    # -- grid geometry -------------------------------------------------------
+    def grid(self, M: int, N: int) -> tuple[int, int]:
+        """CTA grid as (blocks_x, blocks_y) = (ceil(N/nc), ceil(M/mc))."""
+        if M <= 0 or N <= 0:
+            raise ValueError("matrix dimensions must be positive")
+        return math.ceil(N / self.nc), math.ceil(M / self.mc)
+
+    def grid_blocks(self, M: int, N: int) -> int:
+        gx, gy = self.grid(M, N)
+        return gx * gy
+
+    def k_iterations(self, K: int) -> int:
+        """Number of rank-``kc`` panel updates along the K dimension."""
+        if K <= 0:
+            raise ValueError("K must be positive")
+        return math.ceil(K / self.kc)
+
+    # -- device interaction ----------------------------------------------------
+    def occupancy_on(self, device: DeviceSpec) -> OccupancyResult:
+        """Occupancy of this configuration on ``device``."""
+        return occupancy(
+            device,
+            threads_per_block=self.threads_per_block,
+            regs_per_thread=min(self.regs_per_thread, device.max_registers_per_thread),
+            smem_per_block=self.smem_per_block,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"CTA {self.mc}x{self.nc}, k-panel {self.kc}, threads "
+            f"{self.block_dim_x}x{self.block_dim_y}, microtile "
+            f"{self.micro_m}x{self.micro_n}, smem {self.smem_per_block}B, "
+            f"~{self.regs_per_thread} regs/thread"
+            f"{', double-buffered' if self.double_buffered else ''}"
+        )
+
+
+#: The paper's design point (section III-A).
+PAPER_TILING = TilingConfig()

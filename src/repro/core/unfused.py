@@ -1,0 +1,101 @@
+"""Unfused kernel-summation pipelines (the paper's baselines).
+
+Both baselines run Algorithm 1 as four separate kernels with the M x N
+intermediate matrix materialized between them — on the GPU that matrix
+round-trips through DRAM, which is precisely the traffic fusion removes:
+
+* **cuBLAS-Unfused** — the GEMM (and GEMV) are the vendor library; here the
+  stand-in is NumPy's BLAS-backed ``@``, which plays the same role of "a
+  black-box, maximally tuned GEMM you cannot fuse into";
+* **CUDA-Unfused** — the GEMM is our own :class:`~repro.core.gemm.TiledGemm`
+  (the paper uses this pair to isolate the benefit of fusion from the
+  quality of the GEMM).
+
+Each pipeline optionally records the intermediate arrays it allocated
+(``keep_intermediates``) so tests can assert the staging behaviour, and
+reports the intermediate bytes it moved, which the performance layer
+cross-checks against its analytical traffic model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from .gemm import TiledGemm
+from .kernels import get_kernel
+from .problem import ProblemData
+from .tiling import PAPER_TILING, TilingConfig
+
+__all__ = ["PipelineResult", "UnfusedPipeline", "cublas_unfused", "cuda_unfused"]
+
+
+@dataclass
+class PipelineResult:
+    """Output of an unfused run plus its staging footprint."""
+
+    V: np.ndarray
+    #: bytes written to + read back from the intermediate M x N matrices
+    intermediate_bytes: int
+    intermediates: dict = field(default_factory=dict)
+
+
+class UnfusedPipeline:
+    """Four-kernel Algorithm 1: norms, GEMM, kernel evaluation, GEMV."""
+
+    def __init__(
+        self,
+        gemm: Optional[Callable[[np.ndarray, np.ndarray], np.ndarray]] = None,
+        name: str = "cuBLAS-Unfused",
+    ) -> None:
+        #: ``None`` means the vendor-BLAS stand-in (NumPy's ``@``)
+        self.gemm = gemm
+        self.name = name
+
+    def __call__(self, data: ProblemData, keep_intermediates: bool = False) -> PipelineResult:
+        spec = data.spec
+        dt = spec.np_dtype
+        kf = get_kernel(spec.kernel)
+        elem = dt.itemsize
+        mn_bytes = spec.M * spec.N * elem
+
+        # Kernel 1: squared norms of both point sets.
+        norm_a = data.source_norms
+        norm_b = data.target_norms
+
+        # Kernel 2: GEMM; output written back to "main memory".
+        if self.gemm is None:
+            C = (data.A @ data.B).astype(dt, copy=False)
+        else:
+            C = self.gemm(data.A, data.B)
+            if C.dtype != dt or C.shape != (spec.M, spec.N):
+                raise ValueError("gemm callable returned a mismatched array")
+
+        # Kernel 3: distance assembly + kernel evaluation; reads C, writes K.
+        sq = norm_a[:, None] + norm_b[None, :] - dt.type(2.0) * C
+        Kmat = kf.evaluate(sq, spec.h)
+
+        # Kernel 4: GEMV against the weights.
+        V = (Kmat @ data.W).astype(dt, copy=False)
+
+        # C is written once and read once; K likewise: 4 * M * N elements.
+        result = PipelineResult(V=V, intermediate_bytes=4 * mn_bytes)
+        if keep_intermediates:
+            result.intermediates = {"C": C, "K": Kmat, "norm_a": norm_a, "norm_b": norm_b}
+        return result
+
+
+def cublas_unfused(data: ProblemData, keep_intermediates: bool = False) -> PipelineResult:
+    """Algorithm 1 with the vendor-BLAS stand-in GEMM."""
+    return UnfusedPipeline(None, "cuBLAS-Unfused")(data, keep_intermediates)
+
+
+def cuda_unfused(
+    data: ProblemData,
+    tiling: TilingConfig = PAPER_TILING,
+    keep_intermediates: bool = False,
+) -> PipelineResult:
+    """Algorithm 1 with our own tiled CUDA-C-style GEMM."""
+    return UnfusedPipeline(TiledGemm(tiling), "CUDA-Unfused")(data, keep_intermediates)

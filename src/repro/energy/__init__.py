@@ -1,0 +1,15 @@
+"""CACTI/McPAT-style energy modelling."""
+
+from .cacti import SramConfig, sram_access_energy, sram_leakage_watts
+from .mcpat import McPatParams, params_for_device
+from .model import EnergyBreakdown, EnergyModel
+
+__all__ = [
+    "SramConfig",
+    "sram_access_energy",
+    "sram_leakage_watts",
+    "McPatParams",
+    "params_for_device",
+    "EnergyBreakdown",
+    "EnergyModel",
+]

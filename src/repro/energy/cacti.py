@@ -1,0 +1,76 @@
+"""Simplified CACTI-style SRAM energy estimator.
+
+The paper builds its shared-memory and cache energy numbers with CACTI
+("We model the shared memory as an SRAM with 32 banks, each of which has
+separate read port and write port").  Full CACTI solves a detailed
+wire/decoder model; for the energy *breakdown* the paper reports, what
+matters is how per-access energy scales with array size, bank count, and
+access width.  This module keeps exactly those scaling laws:
+
+* dynamic energy per access grows roughly with the square root of the
+  per-bank capacity (bitline/wordline length both scale with sqrt(cells));
+* wider accesses pay proportionally more in the data path but share the
+  decode cost;
+* each extra port adds a fixed fraction of the single-port energy.
+
+The reference point is a 28 nm-class 32 KiB single-bank array at ~10 pJ per
+32-byte read — in line with published CACTI 6.5 numbers for that node.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["SramConfig", "sram_access_energy", "sram_leakage_watts"]
+
+# 28nm-class reference: 32 KiB bank, 32 B access -> ~10 pJ dynamic.
+_REF_BANK_BYTES = 32 * 1024
+_REF_ACCESS_BYTES = 32
+_REF_ENERGY_J = 10e-12
+# decode/wordline share of the reference access energy
+_DECODE_SHARE = 0.35
+_PORT_OVERHEAD = 0.15  # extra energy fraction per additional port
+_LEAKAGE_W_PER_MB = 0.020  # array leakage, watts per MiB
+
+
+@dataclass(frozen=True)
+class SramConfig:
+    """Geometry of one SRAM structure."""
+
+    capacity_bytes: int
+    banks: int = 1
+    access_bytes: int = 32
+    ports: int = 1
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.banks <= 0 or self.ports <= 0:
+            raise ValueError("capacity, banks, and ports must be positive")
+        if self.access_bytes <= 0:
+            raise ValueError("access width must be positive")
+        if self.capacity_bytes % self.banks:
+            raise ValueError("capacity must divide evenly across banks")
+
+    @property
+    def bank_bytes(self) -> int:
+        return self.capacity_bytes // self.banks
+
+
+def sram_access_energy(config: SramConfig) -> float:
+    """Dynamic energy (J) of one ``access_bytes``-wide access.
+
+    An access activates a single bank: the bank's bitline energy scales
+    with sqrt(bank capacity); the data-path share scales linearly with the
+    access width; additional ports add a fixed overhead each.
+    """
+    size_scale = math.sqrt(config.bank_bytes / _REF_BANK_BYTES)
+    width_scale = config.access_bytes / _REF_ACCESS_BYTES
+    decode = _DECODE_SHARE * _REF_ENERGY_J * size_scale
+    datapath = (1.0 - _DECODE_SHARE) * _REF_ENERGY_J * size_scale * width_scale
+    port_factor = 1.0 + _PORT_OVERHEAD * (config.ports - 1)
+    return (decode + datapath) * port_factor
+
+
+def sram_leakage_watts(config: SramConfig) -> float:
+    """Static leakage of the whole array in watts."""
+    return _LEAKAGE_W_PER_MB * config.capacity_bytes / (1024 * 1024)

@@ -1,0 +1,96 @@
+"""McPAT-style component energy parameters.
+
+The paper derives per-floating-point-unit access energy from McPAT using an
+Intel-Xeon configuration file adapted to Maxwell parameters (section IV,
+following Lim et al.'s GPU-McPAT methodology).  :class:`McPatParams`
+collects the per-event energies the breakdown model needs; the defaults are
+28 nm-class values consistent with that literature:
+
+* an FP32 FMA costs a few pJ in the FPU itself;
+* every *lane* instruction pays a fetch/decode/issue/operand-collect tax
+  that is of the same order as the FPU energy — this is why the paper sees
+  >80 % of energy in "computing operations" at K = 256;
+* DRAM costs of order 10-20 pJ/bit dominate per byte, which is why cutting
+  DRAM traffic by 10x is worth up to a third of total energy at K = 32.
+
+The shared-memory and L2 per-access energies are *derived* from the CACTI
+model (:mod:`repro.energy.cacti`) applied to the GTX970 geometries, keeping
+the two models consistent the same way the paper combines CACTI and McPAT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..gpu.device import DeviceSpec
+from .cacti import SramConfig, sram_access_energy
+
+__all__ = ["McPatParams", "params_for_device"]
+
+
+@dataclass(frozen=True)
+class McPatParams:
+    """Per-event energies (joules) and static power for one device."""
+
+    # compute path
+    fma_energy: float = 19.0e-12  # per lane FMA (2 flops)
+    sfu_energy: float = 50.0e-12  # per lane MUFU operation
+    instruction_energy: float = 26.0e-12  # fetch/decode/issue/RF per lane inst
+    # memory path, per byte moved
+    smem_energy_per_byte: float = 0.35e-12
+    l2_energy_per_byte: float = 6.0e-12
+    dram_energy_per_byte: float = 112.0e-12  # ~14 pJ/bit incl. I/O
+    atomic_energy: float = 40.0e-12  # per word update at the L2
+    # constant power while the kernel runs (leakage + clocks + idle logic)
+    static_watts: float = 4.5
+
+    def with_(self, **kwargs) -> "McPatParams":
+        return replace(self, **kwargs)
+
+    def validate(self) -> None:
+        for f in (
+            "fma_energy",
+            "sfu_energy",
+            "instruction_energy",
+            "smem_energy_per_byte",
+            "l2_energy_per_byte",
+            "dram_energy_per_byte",
+            "atomic_energy",
+        ):
+            if getattr(self, f) <= 0:
+                raise ValueError(f"{f} must be positive")
+        if self.static_watts < 0:
+            raise ValueError("static power cannot be negative")
+
+
+def params_for_device(device: DeviceSpec) -> McPatParams:
+    """Device-specific parameters with CACTI-derived SRAM energies.
+
+    Shared memory is modelled per the paper: 32 banks, separate read and
+    write ports, 4-byte words.  The L2 is one large array accessed at the
+    32-byte sector granularity.
+    """
+    smem = SramConfig(
+        capacity_bytes=device.shared_mem_per_sm,
+        banks=device.num_shared_mem_banks,
+        access_bytes=device.shared_mem_bank_size,
+        ports=2,
+    )
+    # The L2 is sliced per memory partition; model it as power-of-two banks
+    # nearest the partition count so any preset capacity divides evenly.
+    l2_banks = 1
+    while l2_banks * 2 <= device.num_sms and device.l2_size % (l2_banks * 2) == 0:
+        l2_banks *= 2
+    l2 = SramConfig(
+        capacity_bytes=device.l2_size,
+        banks=l2_banks,
+        access_bytes=device.l2_transaction_bytes,
+        ports=1,
+    )
+    smem_per_byte = sram_access_energy(smem) / smem.access_bytes
+    l2_per_byte = sram_access_energy(l2) / l2.access_bytes
+    base = McPatParams()
+    return base.with_(
+        smem_energy_per_byte=smem_per_byte,
+        l2_energy_per_byte=l2_per_byte,
+    )

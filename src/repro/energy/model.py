@@ -1,0 +1,127 @@
+"""Energy breakdown model.
+
+Turns a :class:`~repro.gpu.profiler.ProfiledRun` into the four-way energy
+breakdown the paper plots (Figs. 1 and 9): **compute** (FPU + SFU +
+instruction overhead), **shared memory**, **L2**, and **DRAM**, plus a
+static term proportional to runtime.  Savings tables (the paper's
+Table III) compare two runs of the same problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..gpu.device import DeviceSpec
+from ..gpu.isa import OPCODES, Unit
+from ..gpu.profiler import ProfiledRun
+from .mcpat import McPatParams, params_for_device
+
+__all__ = ["EnergyBreakdown", "EnergyModel"]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules per component for one run."""
+
+    compute: float
+    smem: float
+    l2: float
+    dram: float
+    static: float
+
+    def __post_init__(self) -> None:
+        for name in ("compute", "smem", "l2", "dram", "static"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} energy cannot be negative")
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.smem + self.l2 + self.dram + self.static
+
+    def shares(self) -> Mapping[str, float]:
+        """Fractional breakdown (sums to 1)."""
+        t = self.total
+        if t <= 0:
+            raise ValueError("run consumed no energy")
+        return {
+            "compute": self.compute / t,
+            "smem": self.smem / t,
+            "l2": self.l2 / t,
+            "dram": self.dram / t,
+            "static": self.static / t,
+        }
+
+    def savings_vs(self, baseline: "EnergyBreakdown") -> float:
+        """Fractional total-energy saving relative to ``baseline``."""
+        if baseline.total <= 0:
+            raise ValueError("baseline consumed no energy")
+        return 1.0 - self.total / baseline.total
+
+
+class EnergyModel:
+    """Counter-driven energy model for one device."""
+
+    def __init__(self, device: DeviceSpec, params: McPatParams | None = None) -> None:
+        self.device = device
+        self.params = params if params is not None else params_for_device(device)
+        self.params.validate()
+
+    def compute_detail(self, run: ProfiledRun) -> Mapping[str, float]:
+        """Split the compute energy into FPU, SFU, and instruction overhead.
+
+        The paper's Fig. 9 commentary ("more than 80% of energy is spent on
+        floating point computing operations such as fused multiply add")
+        refers to this split.
+        """
+        p = self.params
+        warp = self.device.warp_size
+        fma = sfu = lanes = 0.0
+        for name, count in run.counters.mix.counts.items():
+            op = OPCODES[name]
+            n = count * warp
+            lanes += n
+            if op.unit is Unit.FP32:
+                fma += n
+            elif op.unit is Unit.SFU:
+                sfu += n
+        return {
+            "fpu": fma * p.fma_energy,
+            "sfu": sfu * p.sfu_energy,
+            "instruction_overhead": lanes * p.instruction_energy,
+        }
+
+    def breakdown(self, run: ProfiledRun) -> EnergyBreakdown:
+        """Energy breakdown of a profiled multi-kernel run."""
+        p = self.params
+        c = run.counters
+        warp = self.device.warp_size
+
+        fma_lanes = 0.0
+        sfu_lanes = 0.0
+        total_lanes = 0.0
+        for name, count in c.mix.counts.items():
+            op = OPCODES[name]
+            lanes = count * warp
+            total_lanes += lanes
+            if op.unit is Unit.FP32:
+                fma_lanes += lanes
+            elif op.unit is Unit.SFU:
+                sfu_lanes += lanes
+
+        compute = (
+            fma_lanes * p.fma_energy
+            + sfu_lanes * p.sfu_energy
+            + total_lanes * p.instruction_energy
+        )
+        # Shared memory moves 128 B per conflict-free warp transaction; the
+        # counters already include conflict replays, so bytes follow the
+        # transaction count directly.
+        smem_bytes = c.smem_transactions * warp * 4
+        smem = smem_bytes * p.smem_energy_per_byte
+        l2_bytes = c.l2_transactions * self.device.l2_transaction_bytes
+        l2 = l2_bytes * p.l2_energy_per_byte
+        dram = c.dram.total_bytes * p.dram_energy_per_byte
+        dram += c.atomics * p.atomic_energy
+        static = p.static_watts * run.total_seconds
+        return EnergyBreakdown(compute=compute, smem=smem, l2=l2, dram=dram, static=static)

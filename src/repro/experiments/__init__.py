@@ -1,0 +1,65 @@
+"""Experiment harness reproducing every table and figure of the paper."""
+
+from .configs import PAPER_GRID, SMALL_GRID, TABLE_GRID, ExperimentGrid
+from .figures import (
+    FigureResult,
+    fig1_energy_breakdown,
+    fig2_l2_mpki,
+    fig5_bank_conflicts,
+    fig6_speedup,
+    fig7_gemm_comparison,
+    fig8a_l2_transactions,
+    fig8b_dram_transactions,
+    fig9_energy_comparison,
+)
+from .paper_values import FIG_CLAIMS, TABLE2_FLOP_EFFICIENCY, TABLE3_ENERGY_SAVINGS
+from .report import format_row, render_bars, render_figure, render_table
+from .runner import ExperimentRunner, Metrics
+from .sweep import SweepPoint, bandwidth_sweep, l2_size_sweep, n_sweep, sm_count_sweep
+from .validation import TrafficValidation, validate_kernel_traffic
+from .full_report import ClaimCheck, ReproductionReport, full_reproduction_report
+from .tables import (
+    TableResult,
+    table1_configuration,
+    table2_flop_efficiency,
+    table3_energy_savings,
+)
+
+__all__ = [
+    "ExperimentGrid",
+    "PAPER_GRID",
+    "TABLE_GRID",
+    "SMALL_GRID",
+    "ExperimentRunner",
+    "Metrics",
+    "FigureResult",
+    "TableResult",
+    "fig1_energy_breakdown",
+    "fig2_l2_mpki",
+    "fig5_bank_conflicts",
+    "fig6_speedup",
+    "fig7_gemm_comparison",
+    "fig8a_l2_transactions",
+    "fig8b_dram_transactions",
+    "fig9_energy_comparison",
+    "table1_configuration",
+    "table2_flop_efficiency",
+    "table3_energy_savings",
+    "render_figure",
+    "render_table",
+    "format_row",
+    "TABLE2_FLOP_EFFICIENCY",
+    "TABLE3_ENERGY_SAVINGS",
+    "FIG_CLAIMS",
+    "render_bars",
+    "SweepPoint",
+    "bandwidth_sweep",
+    "sm_count_sweep",
+    "l2_size_sweep",
+    "n_sweep",
+    "TrafficValidation",
+    "validate_kernel_traffic",
+    "ClaimCheck",
+    "ReproductionReport",
+    "full_reproduction_report",
+]

@@ -1,0 +1,132 @@
+"""The calibration procedure, as code.
+
+DESIGN.md states the model was calibrated against a handful of the paper's
+published numbers and validated against the rest.  This module makes that
+step reproducible: :func:`fit_energy_constants` re-derives the two compute-
+energy scalars from exactly two Table III cells (the same anchor cells used
+originally), and :func:`fit_dram_efficiency` recovers the DRAM streaming
+efficiency from the K=32 speedup.  Tests assert the fits land on the
+shipped defaults — so the defaults are provably *derived*, not hand-picked
+to make every test pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.problem import ProblemSpec
+from ..energy.mcpat import McPatParams, params_for_device
+from ..energy.model import EnergyModel
+from ..gpu.device import GTX970, DeviceSpec
+from ..perf.calibration import DEFAULT_CALIBRATION, Calibration
+from ..perf.pipeline import model_run
+from .paper_values import TABLE3_ENERGY_SAVINGS
+
+__all__ = ["EnergyFit", "fit_energy_constants", "fit_dram_efficiency"]
+
+#: the two Table III anchor cells used for the original calibration
+ANCHOR_CELLS = ((32, 131072), (256, 131072))
+
+
+@dataclass(frozen=True)
+class EnergyFit:
+    """Result of the energy-constant fit."""
+
+    compute_scale: float
+    params: McPatParams
+    anchor_errors: dict
+
+    def max_anchor_error(self) -> float:
+        return max(abs(v) for v in self.anchor_errors.values())
+
+
+def _savings_with(params: McPatParams, K: int, M: int, device: DeviceSpec) -> float:
+    em = EnergyModel(device, params)
+    spec = ProblemSpec(M=M, N=1024, K=K)
+    fused = em.breakdown(model_run("fused", spec))
+    cublas = em.breakdown(model_run("cublas-unfused", spec))
+    return 100.0 * fused.savings_vs(cublas)
+
+
+def fit_energy_constants(
+    device: DeviceSpec = GTX970,
+    lo: float = 0.5,
+    hi: float = 8.0,
+    iterations: int = 40,
+) -> EnergyFit:
+    """Fit the compute-energy scale to the two anchor cells.
+
+    One scalar multiplies the FMA/SFU/instruction energies of the base
+    parameter set; the anchors pin it because the K=32 cell is DRAM-
+    dominated (insensitive to the scale) while the K=256 cell is compute-
+    dominated (very sensitive).  Bisection on the mean signed anchor error
+    converges in a few dozen steps.
+    """
+    base = params_for_device(device)
+
+    def scaled(s: float) -> McPatParams:
+        return base.with_(
+            fma_energy=base.fma_energy * s,
+            sfu_energy=base.sfu_energy * s,
+            instruction_energy=base.instruction_energy * s,
+        )
+
+    def mean_error(s: float) -> float:
+        err = 0.0
+        for K, M in ANCHOR_CELLS:
+            err += _savings_with(scaled(s), K, M, device) - TABLE3_ENERGY_SAVINGS[(K, M)]
+        return err / len(ANCHOR_CELLS)
+
+    # savings decrease as compute energy grows: mean_error is decreasing in s
+    a, b = lo, hi
+    if mean_error(a) < 0 or mean_error(b) > 0:
+        raise RuntimeError("anchor errors do not bracket a root; model changed?")
+    for _ in range(iterations):
+        mid = 0.5 * (a + b)
+        if mean_error(mid) > 0:
+            a = mid
+        else:
+            b = mid
+    s = 0.5 * (a + b)
+    params = scaled(s)
+    errors = {
+        (K, M): _savings_with(params, K, M, device) - TABLE3_ENERGY_SAVINGS[(K, M)]
+        for K, M in ANCHOR_CELLS
+    }
+    return EnergyFit(compute_scale=s, params=params, anchor_errors=errors)
+
+
+def fit_dram_efficiency(
+    target_speedup: float = 1.8,
+    K: int = 32,
+    M: int = 131072,
+    lo: float = 0.5,
+    hi: float = 0.95,
+    iterations: int = 30,
+    device: DeviceSpec = GTX970,
+) -> float:
+    """Recover the DRAM streaming efficiency from the headline speedup.
+
+    The fused kernel at K=32 is compute-bound, so its time is independent
+    of this knob; the baseline is DRAM-bound, so the speedup is monotone
+    decreasing in the efficiency.  Bisect to the paper's 1.8x.
+    """
+
+    def speedup(eff: float) -> float:
+        cal = DEFAULT_CALIBRATION.with_(dram_streaming_efficiency=eff)
+        t_f = model_run("fused", ProblemSpec(M=M, N=1024, K=K), device=device, cal=cal).total_seconds
+        t_c = model_run(
+            "cublas-unfused", ProblemSpec(M=M, N=1024, K=K), device=device, cal=cal
+        ).total_seconds
+        return t_c / t_f
+
+    a, b = lo, hi
+    if speedup(a) < target_speedup or speedup(b) > target_speedup:
+        raise RuntimeError("target speedup not bracketed; model changed?")
+    for _ in range(iterations):
+        mid = 0.5 * (a + b)
+        if speedup(mid) > target_speedup:
+            a = mid
+        else:
+            b = mid
+    return 0.5 * (a + b)

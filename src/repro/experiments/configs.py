@@ -1,0 +1,61 @@
+"""The paper's experimental grid (section IV).
+
+K in {32, 64, 128, 256}; N fixed at 1024; M swept from 1024 to 524288.
+Tables use the three M values the paper prints (1024, 131072, 524288).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..core.problem import (
+    PAPER_K_VALUES,
+    PAPER_M_SWEEP,
+    PAPER_M_TABLE,
+    PAPER_N,
+    ProblemSpec,
+)
+
+__all__ = [
+    "ExperimentGrid",
+    "PAPER_GRID",
+    "TABLE_GRID",
+    "SMALL_GRID",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentGrid:
+    """A K x M sweep at fixed N."""
+
+    k_values: Sequence[int]
+    m_values: Sequence[int]
+    n: int = PAPER_N
+    kernel: str = "gaussian"
+    h: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.k_values or not self.m_values:
+            raise ValueError("grid must contain at least one K and one M")
+        if any(v <= 0 for v in (*self.k_values, *self.m_values, self.n)):
+            raise ValueError("grid dimensions must be positive")
+
+    def specs(self) -> Iterator[ProblemSpec]:
+        """All problem specs of the grid, K-major (the paper's grouping)."""
+        for k in self.k_values:
+            for m in self.m_values:
+                yield ProblemSpec(M=m, N=self.n, K=k, h=self.h, kernel=self.kernel)
+
+    def __len__(self) -> int:
+        return len(self.k_values) * len(self.m_values)
+
+
+#: Full sweep behind the paper's figures.
+PAPER_GRID = ExperimentGrid(k_values=PAPER_K_VALUES, m_values=PAPER_M_SWEEP)
+
+#: The three-column grid behind Tables II and III.
+TABLE_GRID = ExperimentGrid(k_values=PAPER_K_VALUES, m_values=PAPER_M_TABLE)
+
+#: A reduced grid for quick runs and CI.
+SMALL_GRID = ExperimentGrid(k_values=(32, 256), m_values=(1024, 131072))

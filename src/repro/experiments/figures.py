@@ -1,0 +1,217 @@
+"""Series builders for every figure in the paper's evaluation.
+
+Each ``figN`` function runs the required grid through an
+:class:`~repro.experiments.runner.ExperimentRunner` and returns a
+:class:`FigureResult`: labelled x-values and named series, plus the paper's
+textual claim for that figure, ready for rendering or assertion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .configs import PAPER_GRID, ExperimentGrid
+from .paper_values import FIG_CLAIMS
+from .runner import ExperimentRunner
+
+__all__ = [
+    "FigureResult",
+    "fig1_energy_breakdown",
+    "fig2_l2_mpki",
+    "fig5_bank_conflicts",
+    "fig6_speedup",
+    "fig7_gemm_comparison",
+    "fig8a_l2_transactions",
+    "fig8b_dram_transactions",
+    "fig9_energy_comparison",
+]
+
+
+@dataclass
+class FigureResult:
+    """One reproduced figure: x labels, named series, and the paper claim."""
+
+    figure: str
+    title: str
+    x_labels: List[str]
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    paper_claim: str = ""
+
+    def series_of(self, name: str) -> List[float]:
+        if name not in self.series:
+            raise KeyError(f"{self.figure} has no series {name!r}; has {sorted(self.series)}")
+        return self.series[name]
+
+
+def _labels(grid: ExperimentGrid) -> List[str]:
+    return [f"K={s.K},M={s.M}" for s in grid.specs()]
+
+
+def fig1_energy_breakdown(
+    runner: ExperimentRunner, grid: ExperimentGrid = PAPER_GRID
+) -> FigureResult:
+    """Fig. 1: energy-share breakdown of the cuBLAS-Unfused pipeline."""
+    result = FigureResult(
+        "fig1",
+        "Energy breakdown of kernel summation (cuBLAS-Unfused), N=1024",
+        _labels(grid),
+        paper_claim=FIG_CLAIMS["fig1"],
+    )
+    comps = ("compute", "smem", "l2", "dram", "static")
+    for c in comps:
+        result.series[c] = []
+    for spec in grid.specs():
+        shares = runner.run("cublas-unfused", spec).energy.shares()
+        for c in comps:
+            result.series[c].append(shares[c])
+    return result
+
+
+def fig2_l2_mpki(
+    runner: ExperimentRunner, grid: ExperimentGrid = PAPER_GRID
+) -> FigureResult:
+    """Fig. 2: L2 misses per kilo-instruction of the cuBLAS pipeline."""
+    result = FigureResult(
+        "fig2",
+        "L2 MPKI of kernel summation (cuBLAS-Unfused), N=1024",
+        _labels(grid),
+        paper_claim=FIG_CLAIMS["fig2"],
+    )
+    result.series["l2_mpki"] = [
+        runner.run("cublas-unfused", spec).l2_mpki for spec in grid.specs()
+    ]
+    return result
+
+
+def fig5_bank_conflicts() -> FigureResult:
+    """Fig. 5 (as a measurement): shared-memory replays per k-panel stage.
+
+    Audits the optimized and the naive tile layouts with the real banking
+    rules — the optimized mapping must show zero replays on both the store
+    and the load side.
+    """
+    from ..core import mapping
+
+    layouts = ("optimized", "naive")
+    result = FigureResult(
+        "fig5",
+        "Shared-memory bank-conflict replays per k-panel (stores + A/B loads)",
+        list(layouts),
+        paper_claim="the Fig.-5 data placement eliminates both store and load bank conflicts",
+    )
+    result.series["store_replays"] = [
+        float(mapping.audit_store_conflicts(la)) for la in layouts
+    ]
+    result.series["load_replays_A"] = [
+        float(mapping.audit_load_conflicts(la, which="A")) for la in layouts
+    ]
+    result.series["load_replays_B"] = [
+        float(mapping.audit_load_conflicts(la, which="B")) for la in layouts
+    ]
+    return result
+
+
+def fig6_speedup(
+    runner: ExperimentRunner, grid: ExperimentGrid = PAPER_GRID
+) -> FigureResult:
+    """Fig. 6: normalized execution time and speedups of the three variants."""
+    result = FigureResult(
+        "fig6",
+        "Execution time (normalized to cuBLAS-Unfused) and Fused speedups",
+        _labels(grid),
+        paper_claim=FIG_CLAIMS["fig6"],
+    )
+    norm_fused, norm_cuda, spd_cublas, spd_cuda = [], [], [], []
+    for spec in grid.specs():
+        t_f = runner.run("fused", spec).seconds
+        t_cu = runner.run("cuda-unfused", spec).seconds
+        t_cb = runner.run("cublas-unfused", spec).seconds
+        norm_fused.append(t_f / t_cb)
+        norm_cuda.append(t_cu / t_cb)
+        spd_cublas.append(t_cb / t_f)
+        spd_cuda.append(t_cu / t_f)
+    result.series["time_fused_norm"] = norm_fused
+    result.series["time_cuda_unfused_norm"] = norm_cuda
+    result.series["speedup_vs_cublas_unfused"] = spd_cublas
+    result.series["speedup_vs_cuda_unfused"] = spd_cuda
+    return result
+
+
+def fig7_gemm_comparison(
+    runner: ExperimentRunner, grid: ExperimentGrid = PAPER_GRID
+) -> FigureResult:
+    """Fig. 7: standalone CUDA-C GEMM vs cuBLAS GEMM runtime."""
+    result = FigureResult(
+        "fig7",
+        "GEMM execution time (normalized to cuBLAS)",
+        _labels(grid),
+        paper_claim=FIG_CLAIMS["fig7"],
+    )
+    ratios = []
+    for spec in grid.specs():
+        ratios.append(runner.gemm_seconds("cudac", spec) / runner.gemm_seconds("cublas", spec))
+    result.series["cudac_over_cublas"] = ratios
+    return result
+
+
+def _transaction_ratio(
+    runner: ExperimentRunner, grid: ExperimentGrid, metric: str
+) -> Dict[str, List[float]]:
+    out: Dict[str, List[float]] = {"fused": [], "cuda-unfused": []}
+    for spec in grid.specs():
+        base = getattr(runner.run("cublas-unfused", spec), metric)
+        for impl in out:
+            out[impl].append(getattr(runner.run(impl, spec), metric) / base)
+    return out
+
+
+def fig8a_l2_transactions(
+    runner: ExperimentRunner, grid: ExperimentGrid = PAPER_GRID
+) -> FigureResult:
+    """Fig. 8a: L2 transactions normalized to cuBLAS-Unfused."""
+    result = FigureResult(
+        "fig8a",
+        "L2 transactions normalized to cuBLAS-Unfused",
+        _labels(grid),
+        paper_claim=FIG_CLAIMS["fig8a"],
+    )
+    result.series.update(_transaction_ratio(runner, grid, "l2_transactions"))
+    return result
+
+
+def fig8b_dram_transactions(
+    runner: ExperimentRunner, grid: ExperimentGrid = PAPER_GRID
+) -> FigureResult:
+    """Fig. 8b: DRAM transactions normalized to cuBLAS-Unfused."""
+    result = FigureResult(
+        "fig8b",
+        "DRAM transactions normalized to cuBLAS-Unfused",
+        _labels(grid),
+        paper_claim=FIG_CLAIMS["fig8b"],
+    )
+    result.series.update(_transaction_ratio(runner, grid, "dram_transactions"))
+    return result
+
+
+def fig9_energy_comparison(
+    runner: ExperimentRunner, grid: ExperimentGrid = PAPER_GRID
+) -> FigureResult:
+    """Fig. 9: absolute energy, broken down, for all three implementations."""
+    result = FigureResult(
+        "fig9",
+        "Energy (J) by component: Fused vs CUDA-Unfused vs cuBLAS-Unfused",
+        _labels(grid),
+        paper_claim=FIG_CLAIMS["fig9"],
+    )
+    for impl in ("fused", "cuda-unfused", "cublas-unfused"):
+        for comp in ("compute", "smem", "l2", "dram", "static"):
+            result.series[f"{impl}:{comp}"] = []
+        result.series[f"{impl}:total"] = []
+    for spec in grid.specs():
+        for impl in ("fused", "cuda-unfused", "cublas-unfused"):
+            e = runner.run(impl, spec).energy
+            for comp in ("compute", "smem", "l2", "dram", "static"):
+                result.series[f"{impl}:{comp}"].append(getattr(e, comp))
+            result.series[f"{impl}:total"].append(e.total)
+    return result

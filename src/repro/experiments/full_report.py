@@ -1,0 +1,183 @@
+"""One-shot reproduction report.
+
+:func:`full_reproduction_report` regenerates every table and figure, runs
+the trace-vs-model validation and the headline claim checks, and renders a
+single consolidated text/markdown report — the artifact a reviewer would
+ask for.  Exposed on the CLI as ``python -m repro reproduce``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..core.problem import ProblemSpec
+from ..gpu.device import GTX970
+from .configs import PAPER_GRID, TABLE_GRID, ExperimentGrid
+from .figures import (
+    fig1_energy_breakdown,
+    fig2_l2_mpki,
+    fig5_bank_conflicts,
+    fig6_speedup,
+    fig7_gemm_comparison,
+    fig8a_l2_transactions,
+    fig8b_dram_transactions,
+    fig9_energy_comparison,
+)
+from .report import render_figure, render_table
+from .runner import ExperimentRunner
+from .tables import table1_configuration, table2_flop_efficiency, table3_energy_savings
+from .validation import validate_kernel_traffic
+
+__all__ = ["ClaimCheck", "ReproductionReport", "full_reproduction_report"]
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """One verifiable claim from the paper, with the measured verdict."""
+
+    claim: str
+    measured: str
+    passed: bool
+
+
+@dataclass
+class ReproductionReport:
+    """The consolidated reproduction artifact."""
+
+    claims: List[ClaimCheck] = field(default_factory=list)
+    sections: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for c in self.claims if c.passed)
+
+    @property
+    def total(self) -> int:
+        return len(self.claims)
+
+    def render(self) -> str:
+        lines = [
+            "=" * 72,
+            "REPRODUCTION REPORT — Optimizing GPGPU Kernel Summation (2016)",
+            f"modelled device: {GTX970.name}",
+            "=" * 72,
+            "",
+            f"headline claims: {self.passed}/{self.total} reproduced",
+            "",
+        ]
+        for c in self.claims:
+            mark = "PASS" if c.passed else "MISS"
+            lines.append(f"  [{mark}] {c.claim}")
+            lines.append(f"         measured: {c.measured}")
+        lines.append("")
+        lines.extend(self.sections)
+        return "\n".join(lines)
+
+
+def _headline_claims(runner: ExperimentRunner) -> List[ClaimCheck]:
+    checks: List[ClaimCheck] = []
+    M = 131072
+
+    def spec(K):
+        return ProblemSpec(M=M, N=1024, K=K)
+
+    # Fig. 6 claims
+    s32 = runner.speedup(spec(32))
+    checks.append(
+        ClaimCheck("speedup up to 1.8x over cuBLAS-Unfused at low K",
+                   f"{s32:.2f}x at K=32, M={M}", 1.5 <= s32 <= 2.1)
+    )
+    s256 = runner.speedup(spec(256))
+    checks.append(
+        ClaimCheck("speedup drops below 1x for K >= 128 (GEMM quality dominates)",
+                   f"{s256:.2f}x at K=256", s256 < 1.0)
+    )
+    scu = runner.speedup(spec(32), vs="cuda-unfused")
+    checks.append(
+        ClaimCheck("fused beats CUDA-Unfused everywhere (projected-speedup argument)",
+                   f"{scu:.2f}x at K=32", scu > 1.0)
+    )
+    # Fig. 7
+    g = runner.gemm_seconds("cudac", spec(128)) / runner.gemm_seconds("cublas", spec(128))
+    checks.append(
+        ClaimCheck("CUDA-C GEMM is 1.5-2x slower than cuBLAS",
+                   f"{g:.2f}x at K=128", 1.4 <= g <= 2.2)
+    )
+    # Fig. 8b
+    dr = runner.run("fused", spec(32)).dram_transactions / runner.run(
+        "cublas-unfused", spec(32)
+    ).dram_transactions
+    checks.append(
+        ClaimCheck("fused DRAM transactions < 10% of cuBLAS-Unfused",
+                   f"{dr:.1%} at K=32", dr < 0.10)
+    )
+    # energy claims
+    f = runner.run("fused", spec(32)).energy
+    c = runner.run("cublas-unfused", spec(32)).energy
+    sav = f.savings_vs(c)
+    checks.append(
+        ClaimCheck("up to ~33% total energy saved at K=32 (Table III)",
+                   f"{sav:.1%}", 0.28 <= sav <= 0.40)
+    )
+    dsav = 1 - f.dram / c.dram
+    checks.append(
+        ClaimCheck("> 80% of DRAM access energy saved",
+                   f"{dsav:.1%} at K=32", dsav > 0.80)
+    )
+    share = runner.run("fused", spec(256)).energy.shares()["compute"]
+    checks.append(
+        ClaimCheck("> 80% of energy on floating-point computation at K=256",
+                   f"{share:.1%}", share > 0.80)
+    )
+    # Fig. 5 via the mapping audit
+    from ..core import mapping
+
+    conflicts = (
+        mapping.audit_store_conflicts("optimized")
+        + mapping.audit_load_conflicts("optimized", which="A")
+        + mapping.audit_load_conflicts("optimized", which="B")
+    )
+    checks.append(
+        ClaimCheck("the Fig.-5 shared-memory mapping is bank-conflict-free",
+                   f"{conflicts} replays across all warps/phases", conflicts == 0)
+    )
+    # trace validation
+    v = validate_kernel_traffic("fused", ProblemSpec(M=2048, N=1024, K=32))
+    ok = abs(v.read_ratio - 1.0) < 0.1
+    checks.append(
+        ClaimCheck("analytical fused DRAM traffic matches trace-driven L2 simulation",
+                   f"trace/model read ratio {v.read_ratio:.3f}", ok)
+    )
+    return checks
+
+
+def full_reproduction_report(
+    grid: ExperimentGrid = PAPER_GRID,
+    include_figures: bool = True,
+) -> ReproductionReport:
+    """Run the whole reproduction and return the consolidated report."""
+    runner = ExperimentRunner()
+    report = ReproductionReport()
+    report.claims = _headline_claims(runner)
+
+    report.sections.append(render_table(table1_configuration()))
+    report.sections.append("")
+    report.sections.append(render_table(table2_flop_efficiency(runner, TABLE_GRID)))
+    report.sections.append("")
+    report.sections.append(render_table(table3_energy_savings(runner, TABLE_GRID)))
+    if include_figures:
+        for builder in (
+            fig1_energy_breakdown,
+            fig2_l2_mpki,
+            fig6_speedup,
+            fig7_gemm_comparison,
+            fig8a_l2_transactions,
+            fig8b_dram_transactions,
+            fig9_energy_comparison,
+        ):
+            report.sections.append("")
+            report.sections.append(render_figure(builder(runner, grid), max_rows=12))
+        report.sections.append("")
+        report.sections.append(render_figure(fig5_bank_conflicts()))
+    return report

@@ -1,0 +1,87 @@
+"""Result serialization: figures and tables to CSV / JSON.
+
+The benchmark harness renders text reports; downstream plotting or
+regression tracking wants machine-readable output.  These helpers write
+:class:`~repro.experiments.figures.FigureResult` and
+:class:`~repro.experiments.tables.TableResult` to CSV, and round-trip
+figure results through JSON.
+"""
+
+from __future__ import annotations
+
+import csv
+import io as _io
+import json
+import pathlib
+
+from .figures import FigureResult
+from .tables import TableResult
+
+__all__ = [
+    "figure_to_csv",
+    "table_to_csv",
+    "figure_to_json",
+    "figure_from_json",
+]
+
+
+def figure_to_csv(result: FigureResult, path: str | pathlib.Path | None = None) -> str:
+    """CSV with one row per x-label and one column per series."""
+    buf = _io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    names = list(result.series)
+    writer.writerow(["config"] + names)
+    for i, label in enumerate(result.x_labels):
+        writer.writerow([label] + [repr(result.series[n][i]) for n in names])
+    text = buf.getvalue()
+    if path is not None:
+        pathlib.Path(path).write_text(text)
+    return text
+
+
+def table_to_csv(result: TableResult, path: str | pathlib.Path | None = None) -> str:
+    """CSV with the table's own columns."""
+    buf = _io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(result.columns)
+    for row in result.rows:
+        writer.writerow(row)
+    text = buf.getvalue()
+    if path is not None:
+        pathlib.Path(path).write_text(text)
+    return text
+
+
+def figure_to_json(result: FigureResult, path: str | pathlib.Path | None = None) -> str:
+    """JSON document capturing the whole figure result."""
+    doc = {
+        "figure": result.figure,
+        "title": result.title,
+        "paper_claim": result.paper_claim,
+        "x_labels": result.x_labels,
+        "series": result.series,
+    }
+    text = json.dumps(doc, indent=2, sort_keys=True)
+    if path is not None:
+        pathlib.Path(path).write_text(text)
+    return text
+
+
+def figure_from_json(text: str) -> FigureResult:
+    """Reconstruct a figure result saved by :func:`figure_to_json`."""
+    doc = json.loads(text)
+    for key in ("figure", "title", "x_labels", "series"):
+        if key not in doc:
+            raise ValueError(f"not a serialized FigureResult: missing {key!r}")
+    result = FigureResult(
+        figure=doc["figure"],
+        title=doc["title"],
+        x_labels=list(doc["x_labels"]),
+        paper_claim=doc.get("paper_claim", ""),
+    )
+    n = len(result.x_labels)
+    for name, values in doc["series"].items():
+        if len(values) != n:
+            raise ValueError(f"series {name!r} length {len(values)} != {n} labels")
+        result.series[name] = [float(v) for v in values]
+    return result

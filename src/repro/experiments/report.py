@@ -1,0 +1,91 @@
+"""Plain-text rendering of reproduced figures and tables.
+
+The benchmark harness prints through these helpers so `pytest benchmarks/
+-s` regenerates, in rows, what the paper shows in bars.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .figures import FigureResult
+from .tables import TableResult
+
+__all__ = ["render_figure", "render_table", "format_row", "render_bars"]
+
+
+def render_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bar chart (the textual stand-in for the paper's bars).
+
+    Bars are scaled to the maximum value; each row shows the label, the
+    bar, and the numeric value.
+    """
+    labels = list(labels)
+    vals = [float(v) for v in values]
+    if len(labels) != len(vals):
+        raise ValueError("labels and values must have equal length")
+    if not vals:
+        raise ValueError("nothing to plot")
+    if any(v < 0 for v in vals):
+        raise ValueError("bar values must be non-negative")
+    peak = max(vals) or 1.0
+    label_w = max(len(s) for s in labels)
+    lines = []
+    for lab, v in zip(labels, vals):
+        bar = "#" * max(1 if v > 0 else 0, round(v / peak * width))
+        lines.append(f"{lab.rjust(label_w)} | {bar.ljust(width)} {v:.3f}{unit}")
+    return "\n".join(lines)
+
+
+def format_row(cells: Iterable, widths: Sequence[int]) -> str:
+    """Fixed-width row formatting; floats get 3 significant decimals."""
+    out = []
+    for cell, w in zip(cells, widths):
+        if isinstance(cell, float):
+            text = f"{cell:.3f}"
+        else:
+            text = str(cell)
+        out.append(text.rjust(w))
+    return "  ".join(out)
+
+
+def render_figure(result: FigureResult, max_rows: int | None = None) -> str:
+    """Render a figure's series as an aligned text table."""
+    names = list(result.series)
+    header = ["config"] + names
+    widths = [max(18, len(header[0]))] + [max(12, len(n)) for n in names]
+    lines = [
+        f"--- {result.figure}: {result.title} ---",
+        f"paper: {result.paper_claim}",
+        format_row(header, widths),
+    ]
+    n = len(result.x_labels) if max_rows is None else min(max_rows, len(result.x_labels))
+    for i in range(n):
+        row = [result.x_labels[i]] + [result.series[s][i] for s in names]
+        lines.append(format_row(row, widths))
+    if n < len(result.x_labels):
+        lines.append(f"... ({len(result.x_labels) - n} more rows)")
+    return "\n".join(lines)
+
+
+def render_table(result: TableResult) -> str:
+    """Render a table result with its paper-vs-model columns."""
+    widths = [max(14, len(c)) for c in result.columns]
+    if result.rows:
+        for row in result.rows:
+            widths = [
+                max(w, len(f"{c:.3f}") if isinstance(c, float) else len(str(c)))
+                for w, c in zip(widths, row)
+            ]
+    lines = [
+        f"--- {result.table}: {result.title} ---",
+        format_row(result.columns, widths),
+    ]
+    for row in result.rows:
+        lines.append(format_row(row, widths))
+    return "\n".join(lines)

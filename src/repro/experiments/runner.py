@@ -1,0 +1,80 @@
+"""Experiment runner: one (implementation, problem) -> one metric record.
+
+Combines the performance model (:mod:`repro.perf`) and the energy model
+(:mod:`repro.energy`) into the flat :class:`Metrics` record every figure
+and table builder consumes.  Results are memoised per runner instance —
+the figures share most of their grid points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..core.problem import ProblemSpec
+from ..core.tiling import PAPER_TILING, TilingConfig
+from ..energy.model import EnergyBreakdown, EnergyModel
+from ..gpu.device import GTX970, DeviceSpec
+from ..perf.calibration import Calibration, DEFAULT_CALIBRATION
+from ..perf.pipeline import model_gemm, model_run
+
+__all__ = ["Metrics", "ExperimentRunner"]
+
+
+@dataclass(frozen=True)
+class Metrics:
+    """Everything the paper reports about one run."""
+
+    implementation: str
+    spec: ProblemSpec
+    seconds: float
+    flop_efficiency: float
+    l2_transactions: float
+    dram_transactions: float
+    l2_mpki: float
+    energy: EnergyBreakdown
+
+    @property
+    def total_energy(self) -> float:
+        return self.energy.total
+
+
+class ExperimentRunner:
+    """Runs and caches modelled experiments on one device."""
+
+    def __init__(
+        self,
+        device: DeviceSpec = GTX970,
+        tiling: TilingConfig = PAPER_TILING,
+        cal: Calibration = DEFAULT_CALIBRATION,
+    ) -> None:
+        self.device = device
+        self.tiling = tiling
+        self.cal = cal
+        self.energy_model = EnergyModel(device)
+        self._cache: Dict[Tuple[str, ProblemSpec], Metrics] = {}
+
+    def run(self, implementation: str, spec: ProblemSpec) -> Metrics:
+        """Model one implementation on one problem (cached)."""
+        key = (implementation, spec)
+        if key not in self._cache:
+            prof = model_run(implementation, spec, self.tiling, self.device, self.cal)
+            self._cache[key] = Metrics(
+                implementation=implementation,
+                spec=spec,
+                seconds=prof.total_seconds,
+                flop_efficiency=prof.flop_efficiency(),
+                l2_transactions=prof.l2_transactions,
+                dram_transactions=prof.dram_transactions,
+                l2_mpki=prof.l2_mpki(),
+                energy=self.energy_model.breakdown(prof),
+            )
+        return self._cache[key]
+
+    def gemm_seconds(self, flavor: str, spec: ProblemSpec) -> float:
+        """Standalone-GEMM runtime (Fig. 7)."""
+        return model_gemm(flavor, spec, self.tiling, self.device, self.cal).total_seconds
+
+    def speedup(self, spec: ProblemSpec, of: str = "fused", vs: str = "cublas-unfused") -> float:
+        """Runtime ratio vs/of (>1 means ``of`` wins)."""
+        return self.run(vs, spec).seconds / self.run(of, spec).seconds

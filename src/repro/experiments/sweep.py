@@ -1,0 +1,115 @@
+"""Sensitivity sweeps over device parameters.
+
+The paper evaluates one part (the GTX970).  These sweeps ask how its
+conclusions move with the hardware balance — the kind of what-if a
+performance model exists to answer:
+
+* :func:`bandwidth_sweep` — scale DRAM bandwidth: fusion's advantage comes
+  from removing memory traffic, so faster memory must *shrink* the fused
+  speedup (and vice versa);
+* :func:`sm_count_sweep` — scale compute: more SMs starve on the same
+  memory system, growing the fused advantage;
+* :func:`l2_size_sweep` — the fused kernel needs B resident in L2; a small
+  L2 erodes its traffic advantage once ``K*N*4`` stops fitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.problem import ProblemSpec
+from ..gpu.device import GTX970, DeviceSpec
+from .runner import ExperimentRunner
+
+__all__ = ["SweepPoint", "bandwidth_sweep", "sm_count_sweep", "l2_size_sweep", "n_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Fused speedup at one device variant."""
+
+    label: str
+    device: DeviceSpec
+    speedup: float
+    fused_seconds: float
+    baseline_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.speedup <= 0:
+            raise ValueError("speedup must be positive")
+
+
+def _point(label: str, device: DeviceSpec, spec: ProblemSpec) -> SweepPoint:
+    runner = ExperimentRunner(device=device)
+    fused = runner.run("fused", spec).seconds
+    base = runner.run("cublas-unfused", spec).seconds
+    return SweepPoint(label, device, base / fused, fused, base)
+
+
+def bandwidth_sweep(
+    spec: ProblemSpec,
+    scales: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+    base: DeviceSpec = GTX970,
+) -> List[SweepPoint]:
+    """Fused speedup vs DRAM bandwidth (scaling the memory clock)."""
+    out = []
+    for s in scales:
+        if s <= 0:
+            raise ValueError("bandwidth scale must be positive")
+        dev = base.with_overrides(name=f"{base.name}-bw{s:g}x", mem_clock_hz=base.mem_clock_hz * s)
+        out.append(_point(f"{s:g}x BW", dev, spec))
+    return out
+
+
+def sm_count_sweep(
+    spec: ProblemSpec,
+    counts: Sequence[int] = (7, 13, 26, 52),
+    base: DeviceSpec = GTX970,
+) -> List[SweepPoint]:
+    """Fused speedup vs SM count at fixed memory bandwidth."""
+    out = []
+    for n in counts:
+        if n <= 0:
+            raise ValueError("SM count must be positive")
+        dev = base.with_overrides(name=f"{base.name}-{n}sm", num_sms=n)
+        out.append(_point(f"{n} SMs", dev, spec))
+    return out
+
+
+def l2_size_sweep(
+    spec: ProblemSpec,
+    sizes_kib: Sequence[int] = (256, 512, 1792, 4096),
+    base: DeviceSpec = GTX970,
+) -> List[SweepPoint]:
+    """Fused speedup vs L2 capacity (whether B stays resident)."""
+    out = []
+    for kib in sizes_kib:
+        size = kib * 1024
+        if size % (base.l2_line_bytes * base.l2_ways):
+            raise ValueError(f"L2 size {kib} KiB does not fit the line/way geometry")
+        dev = base.with_overrides(name=f"{base.name}-l2-{kib}k", l2_size=size)
+        out.append(_point(f"{kib} KiB L2", dev, spec))
+    return out
+
+
+def n_sweep(
+    K: int = 32,
+    M: int = 131072,
+    n_values: Sequence[int] = (256, 1024, 4096, 16384),
+    base: DeviceSpec = GTX970,
+) -> List[SweepPoint]:
+    """Fused speedup vs the target-set size N (the axis the paper fixes).
+
+    Growing N at fixed M deepens the baseline's intermediate stream
+    (M x N) linearly while the fused kernel only re-reads A more often
+    (gx = N/128 grows) — until K*N*4 outgrows the L2 and the fused
+    kernel's B re-reads start missing too.
+    """
+    out = []
+    for n in n_values:
+        if n <= 0:
+            raise ValueError("N must be positive")
+        spec = ProblemSpec(M=M, N=n, K=K)
+        out.append(_point(f"N={n}", base, spec))
+    return out

@@ -1,0 +1,99 @@
+"""Reproductions of the paper's Tables I, II, and III."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..gpu.device import DeviceSpec, GTX970
+from .configs import TABLE_GRID, ExperimentGrid
+from .paper_values import TABLE2_FLOP_EFFICIENCY, TABLE3_ENERGY_SAVINGS
+from .runner import ExperimentRunner
+
+__all__ = ["TableResult", "table1_configuration", "table2_flop_efficiency", "table3_energy_savings"]
+
+
+@dataclass
+class TableResult:
+    """One reproduced table: rows of (label, paper value, measured value)."""
+
+    table: str
+    title: str
+    columns: Tuple[str, ...]
+    rows: List[Tuple] = field(default_factory=list)
+
+    def as_dict(self) -> Dict:
+        return {"table": self.table, "title": self.title, "rows": list(self.rows)}
+
+
+def table1_configuration(device: DeviceSpec = GTX970) -> TableResult:
+    """Table I: the modelled device configuration."""
+    result = TableResult(
+        "table1",
+        f"Configuration ({device.name})",
+        ("parameter", "paper", "model"),
+    )
+    paper = {
+        "Number of Multiprocessors": 13,
+        "Maximum number of threads per block": 1024,
+        "Warp size": 32,
+        "Maximum number of resident threads per multiprocessor": 2048,
+        "Number of 32-bit registers per multiprocessor": 64 * 1024,
+        "Maximum number of 32-bit registers per thread": 255,
+        "Maximum amount of shared memory per multiprocessor": 96 * 1024,
+        "Shared Memory Bank Size": 4,
+        "Number of shared memory banks": 32,
+        "Number of warp schedulers": 4,
+        "L2 size": int(1.75 * 1024 * 1024),
+    }
+    model = {
+        "Number of Multiprocessors": device.num_sms,
+        "Maximum number of threads per block": device.max_threads_per_block,
+        "Warp size": device.warp_size,
+        "Maximum number of resident threads per multiprocessor": device.max_threads_per_sm,
+        "Number of 32-bit registers per multiprocessor": device.registers_per_sm,
+        "Maximum number of 32-bit registers per thread": device.max_registers_per_thread,
+        "Maximum amount of shared memory per multiprocessor": device.shared_mem_per_sm,
+        "Shared Memory Bank Size": device.shared_mem_bank_size,
+        "Number of shared memory banks": device.num_shared_mem_banks,
+        "Number of warp schedulers": device.num_warp_schedulers,
+        "L2 size": device.l2_size,
+    }
+    for key, pv in paper.items():
+        result.rows.append((key, pv, model[key]))
+    return result
+
+
+def table2_flop_efficiency(
+    runner: ExperimentRunner, grid: ExperimentGrid = TABLE_GRID
+) -> TableResult:
+    """Table II: FLOP efficiency of cuBLAS-Unfused and Fused (%)."""
+    result = TableResult(
+        "table2",
+        "FLOP efficiency (%), paper vs model",
+        ("K", "M", "paper cuBLAS", "model cuBLAS", "paper Fused", "model Fused"),
+    )
+    for spec in grid.specs():
+        paper = TABLE2_FLOP_EFFICIENCY.get((spec.K, spec.M))
+        m_cublas = 100.0 * runner.run("cublas-unfused", spec).flop_efficiency
+        m_fused = 100.0 * runner.run("fused", spec).flop_efficiency
+        p_cublas, p_fused = paper if paper else (float("nan"), float("nan"))
+        result.rows.append((spec.K, spec.M, p_cublas, m_cublas, p_fused, m_fused))
+    return result
+
+
+def table3_energy_savings(
+    runner: ExperimentRunner, grid: ExperimentGrid = TABLE_GRID
+) -> TableResult:
+    """Table III: total-energy savings of Fused vs cuBLAS-Unfused (%)."""
+    result = TableResult(
+        "table3",
+        "Energy savings of Fused vs cuBLAS-Unfused (%), paper vs model",
+        ("K", "M", "paper", "model"),
+    )
+    for spec in grid.specs():
+        paper = TABLE3_ENERGY_SAVINGS.get((spec.K, spec.M), float("nan"))
+        fused = runner.run("fused", spec).energy
+        cublas = runner.run("cublas-unfused", spec).energy
+        result.rows.append((spec.K, spec.M, paper, 100.0 * fused.savings_vs(cublas)))
+    return result

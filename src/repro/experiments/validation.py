@@ -1,0 +1,118 @@
+"""Cross-validation of the analytical traffic model against trace-driven
+cache simulation.
+
+Runs the exact address streams of the GEMM / fused / eval+sum kernels
+through the set-associative L2 simulator and compares the resulting DRAM
+traffic with what :mod:`repro.perf.counts` predicted.  This is tractable at
+small-to-medium problem sizes (hundreds of thousands of sector accesses)
+and is exercised both by tests and by the validation benchmark.
+
+Interpretation of the comparison:
+
+* **fused / evalsum** — the trace and the model must agree tightly (within
+  a few percent): no schedule sensitivity exists for these kernels.
+* **gemm (unfused)** — the round-robin trace is the *maximally concurrent*
+  schedule: every same-row CTA issues its subA read in the same round, so
+  input re-reads coalesce and only compulsory traffic misses.  On hardware
+  CTAs drift apart (unequal memory stalls, partial waves), pushing re-read
+  reuse distances past the thrashed L2; the analytical model books that
+  worst case.  The simulated reads therefore *lower-bound* and the
+  analytical reads *upper-bound* the real kernel, with writes agreeing
+  exactly — which is exactly what :mod:`tests.perf.test_trace_validation`
+  asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.problem import ProblemSpec
+from ..core.tiling import PAPER_TILING, TilingConfig
+from ..gpu.device import GTX970, DeviceSpec
+from ..gpu.l2cache import L2Cache
+from ..perf.calibration import Calibration, DEFAULT_CALIBRATION
+from ..perf.counts import evalsum_launch, fused_launch, gemm_launch
+from ..perf.trace import evalsum_trace, fused_trace, gemm_trace, simulate_trace
+
+__all__ = ["TrafficValidation", "validate_kernel_traffic"]
+
+
+@dataclass(frozen=True)
+class TrafficValidation:
+    """Analytical vs simulated DRAM traffic for one kernel."""
+
+    kernel: str
+    analytical_read_bytes: float
+    simulated_read_bytes: float
+    analytical_write_bytes: float
+    simulated_write_bytes: float
+
+    @property
+    def read_ratio(self) -> float:
+        """simulated / analytical (1.0 = perfect agreement)."""
+        if self.analytical_read_bytes <= 0:
+            raise ValueError("analytical read traffic is zero")
+        return self.simulated_read_bytes / self.analytical_read_bytes
+
+    @property
+    def write_ratio(self) -> float:
+        if self.analytical_write_bytes <= 0:
+            raise ValueError("analytical write traffic is zero")
+        return self.simulated_write_bytes / self.analytical_write_bytes
+
+
+def _fresh_cache(device: DeviceSpec) -> L2Cache:
+    return L2Cache(device.l2_size, device.l2_line_bytes, device.l2_ways)
+
+
+def validate_kernel_traffic(
+    kernel: str,
+    spec: ProblemSpec,
+    tiling: TilingConfig = PAPER_TILING,
+    device: DeviceSpec = GTX970,
+    cal: Calibration = DEFAULT_CALIBRATION,
+    concurrent: int = 26,
+) -> TrafficValidation:
+    """Simulate one kernel's trace and compare with the analytical counts.
+
+    ``kernel`` is one of ``"gemm"``, ``"fused"``, ``"evalsum"``.  DRAM
+    reads are line fills (misses x line size); DRAM writes are writebacks
+    after a final flush, matching a kernel boundary.
+    """
+    if kernel == "gemm":
+        launch = gemm_launch(spec, tiling, device, cal, flavor="cublas")
+        trace = gemm_trace(spec, tiling, concurrent)
+    elif kernel == "fused":
+        launch = fused_launch(spec, tiling, device, cal)
+        trace = fused_trace(spec, tiling, concurrent)
+    elif kernel == "evalsum":
+        launch = evalsum_launch(spec, device, cal)
+        trace = evalsum_trace(spec)
+    else:
+        raise KeyError(f"unknown kernel {kernel!r}; use gemm/fused/evalsum")
+
+    cache = _fresh_cache(device)
+    simulate_trace(trace, cache)
+    cache.flush()
+    line = device.l2_line_bytes
+    # Fills come from *read* misses only: the streaming stores are
+    # full-line, and GPUs do not fetch on full-line write allocation.
+    sim_read = cache.stats.read_misses * line
+    sim_write = cache.stats.dram_writes * line
+
+    ana = launch.counters.dram
+    # the analytical model books vector reads (norms, W) the trace does not
+    # generate; remove them for a like-for-like comparison
+    e = spec.bytes_per_element
+    vec_bytes = 0.0
+    if kernel == "fused":
+        vec_bytes = e * (2 * spec.M + 2 * spec.N)
+    elif kernel == "evalsum":
+        vec_bytes = e * (spec.M + 2 * spec.N)
+    return TrafficValidation(
+        kernel=kernel,
+        analytical_read_bytes=ana.read_bytes - vec_bytes,
+        simulated_read_bytes=float(sim_read),
+        analytical_write_bytes=ana.write_bytes,
+        simulated_write_bytes=float(sim_write),
+    )

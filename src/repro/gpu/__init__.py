@@ -1,0 +1,77 @@
+"""Maxwell-class GPU substrate.
+
+Everything the performance and energy layers know about the hardware lives
+here: the device description (:mod:`~repro.gpu.device`), the occupancy
+calculator (:mod:`~repro.gpu.occupancy`), banked shared memory
+(:mod:`~repro.gpu.sharedmem`), the coalescer (:mod:`~repro.gpu.coalescing`),
+a trace-driven L2 simulator (:mod:`~repro.gpu.l2cache`), the DRAM channel
+model (:mod:`~repro.gpu.dram`), a miniature SIMT interpreter used to verify
+warp-level claims (:mod:`~repro.gpu.simt`), and launch/profile containers
+(:mod:`~repro.gpu.kernel`, :mod:`~repro.gpu.profiler`).
+"""
+
+from .atomics import AtomicCostModel, atomic_reduction_cycles
+from .coalescing import coalesce, transaction_count
+from .device import DEVICE_PRESETS, FERMI_GTX580, GTX970, GTX980, DeviceSpec, get_device
+from .dram import DramModel, DramTraffic
+from .isa import OPCODES, InstructionMix, Op, Unit
+from .kernel import KernelCounters, KernelLaunch
+from .l1cache import ReadOnlyCache, filtered_l2_transactions
+from .l2cache import CacheStats, L2Cache
+from .occupancy import OccupancyResult, max_blocks_for_kernel, occupancy
+from .profiler import KernelProfile, ProfiledRun, format_nvprof
+from .scheduler import SchedulePlan, plan_schedule
+from .sharedmem import AccessStats, SharedMemory, warp_conflicts, warp_transactions
+from .simt import Block, BlockRunStats, DeadlockError, LockstepError, ThreadCtx
+from .assembler import AssemblyError, assemble, parse_listing
+from .warpsim import SmSimResult, WarpInstr, WarpProgram, gemm_inner_loop, simulate_sm
+
+__all__ = [
+    "DeviceSpec",
+    "GTX970",
+    "GTX980",
+    "FERMI_GTX580",
+    "DEVICE_PRESETS",
+    "get_device",
+    "InstructionMix",
+    "Op",
+    "OPCODES",
+    "Unit",
+    "OccupancyResult",
+    "occupancy",
+    "max_blocks_for_kernel",
+    "SharedMemory",
+    "AccessStats",
+    "warp_transactions",
+    "warp_conflicts",
+    "coalesce",
+    "transaction_count",
+    "AtomicCostModel",
+    "atomic_reduction_cycles",
+    "L2Cache",
+    "CacheStats",
+    "ReadOnlyCache",
+    "filtered_l2_transactions",
+    "DramModel",
+    "DramTraffic",
+    "KernelCounters",
+    "KernelLaunch",
+    "KernelProfile",
+    "ProfiledRun",
+    "format_nvprof",
+    "SchedulePlan",
+    "plan_schedule",
+    "Block",
+    "BlockRunStats",
+    "ThreadCtx",
+    "LockstepError",
+    "DeadlockError",
+    "WarpInstr",
+    "WarpProgram",
+    "SmSimResult",
+    "simulate_sm",
+    "gemm_inner_loop",
+    "assemble",
+    "parse_listing",
+    "AssemblyError",
+]

@@ -1,0 +1,155 @@
+"""A miniature SASS-like assembler for warp programs.
+
+The paper's performance ceiling discussion revolves around instruction
+scheduling that CUDA-C cannot express — maxas exists precisely because
+"NVIDIA do not release official assembler".  This module provides the
+analysis half of such a tool: it parses a SASS-flavoured listing into a
+:class:`~repro.gpu.warpsim.WarpProgram`, deriving the dependency edges
+from register dataflow instead of asking the author to annotate them, so
+scheduling variants can be written as listings and measured on the warp
+simulator.
+
+Syntax (one instruction per line, ``#`` comments, case-insensitive):
+
+    FFMA R4, R0, R1, R4      # dst, srcs...
+    LDS.64 R0, [R20]         # loads write dst pairs (R0, R1 for .64)
+    LDS.128 R8, [R21]        # ...quads for .128
+    STS [R22], R4            # stores read their operands
+    LDG.128 R12, [R30]
+    XMAD R20, R20, R21, R20
+    BAR.SYNC
+    MUFU.EX2 R5, R4
+
+Registers are ``R<n>``; address operands ``[R<n>]`` read the register.
+The loop semantics match :class:`WarpProgram`: the listing is a loop body,
+and a read of a register whose last writer appears *later* in the body
+depends on the previous iteration.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from .warpsim import WarpInstr, WarpProgram
+
+__all__ = ["AssemblyError", "parse_listing", "assemble"]
+
+
+class AssemblyError(ValueError):
+    """A listing line could not be parsed."""
+
+
+#: opcode root -> (execution unit, destination register count)
+_OPCODES: Dict[str, Tuple[str, int]] = {
+    "FFMA": ("fp32", 1),
+    "FADD": ("fp32", 1),
+    "FMUL": ("fp32", 1),
+    "MUFU": ("sfu", 1),
+    "XMAD": ("int", 1),
+    "IADD": ("int", 1),
+    "MOV": ("int", 1),
+    "LDS": ("smem", 1),
+    "STS": ("smem", 0),
+    "LDG": ("lsu", 1),
+    "STG": ("lsu", 0),
+    "RED": ("lsu", 0),
+    "BAR": ("control", 0),
+    "BRA": ("control", 0),
+    "SETP": ("control", 0),
+}
+
+_REG = re.compile(r"^R(\d+)$", re.IGNORECASE)
+_ADDR = re.compile(r"^\[R(\d+)(?:\s*\+\s*[-\w]+)?\]$", re.IGNORECASE)
+
+
+def _width_of(opcode: str) -> int:
+    """Vector width in registers from a ``.64`` / ``.128`` suffix."""
+    if ".128" in opcode:
+        return 4
+    if ".64" in opcode:
+        return 2
+    return 1
+
+
+def parse_listing(text: str) -> List[Tuple[str, List[int], List[int]]]:
+    """Parse a listing into ``(unit, writes, reads)`` triples per line.
+
+    ``writes``/``reads`` are register numbers; vector memory ops expand to
+    their full register ranges.  Raises :class:`AssemblyError` with the
+    offending line number on any syntax problem.
+    """
+    out: List[Tuple[str, List[int], List[int]]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        # normalize whitespace inside bracketed address operands so they
+        # survive tokenization: "[R30 + 0x40]" -> "[R30+0x40]"
+        line = re.sub(r"\[([^\]]*)\]", lambda m: "[" + m.group(1).replace(" ", "") + "]", line)
+        parts = line.replace(",", " ").split()
+        opcode = parts[0].upper()
+        root = opcode.split(".")[0]
+        if root not in _OPCODES:
+            raise AssemblyError(f"line {lineno}: unknown opcode {opcode!r}")
+        unit, n_dst = _OPCODES[root]
+        width = _width_of(opcode)
+
+        regs: List[int] = []
+        reads: List[int] = []
+        writes: List[int] = []
+        operands = parts[1:]
+        for i, op in enumerate(operands):
+            m = _REG.match(op)
+            a = _ADDR.match(op)
+            if m:
+                reg = int(m.group(1))
+            elif a:
+                reg = int(a.group(1))
+                reads.append(reg)  # address registers are always read
+                continue
+            else:
+                raise AssemblyError(f"line {lineno}: bad operand {op!r}")
+            regs.append(reg)
+        if n_dst:
+            if not regs:
+                raise AssemblyError(f"line {lineno}: {opcode} needs a destination")
+            base = regs[0]
+            writes.extend(range(base, base + width))
+            reads.extend(regs[1:])
+        else:
+            reads.extend(regs)
+        out.append((unit, writes, reads))
+    if not out:
+        raise AssemblyError("empty listing")
+    return out
+
+
+def assemble(text: str, iterations: int = 16) -> WarpProgram:
+    """Assemble a listing into a :class:`WarpProgram`.
+
+    Dependency edges come from register dataflow: each read depends on the
+    body slot that last writes that register — the previous slot in
+    program order if one exists, otherwise the last writer anywhere in the
+    body (i.e. the previous loop iteration, the simulator's convention).
+    """
+    parsed = parse_listing(text)
+    last_writer: Dict[int, int] = {}
+    any_writer: Dict[int, int] = {}
+    for idx, (_, writes, _) in enumerate(parsed):
+        for r in writes:
+            any_writer[r] = idx  # last write in the whole body
+
+    instrs: List[WarpInstr] = []
+    for idx, (unit, writes, reads) in enumerate(parsed):
+        deps = set()
+        for r in reads:
+            if r in last_writer:
+                deps.add(last_writer[r])
+            elif r in any_writer:
+                deps.add(any_writer[r])  # produced by the previous iteration
+        deps.discard(idx)
+        instrs.append(WarpInstr(unit, tuple(sorted(deps))))
+        for r in writes:
+            last_writer[r] = idx
+    return WarpProgram(tuple(instrs), iterations=iterations)

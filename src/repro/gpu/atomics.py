@@ -1,0 +1,74 @@
+"""Atomic-reduction contention model.
+
+The fused kernel's inter-CTA reduction relies on ``atomicAdd``: "a thread
+block immediately retires after it updates the final result ... and only
+one thread block is allowed to update the final result at any time"
+(section I).  Two effects bound the cost:
+
+* **throughput**: the L2 ROP units process a fixed number of read-modify-
+  write word updates per cycle device-wide;
+* **serialization**: updates *to the same address* are dependent — each
+  waits an L2 round trip for the previous one — so the hottest address
+  forms a critical path.
+
+:func:`atomic_reduction_cycles` returns the binding one of the two for a
+given update histogram; the tests show why the paper's scheme (each CTA
+updating a *different* 128-row slice, same-``by`` CTAs contending only
+``gx``-deep) stays cheap while a naive single-accumulator design would
+serialize catastrophically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AtomicCostModel", "atomic_reduction_cycles"]
+
+#: L2 read-modify-write round trip seen by dependent atomics (cycles)
+L2_ATOMIC_RTT = 190.0
+#: word updates the L2 can retire per cycle, device-wide
+ATOMIC_THROUGHPUT = 64.0
+
+
+@dataclass(frozen=True)
+class AtomicCostModel:
+    """Cycle cost of one atomic reduction phase."""
+
+    total_updates: float
+    max_updates_per_address: float
+    throughput_cycles: float
+    serialization_cycles: float
+
+    @property
+    def cycles(self) -> float:
+        """The binding constraint."""
+        return max(self.throughput_cycles, self.serialization_cycles)
+
+    @property
+    def serialization_bound(self) -> bool:
+        return self.serialization_cycles > self.throughput_cycles
+
+
+def atomic_reduction_cycles(
+    total_updates: float,
+    max_updates_per_address: float,
+    rtt_cycles: float = L2_ATOMIC_RTT,
+    throughput: float = ATOMIC_THROUGHPUT,
+) -> AtomicCostModel:
+    """Cost of ``total_updates`` atomic word-adds with the given hot spot.
+
+    ``max_updates_per_address`` is the depth of the most-contended address
+    (``gx`` for the paper's per-row scheme: one update per CTA column).
+    """
+    if total_updates < 0 or max_updates_per_address < 0:
+        raise ValueError("update counts cannot be negative")
+    if max_updates_per_address > total_updates:
+        raise ValueError("the hottest address cannot exceed the total")
+    if rtt_cycles <= 0 or throughput <= 0:
+        raise ValueError("rtt and throughput must be positive")
+    return AtomicCostModel(
+        total_updates=total_updates,
+        max_updates_per_address=max_updates_per_address,
+        throughput_cycles=total_updates / throughput,
+        serialization_cycles=max_updates_per_address * rtt_cycles,
+    )

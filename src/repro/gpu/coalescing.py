@@ -1,0 +1,78 @@
+"""Global-memory coalescing model.
+
+A warp's 32 lane addresses are merged into the minimal set of aligned
+transactions before hitting the L2.  On Maxwell the L2 services 32-byte
+sectors; a perfectly coalesced warp-wide float32 access therefore costs
+four 32-byte transactions (128 contiguous bytes), while a strided access
+can cost up to 32.
+
+The coalescer is a pure function from byte addresses to transaction sector
+addresses, so the L2 simulator can be trace-driven from the same address
+streams the functional kernels actually touch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["coalesce", "transaction_count", "contiguous_bytes_to_sectors"]
+
+
+def coalesce(
+    byte_addresses: Sequence[int] | np.ndarray,
+    access_size: int = 4,
+    sector_bytes: int = 32,
+    active_mask: Optional[Sequence[bool]] = None,
+) -> np.ndarray:
+    """Unique aligned sector addresses touched by one warp access.
+
+    ``byte_addresses`` holds the base byte address per lane; each lane reads
+    ``access_size`` bytes.  Returns the sorted array of sector base
+    addresses (multiples of ``sector_bytes``).
+    """
+    addrs = np.asarray(byte_addresses, dtype=np.int64)
+    if addrs.ndim != 1:
+        raise ValueError("byte_addresses must be one-dimensional")
+    if access_size <= 0 or sector_bytes <= 0:
+        raise ValueError("access_size and sector_bytes must be positive")
+    if active_mask is not None:
+        mask = np.asarray(active_mask, dtype=bool)
+        addrs = addrs[mask]
+    if addrs.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if np.any(addrs < 0):
+        raise ValueError("negative global byte address")
+
+    first = addrs // sector_bytes
+    last = (addrs + access_size - 1) // sector_bytes
+    sectors = set()
+    span = int((last - first).max()) + 1
+    for k in range(span):
+        s = first + k
+        sectors.update(s[s <= last].tolist())
+    return np.array(sorted(sectors), dtype=np.int64) * sector_bytes
+
+
+def transaction_count(
+    byte_addresses: Sequence[int] | np.ndarray,
+    access_size: int = 4,
+    sector_bytes: int = 32,
+    active_mask: Optional[Sequence[bool]] = None,
+) -> int:
+    """Number of sector transactions for one warp-wide access."""
+    return int(
+        coalesce(byte_addresses, access_size, sector_bytes, active_mask).size
+    )
+
+
+def contiguous_bytes_to_sectors(num_bytes: float, sector_bytes: int = 32) -> float:
+    """Transactions needed to stream ``num_bytes`` contiguously.
+
+    Used by the analytical traffic model, where streams are contiguous by
+    construction; fractional inputs (expected values) are allowed.
+    """
+    if num_bytes < 0:
+        raise ValueError("byte count cannot be negative")
+    return num_bytes / sector_bytes

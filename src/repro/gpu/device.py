@@ -1,0 +1,222 @@
+"""GPU device specifications.
+
+The paper evaluates on an NVIDIA GTX970 (Maxwell, compute capability 5.2);
+its Table I lists the architectural limits that drive the occupancy
+calculation and the performance model.  :class:`DeviceSpec` captures those
+limits plus the derived peak throughputs every other module consumes.
+
+Specs are frozen dataclasses so a device can be shared freely between the
+occupancy calculator, the timing model, and the energy model without any
+risk of one of them mutating the configuration mid-experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "DeviceSpec",
+    "GTX970",
+    "GTX980",
+    "FERMI_GTX580",
+    "DEVICE_PRESETS",
+    "get_device",
+]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Architectural description of a CUDA-class GPU.
+
+    The fields in the first block mirror the paper's Table I; the second
+    block adds the clock/width/bandwidth figures needed to turn instruction
+    and transaction counts into time and energy.  All sizes are in bytes
+    unless the name says otherwise.
+    """
+
+    name: str
+    # --- Table I fields -------------------------------------------------
+    num_sms: int
+    max_threads_per_block: int
+    warp_size: int
+    max_threads_per_sm: int
+    registers_per_sm: int  # number of 32-bit registers
+    max_registers_per_thread: int
+    shared_mem_per_sm: int  # bytes
+    shared_mem_bank_size: int  # bytes per bank
+    num_shared_mem_banks: int
+    num_warp_schedulers: int
+    l2_size: int  # bytes
+    # --- performance-model fields ---------------------------------------
+    core_clock_hz: float  # SM clock
+    mem_clock_hz: float  # effective memory data rate clock
+    cuda_cores_per_sm: int
+    dram_bus_bits: int  # memory interface width
+    dram_transaction_bytes: int  # L2<->DRAM granularity (32B sectors on Maxwell)
+    l2_transaction_bytes: int  # SM<->L2 granularity
+    l2_line_bytes: int  # cache line for the L2 simulator
+    l2_ways: int
+    max_blocks_per_sm: int
+    shared_mem_per_block_limit: int
+    register_allocation_granularity: int  # registers rounded up per warp
+    shared_mem_allocation_granularity: int  # bytes rounded up per block
+    sfu_per_sm: int  # special-function units (MUFU: exp/rcp/sqrt)
+    kernel_launch_overhead_s: float  # host-side per-launch overhead
+    #: FP32-to-FP64 throughput ratio (32 on consumer Maxwell: 4 DP units/SM)
+    fp64_throughput_ratio: int = 32
+
+    # --- derived quantities ----------------------------------------------
+    @property
+    def max_warps_per_sm(self) -> int:
+        """Warp-residency limit per SM (2048 threads / 32 = 64 on Maxwell)."""
+        return self.max_threads_per_sm // self.warp_size
+
+    @property
+    def peak_flops_sp(self) -> float:
+        """Peak single-precision FLOP/s (one FMA = 2 flops per core per cycle)."""
+        return 2.0 * self.cuda_cores_per_sm * self.num_sms * self.core_clock_hz
+
+    @property
+    def peak_flops_dp(self) -> float:
+        """Peak double-precision FLOP/s (consumer Maxwell: 1/32 of FP32)."""
+        return self.peak_flops_sp / self.fp64_throughput_ratio
+
+    @property
+    def peak_dram_bandwidth(self) -> float:
+        """Peak DRAM bandwidth in bytes/s (bus width x effective data rate)."""
+        return self.dram_bus_bits / 8.0 * self.mem_clock_hz
+
+    @property
+    def peak_l2_bandwidth(self) -> float:
+        """Approximate aggregate L2 bandwidth in bytes/s.
+
+        Maxwell's L2 sustains roughly 2x the DRAM bandwidth to the SMs; this
+        ratio is what gates kernels whose working set fits in L2 but not in
+        shared memory.
+        """
+        return 2.0 * self.peak_dram_bandwidth
+
+    @property
+    def smem_bandwidth_per_sm(self) -> float:
+        """Shared-memory bandwidth of one SM in bytes/s (all banks, no conflicts)."""
+        return self.num_shared_mem_banks * self.shared_mem_bank_size * self.core_clock_hz
+
+    @property
+    def issue_slots_per_sm_per_cycle(self) -> int:
+        """Instruction issue slots per SM per cycle (one per warp scheduler)."""
+        return self.num_warp_schedulers
+
+    @property
+    def fma_throughput_per_sm_per_cycle(self) -> float:
+        """FFMA instructions retired per SM per cycle (warp-level)."""
+        return self.cuda_cores_per_sm / self.warp_size
+
+    @property
+    def sfu_throughput_per_sm_per_cycle(self) -> float:
+        """MUFU (special-function) instructions per SM per cycle (warp-level)."""
+        return self.sfu_per_sm / self.warp_size
+
+    @property
+    def l2_num_sets(self) -> int:
+        return self.l2_size // (self.l2_line_bytes * self.l2_ways)
+
+    def with_overrides(self, **kwargs) -> "DeviceSpec":
+        """Return a copy with selected fields replaced (for what-if studies)."""
+        return replace(self, **kwargs)
+
+    def validate(self) -> None:
+        """Sanity-check internal consistency; raises ``ValueError`` on nonsense."""
+        if self.warp_size <= 0 or self.num_sms <= 0:
+            raise ValueError("warp_size and num_sms must be positive")
+        if self.max_threads_per_sm % self.warp_size:
+            raise ValueError("max_threads_per_sm must be a multiple of warp_size")
+        if self.l2_size % (self.l2_line_bytes * self.l2_ways):
+            raise ValueError("L2 size must be divisible by line size x ways")
+        if self.dram_transaction_bytes > self.l2_line_bytes:
+            raise ValueError("DRAM transaction cannot exceed the L2 line size")
+
+
+#: The paper's evaluation platform (Table I + GTX970 datasheet values).
+#: The GTX970 has 13 SMs with 128 CUDA cores each, 1.75 MB of L2, a 256-bit
+#: GDDR5 interface at 7 GHz effective, and a ~1.18 GHz boost clock.
+GTX970 = DeviceSpec(
+    name="GTX970",
+    num_sms=13,
+    max_threads_per_block=1024,
+    warp_size=32,
+    max_threads_per_sm=2048,
+    registers_per_sm=64 * 1024,
+    max_registers_per_thread=255,
+    shared_mem_per_sm=96 * 1024,
+    shared_mem_bank_size=4,
+    num_shared_mem_banks=32,
+    num_warp_schedulers=4,
+    l2_size=1792 * 1024,  # 1.75 MB
+    core_clock_hz=1.178e9,
+    mem_clock_hz=7.0e9,
+    cuda_cores_per_sm=128,
+    dram_bus_bits=256,
+    dram_transaction_bytes=32,
+    l2_transaction_bytes=32,
+    l2_line_bytes=128,
+    l2_ways=16,
+    max_blocks_per_sm=32,
+    shared_mem_per_block_limit=48 * 1024,
+    register_allocation_granularity=256,
+    shared_mem_allocation_granularity=256,
+    sfu_per_sm=32,
+    kernel_launch_overhead_s=5.0e-6,
+)
+
+#: A fuller Maxwell part, for cross-device what-if studies.
+GTX980 = GTX970.with_overrides(
+    name="GTX980",
+    num_sms=16,
+    l2_size=2048 * 1024,
+    core_clock_hz=1.216e9,
+)
+
+#: A Fermi-like preset (the architecture the paper contrasts in section II.C:
+#: shared memory carved out of L1, narrower SMEM, fewer schedulers).
+FERMI_GTX580 = DeviceSpec(
+    name="GTX580",
+    num_sms=16,
+    max_threads_per_block=1024,
+    warp_size=32,
+    max_threads_per_sm=1536,
+    registers_per_sm=32 * 1024,
+    max_registers_per_thread=63,
+    shared_mem_per_sm=48 * 1024,
+    shared_mem_bank_size=4,
+    num_shared_mem_banks=32,
+    num_warp_schedulers=2,
+    l2_size=768 * 1024,
+    core_clock_hz=1.544e9,
+    mem_clock_hz=4.008e9,
+    cuda_cores_per_sm=32,
+    dram_bus_bits=384,
+    dram_transaction_bytes=32,
+    l2_transaction_bytes=32,
+    l2_line_bytes=128,
+    l2_ways=16,
+    max_blocks_per_sm=8,
+    shared_mem_per_block_limit=48 * 1024,
+    register_allocation_granularity=64,
+    shared_mem_allocation_granularity=128,
+    sfu_per_sm=4,
+    kernel_launch_overhead_s=5.0e-6,
+)
+
+DEVICE_PRESETS = {d.name: d for d in (GTX970, GTX980, FERMI_GTX580)}
+
+
+def get_device(name: str = "GTX970") -> DeviceSpec:
+    """Look up a device preset by name (case-insensitive)."""
+    key = name.upper()
+    if key not in DEVICE_PRESETS:
+        raise KeyError(f"unknown device {name!r}; available: {sorted(DEVICE_PRESETS)}")
+    return DEVICE_PRESETS[key]
+
+
+for _d in DEVICE_PRESETS.values():
+    _d.validate()

@@ -1,0 +1,73 @@
+"""GDDR5 DRAM channel model.
+
+Converts transaction counts into time and exposes the efficiency knobs the
+timing model needs: peak bandwidth comes from :class:`~repro.gpu.device.
+DeviceSpec`; sustained bandwidth is peak scaled by a row-locality-dependent
+efficiency.  Streaming access patterns (the GEMM tile fetches and the
+unfused pipeline's intermediate-matrix traffic are both fully sequential
+per CTA) run near the high end; scattered atomics run near the low end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceSpec
+
+__all__ = ["DramModel", "DramTraffic"]
+
+
+@dataclass(frozen=True)
+class DramTraffic:
+    """Bytes moved between L2 and DRAM for one kernel."""
+
+    read_bytes: float
+    write_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.read_bytes < 0 or self.write_bytes < 0:
+            raise ValueError("traffic cannot be negative")
+
+    @property
+    def total_bytes(self) -> float:
+        return self.read_bytes + self.write_bytes
+
+    def transactions(self, transaction_bytes: int = 32) -> float:
+        """32-byte DRAM transactions (the unit of the paper's Fig. 8b)."""
+        return self.total_bytes / transaction_bytes
+
+    def __add__(self, other: "DramTraffic") -> "DramTraffic":
+        return DramTraffic(
+            self.read_bytes + other.read_bytes,
+            self.write_bytes + other.write_bytes,
+        )
+
+
+class DramModel:
+    """Timing and accounting for one device's DRAM subsystem."""
+
+    #: Fraction of peak bandwidth sustained by long sequential streams.
+    STREAMING_EFFICIENCY = 0.80
+    #: Fraction of peak sustained by scattered / random-ish accesses.
+    SCATTERED_EFFICIENCY = 0.35
+
+    def __init__(self, device: DeviceSpec) -> None:
+        self.device = device
+
+    @property
+    def peak_bandwidth(self) -> float:
+        return self.device.peak_dram_bandwidth
+
+    def sustained_bandwidth(self, streaming_fraction: float = 1.0) -> float:
+        """Effective bytes/s for a mix of streaming and scattered traffic."""
+        if not 0.0 <= streaming_fraction <= 1.0:
+            raise ValueError("streaming_fraction must lie in [0, 1]")
+        eff = (
+            streaming_fraction * self.STREAMING_EFFICIENCY
+            + (1.0 - streaming_fraction) * self.SCATTERED_EFFICIENCY
+        )
+        return eff * self.peak_bandwidth
+
+    def transfer_time(self, traffic: DramTraffic, streaming_fraction: float = 1.0) -> float:
+        """Seconds needed to move ``traffic`` at the sustained bandwidth."""
+        return traffic.total_bytes / self.sustained_bandwidth(streaming_fraction)

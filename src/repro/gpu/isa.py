@@ -1,0 +1,155 @@
+"""A small Maxwell-flavoured instruction cost model.
+
+The performance layer counts *warp-level* instructions per kernel: one
+``FFMA`` here means one fused-multiply-add issued for a whole warp (32
+lanes).  Each opcode carries the two quantities the timing model needs:
+
+* ``issue_cycles`` — scheduler issue slots consumed (dual-issue and replay
+  effects are folded into the per-kernel efficiency factors instead);
+* ``unit`` — which execution resource it occupies, so throughput limits
+  (CUDA cores, SFUs, LSUs, shared memory) can each be applied separately.
+
+This is deliberately *not* a functional ISA — the functional layer computes
+with NumPy — it only has to be a faithful basis for instruction counting.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping
+
+__all__ = ["Unit", "Op", "OPCODES", "InstructionMix"]
+
+
+class Unit(enum.Enum):
+    """Execution resource an instruction occupies."""
+
+    FP32 = "fp32"  # CUDA cores: FFMA/FADD/FMUL
+    SFU = "sfu"  # special-function units: MUFU.EX2 etc.
+    LSU = "lsu"  # load/store units: global and local traffic
+    SMEM = "smem"  # shared-memory pipe: LDS/STS
+    CONTROL = "control"  # branches, barriers, predicate setup
+    INT = "int"  # XMAD/IADD index arithmetic
+    ATOM = "atom"  # atomics resolved at the L2
+
+
+@dataclass(frozen=True)
+class Op:
+    """One warp-level opcode in the cost model."""
+
+    name: str
+    unit: Unit
+    issue_cycles: float = 1.0
+    #: bytes moved per warp-level instruction (0 for pure compute)
+    bytes_per_warp: int = 0
+    #: floating point operations per warp-level instruction
+    flops_per_warp: int = 0
+
+
+def _op(name, unit, issue=1.0, bytes_=0, flops=0) -> Op:
+    return Op(name, unit, issue, bytes_, flops)
+
+
+#: The opcode table.  ``bytes_per_warp`` assumes float32 lanes; vectorized
+#: 128-bit accesses (``.128`` suffix) move four times as much per lane.
+OPCODES: Dict[str, Op] = {
+    op.name: op
+    for op in [
+        _op("FFMA", Unit.FP32, flops=64),  # 32 lanes x (mul+add)
+        _op("FADD", Unit.FP32, flops=32),
+        _op("FMUL", Unit.FP32, flops=32),
+        # MUFU.EX2 is the hardware exponential; exp(x) lowers to one FMUL
+        # (scale by log2 e) plus MUFU.EX2.  Counted as 32 flops.
+        _op("MUFU", Unit.SFU, flops=32),
+        _op("LDG", Unit.LSU, bytes_=128),  # 32 lanes x 4B global load
+        _op("LDG128", Unit.LSU, bytes_=512),  # float4 global load
+        _op("STG", Unit.LSU, bytes_=128),
+        _op("STG128", Unit.LSU, bytes_=512),
+        _op("LDS", Unit.SMEM, bytes_=128),
+        _op("LDS128", Unit.SMEM, bytes_=512),
+        _op("STS", Unit.SMEM, bytes_=128),
+        _op("STS128", Unit.SMEM, bytes_=512),
+        _op("XMAD", Unit.INT),  # 16-bit mad, the Maxwell integer workhorse
+        _op("IADD", Unit.INT),
+        _op("MOV", Unit.INT),
+        _op("SETP", Unit.CONTROL),
+        _op("BRA", Unit.CONTROL),
+        _op("BAR", Unit.CONTROL),  # barrier itself; the *wait* is modelled in timing
+        _op("RED", Unit.ATOM, bytes_=128),  # atomicAdd without return value
+        _op("ATOM", Unit.ATOM, bytes_=128),
+    ]
+}
+
+
+@dataclass
+class InstructionMix:
+    """A multiset of warp-level instructions executed by a kernel.
+
+    Counts are floats so analytical models may use expected values (for
+    example a partially filled boundary tile contributes fractional work).
+    """
+
+    counts: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, opname: str, count: float = 1.0) -> "InstructionMix":
+        """Add ``count`` executions of ``opname`` (must exist in ``OPCODES``)."""
+        if opname not in OPCODES:
+            raise KeyError(f"unknown opcode {opname!r}")
+        if count < 0:
+            raise ValueError("instruction count cannot be negative")
+        self.counts[opname] = self.counts.get(opname, 0.0) + count
+        return self
+
+    def merge(self, other: "InstructionMix", times: float = 1.0) -> "InstructionMix":
+        """Accumulate ``other`` scaled by ``times`` into this mix."""
+        for name, c in other.counts.items():
+            self.counts[name] = self.counts.get(name, 0.0) + c * times
+        return self
+
+    def scaled(self, factor: float) -> "InstructionMix":
+        """Return a new mix with every count multiplied by ``factor``."""
+        return InstructionMix({k: v * factor for k, v in self.counts.items()})
+
+    # --- aggregate queries ------------------------------------------------
+    def total(self, units: Iterable[Unit] | None = None) -> float:
+        """Total warp-level instructions, optionally restricted to ``units``."""
+        if units is None:
+            return sum(self.counts.values())
+        allowed = set(units)
+        return sum(c for n, c in self.counts.items() if OPCODES[n].unit in allowed)
+
+    def issue_cycles(self) -> float:
+        """Scheduler issue slots consumed by the whole mix."""
+        return sum(c * OPCODES[n].issue_cycles for n, c in self.counts.items())
+
+    def flops(self) -> float:
+        """Total floating-point operations implied by the mix."""
+        return sum(c * OPCODES[n].flops_per_warp for n, c in self.counts.items())
+
+    def unit_cycles(self) -> Mapping[Unit, float]:
+        """Instructions per execution unit (for per-unit throughput limits)."""
+        out: Dict[Unit, float] = {}
+        for n, c in self.counts.items():
+            u = OPCODES[n].unit
+            out[u] = out.get(u, 0.0) + c
+        return out
+
+    def bytes_moved(self, units: Iterable[Unit]) -> float:
+        """Bytes moved by instructions executing on the given units."""
+        allowed = set(units)
+        return sum(
+            c * OPCODES[n].bytes_per_warp
+            for n, c in self.counts.items()
+            if OPCODES[n].unit in allowed
+        )
+
+    def smem_bytes(self) -> float:
+        return self.bytes_moved([Unit.SMEM])
+
+    def global_bytes(self) -> float:
+        return self.bytes_moved([Unit.LSU, Unit.ATOM])
+
+    def thread_instructions(self, warp_size: int = 32) -> float:
+        """Thread-level instruction count (what nvprof's MPKI denominator uses)."""
+        return self.total() * warp_size

@@ -1,0 +1,121 @@
+"""Kernel launch descriptors.
+
+A :class:`KernelLaunch` bundles everything the timing, profiling, and energy
+layers need to know about one kernel invocation: the launch configuration
+(grid/block/registers/shared memory — the inputs to the occupancy
+calculator) and the :class:`KernelCounters` the analytical model derived for
+it (instruction mix, memory-hierarchy transactions, DRAM traffic).
+
+Launch descriptors are produced by :mod:`repro.perf.counts` for each of the
+paper's kernels and consumed by :mod:`repro.perf.timing` and
+:mod:`repro.energy.model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .dram import DramTraffic
+from .isa import InstructionMix
+
+__all__ = ["KernelCounters", "KernelLaunch"]
+
+
+@dataclass
+class KernelCounters:
+    """Grid-total event counts for one kernel launch.
+
+    Transaction units follow nvprof: shared-memory transactions are
+    warp-level bank passes (replays included), L2 transactions are 32-byte
+    sectors between the SMs and L2, DRAM traffic is bytes between L2 and
+    memory.
+    """
+
+    mix: InstructionMix = field(default_factory=InstructionMix)
+    l2_read_transactions: float = 0.0
+    l2_write_transactions: float = 0.0
+    dram: DramTraffic = field(default_factory=lambda: DramTraffic(0.0, 0.0))
+    smem_load_transactions: float = 0.0
+    smem_store_transactions: float = 0.0
+    barriers: float = 0.0
+    atomics: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "l2_read_transactions",
+            "l2_write_transactions",
+            "smem_load_transactions",
+            "smem_store_transactions",
+            "barriers",
+            "atomics",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} cannot be negative")
+
+    @property
+    def l2_transactions(self) -> float:
+        return self.l2_read_transactions + self.l2_write_transactions
+
+    @property
+    def smem_transactions(self) -> float:
+        return self.smem_load_transactions + self.smem_store_transactions
+
+    @property
+    def flops(self) -> float:
+        return self.mix.flops()
+
+    @property
+    def thread_instructions(self) -> float:
+        return self.mix.thread_instructions()
+
+    def merged_with(self, other: "KernelCounters") -> "KernelCounters":
+        """Element-wise sum (used when aggregating a pipeline)."""
+        mix = InstructionMix()
+        mix.merge(self.mix)
+        mix.merge(other.mix)
+        return KernelCounters(
+            mix=mix,
+            l2_read_transactions=self.l2_read_transactions + other.l2_read_transactions,
+            l2_write_transactions=self.l2_write_transactions + other.l2_write_transactions,
+            dram=self.dram + other.dram,
+            smem_load_transactions=self.smem_load_transactions + other.smem_load_transactions,
+            smem_store_transactions=self.smem_store_transactions + other.smem_store_transactions,
+            barriers=self.barriers + other.barriers,
+            atomics=self.atomics + other.atomics,
+        )
+
+
+@dataclass
+class KernelLaunch:
+    """One kernel invocation: configuration + derived counters."""
+
+    name: str
+    grid_blocks: int
+    threads_per_block: int
+    regs_per_thread: int
+    smem_per_block: int
+    counters: KernelCounters
+    #: fraction of DRAM traffic that is long sequential streams (vs scattered)
+    streaming_fraction: float = 1.0
+    #: issue efficiency: fraction of scheduler slots doing useful work.
+    #: Assembly-tuned kernels (cuBLAS, maxas) sit near 0.9; CUDA-C kernels
+    #: lose slots to register-bank conflicts and unhidden dependencies.
+    issue_efficiency: float = 1.0
+    #: cycles per CTA that cannot overlap with other work (tile-load
+    #: prologue, atomic epilogue); charged per execution wave in timing.
+    per_cta_overhead_cycles: float = 0.0
+    #: the floating-point work is double precision (DFMA on the scarce DP
+    #: units instead of FFMA on the CUDA cores)
+    fp64: bool = False
+
+    def __post_init__(self) -> None:
+        if self.grid_blocks <= 0:
+            raise ValueError("grid must contain at least one block")
+        if not 0.0 < self.issue_efficiency <= 1.0:
+            raise ValueError("issue_efficiency must lie in (0, 1]")
+        if not 0.0 <= self.streaming_fraction <= 1.0:
+            raise ValueError("streaming_fraction must lie in [0, 1]")
+
+    @property
+    def total_threads(self) -> int:
+        return self.grid_blocks * self.threads_per_block

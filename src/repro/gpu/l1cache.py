@@ -1,0 +1,94 @@
+"""Per-SM read-only (texture) cache model.
+
+Section II-C: "the unified L1 and texture unit of the Maxwell architecture
+does not actually cache global loads, except for gather instructions,
+texture fetches, and surface writes".  cuBLAS stages its tiles through the
+texture path, which is why the calibration grants it full sector
+utilization while CUDA-C's generic loads go straight to L2.  This module
+models that path: a small per-SM read-only cache (24 KiB, 32-byte lines on
+Maxwell) that filters an SM's load stream before it reaches the L2.
+
+:func:`filtered_l2_transactions` quantifies the asymmetry directly: the
+same tile-load stream costs fewer L2 sectors through the texture path than
+through generic loads, because the 16-byte LDG.128 granules of one warp
+hit the 32-byte lines their neighbours just fetched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["ReadOnlyCache", "ReadOnlyCacheStats", "filtered_l2_transactions"]
+
+
+@dataclass
+class ReadOnlyCacheStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class ReadOnlyCache:
+    """Small LRU read-only cache (no writes, no coherence, per SM)."""
+
+    def __init__(self, size_bytes: int = 24 * 1024, line_bytes: int = 32, ways: int = 8):
+        if size_bytes <= 0 or line_bytes <= 0 or ways <= 0:
+            raise ValueError("cache geometry values must be positive")
+        if size_bytes % (line_bytes * ways):
+            raise ValueError("size must be divisible by line_bytes * ways")
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = size_bytes // (line_bytes * ways)
+        self._sets: list[dict[int, int]] = [dict() for _ in range(self.num_sets)]
+        self._clock = 0
+        self.stats = ReadOnlyCacheStats()
+
+    def load(self, byte_address: int) -> bool:
+        """Read one address; returns True on hit.  Misses fill one line."""
+        if byte_address < 0:
+            raise ValueError("negative address")
+        line = byte_address // self.line_bytes
+        s = self._sets[line % self.num_sets]
+        tag = line // self.num_sets
+        self._clock += 1
+        if tag in s:
+            s[tag] = self._clock
+            self.stats.hits += 1
+            return True
+        if len(s) >= self.ways:
+            del s[min(s, key=s.get)]  # LRU
+        s[tag] = self._clock
+        self.stats.misses += 1
+        return False
+
+    def load_many(self, addresses: Iterable[int]) -> None:
+        for a in addresses:
+            self.load(int(a))
+
+    def invalidate(self) -> None:
+        """Kernel-boundary invalidation (the texture cache is not coherent)."""
+        for s in self._sets:
+            s.clear()
+
+
+def filtered_l2_transactions(
+    byte_addresses: Iterable[int],
+    cache: ReadOnlyCache | None = None,
+) -> int:
+    """L2 sector transactions after read-only-cache filtering.
+
+    Feed the per-granule (e.g. 16-byte LDG.128) addresses of a load stream;
+    only cache misses reach the L2, each as one line-sized transaction.
+    """
+    c = cache if cache is not None else ReadOnlyCache()
+    before = c.stats.misses
+    c.load_many(byte_addresses)
+    return c.stats.misses - before

@@ -1,0 +1,146 @@
+"""Trace-driven set-associative L2 cache simulator.
+
+The paper's Fig. 2 (L2 MPKI) and Fig. 8a (L2 transactions) hinge on how the
+unfused pipeline streams the M x N intermediate matrix through a 1.75 MB L2
+that cannot possibly hold it, while the fused kernel's working set (one
+128 x K panel pair per CTA plus the K x N matrix B) largely fits.  This
+module provides an LRU, write-back, write-allocate cache that can be driven
+with the exact sector streams produced by :mod:`repro.gpu.coalescing`, used
+both in unit tests and to validate the analytical traffic model at small
+problem sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["CacheStats", "L2Cache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one simulation run."""
+
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.read_hits + self.read_misses + self.write_hits + self.write_misses
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses
+
+    @property
+    def hits(self) -> int:
+        return self.read_hits + self.write_hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def dram_reads(self) -> int:
+        """Line fills caused by misses (write-allocate)."""
+        return self.misses
+
+    @property
+    def dram_writes(self) -> int:
+        return self.writebacks
+
+    def mpki(self, instructions: float) -> float:
+        """Misses per kilo-instruction, given a thread-level instruction count."""
+        if instructions <= 0:
+            raise ValueError("instruction count must be positive")
+        return 1000.0 * self.misses / instructions
+
+
+class L2Cache:
+    """LRU set-associative write-back cache over byte addresses.
+
+    Timestamps implement true LRU; the tag store is a dict per set, which is
+    plenty fast for the trace sizes used in validation (millions of
+    accesses).  Addresses are tracked at line granularity; sub-line (sector)
+    accesses to a resident line are hits, matching Maxwell's behaviour of
+    filling whole 128-byte lines from DRAM on miss.
+    """
+
+    def __init__(self, size_bytes: int, line_bytes: int = 128, ways: int = 16) -> None:
+        if size_bytes <= 0 or line_bytes <= 0 or ways <= 0:
+            raise ValueError("cache geometry values must be positive")
+        if size_bytes % (line_bytes * ways):
+            raise ValueError("size must be divisible by line_bytes * ways")
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = size_bytes // (line_bytes * ways)
+        # per-set: {tag: (last_use, dirty)}
+        self._sets: list[dict[int, list]] = [dict() for _ in range(self.num_sets)]
+        self._clock = 0
+        self.stats = CacheStats()
+
+    def _locate(self, byte_address: int) -> tuple[int, int]:
+        line = byte_address // self.line_bytes
+        return int(line % self.num_sets), int(line // self.num_sets)
+
+    def _touch(self, set_idx: int, tag: int, write: bool) -> bool:
+        """Access one line; returns True on hit.  Handles fill + eviction."""
+        self._clock += 1
+        s = self._sets[set_idx]
+        entry = s.get(tag)
+        if entry is not None:
+            entry[0] = self._clock
+            entry[1] = entry[1] or write
+            return True
+        if len(s) >= self.ways:
+            victim = min(s, key=lambda t: s[t][0])
+            if s[victim][1]:
+                self.stats.writebacks += 1
+            del s[victim]
+        s[tag] = [self._clock, write]
+        return False
+
+    def access(self, byte_address: int, write: bool = False) -> bool:
+        """Simulate one sector access; returns True on hit."""
+        if byte_address < 0:
+            raise ValueError("negative address")
+        set_idx, tag = self._locate(byte_address)
+        hit = self._touch(set_idx, tag, write)
+        if write:
+            if hit:
+                self.stats.write_hits += 1
+            else:
+                self.stats.write_misses += 1
+        else:
+            if hit:
+                self.stats.read_hits += 1
+            else:
+                self.stats.read_misses += 1
+        return hit
+
+    def access_many(self, byte_addresses: Iterable[int] | np.ndarray, write: bool = False) -> None:
+        """Drive the cache with a stream of sector addresses."""
+        for a in np.asarray(byte_addresses, dtype=np.int64).ravel():
+            self.access(int(a), write)
+
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def flush(self) -> int:
+        """Write back all dirty lines and empty the cache; returns writebacks."""
+        wb = 0
+        for s in self._sets:
+            wb += sum(1 for e in s.values() if e[1])
+            s.clear()
+        self.stats.writebacks += wb
+        return wb
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()

@@ -1,0 +1,120 @@
+"""CUDA occupancy calculator.
+
+Reproduces the resource arithmetic of NVIDIA's occupancy calculator for the
+limits the paper discusses in section III-A: registers per thread, shared
+memory per block, threads per block, and the per-SM block cap.  The paper's
+design point — 16x16 threads, 96–128 registers/thread, two 2x(128x8 + 8x128)
+float tile buffers — lands on **two concurrent CTAs per SM**, which is the
+occupancy every timing estimate in the paper assumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .device import DeviceSpec
+
+__all__ = ["OccupancyResult", "occupancy", "max_blocks_for_kernel"]
+
+
+def _round_up(value: int, granularity: int) -> int:
+    if granularity <= 0:
+        raise ValueError("granularity must be positive")
+    return ((value + granularity - 1) // granularity) * granularity
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Outcome of the occupancy calculation for one kernel configuration."""
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    threads_per_sm: int
+    occupancy: float  # active warps / max warps
+    limiter: str  # which resource capped residency
+    regs_per_block: int
+    smem_per_block: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.occupancy <= 1.0:
+            raise ValueError("occupancy must lie in [0, 1]")
+
+
+def occupancy(
+    device: DeviceSpec,
+    threads_per_block: int,
+    regs_per_thread: int,
+    smem_per_block: int,
+) -> OccupancyResult:
+    """Compute achievable CTAs/SM for a kernel resource footprint.
+
+    Parameters mirror what ``nvcc --ptxas-options=-v`` reports.  Raises
+    ``ValueError`` if the kernel cannot launch at all (zero blocks fit).
+    """
+    if threads_per_block <= 0 or threads_per_block > device.max_threads_per_block:
+        raise ValueError(
+            f"threads_per_block={threads_per_block} outside (0, "
+            f"{device.max_threads_per_block}]"
+        )
+    if regs_per_thread < 0 or regs_per_thread > device.max_registers_per_thread:
+        raise ValueError(
+            f"regs_per_thread={regs_per_thread} outside [0, "
+            f"{device.max_registers_per_thread}]"
+        )
+    if smem_per_block < 0:
+        raise ValueError("smem_per_block cannot be negative")
+
+    warps_per_block = math.ceil(threads_per_block / device.warp_size)
+
+    # Register allocation is per warp, rounded to the allocation granularity.
+    regs_per_warp = _round_up(
+        regs_per_thread * device.warp_size, device.register_allocation_granularity
+    )
+    regs_per_block = regs_per_warp * warps_per_block
+
+    smem_alloc = _round_up(max(smem_per_block, 1), device.shared_mem_allocation_granularity)
+
+    limits = {
+        "threads": device.max_threads_per_sm // (warps_per_block * device.warp_size),
+        "blocks": device.max_blocks_per_sm,
+        "registers": (device.registers_per_sm // regs_per_block) if regs_per_block else 10**9,
+        "shared_memory": device.shared_mem_per_sm // smem_alloc,
+    }
+    if smem_per_block > device.shared_mem_per_block_limit:
+        raise ValueError(
+            f"smem_per_block={smem_per_block} exceeds the per-block limit "
+            f"{device.shared_mem_per_block_limit}"
+        )
+
+    blocks = min(limits.values())
+    if blocks <= 0:
+        raise ValueError("kernel resource footprint too large: zero blocks fit on an SM")
+    limiter = min(limits, key=lambda k: limits[k])
+
+    warps = blocks * warps_per_block
+    return OccupancyResult(
+        blocks_per_sm=blocks,
+        warps_per_sm=warps,
+        threads_per_sm=warps * device.warp_size,
+        occupancy=warps / device.max_warps_per_sm,
+        limiter=limiter,
+        regs_per_block=regs_per_block,
+        smem_per_block=smem_alloc,
+    )
+
+
+def max_blocks_for_kernel(
+    device: DeviceSpec,
+    threads_per_block: int,
+    regs_per_thread: int,
+    smem_per_block: int,
+    grid_blocks: int,
+) -> int:
+    """Blocks resident device-wide, clamped by the grid size.
+
+    Small grids underfill the device — this matters for the paper's
+    M=N=1024 points, where only 64 CTAs exist for 13 SMs.
+    """
+    occ = occupancy(device, threads_per_block, regs_per_thread, smem_per_block)
+    return min(grid_blocks, occ.blocks_per_sm * device.num_sms)

@@ -1,0 +1,150 @@
+"""nvprof-style counter aggregation.
+
+The paper reports whole-application metrics assembled from per-kernel
+profiler output: FLOP efficiency is "a weighted sum ... based on total
+cycle count" (section V-A), MPKI divides L2 misses by thread-level
+instructions (Fig. 2), and the transaction plots (Fig. 8) sum 32-byte
+sector counts over every kernel in the pipeline.  :class:`ProfiledRun`
+performs those aggregations from ``(KernelLaunch, seconds)`` pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .device import DeviceSpec
+from .kernel import KernelCounters, KernelLaunch
+
+__all__ = ["KernelProfile", "ProfiledRun", "format_nvprof"]
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """One kernel's launch descriptor plus its modelled runtime."""
+
+    launch: KernelLaunch
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds <= 0:
+            raise ValueError("kernel time must be positive")
+
+    @property
+    def flop_rate(self) -> float:
+        return self.launch.counters.flops / self.seconds
+
+    def flop_efficiency(self, device: DeviceSpec) -> float:
+        """Achieved / peak single-precision FLOP rate for this kernel."""
+        return self.flop_rate / device.peak_flops_sp
+
+
+class ProfiledRun:
+    """A profiled multi-kernel run of one kernel-summation implementation."""
+
+    def __init__(self, name: str, device: DeviceSpec, profiles: Sequence[KernelProfile]) -> None:
+        if not profiles:
+            raise ValueError("a run needs at least one kernel")
+        self.name = name
+        self.device = device
+        self.profiles = list(profiles)
+
+    # -- time ----------------------------------------------------------------
+    @property
+    def kernel_seconds(self) -> float:
+        return sum(p.seconds for p in self.profiles)
+
+    @property
+    def total_seconds(self) -> float:
+        """Kernel time plus per-launch host overhead."""
+        return self.kernel_seconds + len(self.profiles) * self.device.kernel_launch_overhead_s
+
+    # -- aggregated counters ---------------------------------------------------
+    @property
+    def counters(self) -> KernelCounters:
+        total = self.profiles[0].launch.counters
+        for p in self.profiles[1:]:
+            total = total.merged_with(p.launch.counters)
+        return total
+
+    @property
+    def flops(self) -> float:
+        return self.counters.flops
+
+    @property
+    def thread_instructions(self) -> float:
+        return self.counters.thread_instructions
+
+    @property
+    def l2_transactions(self) -> float:
+        return self.counters.l2_transactions
+
+    @property
+    def dram_transactions(self) -> float:
+        return self.counters.dram.transactions(self.device.dram_transaction_bytes)
+
+    # -- derived metrics ---------------------------------------------------
+    def flop_efficiency(self) -> float:
+        """Cycle-weighted FLOP efficiency across the pipeline (section V-A)."""
+        total = self.kernel_seconds
+        return sum(
+            p.flop_efficiency(self.device) * (p.seconds / total) for p in self.profiles
+        )
+
+    def l2_mpki(self) -> float:
+        """L2 misses per kilo thread-instruction.
+
+        Under the write-allocate model every DRAM read transaction group of
+        ``l2_line_bytes`` corresponds to one L2 miss (line fill).
+        """
+        misses = self.counters.dram.read_bytes / self.device.l2_line_bytes
+        instructions = self.thread_instructions
+        if instructions <= 0:
+            raise ValueError("run executed no instructions")
+        return 1000.0 * misses / instructions
+
+    def summary(self) -> dict:
+        """Flat metric dict for reports and tests."""
+        return {
+            "name": self.name,
+            "kernels": len(self.profiles),
+            "kernel_seconds": self.kernel_seconds,
+            "total_seconds": self.total_seconds,
+            "flops": self.flops,
+            "flop_efficiency": self.flop_efficiency(),
+            "l2_transactions": self.l2_transactions,
+            "dram_transactions": self.dram_transactions,
+            "dram_bytes": self.counters.dram.total_bytes,
+            "l2_mpki": self.l2_mpki(),
+            "smem_transactions": self.counters.smem_transactions,
+            "atomics": self.counters.atomics,
+        }
+
+
+def format_nvprof(run: "ProfiledRun") -> str:
+    """Render a run the way ``nvprof`` summarizes it (section IV's tool).
+
+    One row per kernel: time, share of total, and the headline counters.
+    """
+    total = run.kernel_seconds
+    header = (
+        f"{'Time(%)':>8}  {'Time':>10}  {'FLOP eff':>9}  {'DRAM MB':>9}  "
+        f"{'L2 Mtx':>8}  Name"
+    )
+    lines = [f"==PROF== Profiling result ({run.name} on {run.device.name}):", header]
+    for p in run.profiles:
+        c = p.launch.counters
+        lines.append(
+            f"{100 * p.seconds / total:7.2f}%  "
+            f"{p.seconds * 1e3:8.3f}ms  "
+            f"{100 * p.flop_efficiency(run.device):8.2f}%  "
+            f"{c.dram.total_bytes / 1e6:9.1f}  "
+            f"{c.l2_transactions / 1e6:8.2f}  "
+            f"{p.launch.name}"
+        )
+    lines.append(
+        f"{'':8}  {total * 1e3:8.3f}ms  total "
+        f"(+{len(run.profiles)} launches x "
+        f"{run.device.kernel_launch_overhead_s * 1e6:.0f} us overhead)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""CTA scheduler model: wave quantization and device fill.
+
+The hardware scheduler launches CTAs onto SMs as resources free up.  For
+regular kernels (every CTA does the same work — true for all kernels here)
+execution proceeds in *waves* of ``blocks_per_sm x num_sms`` CTAs, and the
+last partial wave runs at reduced device utilization.  This tail effect is
+what makes the paper's smallest problem (M = N = 1024, a 64-CTA grid on a
+13-SM part) behave differently from the large-M sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .device import DeviceSpec
+from .occupancy import occupancy
+
+__all__ = ["SchedulePlan", "plan_schedule"]
+
+
+@dataclass(frozen=True)
+class SchedulePlan:
+    """How a grid maps onto the device over time."""
+
+    grid_blocks: int
+    blocks_per_sm: int
+    concurrent_blocks: int  # device-wide
+    waves: int
+    #: average fraction of CTA slots busy over the whole execution
+    utilization: float
+    warps_per_sm: int
+    occupancy: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.utilization <= 1.0:
+            raise ValueError("utilization must lie in (0, 1]")
+
+
+def plan_schedule(
+    device: DeviceSpec,
+    grid_blocks: int,
+    threads_per_block: int,
+    regs_per_thread: int,
+    smem_per_block: int,
+) -> SchedulePlan:
+    """Compute wave structure and average utilization for one launch."""
+    if grid_blocks <= 0:
+        raise ValueError("grid must contain at least one block")
+    occ = occupancy(device, threads_per_block, regs_per_thread, smem_per_block)
+    concurrent = occ.blocks_per_sm * device.num_sms
+    waves = math.ceil(grid_blocks / concurrent)
+    utilization = grid_blocks / (waves * concurrent)
+    return SchedulePlan(
+        grid_blocks=grid_blocks,
+        blocks_per_sm=occ.blocks_per_sm,
+        concurrent_blocks=concurrent,
+        waves=waves,
+        utilization=utilization,
+        warps_per_sm=occ.warps_per_sm,
+        occupancy=occ.occupancy,
+    )

@@ -1,0 +1,191 @@
+"""Banked shared-memory model with Maxwell conflict semantics.
+
+Maxwell shared memory is organised as 32 banks of 4-byte words; all banks
+share a row select (section II-C of the paper).  A warp's access is serviced
+in one transaction unless two lanes touch *different 32-bit words that map to
+the same bank*, in which case the instruction replays once per extra word.
+Lanes reading the *same* word are broadcast for free, including partial
+multicasts (several lanes on one word).
+
+:func:`warp_transactions` implements exactly that rule on arrays of per-lane
+word addresses; :class:`SharedMemory` wraps a backing store that also counts
+transactions for every access issued through it, so the SIMT interpreter can
+report real conflict numbers for the paper's Fig.-5 mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "warp_transactions",
+    "warp_conflicts",
+    "AccessStats",
+    "SharedMemory",
+]
+
+
+def warp_transactions(
+    word_addresses: Sequence[int] | np.ndarray,
+    num_banks: int = 32,
+    active_mask: Optional[Sequence[bool]] = None,
+) -> int:
+    """Number of shared-memory transactions for one warp-wide word access.
+
+    ``word_addresses`` holds one 32-bit-word index per lane.  Inactive lanes
+    (mask ``False``) do not participate.  Returns at least 1 for any access
+    with an active lane; a conflict-free access returns exactly 1.
+    """
+    addrs = np.asarray(word_addresses, dtype=np.int64)
+    if addrs.ndim != 1:
+        raise ValueError("word_addresses must be one-dimensional (one entry per lane)")
+    if active_mask is not None:
+        mask = np.asarray(active_mask, dtype=bool)
+        if mask.shape != addrs.shape:
+            raise ValueError("active_mask must match word_addresses in length")
+        addrs = addrs[mask]
+    if addrs.size == 0:
+        return 0
+    if np.any(addrs < 0):
+        raise ValueError("negative shared-memory word address")
+
+    banks = addrs % num_banks
+    transactions = 0
+    for b in np.unique(banks):
+        # distinct words within one bank each need their own cycle
+        transactions = max(transactions, len(np.unique(addrs[banks == b])))
+    return int(transactions)
+
+
+def warp_conflicts(
+    word_addresses: Sequence[int] | np.ndarray,
+    num_banks: int = 32,
+    active_mask: Optional[Sequence[bool]] = None,
+) -> int:
+    """Replay count (transactions beyond the first) for a warp access."""
+    t = warp_transactions(word_addresses, num_banks, active_mask)
+    return max(0, t - 1)
+
+
+@dataclass
+class AccessStats:
+    """Counters accumulated by a :class:`SharedMemory` instance."""
+
+    load_requests: int = 0
+    store_requests: int = 0
+    load_transactions: int = 0
+    store_transactions: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    per_request_conflicts: list = field(default_factory=list)
+
+    @property
+    def load_conflicts(self) -> int:
+        return self.load_transactions - self.load_requests
+
+    @property
+    def store_conflicts(self) -> int:
+        return self.store_transactions - self.store_requests
+
+    @property
+    def total_conflicts(self) -> int:
+        return self.load_conflicts + self.store_conflicts
+
+    def reset(self) -> None:
+        self.load_requests = 0
+        self.store_requests = 0
+        self.load_transactions = 0
+        self.store_transactions = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.per_request_conflicts.clear()
+
+
+class SharedMemory:
+    """A block's shared memory: float32 word array + transaction accounting.
+
+    The store is addressed in 4-byte words.  :meth:`warp_load` and
+    :meth:`warp_store` take per-lane word addresses (one warp at a time) and
+    update :attr:`stats` with the transaction count computed under the
+    banking rules above.  Vector (float2/float4) accesses pass ``width`` > 1;
+    each word phase is charged independently, matching how the hardware
+    splits wide LDS/STS into word-granularity bank cycles.
+    """
+
+    def __init__(self, num_words: int, num_banks: int = 32) -> None:
+        if num_words <= 0:
+            raise ValueError("shared memory must hold at least one word")
+        self.num_banks = num_banks
+        self.data = np.zeros(num_words, dtype=np.float32)
+        self.stats = AccessStats()
+
+    @property
+    def num_words(self) -> int:
+        return int(self.data.size)
+
+    def _check(self, addrs: np.ndarray, width: int) -> None:
+        if width not in (1, 2, 4):
+            raise ValueError("access width must be 1, 2, or 4 words")
+        if np.any(addrs < 0) or np.any(addrs + width > self.num_words):
+            raise IndexError("shared-memory access out of bounds")
+        if width > 1 and np.any(addrs % width):
+            raise ValueError(f"{4 * width}-byte accesses must be {4 * width}-byte aligned")
+
+    def warp_load(
+        self,
+        word_addresses: Sequence[int] | np.ndarray,
+        width: int = 1,
+        active_mask: Optional[Sequence[bool]] = None,
+    ) -> np.ndarray:
+        """Load ``width`` consecutive words per lane; returns (lanes, width)."""
+        addrs = np.asarray(word_addresses, dtype=np.int64)
+        self._check(addrs, width)
+        tx = 0
+        for phase in range(width):
+            tx += warp_transactions(addrs + phase, self.num_banks, active_mask)
+        self.stats.load_requests += 1
+        self.stats.load_transactions += tx
+        self.stats.per_request_conflicts.append(tx - width)
+        lanes = addrs.size
+        if active_mask is None:
+            active = np.ones(lanes, dtype=bool)
+        else:
+            active = np.asarray(active_mask, dtype=bool)
+        self.stats.bytes_read += int(active.sum()) * 4 * width
+        out = np.zeros((lanes, width), dtype=np.float32)
+        idx = addrs[active, None] + np.arange(width)[None, :]
+        out[active] = self.data[idx]
+        return out
+
+    def warp_store(
+        self,
+        word_addresses: Sequence[int] | np.ndarray,
+        values: np.ndarray,
+        width: int = 1,
+        active_mask: Optional[Sequence[bool]] = None,
+    ) -> None:
+        """Store ``width`` consecutive words per lane from ``values``."""
+        addrs = np.asarray(word_addresses, dtype=np.int64)
+        self._check(addrs, width)
+        vals = np.asarray(values, dtype=np.float32).reshape(addrs.size, width)
+        tx = 0
+        for phase in range(width):
+            tx += warp_transactions(addrs + phase, self.num_banks, active_mask)
+        self.stats.store_requests += 1
+        self.stats.store_transactions += tx
+        self.stats.per_request_conflicts.append(tx - width)
+        lanes = addrs.size
+        if active_mask is None:
+            active = np.ones(lanes, dtype=bool)
+        else:
+            active = np.asarray(active_mask, dtype=bool)
+        self.stats.bytes_written += int(active.sum()) * 4 * width
+        idx = addrs[active, None] + np.arange(width)[None, :]
+        self.data[idx] = vals[active]
+
+    def as_array(self) -> np.ndarray:
+        """Direct view of the backing store (for test assertions)."""
+        return self.data

@@ -1,0 +1,284 @@
+"""A miniature SIMT interpreter for one thread block.
+
+The paper's correctness-critical claims about its shared-memory layout
+(Fig. 5: both the stores that stage a tile into shared memory and the loads
+that feed the rank-1 updates are bank-conflict-free) are statements about
+*which addresses the 32 lanes of a warp touch in the same cycle*.  Rather
+than assert those properties on paper, this interpreter executes a block of
+cooperating threads written as Python generators, groups their accesses by
+warp, and routes them through :class:`~repro.gpu.sharedmem.SharedMemory`,
+which counts real transactions.
+
+Threads yield *operation tokens*; the scheduler advances all lanes of a warp
+in lockstep and enforces ``__syncthreads`` semantics across warps:
+
+``ctx.barrier()``
+    block-wide barrier (yields until every live thread arrives);
+``ctx.lds(addr, width)`` / ``ctx.sts(addr, values, width)``
+    shared-memory access, charged at warp granularity;
+``ctx.atomic_add(buffer, index, value)``
+    sequentially-consistent atomic on a global numpy buffer;
+``ctx.idle()``
+    explicit no-op for divergence padding.
+
+The model intentionally requires the lanes of a warp to issue the same kind
+of operation at each step — true for every kernel in this repository — and
+raises :class:`LockstepError` otherwise, which doubles as a divergence
+detector in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, Optional
+
+import numpy as np
+
+from .sharedmem import SharedMemory
+
+__all__ = ["LockstepError", "DeadlockError", "ThreadCtx", "Block", "BlockRunStats"]
+
+
+class LockstepError(RuntimeError):
+    """Lanes of one warp issued different operations in the same step."""
+
+
+class DeadlockError(RuntimeError):
+    """A barrier can never be satisfied (some threads exited early)."""
+
+
+# Operation tokens threads yield.  Plain tuples keep generator plumbing cheap.
+_BARRIER = "bar"
+_LDS = "lds"
+_STS = "sts"
+_ATOM = "atom"
+_IDLE = "idle"
+_SHFL = "shfl"
+
+
+class ThreadCtx:
+    """Per-thread view handed to the kernel body.
+
+    Exposes the CUDA-ish identifiers (``tx``, ``ty``, ``tid``, ``lane``,
+    ``warp_id``) plus constructors for the operation tokens.  The kernel
+    body must ``yield`` every token it builds; shared-memory loads deliver
+    their data as the value of the ``yield`` expression.
+    """
+
+    def __init__(self, tid: int, block_dim: tuple[int, int], warp_size: int) -> None:
+        self.tid = tid
+        self.block_dim = block_dim
+        self.tx = tid % block_dim[0]
+        self.ty = tid // block_dim[0]
+        self.lane = tid % warp_size
+        self.warp_id = tid // warp_size
+
+    # -- token constructors (the body does `val = yield ctx.lds(...)`) ----
+    @staticmethod
+    def barrier():
+        return (_BARRIER,)
+
+    @staticmethod
+    def lds(addr: int, width: int = 1):
+        return (_LDS, int(addr), int(width))
+
+    @staticmethod
+    def sts(addr: int, values, width: int = 1):
+        return (_STS, int(addr), np.asarray(values, dtype=np.float32).ravel(), int(width))
+
+    @staticmethod
+    def atomic_add(buffer: np.ndarray, index: int, value: float):
+        return (_ATOM, buffer, int(index), float(value))
+
+    @staticmethod
+    def shfl(value: float, src_lane: int):
+        """Warp shuffle: read ``value`` as presented by ``src_lane``.
+
+        All lanes of the warp must issue the shuffle in the same step
+        ("all threads within a warp are scheduled together"); the yielded
+        result is the value contributed by the source lane.  Reading from
+        an inactive lane returns the reader's own value, like the hardware.
+        """
+        return (_SHFL, float(value), int(src_lane))
+
+    @staticmethod
+    def idle():
+        return (_IDLE,)
+
+
+@dataclass
+class BlockRunStats:
+    """Summary of one block execution."""
+
+    steps: int
+    barriers: int
+    atomic_ops: int
+    smem: SharedMemory
+
+    @property
+    def load_conflicts(self) -> int:
+        return self.smem.stats.load_conflicts
+
+    @property
+    def store_conflicts(self) -> int:
+        return self.smem.stats.store_conflicts
+
+
+class Block:
+    """Executes one cooperative thread block to completion."""
+
+    def __init__(
+        self,
+        block_dim: tuple[int, int],
+        smem_words: int,
+        warp_size: int = 32,
+        max_steps: int = 10_000_000,
+    ) -> None:
+        bx, by = block_dim
+        if bx <= 0 or by <= 0:
+            raise ValueError("block dimensions must be positive")
+        self.block_dim = (bx, by)
+        self.num_threads = bx * by
+        self.warp_size = warp_size
+        self.num_warps = (self.num_threads + warp_size - 1) // warp_size
+        self.smem = SharedMemory(smem_words)
+        self.max_steps = max_steps
+
+    def run(
+        self,
+        kernel: Callable[..., Generator],
+        *args,
+        **kwargs,
+    ) -> BlockRunStats:
+        """Run ``kernel(ctx, *args, **kwargs)`` on every thread of the block."""
+        ctxs = [ThreadCtx(t, self.block_dim, self.warp_size) for t in range(self.num_threads)]
+        gens: list[Optional[Generator]] = [kernel(c, *args, **kwargs) for c in ctxs]
+        # value to send into each generator at its next step (None initially)
+        inbox: list = [None] * self.num_threads
+        # token each live thread is currently presenting (None = needs a step)
+        pending: list = [None] * self.num_threads
+        at_barrier = [False] * self.num_threads
+        barriers = 0
+        atomics = 0
+        steps = 0
+
+        def advance(t: int) -> None:
+            """Step thread ``t`` until it presents a token or finishes."""
+            g = gens[t]
+            if g is None:
+                return
+            try:
+                pending[t] = g.send(inbox[t])
+                inbox[t] = None
+            except StopIteration:
+                gens[t] = None
+                pending[t] = None
+
+        for t in range(self.num_threads):
+            advance(t)
+
+        while any(g is not None for g in gens):
+            steps += 1
+            if steps > self.max_steps:
+                raise DeadlockError("exceeded max_steps; kernel livelocked?")
+            progressed = False
+            for w in range(self.num_warps):
+                lo = w * self.warp_size
+                hi = min(lo + self.warp_size, self.num_threads)
+                lanes = [t for t in range(lo, hi) if gens[t] is not None]
+                if not lanes:
+                    continue
+                if all(at_barrier[t] for t in lanes):
+                    continue  # whole warp parked at the barrier
+                active = [t for t in lanes if not at_barrier[t]]
+                # Lanes that reached the barrier park individually — their
+                # divergent siblings may still have work before arriving.
+                arrived = [t for t in active if pending[t][0] == _BARRIER]
+                for t in arrived:
+                    at_barrier[t] = True
+                if arrived:
+                    progressed = True
+                active = [t for t in active if not at_barrier[t]]
+                if not active:
+                    continue
+                # Execute one micro-step for this warp: all remaining lanes
+                # must present the same token kind (idle lanes ride along).
+                kindset = {pending[t][0] for t in active}
+                if len(kindset - {_IDLE}) > 1:
+                    raise LockstepError(
+                        f"warp {w} diverged: lanes issued {sorted(kindset)} in one step"
+                    )
+                kind = next(iter(kindset - {_IDLE}), _IDLE)
+                if kind == _LDS:
+                    doers = [t for t in active if pending[t][0] == _LDS]
+                    width = pending[doers[0]][2]
+                    if any(pending[t][2] != width for t in doers):
+                        raise LockstepError("mixed access widths within one warp step")
+                    addrs = np.array([pending[t][1] for t in doers], dtype=np.int64)
+                    vals = self.smem.warp_load(addrs, width)
+                    for i, t in enumerate(doers):
+                        inbox[t] = vals[i, 0] if width == 1 else vals[i].copy()
+                        advance(t)
+                    for t in active:
+                        if t not in doers:
+                            advance(t)
+                    progressed = True
+                elif kind == _STS:
+                    doers = [t for t in active if pending[t][0] == _STS]
+                    width = pending[doers[0]][3]
+                    if any(pending[t][3] != width for t in doers):
+                        raise LockstepError("mixed access widths within one warp step")
+                    addrs = np.array([pending[t][1] for t in doers], dtype=np.int64)
+                    vals = np.stack([pending[t][2] for t in doers])
+                    self.smem.warp_store(addrs, vals, width)
+                    for t in active:
+                        advance(t)
+                    progressed = True
+                elif kind == _SHFL:
+                    doers = [t for t in active if pending[t][0] == _SHFL]
+                    contributed = {t % self.warp_size: pending[t][1] for t in doers}
+                    for t in doers:
+                        src = pending[t][2] % self.warp_size
+                        inbox[t] = contributed.get(src, pending[t][1])
+                    for t in active:
+                        advance(t)
+                    progressed = True
+                elif kind == _ATOM:
+                    # Atomics serialize; executing lane order is the ordering.
+                    for t in active:
+                        if pending[t][0] == _ATOM:
+                            _, buf, idx, val = pending[t]
+                            buf[idx] = np.float32(buf[idx]) + np.float32(val)
+                            atomics += 1
+                        advance(t)
+                    progressed = True
+                else:  # pure idle step
+                    for t in active:
+                        advance(t)
+                    progressed = True
+
+            # Barrier release: every live thread parked.  Strict (pre-Volta)
+            # semantics: a thread that exited without arriving can never
+            # satisfy the barrier — the classic missing-__syncthreads bug.
+            live = [t for t in range(self.num_threads) if gens[t] is not None]
+            if live and all(at_barrier[t] for t in live):
+                if len(live) < self.num_threads:
+                    raise DeadlockError(
+                        f"{self.num_threads - len(live)} thread(s) exited without "
+                        "reaching the barrier the rest of the block waits at"
+                    )
+                barriers += 1
+                for t in live:
+                    at_barrier[t] = False
+                    advance(t)
+                progressed = True
+            if not progressed:
+                waiting = sum(1 for t in live if at_barrier[t])
+                raise DeadlockError(
+                    f"no progress: {waiting}/{len(live)} live threads at barrier, "
+                    "remainder exited — missing __syncthreads on some path?"
+                )
+
+        if any(at_barrier[t] for t in range(self.num_threads)):
+            raise DeadlockError("threads left waiting at a barrier after block exit")
+        return BlockRunStats(steps=steps, barriers=barriers, atomic_ops=atomics, smem=self.smem)

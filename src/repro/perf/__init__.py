@@ -1,0 +1,46 @@
+"""Analytical performance model: counts, timing, and pipelines."""
+
+from .calibration import Calibration, DEFAULT_CALIBRATION
+from .counts import (
+    eval_launch,
+    evalsum_launch,
+    fused_launch,
+    fused_multi_launch,
+    gemm_launch,
+    symmetric_fused_launch,
+    gemv_launch,
+    norms_launch,
+)
+from .ctasim import CtaTimeline, simulate_cta
+from .footprint import MemoryFootprint, fits_device, footprint
+from .roofline import RooflinePoint, analyze, render_roofline, ridge_intensity
+from .pipeline import PIPELINE_NAMES, build_pipeline, model_gemm, model_run
+from .timing import KernelTiming, time_kernel
+
+__all__ = [
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+    "norms_launch",
+    "gemm_launch",
+    "eval_launch",
+    "evalsum_launch",
+    "gemv_launch",
+    "fused_launch",
+    "fused_multi_launch",
+    "symmetric_fused_launch",
+    "CtaTimeline",
+    "simulate_cta",
+    "MemoryFootprint",
+    "footprint",
+    "fits_device",
+    "RooflinePoint",
+    "analyze",
+    "render_roofline",
+    "ridge_intensity",
+    "build_pipeline",
+    "model_run",
+    "model_gemm",
+    "PIPELINE_NAMES",
+    "KernelTiming",
+    "time_kernel",
+]

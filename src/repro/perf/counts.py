@@ -1,0 +1,726 @@
+"""Analytical instruction and memory-traffic counts.
+
+For every kernel in the three pipelines this module derives, from the
+blocking structure alone, the grid-total warp-level instruction mix, the
+SM<->L2 sector transactions, the L2<->DRAM traffic, and the shared-memory
+transactions — i.e. everything nvprof would report.  The derivations follow
+section III of the paper; the docstring of each builder spells out the
+per-CTA arithmetic so the unit tests can check it independently.
+
+Cache behaviour is encoded with two explicit rules (validated against the
+trace-driven :class:`~repro.gpu.l2cache.L2Cache` at small scale):
+
+* *concurrent reuse hits*: a panel re-read by CTAs that are resident at the
+  same time (A panels under row-major CTA order; B when the whole matrix
+  fits in L2) is served by the L2;
+* *streams thrash*: in the unfused pipelines the M x N intermediate pours
+  through the L2 and evicts the GEMM's input panels; panel re-reads then
+  miss with probability ``min(1, stream_bytes / (l2 * tolerance))``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.problem import ProblemSpec
+from ..core.tiling import TilingConfig
+from ..core.kernels import get_kernel
+from ..gpu.device import DeviceSpec
+from ..gpu.dram import DramTraffic
+from ..gpu.isa import InstructionMix
+from ..gpu.kernel import KernelCounters, KernelLaunch
+from .calibration import Calibration, DEFAULT_CALIBRATION
+
+__all__ = [
+    "GemmFlavor",
+    "norms_launch",
+    "gemm_launch",
+    "eval_launch",
+    "evalsum_launch",
+    "gemv_launch",
+    "fused_launch",
+    "fused_multi_launch",
+    "symmetric_fused_launch",
+]
+
+GemmFlavor = str  # "cudac" | "cublas"
+
+# Modelled register/smem footprints of the simple streaming kernels.
+_STREAM_THREADS = 256
+_STREAM_REGS = 32
+_STREAM_SMEM = 0
+
+
+def _fits_l2(nbytes: float, device: DeviceSpec, cal: Calibration) -> bool:
+    """Whether a reused data set can stay resident in L2."""
+    return nbytes <= cal.l2_fit_fraction * device.l2_size
+
+
+def _stream_miss_fraction(stream_bytes: float, device: DeviceSpec, cal: Calibration) -> float:
+    """Fraction of panel re-reads evicted by a streaming intermediate."""
+    return min(1.0, stream_bytes / (device.l2_size * cal.l2_stream_tolerance))
+
+
+def _sectors(nbytes: float, device: DeviceSpec, utilization: float = 1.0) -> float:
+    """L2 sector transactions to move ``nbytes`` at a given sector utilization."""
+    if not 0.0 < utilization <= 1.0:
+        raise ValueError("sector utilization must lie in (0, 1]")
+    return nbytes / device.l2_transaction_bytes / utilization
+
+
+# ---------------------------------------------------------------------------
+# Simple streaming kernels
+# ---------------------------------------------------------------------------
+
+
+def norms_launch(
+    spec: ProblemSpec,
+    device: DeviceSpec,
+    cal: Calibration = DEFAULT_CALIBRATION,
+) -> KernelLaunch:
+    """Squared-norm kernel: reads both matrices once, writes M + N scalars.
+
+    One thread per point; each thread streams its K coordinates with float4
+    loads and accumulates.  Grid-total warp instructions: ``(MK + KN)/32``
+    FFMA, ``(MK + KN)/128`` LDG128, ``(M + N)/32`` STG, plus ~4 integer ops
+    per point for addressing.
+    """
+    e = spec.bytes_per_element
+    points = spec.M + spec.N
+    coords = spec.M * spec.K + spec.K * spec.N
+
+    mix = InstructionMix()
+    mix.add("FFMA", coords / 32)
+    mix.add("LDG128", coords / 128)
+    mix.add("STG", points / 32)
+    mix.add("XMAD", 4 * points / 32)
+
+    read = float(e * coords)
+    write = float(e * points)
+    counters = KernelCounters(
+        mix=mix,
+        l2_read_transactions=_sectors(read, device),
+        l2_write_transactions=_sectors(write, device),
+        dram=DramTraffic(read, write),
+    )
+    return KernelLaunch(
+        name="norms",
+        grid_blocks=max(1, math.ceil(points / _STREAM_THREADS)),
+        threads_per_block=_STREAM_THREADS,
+        regs_per_thread=_STREAM_REGS,
+        smem_per_block=_STREAM_SMEM,
+        counters=counters,
+        issue_efficiency=cal.issue_efficiency_streaming,
+        fp64=spec.dtype == "float64",
+    )
+
+
+def eval_launch(
+    spec: ProblemSpec,
+    device: DeviceSpec,
+    cal: Calibration = DEFAULT_CALIBRATION,
+) -> KernelLaunch:
+    """Kernel-evaluation pass of the unfused pipelines.
+
+    Streams the M x N GEMM output from DRAM, assembles the squared distance
+    from the norm vectors (served by the read-only/L1 path), applies the
+    kernel function, and streams the M x N result back.  Per 32 elements:
+    one LDG + one STG + the kernel's flop cost + one index op.
+    """
+    e = spec.bytes_per_element
+    mn = spec.M * spec.N
+    kf = get_kernel(spec.kernel)
+
+    mix = InstructionMix()
+    mix.add("LDG", mn / 32)
+    mix.add("STG", mn / 32)
+    mix.add("FFMA", kf.fma_flops_per_element * mn / 32)
+    mix.add("MUFU", kf.sfu_ops_per_element * mn / 32)
+    mix.add("XMAD", mn / 32)
+
+    stream = float(e * mn)
+    vec_read = float(e * (spec.M + spec.N))
+    counters = KernelCounters(
+        mix=mix,
+        l2_read_transactions=_sectors(stream + vec_read, device),
+        l2_write_transactions=_sectors(stream, device),
+        dram=DramTraffic(stream + vec_read, stream),
+    )
+    return KernelLaunch(
+        name="kernel-eval",
+        grid_blocks=max(1, math.ceil(mn / (_STREAM_THREADS * 32))),
+        threads_per_block=_STREAM_THREADS,
+        regs_per_thread=_STREAM_REGS,
+        smem_per_block=_STREAM_SMEM,
+        counters=counters,
+        issue_efficiency=cal.issue_efficiency_streaming,
+        fp64=spec.dtype == "float64",
+    )
+
+
+def evalsum_launch(
+    spec: ProblemSpec,
+    device: DeviceSpec,
+    cal: Calibration = DEFAULT_CALIBRATION,
+) -> KernelLaunch:
+    """Combined kernel-evaluation + summation pass of the unfused pipelines.
+
+    The paper's implementation follows the cuBLAS SGEMM with "the kernel
+    evaluation and the summation routine": one pass that streams the M x N
+    GEMM output from DRAM, applies the kernel function, multiplies by the
+    weights, and row-reduces into V (shared-memory tree + one atomic per
+    row chunk).  Unlike the literal Algorithm 1 (see :func:`eval_launch` +
+    :func:`gemv_launch`), the evaluated kernel matrix never goes back to
+    memory — only the GEMM intermediate does.
+    """
+    e = spec.bytes_per_element
+    mn = spec.M * spec.N
+    kf = get_kernel(spec.kernel)
+
+    mix = InstructionMix()
+    mix.add("LDG", mn / 32)
+    mix.add("FFMA", (kf.fma_flops_per_element + 1) * mn / 32)  # +1: * weight
+    mix.add("MUFU", kf.sfu_ops_per_element * mn / 32)
+    mix.add("FADD", mn / 32)  # running row reduction
+    mix.add("XMAD", mn / 32)
+    # per-row tail: shared-memory tree over the block, one atomic per row
+    mix.add("STS", 2 * spec.M / 32)
+    mix.add("LDS", 2 * spec.M / 32)
+    mix.add("RED", spec.M / 32)
+    mix.add("BAR", 2 * spec.M / 32)
+
+    stream = float(e * mn)
+    vec_read = float(e * (spec.M + 2 * spec.N))
+    write = float(e * spec.M)
+    counters = KernelCounters(
+        mix=mix,
+        l2_read_transactions=_sectors(stream + vec_read, device),
+        l2_write_transactions=_sectors(write, device),
+        dram=DramTraffic(stream + vec_read, write),
+        smem_load_transactions=2 * spec.M / 32,
+        smem_store_transactions=2 * spec.M / 32,
+        barriers=2 * spec.M / 32,
+        atomics=float(spec.M),
+    )
+    return KernelLaunch(
+        name="evalsum",
+        grid_blocks=max(1, math.ceil(mn / (_STREAM_THREADS * 32))),
+        threads_per_block=_STREAM_THREADS,
+        regs_per_thread=_STREAM_REGS,
+        smem_per_block=4096,
+        counters=counters,
+        issue_efficiency=cal.issue_efficiency_streaming,
+        fp64=spec.dtype == "float64",
+    )
+
+
+def gemv_launch(
+    spec: ProblemSpec,
+    device: DeviceSpec,
+    cal: Calibration = DEFAULT_CALIBRATION,
+    flavor: GemmFlavor = "cublas",
+) -> KernelLaunch:
+    """GEMV against the weights: V = K_mat @ W.
+
+    Purely bandwidth bound: the M x N kernel matrix streams through once.
+    The cuBLAS flavor only differs in issue efficiency — both are pinned to
+    the DRAM roof anyway.
+    """
+    if flavor not in ("cublas", "cudac"):
+        raise ValueError(f"unknown GEMV flavor {flavor!r}")
+    e = spec.bytes_per_element
+    mn = spec.M * spec.N
+
+    mix = InstructionMix()
+    mix.add("LDG", mn / 32)
+    mix.add("FFMA", mn / 32)
+    mix.add("FADD", 2 * spec.M / 32)  # cross-lane reduction tail
+    mix.add("STG", spec.M / 32)
+    mix.add("XMAD", mn / 64)
+
+    read = float(e * (mn + spec.N))
+    write = float(e * spec.M)
+    counters = KernelCounters(
+        mix=mix,
+        l2_read_transactions=_sectors(read, device),
+        l2_write_transactions=_sectors(write, device),
+        dram=DramTraffic(read, write),
+    )
+    eff = (
+        cal.issue_efficiency_cublas
+        if flavor == "cublas"
+        else cal.issue_efficiency_streaming
+    )
+    return KernelLaunch(
+        name=f"gemv-{flavor}",
+        grid_blocks=max(1, math.ceil(spec.M / _STREAM_THREADS)),
+        threads_per_block=_STREAM_THREADS,
+        regs_per_thread=_STREAM_REGS,
+        smem_per_block=_STREAM_SMEM,
+        counters=counters,
+        issue_efficiency=eff,
+        fp64=spec.dtype == "float64",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Tiled GEMM core (shared by the standalone GEMM and the fused kernel)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _GemmCore:
+    """Per-grid instruction mix and traffic of the panel loop alone."""
+
+    mix: InstructionMix
+    smem_load_tx: float
+    smem_store_tx: float
+    l2_read_tx: float
+    dram_read: float
+    barriers: float
+    grid_x: int
+    grid_y: int
+    k_iters: int
+
+
+def _gemm_core(
+    spec: ProblemSpec,
+    tiling: TilingConfig,
+    device: DeviceSpec,
+    cal: Calibration,
+    flavor: GemmFlavor,
+    stream_bytes: float,
+    smem_load_conflict_factor: float = 1.0,
+) -> _GemmCore:
+    """Counts for the rank-``kc`` panel loop over the whole CTA grid.
+
+    Per CTA and per panel (paper tiling, warp-level):
+
+    * FFMA: ``threads * micro_m * micro_n * kc / 32`` = 4096;
+    * operand loads: each thread pulls ``micro_m + micro_n`` words per
+      k-step as 64-bit LDS, i.e. 512 LDS64 per panel;
+    * tile staging: ``(mc + nc) * kc`` words, float4 global loads (16
+      LDG128) and — CUDA-C — word-granular stores (64 STS) against the
+      Fig.-5 layout; cuBLAS stages with vector stores (16 STS128);
+    * one barrier per panel under double buffering, two otherwise;
+    * ~16 integer ops per thread per panel for CUDA-C addressing, a quarter
+      of that for the assembly flavor.
+
+    ``stream_bytes`` is the write stream that competes for L2 (the C matrix
+    for a standalone GEMM, 0 for the fused kernel); it determines what
+    fraction of the panel re-reads miss to DRAM.
+    """
+    if flavor not in ("cublas", "cudac"):
+        raise ValueError(f"unknown GEMM flavor {flavor!r}")
+    if smem_load_conflict_factor < 1.0:
+        raise ValueError("conflict factor cannot beat conflict-free")
+    t = tiling
+    e = spec.bytes_per_element
+    grid_x, grid_y = t.grid(spec.M, spec.N)
+    grid = grid_x * grid_y
+    k_iters = t.k_iterations(spec.K)
+    threads = t.threads_per_block
+    warps = threads / 32
+
+    tile_words = t.mc * t.kc + t.kc * t.nc
+
+    per_panel = InstructionMix()
+    per_panel.add("FFMA", threads * t.micro_m * t.micro_n * t.kc / 32)
+    lds64 = threads * (t.micro_m + t.micro_n) / 2 * t.kc / 32
+    per_panel.add("LDG128", tile_words / 4 / 32)
+    if flavor == "cudac":
+        per_panel.add("LDS", lds64)  # 64-bit operand loads (one instruction each)
+        per_panel.add("STS", tile_words / 32)
+        per_panel.add("XMAD", 16 * warps)
+        per_panel.add("BAR", warps if t.double_buffered else 2 * warps)
+    else:
+        per_panel.add("LDS128", lds64 / 2)
+        per_panel.add("STS128", tile_words / 4 / 32)
+        per_panel.add("XMAD", 4 * warps)
+
+    mix = per_panel.scaled(k_iters * grid)
+
+    # Shared-memory transactions: conflict-free counts, scaled by the layout
+    # factor for the naive-mapping ablation.  A 64-bit LDS counts two word
+    # phases; STS128 four.
+    smem_load = k_iters * grid * (2 * lds64) * smem_load_conflict_factor
+    smem_store = k_iters * grid * (
+        tile_words / 32 if flavor == "cudac" else tile_words / 4 / 32 * 4
+    )
+
+    # L2 traffic of the tile loads.
+    util = (
+        cal.sector_utilization_cudac if flavor == "cudac" else cal.sector_utilization_cublas
+    )
+    read_bytes = float(
+        e * (spec.M * spec.K * grid_x + spec.K * spec.N * grid_y)
+    )
+    l2_read_tx = _sectors(read_bytes, device, util)
+
+    # DRAM: compulsory input fetch plus the evicted share of re-reads.
+    # A-panel re-reads are *concurrent* (the resident CTAs of one grid row
+    # share a subA under row-major scheduling) and therefore hit — unless a
+    # streaming write (the C matrix of a standalone GEMM) is thrashing the
+    # L2.  B re-reads are *temporal*: they hit iff all of B stays resident.
+    compulsory = float(e * (spec.M * spec.K + spec.K * spec.N))
+    a_rereads = float(e * spec.M * spec.K * (grid_x - 1))
+    b_rereads = float(e * spec.K * spec.N * (grid_y - 1))
+    a_miss = _stream_miss_fraction(stream_bytes, device, cal)
+    b_miss = 0.0 if _fits_l2(e * spec.K * spec.N, device, cal) else 1.0
+    dram_read = compulsory + a_miss * a_rereads + b_miss * b_rereads
+
+    barriers = float(k_iters * grid * (1 if t.double_buffered else 2))
+    return _GemmCore(
+        mix=mix,
+        smem_load_tx=smem_load,
+        smem_store_tx=smem_store,
+        l2_read_tx=l2_read_tx,
+        dram_read=dram_read,
+        barriers=barriers,
+        grid_x=grid_x,
+        grid_y=grid_y,
+        k_iters=k_iters,
+    )
+
+
+def gemm_launch(
+    spec: ProblemSpec,
+    tiling: TilingConfig,
+    device: DeviceSpec,
+    cal: Calibration = DEFAULT_CALIBRATION,
+    flavor: GemmFlavor = "cudac",
+    smem_load_conflict_factor: float = 1.0,
+) -> KernelLaunch:
+    """Standalone C = A @ B kernel (GEMM step of the unfused pipelines).
+
+    Adds the C-store epilogue to the panel-loop core: an M x N write stream
+    through L2 to DRAM that — the crux of the paper's locality argument —
+    evicts the input panels, which is why ``stream_bytes = M*N*element``
+    feeds the core's miss model.  The cuBLAS epilogue stores with STG128 at
+    full sector utilization; the CUDA-C epilogue is the unoptimized scalar
+    writeback path the paper owns up to in section V-A, modelled as
+    word-granular stores at reduced sector utilization plus a lower
+    whole-kernel issue efficiency.
+    """
+    e = spec.bytes_per_element
+    mn = spec.M * spec.N
+    mn_bytes = float(e * mn)
+    core = _gemm_core(
+        spec, tiling, device, cal, flavor, stream_bytes=mn_bytes,
+        smem_load_conflict_factor=smem_load_conflict_factor,
+    )
+    grid = core.grid_x * core.grid_y
+
+    mix = InstructionMix()
+    mix.merge(core.mix)
+    if flavor == "cudac":
+        mix.add("STG", mn / 32)
+        store_util = cal.store_sector_utilization_cudac
+    else:
+        mix.add("STG128", mn / 4 / 32)
+        store_util = 1.0
+    mix.add("XMAD", 2 * grid * tiling.threads_per_block / 32)
+
+    store_bytes = mn_bytes / store_util  # wasted sector halves still move
+    counters = KernelCounters(
+        mix=mix,
+        l2_read_transactions=core.l2_read_tx,
+        l2_write_transactions=_sectors(store_bytes, device),
+        dram=DramTraffic(core.dram_read, store_bytes),
+        smem_load_transactions=core.smem_load_tx,
+        smem_store_transactions=core.smem_store_tx,
+        barriers=core.barriers,
+    )
+    eff = (
+        cal.issue_efficiency_cudac_standalone
+        if flavor == "cudac"
+        else cal.issue_efficiency_cublas
+    )
+    stall = 0.0 if tiling.double_buffered else cal.single_buffer_stall_cycles
+    per_cta = (
+        cal.barrier_stall_cycles * (1 - cal.barrier_overlap) + stall
+    ) * core.k_iters if flavor == "cudac" else 0.0
+    return KernelLaunch(
+        name=f"gemm-{flavor}",
+        grid_blocks=grid,
+        threads_per_block=tiling.threads_per_block,
+        regs_per_thread=min(tiling.regs_per_thread, device.max_registers_per_thread),
+        smem_per_block=tiling.smem_per_block,
+        counters=counters,
+        issue_efficiency=eff,
+        per_cta_overhead_cycles=per_cta,
+        fp64=spec.dtype == "float64",
+    )
+
+
+def spill_overhead(
+    spec: ProblemSpec,
+    tiling: TilingConfig,
+    maxregcount: int,
+) -> tuple[int, float]:
+    """Registers kept and grid-total warp-level local-memory accesses
+    under a ``--maxregcount`` cap.
+
+    Section III-A: "Although the compiler option of --maxregcount helps
+    achieve higher occupancy, register spilling creates huge negative
+    impact on performance because of additional L1 transactions."  When
+    the cap sits below the kernel's natural demand the compiler spills the
+    difference to local memory; the live values under pressure are the
+    microtile accumulators, which are touched every k-step, so each
+    spilled register costs one store + one reload per thread per k-step.
+    """
+    if maxregcount <= 0:
+        raise ValueError("maxregcount must be positive")
+    demand = tiling.regs_per_thread
+    if maxregcount >= demand:
+        return demand, 0.0
+    spilled = demand - maxregcount
+    grid = tiling.grid_blocks(spec.M, spec.N)
+    k_steps = tiling.k_iterations(spec.K) * tiling.kc
+    lane_accesses = 2 * spilled * tiling.threads_per_block * k_steps * grid
+    return maxregcount, lane_accesses / 32.0
+
+
+def fused_launch(
+    spec: ProblemSpec,
+    tiling: TilingConfig,
+    device: DeviceSpec,
+    cal: Calibration = DEFAULT_CALIBRATION,
+    smem_load_conflict_factor: float = 1.0,
+    atomic_reduction: bool = True,
+    maxregcount: int | None = None,
+) -> KernelLaunch:
+    """The paper's Algorithm 2: panel loop + in-register tail per CTA.
+
+    On top of the GEMM core (with *no* competing write stream): the kernel
+    evaluation on 64 register-resident elements per thread, the three-level
+    reduction (64 FFMA + 8 STS per thread; 16 LDS + 15 FADD on the reducing
+    half-block), 128 atomic word-updates per CTA, and vector reads of the
+    norm slices and weight slice (12 warp LDGs per CTA).  The only DRAM
+    write is the final V.
+
+    ``maxregcount`` models the ``--maxregcount`` compiler flag: registers
+    are capped (raising occupancy) and the shortfall spills to local
+    memory (adding LDG/STG traffic through L1/L2) — see
+    :func:`spill_overhead`.
+    """
+    e = spec.bytes_per_element
+    kf = get_kernel(spec.kernel)
+    core = _gemm_core(
+        spec, tiling, device, cal, "cudac", stream_bytes=0.0,
+        smem_load_conflict_factor=smem_load_conflict_factor,
+    )
+    grid = core.grid_x * core.grid_y
+    t = tiling
+    threads = t.threads_per_block
+    elems_per_cta = t.mc * t.nc
+
+    per_cta = InstructionMix()
+    # kernel evaluation out of registers
+    per_cta.add("FFMA", kf.fma_flops_per_element * elems_per_cta / 32)
+    per_cta.add("MUFU", kf.sfu_ops_per_element * elems_per_cta / 32)
+    # intra-thread reduction: microtile x weight slice
+    per_cta.add("FFMA", elems_per_cta / 32)
+    # stage thread partials to shared memory (micro_m words per thread)
+    per_cta.add("STS", threads * t.micro_m / 32)
+    # intra-CTA: half the block reduces block_dim_x partials per row
+    reducing_warps = t.mc / 32
+    per_cta.add("LDS", reducing_warps * t.block_dim_x)
+    per_cta.add("FADD", reducing_warps * (t.block_dim_x - 1))
+    # vector inputs: norm_a, norm_b, W slices
+    per_cta.add("LDG", (t.mc + 2 * t.nc) / 32)
+    if atomic_reduction:
+        per_cta.add("RED", t.mc / 32)
+    else:
+        # two-pass alternative: write partials, then a second reduction
+        # kernel (ablation); the store side lands here.
+        per_cta.add("STG", t.mc / 32)
+    per_cta.add("BAR", 2 * threads / 32)
+    per_cta.add("XMAD", 8 * threads / 32)
+
+    mix = InstructionMix()
+    mix.merge(core.mix)
+    mix.merge(per_cta, times=grid)
+
+    # --maxregcount: cap the registers, pay the spill traffic
+    regs = min(t.regs_per_thread, device.max_registers_per_thread)
+    spill_l2_bytes = 0.0
+    if maxregcount is not None:
+        regs, spill_warp_accesses = spill_overhead(spec, t, maxregcount)
+        if spill_warp_accesses:
+            mix.add("LDG", spill_warp_accesses / 2)
+            mix.add("STG", spill_warp_accesses / 2)
+            spill_l2_bytes = spill_warp_accesses * 128  # 4 B per lane
+
+    # reduction staging transactions (conflict-free by construction)
+    smem_store = core.smem_store_tx + grid * threads * t.micro_m / 32
+    smem_load = core.smem_load_tx + grid * reducing_warps * t.block_dim_x
+
+    vec_bytes = float(e * grid * (t.mc + 2 * t.nc))
+    atom_bytes = float(e * grid * t.mc)
+    l2_read = core.l2_read_tx + _sectors(vec_bytes + spill_l2_bytes / 2, device)
+    l2_write = _sectors(atom_bytes + spill_l2_bytes / 2, device)
+
+    # DRAM: panel compulsory/miss traffic + one compulsory pass over the
+    # norm vectors and weights + the final V (atomics resolve in L2; lines
+    # are read once and written back once).
+    dram_read = core.dram_read + float(e * (spec.M + 2 * spec.N)) + float(e * spec.M)
+    dram_write = float(e * spec.M)
+
+    counters = KernelCounters(
+        mix=mix,
+        l2_read_transactions=l2_read,
+        l2_write_transactions=l2_write,
+        dram=DramTraffic(dram_read, dram_write),
+        smem_load_transactions=smem_load,
+        smem_store_transactions=smem_store,
+        barriers=core.barriers + 2 * grid,
+        atomics=float(grid * t.mc) if atomic_reduction else 0.0,
+    )
+    stall = 0.0 if t.double_buffered else cal.single_buffer_stall_cycles
+    per_cta_overhead = (
+        cal.barrier_stall_cycles * (1 - cal.barrier_overlap) + stall
+    ) * core.k_iters
+    return KernelLaunch(
+        name="fused-kernel-summation",
+        grid_blocks=grid,
+        threads_per_block=threads,
+        regs_per_thread=regs,
+        smem_per_block=t.smem_per_block,
+        counters=counters,
+        issue_efficiency=cal.issue_efficiency_cudac,
+        per_cta_overhead_cycles=per_cta_overhead,
+        fp64=spec.dtype == "float64",
+    )
+
+
+def fused_multi_launch(
+    spec: ProblemSpec,
+    num_rhs: int,
+    tiling: TilingConfig,
+    device: DeviceSpec,
+    cal: Calibration = DEFAULT_CALIBRATION,
+) -> KernelLaunch:
+    """The multi-weight fused kernel (R right-hand sides at once).
+
+    Relative to :func:`fused_launch`, the kernel-evaluation work is
+    unchanged (the kernel matrix is produced once) while the reduction
+    tail scales with R: ``R`` microtile-by-weights products (2 flops per
+    element per RHS), ``R``-fold partial staging, and ``R`` atomic slices.
+    Evaluating R separate summations would instead repeat the *entire*
+    GEMM + evaluation R times — the extension's arithmetic-intensity win.
+    """
+    if num_rhs <= 0:
+        raise ValueError("num_rhs must be positive")
+    base = fused_launch(spec, tiling, device, cal)
+    if num_rhs == 1:
+        return base
+    e = spec.bytes_per_element
+    t = tiling
+    grid = t.grid_blocks(spec.M, spec.N)
+    extra = num_rhs - 1
+
+    per_cta = InstructionMix()
+    per_cta.add("FFMA", t.mc * t.nc / 32)  # one more microtile x weights pass
+    per_cta.add("STS", t.threads_per_block * t.micro_m / 32)
+    per_cta.add("LDS", (t.mc / 32) * t.block_dim_x)
+    per_cta.add("FADD", (t.mc / 32) * (t.block_dim_x - 1))
+    per_cta.add("LDG", t.nc / 32)  # the extra weight slice
+    per_cta.add("RED", t.mc / 32)
+
+    mix = InstructionMix()
+    mix.merge(base.counters.mix)
+    mix.merge(per_cta, times=grid * extra)
+
+    extra_vec = float(e * grid * t.nc * extra)
+    extra_atoms = float(e * grid * t.mc * extra)
+    counters = KernelCounters(
+        mix=mix,
+        l2_read_transactions=base.counters.l2_read_transactions + _sectors(extra_vec, device),
+        l2_write_transactions=base.counters.l2_write_transactions
+        + _sectors(extra_atoms, device),
+        dram=base.counters.dram
+        + DramTraffic(float(e * spec.N * extra) + float(e * spec.M * extra),
+                      float(e * spec.M * extra)),
+        smem_load_transactions=base.counters.smem_load_transactions
+        + grid * extra * (t.mc / 32) * t.block_dim_x,
+        smem_store_transactions=base.counters.smem_store_transactions
+        + grid * extra * t.threads_per_block * t.micro_m / 32,
+        barriers=base.counters.barriers + grid * extra,
+        atomics=base.counters.atomics + grid * t.mc * extra,
+    )
+    return KernelLaunch(
+        name=f"fused-kernel-summation-x{num_rhs}",
+        grid_blocks=base.grid_blocks,
+        threads_per_block=base.threads_per_block,
+        regs_per_thread=base.regs_per_thread,
+        smem_per_block=base.smem_per_block,
+        counters=counters,
+        issue_efficiency=base.issue_efficiency,
+        per_cta_overhead_cycles=base.per_cta_overhead_cycles,
+        fp64=base.fp64,
+    )
+
+
+def symmetric_fused_launch(
+    spec: ProblemSpec,
+    tiling: TilingConfig,
+    device: DeviceSpec,
+    cal: Calibration = DEFAULT_CALIBRATION,
+) -> KernelLaunch:
+    """The symmetric (sources == targets) fused kernel.
+
+    Requires ``M == N``.  Only the upper tile triangle is evaluated —
+    ``B(B+1)/2`` CTAs instead of ``B^2`` — with each off-diagonal CTA
+    contributing two atomic slices (the mirrored block costs one extra
+    rank-1 tail, not a second GEMM).  The panel-loop work therefore drops
+    by almost half, the paper's O(M^2 K) term.
+    """
+    if spec.M != spec.N:
+        raise ValueError("the symmetric kernel needs M == N (one point set)")
+    base = fused_launch(spec, tiling, device, cal)
+    gx, gy = tiling.grid(spec.M, spec.N)
+    if gx != gy:
+        raise ValueError("square problems must tile to a square grid")
+    full = gx * gy
+    tri = gx * (gx + 1) // 2
+    scale = tri / full
+    t = tiling
+
+    mix = base.counters.mix.scaled(scale)
+    # the mirrored tail of the off-diagonal CTAs: one extra reduction pass
+    off_diag = tri - gx
+    per_cta_tail = InstructionMix()
+    per_cta_tail.add("FFMA", t.mc * t.nc / 32)
+    per_cta_tail.add("STS", t.threads_per_block * t.micro_m / 32)
+    per_cta_tail.add("LDS", (t.mc / 32) * t.block_dim_x)
+    per_cta_tail.add("FADD", (t.mc / 32) * (t.block_dim_x - 1))
+    per_cta_tail.add("RED", t.mc / 32)
+    mix.merge(per_cta_tail, times=off_diag)
+
+    c = base.counters
+    counters = KernelCounters(
+        mix=mix,
+        l2_read_transactions=c.l2_read_transactions * scale,
+        l2_write_transactions=c.l2_write_transactions * (scale + off_diag / full),
+        dram=DramTraffic(c.dram.read_bytes * scale + 4.0 * spec.M,
+                         c.dram.write_bytes),
+        smem_load_transactions=c.smem_load_transactions * scale
+        + off_diag * (t.mc / 32) * t.block_dim_x,
+        smem_store_transactions=c.smem_store_transactions * scale
+        + off_diag * t.threads_per_block * t.micro_m / 32,
+        barriers=c.barriers * scale + off_diag,
+        atomics=c.atomics * scale + off_diag * t.mc,
+    )
+    return KernelLaunch(
+        name="fused-kernel-summation-symmetric",
+        grid_blocks=tri,
+        threads_per_block=base.threads_per_block,
+        regs_per_thread=base.regs_per_thread,
+        smem_per_block=base.smem_per_block,
+        counters=counters,
+        issue_efficiency=base.issue_efficiency,
+        per_cta_overhead_cycles=base.per_cta_overhead_cycles,
+        fp64=base.fp64,
+    )

@@ -1,0 +1,89 @@
+"""Device-memory footprint analysis.
+
+The unfused pipelines materialize the M x N intermediate on the device: at
+the paper's largest point (M = 524288, N = 1024, float32) that is 2 GiB —
+half of the GTX970's 4 GiB, and deep into its infamous slow 0.5 GiB
+segment once inputs and the second intermediate pass join it.  The fused
+implementation needs only the inputs and the output vector.
+
+:func:`footprint` itemizes the device allocations per implementation;
+:func:`fits_device` applies a capacity check, so the experiment grid can
+be validated before modelling (and so users get a clear error instead of a
+hypothetical OOM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.problem import ProblemSpec
+
+__all__ = ["MemoryFootprint", "footprint", "fits_device"]
+
+#: usable device memory fraction (driver/context reserve a slice)
+_USABLE_FRACTION = 0.92
+#: GTX970 device memory in bytes
+GTX970_MEMORY = 4 * 1024**3
+#: the fast segment of the GTX970's partitioned memory (3.5 GiB)
+GTX970_FAST_SEGMENT = int(3.5 * 1024**3)
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Device allocations of one implementation on one problem."""
+
+    implementation: str
+    allocations: Dict[str, int]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.allocations.values())
+
+    def largest(self) -> tuple[str, int]:
+        name = max(self.allocations, key=lambda k: self.allocations[k])
+        return name, self.allocations[name]
+
+
+def footprint(implementation: str, spec: ProblemSpec) -> MemoryFootprint:
+    """Itemized device allocations for one implementation.
+
+    The unfused pipelines hold A, B, W, the norm vectors, the M x N GEMM
+    output, and V; the fused implementation drops the M x N buffer; the
+    literal Algorithm-1 (``-4k``) variants hold the evaluated kernel
+    matrix as a second M x N buffer (in-place evaluation is possible but
+    Algorithm 1 as written materializes ``K`` separately).
+    """
+    e = spec.bytes_per_element
+    base = {
+        "A": spec.M * spec.K * e,
+        "B": spec.K * spec.N * e,
+        "W": spec.N * e,
+        "norms": (spec.M + spec.N) * e,
+        "V": spec.M * e,
+    }
+    mn = spec.M * spec.N * e
+    if implementation == "fused":
+        allocations = base
+    elif implementation in ("cublas-unfused", "cuda-unfused"):
+        allocations = {**base, "C (GEMM output)": mn}
+    elif implementation in ("cublas-unfused-4k", "cuda-unfused-4k"):
+        allocations = {**base, "C (GEMM output)": mn, "K (kernel matrix)": mn}
+    else:
+        raise KeyError(f"unknown implementation {implementation!r}")
+    return MemoryFootprint(implementation, allocations)
+
+
+def fits_device(
+    implementation: str,
+    spec: ProblemSpec,
+    device_memory: int = GTX970_MEMORY,
+    fast_segment: int | None = GTX970_FAST_SEGMENT,
+) -> tuple[bool, bool]:
+    """(fits at all, fits in the fast segment) for one configuration."""
+    if device_memory <= 0:
+        raise ValueError("device memory must be positive")
+    total = footprint(implementation, spec).total_bytes
+    fits = total <= _USABLE_FRACTION * device_memory
+    fits_fast = total <= fast_segment if fast_segment is not None else fits
+    return fits, fits_fast

@@ -1,0 +1,111 @@
+"""Multi-kernel pipeline assembly and end-to-end modelling.
+
+Maps each implementation name onto the kernel launches it performs, times
+every launch, and wraps everything in a :class:`~repro.gpu.profiler.
+ProfiledRun` so the experiment layer can pull any nvprof-style metric:
+
+* ``cublas-unfused`` — norms, cuBLAS GEMM, kernel evaluation, cuBLAS GEMV;
+* ``cuda-unfused``   — norms, our CUDA-C GEMM, kernel evaluation, GEMV;
+* ``fused``          — norms, then the single fused kernel.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.problem import ProblemSpec
+from ..core.tiling import PAPER_TILING, TilingConfig
+from ..gpu.device import GTX970, DeviceSpec
+from ..gpu.kernel import KernelLaunch
+from ..gpu.profiler import KernelProfile, ProfiledRun
+from .calibration import Calibration, DEFAULT_CALIBRATION
+from .counts import (
+    eval_launch,
+    evalsum_launch,
+    fused_launch,
+    gemm_launch,
+    gemv_launch,
+    norms_launch,
+)
+from .timing import time_kernel
+
+__all__ = ["PIPELINE_NAMES", "build_pipeline", "model_run", "model_gemm"]
+
+#: The three implementations the paper compares, plus the literal
+#: Algorithm-1 variants (separate evaluation and GEMV kernels, so the
+#: evaluated kernel matrix also round-trips DRAM) kept as ablations.
+PIPELINE_NAMES = (
+    "fused",
+    "cuda-unfused",
+    "cublas-unfused",
+    "cuda-unfused-4k",
+    "cublas-unfused-4k",
+)
+
+
+def build_pipeline(
+    implementation: str,
+    spec: ProblemSpec,
+    tiling: TilingConfig = PAPER_TILING,
+    device: DeviceSpec = GTX970,
+    cal: Calibration = DEFAULT_CALIBRATION,
+    **kwargs,
+) -> List[KernelLaunch]:
+    """The kernel launches one implementation performs, in order.
+
+    ``kwargs`` are forwarded to the fused/GEMM builders (ablation knobs
+    such as ``smem_load_conflict_factor`` or ``atomic_reduction``).
+    """
+    if implementation == "fused":
+        return [
+            norms_launch(spec, device, cal),
+            fused_launch(spec, tiling, device, cal, **kwargs),
+        ]
+    if implementation in ("cuda-unfused", "cublas-unfused"):
+        flavor = "cudac" if implementation.startswith("cuda-") else "cublas"
+        return [
+            norms_launch(spec, device, cal),
+            gemm_launch(spec, tiling, device, cal, flavor=flavor, **kwargs),
+            evalsum_launch(spec, device, cal),
+        ]
+    if implementation in ("cuda-unfused-4k", "cublas-unfused-4k"):
+        flavor = "cudac" if implementation.startswith("cuda-") else "cublas"
+        return [
+            norms_launch(spec, device, cal),
+            gemm_launch(spec, tiling, device, cal, flavor=flavor, **kwargs),
+            eval_launch(spec, device, cal),
+            gemv_launch(spec, device, cal, flavor=flavor),
+        ]
+    raise KeyError(
+        f"unknown implementation {implementation!r}; available: {PIPELINE_NAMES}"
+    )
+
+
+def model_run(
+    implementation: str,
+    spec: ProblemSpec,
+    tiling: TilingConfig = PAPER_TILING,
+    device: DeviceSpec = GTX970,
+    cal: Calibration = DEFAULT_CALIBRATION,
+    **kwargs,
+) -> ProfiledRun:
+    """Model one implementation end to end; returns the profiled run."""
+    launches = build_pipeline(implementation, spec, tiling, device, cal, **kwargs)
+    profiles = [
+        KernelProfile(launch=lk, seconds=time_kernel(lk, device, cal).seconds)
+        for lk in launches
+    ]
+    return ProfiledRun(implementation, device, profiles)
+
+
+def model_gemm(
+    flavor: str,
+    spec: ProblemSpec,
+    tiling: TilingConfig = PAPER_TILING,
+    device: DeviceSpec = GTX970,
+    cal: Calibration = DEFAULT_CALIBRATION,
+) -> ProfiledRun:
+    """Model the standalone GEMM alone (the paper's Fig. 7 comparison)."""
+    launch = gemm_launch(spec, tiling, device, cal, flavor=flavor)
+    prof = KernelProfile(launch=launch, seconds=time_kernel(launch, device, cal).seconds)
+    return ProfiledRun(f"gemm-{flavor}", device, [prof])

@@ -1,0 +1,101 @@
+"""Roofline analysis of the modelled kernels.
+
+The paper's memory-bound-vs-compute-bound story ("to the BLAS library the
+computation appears to be memory bound with small K; however, it could be
+turned into compute bound after modifying BLAS") is a roofline statement.
+This module computes arithmetic intensity and roofline-bounded throughput
+for any :class:`~repro.gpu.kernel.KernelLaunch`, and renders a small ASCII
+roofline so reports can show where each kernel sits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..gpu.device import DeviceSpec
+from ..gpu.kernel import KernelLaunch
+
+__all__ = ["RooflinePoint", "analyze", "ridge_intensity", "render_roofline"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position on the device roofline."""
+
+    name: str
+    arithmetic_intensity: float  # flop / DRAM byte
+    attainable_flops: float  # roofline bound, flop/s
+    bound: str  # "memory" | "compute"
+
+    def __post_init__(self) -> None:
+        if self.arithmetic_intensity <= 0:
+            raise ValueError("arithmetic intensity must be positive")
+
+
+def ridge_intensity(device: DeviceSpec) -> float:
+    """flop/byte where the memory and compute roofs intersect."""
+    return device.peak_flops_sp / device.peak_dram_bandwidth
+
+
+def analyze(launch: KernelLaunch, device: DeviceSpec) -> RooflinePoint:
+    """Place one launch on the device roofline."""
+    flops = launch.counters.flops
+    dram_bytes = launch.counters.dram.total_bytes
+    if flops <= 0:
+        raise ValueError(f"kernel {launch.name!r} performs no floating-point work")
+    if dram_bytes <= 0:
+        raise ValueError(f"kernel {launch.name!r} moves no DRAM bytes")
+    ai = flops / dram_bytes
+    roof = min(device.peak_flops_sp, ai * device.peak_dram_bandwidth)
+    bound = "memory" if ai < ridge_intensity(device) else "compute"
+    return RooflinePoint(launch.name, ai, roof, bound)
+
+
+def render_roofline(
+    points: Sequence[RooflinePoint],
+    device: DeviceSpec,
+    width: int = 60,
+    height: int = 12,
+) -> str:
+    """ASCII log-log roofline with the given kernels marked.
+
+    X spans 1/8x to 8x around the span of the points and the ridge; the
+    roof is drawn with ``/`` (memory slope) and ``-`` (compute plateau),
+    kernels with their index digit.
+    """
+    if not points:
+        raise ValueError("nothing to plot")
+    ridge = ridge_intensity(device)
+    ais = [p.arithmetic_intensity for p in points] + [ridge]
+    x_lo = math.log2(min(ais) / 8)
+    x_hi = math.log2(max(ais) * 8)
+    y_hi = math.log2(device.peak_flops_sp)
+    y_lo = y_hi - height / 2.5  # a few octaves below peak
+
+    def col(ai: float) -> int:
+        return int((math.log2(ai) - x_lo) / (x_hi - x_lo) * (width - 1))
+
+    def row(flops: float) -> int:
+        r = (math.log2(max(flops, 2.0**y_lo)) - y_lo) / (y_hi - y_lo)
+        return height - 1 - int(min(max(r, 0.0), 1.0) * (height - 1))
+
+    grid = [[" "] * width for _ in range(height)]
+    for c in range(width):
+        ai = 2.0 ** (x_lo + (x_hi - x_lo) * c / (width - 1))
+        roof = min(device.peak_flops_sp, ai * device.peak_dram_bandwidth)
+        r = row(roof)
+        grid[r][c] = "-" if ai >= ridge else "/"
+    for i, p in enumerate(points):
+        grid[row(p.attainable_flops)][col(p.arithmetic_intensity)] = str(i % 10)
+
+    lines = [f"roofline: {device.name}  (peak {device.peak_flops_sp / 1e12:.1f} TFLOP/s, "
+             f"{device.peak_dram_bandwidth / 1e9:.0f} GB/s, ridge {ridge:.1f} flop/B)"]
+    lines += ["".join(r) for r in grid]
+    for i, p in enumerate(points):
+        lines.append(
+            f"  [{i}] {p.name}: {p.arithmetic_intensity:.1f} flop/B, "
+            f"{p.attainable_flops / 1e12:.2f} TFLOP/s attainable ({p.bound}-bound)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Bottleneck timing model (Hong-Kim style).
+
+One kernel's runtime is the slowest of its throughput roofs, corrected for
+how well the launch can overlap latencies:
+
+* **issue/compute** — warp instructions per execution unit divided by that
+  unit's device-wide throughput, scaled by the kernel's issue efficiency;
+* **shared memory** — one warp transaction per SM per cycle;
+* **L2** — sector transactions against the aggregate L2 bandwidth;
+* **DRAM** — bytes against sustained bandwidth;
+* **atomics** — word updates against the L2 atomic throughput.
+
+Two occupancy effects are layered on: *wave quantization* (the tail wave
+underfills the device) and *latency hiding* (below ~16 resident warps per
+SM the schedulers cannot cover instruction and memory latency; throughput
+degrades proportionally).  Per-CTA unhidden overhead (tile-load prologue,
+barrier drains) is charged per sequential CTA slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..gpu.device import DeviceSpec
+from ..gpu.dram import DramModel
+from ..gpu.isa import Unit
+from ..gpu.kernel import KernelLaunch
+from ..gpu.scheduler import plan_schedule
+from .calibration import Calibration, DEFAULT_CALIBRATION
+
+__all__ = ["KernelTiming", "time_kernel"]
+
+#: resident warps per SM needed for full latency hiding
+_WARPS_FOR_FULL_HIDING = 16.0
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Runtime of one kernel with its bottleneck decomposition."""
+
+    seconds: float
+    bottleneck: str
+    component_seconds: Mapping[str, float]
+    utilization: float
+    occupancy: float
+
+    def __post_init__(self) -> None:
+        if self.seconds <= 0:
+            raise ValueError("kernel time must be positive")
+
+
+def time_kernel(
+    launch: KernelLaunch,
+    device: DeviceSpec,
+    cal: Calibration = DEFAULT_CALIBRATION,
+) -> KernelTiming:
+    """Model the runtime of one kernel launch on ``device``."""
+    plan = plan_schedule(
+        device,
+        launch.grid_blocks,
+        launch.threads_per_block,
+        launch.regs_per_thread,
+        launch.smem_per_block,
+    )
+    clock = device.core_clock_hz
+    sms = device.num_sms
+    c = launch.counters
+    unit_insts = c.mix.unit_cycles()
+
+    # --- compute roofs (cycles, whole device) ---------------------------
+    fp32_insts = (
+        unit_insts.get(Unit.FP32, 0.0)
+        + unit_insts.get(Unit.INT, 0.0)  # XMAD shares the core ALUs on Maxwell
+    )
+    fma_rate = device.fma_throughput_per_sm_per_cycle
+    if launch.fp64:
+        # DFMA retires on the scarce DP units (1/32 rate on Maxwell)
+        fma_rate = fma_rate / device.fp64_throughput_ratio
+    fp32_cycles = fp32_insts / (fma_rate * sms)
+    sfu_cycles = unit_insts.get(Unit.SFU, 0.0) / (
+        device.sfu_throughput_per_sm_per_cycle * sms
+    )
+    # LSU: global load/store instructions, ~1 warp instruction/SM/cycle
+    lsu_cycles = (
+        unit_insts.get(Unit.LSU, 0.0) + unit_insts.get(Unit.ATOM, 0.0)
+    ) / sms
+    # issue roof: every instruction needs a scheduler slot
+    issue_cycles = c.mix.issue_cycles() / (device.issue_slots_per_sm_per_cycle * sms)
+    # shared memory: one transaction per SM per cycle
+    smem_cycles = c.smem_transactions / sms
+
+    compute_cycles = max(fp32_cycles, sfu_cycles, lsu_cycles, issue_cycles)
+    compute_s = compute_cycles / clock / launch.issue_efficiency
+    smem_s = smem_cycles / clock
+
+    # --- memory roofs ------------------------------------------------------
+    l2_bytes = c.l2_transactions * device.l2_transaction_bytes
+    l2_s = l2_bytes / device.peak_l2_bandwidth
+    dram_model = DramModel(device)
+    dram_model.STREAMING_EFFICIENCY = cal.dram_streaming_efficiency
+    dram_s = dram_model.transfer_time(c.dram, launch.streaming_fraction)
+
+    atom_s = (
+        c.atomics / cal.atomic_updates_per_cycle / clock if c.atomics else 0.0
+    )
+
+    components = {
+        "compute": compute_s,
+        "smem": smem_s,
+        "l2": l2_s,
+        "dram": dram_s,
+        "atomics": atom_s,
+    }
+    bottleneck = max(components, key=lambda k: components[k])
+    base = components[bottleneck]
+
+    # --- occupancy corrections -------------------------------------------
+    # Wave quantization: the tail wave underfills the device.
+    utilization = plan.utilization
+    # Latency hiding: below ~16 warps/SM the roofs are not reachable.
+    avg_warps = plan.warps_per_sm * utilization
+    hiding = min(1.0, avg_warps / _WARPS_FOR_FULL_HIDING)
+    seconds = base / hiding
+
+    # per-CTA unhidden overhead, serialized over the CTA slots of one SM
+    if launch.per_cta_overhead_cycles:
+        serial_ctas = plan.waves * plan.blocks_per_sm
+        seconds += serial_ctas * launch.per_cta_overhead_cycles / clock
+
+    # wave-tail correction: the last wave's occupancy droop
+    if plan.waves > 1 and utilization < 1.0:
+        seconds += (base / plan.waves) * (1.0 - utilization)
+
+    return KernelTiming(
+        seconds=seconds,
+        bottleneck=bottleneck,
+        component_seconds=components,
+        utilization=utilization,
+        occupancy=plan.occupancy,
+    )

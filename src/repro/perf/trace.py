@@ -1,0 +1,198 @@
+"""Global-memory address-trace generation.
+
+The analytical traffic model in :mod:`repro.perf.counts` encodes cache
+behaviour as rules ("concurrent re-reads hit", "streams thrash").  This
+module makes those rules *checkable*: it generates the sector-granular
+address streams the modelled kernels actually emit — in CTA scheduling
+order, with the configured number of CTAs interleaved the way concurrent
+execution interleaves them — so the trace-driven
+:class:`~repro.gpu.l2cache.L2Cache` can measure hit rates and DRAM traffic
+directly.  `repro.experiments.validation` compares both at small scale.
+
+Memory layout of the modelled address space (byte offsets):
+
+* ``A`` at 0 — M x K float32, row-major (a point's coordinates contiguous);
+* ``B`` after A — K x N float32, column-major (ditto);
+* ``C`` after B — the M x N intermediate, row-major;
+* ``V`` after C — the output vector.
+
+All traces yield ``(byte_address, is_write)`` pairs at the 32-byte sector
+granularity of the L2 interface.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Tuple
+
+from ..core.problem import ProblemSpec
+from ..core.tiling import PAPER_TILING, TilingConfig
+
+__all__ = [
+    "AddressMap",
+    "gemm_trace",
+    "fused_trace",
+    "evalsum_trace",
+    "simulate_trace",
+]
+
+SECTOR = 32
+Access = Tuple[int, bool]
+
+
+class AddressMap:
+    """Byte offsets of the problem's arrays in the modelled address space."""
+
+    def __init__(self, spec: ProblemSpec) -> None:
+        e = spec.bytes_per_element
+        self.spec = spec
+        self.a_base = 0
+        self.a_bytes = spec.M * spec.K * e
+        self.b_base = self.a_base + self.a_bytes
+        self.b_bytes = spec.K * spec.N * e
+        self.c_base = self.b_base + self.b_bytes
+        self.c_bytes = spec.M * spec.N * e
+        self.v_base = self.c_base + self.c_bytes
+        self.v_bytes = spec.M * e
+        self.element = e
+
+    def a_panel_sectors(self, by: int, ki: int, tiling: TilingConfig) -> list[int]:
+        """Sectors of tileA (rows ``128*by..``, k-cols ``kc*ki..``).
+
+        A is row-major with leading dimension K: each tile row contributes
+        ``kc * e`` contiguous bytes starting at ``(row*K + kc*ki) * e``.
+        """
+        e = self.element
+        K = self.spec.K
+        row0 = by * tiling.mc
+        col0 = ki * tiling.kc
+        span = tiling.kc * e
+        sectors = []
+        for r in range(row0, min(row0 + tiling.mc, self.spec.M)):
+            start = self.a_base + (r * K + col0) * e
+            first = start // SECTOR * SECTOR
+            last = (start + span - 1) // SECTOR * SECTOR
+            sectors.extend(range(first, last + 1, SECTOR))
+        return sectors
+
+    def b_panel_sectors(self, bx: int, ki: int, tiling: TilingConfig) -> list[int]:
+        """Sectors of tileB (k-rows ``kc*ki..``, cols ``128*bx..``).
+
+        B is column-major with leading dimension K: each tile column
+        contributes ``kc * e`` contiguous bytes at ``(col*K + kc*ki) * e``.
+        """
+        e = self.element
+        K = self.spec.K
+        col0 = bx * tiling.nc
+        row0 = ki * tiling.kc
+        span = tiling.kc * e
+        sectors = []
+        for c in range(col0, min(col0 + tiling.nc, self.spec.N)):
+            start = self.b_base + (c * K + row0) * e
+            first = start // SECTOR * SECTOR
+            last = (start + span - 1) // SECTOR * SECTOR
+            sectors.extend(range(first, last + 1, SECTOR))
+        return sectors
+
+    def c_tile_sectors(self, bx: int, by: int, tiling: TilingConfig) -> list[int]:
+        """Sectors of one 128x128 C tile (row-major, leading dimension N)."""
+        e = self.element
+        N = self.spec.N
+        sectors = []
+        for r in range(by * tiling.mc, min((by + 1) * tiling.mc, self.spec.M)):
+            row_start = self.c_base + (r * N + bx * tiling.nc) * e
+            row_bytes = min(tiling.nc, self.spec.N - bx * tiling.nc) * e
+            first = row_start // SECTOR * SECTOR
+            last = (row_start + row_bytes - 1) // SECTOR * SECTOR
+            sectors.extend(range(first, last + 1, SECTOR))
+        return sectors
+
+    def v_slice_sectors(self, by: int, tiling: TilingConfig) -> list[int]:
+        start = self.v_base + by * tiling.mc * self.element
+        nbytes = min(tiling.mc, self.spec.M - by * tiling.mc) * self.element
+        first = start // SECTOR * SECTOR
+        last = (start + nbytes - 1) // SECTOR * SECTOR
+        return list(range(first, last + 1, SECTOR))
+
+
+def _cta_stream(
+    spec: ProblemSpec,
+    tiling: TilingConfig,
+    concurrent: int,
+    write_c: bool,
+    atomic_v: bool,
+) -> Iterator[Access]:
+    """Interleave the panel loops of ``concurrent`` resident CTAs.
+
+    CTAs launch in row-major grid order (bx fastest), exactly like the
+    hardware scheduler fills SMs, and advance one k-panel per round —
+    which is what makes same-``by`` tile re-reads *concurrent*.
+    """
+    amap = AddressMap(spec)
+    gx, gy = tiling.grid(spec.M, spec.N)
+    k_iters = tiling.k_iterations(spec.K)
+    order = [(bx, by) for by in range(gy) for bx in range(gx)]
+    pending = deque(order)
+    active: deque[tuple[int, int, int]] = deque()  # (bx, by, next_panel)
+
+    while pending and len(active) < concurrent:
+        bx, by = pending.popleft()
+        active.append((bx, by, 0))
+
+    while active:
+        for _ in range(len(active)):
+            bx, by, ki = active.popleft()
+            for s in amap.a_panel_sectors(by, ki, tiling):
+                yield s, False
+            for s in amap.b_panel_sectors(bx, ki, tiling):
+                yield s, False
+            ki += 1
+            if ki < k_iters:
+                active.append((bx, by, ki))
+            else:
+                if write_c:
+                    for s in amap.c_tile_sectors(bx, by, tiling):
+                        yield s, True
+                if atomic_v:
+                    for s in amap.v_slice_sectors(by, tiling):
+                        yield s, True
+                if pending:
+                    nbx, nby = pending.popleft()
+                    active.append((nbx, nby, 0))
+
+
+def gemm_trace(
+    spec: ProblemSpec,
+    tiling: TilingConfig = PAPER_TILING,
+    concurrent: int = 26,
+) -> Iterator[Access]:
+    """Standalone GEMM: interleaved tile loads + the C write stream."""
+    if concurrent <= 0:
+        raise ValueError("need at least one concurrent CTA")
+    return _cta_stream(spec, tiling, concurrent, write_c=True, atomic_v=False)
+
+
+def fused_trace(
+    spec: ProblemSpec,
+    tiling: TilingConfig = PAPER_TILING,
+    concurrent: int = 26,
+) -> Iterator[Access]:
+    """Fused kernel: tile loads + per-CTA V atomics; no C stream."""
+    if concurrent <= 0:
+        raise ValueError("need at least one concurrent CTA")
+    return _cta_stream(spec, tiling, concurrent, write_c=False, atomic_v=True)
+
+
+def evalsum_trace(spec: ProblemSpec) -> Iterator[Access]:
+    """The unfused tail: stream C once, write V once."""
+    amap = AddressMap(spec)
+    for addr in range(amap.c_base, amap.c_base + amap.c_bytes, SECTOR):
+        yield addr, False
+    for addr in range(amap.v_base, amap.v_base + amap.v_bytes, SECTOR):
+        yield addr, True
+
+
+def simulate_trace(trace: Iterator[Access], cache) -> None:
+    """Drive an :class:`~repro.gpu.l2cache.L2Cache` with a trace."""
+    for addr, write in trace:
+        cache.access(addr, write)

@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ProblemSpec, generate
+from repro.experiments import ExperimentRunner
+from repro.gpu import GTX970
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """One memoising experiment runner shared by the whole session."""
+    return ExperimentRunner(device=GTX970)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_problem():
+    """A modest non-square float32 instance exercising padding paths."""
+    return generate(ProblemSpec(M=300, N=200, K=17, h=0.7, seed=3))
+
+
+@pytest.fixture
+def tile_problem():
+    """An exactly tile-aligned instance (no padding)."""
+    return generate(ProblemSpec(M=256, N=256, K=32, h=1.0, seed=5))

@@ -1,0 +1,107 @@
+"""Public API tests."""
+
+import numpy as np
+import pytest
+
+from repro import kernel_summation
+from repro.core import IMPLEMENTATIONS, direct, make_problem
+
+
+@pytest.fixture
+def arrays(rng):
+    A = rng.random((200, 16), dtype=np.float32)
+    B = rng.random((16, 150), dtype=np.float32)
+    W = rng.standard_normal(150).astype(np.float32)
+    return A, B, W
+
+
+class TestKernelSummation:
+    def test_default_is_fused_gaussian(self, arrays):
+        A, B, W = arrays
+        V = kernel_summation(A, B, W, h=0.7)
+        ref = direct(make_problem(A, B, W, h=0.7))
+        np.testing.assert_allclose(V, ref, rtol=2e-3, atol=1e-4)
+
+    @pytest.mark.parametrize("impl", sorted(IMPLEMENTATIONS))
+    def test_every_implementation_agrees(self, arrays, impl):
+        A, B, W = arrays
+        V = kernel_summation(A, B, W, h=0.7, implementation=impl)
+        ref = direct(make_problem(A, B, W, h=0.7))
+        np.testing.assert_allclose(V, ref, rtol=2e-3, atol=1e-4)
+
+    def test_alternative_kernel(self, arrays):
+        A, B, W = arrays
+        V = kernel_summation(A, B, W, h=0.7, kernel="laplace")
+        ref = direct(make_problem(A, B, W, h=0.7, kernel="laplace"))
+        np.testing.assert_allclose(V, ref, rtol=2e-3, atol=1e-4)
+
+    def test_unknown_implementation_rejected(self, arrays):
+        A, B, W = arrays
+        with pytest.raises(KeyError, match="unknown implementation"):
+            kernel_summation(A, B, W, implementation="magic")
+
+    def test_unknown_kernel_rejected(self, arrays):
+        A, B, W = arrays
+        with pytest.raises(KeyError, match="unknown kernel"):
+            kernel_summation(A, B, W, kernel="rbf")
+
+    def test_output_shape_and_dtype(self, arrays):
+        A, B, W = arrays
+        V = kernel_summation(A, B, W)
+        assert V.shape == (200,)
+        assert V.dtype == np.float32
+
+
+class TestMakeProblem:
+    def test_wraps_valid_arrays(self, arrays):
+        A, B, W = arrays
+        data = make_problem(A, B, W, h=0.5, kernel="polynomial")
+        assert data.spec.M == 200 and data.spec.N == 150 and data.spec.K == 16
+        assert data.spec.kernel == "polynomial"
+
+    def test_non_contiguous_inputs_accepted(self, rng):
+        A = np.asfortranarray(rng.random((64, 8), dtype=np.float32))
+        B = rng.random((8, 32), dtype=np.float32)
+        W = rng.standard_normal(32).astype(np.float32)
+        data = make_problem(A, B, W)
+        assert data.A.flags["C_CONTIGUOUS"]
+
+    def test_k_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError, match="K dimensions"):
+            make_problem(
+                rng.random((8, 4), dtype=np.float32),
+                rng.random((5, 8), dtype=np.float32),
+                np.ones(8, dtype=np.float32),
+            )
+
+    def test_weight_length_checked(self, rng):
+        with pytest.raises(ValueError, match="length N"):
+            make_problem(
+                rng.random((8, 4), dtype=np.float32),
+                rng.random((4, 8), dtype=np.float32),
+                np.ones(7, dtype=np.float32),
+            )
+
+    def test_mixed_dtype_rejected(self, rng):
+        with pytest.raises(ValueError, match="share one dtype"):
+            make_problem(
+                rng.random((8, 4), dtype=np.float32),
+                rng.random((4, 8)).astype(np.float64),
+                np.ones(8, dtype=np.float32),
+            )
+
+    def test_integer_inputs_rejected(self):
+        with pytest.raises(ValueError, match="float32 or float64"):
+            make_problem(
+                np.ones((4, 2), dtype=np.int32),
+                np.ones((2, 4), dtype=np.int32),
+                np.ones(4, dtype=np.int32),
+            )
+
+    def test_wrong_rank_rejected(self, rng):
+        with pytest.raises(ValueError):
+            make_problem(
+                rng.random(8).astype(np.float32),
+                rng.random((4, 8)).astype(np.float32),
+                np.ones(8, dtype=np.float32),
+            )

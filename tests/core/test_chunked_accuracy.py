@@ -1,0 +1,112 @@
+"""Out-of-core summation and error-analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ProblemSpec,
+    chunked_kernel_summation,
+    direct,
+    expansion_error_bound,
+    fused_kernel_summation,
+    generate,
+    measured_expansion_error,
+    potential_error_bound,
+    summation_error_bound,
+)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return generate(ProblemSpec(M=777, N=333, K=12, h=0.7, seed=6))
+
+
+class TestChunked:
+    def test_matches_direct_exactly_in_structure(self, problem):
+        V = chunked_kernel_summation(problem.A, problem.B, problem.W, h=0.7)
+        np.testing.assert_allclose(V, direct(problem), rtol=1e-6, atol=1e-6)
+
+    def test_chunk_size_does_not_change_result(self, problem):
+        v1 = chunked_kernel_summation(problem.A, problem.B, problem.W, h=0.7, chunk_rows=64)
+        v2 = chunked_kernel_summation(problem.A, problem.B, problem.W, h=0.7, chunk_rows=10_000)
+        np.testing.assert_allclose(v1, v2, rtol=1e-12)
+
+    def test_progress_callback_sequence(self, problem):
+        seen = []
+        chunked_kernel_summation(
+            problem.A, problem.B, problem.W, h=0.7, chunk_rows=200,
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen == [(200, 777), (400, 777), (600, 777), (777, 777)]
+
+    def test_other_kernel(self, problem):
+        V = chunked_kernel_summation(
+            problem.A, problem.B, problem.W, h=0.7, kernel="laplace", chunk_rows=100
+        )
+        spec = problem.spec.with_(kernel="laplace")
+        from repro.core import ProblemData
+
+        ref = direct(ProblemData(spec=spec, A=problem.A, B=problem.B, W=problem.W))
+        np.testing.assert_allclose(V, ref, rtol=1e-5, atol=1e-5)
+
+    def test_validation(self, problem):
+        with pytest.raises(ValueError):
+            chunked_kernel_summation(problem.A, problem.B, problem.W, chunk_rows=0)
+        with pytest.raises(ValueError):
+            chunked_kernel_summation(problem.A, problem.B, problem.W[:5])
+        with pytest.raises(ValueError):
+            chunked_kernel_summation(problem.A, problem.B, problem.W, h=-1.0)
+
+
+class TestErrorAnalysis:
+    def test_expansion_bound_holds(self, problem):
+        measured = measured_expansion_error(problem)
+        # points live in [0,1)^12: norms bounded by sqrt(12)
+        bound = expansion_error_bound(12, np.sqrt(12.0))
+        assert measured <= bound
+
+    def test_expansion_bound_scales_with_radius(self):
+        assert expansion_error_bound(16, 10.0) > expansion_error_bound(16, 1.0)
+
+    def test_expansion_bound_scales_with_dimension(self):
+        assert expansion_error_bound(256, 1.0) > expansion_error_bound(16, 1.0)
+
+    def test_cancellation_demo(self):
+        """Near-identical far-from-origin points: expansion error dwarfs
+        the true distance — the catastrophic-cancellation regime."""
+        from repro.core import ProblemData
+
+        rng = np.random.default_rng(0)
+        base = (100.0 + rng.random(8)).astype(np.float32)
+        A = np.stack([base, base + np.float32(1e-4)]).astype(np.float32)
+        B = A.T.copy()
+        spec = ProblemSpec(M=2, N=2, K=8, h=1.0)
+        data = ProblemData(spec=spec, A=A, B=B, W=np.ones(2, dtype=np.float32))
+        measured = measured_expansion_error(data)
+        true_offdiag = float(np.sum((A[0] - A[1]).astype(np.float64) ** 2))
+        assert measured > 0.1 * true_offdiag  # the error is comparable to the signal
+
+    def test_potential_bound_holds_end_to_end(self, problem):
+        bound = potential_error_bound(problem)
+        actual = float(
+            np.max(
+                np.abs(
+                    fused_kernel_summation(problem).astype(np.float64)
+                    - direct(problem).astype(np.float64)
+                )
+            )
+        )
+        assert actual <= bound
+
+    def test_summation_bound_grows_with_n(self):
+        assert summation_error_bound(10_000, 1.0) > summation_error_bound(100, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expansion_error_bound(0, 1.0)
+        with pytest.raises(ValueError):
+            expansion_error_bound(8, 0.0)
+        with pytest.raises(ValueError):
+            summation_error_bound(0, 1.0)
+        with pytest.raises(ValueError):
+            summation_error_bound(10, -1.0)

@@ -1,0 +1,71 @@
+"""Algorithm 2's double-buffered panel loop, executed at warp level."""
+
+import numpy as np
+import pytest
+
+from repro.core.simt_kernels import run_double_buffered_gemm
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    rng = np.random.default_rng(8)
+    A = rng.standard_normal((128, 32)).astype(np.float32)
+    B = rng.standard_normal((32, 128)).astype(np.float32)
+    return A, B
+
+
+class TestDoubleBufferedLoop:
+    def test_computes_the_product(self, inputs):
+        A, B = inputs
+        acc, _ = run_double_buffered_gemm(A, B)
+        np.testing.assert_allclose(acc, A @ B, rtol=1e-4, atol=1e-4)
+
+    def test_one_barrier_per_panel(self, inputs):
+        """Lines 6 and 11: K/kc barriers total (one per panel iteration)."""
+        A, B = inputs
+        _, stats = run_double_buffered_gemm(A, B)
+        assert stats.barriers == 32 // 8
+
+    def test_conflict_free_throughout(self, inputs):
+        A, B = inputs
+        _, stats = run_double_buffered_gemm(A, B)
+        assert stats.load_conflicts == 0
+        assert stats.store_conflicts == 0
+
+    def test_single_panel_degenerate_case(self):
+        rng = np.random.default_rng(9)
+        A = rng.standard_normal((128, 8)).astype(np.float32)
+        B = rng.standard_normal((8, 128)).astype(np.float32)
+        acc, stats = run_double_buffered_gemm(A, B)
+        np.testing.assert_allclose(acc, A @ B, rtol=1e-4, atol=1e-4)
+        assert stats.barriers == 1  # just the prologue barrier
+
+    def test_many_panels(self):
+        rng = np.random.default_rng(10)
+        A = rng.standard_normal((128, 64)).astype(np.float32)
+        B = rng.standard_normal((64, 128)).astype(np.float32)
+        acc, _ = run_double_buffered_gemm(A, B)
+        np.testing.assert_allclose(acc, A @ B, rtol=1e-4, atol=2e-4)
+
+    def test_buffer_reuse_is_real(self, inputs):
+        """With 4 panels and 2 buffers, staging must overwrite each buffer
+        region; correctness of the product proves the XOR indexing never
+        computes against a half-overwritten tile."""
+        A, B = inputs
+        acc, stats = run_double_buffered_gemm(A, B)
+        # both buffer pairs were written at least twice: total staged words
+        # = panels * 2048 > 2 * buffer words
+        staged_words = stats.smem.stats.bytes_written // 4
+        assert staged_words == 4 * 2048
+
+    def test_k_must_be_panel_multiple(self):
+        A = np.zeros((128, 12), dtype=np.float32)
+        B = np.zeros((12, 128), dtype=np.float32)
+        with pytest.raises(ValueError, match="multiple"):
+            run_double_buffered_gemm(A, B)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            run_double_buffered_gemm(
+                np.zeros((64, 8), dtype=np.float32), np.zeros((8, 128), dtype=np.float32)
+            )

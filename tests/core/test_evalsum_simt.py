@@ -1,0 +1,52 @@
+"""Warp-level eval+summation tail tests (the baseline's second kernel)."""
+
+import numpy as np
+import pytest
+
+from repro.core.simt_kernels import run_evalsum_cta, run_fused_cta
+
+
+@pytest.fixture(scope="module")
+def tile_inputs():
+    rng = np.random.default_rng(17)
+    tA = rng.random((128, 8)).astype(np.float32)
+    tB = rng.random((8, 128)).astype(np.float32)
+    w = rng.standard_normal(128).astype(np.float32)
+    na = np.einsum("ik,ik->i", tA, tA).astype(np.float32)
+    nb = np.einsum("kj,kj->j", tB, tB).astype(np.float32)
+    C = (tA @ tB).astype(np.float32)
+    return tA, tB, C, na, nb, w
+
+
+class TestEvalsumCta:
+    def test_agrees_with_fused_tail(self, tile_inputs):
+        """Same math, different staging: the unfused tail fed the
+        materialized C must equal the fused kernel's output."""
+        tA, tB, C, na, nb, w = tile_inputs
+        V_unfused, _ = run_evalsum_cta(C, na, nb, w, h=0.9)
+        V_fused, _ = run_fused_cta(tA, tB, w, h=0.9)
+        np.testing.assert_allclose(V_unfused, V_fused, rtol=1e-5, atol=1e-5)
+
+    def test_matches_reference(self, tile_inputs):
+        _, _, C, na, nb, w = tile_inputs
+        V, _ = run_evalsum_cta(C, na, nb, w, h=0.7)
+        sq = np.maximum(na[:, None] + nb[None, :] - 2 * C.astype(np.float64), 0)
+        ref = np.exp(-sq / (2 * 0.7**2)) @ w.astype(np.float64)
+        np.testing.assert_allclose(V, ref, rtol=1e-4, atol=1e-4)
+
+    def test_reduction_loads_conflict_free(self, tile_inputs):
+        _, _, C, na, nb, w = tile_inputs
+        _, stats = run_evalsum_cta(C, na, nb, w)
+        assert stats.load_conflicts == 0
+
+    def test_one_atomic_per_row(self, tile_inputs):
+        _, _, C, na, nb, w = tile_inputs
+        _, stats = run_evalsum_cta(C, na, nb, w)
+        assert stats.atomic_ops == 128
+
+    def test_shape_validation(self, tile_inputs):
+        _, _, C, na, nb, w = tile_inputs
+        with pytest.raises(ValueError):
+            run_evalsum_cta(C[:64], na, nb, w)
+        with pytest.raises(ValueError, match="norm_a"):
+            run_evalsum_cta(C, na[:64], nb, w)

@@ -1,0 +1,98 @@
+"""Fused kernel-summation (Algorithm 2) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FusedKernelSummation,
+    ProblemSpec,
+    TilingConfig,
+    direct,
+    expanded,
+    fused_kernel_summation,
+    generate,
+)
+
+
+def relerr(a, b):
+    return np.max(np.abs(a.astype(np.float64) - b.astype(np.float64)) / (np.abs(b) + 1e-3))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("M,N,K", [(128, 128, 8), (256, 128, 32), (300, 200, 17), (64, 64, 4), (1, 1, 1)])
+    def test_matches_reference(self, M, N, K):
+        data = generate(ProblemSpec(M=M, N=N, K=K, h=0.8, seed=M + K))
+        V = fused_kernel_summation(data)
+        assert relerr(V, direct(data)) < 5e-4
+
+    @pytest.mark.parametrize("kernel", ["gaussian", "laplace", "polynomial", "matern32"])
+    def test_all_kernels(self, kernel):
+        data = generate(ProblemSpec(M=200, N=150, K=12, h=0.9, kernel=kernel, seed=2))
+        assert relerr(fused_kernel_summation(data), direct(data)) < 1e-3
+
+    @pytest.mark.parametrize("h", [0.1, 1.0, 10.0])
+    def test_bandwidth_sweep(self, h):
+        data = generate(ProblemSpec(M=160, N=96, K=8, h=h, seed=5))
+        assert relerr(fused_kernel_summation(data), direct(data)) < 1e-3
+
+    def test_float64(self):
+        data = generate(ProblemSpec(M=200, N=130, K=16, dtype="float64", seed=3))
+        np.testing.assert_allclose(fused_kernel_summation(data), direct(data), rtol=1e-9)
+
+    def test_zero_weights_give_zero(self):
+        data = generate(ProblemSpec(M=64, N=64, K=4))
+        from repro.core import ProblemData
+
+        data = ProblemData(spec=data.spec, A=data.A, B=data.B, W=np.zeros_like(data.W))
+        assert np.all(fused_kernel_summation(data) == 0)
+
+    def test_padding_does_not_leak(self):
+        """Padded tile columns must not contribute to the potentials."""
+        small = generate(ProblemSpec(M=130, N=100, K=9, seed=8))
+        assert relerr(fused_kernel_summation(small), direct(small)) < 1e-3
+
+    def test_matches_expanded_tightly(self):
+        # Same expansion identity, same float32 story -> agreement should be
+        # much tighter than against `direct`.
+        data = generate(ProblemSpec(M=256, N=256, K=32, seed=6))
+        V = fused_kernel_summation(data)
+        np.testing.assert_allclose(V, expanded(data), rtol=5e-4, atol=1e-4)
+
+
+class TestAtomicOrdering:
+    def test_deterministic_given_order(self):
+        data = generate(ProblemSpec(M=256, N=256, K=16, seed=1))
+        a = fused_kernel_summation(data, cta_order="rowmajor")
+        b = fused_kernel_summation(data, cta_order="rowmajor")
+        np.testing.assert_array_equal(a, b)
+
+    def test_order_changes_bits_but_not_values(self):
+        data = generate(ProblemSpec(M=256, N=512, K=16, seed=1))
+        row = fused_kernel_summation(data, cta_order="rowmajor")
+        shuf = fused_kernel_summation(data, cta_order="shuffled", seed=99)
+        # float32 non-associativity: bit-identical results are not expected,
+        # but the numerical difference must stay at rounding level.
+        assert relerr(row, shuf) < 1e-5
+
+    def test_colmajor_order(self):
+        data = generate(ProblemSpec(M=256, N=512, K=16, seed=1))
+        col = fused_kernel_summation(data, cta_order="colmajor")
+        assert relerr(col, direct(data)) < 1e-3
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ValueError):
+            FusedKernelSummation(cta_order="diagonal")  # type: ignore[arg-type]
+
+
+class TestTilingVariants:
+    def test_smaller_tiles(self):
+        t = TilingConfig(mc=64, nc=64, kc=4, block_dim_x=8, block_dim_y=8)
+        data = generate(ProblemSpec(M=200, N=150, K=10, seed=4))
+        assert relerr(fused_kernel_summation(data, tiling=t), direct(data)) < 1e-3
+
+    def test_single_buffered_same_result(self):
+        t = TilingConfig(double_buffered=False)
+        data = generate(ProblemSpec(M=256, N=128, K=16, seed=4))
+        a = fused_kernel_summation(data, tiling=t)
+        b = fused_kernel_summation(data)
+        np.testing.assert_array_equal(a, b)  # buffering is timing-only

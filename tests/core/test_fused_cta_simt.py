@@ -1,0 +1,127 @@
+"""Full Algorithm-2 CTA and shuffle-reduction tests on the interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.core.simt_kernels import run_fused_cta, run_warp_shuffle_reduction
+from repro.gpu import Block, LockstepError
+
+
+@pytest.fixture(scope="module")
+def cta_inputs():
+    rng = np.random.default_rng(9)
+    tA = rng.random((128, 8)).astype(np.float32)
+    tB = rng.random((8, 128)).astype(np.float32)
+    w = rng.standard_normal(128).astype(np.float32)
+    return tA, tB, w
+
+
+def _reference(tA, tB, w, h):
+    sq = np.maximum(
+        np.sum(tA**2, 1)[:, None] + np.sum(tB**2, 0)[None, :] - 2 * (tA @ tB), 0
+    )
+    return np.exp(-sq / (2 * h * h)) @ w.astype(np.float64)
+
+
+class TestFusedCta:
+    def test_matches_reference(self, cta_inputs):
+        tA, tB, w = cta_inputs
+        V, _ = run_fused_cta(tA, tB, w, h=0.9)
+        np.testing.assert_allclose(V, _reference(tA, tB, w, 0.9), rtol=1e-4, atol=1e-4)
+
+    def test_gemm_and_reduction_loads_conflict_free(self, cta_inputs):
+        """The Fig.-5 tile layout and the stride-17 T region together."""
+        tA, tB, w = cta_inputs
+        _, stats = run_fused_cta(tA, tB, w)
+        assert stats.load_conflicts == 0
+
+    def test_residual_store_replays_are_tiny(self, cta_inputs):
+        """T staging keeps 64 replays per CTA tail — a few percent of one
+        panel's transactions, and amortized over K/kc panels in a real run."""
+        tA, tB, w = cta_inputs
+        _, stats = run_fused_cta(tA, tB, w)
+        assert stats.store_conflicts <= 64
+        assert stats.store_conflicts < 0.08 * stats.smem.stats.load_transactions
+
+    def test_one_atomic_per_row(self, cta_inputs):
+        tA, tB, w = cta_inputs
+        _, stats = run_fused_cta(tA, tB, w)
+        assert stats.atomic_ops == 128
+
+    def test_two_barriers(self, cta_inputs):
+        tA, tB, w = cta_inputs
+        _, stats = run_fused_cta(tA, tB, w)
+        assert stats.barriers == 2
+
+    def test_bandwidth_parameter_respected(self, cta_inputs):
+        tA, tB, w = cta_inputs
+        V_narrow, _ = run_fused_cta(tA, tB, w, h=0.3)
+        V_wide, _ = run_fused_cta(tA, tB, w, h=3.0)
+        assert not np.allclose(V_narrow, V_wide)
+        np.testing.assert_allclose(V_wide, _reference(tA, tB, w, 3.0), rtol=1e-4, atol=1e-4)
+
+    def test_shape_validation(self, cta_inputs):
+        tA, tB, w = cta_inputs
+        with pytest.raises(ValueError):
+            run_fused_cta(tA[:64], tB, w)
+        with pytest.raises(ValueError):
+            run_fused_cta(tA, tB, w[:64])
+
+
+class TestWarpShuffle:
+    def test_reduction_sums(self):
+        vals = np.arange(256, dtype=np.float32)
+        total, _ = run_warp_shuffle_reduction(vals)
+        assert total == float(vals.sum())
+
+    def test_one_atomic_per_warp(self):
+        _, stats = run_warp_shuffle_reduction(np.ones(256, dtype=np.float32))
+        assert stats.atomic_ops == 8
+
+    def test_no_shared_memory_used(self):
+        _, stats = run_warp_shuffle_reduction(np.ones(256, dtype=np.float32))
+        assert stats.smem.stats.load_requests == 0
+        assert stats.smem.stats.store_requests == 0
+
+    def test_single_warp(self):
+        vals = np.full(32, 2.0, dtype=np.float32)
+        total, _ = run_warp_shuffle_reduction(vals, num_warps=1)
+        assert total == 64.0
+
+    def test_wrong_count_rejected(self):
+        with pytest.raises(ValueError):
+            run_warp_shuffle_reduction(np.ones(100, dtype=np.float32))
+
+    def test_broadcast_from_lane(self):
+        """shfl from a fixed lane broadcasts that lane's value."""
+
+        def kernel(ctx, out):
+            got = yield ctx.shfl(float(ctx.lane), 5)
+            out[ctx.tid] = got
+
+        out = np.zeros(32, dtype=np.float32)
+        Block((32, 1), smem_words=1).run(kernel, out)
+        assert np.all(out == 5.0)
+
+    def test_shfl_from_inactive_lane_returns_own_value(self):
+        def kernel(ctx, out):
+            if ctx.lane < 16:
+                got = yield ctx.shfl(float(ctx.lane), ctx.lane + 16)
+                out[ctx.lane] = got
+            else:
+                yield ctx.idle()
+
+        out = np.full(32, -1.0, dtype=np.float32)
+        Block((32, 1), smem_words=1).run(kernel, out)
+        # lanes 16+ never issued the shuffle: readers get their own value
+        assert np.all(out[:16] == np.arange(16))
+
+    def test_mixed_shfl_and_lds_rejected(self):
+        def kernel(ctx):
+            if ctx.lane % 2:
+                yield ctx.shfl(1.0, 0)
+            else:
+                yield ctx.lds(0)
+
+        with pytest.raises(LockstepError):
+            Block((32, 1), smem_words=4).run(kernel)

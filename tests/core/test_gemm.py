@@ -1,0 +1,127 @@
+"""Functional tiled-GEMM tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import PAPER_TILING, TiledGemm, TilingConfig, pad_to_tiles, tiled_gemm
+
+
+def random_pair(rng, M, K, N, dtype=np.float32):
+    A = rng.standard_normal((M, K)).astype(dtype)
+    B = rng.standard_normal((K, N)).astype(dtype)
+    return A, B
+
+
+class TestPadToTiles:
+    def test_no_padding_when_aligned(self, rng):
+        X = rng.standard_normal((128, 8)).astype(np.float32)
+        assert pad_to_tiles(X, 128, 8) is X
+
+    def test_pads_up(self, rng):
+        X = rng.standard_normal((100, 5)).astype(np.float32)
+        P = pad_to_tiles(X, 128, 8)
+        assert P.shape == (128, 8)
+        np.testing.assert_array_equal(P[:100, :5], X)
+        assert np.all(P[100:, :] == 0) and np.all(P[:, 5:] == 0)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            pad_to_tiles(np.zeros(4, dtype=np.float32), 2, 2)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "M,K,N",
+        [
+            (128, 8, 128),  # exactly one CTA, one panel
+            (128, 32, 128),  # one CTA, several panels
+            (256, 8, 384),  # multi-CTA grid
+            (100, 5, 70),  # everything needs padding
+            (1, 1, 1),  # degenerate
+            (129, 9, 257),  # off-by-one on every dimension
+            (64, 300, 64),  # K larger than the tile sizes
+        ],
+    )
+    def test_matches_numpy(self, rng, M, K, N):
+        A, B = random_pair(rng, M, K, N)
+        C = tiled_gemm(A, B)
+        np.testing.assert_allclose(C, A @ B, rtol=1e-4, atol=1e-4)
+
+    def test_float64(self, rng):
+        A, B = random_pair(rng, 200, 40, 150, np.float64)
+        np.testing.assert_allclose(tiled_gemm(A, B), A @ B, rtol=1e-10, atol=1e-10)
+
+    def test_output_dtype_matches_input(self, rng):
+        A, B = random_pair(rng, 16, 4, 16)
+        assert tiled_gemm(A, B).dtype == np.float32
+
+    def test_identity(self):
+        I = np.eye(128, dtype=np.float32)
+        X = np.arange(128 * 128, dtype=np.float32).reshape(128, 128)
+        np.testing.assert_array_equal(tiled_gemm(I, X), X)
+
+    def test_zeros(self):
+        A = np.zeros((64, 16), dtype=np.float32)
+        B = np.zeros((16, 64), dtype=np.float32)
+        assert np.all(tiled_gemm(A, B) == 0)
+
+
+class TestOutParameter:
+    def test_writes_into_out(self, rng):
+        A, B = random_pair(rng, 128, 8, 128)
+        out = np.empty((128, 128), dtype=np.float32)
+        result = tiled_gemm(A, B, out=out)
+        assert result is out
+        np.testing.assert_allclose(out, A @ B, rtol=1e-4)
+
+    def test_out_shape_checked(self, rng):
+        A, B = random_pair(rng, 128, 8, 128)
+        with pytest.raises(ValueError, match="out"):
+            tiled_gemm(A, B, out=np.empty((64, 128), dtype=np.float32))
+
+    def test_out_dtype_checked(self, rng):
+        A, B = random_pair(rng, 128, 8, 128)
+        with pytest.raises(ValueError, match="out"):
+            tiled_gemm(A, B, out=np.empty((128, 128), dtype=np.float64))
+
+
+class TestValidation:
+    def test_inner_dim_mismatch(self, rng):
+        with pytest.raises(ValueError, match="inner dimensions"):
+            tiled_gemm(
+                rng.standard_normal((4, 3)).astype(np.float32),
+                rng.standard_normal((4, 3)).astype(np.float32),
+            )
+
+    def test_mixed_dtypes_rejected(self, rng):
+        A = rng.standard_normal((4, 3)).astype(np.float32)
+        B = rng.standard_normal((3, 4)).astype(np.float64)
+        with pytest.raises(ValueError, match="mixed dtypes"):
+            tiled_gemm(A, B)
+
+    def test_non_2d_rejected(self, rng):
+        with pytest.raises(ValueError):
+            tiled_gemm(np.zeros(4, dtype=np.float32), np.zeros((4, 4), dtype=np.float32))
+
+
+class TestAlternativeTilings:
+    @pytest.mark.parametrize(
+        "tiling",
+        [
+            TilingConfig(mc=64, nc=64, kc=4, block_dim_x=8, block_dim_y=8),
+            TilingConfig(mc=64, nc=128, kc=8, block_dim_x=16, block_dim_y=8),
+            TilingConfig(double_buffered=False),
+        ],
+        ids=["small-square", "rectangular", "single-buffer"],
+    )
+    def test_result_independent_of_tiling(self, rng, tiling):
+        A, B = random_pair(rng, 190, 20, 130)
+        np.testing.assert_allclose(
+            TiledGemm(tiling)(A, B), A @ B, rtol=1e-4, atol=1e-4
+        )
+
+    def test_reusable_instance(self, rng):
+        g = TiledGemm(PAPER_TILING)
+        for _ in range(2):
+            A, B = random_pair(rng, 64, 8, 64)
+            np.testing.assert_allclose(g(A, B), A @ B, rtol=1e-4)

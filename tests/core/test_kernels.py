@@ -1,0 +1,113 @@
+"""Kernel-function registry tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import KERNELS, get_kernel
+
+
+class TestRegistry:
+    def test_gaussian_registered(self):
+        assert "gaussian" in KERNELS
+
+    def test_extension_kernels_registered(self):
+        for name in ("laplace", "polynomial", "matern32"):
+            assert name in KERNELS
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError, match="unknown kernel"):
+            get_kernel("sigmoid")
+
+    def test_cost_signatures_positive(self):
+        for kf in KERNELS.values():
+            assert kf.fma_flops_per_element > 0
+            assert kf.sfu_ops_per_element >= 1
+
+
+class TestGaussian:
+    def test_matches_formula(self):
+        kf = get_kernel("gaussian")
+        sq = np.array([0.0, 1.0, 4.0], dtype=np.float32)
+        out = kf.evaluate(sq, h=1.0)
+        np.testing.assert_allclose(out, np.exp(-sq / 2.0), rtol=1e-6)
+
+    def test_zero_distance_gives_one(self):
+        kf = get_kernel("gaussian")
+        assert kf.evaluate(np.zeros(3, dtype=np.float32), h=0.5)[0] == pytest.approx(1.0)
+
+    def test_bandwidth_widens_kernel(self):
+        kf = get_kernel("gaussian")
+        sq = np.array([4.0], dtype=np.float32)
+        narrow = kf.evaluate(sq, h=0.5)[0]
+        wide = kf.evaluate(sq, h=2.0)[0]
+        assert wide > narrow
+
+    def test_negative_sqdist_clamped(self):
+        # float32 cancellation in the expansion can produce tiny negatives
+        kf = get_kernel("gaussian")
+        out = kf.evaluate(np.array([-1e-6], dtype=np.float32), h=1.0)
+        assert out[0] == pytest.approx(1.0)
+
+    def test_output_in_unit_interval(self):
+        kf = get_kernel("gaussian")
+        sq = np.linspace(0, 100, 50).astype(np.float32)
+        out = kf.evaluate(sq, h=1.3)
+        assert np.all(out >= 0) and np.all(out <= 1)
+
+    def test_dtype_preserved(self):
+        kf = get_kernel("gaussian")
+        for dt in (np.float32, np.float64):
+            assert kf.evaluate(np.ones(2, dtype=dt), 1.0).dtype == dt
+
+    def test_bad_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            get_kernel("gaussian").evaluate(np.ones(2, dtype=np.float32), h=0.0)
+
+
+class TestLaplace:
+    def test_matches_softened_reciprocal(self):
+        kf = get_kernel("laplace")
+        sq = np.array([3.0], dtype=np.float64)
+        assert kf.evaluate(sq, h=1.0)[0] == pytest.approx(1.0 / np.sqrt(4.0))
+
+    def test_finite_at_zero_distance(self):
+        kf = get_kernel("laplace")
+        out = kf.evaluate(np.zeros(1, dtype=np.float32), h=0.1)
+        assert np.isfinite(out[0])
+        assert out[0] == pytest.approx(10.0, rel=1e-5)
+
+    def test_monotone_decreasing(self):
+        kf = get_kernel("laplace")
+        sq = np.linspace(0, 10, 20).astype(np.float64)
+        out = kf.evaluate(sq, h=1.0)
+        assert np.all(np.diff(out) < 0)
+
+
+class TestPolynomial:
+    def test_matches_inverse_multiquadric(self):
+        kf = get_kernel("polynomial")
+        sq = np.array([2.0], dtype=np.float64)
+        assert kf.evaluate(sq, h=1.0)[0] == pytest.approx(1.0 / 3.0)
+
+    def test_one_at_zero(self):
+        kf = get_kernel("polynomial")
+        assert kf.evaluate(np.zeros(1, dtype=np.float32), h=2.0)[0] == pytest.approx(1.0)
+
+
+class TestMatern32:
+    def test_one_at_zero(self):
+        kf = get_kernel("matern32")
+        assert kf.evaluate(np.zeros(1, dtype=np.float64), h=1.0)[0] == pytest.approx(1.0)
+
+    def test_matches_formula(self):
+        kf = get_kernel("matern32")
+        r = 2.0
+        sq = np.array([r * r], dtype=np.float64)
+        c = np.sqrt(3.0) * r
+        assert kf.evaluate(sq, h=1.0)[0] == pytest.approx((1 + c) * np.exp(-c))
+
+    def test_decreasing(self):
+        kf = get_kernel("matern32")
+        sq = np.linspace(0.01, 25, 30).astype(np.float64)
+        out = kf.evaluate(sq, h=1.0)
+        assert np.all(np.diff(out) < 0)

@@ -1,0 +1,140 @@
+"""Fig.-5 shared-memory mapping tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import mapping
+
+
+class TestOptimizedAddress:
+    def test_bijective_over_tile(self):
+        addrs = {
+            mapping.optimized_address(p, pt)
+            for p in range(8)
+            for pt in range(128)
+        }
+        assert addrs == set(range(1024))
+
+    def test_microtile_owns_bank_pair(self):
+        # "an eight by eight microtile ... is reconstructed as 32 by two":
+        # microtile m lives entirely in banks {2m, 2m+1}
+        for m in range(16):
+            banks = {
+                mapping.optimized_address(p, 8 * m + t) % 32
+                for p in range(8)
+                for t in range(8)
+            }
+            assert banks == {2 * m, 2 * m + 1}
+
+    def test_track_is_one_bank_eight_rows(self):
+        a = [mapping.optimized_address(p, 37) for p in range(8)]
+        banks = {x % 32 for x in a}
+        rows = sorted(x // 32 for x in a)
+        assert len(banks) == 1
+        assert rows == list(range(rows[0], rows[0] + 8))
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            mapping.optimized_address(8, 0)
+        with pytest.raises(ValueError):
+            mapping.optimized_address(0, 128)
+
+
+class TestNaiveAddress:
+    def test_row_major(self):
+        assert mapping.naive_address(3, 17) == 3 * 128 + 17
+
+    def test_bijective(self):
+        addrs = {mapping.naive_address(p, pt) for p in range(8) for pt in range(128)}
+        assert addrs == set(range(1024))
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            mapping.naive_address(0, 200)
+
+
+class TestStoreAssignment:
+    def test_all_tracks_covered_exactly_once(self):
+        # the 128 loader threads must cover all 16 x 8 tracks bijectively
+        seen = {
+            (a.microtile, a.track)
+            for a in (mapping.store_assignment(i) for i in range(128))
+        }
+        assert len(seen) == 128
+        assert seen == {(m, t) for m in range(16) for t in range(8)}
+
+    def test_paper_example_thread0_and_thread32(self):
+        # "Thread 0, 1 in warp 0 will store data of group 0 to location
+        # (bank 0-1, row 0-7); and thread 32, 33 belonging to warp 1 will
+        # write group 1 tracks into location (bank0-1, row 8-15)"
+        t0 = mapping.store_assignment(0)
+        assert t0.microtile == 0
+        assert all(a % 32 == 0 for a in t0.smem_addresses)  # bank 0
+        assert [a // 32 for a in t0.smem_addresses] == list(range(0, 8))
+        t32 = mapping.store_assignment(32)
+        assert t32.microtile == 0
+        assert all(a % 32 == 0 for a in t32.smem_addresses)
+        assert [a // 32 for a in t32.smem_addresses] == list(range(8, 16))
+
+    def test_point_property(self):
+        a = mapping.store_assignment(77)
+        assert a.point == a.microtile * 8 + a.track
+
+    def test_naive_assignment_is_direct(self):
+        a = mapping.store_assignment(77, layout="naive")
+        assert a.point == 77
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            mapping.store_assignment(128)
+
+    def test_unknown_layout(self):
+        with pytest.raises(ValueError):
+            mapping.store_assignment(0, layout="zigzag")  # type: ignore[arg-type]
+
+
+class TestComputeLoadAddresses:
+    def test_reads_own_microtile_points(self):
+        # thread tx consumes points 8*tx .. 8*tx+7 at the given k-step
+        addrs = mapping.compute_load_addresses(3, k_step=2)
+        inverse = {
+            mapping.optimized_address(2, 8 * 3 + c): c for c in range(8)
+        }
+        assert set(addrs.tolist()) == set(inverse)
+
+    def test_addresses_stay_in_bank_pair(self):
+        addrs = mapping.compute_load_addresses(5, 0)
+        assert {int(a) % 32 for a in addrs} == {10, 11}
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            mapping.compute_load_addresses(16, 0)
+        with pytest.raises(ValueError):
+            mapping.compute_load_addresses(0, 8)
+
+
+class TestConflictAudits:
+    def test_optimized_store_conflict_free(self):
+        assert mapping.audit_store_conflicts("optimized") == 0
+
+    def test_naive_store_also_conflict_free(self):
+        # naive column-per-thread staging happens to avoid store conflicts;
+        # the paper's problem is on the *load* side
+        assert mapping.audit_store_conflicts("naive") == 0
+
+    def test_optimized_loads_conflict_free_both_tiles(self):
+        assert mapping.audit_load_conflicts("optimized", which="A") == 0
+        assert mapping.audit_load_conflicts("optimized", which="B") == 0
+
+    def test_naive_b_loads_four_way_conflicted(self):
+        # 8 warps x 8 k-steps x 8 instructions x 3 replays each
+        assert mapping.audit_load_conflicts("naive", which="B") == 8 * 8 * 8 * 3
+
+    def test_naive_a_loads_broadcast_fine(self):
+        # tileA loads broadcast across the warp's shared ty; even the naive
+        # layout has no conflicts there
+        assert mapping.audit_load_conflicts("naive", which="A") == 0
+
+    def test_audit_rejects_bad_tile(self):
+        with pytest.raises(ValueError):
+            mapping.audit_load_conflicts("optimized", which="C")  # type: ignore[arg-type]

@@ -1,0 +1,118 @@
+"""Multi-weight (multiple right-hand-side) kernel summation tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    TilingConfig,
+    fused_kernel_summation,
+    generate,
+    make_problem,
+    multi_kernel_summation,
+    multi_reference,
+    ProblemSpec,
+)
+
+
+@pytest.fixture
+def abw(rng):
+    A = rng.random((300, 17), dtype=np.float32)
+    B = rng.random((17, 200), dtype=np.float32)
+    W = rng.standard_normal((200, 5)).astype(np.float32)
+    return A, B, W
+
+
+class TestCorrectness:
+    def test_matches_reference(self, abw):
+        A, B, W = abw
+        V = multi_kernel_summation(A, B, W, h=0.7)
+        ref = multi_reference(A, B, W, h=0.7)
+        np.testing.assert_allclose(V, ref, rtol=2e-3, atol=1e-3)
+
+    def test_output_shape(self, abw):
+        A, B, W = abw
+        assert multi_kernel_summation(A, B, W).shape == (300, 5)
+
+    def test_columns_independent(self, abw):
+        """V[:, r] must equal the single-vector summation of W[:, r]."""
+        A, B, W = abw
+        V = multi_kernel_summation(A, B, W, h=0.9)
+        for r in range(W.shape[1]):
+            single = multi_kernel_summation(A, B, W[:, r].copy(), h=0.9)
+            np.testing.assert_allclose(V[:, r], single, rtol=1e-5, atol=1e-6)
+
+    def test_1d_weights_degrade_to_vector(self, abw):
+        A, B, W = abw
+        v = multi_kernel_summation(A, B, W[:, 0].copy(), h=0.7)
+        assert v.shape == (300,)
+
+    def test_consistent_with_single_vector_fused(self, abw):
+        A, B, W = abw
+        data = make_problem(A, B, W[:, 0].copy(), h=0.7)
+        np.testing.assert_allclose(
+            multi_kernel_summation(A, B, W[:, 0].copy(), h=0.7),
+            fused_kernel_summation(data),
+            rtol=1e-4,
+            atol=1e-5,
+        )
+
+    def test_other_kernels(self, abw):
+        A, B, W = abw
+        V = multi_kernel_summation(A, B, W, h=0.5, kernel="laplace")
+        ref = multi_reference(A, B, W, h=0.5, kernel="laplace")
+        np.testing.assert_allclose(V, ref, rtol=2e-3, atol=1e-3)
+
+    def test_float64(self, rng):
+        A = rng.random((100, 8))
+        B = rng.random((8, 60))
+        W = rng.standard_normal((60, 3))
+        V = multi_kernel_summation(A, B, W)
+        np.testing.assert_allclose(V, multi_reference(A, B, W), rtol=1e-9)
+
+    def test_single_column(self, abw):
+        A, B, W = abw
+        V = multi_kernel_summation(A, B, W[:, :1].copy())
+        assert V.shape == (300, 1)
+
+    def test_alternative_tiling(self, abw):
+        A, B, W = abw
+        t = TilingConfig(mc=64, nc=64, kc=4, block_dim_x=8, block_dim_y=8)
+        V = multi_kernel_summation(A, B, W, h=0.7, tiling=t)
+        np.testing.assert_allclose(V, multi_reference(A, B, W, h=0.7), rtol=2e-3, atol=1e-3)
+
+    def test_linearity_across_columns(self, abw):
+        """summation(W1 + W2) == summation(W1) + summation(W2)."""
+        A, B, W = abw
+        Wsum = (W[:, :1] + W[:, 1:2]).copy()
+        V = multi_kernel_summation(A, B, np.hstack([W[:, :2], Wsum]), h=0.8)
+        np.testing.assert_allclose(V[:, 2], V[:, 0] + V[:, 1], rtol=1e-4, atol=1e-5)
+
+
+class TestValidation:
+    def test_k_mismatch(self, rng):
+        with pytest.raises(ValueError, match="K dimensions"):
+            multi_kernel_summation(
+                rng.random((8, 4), dtype=np.float32),
+                rng.random((5, 8), dtype=np.float32),
+                np.ones((8, 1), dtype=np.float32),
+            )
+
+    def test_weight_rows_must_match_n(self, abw):
+        A, B, W = abw
+        with pytest.raises(ValueError, match="W must be"):
+            multi_kernel_summation(A, B, W[:100])
+
+    def test_zero_columns_rejected(self, abw):
+        A, B, W = abw
+        with pytest.raises(ValueError, match="at least one weight column"):
+            multi_kernel_summation(A, B, W[:, :0])
+
+    def test_mixed_dtype_rejected(self, abw):
+        A, B, W = abw
+        with pytest.raises(ValueError, match="share one dtype"):
+            multi_kernel_summation(A, B, W.astype(np.float64))
+
+    def test_bad_bandwidth(self, abw):
+        A, B, W = abw
+        with pytest.raises(ValueError, match="bandwidth"):
+            multi_kernel_summation(A, B, W, h=0.0)

@@ -1,0 +1,118 @@
+"""Problem specification and data-generation tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import ProblemData, ProblemSpec, generate
+
+
+class TestProblemSpec:
+    def test_basic_properties(self):
+        s = ProblemSpec(M=128, N=64, K=32)
+        assert s.interaction_count == 128 * 64
+        assert s.gemm_flops == 2 * 128 * 64 * 32
+        assert s.bytes_per_element == 4
+
+    def test_float64_element_size(self):
+        s = ProblemSpec(M=8, N=8, K=8, dtype="float64")
+        assert s.bytes_per_element == 8
+
+    def test_nonpositive_dims_rejected(self):
+        for bad in ({"M": 0}, {"N": -1}, {"K": 0}):
+            with pytest.raises(ValueError):
+                ProblemSpec(**{"M": 8, "N": 8, "K": 8, **bad})
+
+    def test_nonpositive_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            ProblemSpec(M=8, N=8, K=8, h=0.0)
+
+    def test_bad_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            ProblemSpec(M=8, N=8, K=8, dtype="float16")
+
+    def test_with_replaces_fields(self):
+        s = ProblemSpec(M=8, N=8, K=8)
+        s2 = s.with_(M=16, h=2.0)
+        assert (s2.M, s2.h) == (16, 2.0)
+        assert s.M == 8
+
+    def test_specs_hashable_for_caching(self):
+        a = ProblemSpec(M=8, N=8, K=8)
+        b = ProblemSpec(M=8, N=8, K=8)
+        assert a == b and hash(a) == hash(b)
+
+
+class TestGenerate:
+    def test_shapes_and_dtypes(self):
+        data = generate(ProblemSpec(M=100, N=50, K=7))
+        assert data.A.shape == (100, 7)
+        assert data.B.shape == (7, 50)
+        assert data.W.shape == (50,)
+        assert data.A.dtype == np.float32
+
+    def test_reproducible_by_seed(self):
+        s = ProblemSpec(M=16, N=16, K=4, seed=9)
+        a = generate(s)
+        b = generate(s)
+        np.testing.assert_array_equal(a.A, b.A)
+        np.testing.assert_array_equal(a.W, b.W)
+
+    def test_different_seeds_differ(self):
+        s = ProblemSpec(M=16, N=16, K=4, seed=1)
+        a = generate(s)
+        b = generate(s.with_(seed=2))
+        assert not np.array_equal(a.A, b.A)
+
+    def test_points_in_unit_box(self):
+        data = generate(ProblemSpec(M=64, N=64, K=8))
+        assert np.all(data.A >= 0) and np.all(data.A < 1)
+
+    def test_point_scale(self):
+        data = generate(ProblemSpec(M=512, N=64, K=8), point_scale=3.0)
+        assert data.A.max() > 1.5  # overwhelmingly likely with 4096 draws
+
+    def test_bad_point_scale_rejected(self):
+        with pytest.raises(ValueError):
+            generate(ProblemSpec(M=8, N=8, K=8), point_scale=0.0)
+
+    def test_weights_signed(self):
+        data = generate(ProblemSpec(M=8, N=256, K=4))
+        assert (data.W > 0).any() and (data.W < 0).any()
+
+    def test_float64_generation(self):
+        data = generate(ProblemSpec(M=8, N=8, K=4, dtype="float64"))
+        assert data.A.dtype == np.float64
+
+
+class TestProblemData:
+    def test_shape_validation(self):
+        s = ProblemSpec(M=8, N=8, K=4)
+        good = generate(s)
+        with pytest.raises(ValueError, match="A must be"):
+            ProblemData(spec=s, A=good.A.T, B=good.B, W=good.W)
+        with pytest.raises(ValueError, match="W must be"):
+            ProblemData(spec=s, A=good.A, B=good.B, W=good.W[:4])
+
+    def test_dtype_validation(self):
+        s = ProblemSpec(M=8, N=8, K=4)
+        good = generate(s)
+        with pytest.raises(ValueError, match="dtype"):
+            ProblemData(spec=s, A=good.A.astype(np.float64), B=good.B, W=good.W)
+
+    def test_norms_match_numpy(self):
+        data = generate(ProblemSpec(M=32, N=16, K=5, seed=2))
+        np.testing.assert_allclose(
+            data.source_norms,
+            np.sum(data.A.astype(np.float64) ** 2, axis=1),
+            rtol=1e-6,
+        )
+        np.testing.assert_allclose(
+            data.target_norms,
+            np.sum(data.B.astype(np.float64) ** 2, axis=0),
+            rtol=1e-6,
+        )
+
+    def test_norms_nonnegative(self):
+        data = generate(ProblemSpec(M=32, N=16, K=5))
+        assert np.all(data.source_norms >= 0)
+        assert np.all(data.target_norms >= 0)

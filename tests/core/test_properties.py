@@ -1,0 +1,169 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ProblemSpec,
+    TilingConfig,
+    direct,
+    expanded,
+    fused_kernel_summation,
+    generate,
+    get_kernel,
+    pad_to_tiles,
+    tiled_gemm,
+)
+from repro.core.mapping import optimized_address
+from repro.gpu import InstructionMix, warp_transactions
+
+dims = st.integers(min_value=1, max_value=96)
+small_dims = st.integers(min_value=1, max_value=48)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(M=dims, K=small_dims, N=dims, seed=seeds)
+def test_tiled_gemm_matches_numpy_everywhere(M, K, N, seed):
+    """The blocked GEMM is exact up to float32 rounding for any shape."""
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((M, K)).astype(np.float32)
+    B = rng.standard_normal((K, N)).astype(np.float32)
+    np.testing.assert_allclose(tiled_gemm(A, B), A @ B, rtol=5e-4, atol=5e-4)
+
+
+@settings(max_examples=15, deadline=None)
+@given(M=dims, N=dims, K=st.integers(min_value=1, max_value=24), seed=seeds,
+       h=st.floats(min_value=0.2, max_value=5.0))
+def test_fused_matches_direct_everywhere(M, N, K, seed, h):
+    """Algorithm 2 agrees with the brute-force evaluation for any problem."""
+    data = generate(ProblemSpec(M=M, N=N, K=K, h=h, seed=seed % 1000))
+    V = fused_kernel_summation(data)
+    ref = direct(data)
+    np.testing.assert_allclose(V, ref, rtol=2e-3, atol=2e-3)
+
+
+@settings(max_examples=15, deadline=None)
+@given(M=dims, N=dims, K=st.integers(min_value=1, max_value=24), seed=seeds)
+def test_expansion_identity_nonnegative_clamp_is_safe(M, N, K, seed):
+    """||a||^2+||b||^2-2ab may round below zero, but never substantially."""
+    data = generate(ProblemSpec(M=M, N=N, K=K, seed=seed % 1000))
+    na = data.source_norms.astype(np.float64)
+    nb = data.target_norms.astype(np.float64)
+    C = data.A.astype(np.float64) @ data.B.astype(np.float64)
+    R = na[:, None] + nb[None, :] - 2 * C
+    assert R.min() > -1e-6
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    weights_sign=st.sampled_from([1.0, -1.0]),
+    scale=st.floats(min_value=0.1, max_value=100.0),
+    seed=seeds,
+)
+def test_fused_is_linear_in_weights(weights_sign, scale, seed):
+    """V is linear in W: scaling the weights scales the potentials."""
+    from repro.core import ProblemData
+
+    data = generate(ProblemSpec(M=96, N=64, K=8, seed=seed % 100, dtype="float64"))
+    V1 = fused_kernel_summation(data)
+    scaled = ProblemData(
+        spec=data.spec, A=data.A, B=data.B, W=data.W * weights_sign * scale
+    )
+    V2 = fused_kernel_summation(scaled)
+    np.testing.assert_allclose(V2, V1 * weights_sign * scale, rtol=1e-8, atol=1e-10)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds)
+def test_gaussian_output_bounded_by_weight_mass(seed):
+    """|V_i| <= sum |W_j| because 0 < K(a,b) <= 1 for the Gaussian kernel."""
+    data = generate(ProblemSpec(M=64, N=48, K=6, seed=seed % 1000))
+    V = fused_kernel_summation(data)
+    bound = np.sum(np.abs(data.W)) * (1 + 1e-5)
+    assert np.all(np.abs(V) <= bound)
+
+
+@settings(max_examples=30, deadline=None)
+@given(kc=st.sampled_from([2, 4, 8]), rows=st.integers(1, 200), cols=st.integers(1, 200),
+       rm=st.integers(1, 128), cm=st.integers(1, 16), seed=seeds)
+def test_pad_to_tiles_properties(kc, rows, cols, rm, cm, seed):
+    """Padding preserves content, pads with zeros, hits exact multiples."""
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((rows, cols)).astype(np.float32)
+    P = pad_to_tiles(X, rm, cm)
+    assert P.shape[0] % rm == 0 and P.shape[1] % cm == 0
+    assert P.shape[0] - rows < rm and P.shape[1] - cols < cm
+    np.testing.assert_array_equal(P[:rows, :cols], X)
+    assert P[rows:, :].sum() == 0 and P[:, cols:].sum() == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 1023), min_size=1, max_size=32))
+def test_warp_transactions_bounds(addresses):
+    """1 <= transactions <= distinct words, and <= lane count."""
+    t = warp_transactions(np.array(addresses))
+    assert 1 <= t <= len(set(addresses))
+    assert t <= len(addresses)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    a=st.dictionaries(st.sampled_from(["FFMA", "LDS", "LDG", "XMAD"]),
+                      st.floats(0, 1e6), max_size=4),
+    b=st.dictionaries(st.sampled_from(["FFMA", "MUFU", "STG"]),
+                      st.floats(0, 1e6), max_size=3),
+)
+def test_instruction_mix_merge_is_additive(a, b):
+    """total(merge(a, b)) == total(a) + total(b); flops likewise."""
+    ma, mb = InstructionMix(), InstructionMix()
+    for k, v in a.items():
+        ma.add(k, v)
+    for k, v in b.items():
+        mb.add(k, v)
+    fa, fb = ma.flops(), mb.flops()
+    ta, tb = ma.total(), mb.total()
+    ma.merge(mb)
+    assert ma.total() == pytest.approx(ta + tb)
+    assert ma.flops() == pytest.approx(fa + fb)
+
+
+@settings(max_examples=30, deadline=None)
+@given(kc=st.sampled_from([8]), perm=st.permutations(list(range(8))))
+def test_optimized_mapping_track_disjointness(kc, perm):
+    """Any two distinct tracks of a microtile never share a word."""
+    m = 5
+    t1, t2 = perm[0], perm[1]
+    a1 = {optimized_address(p, 8 * m + t1, kc) for p in range(kc)}
+    a2 = {optimized_address(p, 8 * m + t2, kc) for p in range(kc)}
+    if t1 != t2:
+        assert not (a1 & a2)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=seeds, kernel=st.sampled_from(["gaussian", "laplace", "polynomial", "matern32"]))
+def test_expanded_equals_direct_for_all_kernels(seed, kernel):
+    data = generate(ProblemSpec(M=48, N=40, K=6, seed=seed % 500, kernel=kernel))
+    np.testing.assert_allclose(expanded(data), direct(data), rtol=1e-3, atol=1e-4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(h=st.floats(min_value=0.05, max_value=20.0),
+       sq=st.lists(st.floats(0, 1e4), min_size=1, max_size=16))
+def test_gaussian_kernel_range_property(h, sq):
+    out = get_kernel("gaussian").evaluate(np.array(sq, dtype=np.float64), h)
+    assert np.all(out >= 0) and np.all(out <= 1.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(mc=st.sampled_from([32, 64, 128]), kc=st.sampled_from([4, 8]),
+       M=st.integers(1, 4096), N=st.integers(1, 4096))
+def test_grid_covers_problem(mc, kc, M, N):
+    """grid * tile covers [0,M)x[0,N) minimally."""
+    t = TilingConfig(mc=mc, nc=mc, kc=kc,
+                     block_dim_x=mc // 8 if mc >= 64 else 8,
+                     block_dim_y=mc // 8 if mc >= 64 else 8)
+    gx, gy = t.grid(M, N)
+    assert gx * t.nc >= N and (gx - 1) * t.nc < N
+    assert gy * t.mc >= M and (gy - 1) * t.mc < M

@@ -1,0 +1,86 @@
+"""Golden-reference equivalence tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ProblemSpec,
+    direct,
+    expanded,
+    generate,
+    kernel_matrix,
+    pairwise_sqdist,
+)
+
+
+class TestPairwiseSqdist:
+    def test_matches_bruteforce(self, rng):
+        A = rng.standard_normal((10, 3))
+        B = rng.standard_normal((3, 7))
+        sq = pairwise_sqdist(A, B)
+        for i in range(10):
+            for j in range(7):
+                expected = np.sum((A[i] - B[:, j]) ** 2)
+                assert sq[i, j] == pytest.approx(expected)
+
+    def test_zero_on_identical_points(self, rng):
+        A = rng.standard_normal((4, 3))
+        sq = pairwise_sqdist(A, A.T)
+        np.testing.assert_allclose(np.diag(sq), 0.0, atol=1e-12)
+
+    def test_nonnegative(self, rng):
+        sq = pairwise_sqdist(rng.standard_normal((20, 5)), rng.standard_normal((5, 20)))
+        assert np.all(sq >= 0)
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            pairwise_sqdist(rng.standard_normal((4, 3)), rng.standard_normal((4, 3)))
+
+
+class TestDirectVsExpanded:
+    @pytest.mark.parametrize("K", [1, 2, 17, 64])
+    def test_agree_across_dimensions(self, K):
+        data = generate(ProblemSpec(M=40, N=30, K=K, h=0.8, seed=K))
+        np.testing.assert_allclose(direct(data), expanded(data), rtol=2e-4, atol=1e-5)
+
+    @pytest.mark.parametrize("kernel", ["gaussian", "laplace", "polynomial", "matern32"])
+    def test_agree_for_every_kernel(self, kernel):
+        data = generate(ProblemSpec(M=32, N=24, K=8, h=0.9, kernel=kernel, seed=1))
+        np.testing.assert_allclose(direct(data), expanded(data), rtol=2e-4, atol=1e-5)
+
+    def test_blocked_direct_equals_unblocked(self):
+        data = generate(ProblemSpec(M=100, N=20, K=5, seed=7))
+        np.testing.assert_allclose(direct(data, block=7), direct(data, block=1000), rtol=1e-6)
+
+    def test_bad_block_rejected(self):
+        data = generate(ProblemSpec(M=8, N=8, K=2))
+        with pytest.raises(ValueError):
+            direct(data, block=0)
+
+    def test_float64_precision(self):
+        data = generate(ProblemSpec(M=64, N=64, K=16, dtype="float64", seed=4))
+        np.testing.assert_allclose(direct(data), expanded(data), rtol=1e-10)
+
+
+class TestKernelMatrix:
+    def test_shape(self):
+        data = generate(ProblemSpec(M=12, N=9, K=3))
+        assert kernel_matrix(data).shape == (12, 9)
+
+    def test_gaussian_entries_in_unit_interval(self):
+        data = generate(ProblemSpec(M=12, N=9, K=3))
+        Kmat = kernel_matrix(data)
+        assert np.all(Kmat > 0) and np.all(Kmat <= 1)
+
+    def test_consistent_with_direct(self):
+        data = generate(ProblemSpec(M=12, N=9, K=3, seed=11))
+        V = kernel_matrix(data) @ data.W.astype(np.float64)
+        np.testing.assert_allclose(V.astype(np.float32), direct(data), rtol=1e-5)
+
+    def test_symmetric_when_sources_equal_targets(self, rng):
+        from repro.core import make_problem
+
+        pts = rng.random((16, 4)).astype(np.float32)
+        data = make_problem(pts, pts.T.copy(), np.ones(16, dtype=np.float32))
+        Kmat = kernel_matrix(data)
+        np.testing.assert_allclose(Kmat, Kmat.T, rtol=1e-6)

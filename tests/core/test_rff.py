@@ -1,0 +1,109 @@
+"""Random-Fourier-features approximation tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ProblemSpec,
+    RandomFourierFeatures,
+    direct,
+    generate,
+    required_features,
+    rff_kernel_summation,
+)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return generate(ProblemSpec(M=400, N=300, K=8, h=0.8, seed=2))
+
+
+class TestFeatureMap:
+    def test_feature_shape(self):
+        rff = RandomFourierFeatures(K=8, num_features=64, h=1.0)
+        Z = rff.transform(np.zeros((5, 8)))
+        assert Z.shape == (5, 64)
+
+    def test_feature_magnitude_bounded(self):
+        rff = RandomFourierFeatures(K=8, num_features=64, h=1.0)
+        Z = rff.transform(np.random.default_rng(0).random((50, 8)))
+        assert np.all(np.abs(Z) <= np.sqrt(2.0 / 64) + 1e-12)
+
+    def test_self_kernel_near_one(self):
+        """z(x).z(x) estimates K(x, x) = 1."""
+        rff = RandomFourierFeatures(K=8, num_features=8192, h=1.0, seed=1)
+        x = np.random.default_rng(3).random((20, 8))
+        Z = rff.transform(x)
+        diag = np.einsum("nd,nd->n", Z, Z)
+        # E[2 cos^2(w.x + p)] = 1 exactly; variance ~ 1/D
+        assert np.allclose(diag, 1.0, atol=0.08)
+
+    def test_kernel_matrix_approximation(self, problem):
+        from repro.core import kernel_matrix
+
+        rff = RandomFourierFeatures(K=8, num_features=16384, h=0.8, seed=4)
+        approx = rff.approximate_kernel(problem.A, problem.B)
+        exact = kernel_matrix(problem)
+        assert np.max(np.abs(approx - exact)) < 0.05
+
+    def test_wrong_dimension_rejected(self):
+        rff = RandomFourierFeatures(K=8, num_features=64, h=1.0)
+        with pytest.raises(ValueError):
+            rff.transform(np.zeros((5, 7)))
+
+    def test_bad_construction(self):
+        with pytest.raises(ValueError):
+            RandomFourierFeatures(K=0, num_features=64, h=1.0)
+        with pytest.raises(ValueError):
+            RandomFourierFeatures(K=8, num_features=64, h=0.0)
+
+
+class TestSummation:
+    def test_converges_with_features(self, problem):
+        """Monte-Carlo rate: quadrupling features roughly halves the error."""
+        ref = direct(problem).astype(np.float64)
+        scale = np.abs(problem.W).sum()
+
+        def err(D, seed):
+            V = rff_kernel_summation(problem.A, problem.B, problem.W, h=0.8,
+                                     num_features=D, seed=seed)
+            return np.sqrt(np.mean((V - ref) ** 2)) / scale
+
+        coarse = np.mean([err(256, s) for s in range(3)])
+        fine = np.mean([err(4096, s) for s in range(3)])
+        assert fine < coarse / 2.0
+
+    def test_deterministic_given_seed(self, problem):
+        a = rff_kernel_summation(problem.A, problem.B, problem.W, num_features=128, seed=7)
+        b = rff_kernel_summation(problem.A, problem.B, problem.W, num_features=128, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seed_differs(self, problem):
+        a = rff_kernel_summation(problem.A, problem.B, problem.W, num_features=128, seed=7)
+        b = rff_kernel_summation(problem.A, problem.B, problem.W, num_features=128, seed=8)
+        assert not np.array_equal(a, b)
+
+    def test_shape_and_dtype(self, problem):
+        V = rff_kernel_summation(problem.A, problem.B, problem.W, num_features=64)
+        assert V.shape == (400,)
+        assert V.dtype == np.float32
+
+    def test_validation(self, problem):
+        with pytest.raises(ValueError):
+            rff_kernel_summation(problem.A, problem.B.T, problem.W)
+        with pytest.raises(ValueError):
+            rff_kernel_summation(problem.A, problem.B, problem.W[:10])
+
+
+class TestFeatureBudget:
+    def test_tighter_epsilon_needs_more(self):
+        assert required_features(0.01) > required_features(0.1)
+
+    def test_higher_confidence_needs_more(self):
+        assert required_features(0.05, 0.99) > required_features(0.05, 0.9)
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            required_features(0.0)
+        with pytest.raises(ValueError):
+            required_features(0.1, confidence=1.0)

@@ -1,0 +1,46 @@
+"""Parity self-test tests."""
+
+import pytest
+
+from repro.core.selftest import DEFAULT_SHAPES, parity_check
+
+
+class TestParityCheck:
+    def test_all_default_checks_pass(self):
+        results = parity_check()
+        assert all(r.ok for r in results), [r.describe() for r in results if not r.ok]
+
+    def test_covers_every_implementation_and_shape(self):
+        results = parity_check()
+        from repro.core import IMPLEMENTATIONS
+
+        assert len(results) == len(DEFAULT_SHAPES) * len(IMPLEMENTATIONS)
+
+    def test_subset_of_implementations(self):
+        results = parity_check(shapes=[(64, 64, 4)], implementations=["fused"])
+        assert len(results) == 1
+        assert results[0].implementation == "fused"
+
+    def test_unknown_implementation_rejected(self):
+        with pytest.raises(ValueError, match="unknown implementations"):
+            parity_check(implementations=["magic"])
+
+    def test_reference_is_error_free(self):
+        results = parity_check(shapes=[(64, 64, 4)], implementations=["reference"])
+        assert results[0].max_abs_error < results[0].bound * 1e-3
+
+    def test_describe_format(self):
+        (r,) = parity_check(shapes=[(64, 64, 4)], implementations=["fused"])
+        text = r.describe()
+        assert "fused" in text and "[ok]" in text
+
+    def test_different_seed_still_passes(self):
+        results = parity_check(shapes=[(128, 128, 8)], seed=123)
+        assert all(r.ok for r in results)
+
+    def test_cli_selftest(self, capsys):
+        from repro.cli import main
+
+        rc = main(["selftest"])
+        assert rc == 0
+        assert "parity checks passed" in capsys.readouterr().out

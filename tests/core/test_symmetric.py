@@ -1,0 +1,88 @@
+"""Symmetric (sources == targets) kernel-summation tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import direct, make_problem, symmetric_kernel_summation
+from repro.core.tiling import TilingConfig
+
+
+@pytest.fixture
+def points_weights(rng):
+    pts = rng.random((300, 12), dtype=np.float32)
+    W = rng.standard_normal(300).astype(np.float32)
+    return pts, W
+
+
+def reference(pts, W, h, kernel="gaussian"):
+    return direct(make_problem(pts, pts.T.copy(), W, h=h, kernel=kernel))
+
+
+class TestCorrectness:
+    def test_matches_general_path(self, points_weights):
+        pts, W = points_weights
+        V = symmetric_kernel_summation(pts, W, h=0.7)
+        np.testing.assert_allclose(V, reference(pts, W, 0.7), rtol=2e-3, atol=1e-3)
+
+    @pytest.mark.parametrize("M", [64, 128, 129, 257, 1000])
+    def test_various_sizes_incl_padding(self, rng, M):
+        pts = rng.random((M, 8), dtype=np.float32)
+        W = rng.standard_normal(M).astype(np.float32)
+        V = symmetric_kernel_summation(pts, W, h=0.9)
+        np.testing.assert_allclose(V, reference(pts, W, 0.9), rtol=2e-3, atol=1e-3)
+
+    def test_other_kernels(self, points_weights):
+        pts, W = points_weights
+        V = symmetric_kernel_summation(pts, W, h=0.5, kernel="laplace")
+        np.testing.assert_allclose(
+            V, reference(pts, W, 0.5, "laplace"), rtol=2e-3, atol=1e-2
+        )
+
+    def test_float64(self, rng):
+        pts = rng.random((200, 6))
+        W = rng.standard_normal(200)
+        V = symmetric_kernel_summation(pts, W)
+        np.testing.assert_allclose(V, reference(pts, W, 1.0), rtol=1e-9)
+
+    def test_uniform_weights_kde_shape(self, rng):
+        """With W = 1/M, V is a (unnormalized) KDE: all entries positive."""
+        pts = rng.random((256, 4), dtype=np.float32)
+        W = np.full(256, 1.0 / 256, dtype=np.float32)
+        V = symmetric_kernel_summation(pts, W, h=0.5)
+        assert np.all(V > 0)
+        # each point sees itself: V >= W[i] * K(0) = 1/256
+        assert np.all(V >= 1.0 / 256 - 1e-6)
+
+    def test_alternative_tiling(self, points_weights):
+        pts, W = points_weights
+        t = TilingConfig(mc=64, nc=64, kc=4, block_dim_x=8, block_dim_y=8)
+        V = symmetric_kernel_summation(pts, W, h=0.7, tiling=t)
+        np.testing.assert_allclose(V, reference(pts, W, 0.7), rtol=2e-3, atol=1e-3)
+
+
+class TestValidation:
+    def test_weight_length(self, points_weights):
+        pts, W = points_weights
+        with pytest.raises(ValueError, match="length"):
+            symmetric_kernel_summation(pts, W[:100])
+
+    def test_rank(self, points_weights):
+        _, W = points_weights
+        with pytest.raises(ValueError, match="2-D"):
+            symmetric_kernel_summation(W, W)
+
+    def test_bandwidth(self, points_weights):
+        pts, W = points_weights
+        with pytest.raises(ValueError, match="bandwidth"):
+            symmetric_kernel_summation(pts, W, h=0)
+
+    def test_dtype_mismatch(self, points_weights):
+        pts, W = points_weights
+        with pytest.raises(ValueError, match="share one dtype"):
+            symmetric_kernel_summation(pts, W.astype(np.float64))
+
+    def test_integer_rejected(self):
+        with pytest.raises(ValueError, match="dtype"):
+            symmetric_kernel_summation(
+                np.ones((8, 2), dtype=np.int32), np.ones(8, dtype=np.int32)
+            )

@@ -1,0 +1,89 @@
+"""Tiling configuration tests (paper section III-A)."""
+
+import pytest
+
+from repro.core import PAPER_TILING, TilingConfig
+from repro.gpu import GTX970
+
+
+class TestPaperTiling:
+    def test_cta_tile_128x128(self):
+        assert PAPER_TILING.mc == 128 and PAPER_TILING.nc == 128
+
+    def test_rank8_panels(self):
+        assert PAPER_TILING.kc == 8
+
+    def test_16x16_threads(self):
+        assert PAPER_TILING.threads_per_block == 256
+        assert PAPER_TILING.warps_per_block == 8
+
+    def test_8x8_microtile(self):
+        assert PAPER_TILING.micro_m == 8 and PAPER_TILING.micro_n == 8
+
+    def test_double_buffered_smem_16kib(self):
+        # 2 x (128x8 + 8x128) x 4 B
+        assert PAPER_TILING.smem_per_block == 16 * 1024
+
+    def test_register_estimate_in_paper_band(self):
+        assert 96 <= PAPER_TILING.regs_per_thread <= 128
+
+    def test_describe_mentions_key_numbers(self):
+        text = PAPER_TILING.describe()
+        assert "128x128" in text and "double-buffered" in text
+
+
+class TestGridGeometry:
+    def test_exact_grid(self):
+        assert PAPER_TILING.grid(M=1024, N=1024) == (8, 8)
+        assert PAPER_TILING.grid_blocks(1024, 1024) == 64
+
+    def test_paper_largest_grid(self):
+        assert PAPER_TILING.grid_blocks(524288, 1024) == 4096 * 8
+
+    def test_ceil_division(self):
+        assert PAPER_TILING.grid(M=129, N=1) == (1, 2)
+
+    def test_k_iterations(self):
+        assert PAPER_TILING.k_iterations(32) == 4
+        assert PAPER_TILING.k_iterations(256) == 32
+        assert PAPER_TILING.k_iterations(9) == 2
+
+    def test_bad_dims_rejected(self):
+        with pytest.raises(ValueError):
+            PAPER_TILING.grid(0, 128)
+        with pytest.raises(ValueError):
+            PAPER_TILING.k_iterations(0)
+
+
+class TestValidation:
+    def test_uneven_thread_split_rejected(self):
+        with pytest.raises(ValueError, match="divide evenly"):
+            TilingConfig(mc=100, nc=128)
+
+    def test_uneven_load_split_rejected(self):
+        # tile elements must divide across threads for the staging loop
+        with pytest.raises(ValueError, match="split evenly"):
+            TilingConfig(mc=48, nc=48, kc=4, block_dim_x=16, block_dim_y=16)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            TilingConfig(mc=0)
+
+    def test_single_buffer_halves_smem(self):
+        t = TilingConfig(double_buffered=False)
+        assert t.smem_per_block == 8 * 1024
+
+
+class TestOccupancyIntegration:
+    def test_paper_point_two_ctas(self):
+        assert PAPER_TILING.occupancy_on(GTX970).blocks_per_sm == 2
+
+    def test_tiny_tiles_more_ctas(self):
+        t = TilingConfig(mc=32, nc=32, kc=4, block_dim_x=8, block_dim_y=8, overhead_regs=16)
+        occ = t.occupancy_on(GTX970)
+        assert occ.blocks_per_sm > 2
+
+    def test_microtile_register_scaling(self):
+        small = TilingConfig(mc=64, nc=64, kc=8, block_dim_x=16, block_dim_y=16)
+        assert small.micro_m == 4 and small.micro_n == 4
+        assert small.regs_per_thread < PAPER_TILING.regs_per_thread

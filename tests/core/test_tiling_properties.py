@@ -1,0 +1,70 @@
+"""Property-based tests over the tiling-configuration space."""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core import TilingConfig
+from repro.gpu import GTX970
+from repro.gpu.occupancy import occupancy
+
+
+@st.composite
+def tilings(draw):
+    """Random *constructible* tiling configurations."""
+    micro = draw(st.sampled_from([4, 8]))
+    by = draw(st.sampled_from([4, 8, 16, 32]))
+    bx = draw(st.sampled_from([4, 8, 16, 32]))
+    assume(bx * by <= 1024)
+    mc, nc = micro * by, micro * bx
+    kc = draw(st.sampled_from([4, 8, 16]))
+    db = draw(st.booleans())
+    tile_elems = (mc + nc) * kc
+    assume(tile_elems % (bx * by) == 0)
+    return TilingConfig(
+        mc=mc, nc=nc, kc=kc, block_dim_x=bx, block_dim_y=by, double_buffered=db
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(t=tilings())
+def test_derived_shapes_consistent(t):
+    assert t.micro_m * t.block_dim_y == t.mc
+    assert t.micro_n * t.block_dim_x == t.nc
+    assert t.threads_per_block == t.block_dim_x * t.block_dim_y
+    buffers = 2 if t.double_buffered else 1
+    assert t.smem_per_block == buffers * (t.mc + t.nc) * t.kc * 4
+
+
+@settings(max_examples=60, deadline=None)
+@given(t=tilings(), M=st.integers(1, 1 << 20), N=st.integers(1, 1 << 15))
+def test_grid_covers_and_is_minimal(t, M, N):
+    gx, gy = t.grid(M, N)
+    assert gx * t.nc >= N > (gx - 1) * t.nc
+    assert gy * t.mc >= M > (gy - 1) * t.mc
+
+
+@settings(max_examples=60, deadline=None)
+@given(t=tilings())
+def test_launchable_configs_have_sane_occupancy(t):
+    regs = min(t.regs_per_thread, GTX970.max_registers_per_thread)
+    try:
+        occ = occupancy(GTX970, t.threads_per_block, regs, t.smem_per_block)
+    except ValueError:
+        return  # legitimately unlaunchable footprint
+    assert 1 <= occ.blocks_per_sm <= GTX970.max_blocks_per_sm
+    assert occ.threads_per_sm <= GTX970.max_threads_per_sm
+    assert occ.regs_per_block * occ.blocks_per_sm <= GTX970.registers_per_sm
+    assert occ.smem_per_block * occ.blocks_per_sm <= GTX970.shared_mem_per_sm
+
+
+@settings(max_examples=40, deadline=None)
+@given(t=tilings(), K=st.integers(1, 1024))
+def test_k_iterations_cover_k(t, K):
+    iters = t.k_iterations(K)
+    assert iters * t.kc >= K > (iters - 1) * t.kc
+
+
+@settings(max_examples=40, deadline=None)
+@given(t=tilings())
+def test_register_demand_scales_with_microtile(t):
+    assert t.regs_per_thread >= t.micro_m * t.micro_n

@@ -1,0 +1,76 @@
+"""Unfused baseline pipeline tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ProblemSpec,
+    UnfusedPipeline,
+    cublas_unfused,
+    cuda_unfused,
+    direct,
+    generate,
+)
+
+
+class TestCublasUnfused:
+    def test_matches_reference(self, small_problem):
+        res = cublas_unfused(small_problem)
+        ref = direct(small_problem)
+        np.testing.assert_allclose(res.V, ref, rtol=2e-3, atol=1e-4)
+
+    def test_intermediate_bytes_is_four_passes(self):
+        data = generate(ProblemSpec(M=64, N=32, K=4))
+        res = cublas_unfused(data)
+        assert res.intermediate_bytes == 4 * 64 * 32 * 4
+
+    def test_intermediates_kept_on_request(self, tile_problem):
+        res = cublas_unfused(tile_problem, keep_intermediates=True)
+        assert res.intermediates["C"].shape == (256, 256)
+        assert res.intermediates["K"].shape == (256, 256)
+        np.testing.assert_allclose(
+            res.intermediates["C"], tile_problem.A @ tile_problem.B, rtol=1e-4
+        )
+
+    def test_intermediates_empty_by_default(self, tile_problem):
+        assert cublas_unfused(tile_problem).intermediates == {}
+
+    def test_kernel_matrix_entries_bounded(self, tile_problem):
+        res = cublas_unfused(tile_problem, keep_intermediates=True)
+        K = res.intermediates["K"]
+        assert np.all(K > 0) and np.all(K <= 1.0 + 1e-6)
+
+
+class TestCudaUnfused:
+    def test_matches_reference(self, small_problem):
+        res = cuda_unfused(small_problem)
+        np.testing.assert_allclose(res.V, direct(small_problem), rtol=2e-3, atol=1e-4)
+
+    def test_agrees_with_cublas_variant(self, tile_problem):
+        # only the GEMM differs, and both are float32-faithful
+        a = cuda_unfused(tile_problem).V
+        b = cublas_unfused(tile_problem).V
+        np.testing.assert_allclose(a, b, rtol=1e-4, atol=1e-5)
+
+
+class TestPipelineContract:
+    def test_custom_gemm_injected(self, tile_problem):
+        calls = []
+
+        def spy_gemm(A, B):
+            calls.append(A.shape)
+            return (A @ B).astype(A.dtype)
+
+        pipe = UnfusedPipeline(spy_gemm, "spy")
+        res = pipe(tile_problem)
+        assert calls == [(256, 32)]
+        np.testing.assert_allclose(res.V, direct(tile_problem), rtol=2e-3, atol=1e-4)
+
+    def test_bad_gemm_output_rejected(self, tile_problem):
+        pipe = UnfusedPipeline(lambda A, B: np.zeros((2, 2), dtype=np.float32), "bad")
+        with pytest.raises(ValueError, match="mismatched"):
+            pipe(tile_problem)
+
+    def test_float64_pipeline(self):
+        data = generate(ProblemSpec(M=96, N=80, K=8, dtype="float64", seed=2))
+        np.testing.assert_allclose(cublas_unfused(data).V, direct(data), rtol=1e-9)

@@ -1,0 +1,63 @@
+"""Simplified-CACTI scaling-law tests."""
+
+import pytest
+
+from repro.energy import SramConfig, sram_access_energy, sram_leakage_watts
+
+
+class TestScalingLaws:
+    def test_reference_point(self):
+        ref = SramConfig(capacity_bytes=32 * 1024, banks=1, access_bytes=32)
+        assert sram_access_energy(ref) == pytest.approx(10e-12)
+
+    def test_energy_grows_with_capacity(self):
+        small = SramConfig(capacity_bytes=32 * 1024)
+        big = SramConfig(capacity_bytes=2 * 1024 * 1024)
+        assert sram_access_energy(big) > sram_access_energy(small)
+
+    def test_sqrt_capacity_scaling(self):
+        e1 = sram_access_energy(SramConfig(capacity_bytes=32 * 1024))
+        e4 = sram_access_energy(SramConfig(capacity_bytes=4 * 32 * 1024))
+        assert e4 == pytest.approx(2 * e1)
+
+    def test_banking_reduces_per_access_energy(self):
+        mono = SramConfig(capacity_bytes=1024 * 1024, banks=1)
+        banked = SramConfig(capacity_bytes=1024 * 1024, banks=32)
+        assert sram_access_energy(banked) < sram_access_energy(mono)
+
+    def test_wider_access_costs_more(self):
+        narrow = SramConfig(capacity_bytes=64 * 1024, access_bytes=4)
+        wide = SramConfig(capacity_bytes=64 * 1024, access_bytes=32)
+        assert sram_access_energy(wide) > sram_access_energy(narrow)
+
+    def test_width_shares_decode_cost(self):
+        # 8x wider access must cost less than 8x the energy
+        narrow = sram_access_energy(SramConfig(capacity_bytes=64 * 1024, access_bytes=4))
+        wide = sram_access_energy(SramConfig(capacity_bytes=64 * 1024, access_bytes=32))
+        assert wide < 8 * narrow
+
+    def test_extra_port_overhead(self):
+        one = SramConfig(capacity_bytes=96 * 1024, banks=32, access_bytes=4, ports=1)
+        two = SramConfig(capacity_bytes=96 * 1024, banks=32, access_bytes=4, ports=2)
+        assert sram_access_energy(two) == pytest.approx(1.15 * sram_access_energy(one))
+
+
+class TestLeakage:
+    def test_proportional_to_capacity(self):
+        a = sram_leakage_watts(SramConfig(capacity_bytes=1024 * 1024))
+        b = sram_leakage_watts(SramConfig(capacity_bytes=2 * 1024 * 1024))
+        assert b == pytest.approx(2 * a)
+
+
+class TestValidation:
+    def test_capacity_must_divide_banks(self):
+        with pytest.raises(ValueError):
+            SramConfig(capacity_bytes=1000, banks=3)
+
+    def test_positive_geometry(self):
+        with pytest.raises(ValueError):
+            SramConfig(capacity_bytes=0)
+        with pytest.raises(ValueError):
+            SramConfig(capacity_bytes=1024, access_bytes=0)
+        with pytest.raises(ValueError):
+            SramConfig(capacity_bytes=1024, ports=0)

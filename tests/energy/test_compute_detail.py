@@ -1,0 +1,50 @@
+"""Compute-energy split and CLI sweep tests."""
+
+import pytest
+
+from repro.core import ProblemSpec
+from repro.energy import EnergyModel
+from repro.gpu import GTX970
+from repro.perf import model_run
+
+
+@pytest.fixture(scope="module")
+def em():
+    return EnergyModel(GTX970)
+
+
+class TestComputeDetail:
+    def test_sums_to_breakdown_compute(self, em):
+        run = model_run("fused", ProblemSpec(M=16384, N=1024, K=64))
+        detail = em.compute_detail(run)
+        assert sum(detail.values()) == pytest.approx(em.breakdown(run).compute)
+
+    def test_fpu_dominates_sfu_for_gemm_heavy_work(self, em):
+        run = model_run("fused", ProblemSpec(M=16384, N=1024, K=256))
+        detail = em.compute_detail(run)
+        assert detail["fpu"] > 10 * detail["sfu"]
+
+    def test_sfu_share_grows_at_low_k(self, em):
+        """At K=32 the per-element exp is a visible fraction of the math."""
+        lo = em.compute_detail(model_run("fused", ProblemSpec(M=16384, N=1024, K=32)))
+        hi = em.compute_detail(model_run("fused", ProblemSpec(M=16384, N=1024, K=256)))
+        assert lo["sfu"] / lo["fpu"] > hi["sfu"] / hi["fpu"]
+
+    def test_instruction_overhead_is_significant(self, em):
+        """Fetch/decode/issue costs rival the FPU itself — the basis of the
+        'more instructions = more energy' part of Table III's savings."""
+        run = model_run("fused", ProblemSpec(M=16384, N=1024, K=64))
+        detail = em.compute_detail(run)
+        assert detail["instruction_overhead"] > 0.5 * detail["fpu"]
+
+
+class TestCliSweep:
+    @pytest.mark.parametrize("axis", ["bandwidth", "sms", "l2", "n"])
+    def test_sweep_axes_render(self, capsys, axis):
+        from repro.cli import main
+
+        rc = main(["sweep", "--axis", axis, "-M", "131072", "-K", "32"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fused speedup" in out
+        assert "x" in out

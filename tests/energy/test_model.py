@@ -1,0 +1,106 @@
+"""Energy breakdown model tests."""
+
+import pytest
+
+from repro.core import ProblemSpec
+from repro.energy import EnergyBreakdown, EnergyModel, McPatParams, params_for_device
+from repro.gpu import FERMI_GTX580, GTX970
+from repro.perf import model_run
+
+
+@pytest.fixture(scope="module")
+def em():
+    return EnergyModel(GTX970)
+
+
+@pytest.fixture(scope="module")
+def run32():
+    return model_run("fused", ProblemSpec(M=16384, N=1024, K=32))
+
+
+class TestEnergyBreakdown:
+    def test_total_is_sum(self):
+        b = EnergyBreakdown(1.0, 2.0, 3.0, 4.0, 5.0)
+        assert b.total == 15.0
+
+    def test_shares_sum_to_one(self, em, run32):
+        shares = em.breakdown(run32).shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyBreakdown(-1.0, 0, 0, 0, 0)
+
+    def test_savings_math(self):
+        a = EnergyBreakdown(1.0, 0, 0, 0, 0)
+        b = EnergyBreakdown(2.0, 0, 0, 0, 0)
+        assert a.savings_vs(b) == pytest.approx(0.5)
+        assert b.savings_vs(a) == pytest.approx(-1.0)
+
+    def test_zero_baseline_rejected(self):
+        a = EnergyBreakdown(1.0, 0, 0, 0, 0)
+        zero = EnergyBreakdown(0, 0, 0, 0, 0)
+        with pytest.raises(ValueError):
+            a.savings_vs(zero)
+        with pytest.raises(ValueError):
+            zero.shares()
+
+
+class TestEnergyModel:
+    def test_all_components_positive_for_real_run(self, em, run32):
+        b = em.breakdown(run32)
+        assert b.compute > 0 and b.smem > 0 and b.l2 > 0 and b.dram > 0 and b.static > 0
+
+    def test_energy_scales_with_work(self, em):
+        small = em.breakdown(model_run("fused", ProblemSpec(M=16384, N=1024, K=32)))
+        large = em.breakdown(model_run("fused", ProblemSpec(M=65536, N=1024, K=32)))
+        assert large.total == pytest.approx(4 * small.total, rel=0.15)
+
+    def test_custom_params_respected(self, run32):
+        base = EnergyModel(GTX970).breakdown(run32)
+        doubled = EnergyModel(
+            GTX970, params_for_device(GTX970).with_(dram_energy_per_byte=224e-12)
+        ).breakdown(run32)
+        # not exactly 2x: the small per-atomic term is unchanged
+        assert doubled.dram == pytest.approx(2 * base.dram, rel=0.02)
+        assert doubled.compute == pytest.approx(base.compute)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(GTX970, McPatParams(fma_energy=0.0))
+
+    def test_device_derivation_uses_cacti(self):
+        p970 = params_for_device(GTX970)
+        p580 = params_for_device(FERMI_GTX580)
+        # different SRAM geometries -> different derived energies
+        assert p970.l2_energy_per_byte != p580.l2_energy_per_byte
+
+    def test_atomics_contribute(self, em):
+        spec = ProblemSpec(M=16384, N=1024, K=32)
+        with_atomics = em.breakdown(model_run("fused", spec))
+        without = em.breakdown(model_run("fused", spec, atomic_reduction=False))
+        assert with_atomics.dram > without.dram  # RED energy counted under dram
+
+    def test_static_proportional_to_time(self, em):
+        fast = model_run("fused", ProblemSpec(M=16384, N=1024, K=32))
+        slow = model_run("fused", ProblemSpec(M=16384, N=1024, K=256))
+        r = em.breakdown(slow).static / em.breakdown(fast).static
+        assert r == pytest.approx(slow.total_seconds / fast.total_seconds)
+
+
+class TestMcPatParams:
+    def test_defaults_validate(self):
+        McPatParams().validate()
+
+    def test_with_replaces(self):
+        p = McPatParams().with_(static_watts=0.0)
+        assert p.static_watts == 0.0
+        p.validate()  # zero static is legal
+
+    def test_negative_static_rejected(self):
+        with pytest.raises(ValueError):
+            McPatParams(static_watts=-1.0).validate()
+
+    def test_smem_cheaper_than_l2_cheaper_than_dram(self):
+        p = params_for_device(GTX970)
+        assert p.smem_energy_per_byte < p.l2_energy_per_byte < p.dram_energy_per_byte

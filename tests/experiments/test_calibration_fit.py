@@ -1,0 +1,53 @@
+"""Calibration-procedure tests: the shipped constants are the fit's optimum."""
+
+import pytest
+
+from repro.experiments.calibration_fit import (
+    ANCHOR_CELLS,
+    fit_dram_efficiency,
+    fit_energy_constants,
+)
+from repro.perf import DEFAULT_CALIBRATION
+
+
+class TestEnergyFit:
+    @pytest.fixture(scope="class")
+    def fit(self):
+        return fit_energy_constants()
+
+    def test_shipped_constants_are_the_optimum(self, fit):
+        """Re-running the calibration lands within 5% of the shipped
+        energies — they are derived, not tuned to the test suite."""
+        assert fit.compute_scale == pytest.approx(1.0, abs=0.05)
+
+    def test_anchor_errors_balanced(self, fit):
+        """Bisection on the mean error leaves the two anchors symmetric."""
+        errs = list(fit.anchor_errors.values())
+        assert abs(sum(errs)) < 0.2
+
+    def test_anchor_errors_within_four_points(self, fit):
+        assert fit.max_anchor_error() < 4.0
+
+    def test_anchor_cells_are_table3_cells(self):
+        from repro.experiments import TABLE3_ENERGY_SAVINGS
+
+        for cell in ANCHOR_CELLS:
+            assert cell in TABLE3_ENERGY_SAVINGS
+
+
+class TestDramEfficiencyFit:
+    def test_recovers_shipped_value(self):
+        eff = fit_dram_efficiency()
+        assert eff == pytest.approx(
+            DEFAULT_CALIBRATION.dram_streaming_efficiency, abs=0.02
+        )
+
+    def test_target_bracketing_guard(self):
+        with pytest.raises(RuntimeError, match="not bracketed"):
+            fit_dram_efficiency(target_speedup=10.0)
+
+    def test_higher_target_needs_lower_efficiency(self):
+        """A slower memory system makes the baseline look worse."""
+        eff_18 = fit_dram_efficiency(target_speedup=1.8)
+        eff_20 = fit_dram_efficiency(target_speedup=2.0)
+        assert eff_20 < eff_18

@@ -1,0 +1,57 @@
+"""Consolidated reproduction-report tests."""
+
+import pytest
+
+from repro.experiments import SMALL_GRID, full_reproduction_report
+from repro.experiments.full_report import ClaimCheck, ReproductionReport
+
+
+@pytest.fixture(scope="module")
+def report():
+    return full_reproduction_report(SMALL_GRID, include_figures=True)
+
+
+class TestClaims:
+    def test_all_headline_claims_pass(self, report):
+        failing = [c.claim for c in report.claims if not c.passed]
+        assert not failing, f"claims not reproduced: {failing}"
+
+    def test_ten_claims_checked(self, report):
+        assert report.total == 10
+
+    def test_every_claim_has_measurement(self, report):
+        for c in report.claims:
+            assert c.measured and c.claim
+
+
+class TestRendering:
+    def test_render_includes_verdicts_and_tables(self, report):
+        text = report.render()
+        assert "10/10 reproduced" in text
+        assert "[PASS]" in text
+        assert "table2" in text and "table3" in text
+        assert "fig6" in text
+
+    def test_claims_only_mode(self):
+        r = full_reproduction_report(SMALL_GRID, include_figures=False)
+        text = r.render()
+        assert "fig6" not in text
+        assert "table3" in text
+
+    def test_empty_report_renders(self):
+        r = ReproductionReport()
+        assert "0/0" in r.render()
+
+    def test_miss_marker(self):
+        r = ReproductionReport(claims=[ClaimCheck("c", "m", False)])
+        assert "[MISS]" in r.render()
+        assert r.passed == 0 and r.total == 1
+
+
+class TestCli:
+    def test_reproduce_exit_zero_when_all_pass(self, capsys):
+        from repro.cli import main
+
+        rc = main(["reproduce", "--grid", "small", "--no-figures"])
+        assert rc == 0
+        assert "REPRODUCTION REPORT" in capsys.readouterr().out

@@ -1,0 +1,173 @@
+"""Experiment harness tests: configs, runner, figures, tables, report."""
+
+import math
+
+import pytest
+
+from repro.core import ProblemSpec
+from repro.experiments import (
+    PAPER_GRID,
+    SMALL_GRID,
+    TABLE_GRID,
+    ExperimentGrid,
+    ExperimentRunner,
+    fig1_energy_breakdown,
+    fig2_l2_mpki,
+    fig5_bank_conflicts,
+    fig6_speedup,
+    fig7_gemm_comparison,
+    fig8a_l2_transactions,
+    fig8b_dram_transactions,
+    fig9_energy_comparison,
+    render_figure,
+    render_table,
+    table1_configuration,
+    table2_flop_efficiency,
+    table3_energy_savings,
+)
+
+
+class TestGrids:
+    def test_paper_grid_size(self):
+        assert len(PAPER_GRID) == 4 * 7
+
+    def test_table_grid_matches_paper_tables(self):
+        specs = list(TABLE_GRID.specs())
+        assert len(specs) == 12
+        assert {s.K for s in specs} == {32, 64, 128, 256}
+        assert {s.M for s in specs} == {1024, 131072, 524288}
+        assert all(s.N == 1024 for s in specs)
+
+    def test_specs_k_major_order(self):
+        specs = list(SMALL_GRID.specs())
+        assert specs[0].K == specs[1].K  # M varies fastest
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentGrid(k_values=(), m_values=(1024,))
+
+    def test_bad_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentGrid(k_values=(32,), m_values=(0,))
+
+
+class TestRunner:
+    def test_metrics_fields(self, runner):
+        m = runner.run("fused", ProblemSpec(M=4096, N=1024, K=32))
+        assert m.seconds > 0
+        assert 0 < m.flop_efficiency < 1
+        assert m.l2_transactions > 0
+        assert m.dram_transactions > 0
+        assert m.total_energy > 0
+
+    def test_caching_returns_same_object(self, runner):
+        s = ProblemSpec(M=4096, N=1024, K=32)
+        assert runner.run("fused", s) is runner.run("fused", s)
+
+    def test_speedup_helper(self, runner):
+        s = ProblemSpec(M=131072, N=1024, K=32)
+        assert runner.speedup(s) == pytest.approx(
+            runner.run("cublas-unfused", s).seconds / runner.run("fused", s).seconds
+        )
+
+    def test_unknown_implementation_propagates(self, runner):
+        with pytest.raises(KeyError):
+            runner.run("warp-drive", ProblemSpec(M=1024, N=1024, K=32))
+
+
+class TestFigures:
+    def test_fig1_shares_sum_to_one(self, runner):
+        r = fig1_energy_breakdown(runner, SMALL_GRID)
+        for i in range(len(r.x_labels)):
+            total = sum(r.series[c][i] for c in ("compute", "smem", "l2", "dram", "static"))
+            assert total == pytest.approx(1.0)
+
+    def test_fig2_positive_mpki(self, runner):
+        r = fig2_l2_mpki(runner, SMALL_GRID)
+        assert all(v > 0 for v in r.series["l2_mpki"])
+
+    def test_fig5_optimized_conflict_free(self):
+        r = fig5_bank_conflicts()
+        idx = r.x_labels.index("optimized")
+        assert r.series["store_replays"][idx] == 0
+        assert r.series["load_replays_A"][idx] == 0
+        assert r.series["load_replays_B"][idx] == 0
+
+    def test_fig5_naive_conflicted(self):
+        r = fig5_bank_conflicts()
+        idx = r.x_labels.index("naive")
+        assert r.series["load_replays_B"][idx] > 0
+
+    def test_fig6_speedup_consistent_with_normalized_time(self, runner):
+        r = fig6_speedup(runner, SMALL_GRID)
+        for norm, spd in zip(
+            r.series["time_fused_norm"], r.series["speedup_vs_cublas_unfused"]
+        ):
+            assert spd == pytest.approx(1.0 / norm)
+
+    def test_fig7_ratios_above_one(self, runner):
+        r = fig7_gemm_comparison(runner, SMALL_GRID)
+        assert all(v > 1.0 for v in r.series["cudac_over_cublas"])
+
+    def test_fig8a_has_both_series(self, runner):
+        r = fig8a_l2_transactions(runner, SMALL_GRID)
+        assert set(r.series) == {"fused", "cuda-unfused"}
+        assert len(r.series["fused"]) == len(SMALL_GRID)
+
+    def test_fig8b_fused_far_below_baseline(self, runner):
+        r = fig8b_dram_transactions(runner, SMALL_GRID)
+        assert all(v < 0.5 for v in r.series["fused"])
+
+    def test_fig9_totals_are_component_sums(self, runner):
+        r = fig9_energy_comparison(runner, SMALL_GRID)
+        for impl in ("fused", "cublas-unfused"):
+            for i in range(len(r.x_labels)):
+                total = sum(
+                    r.series[f"{impl}:{c}"][i]
+                    for c in ("compute", "smem", "l2", "dram", "static")
+                )
+                assert total == pytest.approx(r.series[f"{impl}:total"][i])
+
+    def test_series_of_unknown_raises(self, runner):
+        r = fig2_l2_mpki(runner, SMALL_GRID)
+        with pytest.raises(KeyError):
+            r.series_of("bananas")
+
+
+class TestTables:
+    def test_table1_matches_paper_exactly(self):
+        t = table1_configuration()
+        for _, paper, model in t.rows:
+            assert paper == model
+
+    def test_table2_no_nans(self, runner):
+        t = table2_flop_efficiency(runner)
+        for row in t.rows:
+            assert not any(isinstance(v, float) and math.isnan(v) for v in row)
+
+    def test_table3_model_column_positive(self, runner):
+        t = table3_energy_savings(runner)
+        assert all(row[3] > 0 for row in t.rows)
+
+    def test_tables_have_12_rows(self, runner):
+        assert len(table2_flop_efficiency(runner).rows) == 12
+        assert len(table3_energy_savings(runner).rows) == 12
+
+
+class TestReport:
+    def test_render_figure_contains_labels_and_claim(self, runner):
+        r = fig2_l2_mpki(runner, SMALL_GRID)
+        text = render_figure(r)
+        assert "fig2" in text
+        assert "paper:" in text
+        assert "K=32,M=1024" in text
+
+    def test_render_figure_row_limit(self, runner):
+        r = fig2_l2_mpki(runner, SMALL_GRID)
+        text = render_figure(r, max_rows=2)
+        assert "more rows" in text
+
+    def test_render_table(self, runner):
+        text = render_table(table3_energy_savings(runner))
+        assert "table3" in text
+        assert "131072" in text

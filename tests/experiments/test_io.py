@@ -1,0 +1,72 @@
+"""Result-serialization tests."""
+
+import pytest
+
+from repro.experiments import SMALL_GRID, ExperimentRunner, fig2_l2_mpki, table3_energy_savings
+from repro.experiments.io import (
+    figure_from_json,
+    figure_to_csv,
+    figure_to_json,
+    table_to_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def fig():
+    return fig2_l2_mpki(ExperimentRunner(), SMALL_GRID)
+
+
+@pytest.fixture(scope="module")
+def tab():
+    return table3_energy_savings(ExperimentRunner())
+
+
+class TestCsv:
+    def test_figure_csv_shape(self, fig):
+        lines = figure_to_csv(fig).strip().splitlines()
+        assert lines[0] == "config,l2_mpki"
+        assert len(lines) == 1 + len(fig.x_labels)
+
+    def test_figure_csv_written_to_disk(self, fig, tmp_path):
+        path = tmp_path / "fig2.csv"
+        text = figure_to_csv(fig, path)
+        assert path.read_text() == text
+
+    def test_table_csv_header(self, tab):
+        lines = table_to_csv(tab).strip().splitlines()
+        assert lines[0].startswith("K,M,paper,model")
+        assert len(lines) == 13
+
+    def test_table_csv_written(self, tab, tmp_path):
+        path = tmp_path / "t3.csv"
+        table_to_csv(tab, path)
+        assert path.exists()
+
+
+class TestJsonRoundTrip:
+    def test_roundtrip_preserves_everything(self, fig):
+        restored = figure_from_json(figure_to_json(fig))
+        assert restored.figure == fig.figure
+        assert restored.title == fig.title
+        assert restored.paper_claim == fig.paper_claim
+        assert restored.x_labels == fig.x_labels
+        for name, values in fig.series.items():
+            assert restored.series[name] == pytest.approx(values)
+
+    def test_json_written(self, fig, tmp_path):
+        path = tmp_path / "fig.json"
+        figure_to_json(fig, path)
+        restored = figure_from_json(path.read_text())
+        assert restored.figure == fig.figure
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            figure_from_json('{"figure": "x"}')
+
+    def test_length_mismatch_rejected(self):
+        bad = (
+            '{"figure": "f", "title": "t", "x_labels": ["a", "b"],'
+            ' "series": {"s": [1.0]}}'
+        )
+        with pytest.raises(ValueError, match="length"):
+            figure_from_json(bad)

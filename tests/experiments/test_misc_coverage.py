@@ -1,0 +1,110 @@
+"""Targeted coverage for runner internals, paper-value consistency, sweeps,
+and CLI subcommands the other suites exercise only indirectly."""
+
+import pytest
+
+from repro.core import ProblemSpec
+from repro.experiments import (
+    PAPER_GRID,
+    TABLE_GRID,
+    TABLE2_FLOP_EFFICIENCY,
+    TABLE3_ENERGY_SAVINGS,
+    ExperimentRunner,
+    n_sweep,
+)
+
+
+class TestPaperValuesConsistency:
+    def test_table2_keys_cover_the_table_grid(self):
+        grid_keys = {(s.K, s.M) for s in TABLE_GRID.specs()}
+        assert set(TABLE2_FLOP_EFFICIENCY) == grid_keys
+
+    def test_table3_keys_cover_the_table_grid(self):
+        grid_keys = {(s.K, s.M) for s in TABLE_GRID.specs()}
+        assert set(TABLE3_ENERGY_SAVINGS) == grid_keys
+
+    def test_table_grid_subset_of_paper_grid(self):
+        paper = {(s.K, s.M) for s in PAPER_GRID.specs()}
+        table = {(s.K, s.M) for s in TABLE_GRID.specs()}
+        assert table <= paper
+
+    def test_paper_values_within_physical_bounds(self):
+        for (K, M), (cublas, fused) in TABLE2_FLOP_EFFICIENCY.items():
+            assert 0 < cublas < 100 and 0 < fused < 100
+        for v in TABLE3_ENERGY_SAVINGS.values():
+            assert 0 < v < 100
+
+
+class TestRunnerInternals:
+    def test_gemm_seconds_both_flavors(self, runner):
+        spec = ProblemSpec(M=16384, N=1024, K=64)
+        assert runner.gemm_seconds("cudac", spec) > runner.gemm_seconds("cublas", spec)
+
+    def test_metrics_energy_total_property(self, runner):
+        m = runner.run("fused", ProblemSpec(M=4096, N=1024, K=32))
+        assert m.total_energy == m.energy.total
+
+    def test_speedup_of_self_is_one(self, runner):
+        spec = ProblemSpec(M=4096, N=1024, K=32)
+        assert runner.speedup(spec, of="fused", vs="fused") == pytest.approx(1.0)
+
+    def test_distinct_runners_do_not_share_cache(self):
+        a = ExperimentRunner()
+        b = ExperimentRunner()
+        spec = ProblemSpec(M=4096, N=1024, K=32)
+        ma = a.run("fused", spec)
+        mb = b.run("fused", spec)
+        assert ma is not mb
+        assert ma.seconds == mb.seconds  # but the model is deterministic
+
+
+class TestNSweep:
+    def test_speedup_grows_with_n(self):
+        pts = n_sweep(K=32, M=131072, n_values=(256, 1024, 16384))
+        speedups = [p.speedup for p in pts]
+        assert speedups[-1] > speedups[0]
+
+    def test_all_points_favor_fusion_at_k32(self):
+        assert all(p.speedup > 1.0 for p in n_sweep())
+
+    def test_bad_n_rejected(self):
+        with pytest.raises(ValueError):
+            n_sweep(n_values=(0,))
+
+
+class TestCliCoverage:
+    def test_roofline_subcommand(self, capsys):
+        from repro.cli import main
+
+        rc = main(["roofline", "-M", "131072", "-K", "32"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "roofline: GTX970" in out
+        assert "fused-kernel-summation" in out
+        assert "compute-bound" in out
+
+    def test_figure_small_grid_fig9(self, capsys):
+        from repro.cli import main
+
+        rc = main(["figure", "fig9", "--grid", "small"])
+        assert rc == 0
+        assert "fused:total" in capsys.readouterr().out
+
+    def test_solve_laplace_kernel(self, capsys):
+        from repro.cli import main
+
+        rc = main(["solve", "-M", "256", "-N", "128", "-K", "4",
+                   "--kernel", "laplace", "--check"])
+        assert rc == 0
+
+
+class TestRooflineRendering:
+    def test_custom_dimensions(self):
+        from repro.core import PAPER_TILING
+        from repro.gpu import GTX970
+        from repro.perf import analyze, fused_launch, render_roofline
+
+        pt = analyze(fused_launch(ProblemSpec(M=4096, N=1024, K=32), PAPER_TILING, GTX970), GTX970)
+        text = render_roofline([pt], GTX970, width=30, height=6)
+        grid_lines = [l for l in text.splitlines()[1:-1]]
+        assert all(len(l) <= 30 for l in grid_lines)

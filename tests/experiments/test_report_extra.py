@@ -1,0 +1,74 @@
+"""Bar-chart rendering and input-hygiene tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import make_problem
+from repro.experiments import render_bars
+
+
+class TestRenderBars:
+    def test_basic_structure(self):
+        text = render_bars(["a", "bb"], [1.0, 2.0])
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith(" a |")
+        assert "2.000" in lines[1]
+
+    def test_max_value_fills_width(self):
+        text = render_bars(["x", "y"], [1.0, 4.0], width=20)
+        assert "#" * 20 in text
+
+    def test_zero_values_draw_no_bar(self):
+        text = render_bars(["z"], [0.0])
+        assert "#" not in text
+
+    def test_unit_suffix(self):
+        assert "ms" in render_bars(["t"], [3.0], unit="ms")
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            render_bars(["a"], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_bars([], [])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            render_bars(["a"], [-1.0])
+
+    def test_all_zero_safe(self):
+        text = render_bars(["a", "b"], [0.0, 0.0])
+        assert "0.000" in text
+
+
+class TestCheckFinite:
+    def _arrays(self):
+        rng = np.random.default_rng(0)
+        A = rng.random((16, 4), dtype=np.float32)
+        B = rng.random((4, 8), dtype=np.float32)
+        W = rng.standard_normal(8).astype(np.float32)
+        return A, B, W
+
+    def test_nan_in_a_rejected(self):
+        A, B, W = self._arrays()
+        A[3, 1] = np.nan
+        with pytest.raises(ValueError, match="A contains NaN"):
+            make_problem(A, B, W)
+
+    def test_inf_in_weights_rejected(self):
+        A, B, W = self._arrays()
+        W[0] = np.inf
+        with pytest.raises(ValueError, match="W contains NaN"):
+            make_problem(A, B, W)
+
+    def test_check_can_be_disabled(self):
+        A, B, W = self._arrays()
+        A[0, 0] = np.nan
+        data = make_problem(A, B, W, check_finite=False)
+        assert np.isnan(data.A[0, 0])
+
+    def test_finite_inputs_pass(self):
+        A, B, W = self._arrays()
+        make_problem(A, B, W)  # no exception

@@ -1,0 +1,71 @@
+"""Device-sensitivity sweep tests."""
+
+import pytest
+
+from repro.core import ProblemSpec
+from repro.experiments import (
+    ExperimentRunner,
+    bandwidth_sweep,
+    l2_size_sweep,
+    sm_count_sweep,
+)
+from repro.gpu import GTX970
+
+SPEC = ProblemSpec(M=131072, N=1024, K=32)
+
+
+class TestBandwidthSweep:
+    def test_speedup_falls_with_bandwidth(self):
+        """Fusion removes memory traffic: faster DRAM shrinks its win."""
+        pts = bandwidth_sweep(SPEC)
+        speedups = [p.speedup for p in pts]
+        assert all(a > b for a, b in zip(speedups, speedups[1:]))
+
+    def test_baseline_point_matches_default_device(self):
+        pts = bandwidth_sweep(SPEC, scales=(1.0,))
+        default = ExperimentRunner(device=GTX970).speedup(SPEC)
+        assert pts[0].speedup == pytest.approx(default, rel=1e-6)
+
+    def test_half_bandwidth_doubles_motivation(self):
+        pts = bandwidth_sweep(SPEC, scales=(0.5, 1.0))
+        assert pts[0].speedup > 1.5 * pts[1].speedup
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            bandwidth_sweep(SPEC, scales=(0.0,))
+
+
+class TestSmCountSweep:
+    def test_speedup_grows_with_compute(self):
+        """More SMs on the same memory system starve the unfused pipeline."""
+        pts = sm_count_sweep(SPEC)
+        speedups = [p.speedup for p in pts]
+        assert all(a < b for a, b in zip(speedups, speedups[1:]))
+
+    def test_labels(self):
+        pts = sm_count_sweep(SPEC, counts=(13,))
+        assert pts[0].label == "13 SMs"
+        assert pts[0].device.num_sms == 13
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ValueError):
+            sm_count_sweep(SPEC, counts=(0,))
+
+
+class TestL2SizeSweep:
+    def test_small_l2_raises_fused_dram_traffic(self):
+        """Once K*N*4 stops fitting, the fused B re-reads go to DRAM."""
+        spec = ProblemSpec(M=131072, N=1024, K=256)  # B = 1 MiB
+        small = ExperimentRunner(
+            device=GTX970.with_overrides(l2_size=256 * 1024)
+        ).run("fused", spec)
+        big = ExperimentRunner(device=GTX970).run("fused", spec)
+        assert small.dram_transactions > 4 * big.dram_transactions
+
+    def test_sweep_runs_and_speedups_positive(self):
+        pts = l2_size_sweep(ProblemSpec(M=131072, N=1024, K=256))
+        assert all(p.speedup > 0 for p in pts)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            l2_size_sweep(SPEC, sizes_kib=(3,))  # not line*way aligned

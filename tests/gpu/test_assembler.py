@@ -1,0 +1,129 @@
+"""SASS-like assembler tests."""
+
+import pytest
+
+from repro.gpu.assembler import AssemblyError, assemble, parse_listing
+from repro.gpu.warpsim import simulate_sm
+from repro.perf import DEFAULT_CALIBRATION
+
+
+class TestParsing:
+    def test_basic_ffma(self):
+        (entry,) = parse_listing("FFMA R4, R0, R1, R4")
+        unit, writes, reads = entry
+        assert unit == "fp32"
+        assert writes == [4]
+        assert sorted(reads) == [0, 1, 4]
+
+    def test_vector_load_writes_register_range(self):
+        (entry,) = parse_listing("LDS.128 R8, [R20]")
+        unit, writes, reads = entry
+        assert unit == "smem"
+        assert writes == [8, 9, 10, 11]
+        assert reads == [20]
+
+    def test_store_reads_operands(self):
+        (entry,) = parse_listing("STS [R22], R4")
+        unit, writes, reads = entry
+        assert writes == []
+        assert sorted(reads) == [4, 22]
+
+    def test_bar_has_no_operands(self):
+        (entry,) = parse_listing("BAR.SYNC")
+        assert entry == ("control", [], [])
+
+    def test_comments_and_blank_lines_ignored(self):
+        parsed = parse_listing("""
+        # header comment
+        FFMA R1, R1, R1, R1   # trailing comment
+
+        """)
+        assert len(parsed) == 1
+
+    def test_address_with_offset(self):
+        (entry,) = parse_listing("LDG.64 R0, [R30 + 0x40]")
+        assert entry[2] == [30]
+
+    def test_case_insensitive(self):
+        (entry,) = parse_listing("ffma r4, r0, r1, r4")
+        assert entry[0] == "fp32"
+
+    def test_unknown_opcode(self):
+        with pytest.raises(AssemblyError, match="unknown opcode"):
+            parse_listing("HMMA R0, R1, R2, R3")
+
+    def test_bad_operand(self):
+        with pytest.raises(AssemblyError, match="bad operand"):
+            parse_listing("FFMA R0, R1, 3.14, R0")
+
+    def test_missing_destination(self):
+        with pytest.raises(AssemblyError, match="destination"):
+            parse_listing("LDS.64")
+
+    def test_empty_listing(self):
+        with pytest.raises(AssemblyError, match="empty"):
+            parse_listing("# nothing here")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblyError, match="line 3"):
+            parse_listing("FFMA R0, R0, R0, R0\nFADD R1, R1, R1\nBOGUS R2")
+
+
+class TestDependencyDerivation:
+    def test_read_after_write_same_iteration(self):
+        prog = assemble("LDS.64 R0, [R20]\nFFMA R4, R0, R1, R4")
+        assert prog.body[1].deps == (0,)
+
+    def test_read_before_write_uses_previous_iteration(self):
+        # the FFMA reads R0, which is only written *later* in the body
+        prog = assemble("FFMA R4, R0, R1, R4\nLDS.64 R0, [R20]")
+        assert prog.body[0].deps == (1,)
+
+    def test_unwritten_register_has_no_dep(self):
+        prog = assemble("FFMA R4, R0, R1, R4")
+        # R0/R1 never written; only the R4 accumulator self-dep is dropped
+        assert prog.body[0].deps == ()
+
+    def test_vector_write_covers_all_lanes(self):
+        prog = assemble("LDS.128 R0, [R20]\nFFMA R8, R3, R3, R8")
+        # R3 is written by the .128 load (R0..R3)
+        assert prog.body[1].deps == (0,)
+
+    def test_address_register_dependency(self):
+        prog = assemble("XMAD R20, R20, R21, R20\nLDS.64 R0, [R20]")
+        assert prog.body[1].deps == (0,)
+
+    def test_iterations_forwarded(self):
+        prog = assemble("FFMA R0, R0, R0, R0", iterations=7)
+        assert prog.iterations == 7
+
+
+class TestScheduledListings:
+    CUDAC = "XMAD R20, R20, R21, R20\n" + "\n".join(
+        f"LDS.64 R{2 * j}, [R20]" for j in range(4)
+    ) + "\n" + "\n".join(
+        f"FFMA R{8 + i}, R{i % 8}, R{(i + 2) % 8}, R{8 + i}" for i in range(32)
+    )
+    MAXAS = "\n".join(
+        f"FFMA R{8 + i}, R{i % 8}, R{(i + 2) % 8}, R{8 + i}" for i in range(32)
+    ) + "\nXMAD R20, R20, R21, R20\n" + "\n".join(
+        f"LDS.64 R{2 * j}, [R20]" for j in range(4)
+    )
+
+    def test_maxas_schedule_matches_cublas_grade_efficiency(self):
+        eff = simulate_sm(assemble(self.MAXAS, 32), num_warps=16).efficiency()
+        assert eff == pytest.approx(DEFAULT_CALIBRATION.issue_efficiency_cublas, abs=0.06)
+
+    def test_compiler_schedule_with_rf_conflicts_is_cudac_grade(self):
+        eff = simulate_sm(
+            assemble(self.CUDAC, 32), num_warps=16, fp32_replay_rate=0.3
+        ).efficiency()
+        assert eff < simulate_sm(assemble(self.MAXAS, 32), num_warps=16).efficiency()
+        assert eff == pytest.approx(0.76, abs=0.08)
+
+    def test_schedules_execute_same_instruction_mix(self):
+        a = assemble(self.CUDAC, 8)
+        b = assemble(self.MAXAS, 8)
+        count = lambda p, u: sum(1 for i in p.body if i.unit == u)
+        for unit in ("fp32", "smem", "int"):
+            assert count(a, unit) == count(b, unit)

@@ -1,0 +1,72 @@
+"""Global-memory coalescer tests."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import coalesce, transaction_count
+from repro.gpu.coalescing import contiguous_bytes_to_sectors
+
+
+class TestCoalesce:
+    def test_warp_contiguous_float32_four_sectors(self):
+        # 32 lanes x 4 B contiguous = 128 B = four 32-byte sectors
+        addrs = np.arange(32) * 4
+        sectors = coalesce(addrs, access_size=4)
+        np.testing.assert_array_equal(sectors, [0, 32, 64, 96])
+
+    def test_alignment_offset_adds_sector(self):
+        addrs = np.arange(32) * 4 + 16  # misaligned by half a sector
+        assert transaction_count(addrs) == 5
+
+    def test_fully_scattered_32_sectors(self):
+        addrs = np.arange(32) * 1024
+        assert transaction_count(addrs) == 32
+
+    def test_same_address_one_sector(self):
+        assert transaction_count(np.zeros(32, dtype=int)) == 1
+
+    def test_float4_contiguous(self):
+        addrs = np.arange(32) * 16  # 512 B contiguous
+        assert transaction_count(addrs, access_size=16) == 16
+
+    def test_access_spanning_sector_boundary(self):
+        # one lane reading 16 B starting at byte 24 touches two sectors
+        assert transaction_count([24], access_size=16) == 2
+
+    def test_mask_restricts_lanes(self):
+        addrs = np.arange(32) * 1024
+        mask = np.zeros(32, dtype=bool)
+        mask[:2] = True
+        assert transaction_count(addrs, active_mask=mask) == 2
+
+    def test_empty_active_set(self):
+        assert transaction_count(np.arange(32), active_mask=np.zeros(32, dtype=bool)) == 0
+
+    def test_sorted_unique_output(self):
+        addrs = np.array([96, 0, 64, 0, 32])
+        sectors = coalesce(addrs)
+        assert list(sectors) == sorted(set(sectors))
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            coalesce([-4])
+
+    def test_bad_access_size_rejected(self):
+        with pytest.raises(ValueError):
+            coalesce([0], access_size=0)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            coalesce(np.zeros((2, 2), dtype=int))
+
+
+class TestContiguousBytes:
+    def test_exact_sectors(self):
+        assert contiguous_bytes_to_sectors(128) == 4.0
+
+    def test_fractional_allowed(self):
+        assert contiguous_bytes_to_sectors(16) == 0.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            contiguous_bytes_to_sectors(-1)

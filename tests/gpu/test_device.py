@@ -1,0 +1,121 @@
+"""Device specification tests: Table I fidelity and derived quantities."""
+
+import pytest
+
+from repro.gpu import DEVICE_PRESETS, FERMI_GTX580, GTX970, GTX980, DeviceSpec, get_device
+
+
+class TestGTX970TableI:
+    """The paper's Table I values must be encoded exactly."""
+
+    def test_num_sms(self):
+        assert GTX970.num_sms == 13
+
+    def test_max_threads_per_block(self):
+        assert GTX970.max_threads_per_block == 1024
+
+    def test_warp_size(self):
+        assert GTX970.warp_size == 32
+
+    def test_max_threads_per_sm(self):
+        assert GTX970.max_threads_per_sm == 2048
+
+    def test_registers_per_sm(self):
+        assert GTX970.registers_per_sm == 64 * 1024
+
+    def test_max_registers_per_thread(self):
+        assert GTX970.max_registers_per_thread == 255
+
+    def test_shared_mem_per_sm(self):
+        assert GTX970.shared_mem_per_sm == 96 * 1024
+
+    def test_bank_geometry(self):
+        assert GTX970.shared_mem_bank_size == 4
+        assert GTX970.num_shared_mem_banks == 32
+
+    def test_warp_schedulers(self):
+        assert GTX970.num_warp_schedulers == 4
+
+    def test_l2_size(self):
+        assert GTX970.l2_size == int(1.75 * 1024 * 1024)
+
+
+class TestDerivedQuantities:
+    def test_max_warps_per_sm(self):
+        assert GTX970.max_warps_per_sm == 64
+
+    def test_peak_flops_is_cores_times_clock_times_two(self):
+        expected = 2 * 128 * 13 * GTX970.core_clock_hz
+        assert GTX970.peak_flops_sp == pytest.approx(expected)
+        # GTX970 is a ~3.9 TFLOP/s part
+        assert 3.5e12 < GTX970.peak_flops_sp < 4.5e12
+
+    def test_peak_dram_bandwidth_224gbps(self):
+        assert GTX970.peak_dram_bandwidth == pytest.approx(224e9)
+
+    def test_l2_bandwidth_exceeds_dram(self):
+        assert GTX970.peak_l2_bandwidth > GTX970.peak_dram_bandwidth
+
+    def test_smem_bandwidth_per_sm(self):
+        # 32 banks x 4 B x clock
+        assert GTX970.smem_bandwidth_per_sm == pytest.approx(128 * GTX970.core_clock_hz)
+
+    def test_fma_throughput_four_warps_per_cycle(self):
+        assert GTX970.fma_throughput_per_sm_per_cycle == 4.0
+
+    def test_l2_sets_consistent(self):
+        assert GTX970.l2_num_sets * GTX970.l2_line_bytes * GTX970.l2_ways == GTX970.l2_size
+
+
+class TestPresetRegistry:
+    def test_lookup_case_insensitive(self):
+        assert get_device("gtx970") is GTX970
+        assert get_device("GTX980") is GTX980
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(KeyError, match="unknown device"):
+            get_device("rtx9090")
+
+    def test_all_presets_validate(self):
+        for dev in DEVICE_PRESETS.values():
+            dev.validate()
+
+    def test_fermi_preset_differs_meaningfully(self):
+        # Section II-C: Fermi has SMEM carved from L1, fewer schedulers.
+        assert FERMI_GTX580.num_warp_schedulers < GTX970.num_warp_schedulers
+        assert FERMI_GTX580.shared_mem_per_sm < GTX970.shared_mem_per_sm
+
+
+class TestOverridesAndValidation:
+    def test_with_overrides_changes_only_named_field(self):
+        d = GTX970.with_overrides(num_sms=16)
+        assert d.num_sms == 16
+        assert d.l2_size == GTX970.l2_size
+
+    def test_overrides_do_not_mutate_original(self):
+        GTX970.with_overrides(num_sms=99)
+        assert GTX970.num_sms == 13
+
+    def test_spec_is_frozen(self):
+        with pytest.raises(AttributeError):
+            GTX970.num_sms = 1  # type: ignore[misc]
+
+    def test_validate_rejects_nonmultiple_threads(self):
+        bad = GTX970.with_overrides(max_threads_per_sm=2047)
+        with pytest.raises(ValueError, match="multiple of warp_size"):
+            bad.validate()
+
+    def test_validate_rejects_bad_l2_geometry(self):
+        bad = GTX970.with_overrides(l2_size=1000)
+        with pytest.raises(ValueError, match="L2 size"):
+            bad.validate()
+
+    def test_validate_rejects_oversized_dram_transaction(self):
+        bad = GTX970.with_overrides(dram_transaction_bytes=256)
+        with pytest.raises(ValueError, match="DRAM transaction"):
+            bad.validate()
+
+    def test_validate_rejects_nonpositive_sms(self):
+        bad = GTX970.with_overrides(num_sms=0)
+        with pytest.raises(ValueError):
+            bad.validate()

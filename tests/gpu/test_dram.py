@@ -1,0 +1,63 @@
+"""DRAM channel model tests."""
+
+import pytest
+
+from repro.gpu import GTX970, DramModel, DramTraffic
+
+
+class TestDramTraffic:
+    def test_total(self):
+        t = DramTraffic(100.0, 50.0)
+        assert t.total_bytes == 150.0
+
+    def test_transactions_32b(self):
+        t = DramTraffic(64.0, 64.0)
+        assert t.transactions() == 4.0
+
+    def test_addition(self):
+        t = DramTraffic(10.0, 20.0) + DramTraffic(1.0, 2.0)
+        assert t.read_bytes == 11.0
+        assert t.write_bytes == 22.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DramTraffic(-1.0, 0.0)
+        with pytest.raises(ValueError):
+            DramTraffic(0.0, -1.0)
+
+
+class TestDramModel:
+    def test_peak_matches_device(self):
+        m = DramModel(GTX970)
+        assert m.peak_bandwidth == GTX970.peak_dram_bandwidth
+
+    def test_streaming_faster_than_scattered(self):
+        m = DramModel(GTX970)
+        assert m.sustained_bandwidth(1.0) > m.sustained_bandwidth(0.0)
+
+    def test_sustained_below_peak(self):
+        m = DramModel(GTX970)
+        assert m.sustained_bandwidth(1.0) < m.peak_bandwidth
+
+    def test_transfer_time_scales_linearly(self):
+        m = DramModel(GTX970)
+        t1 = m.transfer_time(DramTraffic(1e9, 0))
+        t2 = m.transfer_time(DramTraffic(2e9, 0))
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_mix_interpolates(self):
+        m = DramModel(GTX970)
+        mid = m.sustained_bandwidth(0.5)
+        assert m.sustained_bandwidth(0.0) < mid < m.sustained_bandwidth(1.0)
+
+    def test_bad_fraction_rejected(self):
+        m = DramModel(GTX970)
+        with pytest.raises(ValueError):
+            m.sustained_bandwidth(1.5)
+        with pytest.raises(ValueError):
+            m.sustained_bandwidth(-0.1)
+
+    def test_instance_efficiency_override(self):
+        m = DramModel(GTX970)
+        m.STREAMING_EFFICIENCY = 0.5
+        assert m.sustained_bandwidth(1.0) == pytest.approx(0.5 * m.peak_bandwidth)

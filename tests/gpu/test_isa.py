@@ -1,0 +1,97 @@
+"""Instruction cost-model tests."""
+
+import pytest
+
+from repro.gpu import OPCODES, InstructionMix, Unit
+
+
+class TestOpcodeTable:
+    def test_ffma_counts_64_flops_per_warp(self):
+        assert OPCODES["FFMA"].flops_per_warp == 64
+
+    def test_fadd_fmul_count_32_flops(self):
+        assert OPCODES["FADD"].flops_per_warp == 32
+        assert OPCODES["FMUL"].flops_per_warp == 32
+
+    def test_global_word_load_moves_128_bytes(self):
+        assert OPCODES["LDG"].bytes_per_warp == 128
+
+    def test_vector_load_moves_512_bytes(self):
+        assert OPCODES["LDG128"].bytes_per_warp == 512
+
+    def test_units_assigned(self):
+        assert OPCODES["FFMA"].unit is Unit.FP32
+        assert OPCODES["MUFU"].unit is Unit.SFU
+        assert OPCODES["LDS"].unit is Unit.SMEM
+        assert OPCODES["LDG"].unit is Unit.LSU
+        assert OPCODES["XMAD"].unit is Unit.INT
+        assert OPCODES["BAR"].unit is Unit.CONTROL
+        assert OPCODES["RED"].unit is Unit.ATOM
+
+
+class TestInstructionMix:
+    def test_add_accumulates(self):
+        m = InstructionMix()
+        m.add("FFMA", 10).add("FFMA", 5)
+        assert m.counts["FFMA"] == 15
+
+    def test_add_unknown_opcode_raises(self):
+        with pytest.raises(KeyError, match="unknown opcode"):
+            InstructionMix().add("VADD", 1)
+
+    def test_add_negative_raises(self):
+        with pytest.raises(ValueError):
+            InstructionMix().add("FFMA", -1)
+
+    def test_total(self):
+        m = InstructionMix().add("FFMA", 10).add("LDS", 4)
+        assert m.total() == 14
+
+    def test_total_filtered_by_unit(self):
+        m = InstructionMix().add("FFMA", 10).add("LDS", 4).add("XMAD", 2)
+        assert m.total([Unit.FP32]) == 10
+        assert m.total([Unit.FP32, Unit.INT]) == 12
+
+    def test_flops(self):
+        m = InstructionMix().add("FFMA", 10).add("FADD", 2).add("MUFU", 1)
+        assert m.flops() == 10 * 64 + 2 * 32 + 32
+
+    def test_merge_scales(self):
+        a = InstructionMix().add("FFMA", 3)
+        b = InstructionMix().add("FFMA", 2).add("LDS", 1)
+        a.merge(b, times=4)
+        assert a.counts["FFMA"] == 11
+        assert a.counts["LDS"] == 4
+
+    def test_scaled_returns_new_mix(self):
+        a = InstructionMix().add("FFMA", 3)
+        b = a.scaled(2.0)
+        assert b.counts["FFMA"] == 6
+        assert a.counts["FFMA"] == 3
+
+    def test_unit_cycles_groups_by_unit(self):
+        m = InstructionMix().add("FFMA", 5).add("FMUL", 2).add("LDS", 3)
+        uc = m.unit_cycles()
+        assert uc[Unit.FP32] == 7
+        assert uc[Unit.SMEM] == 3
+
+    def test_bytes_moved(self):
+        m = InstructionMix().add("LDG", 2).add("STG128", 1).add("LDS", 5)
+        assert m.bytes_moved([Unit.LSU]) == 2 * 128 + 512
+        assert m.smem_bytes() == 5 * 128
+
+    def test_global_bytes_includes_atomics(self):
+        m = InstructionMix().add("LDG", 1).add("RED", 1)
+        assert m.global_bytes() == 256
+
+    def test_thread_instructions(self):
+        m = InstructionMix().add("FFMA", 10)
+        assert m.thread_instructions() == 320
+
+    def test_issue_cycles_default_one_per_inst(self):
+        m = InstructionMix().add("FFMA", 10).add("BAR", 2)
+        assert m.issue_cycles() == 12
+
+    def test_fractional_counts_allowed(self):
+        m = InstructionMix().add("FFMA", 0.5)
+        assert m.flops() == 32

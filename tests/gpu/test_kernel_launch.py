@@ -1,0 +1,84 @@
+"""KernelCounters / KernelLaunch container tests."""
+
+import pytest
+
+from repro.gpu import DramTraffic, InstructionMix, KernelCounters, KernelLaunch
+
+
+def make_counters(ffma=100.0, l2r=10.0, l2w=5.0, dr=320.0, dw=160.0):
+    mix = InstructionMix().add("FFMA", ffma)
+    return KernelCounters(
+        mix=mix,
+        l2_read_transactions=l2r,
+        l2_write_transactions=l2w,
+        dram=DramTraffic(dr, dw),
+    )
+
+
+class TestKernelCounters:
+    def test_l2_total(self):
+        c = make_counters()
+        assert c.l2_transactions == 15.0
+
+    def test_flops_delegate_to_mix(self):
+        c = make_counters(ffma=10)
+        assert c.flops == 640
+
+    def test_thread_instructions(self):
+        c = make_counters(ffma=10)
+        assert c.thread_instructions == 320
+
+    def test_merge_sums_everything(self):
+        a = make_counters()
+        b = make_counters()
+        m = a.merged_with(b)
+        assert m.l2_transactions == 30.0
+        assert m.dram.total_bytes == 960.0
+        assert m.flops == 2 * a.flops
+
+    def test_merge_does_not_mutate_inputs(self):
+        a = make_counters()
+        b = make_counters()
+        a.merged_with(b)
+        assert a.flops == make_counters().flops
+
+    def test_negative_counter_rejected(self):
+        with pytest.raises(ValueError):
+            KernelCounters(l2_read_transactions=-1.0)
+
+    def test_defaults_are_zero(self):
+        c = KernelCounters()
+        assert c.l2_transactions == 0
+        assert c.smem_transactions == 0
+        assert c.dram.total_bytes == 0
+
+
+class TestKernelLaunch:
+    def base(self, **kw):
+        args = dict(
+            name="k",
+            grid_blocks=10,
+            threads_per_block=256,
+            regs_per_thread=32,
+            smem_per_block=0,
+            counters=make_counters(),
+        )
+        args.update(kw)
+        return KernelLaunch(**args)
+
+    def test_total_threads(self):
+        assert self.base().total_threads == 2560
+
+    def test_zero_grid_rejected(self):
+        with pytest.raises(ValueError):
+            self.base(grid_blocks=0)
+
+    def test_bad_issue_efficiency_rejected(self):
+        with pytest.raises(ValueError):
+            self.base(issue_efficiency=0.0)
+        with pytest.raises(ValueError):
+            self.base(issue_efficiency=1.5)
+
+    def test_bad_streaming_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            self.base(streaming_fraction=-0.1)

@@ -1,0 +1,146 @@
+"""Trace-driven L2 cache simulator tests."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import L2Cache
+
+
+def small_cache(sets=4, ways=2, line=128):
+    return L2Cache(size_bytes=sets * ways * line, line_bytes=line, ways=ways)
+
+
+class TestBasicBehaviour:
+    def test_cold_miss_then_hit(self):
+        c = small_cache()
+        assert c.access(0) is False
+        assert c.access(0) is True
+        assert c.stats.read_misses == 1
+        assert c.stats.read_hits == 1
+
+    def test_sub_line_sectors_hit_same_line(self):
+        c = small_cache()
+        c.access(0)
+        assert c.access(32) is True
+        assert c.access(96) is True
+
+    def test_distinct_lines_miss_independently(self):
+        c = small_cache()
+        c.access(0)
+        assert c.access(128) is False
+
+    def test_set_mapping_modulo(self):
+        c = small_cache(sets=4)
+        # lines 0 and 4 map to set 0; lines 1 and 5 to set 1
+        s0, _ = c._locate(0)
+        s4, _ = c._locate(4 * 128)
+        assert s0 == s4 == 0
+        s1, _ = c._locate(1 * 128)
+        assert s1 == 1
+
+    def test_write_allocate(self):
+        c = small_cache()
+        assert c.access(0, write=True) is False
+        assert c.stats.write_misses == 1
+        assert c.access(0) is True  # line was filled
+
+
+class TestLRU:
+    def test_lru_evicts_least_recent(self):
+        c = small_cache(sets=1, ways=2)
+        c.access(0)  # line 0
+        c.access(128)  # line 1
+        c.access(0)  # touch line 0 again
+        c.access(256)  # evicts line 1 (LRU)
+        assert c.access(0) is True
+        assert c.access(128) is False
+
+    def test_associativity_holds_ways_lines(self):
+        c = small_cache(sets=1, ways=4)
+        for i in range(4):
+            c.access(i * 128)
+        for i in range(4):
+            assert c.access(i * 128) is True
+
+    def test_streaming_thrashes(self):
+        c = small_cache(sets=2, ways=2)
+        for rep in range(3):
+            for i in range(8):  # 8 lines through a 4-line cache
+                c.access(i * 128)
+        assert c.stats.read_hits == 0  # pure LRU stream with reuse distance > ways
+
+
+class TestWritebacks:
+    def test_dirty_eviction_writes_back(self):
+        c = small_cache(sets=1, ways=1)
+        c.access(0, write=True)
+        c.access(128)  # evict dirty line 0
+        assert c.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        c = small_cache(sets=1, ways=1)
+        c.access(0)
+        c.access(128)
+        assert c.stats.writebacks == 0
+
+    def test_flush_writes_back_all_dirty(self):
+        c = small_cache()
+        c.access(0, write=True)
+        c.access(128, write=True)
+        c.access(256)
+        assert c.flush() == 2
+        assert c.resident_lines() == 0
+
+    def test_read_after_write_keeps_dirty(self):
+        c = small_cache(sets=1, ways=1)
+        c.access(0, write=True)
+        c.access(0)  # read hit must not clear dirty
+        c.access(128)
+        assert c.stats.writebacks == 1
+
+
+class TestStatsAndGeometry:
+    def test_hit_rate(self):
+        c = small_cache()
+        c.access(0)
+        c.access(0)
+        c.access(0)
+        assert c.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_dram_reads_equal_misses(self):
+        c = small_cache()
+        c.access_many(np.arange(10) * 128)
+        assert c.stats.dram_reads == 10
+
+    def test_mpki(self):
+        c = small_cache()
+        c.access(0)
+        assert c.stats.mpki(1000) == pytest.approx(1.0)
+
+    def test_mpki_requires_positive_instructions(self):
+        c = small_cache()
+        with pytest.raises(ValueError):
+            c.stats.mpki(0)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            L2Cache(size_bytes=1000, line_bytes=128, ways=2)
+        with pytest.raises(ValueError):
+            L2Cache(size_bytes=0)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            small_cache().access(-1)
+
+    def test_reset_stats_keeps_contents(self):
+        c = small_cache()
+        c.access(0)
+        c.reset_stats()
+        assert c.stats.accesses == 0
+        assert c.access(0) is True  # still resident
+
+    def test_gtx970_geometry(self):
+        from repro.gpu import GTX970
+
+        c = L2Cache(GTX970.l2_size, GTX970.l2_line_bytes, GTX970.l2_ways)
+        assert c.num_sets == GTX970.l2_num_sets

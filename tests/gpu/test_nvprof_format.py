@@ -1,0 +1,43 @@
+"""nvprof-style formatter tests."""
+
+import pytest
+
+from repro.core import ProblemSpec
+from repro.gpu import format_nvprof
+from repro.perf import model_run
+
+
+@pytest.fixture(scope="module")
+def run():
+    return model_run("cublas-unfused", ProblemSpec(M=16384, N=1024, K=32))
+
+
+class TestFormatNvprof:
+    def test_one_row_per_kernel(self, run):
+        text = format_nvprof(run)
+        for p in run.profiles:
+            assert p.launch.name in text
+
+    def test_time_shares_sum_to_100(self, run):
+        text = format_nvprof(run)
+        shares = [
+            float(line.split("%")[0]) for line in text.splitlines() if line.strip().endswith(
+                ("norms", "gemm-cublas", "evalsum")
+            )
+        ]
+        assert sum(shares) == pytest.approx(100.0, abs=0.05)
+
+    def test_header_and_total(self, run):
+        text = format_nvprof(run)
+        assert text.startswith("==PROF==")
+        assert "total" in text.splitlines()[-1]
+        assert "launches" in text
+
+    def test_gemm_dominates_at_k32(self, run):
+        """The visible profile tells the paper's story: the GEMM and the
+        evalsum stream dominate, the norms kernel is noise."""
+        lines = {l.split()[-1]: l for l in format_nvprof(run).splitlines()[2:-1]}
+        gemm_share = float(lines["gemm-cublas"].split("%")[0])
+        norms_share = float(lines["norms"].split("%")[0])
+        assert gemm_share > 40
+        assert norms_share < 5

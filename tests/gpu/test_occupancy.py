@@ -1,0 +1,104 @@
+"""Occupancy calculator tests, anchored on the paper's design point."""
+
+import pytest
+
+from repro.core import PAPER_TILING
+from repro.gpu import GTX970, max_blocks_for_kernel, occupancy
+
+
+class TestPaperDesignPoint:
+    """Section III-A: 16x16 threads, ~112 regs/thread, 16 KiB smem -> 2 CTAs/SM."""
+
+    def test_two_blocks_per_sm(self):
+        occ = PAPER_TILING.occupancy_on(GTX970)
+        assert occ.blocks_per_sm == 2
+
+    def test_register_limited(self):
+        occ = PAPER_TILING.occupancy_on(GTX970)
+        assert occ.limiter == "registers"
+
+    def test_sixteen_warps_resident(self):
+        occ = PAPER_TILING.occupancy_on(GTX970)
+        assert occ.warps_per_sm == 16
+        assert occ.occupancy == pytest.approx(0.25)
+
+    def test_paper_register_range(self):
+        # "96 to 128 registers are consumed by each thread"
+        assert 96 <= PAPER_TILING.regs_per_thread <= 128
+
+    def test_more_registers_drop_to_one_block(self):
+        # "Each thread computing more than 8x8 C elements will reduce the
+        # occupancy to one thread block per SM due to the register count limit"
+        occ = occupancy(GTX970, 256, 150, PAPER_TILING.smem_per_block)
+        assert occ.blocks_per_sm == 1
+
+    def test_1024_threads_hits_thread_limit_at_two_blocks(self):
+        # Section III-A: 4x4 microtiles -> 1024 threads/block; the 2048
+        # threads/SM device limit still caps residency at two blocks.
+        occ = occupancy(GTX970, 1024, 32, PAPER_TILING.smem_per_block)
+        assert occ.blocks_per_sm == 2
+        assert occ.limiter == "threads"
+
+
+class TestResourceLimits:
+    def test_shared_memory_limited(self):
+        occ = occupancy(GTX970, 64, 16, 40 * 1024)
+        assert occ.limiter == "shared_memory"
+        assert occ.blocks_per_sm == 2
+
+    def test_block_cap_limited(self):
+        occ = occupancy(GTX970, 32, 8, 16)
+        assert occ.limiter == "blocks"
+        assert occ.blocks_per_sm == GTX970.max_blocks_per_sm
+
+    def test_register_rounding_to_granularity(self):
+        # 33 regs x 32 lanes = 1056 -> rounds to 1280 with 256 granularity
+        occ = occupancy(GTX970, 32, 33, 0)
+        assert occ.regs_per_block == 1280
+
+    def test_full_occupancy_possible(self):
+        occ = occupancy(GTX970, 256, 32, 2048)
+        assert occ.occupancy == pytest.approx(1.0)
+        assert occ.warps_per_sm == 64
+
+    def test_occupancy_bounded_by_one(self):
+        for regs in (16, 64, 128, 255):
+            occ = occupancy(GTX970, 128, regs, 1024)
+            assert 0 < occ.occupancy <= 1.0
+
+
+class TestValidation:
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy(GTX970, 0, 32, 0)
+
+    def test_too_many_threads_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy(GTX970, 2048, 32, 0)
+
+    def test_too_many_registers_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy(GTX970, 256, 256, 0)
+
+    def test_negative_smem_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy(GTX970, 256, 32, -1)
+
+    def test_over_limit_smem_rejected(self):
+        with pytest.raises(ValueError, match="per-block limit"):
+            occupancy(GTX970, 256, 32, 64 * 1024)
+
+    def test_impossible_footprint_rejected(self):
+        # 255 regs x 1024 threads cannot fit on an SM at all
+        with pytest.raises(ValueError, match="zero blocks"):
+            occupancy(GTX970, 1024, 255, 0)
+
+
+class TestDeviceWideBlocks:
+    def test_grid_smaller_than_device_clamps(self):
+        n = max_blocks_for_kernel(GTX970, 256, 112, 16384, grid_blocks=10)
+        assert n == 10
+
+    def test_large_grid_limited_by_residency(self):
+        n = max_blocks_for_kernel(GTX970, 256, 112, 16384, grid_blocks=10_000)
+        assert n == 2 * GTX970.num_sms

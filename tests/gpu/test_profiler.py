@@ -1,0 +1,86 @@
+"""nvprof-style aggregation tests."""
+
+import pytest
+
+from repro.gpu import (
+    GTX970,
+    DramTraffic,
+    InstructionMix,
+    KernelCounters,
+    KernelLaunch,
+    KernelProfile,
+    ProfiledRun,
+)
+
+
+def launch(name="k", ffma=1000.0, dram_read=1e6):
+    mix = InstructionMix().add("FFMA", ffma)
+    counters = KernelCounters(
+        mix=mix,
+        l2_read_transactions=100.0,
+        l2_write_transactions=50.0,
+        dram=DramTraffic(dram_read, 0.0),
+    )
+    return KernelLaunch(name, 10, 256, 32, 0, counters)
+
+
+class TestProfiledRun:
+    def test_requires_at_least_one_kernel(self):
+        with pytest.raises(ValueError):
+            ProfiledRun("x", GTX970, [])
+
+    def test_kernel_time_sums(self):
+        run = ProfiledRun(
+            "x",
+            GTX970,
+            [KernelProfile(launch(), 1e-3), KernelProfile(launch(), 2e-3)],
+        )
+        assert run.kernel_seconds == pytest.approx(3e-3)
+
+    def test_total_adds_launch_overhead(self):
+        run = ProfiledRun("x", GTX970, [KernelProfile(launch(), 1e-3)] * 2)
+        expected = 2e-3 + 2 * GTX970.kernel_launch_overhead_s
+        assert run.total_seconds == pytest.approx(expected)
+
+    def test_counters_merge_across_kernels(self):
+        run = ProfiledRun("x", GTX970, [KernelProfile(launch(), 1e-3)] * 3)
+        assert run.l2_transactions == pytest.approx(450.0)
+        assert run.flops == pytest.approx(3 * 1000 * 64)
+
+    def test_dram_transactions_use_device_granularity(self):
+        run = ProfiledRun("x", GTX970, [KernelProfile(launch(dram_read=3200.0), 1e-3)])
+        assert run.dram_transactions == pytest.approx(100.0)
+
+    def test_flop_efficiency_is_cycle_weighted(self):
+        # one fast high-rate kernel + one slow zero-flop kernel
+        fast = KernelProfile(launch(ffma=1e6), 1e-3)
+        slow_launch = launch(ffma=0.0)
+        slow = KernelProfile(slow_launch, 9e-3)
+        run = ProfiledRun("x", GTX970, [fast, slow])
+        eff_fast = fast.flop_efficiency(GTX970)
+        assert run.flop_efficiency() == pytest.approx(0.1 * eff_fast)
+
+    def test_kernel_profile_rejects_nonpositive_time(self):
+        with pytest.raises(ValueError):
+            KernelProfile(launch(), 0.0)
+
+    def test_mpki_counts_line_fills(self):
+        # 128e3 bytes read -> 1000 line fills over 32000 thread instructions
+        run = ProfiledRun(
+            "x", GTX970, [KernelProfile(launch(ffma=1000.0, dram_read=128e3), 1e-3)]
+        )
+        assert run.l2_mpki() == pytest.approx(1000 * 1000 / 32000)
+
+    def test_summary_keys(self):
+        run = ProfiledRun("x", GTX970, [KernelProfile(launch(), 1e-3)])
+        s = run.summary()
+        for key in (
+            "name",
+            "kernels",
+            "total_seconds",
+            "flop_efficiency",
+            "l2_transactions",
+            "dram_transactions",
+            "l2_mpki",
+        ):
+            assert key in s

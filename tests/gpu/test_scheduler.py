@@ -1,0 +1,57 @@
+"""CTA scheduler (wave quantization) tests."""
+
+import pytest
+
+from repro.core import PAPER_TILING
+from repro.gpu import GTX970, plan_schedule
+
+
+def plan(grid):
+    return plan_schedule(
+        GTX970,
+        grid,
+        PAPER_TILING.threads_per_block,
+        PAPER_TILING.regs_per_thread,
+        PAPER_TILING.smem_per_block,
+    )
+
+
+class TestWaves:
+    def test_single_wave_when_grid_fits(self):
+        p = plan(26)  # 2 CTAs/SM x 13 SMs
+        assert p.waves == 1
+        assert p.utilization == pytest.approx(1.0)
+
+    def test_partial_wave_underutilizes(self):
+        p = plan(27)
+        assert p.waves == 2
+        assert p.utilization == pytest.approx(27 / 52)
+
+    def test_paper_smallest_grid(self):
+        # M = N = 1024 -> 8 x 8 = 64 CTAs on a 26-slot device
+        p = plan(64)
+        assert p.waves == 3
+        assert p.utilization == pytest.approx(64 / 78)
+
+    def test_large_grid_near_full_utilization(self):
+        p = plan(8192)
+        assert p.utilization > 0.99
+
+    def test_concurrent_blocks(self):
+        p = plan(100)
+        assert p.concurrent_blocks == 26
+        assert p.blocks_per_sm == 2
+
+    def test_occupancy_forwarded(self):
+        p = plan(100)
+        assert p.occupancy == pytest.approx(0.25)
+        assert p.warps_per_sm == 16
+
+    def test_zero_grid_rejected(self):
+        with pytest.raises(ValueError):
+            plan(0)
+
+    def test_single_block_grid(self):
+        p = plan(1)
+        assert p.waves == 1
+        assert p.utilization == pytest.approx(1 / 26)

@@ -1,0 +1,95 @@
+"""Hypothesis stress tests: the SIMT interpreter vs the analytical model.
+
+The interpreter routes every warp access through the banked shared-memory
+model, and the analytical layer computes transactions from address algebra.
+These tests hammer both with randomized access patterns and require exact
+agreement — any divergence means one of the two lies about the hardware.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu import Block, SharedMemory, warp_transactions
+
+lane_addresses = st.lists(
+    st.integers(min_value=0, max_value=511), min_size=32, max_size=32
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(addrs=lane_addresses)
+def test_interpreter_load_transactions_match_model(addrs):
+    """One warp-wide load through the Block must cost exactly what
+    warp_transactions predicts."""
+    predicted = warp_transactions(np.array(addrs))
+
+    def kernel(ctx, table):
+        yield ctx.lds(table[ctx.lane])
+
+    block = Block((32, 1), smem_words=512)
+    stats = block.run(kernel, addrs)
+    assert stats.smem.stats.load_transactions == predicted
+
+
+@settings(max_examples=40, deadline=None)
+@given(addrs=lane_addresses)
+def test_interpreter_store_transactions_match_model(addrs):
+    predicted = warp_transactions(np.array(addrs))
+
+    def kernel(ctx, table):
+        yield ctx.sts(table[ctx.lane], [float(ctx.lane)])
+
+    block = Block((32, 1), smem_words=512)
+    stats = block.run(kernel, addrs)
+    assert stats.smem.stats.store_transactions == predicted
+
+
+@settings(max_examples=25, deadline=None)
+@given(addrs=lane_addresses, data=st.data())
+def test_store_then_load_roundtrip_random_pattern(addrs, data):
+    """Last-writer-wins roundtrip under arbitrary (conflicting) addresses."""
+    values = [float(i) for i in range(32)]
+
+    def kernel(ctx, table, out):
+        yield ctx.sts(table[ctx.lane], [values[ctx.lane]])
+        yield ctx.barrier()
+        got = yield ctx.lds(table[ctx.lane])
+        out[ctx.lane] = got
+
+    out = np.zeros(32, dtype=np.float32)
+    block = Block((32, 1), smem_words=512)
+    block.run(kernel, addrs, out)
+    # lanes whose address is written by exactly one lane must read their own
+    # value back; duplicated addresses read *some* writer's value
+    for lane, addr in enumerate(addrs):
+        writers = [v for a, v in zip(addrs, values) if a == addr]
+        assert out[lane] in writers
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    addrs=lane_addresses,
+    widths=st.sampled_from([1, 2, 4]),
+)
+def test_vector_access_transactions_sum_per_phase(addrs, widths):
+    """A width-w access costs the sum of its w word-phase transactions."""
+    base = (np.array(addrs) // widths) * widths  # align
+    sm = SharedMemory(1024)
+    sm.warp_load(base, width=widths)
+    expected = sum(warp_transactions(base + p) for p in range(widths))
+    assert sm.stats.load_transactions == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_lanes=st.integers(min_value=1, max_value=32),
+    addrs=lane_addresses,
+)
+def test_partial_warp_masks(n_lanes, addrs):
+    """Masked accesses count only active lanes."""
+    mask = np.zeros(32, dtype=bool)
+    mask[:n_lanes] = True
+    full = warp_transactions(np.array(addrs), active_mask=mask)
+    direct = warp_transactions(np.array(addrs[:n_lanes]))
+    assert full == direct

@@ -1,0 +1,43 @@
+"""Calibration container tests."""
+
+import pytest
+
+from repro.perf import Calibration, DEFAULT_CALIBRATION
+
+
+class TestCalibration:
+    def test_default_validates(self):
+        DEFAULT_CALIBRATION.validate()
+
+    def test_with_replaces(self):
+        c = DEFAULT_CALIBRATION.with_(issue_efficiency_cublas=0.5)
+        assert c.issue_efficiency_cublas == 0.5
+        assert DEFAULT_CALIBRATION.issue_efficiency_cublas != 0.5
+
+    def test_cublas_issues_better_than_cudac(self):
+        # the entire premise of Fig. 7
+        assert (
+            DEFAULT_CALIBRATION.issue_efficiency_cublas
+            > DEFAULT_CALIBRATION.issue_efficiency_cudac
+        )
+
+    def test_standalone_gemm_worse_than_fused_gemm_part(self):
+        # section V-A: the unoptimized writeback epilogue
+        assert (
+            DEFAULT_CALIBRATION.issue_efficiency_cudac_standalone
+            < DEFAULT_CALIBRATION.issue_efficiency_cudac
+        )
+
+    def test_bad_efficiency_rejected(self):
+        with pytest.raises(ValueError):
+            Calibration(issue_efficiency_cublas=0.0).validate()
+        with pytest.raises(ValueError):
+            Calibration(dram_streaming_efficiency=1.2).validate()
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            Calibration(l2_stream_tolerance=0.0).validate()
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_CALIBRATION.barrier_overlap = 0.9  # type: ignore[misc]

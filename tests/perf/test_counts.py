@@ -1,0 +1,173 @@
+"""Analytical count tests: the per-kernel derivations of section III."""
+
+import pytest
+
+from repro.core import PAPER_TILING, ProblemSpec, TilingConfig
+from repro.gpu import GTX970
+from repro.perf import (
+    DEFAULT_CALIBRATION,
+    eval_launch,
+    fused_launch,
+    gemm_launch,
+    gemv_launch,
+    norms_launch,
+)
+from repro.perf.counts import evalsum_launch
+
+SPEC = ProblemSpec(M=1024, N=1024, K=32)
+BIG = ProblemSpec(M=131072, N=1024, K=32)
+
+
+class TestGemmCore:
+    def test_flops_are_2mnk(self):
+        launch = gemm_launch(SPEC, PAPER_TILING, GTX970, flavor="cudac")
+        assert launch.counters.flops == pytest.approx(SPEC.gemm_flops)
+
+    def test_cublas_flops_identical(self):
+        a = gemm_launch(SPEC, PAPER_TILING, GTX970, flavor="cudac")
+        b = gemm_launch(SPEC, PAPER_TILING, GTX970, flavor="cublas")
+        assert a.counters.flops == b.counters.flops
+
+    def test_grid_size(self):
+        launch = gemm_launch(SPEC, PAPER_TILING, GTX970)
+        assert launch.grid_blocks == 64  # 8 x 8
+
+    def test_ffma_per_cta_per_panel_is_4096(self):
+        # 256 threads x 64 accumulators x 8 k-steps / 32 lanes
+        launch = gemm_launch(SPEC, PAPER_TILING, GTX970)
+        panels = PAPER_TILING.k_iterations(SPEC.K) * launch.grid_blocks
+        assert launch.counters.mix.counts["FFMA"] == pytest.approx(4096 * panels)
+
+    def test_smem_stores_stage_whole_tiles(self):
+        launch = gemm_launch(SPEC, PAPER_TILING, GTX970, flavor="cudac")
+        panels = PAPER_TILING.k_iterations(SPEC.K) * launch.grid_blocks
+        # 2048 words per panel staged via 64 warp-level single-word STS
+        assert launch.counters.smem_store_transactions == pytest.approx(64 * panels)
+
+    def test_l2_reads_count_tile_rereads(self):
+        launch = gemm_launch(SPEC, PAPER_TILING, GTX970, flavor="cublas")
+        gx, gy = PAPER_TILING.grid(SPEC.M, SPEC.N)
+        expected_bytes = 4 * (SPEC.M * SPEC.K * gx + SPEC.K * SPEC.N * gy)
+        assert launch.counters.l2_read_transactions == pytest.approx(expected_bytes / 32)
+
+    def test_cudac_tile_loads_cost_more_l2(self):
+        a = gemm_launch(SPEC, PAPER_TILING, GTX970, flavor="cudac")
+        b = gemm_launch(SPEC, PAPER_TILING, GTX970, flavor="cublas")
+        assert a.counters.l2_read_transactions > b.counters.l2_read_transactions
+
+    def test_dram_write_is_c_matrix(self):
+        launch = gemm_launch(SPEC, PAPER_TILING, GTX970, flavor="cublas")
+        assert launch.counters.dram.write_bytes == pytest.approx(4 * SPEC.M * SPEC.N)
+
+    def test_cudac_epilogue_writes_more(self):
+        a = gemm_launch(SPEC, PAPER_TILING, GTX970, flavor="cudac")
+        b = gemm_launch(SPEC, PAPER_TILING, GTX970, flavor="cublas")
+        assert a.counters.dram.write_bytes > b.counters.dram.write_bytes
+
+    def test_dram_reads_at_least_compulsory(self):
+        launch = gemm_launch(BIG, PAPER_TILING, GTX970, flavor="cublas")
+        compulsory = 4 * (BIG.M * BIG.K + BIG.K * BIG.N)
+        assert launch.counters.dram.read_bytes >= compulsory
+
+    def test_streaming_c_evicts_a_panels_at_scale(self):
+        # at M=131072 the 537 MB C stream thrashes the L2: A re-reads miss
+        launch = gemm_launch(BIG, PAPER_TILING, GTX970, flavor="cublas")
+        gx, _ = PAPER_TILING.grid(BIG.M, BIG.N)
+        compulsory = 4 * (BIG.M * BIG.K + BIG.K * BIG.N)
+        a_rereads = 4 * BIG.M * BIG.K * (gx - 1)
+        assert launch.counters.dram.read_bytes == pytest.approx(compulsory + a_rereads)
+
+    def test_unknown_flavor_rejected(self):
+        with pytest.raises(ValueError):
+            gemm_launch(SPEC, PAPER_TILING, GTX970, flavor="clblas")
+
+    def test_conflict_factor_scales_smem_loads(self):
+        a = gemm_launch(SPEC, PAPER_TILING, GTX970, smem_load_conflict_factor=1.0)
+        b = gemm_launch(SPEC, PAPER_TILING, GTX970, smem_load_conflict_factor=4.0)
+        assert b.counters.smem_load_transactions == pytest.approx(
+            4 * a.counters.smem_load_transactions
+        )
+
+    def test_conflict_factor_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            gemm_launch(SPEC, PAPER_TILING, GTX970, smem_load_conflict_factor=0.5)
+
+    def test_barriers_one_per_panel_double_buffered(self):
+        launch = gemm_launch(SPEC, PAPER_TILING, GTX970, flavor="cudac")
+        assert launch.counters.barriers == pytest.approx(
+            PAPER_TILING.k_iterations(SPEC.K) * launch.grid_blocks
+        )
+
+    def test_single_buffer_doubles_barriers(self):
+        t = TilingConfig(double_buffered=False)
+        a = gemm_launch(SPEC, t, GTX970, flavor="cudac")
+        b = gemm_launch(SPEC, PAPER_TILING, GTX970, flavor="cudac")
+        assert a.counters.barriers == pytest.approx(2 * b.counters.barriers)
+
+
+class TestFusedLaunch:
+    def test_no_mn_write_stream(self):
+        launch = fused_launch(SPEC, PAPER_TILING, GTX970)
+        # only V (plus nothing else) is written: far below the M x N matrix
+        assert launch.counters.dram.write_bytes == pytest.approx(4 * SPEC.M)
+
+    def test_one_atomic_per_output_row_per_cta_column(self):
+        launch = fused_launch(SPEC, PAPER_TILING, GTX970)
+        gx, gy = PAPER_TILING.grid(SPEC.M, SPEC.N)
+        assert launch.counters.atomics == pytest.approx(gx * gy * 128)
+
+    def test_two_pass_reduction_has_no_atomics(self):
+        launch = fused_launch(SPEC, PAPER_TILING, GTX970, atomic_reduction=False)
+        assert launch.counters.atomics == 0
+
+    def test_flops_include_kernel_evaluation(self):
+        launch = fused_launch(SPEC, PAPER_TILING, GTX970)
+        assert launch.counters.flops > SPEC.gemm_flops
+
+    def test_fused_dram_read_no_stream_misses(self):
+        # without a write stream, A re-reads hit: reads ~ compulsory + vectors
+        launch = fused_launch(BIG, PAPER_TILING, GTX970)
+        compulsory = 4 * (BIG.M * BIG.K + BIG.K * BIG.N)
+        assert launch.counters.dram.read_bytes < 1.2 * compulsory
+
+    def test_uses_paper_register_footprint(self):
+        launch = fused_launch(SPEC, PAPER_TILING, GTX970)
+        assert launch.regs_per_thread == PAPER_TILING.regs_per_thread
+        assert launch.smem_per_block == 16 * 1024
+
+
+class TestStreamingKernels:
+    def test_norms_reads_both_matrices_once(self):
+        launch = norms_launch(SPEC, GTX970)
+        expected = 4 * (SPEC.M * SPEC.K + SPEC.K * SPEC.N)
+        assert launch.counters.dram.read_bytes == pytest.approx(expected)
+
+    def test_norms_flops(self):
+        launch = norms_launch(SPEC, GTX970)
+        # one FMA (2 flops) per coordinate
+        coords = SPEC.M * SPEC.K + SPEC.K * SPEC.N
+        assert launch.counters.flops == pytest.approx(2 * coords)
+
+    def test_eval_streams_two_mn_passes(self):
+        launch = eval_launch(SPEC, GTX970)
+        mn_bytes = 4 * SPEC.M * SPEC.N
+        assert launch.counters.dram.read_bytes >= mn_bytes
+        assert launch.counters.dram.write_bytes == pytest.approx(mn_bytes)
+
+    def test_evalsum_writes_only_v(self):
+        launch = evalsum_launch(SPEC, GTX970)
+        assert launch.counters.dram.write_bytes == pytest.approx(4 * SPEC.M)
+
+    def test_evalsum_cheaper_than_eval_plus_gemv(self):
+        es = evalsum_launch(SPEC, GTX970).counters.dram.total_bytes
+        e = eval_launch(SPEC, GTX970).counters.dram.total_bytes
+        g = gemv_launch(SPEC, GTX970).counters.dram.total_bytes
+        assert es < e + g
+
+    def test_gemv_flops_2mn(self):
+        launch = gemv_launch(SPEC, GTX970)
+        assert launch.counters.flops == pytest.approx(2 * SPEC.M * SPEC.N, rel=0.01)
+
+    def test_gemv_flavor_checked(self):
+        with pytest.raises(ValueError):
+            gemv_launch(SPEC, GTX970, DEFAULT_CALIBRATION, flavor="mkl")

@@ -1,0 +1,99 @@
+"""Per-CTA pipeline simulator tests (double buffering, section III-A)."""
+
+import pytest
+
+from repro.core import PAPER_TILING, TilingConfig
+from repro.gpu import GTX970
+from repro.perf import DEFAULT_CALIBRATION
+from repro.perf.ctasim import (
+    CtaTimeline,
+    derived_single_buffer_stall,
+    simulate_cta,
+)
+
+SINGLE = TilingConfig(double_buffered=False)
+
+
+class TestPipelineShapes:
+    def test_double_buffering_faster(self):
+        for K in (32, 64, 256):
+            d = simulate_cta(K)
+            s = simulate_cta(K, SINGLE)
+            assert d.total_cycles < s.total_cycles
+
+    def test_double_buffer_efficiency_grows_with_k(self):
+        # the prologue load amortizes over more panels
+        effs = [simulate_cta(K).efficiency for K in (16, 64, 256)]
+        assert effs[0] < effs[1] < effs[2]
+
+    def test_double_buffer_near_full_efficiency_at_high_k(self):
+        assert simulate_cta(256).efficiency > 0.95
+
+    def test_single_buffer_efficiency_flat_in_k(self):
+        # every panel pays the same exposed latency
+        e1 = simulate_cta(32, SINGLE).efficiency
+        e2 = simulate_cta(256, SINGLE).efficiency
+        assert e1 == pytest.approx(e2, abs=0.02)
+
+    def test_compute_cycles_equal_between_buffering_modes(self):
+        d = simulate_cta(64)
+        s = simulate_cta(64, SINGLE)
+        assert d.compute_cycles == pytest.approx(s.compute_cycles)
+
+    def test_stall_cycles_accounting(self):
+        t = simulate_cta(64)
+        assert t.total_cycles == pytest.approx(t.compute_cycles + t.stall_cycles)
+
+    def test_panel_count(self):
+        assert len(simulate_cta(64).events) == 8
+        assert len(simulate_cta(32).events) == 4
+
+    def test_events_ordered(self):
+        t = simulate_cta(64)
+        for a, b in zip(t.events, t.events[1:]):
+            assert b.compute_start >= a.compute_end  # one compute pipe
+
+    def test_loads_overlap_compute_when_double_buffered(self):
+        t = simulate_cta(64)
+        # panel 2's load finishes before panel 1's compute does
+        assert t.events[2].load_end < t.events[1].compute_end
+
+    def test_no_overlap_when_single_buffered(self):
+        t = simulate_cta(64, SINGLE)
+        for e in t.events[1:]:
+            prev = t.events[e.panel - 1]
+            assert e.load_start >= prev.compute_end
+
+
+class TestCalibrationConsistency:
+    def test_derived_stall_supports_calibration_constant(self):
+        """The summary constant must be within ~2x of the mechanistic
+        derivation after the co-resident-CTA overlap discount."""
+        derived = derived_single_buffer_stall(64)
+        effective = derived * (1 - DEFAULT_CALIBRATION.barrier_overlap)
+        const = DEFAULT_CALIBRATION.single_buffer_stall_cycles
+        assert effective / 2 <= const <= effective * 2
+
+    def test_derived_stall_positive(self):
+        assert derived_single_buffer_stall(32) > 0
+
+
+class TestValidation:
+    def test_bad_k_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_cta(0)
+
+    def test_bad_residency_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_cta(32, resident_ctas=0)
+
+    def test_more_residents_slower_per_cta(self):
+        solo = simulate_cta(64, resident_ctas=1)
+        shared = simulate_cta(64, resident_ctas=2)
+        assert shared.total_cycles > solo.total_cycles
+
+    def test_timeline_event_validation(self):
+        from repro.perf.ctasim import PanelEvent
+
+        with pytest.raises(ValueError):
+            PanelEvent(0, 10.0, 5.0, 20.0, 30.0)

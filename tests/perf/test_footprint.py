@@ -1,0 +1,84 @@
+"""Device-memory footprint tests."""
+
+import pytest
+
+from repro.core import ProblemSpec
+from repro.perf.footprint import (
+    GTX970_FAST_SEGMENT,
+    GTX970_MEMORY,
+    MemoryFootprint,
+    fits_device,
+    footprint,
+)
+
+BIG = ProblemSpec(M=524288, N=1024, K=32)  # the paper's largest point
+SMALL = ProblemSpec(M=1024, N=1024, K=32)
+
+
+class TestFootprint:
+    def test_fused_has_no_mn_buffer(self):
+        fp = footprint("fused", BIG)
+        assert "C (GEMM output)" not in fp.allocations
+        # inputs dominate: 64 MiB of A + small
+        assert fp.total_bytes < 100 * 1024**2
+
+    def test_unfused_dominated_by_intermediate(self):
+        fp = footprint("cublas-unfused", BIG)
+        name, size = fp.largest()
+        assert name == "C (GEMM output)"
+        assert size == 524288 * 1024 * 4  # 2 GiB
+
+    def test_literal_pipeline_holds_two_intermediates(self):
+        fp3 = footprint("cublas-unfused", BIG)
+        fp4 = footprint("cublas-unfused-4k", BIG)
+        assert fp4.total_bytes == fp3.total_bytes + 524288 * 1024 * 4
+
+    def test_unknown_implementation(self):
+        with pytest.raises(KeyError):
+            footprint("treecode", BIG)
+
+    def test_float64_doubles(self):
+        f32 = footprint("fused", SMALL).total_bytes
+        f64 = footprint("fused", SMALL.with_(dtype="float64")).total_bytes
+        assert f64 == 2 * f32
+
+
+class TestFitsDevice:
+    def test_everything_fits_at_small_m(self):
+        for impl in ("fused", "cublas-unfused", "cublas-unfused-4k"):
+            fits, fast = fits_device(impl, SMALL)
+            assert fits and fast
+
+    def test_literal_pipeline_cannot_run_at_max_m(self):
+        """At M=524288 the combined pipeline's single 2 GiB intermediate
+        still fits the 4 GiB card comfortably, but the literal Algorithm-1
+        variant (two M x N buffers, 4.07 GiB total) cannot run at all —
+        more evidence the paper's measured baseline combined its
+        evaluation and summation passes."""
+        fits3, fast3 = fits_device("cublas-unfused", BIG)
+        assert fits3 and fast3
+        fits4, _ = fits_device("cublas-unfused-4k", BIG)
+        assert not fits4
+
+    def test_fused_always_comfortable(self):
+        fits, fast = fits_device("fused", BIG)
+        assert fits and fast
+
+    def test_oom_detected(self):
+        huge = ProblemSpec(M=2**21, N=1024, K=32)  # 8 GiB intermediate
+        fits, _ = fits_device("cublas-unfused", huge)
+        assert not fits
+        fits_fused, _ = fits_device("fused", huge)
+        assert fits_fused  # fusion raises the reachable problem size
+
+    def test_bad_device_memory(self):
+        with pytest.raises(ValueError):
+            fits_device("fused", SMALL, device_memory=0)
+
+    def test_constants_sane(self):
+        assert GTX970_FAST_SEGMENT < GTX970_MEMORY
+
+    def test_container_helpers(self):
+        fp = MemoryFootprint("x", {"a": 10, "b": 20})
+        assert fp.total_bytes == 30
+        assert fp.largest() == ("b", 20)

@@ -1,0 +1,62 @@
+"""Double-precision modelling tests (Maxwell: 1/32-rate FP64)."""
+
+import pytest
+
+from repro.core import PAPER_TILING, ProblemSpec
+from repro.gpu import GTX970
+from repro.perf import fused_launch, model_run, time_kernel
+
+SP = ProblemSpec(M=131072, N=1024, K=256)
+DP = SP.with_(dtype="float64")
+
+
+class TestDeviceDp:
+    def test_peak_dp_is_1_over_32(self):
+        assert GTX970.peak_flops_dp == pytest.approx(GTX970.peak_flops_sp / 32)
+
+    def test_ratio_overridable(self):
+        tesla_like = GTX970.with_overrides(fp64_throughput_ratio=3)
+        assert tesla_like.peak_flops_dp == pytest.approx(tesla_like.peak_flops_sp / 3)
+
+
+class TestDpLaunches:
+    def test_fp64_flag_set_from_spec(self):
+        assert fused_launch(DP, PAPER_TILING, GTX970).fp64 is True
+        assert fused_launch(SP, PAPER_TILING, GTX970).fp64 is False
+
+    def test_dp_compute_bound_kernel_slows_near_ratio(self):
+        """A compute-bound kernel at K=256 slows by nearly the DP ratio."""
+        t32 = time_kernel(fused_launch(SP, PAPER_TILING, GTX970), GTX970).seconds
+        t64 = time_kernel(fused_launch(DP, PAPER_TILING, GTX970), GTX970).seconds
+        assert 20 <= t64 / t32 <= 32
+
+    def test_dp_flips_even_streaming_kernels_to_compute_bound(self):
+        """On consumer Maxwell even ~5 flops/element outruns 122 GFLOP/s:
+        the DRAM-bound eval+sum pass becomes DFMA-bound in FP64 and slows
+        by more than the 2x element size but far less than 32x."""
+        from repro.perf import evalsum_launch
+
+        t32 = time_kernel(evalsum_launch(SP, GTX970), GTX970)
+        t64 = time_kernel(evalsum_launch(DP, GTX970), GTX970)
+        assert t32.bottleneck == "dram"
+        assert t64.bottleneck == "compute"
+        assert 2.0 < t64.seconds / t32.seconds < 10.0
+
+    def test_dp_pipeline_runs_end_to_end(self):
+        run = model_run("fused", DP)
+        assert run.total_seconds > model_run("fused", SP).total_seconds
+
+    def test_dp_kills_the_fusion_story(self):
+        """With FP64 everything is DFMA-bound: fused vs unfused converge
+        (both pay the same 122 GFLOP/s wall), so fusion's value is an
+        SGEMM phenomenon — consistent with the paper only evaluating
+        single precision."""
+        spd32 = (
+            model_run("cublas-unfused", SP).total_seconds
+            / model_run("fused", SP).total_seconds
+        )
+        spd64 = (
+            model_run("cublas-unfused", DP).total_seconds
+            / model_run("fused", DP).total_seconds
+        )
+        assert abs(spd64 - 1.0) < abs(spd32 - 1.0) + 0.2

@@ -1,0 +1,83 @@
+"""Golden-value regression protection for the calibrated model.
+
+The paper-shape tests assert *bands*; this snapshot pins the model's exact
+outputs at the table grid so an accidental change to any count, timing
+rule, or energy constant is caught even when it stays inside a band.  To
+intentionally recalibrate, regenerate the snapshot:
+
+    python -m tests.perf.test_golden_snapshot
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core import PAPER_K_VALUES, PAPER_M_TABLE, ProblemSpec
+from repro.energy import EnergyModel
+from repro.gpu import GTX970
+from repro.perf import model_run
+
+SNAPSHOT = pathlib.Path(__file__).parent / "golden_model_snapshot.json"
+IMPLEMENTATIONS = ("fused", "cublas-unfused", "cuda-unfused")
+
+
+def compute_snapshot() -> dict:
+    """Key model outputs over the table grid."""
+    em = EnergyModel(GTX970)
+    out = {}
+    for K in PAPER_K_VALUES:
+        for M in PAPER_M_TABLE:
+            spec = ProblemSpec(M=M, N=1024, K=K)
+            for impl in IMPLEMENTATIONS:
+                run = model_run(impl, spec)
+                b = em.breakdown(run)
+                out[f"{impl}/K{K}/M{M}"] = {
+                    "seconds": run.total_seconds,
+                    "flop_efficiency": run.flop_efficiency(),
+                    "dram_bytes": run.counters.dram.total_bytes,
+                    "l2_transactions": run.l2_transactions,
+                    "energy_j": b.total,
+                }
+    return out
+
+
+def write_snapshot() -> None:
+    SNAPSHOT.write_text(json.dumps(compute_snapshot(), indent=1, sort_keys=True))
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    if not SNAPSHOT.exists():
+        pytest.skip("golden snapshot not generated")
+    return json.loads(SNAPSHOT.read_text())
+
+
+def test_snapshot_exists():
+    assert SNAPSHOT.exists(), (
+        "golden snapshot missing; regenerate with "
+        "`python -m tests.perf.test_golden_snapshot`"
+    )
+
+
+def test_model_matches_snapshot(golden):
+    current = compute_snapshot()
+    assert set(current) == set(golden), "configuration set changed"
+    drifted = []
+    for key, want in golden.items():
+        got = current[key]
+        for metric, value in want.items():
+            if got[metric] != pytest.approx(value, rel=1e-9):
+                drifted.append(f"{key}.{metric}: {value} -> {got[metric]}")
+    assert not drifted, "model outputs drifted:\n" + "\n".join(drifted[:20])
+
+
+def test_snapshot_covers_full_grid(golden):
+    assert len(golden) == len(IMPLEMENTATIONS) * len(PAPER_K_VALUES) * len(PAPER_M_TABLE)
+
+
+if __name__ == "__main__":
+    write_snapshot()
+    print(f"wrote {SNAPSHOT} ({len(compute_snapshot())} entries)")

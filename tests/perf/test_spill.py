@@ -1,0 +1,71 @@
+"""Register-spill (--maxregcount) model tests."""
+
+import pytest
+
+from repro.core import PAPER_TILING, ProblemSpec
+from repro.gpu import GTX970, occupancy
+from repro.perf import fused_launch, time_kernel
+from repro.perf.counts import spill_overhead
+
+SPEC = ProblemSpec(M=16384, N=1024, K=32)
+
+
+class TestSpillOverhead:
+    def test_no_spill_above_demand(self):
+        regs, accesses = spill_overhead(SPEC, PAPER_TILING, 200)
+        assert regs == PAPER_TILING.regs_per_thread
+        assert accesses == 0.0
+
+    def test_exact_demand_no_spill(self):
+        regs, accesses = spill_overhead(SPEC, PAPER_TILING, PAPER_TILING.regs_per_thread)
+        assert accesses == 0.0
+
+    def test_spill_volume_formula(self):
+        cap = PAPER_TILING.regs_per_thread - 10
+        regs, accesses = spill_overhead(SPEC, PAPER_TILING, cap)
+        assert regs == cap
+        grid = PAPER_TILING.grid_blocks(SPEC.M, SPEC.N)
+        expected = 2 * 10 * 256 * SPEC.K * grid / 32
+        assert accesses == pytest.approx(expected)
+
+    def test_deeper_cap_spills_more(self):
+        _, a64 = spill_overhead(SPEC, PAPER_TILING, 64)
+        _, a96 = spill_overhead(SPEC, PAPER_TILING, 96)
+        assert a64 > a96 > 0
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(ValueError):
+            spill_overhead(SPEC, PAPER_TILING, 0)
+
+
+class TestCappedLaunch:
+    def test_occupancy_rises_with_cap(self):
+        base = fused_launch(SPEC, PAPER_TILING, GTX970)
+        capped = fused_launch(SPEC, PAPER_TILING, GTX970, maxregcount=64)
+        occ_b = occupancy(GTX970, 256, base.regs_per_thread, base.smem_per_block)
+        occ_c = occupancy(GTX970, 256, capped.regs_per_thread, capped.smem_per_block)
+        assert occ_c.blocks_per_sm > occ_b.blocks_per_sm
+
+    def test_spilled_kernel_is_slower_despite_occupancy(self):
+        """The paper's conclusion: spilling outweighs the occupancy gain."""
+        t_base = time_kernel(fused_launch(SPEC, PAPER_TILING, GTX970), GTX970).seconds
+        t_cap = time_kernel(
+            fused_launch(SPEC, PAPER_TILING, GTX970, maxregcount=64), GTX970
+        ).seconds
+        assert t_cap > 2 * t_base
+
+    def test_spill_adds_memory_instructions(self):
+        base = fused_launch(SPEC, PAPER_TILING, GTX970)
+        capped = fused_launch(SPEC, PAPER_TILING, GTX970, maxregcount=64)
+        assert capped.counters.mix.counts.get("STG", 0) > base.counters.mix.counts.get(
+            "STG", 0
+        )
+        assert capped.counters.l2_transactions > base.counters.l2_transactions
+
+    def test_noop_cap_identical(self):
+        base = fused_launch(SPEC, PAPER_TILING, GTX970)
+        nocap = fused_launch(SPEC, PAPER_TILING, GTX970, maxregcount=255)
+        assert nocap.regs_per_thread == base.regs_per_thread
+        assert nocap.counters.l2_transactions == pytest.approx(
+            base.counters.l2_transactions
+        )

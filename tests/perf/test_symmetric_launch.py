@@ -1,0 +1,58 @@
+"""Symmetric-variant launch-model tests."""
+
+import pytest
+
+from repro.core import PAPER_TILING, ProblemSpec
+from repro.gpu import GTX970
+from repro.perf import fused_launch, symmetric_fused_launch, time_kernel
+
+SQUARE = ProblemSpec(M=16384, N=16384, K=32)
+
+
+class TestSymmetricLaunch:
+    def test_requires_square_problem(self):
+        with pytest.raises(ValueError, match="M == N"):
+            symmetric_fused_launch(
+                ProblemSpec(M=16384, N=1024, K=32), PAPER_TILING, GTX970
+            )
+
+    def test_triangle_grid(self):
+        launch = symmetric_fused_launch(SQUARE, PAPER_TILING, GTX970)
+        b = 16384 // 128
+        assert launch.grid_blocks == b * (b + 1) // 2
+
+    def test_near_2x_flop_reduction(self):
+        full = fused_launch(SQUARE, PAPER_TILING, GTX970)
+        sym = symmetric_fused_launch(SQUARE, PAPER_TILING, GTX970)
+        ratio = full.counters.flops / sym.counters.flops
+        assert 1.7 <= ratio <= 2.0
+
+    def test_near_2x_modelled_speedup(self):
+        t_full = time_kernel(fused_launch(SQUARE, PAPER_TILING, GTX970), GTX970).seconds
+        t_sym = time_kernel(
+            symmetric_fused_launch(SQUARE, PAPER_TILING, GTX970), GTX970
+        ).seconds
+        assert 1.6 <= t_full / t_sym <= 2.0
+
+    def test_output_volume_unchanged(self):
+        """The mirrored tails keep one atomic update per (row, CTA-column)
+        pair — same as the full grid."""
+        full = fused_launch(SQUARE, PAPER_TILING, GTX970)
+        sym = symmetric_fused_launch(SQUARE, PAPER_TILING, GTX970)
+        assert sym.counters.atomics == pytest.approx(full.counters.atomics)
+        assert sym.counters.dram.write_bytes == pytest.approx(
+            full.counters.dram.write_bytes
+        )
+
+    def test_benefit_grows_with_grid(self):
+        """B(B+1)/2 over B^2 approaches 1/2 as the grid grows."""
+        small = ProblemSpec(M=256, N=256, K=32)
+        r_small = (
+            fused_launch(small, PAPER_TILING, GTX970).counters.flops
+            / symmetric_fused_launch(small, PAPER_TILING, GTX970).counters.flops
+        )
+        r_big = (
+            fused_launch(SQUARE, PAPER_TILING, GTX970).counters.flops
+            / symmetric_fused_launch(SQUARE, PAPER_TILING, GTX970).counters.flops
+        )
+        assert r_big > r_small

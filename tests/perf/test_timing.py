@@ -1,0 +1,106 @@
+"""Bottleneck timing-model tests."""
+
+import pytest
+
+from repro.core import PAPER_TILING, ProblemSpec, TilingConfig
+from repro.gpu import GTX970
+from repro.perf import DEFAULT_CALIBRATION, fused_launch, gemm_launch, time_kernel
+from repro.perf.counts import evalsum_launch
+
+
+class TestBottleneckIdentification:
+    def test_low_k_cublas_gemm_is_memory_bound(self):
+        # section II-B: "to the BLAS library the computation appears to be
+        # memory bound with small K"
+        spec = ProblemSpec(M=131072, N=1024, K=32)
+        launch = gemm_launch(spec, PAPER_TILING, GTX970, flavor="cublas")
+        t = time_kernel(launch, GTX970)
+        assert t.bottleneck == "dram"
+
+    def test_high_k_cublas_gemm_is_compute_bound(self):
+        spec = ProblemSpec(M=131072, N=1024, K=256)
+        launch = gemm_launch(spec, PAPER_TILING, GTX970, flavor="cublas")
+        t = time_kernel(launch, GTX970)
+        assert t.bottleneck == "compute"
+
+    def test_fused_is_compute_bound_even_at_low_k(self):
+        # "it could be turned into compute bound after modifying BLAS"
+        spec = ProblemSpec(M=131072, N=1024, K=32)
+        launch = fused_launch(spec, PAPER_TILING, GTX970)
+        t = time_kernel(launch, GTX970)
+        assert t.bottleneck == "compute"
+
+    def test_evalsum_is_dram_bound(self):
+        spec = ProblemSpec(M=131072, N=1024, K=32)
+        t = time_kernel(evalsum_launch(spec, GTX970), GTX970)
+        assert t.bottleneck == "dram"
+
+    def test_components_reported(self):
+        spec = ProblemSpec(M=1024, N=1024, K=32)
+        t = time_kernel(fused_launch(spec, PAPER_TILING, GTX970), GTX970)
+        for key in ("compute", "smem", "l2", "dram", "atomics"):
+            assert key in t.component_seconds
+            assert t.component_seconds[key] >= 0
+
+
+class TestScaling:
+    def test_time_scales_with_m(self):
+        t1 = time_kernel(
+            fused_launch(ProblemSpec(M=16384, N=1024, K=32), PAPER_TILING, GTX970), GTX970
+        ).seconds
+        t2 = time_kernel(
+            fused_launch(ProblemSpec(M=32768, N=1024, K=32), PAPER_TILING, GTX970), GTX970
+        ).seconds
+        assert t2 == pytest.approx(2 * t1, rel=0.1)
+
+    def test_time_scales_with_k(self):
+        t1 = time_kernel(
+            fused_launch(ProblemSpec(M=16384, N=1024, K=64), PAPER_TILING, GTX970), GTX970
+        ).seconds
+        t2 = time_kernel(
+            fused_launch(ProblemSpec(M=16384, N=1024, K=256), PAPER_TILING, GTX970), GTX970
+        ).seconds
+        assert 3.0 < t2 / t1 < 4.5  # ~4x the GEMM work plus fixed tail
+
+    def test_lower_issue_efficiency_is_slower(self):
+        spec = ProblemSpec(M=16384, N=1024, K=64)
+        fast_cal = DEFAULT_CALIBRATION.with_(issue_efficiency_cudac=0.9)
+        slow_cal = DEFAULT_CALIBRATION.with_(issue_efficiency_cudac=0.45)
+        t_fast = time_kernel(
+            fused_launch(spec, PAPER_TILING, GTX970, fast_cal), GTX970, fast_cal
+        ).seconds
+        t_slow = time_kernel(
+            fused_launch(spec, PAPER_TILING, GTX970, slow_cal), GTX970, slow_cal
+        ).seconds
+        assert t_slow > t_fast
+
+    def test_small_grid_pays_latency_hiding_penalty(self):
+        # throughput per CTA is worse for a 64-CTA grid than an 8192-CTA grid
+        small = ProblemSpec(M=1024, N=1024, K=32)
+        big = ProblemSpec(M=131072, N=1024, K=32)
+        t_small = time_kernel(fused_launch(small, PAPER_TILING, GTX970), GTX970).seconds
+        t_big = time_kernel(fused_launch(big, PAPER_TILING, GTX970), GTX970).seconds
+        per_cta_small = t_small / 64
+        per_cta_big = t_big / 8192
+        assert per_cta_small > per_cta_big
+
+    def test_single_buffering_slower(self):
+        spec = ProblemSpec(M=16384, N=1024, K=64)
+        single = TilingConfig(double_buffered=False)
+        t_single = time_kernel(fused_launch(spec, single, GTX970), GTX970).seconds
+        t_double = time_kernel(fused_launch(spec, PAPER_TILING, GTX970), GTX970).seconds
+        assert t_single > t_double
+
+    def test_bank_conflicts_can_dominate(self):
+        # a 4-way-conflicted staging loop quadruples SMEM transactions; at
+        # some point shared memory becomes the bottleneck
+        spec = ProblemSpec(M=131072, N=1024, K=32)
+        launch = fused_launch(spec, PAPER_TILING, GTX970, smem_load_conflict_factor=16.0)
+        t = time_kernel(launch, GTX970)
+        assert t.component_seconds["smem"] > t.component_seconds["compute"] * 0.5
+
+    def test_utilization_reported(self):
+        spec = ProblemSpec(M=1024, N=1024, K=32)
+        t = time_kernel(fused_launch(spec, PAPER_TILING, GTX970), GTX970)
+        assert t.utilization == pytest.approx(64 / 78)
+        assert t.occupancy == pytest.approx(0.25)

@@ -1,0 +1,129 @@
+"""Focused timing-model tests for paths the shape tests don't pin down."""
+
+import pytest
+
+from repro.core import PAPER_TILING, ProblemSpec
+from repro.gpu import (
+    GTX970,
+    DramTraffic,
+    InstructionMix,
+    KernelCounters,
+    KernelLaunch,
+)
+from repro.perf import DEFAULT_CALIBRATION, time_kernel
+
+
+def make_launch(**overrides):
+    mix = InstructionMix().add("FFMA", 1e6)
+    defaults = dict(
+        name="t",
+        grid_blocks=260,
+        threads_per_block=256,
+        regs_per_thread=64,
+        smem_per_block=8192,
+        counters=KernelCounters(mix=mix, dram=DramTraffic(1e6, 0)),
+    )
+    defaults.update(overrides)
+    return KernelLaunch(**defaults)
+
+
+class TestComponentArithmetic:
+    def test_pure_compute_kernel_time(self):
+        """1e6 warp FFMAs at 4/SM/cycle over 13 SMs, full efficiency."""
+        launch = make_launch(issue_efficiency=1.0)
+        launch = make_launch(
+            counters=KernelCounters(mix=InstructionMix().add("FFMA", 1e6)),
+            issue_efficiency=1.0,
+        )
+        t = time_kernel(launch, GTX970)
+        expected = 1e6 / (4 * 13) / GTX970.core_clock_hz
+        assert t.component_seconds["compute"] == pytest.approx(expected)
+
+    def test_issue_efficiency_divides_compute(self):
+        fast = time_kernel(make_launch(issue_efficiency=1.0), GTX970)
+        slow = time_kernel(make_launch(issue_efficiency=0.5), GTX970)
+        assert slow.component_seconds["compute"] == pytest.approx(
+            2 * fast.component_seconds["compute"]
+        )
+
+    def test_streaming_fraction_changes_dram_time(self):
+        stream = make_launch(streaming_fraction=1.0)
+        scatter = make_launch(streaming_fraction=0.0)
+        t_s = time_kernel(stream, GTX970).component_seconds["dram"]
+        t_x = time_kernel(scatter, GTX970).component_seconds["dram"]
+        assert t_x > t_s
+
+    def test_sfu_roof(self):
+        """MUFU at 1 warp-inst/SM/cycle becomes the bottleneck."""
+        mix = InstructionMix().add("MUFU", 1e6)
+        launch = make_launch(counters=KernelCounters(mix=mix), issue_efficiency=1.0)
+        t = time_kernel(launch, GTX970)
+        expected = 1e6 / 13 / GTX970.core_clock_hz
+        assert t.component_seconds["compute"] == pytest.approx(expected)
+
+    def test_smem_roof(self):
+        launch = make_launch(
+            counters=KernelCounters(
+                mix=InstructionMix().add("LDS", 10.0),
+                smem_load_transactions=1e7,
+            )
+        )
+        t = time_kernel(launch, GTX970)
+        assert t.bottleneck == "smem"
+        assert t.component_seconds["smem"] == pytest.approx(
+            1e7 / 13 / GTX970.core_clock_hz
+        )
+
+    def test_atomics_component(self):
+        launch = make_launch(
+            counters=KernelCounters(
+                mix=InstructionMix().add("RED", 100.0), atomics=6.4e6
+            )
+        )
+        t = time_kernel(launch, GTX970)
+        expected = 6.4e6 / DEFAULT_CALIBRATION.atomic_updates_per_cycle / GTX970.core_clock_hz
+        assert t.component_seconds["atomics"] == pytest.approx(expected)
+
+    def test_per_cta_overhead_added(self):
+        base = time_kernel(make_launch(), GTX970).seconds
+        with_ovh = time_kernel(make_launch(per_cta_overhead_cycles=1000.0), GTX970).seconds
+        assert with_ovh > base
+
+    def test_xmad_shares_core_pipes(self):
+        """INT instructions add to the FP32 roof (Maxwell XMAD on cores)."""
+        pure = make_launch(
+            counters=KernelCounters(mix=InstructionMix().add("FFMA", 1e6)),
+            issue_efficiency=1.0,
+        )
+        mixed_mix = InstructionMix().add("FFMA", 1e6).add("XMAD", 1e6)
+        mixed = make_launch(counters=KernelCounters(mix=mixed_mix), issue_efficiency=1.0)
+        t_pure = time_kernel(pure, GTX970).component_seconds["compute"]
+        t_mixed = time_kernel(mixed, GTX970).component_seconds["compute"]
+        assert t_mixed == pytest.approx(2 * t_pure)
+
+
+class TestPipelineEffects:
+    def test_launch_overhead_matters_at_tiny_m(self):
+        """At M=1024 the fixed per-launch cost is a visible fraction."""
+        from repro.perf import model_run
+
+        spec = ProblemSpec(M=1024, N=1024, K=32)
+        run = model_run("cublas-unfused", spec)
+        overhead = len(run.profiles) * GTX970.kernel_launch_overhead_s
+        assert overhead / run.total_seconds > 0.05
+
+    def test_launch_overhead_vanishes_at_scale(self):
+        from repro.perf import model_run
+
+        spec = ProblemSpec(M=524288, N=1024, K=32)
+        run = model_run("cublas-unfused", spec)
+        overhead = len(run.profiles) * GTX970.kernel_launch_overhead_s
+        assert overhead / run.total_seconds < 1e-3
+
+    def test_fused_pipeline_has_fewer_launches(self):
+        from repro.perf import build_pipeline
+
+        spec = ProblemSpec(M=1024, N=1024, K=32)
+        assert len(build_pipeline("fused", spec)) < len(
+            build_pipeline("cublas-unfused", spec)
+        )

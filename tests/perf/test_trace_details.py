@@ -1,0 +1,76 @@
+"""Address-trace edge cases: non-multiple K, small grids, sector spans."""
+
+import pytest
+
+from repro.core import PAPER_TILING, ProblemSpec
+from repro.perf.trace import AddressMap, evalsum_trace, fused_trace, gemm_trace
+
+
+class TestUnalignedK:
+    def test_a_panel_sectors_span_misaligned_tracks(self):
+        """K = 20: a row's 8-float k-panel slice (32 B) can straddle two
+        sectors depending on the panel offset."""
+        spec = ProblemSpec(M=256, N=256, K=20)
+        amap = AddressMap(spec)
+        # panel 0: rows start at (r*20)*4 bytes — alignment varies by row
+        sectors = amap.a_panel_sectors(0, 0, PAPER_TILING)
+        assert len(sectors) >= 128  # at least one sector per row
+        assert len(set(sectors)) <= len(sectors)
+
+    def test_all_panels_cover_matrix_without_gaps(self):
+        spec = ProblemSpec(M=256, N=256, K=24)
+        amap = AddressMap(spec)
+        seen = set()
+        for by in range(2):
+            for ki in range(PAPER_TILING.k_iterations(24)):
+                seen.update(amap.a_panel_sectors(by, ki, PAPER_TILING))
+        # every byte of A lies in some visited sector
+        covered = set()
+        for s in seen:
+            covered.update(range(s, s + 32))
+        assert set(range(amap.a_bytes)) <= covered
+
+
+class TestSmallProblems:
+    def test_single_cta_grid(self):
+        spec = ProblemSpec(M=128, N=128, K=8)
+        events = list(gemm_trace(spec, concurrent=26))
+        reads = [a for a, w in events if not w]
+        writes = [a for a, w in events if w]
+        assert len(reads) == (128 * 8 * 2) * 4 // 32  # one panel each of A and B
+        assert len(writes) == 128 * 128 * 4 // 32
+
+    def test_fused_trace_smaller_than_gemm_trace(self):
+        spec = ProblemSpec(M=1024, N=1024, K=32)
+        n_fused = sum(1 for _ in fused_trace(spec))
+        n_gemm = sum(1 for _ in gemm_trace(spec))
+        assert n_fused < n_gemm  # no C write stream
+
+    def test_evalsum_trace_deterministic(self):
+        spec = ProblemSpec(M=256, N=256, K=8)
+        assert list(evalsum_trace(spec)) == list(evalsum_trace(spec))
+
+
+class TestConcurrencyKnob:
+    def test_lower_concurrency_changes_interleaving_not_volume(self):
+        spec = ProblemSpec(M=1024, N=1024, K=16)
+        solo = list(gemm_trace(spec, concurrent=1))
+        wide = list(gemm_trace(spec, concurrent=26))
+        assert len(solo) == len(wide)
+        assert sorted(solo) == sorted(wide)
+        assert solo != wide  # ordering genuinely differs
+
+    def test_misses_bounded_by_compulsory_and_total(self):
+        """Under any schedule, misses sit between the compulsory line count
+        and the total read-access count."""
+        spec = ProblemSpec(M=512, N=1024, K=16)
+        from repro.gpu import GTX970, L2Cache
+
+        input_lines = 4 * (spec.M * spec.K + spec.K * spec.N) // GTX970.l2_line_bytes
+        for concurrent in (1, 26):
+            cache = L2Cache(GTX970.l2_size // 64, GTX970.l2_line_bytes, GTX970.l2_ways)
+            reads = 0
+            for a, w in gemm_trace(spec, concurrent=concurrent):
+                cache.access(a, w)
+                reads += not w
+            assert input_lines <= cache.stats.read_misses <= reads

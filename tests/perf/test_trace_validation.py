@@ -1,0 +1,141 @@
+"""Trace-generation and model-vs-simulation validation tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import PAPER_TILING, ProblemSpec
+from repro.gpu import GTX970, L2Cache
+from repro.perf.trace import (
+    AddressMap,
+    evalsum_trace,
+    fused_trace,
+    gemm_trace,
+    simulate_trace,
+)
+from repro.experiments.validation import validate_kernel_traffic
+
+SPEC = ProblemSpec(M=2048, N=1024, K=32)
+
+
+class TestAddressMap:
+    def test_regions_disjoint_and_ordered(self):
+        amap = AddressMap(SPEC)
+        assert amap.a_base < amap.b_base < amap.c_base < amap.v_base
+        assert amap.b_base == amap.a_bytes
+        assert amap.v_base == amap.c_base + 4 * SPEC.M * SPEC.N
+
+    def test_a_panel_sector_count(self):
+        amap = AddressMap(SPEC)
+        # 128 rows x one 32 B chunk each (kc*4 = 32 B, aligned)
+        assert len(amap.a_panel_sectors(0, 0, PAPER_TILING)) == 128
+
+    def test_a_panels_tile_the_matrix(self):
+        amap = AddressMap(SPEC)
+        seen = set()
+        for by in range(SPEC.M // 128):
+            for ki in range(SPEC.K // 8):
+                seen.update(amap.a_panel_sectors(by, ki, PAPER_TILING))
+        assert len(seen) == SPEC.M * SPEC.K * 4 // 32
+        assert min(seen) == 0 and max(seen) == SPEC.M * SPEC.K * 4 - 32
+
+    def test_b_panels_tile_the_matrix(self):
+        amap = AddressMap(SPEC)
+        seen = set()
+        for bx in range(SPEC.N // 128):
+            for ki in range(SPEC.K // 8):
+                seen.update(amap.b_panel_sectors(bx, ki, PAPER_TILING))
+        assert len(seen) == SPEC.K * SPEC.N * 4 // 32
+        assert min(seen) == amap.b_base
+
+    def test_c_tiles_tile_the_matrix(self):
+        amap = AddressMap(SPEC)
+        seen = set()
+        for by in range(SPEC.M // 128):
+            for bx in range(SPEC.N // 128):
+                seen.update(amap.c_tile_sectors(bx, by, PAPER_TILING))
+        assert len(seen) == SPEC.M * SPEC.N * 4 // 32
+
+
+class TestTraces:
+    def test_gemm_trace_read_volume(self):
+        reads = sum(1 for _, w in gemm_trace(SPEC) if not w)
+        gx, gy = PAPER_TILING.grid(SPEC.M, SPEC.N)
+        expected = (SPEC.M * SPEC.K * gx + SPEC.K * SPEC.N * gy) * 4 // 32
+        assert reads == expected
+
+    def test_gemm_trace_write_volume(self):
+        writes = sum(1 for _, w in gemm_trace(SPEC) if w)
+        assert writes == SPEC.M * SPEC.N * 4 // 32
+
+    def test_fused_trace_writes_only_v(self):
+        amap = AddressMap(SPEC)
+        writes = [a for a, w in fused_trace(SPEC) if w]
+        assert all(a >= amap.v_base for a in writes)
+
+    def test_evalsum_trace_streams_c(self):
+        amap = AddressMap(SPEC)
+        reads = [a for a, w in evalsum_trace(SPEC) if not w]
+        assert len(reads) == SPEC.M * SPEC.N * 4 // 32
+        assert reads[0] == amap.c_base
+
+    def test_concurrency_interleaves_rows(self):
+        # with 26 concurrent CTAs, the first 26 tile-load bursts come from
+        # 26 different CTAs before any CTA's second panel
+        trace = gemm_trace(SPEC, concurrent=26)
+        first_reads = [a for a, _ in list(trace)[: 26 * 384]]
+        amap = AddressMap(SPEC)
+        b_reads = [a for a in first_reads if amap.b_base <= a < amap.c_base]
+        # panel 0 of many distinct bx columns appears early
+        cols = {(a - amap.b_base) // (SPEC.K * 4) // 128 for a in b_reads}
+        assert len(cols) >= 8
+
+    def test_bad_concurrency_rejected(self):
+        with pytest.raises(ValueError):
+            list(gemm_trace(SPEC, concurrent=0))
+
+
+class TestValidation:
+    def test_fused_model_matches_trace(self):
+        v = validate_kernel_traffic("fused", SPEC)
+        assert v.read_ratio == pytest.approx(1.0, abs=0.1)
+        assert v.write_ratio == pytest.approx(1.0, abs=0.1)
+
+    def test_evalsum_model_matches_trace(self):
+        v = validate_kernel_traffic("evalsum", SPEC)
+        assert v.read_ratio == pytest.approx(1.0, abs=0.05)
+        assert v.write_ratio == pytest.approx(1.0, abs=0.05)
+
+    def test_gemm_model_upper_bounds_trace_reads(self):
+        """Round-robin trace = best case; model = drifted worst case."""
+        v = validate_kernel_traffic("gemm", SPEC)
+        compulsory = 4 * (SPEC.M * SPEC.K + SPEC.K * SPEC.N)
+        assert compulsory * 0.95 <= v.simulated_read_bytes <= v.analytical_read_bytes
+
+    def test_gemm_writes_agree_exactly(self):
+        v = validate_kernel_traffic("gemm", SPEC)
+        assert v.write_ratio == pytest.approx(1.0, abs=0.02)
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(KeyError):
+            validate_kernel_traffic("treecode", SPEC)
+
+    def test_ratios_guard_zero_division(self):
+        from repro.experiments.validation import TrafficValidation
+
+        v = TrafficValidation("x", 0.0, 1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            _ = v.read_ratio
+        with pytest.raises(ValueError):
+            _ = v.write_ratio
+
+
+class TestStreamEffectInSimulation:
+    def test_c_stream_fills_do_not_count_as_reads(self):
+        """Write misses allocate but must not inflate DRAM reads."""
+        cache = L2Cache(GTX970.l2_size, GTX970.l2_line_bytes, GTX970.l2_ways)
+        simulate_trace(gemm_trace(SPEC), cache)
+        read_fills = cache.stats.read_misses
+        write_allocs = cache.stats.write_misses
+        assert write_allocs > 0
+        # the huge C stream dominates allocations, not read fills
+        assert write_allocs > read_fills

@@ -1,0 +1,79 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert (args.M, args.N, args.K) == (16384, 1024, 32)
+        assert args.implementation == "fused"
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig3"])
+
+
+class TestSolve:
+    def test_solve_with_check(self, capsys):
+        rc = main(["solve", "-M", "512", "-N", "256", "-K", "8", "--check"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fused" in out and "max relative error" in out
+
+    def test_solve_unknown_implementation(self, capsys):
+        rc = main(["solve", "-M", "128", "--implementation", "magic"])
+        assert rc == 2
+        assert "unknown implementation" in capsys.readouterr().err
+
+    def test_solve_each_implementation(self, capsys):
+        for impl in ("cublas-unfused", "cuda-unfused", "reference"):
+            rc = main(
+                ["solve", "-M", "256", "-N", "128", "-K", "4", "--implementation", impl]
+            )
+            assert rc == 0
+
+
+class TestModel:
+    def test_model_prints_speedup(self, capsys):
+        rc = main(["model", "-M", "131072", "-K", "32"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fused" in out and "speedup" in out and "GTX970" in out
+
+
+class TestFigureAndTable:
+    @pytest.mark.parametrize("fig", ["fig2", "fig5", "fig6", "fig7", "fig8a", "fig8b"])
+    def test_figures_render(self, capsys, fig):
+        rc = main(["figure", fig, "--grid", "small"])
+        assert rc == 0
+        assert fig in capsys.readouterr().out
+
+    @pytest.mark.parametrize("tab", ["table1", "table2", "table3"])
+    def test_tables_render(self, capsys, tab):
+        rc = main(["table", tab])
+        assert rc == 0
+        assert tab in capsys.readouterr().out
+
+
+class TestAutotune:
+    def test_autotune_lists_candidates(self, capsys):
+        rc = main(["autotune", "-M", "16384", "-K", "32", "--top", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "best blockings" in out
+        assert out.count("ms") == 3
+
+
+class TestValidate:
+    def test_validate_passes_bounds(self, capsys):
+        rc = main(["validate", "-M", "2048", "--kernels", "fused", "evalsum"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fused" in out and "evalsum" in out

@@ -1,0 +1,72 @@
+"""Smoke tests: every shipped example must run cleanly end to end.
+
+Each example asserts its own domain facts internally (mode ordering for
+the KDE, the far-field monopole for the N-body potential, ...), so a clean
+exit is a meaningful check, not just an import test.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "kernel_density_estimation.py",
+    "nbody_potential.py",
+    "performance_model_tour.py",
+    "bank_conflict_demo.py",
+    "kernel_regression.py",
+    "autotune_study.py",
+    "algorithm2_walkthrough.py",
+]
+
+SLOW_EXAMPLES = [
+    "exact_vs_approximate.py",
+]
+
+
+def run_example(name: str, timeout: int = 240) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def test_every_example_is_covered():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(FAST_EXAMPLES) | set(SLOW_EXAMPLES)
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name):
+    result = run_example(name)
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr[-2000:]}"
+    assert result.stdout.strip(), f"{name} produced no output"
+
+
+@pytest.mark.parametrize("name", SLOW_EXAMPLES)
+def test_slow_example_runs(name):
+    result = run_example(name)
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr[-2000:]}"
+
+
+class TestExampleContent:
+    def test_quickstart_reports_small_errors(self):
+        out = run_example("quickstart.py").stdout
+        assert "max relative error" in out
+
+    def test_bank_conflict_demo_shows_the_contrast(self):
+        out = run_example("bank_conflict_demo.py").stdout
+        assert "(0 replays)" in out
+        assert "1536 replays" in out
+
+    def test_model_tour_reports_speedup(self):
+        out = run_example("performance_model_tour.py").stdout
+        assert "speedup vs cuBLAS-Unfused" in out
+        assert "total-energy saving" in out

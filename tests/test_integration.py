@@ -1,0 +1,119 @@
+"""Cross-layer integration tests.
+
+Each test stitches several subsystems together the way a real analysis
+does, asserting the layers stay mutually consistent rather than testing
+any one module in isolation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PAPER_TILING,
+    ProblemSpec,
+    direct,
+    fused_kernel_summation,
+    generate,
+    kernel_summation,
+)
+from repro.energy import EnergyModel
+from repro.gpu import GTX970, L2Cache
+from repro.perf import build_pipeline, fused_launch, model_run, time_kernel
+from repro.perf.trace import fused_trace, simulate_trace
+
+
+class TestFunctionalVsModelConsistency:
+    """The functional layer and the performance model describe the same
+    computation; their invariants must agree."""
+
+    def test_model_flops_match_functional_work(self):
+        """The modelled FLOP count must cover the mathematical operations
+        the functional implementation actually performs."""
+        spec = ProblemSpec(M=2048, N=1024, K=32)
+        run = model_run("fused", spec)
+        # at minimum: the GEMM + one kernel eval + one multiply per element
+        assert run.flops >= 2 * spec.M * spec.N * spec.K + 2 * spec.M * spec.N
+
+    def test_model_grid_matches_functional_cta_count(self):
+        spec = ProblemSpec(M=2048, N=1024, K=32)
+        launch = fused_launch(spec, PAPER_TILING, GTX970)
+        gx, gy = PAPER_TILING.grid(spec.M, spec.N)
+        assert launch.grid_blocks == gx * gy
+        # the functional layer walks the same CTA sequence
+        from repro.core.fused import FusedKernelSummation
+
+        ctas = FusedKernelSummation()._cta_sequence(gx, gy)
+        assert len(ctas) == launch.grid_blocks
+        assert len(set(ctas)) == launch.grid_blocks
+
+    def test_atomics_match_output_rows(self):
+        spec = ProblemSpec(M=2048, N=1024, K=32)
+        launch = fused_launch(spec, PAPER_TILING, GTX970)
+        gx, _ = PAPER_TILING.grid(spec.M, spec.N)
+        # every output row is atomically updated once per CTA column
+        assert launch.counters.atomics == spec.M * gx
+
+
+class TestTraceModelEnergyChain:
+    """trace -> cache sim -> energy: an independently-built DRAM energy
+    number must agree with the model's."""
+
+    def test_fused_dram_energy_from_trace(self):
+        spec = ProblemSpec(M=2048, N=1024, K=32)
+        cache = L2Cache(GTX970.l2_size, GTX970.l2_line_bytes, GTX970.l2_ways)
+        simulate_trace(fused_trace(spec), cache)
+        cache.flush()
+        line = GTX970.l2_line_bytes
+        sim_bytes = (cache.stats.read_misses + cache.stats.dram_writes) * line
+
+        em = EnergyModel(GTX970)
+        run = model_run("fused", spec)
+        model_dram_energy = em.breakdown(run).dram
+        sim_dram_energy = sim_bytes * em.params.dram_energy_per_byte
+        # the model books the norms kernel + vector reads on top
+        assert sim_dram_energy <= model_dram_energy <= 3.0 * sim_dram_energy
+
+
+class TestPipelineTimingConsistency:
+    def test_run_time_equals_kernel_sum_plus_overheads(self):
+        spec = ProblemSpec(M=8192, N=1024, K=64)
+        run = model_run("cublas-unfused", spec)
+        kernel_sum = sum(
+            time_kernel(l, GTX970).seconds for l in build_pipeline("cublas-unfused", spec)
+        )
+        overhead = len(run.profiles) * GTX970.kernel_launch_overhead_s
+        assert run.total_seconds == pytest.approx(kernel_sum + overhead)
+
+
+class TestEndToEndAccuracyAtModelScale:
+    """The functional implementations stay accurate at a paper-scale point
+    (M = 16384 is the largest point that is cheap enough for CI)."""
+
+    def test_paper_scale_accuracy(self):
+        spec = ProblemSpec(M=16384, N=1024, K=32, h=1.0, seed=42)
+        data = generate(spec)
+        V = fused_kernel_summation(data)
+        ref = direct(data)
+        # scale-relative: individual potentials can be near zero through
+        # cancellation, so normalize by the output's magnitude
+        err = np.max(np.abs(V - ref)) / np.max(np.abs(ref))
+        assert err < 1e-5
+
+    def test_api_dispatch_consistency_at_scale(self):
+        spec = ProblemSpec(M=4096, N=1024, K=64, seed=7)
+        data = generate(spec)
+        v1 = kernel_summation(data.A, data.B, data.W, implementation="fused")
+        v2 = kernel_summation(data.A, data.B, data.W, implementation="cublas-unfused")
+        np.testing.assert_allclose(v1, v2, rtol=5e-4, atol=1e-4)
+
+
+class TestAutotunerModelAgreement:
+    def test_autotuned_config_runs_functionally(self):
+        """The tuner's winner must be usable by the functional layer."""
+        from repro.core.autotune import autotune
+
+        spec = ProblemSpec(M=4096, N=1024, K=32, seed=3)
+        best = autotune(spec)
+        data = generate(ProblemSpec(M=512, N=256, K=32, seed=3))
+        V = fused_kernel_summation(data, tiling=best.tiling)
+        np.testing.assert_allclose(V, direct(data), rtol=2e-3, atol=1e-3)

@@ -1,0 +1,119 @@
+"""Public-surface guarantees: exports exist, are documented, and stable."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.core",
+    "repro.core.problem",
+    "repro.core.kernels",
+    "repro.core.reference",
+    "repro.core.tiling",
+    "repro.core.mapping",
+    "repro.core.gemm",
+    "repro.core.fused",
+    "repro.core.unfused",
+    "repro.core.multi",
+    "repro.core.autotune",
+    "repro.core.simt_kernels",
+    "repro.core.api",
+    "repro.gpu",
+    "repro.gpu.device",
+    "repro.gpu.isa",
+    "repro.gpu.occupancy",
+    "repro.gpu.sharedmem",
+    "repro.gpu.coalescing",
+    "repro.gpu.l2cache",
+    "repro.gpu.dram",
+    "repro.gpu.simt",
+    "repro.gpu.kernel",
+    "repro.gpu.scheduler",
+    "repro.gpu.profiler",
+    "repro.perf",
+    "repro.perf.calibration",
+    "repro.perf.counts",
+    "repro.perf.timing",
+    "repro.perf.pipeline",
+    "repro.perf.trace",
+    "repro.perf.ctasim",
+    "repro.perf.roofline",
+    "repro.energy",
+    "repro.energy.cacti",
+    "repro.energy.mcpat",
+    "repro.energy.model",
+    "repro.experiments",
+    "repro.experiments.configs",
+    "repro.experiments.runner",
+    "repro.experiments.figures",
+    "repro.experiments.tables",
+    "repro.experiments.report",
+    "repro.experiments.sweep",
+    "repro.experiments.validation",
+    "repro.experiments.io",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("name", PUBLIC_MODULES)
+def test_module_importable_and_documented(name):
+    mod = importlib.import_module(name)
+    assert mod.__doc__ and len(mod.__doc__.strip()) > 20, f"{name} lacks a docstring"
+
+
+@pytest.mark.parametrize("name", [m for m in PUBLIC_MODULES if m != "repro"])
+def test_module_all_resolves(name):
+    mod = importlib.import_module(name)
+    if not hasattr(mod, "__all__"):
+        pytest.skip("module has no __all__")
+    for sym in mod.__all__:
+        assert hasattr(mod, sym), f"{name}.__all__ lists missing symbol {sym}"
+
+
+def _public_callables(mod):
+    for sym in getattr(mod, "__all__", []):
+        obj = getattr(mod, sym)
+        if inspect.isfunction(obj) or inspect.isclass(obj):
+            if getattr(obj, "__module__", "").startswith("repro"):
+                yield sym, obj
+
+
+@pytest.mark.parametrize("name", PUBLIC_MODULES)
+def test_every_public_item_has_docstring(name):
+    mod = importlib.import_module(name)
+    undocumented = [
+        sym for sym, obj in _public_callables(mod) if not (obj.__doc__ or "").strip()
+    ]
+    assert not undocumented, f"{name}: undocumented public items {undocumented}"
+
+
+class TestTopLevelSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_headline_entry_points(self):
+        for sym in (
+            "kernel_summation",
+            "make_problem",
+            "ProblemSpec",
+            "TilingConfig",
+            "GTX970",
+            "EnergyModel",
+            "ExperimentRunner",
+            "model_run",
+        ):
+            assert sym in repro.__all__
+            assert hasattr(repro, sym)
+
+    def test_implementation_registry_names(self):
+        # these names appear in the paper and must never silently change
+        assert {"fused", "cublas-unfused", "cuda-unfused", "reference"} <= set(
+            repro.IMPLEMENTATIONS
+        )
+
+    def test_kernel_registry_names(self):
+        assert {"gaussian", "laplace", "polynomial", "matern32"} <= set(repro.KERNELS)
