@@ -11,7 +11,9 @@ writing any code:
 * ``validate``  — trace-driven vs analytical DRAM-traffic comparison;
 * ``roofline``  — place the modelled kernels on the device roofline;
 * ``reproduce`` — run the whole reproduction and print the claim report;
-* ``selftest``  — numerical parity of every implementation vs the reference.
+* ``selftest``  — numerical parity of every implementation vs the reference;
+* ``sweep``     — device-sensitivity sweeps of the fused speedup;
+* ``faults``    — fault-injection campaign exercising the ABFT recovery path.
 """
 
 from __future__ import annotations
@@ -92,6 +94,22 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["bandwidth", "sms", "l2", "n"],
         default="bandwidth",
     )
+
+    p = sub.add_parser("faults", help="fault-injection campaign with ABFT recovery")
+    p.add_argument("-M", type=int, default=256, help="number of source points")
+    p.add_argument("-N", type=int, default=256, help="number of target points")
+    p.add_argument("-K", type=int, default=16, help="point dimensionality")
+    p.add_argument("--sites", nargs="+", default=None,
+                   help="fault sites to sweep (default: all)")
+    p.add_argument("--rates", nargs="+", type=float, default=[0.25, 1.0],
+                   help="per-opportunity fault rates to sweep")
+    p.add_argument("--trials", type=int, default=8, help="executions per (site, rate) cell")
+    p.add_argument("--model", choices=["bitflip", "stuck", "scale"], default="scale")
+    p.add_argument("--magnitude", type=float, default=8.0,
+                   help="scale factor for the scaled-value model")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="CTA re-executions before degrading to the reference")
+    p.add_argument("--seed", type=int, default=0)
 
     return parser
 
@@ -256,6 +274,34 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from .core import ProblemSpec
+    from .errors import FaultConfigError
+    from .faults import FAULT_SITES, run_campaign
+
+    sites = args.sites or list(FAULT_SITES)
+    try:
+        result = run_campaign(
+            spec=ProblemSpec(M=args.M, N=args.N, K=args.K, h=0.8, seed=7),
+            sites=sites,
+            rates=args.rates,
+            trials=args.trials,
+            model=args.model,
+            magnitude=args.magnitude,
+            max_retries=args.max_retries,
+            seed=args.seed,
+        )
+    except FaultConfigError as exc:
+        print(f"bad campaign configuration: {exc}", file=sys.stderr)
+        return 2
+    print(result.render())
+    silent = [p for p in result.points if p.silent > 0 and p.site != "dram"]
+    if silent:
+        print("WARNING: silent corruption outside the DRAM site", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_selftest(args) -> int:
     from .core.selftest import parity_check
 
@@ -289,6 +335,7 @@ def main(argv=None) -> int:
         "reproduce": _cmd_reproduce,
         "selftest": _cmd_selftest,
         "sweep": _cmd_sweep,
+        "faults": _cmd_faults,
     }
     try:
         return handlers[args.command](args)

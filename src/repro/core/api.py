@@ -9,11 +9,15 @@ comparable in the experiments.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..faults.spec import FaultSpec
 
 import numpy as np
 
-from .fused import fused_kernel_summation
+from ..errors import InvalidProblemError, UnknownImplementationError, UnknownKernelError
+from .fused import FusedKernelSummation, fused_kernel_summation
 from .kernels import KERNELS
 from .problem import ProblemData, ProblemSpec
 from .reference import expanded
@@ -25,6 +29,11 @@ __all__ = ["IMPLEMENTATIONS", "kernel_summation", "make_problem"]
 
 def _run_fused(data: ProblemData, tiling: TilingConfig) -> np.ndarray:
     return fused_kernel_summation(data, tiling)
+
+
+def _run_fused_abft(data: ProblemData, tiling: TilingConfig) -> np.ndarray:
+    """The fused kernel with ABFT checksums and CTA re-execution enabled."""
+    return FusedKernelSummation(tiling, abft=True)(data)
 
 
 def _run_cublas_unfused(data: ProblemData, tiling: TilingConfig) -> np.ndarray:
@@ -42,6 +51,7 @@ def _run_reference(data: ProblemData, tiling: TilingConfig) -> np.ndarray:
 #: Registered implementations, keyed by the names the paper uses.
 IMPLEMENTATIONS: Dict[str, Callable[[ProblemData, TilingConfig], np.ndarray]] = {
     "fused": _run_fused,
+    "fused-abft": _run_fused_abft,
     "cublas-unfused": _run_cublas_unfused,
     "cuda-unfused": _run_cuda_unfused,
     "reference": _run_reference,
@@ -71,19 +81,26 @@ def make_problem(
     if check_finite:
         for name, arr in (("A", A), ("B", B), ("W", W)):
             if arr.dtype.kind == "f" and not np.isfinite(arr).all():
-                raise ValueError(f"{name} contains NaN or Inf values")
+                raise InvalidProblemError(f"{name} contains NaN or Inf values")
     if A.ndim != 2 or B.ndim != 2 or W.ndim != 1:
-        raise ValueError("A and B must be 2-D, W 1-D")
+        raise InvalidProblemError("A and B must be 2-D, W 1-D")
+    if A.size == 0 or B.size == 0 or W.size == 0:
+        raise InvalidProblemError(
+            "empty point sets are not a valid problem: "
+            f"A is {A.shape}, B is {B.shape}, W is {W.shape}"
+        )
     if A.dtype != B.dtype or A.dtype != W.dtype:
-        raise ValueError("A, B, W must share one dtype")
+        raise InvalidProblemError("A, B, W must share one dtype")
     if A.dtype not in (np.float32, np.float64):
-        raise ValueError("dtype must be float32 or float64")
+        raise InvalidProblemError("dtype must be float32 or float64")
     M, K = A.shape
     K2, N = B.shape
     if K != K2:
-        raise ValueError(f"A is {A.shape} but B is {B.shape}: K dimensions disagree")
+        raise InvalidProblemError(
+            f"A is {A.shape} but B is {B.shape}: K dimensions disagree"
+        )
     if W.shape != (N,):
-        raise ValueError(f"W must have length N={N}, got {W.shape}")
+        raise InvalidProblemError(f"W must have length N={N}, got {W.shape}")
     spec = ProblemSpec(M=M, N=N, K=K, h=h, kernel=kernel, dtype=str(A.dtype))
     return ProblemData(spec=spec, A=A, B=B, W=W)
 
@@ -96,6 +113,9 @@ def kernel_summation(
     kernel: str = "gaussian",
     implementation: str = "fused",
     tiling: TilingConfig = PAPER_TILING,
+    fault_spec: Optional["FaultSpec"] = None,
+    abft: Optional[bool] = None,
+    max_retries: int = 2,
 ) -> np.ndarray:
     """Compute ``V[i] = sum_j Kfn(a_i, b_j) * W[j]``.
 
@@ -108,17 +128,47 @@ def kernel_summation(
     kernel:
         One of ``repro.core.kernels.KERNELS`` (default ``"gaussian"``).
     implementation:
-        ``"fused"`` (the paper's contribution), ``"cublas-unfused"``,
+        ``"fused"`` (the paper's contribution), ``"fused-abft"`` (same, with
+        checksums and recovery always on), ``"cublas-unfused"``,
         ``"cuda-unfused"``, or ``"reference"``.
     tiling:
         Blocking configuration for the tiled implementations.
+    fault_spec:
+        Optional :class:`repro.faults.FaultSpec`; only valid with the fused
+        implementations, where deterministic faults are injected into the
+        staging/accumulate/commit path.
+    abft:
+        Enable checksum detection + CTA re-execution.  Defaults to "on
+        whenever faults are injected"; pass ``True`` to pay for checking on
+        clean runs too, ``False`` to run unprotected under injection.
+    max_retries:
+        Bound on per-CTA re-executions before degrading to the reference
+        implementation.
     """
     if kernel not in KERNELS:
-        raise KeyError(f"unknown kernel {kernel!r}; available: {sorted(KERNELS)}")
+        raise UnknownKernelError(
+            f"unknown kernel {kernel!r}; available: {sorted(KERNELS)}"
+        )
     if implementation not in IMPLEMENTATIONS:
-        raise KeyError(
+        raise UnknownImplementationError(
             f"unknown implementation {implementation!r}; "
             f"available: {sorted(IMPLEMENTATIONS)}"
         )
     data = make_problem(A, B, W, h=h, kernel=kernel)
+    if fault_spec is not None or abft is not None:
+        from ..errors import FaultConfigError
+
+        if implementation not in ("fused", "fused-abft"):
+            raise FaultConfigError(
+                "fault injection and ABFT apply to the fused implementations "
+                f"only, not {implementation!r}"
+            )
+        use_abft = (fault_spec is not None) if abft is None else abft
+        runner = FusedKernelSummation(
+            tiling,
+            abft=use_abft or implementation == "fused-abft",
+            fault_spec=fault_spec,
+            max_retries=max_retries,
+        )
+        return runner(data)
     return IMPLEMENTATIONS[implementation](data, tiling)

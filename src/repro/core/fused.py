@@ -17,21 +17,83 @@ different bits run to run.  :class:`FusedKernelSummation` exposes that
 through ``cta_order``: ``"rowmajor"`` (deterministic default),
 ``"colmajor"``, or ``"shuffled"`` with a seed — tests use this to bound the
 non-determinism instead of pretending it away.
+
+Fault tolerance (``abft=True``)
+-------------------------------
+Fusion trades the DRAM intermediate away, so a transient fault inside a CTA
+has no redundant copy to cross-check against.  The ABFT layer restores
+redundancy with two cheap per-CTA invariants:
+
+* **GEMM column checksum** — ``e^T subC`` must equal
+  ``sum_panels (e^T A_panel) B_panel``, computed in float64 from the DRAM
+  operands at ``O(K x nc)`` cost (vs ``O(mc x K x nc)`` for the GEMM
+  itself).  Catches staging and accumulator corruption.
+* **Reduction checksum** — the weighted kernel-row-sum mass
+  ``sum_ij K_ij w_j`` (float64, straight from the register-resident
+  ``Kblk``) must match the committed ``sum_i partialV[i]``.  Catches
+  corruption of the three-level reduction and the atomic commit.
+
+A CTA whose checks fail is *selectively re-executed* (bounded by
+``max_retries``); if the retries are exhausted the whole call degrades
+gracefully to the reference implementation and emits a structured
+:class:`repro.errors.DegradedResultWarning` instead of raising.  With
+injection disabled and ``abft=False`` the code path performs the exact
+pre-ABFT arithmetic, bit for bit.
 """
 
 from __future__ import annotations
 
-from typing import Literal
+import warnings
+from dataclasses import dataclass, field
+from typing import List, Literal, Optional, Tuple
 
 import numpy as np
 
+from ..errors import DegradedResultWarning, InvalidProblemError
+from ..faults.injector import FaultInjector, active_injector
+from ..faults.spec import FaultSpec
 from .kernels import get_kernel
 from .problem import ProblemData
 from .tiling import PAPER_TILING, TilingConfig
 
-__all__ = ["FusedKernelSummation", "fused_kernel_summation"]
+__all__ = [
+    "AbftReport",
+    "CtaDetection",
+    "FusedKernelSummation",
+    "fused_kernel_summation",
+]
 
 CtaOrder = Literal["rowmajor", "colmajor", "shuffled"]
+
+#: default relative checksum tolerances per dtype, expressed against the
+#: L1 mass of the checked quantity (cancellation-safe; see ``_rtol``)
+_ABFT_RTOL = {"float32": 1e-4, "float64": 1e-11}
+
+
+@dataclass(frozen=True)
+class CtaDetection:
+    """One failed verification: which CTA, which attempt, which checks."""
+
+    cta: Tuple[int, int]
+    attempt: int
+    checks: Tuple[str, ...]
+
+
+@dataclass
+class AbftReport:
+    """What the ABFT layer saw during one fused call."""
+
+    abft: bool
+    ctas: int = 0
+    retries: int = 0
+    detections: List[CtaDetection] = field(default_factory=list)
+    degraded: bool = False
+    degraded_cta: Optional[Tuple[int, int]] = None
+
+    @property
+    def detected(self) -> bool:
+        """Did any checksum flag a corruption?"""
+        return bool(self.detections)
 
 
 class FusedKernelSummation:
@@ -42,12 +104,22 @@ class FusedKernelSummation:
         tiling: TilingConfig = PAPER_TILING,
         cta_order: CtaOrder = "rowmajor",
         seed: int = 0,
+        abft: bool = False,
+        fault_spec: Optional[FaultSpec] = None,
+        max_retries: int = 2,
+        abft_rtol: Optional[float] = None,
     ) -> None:
         if cta_order not in ("rowmajor", "colmajor", "shuffled"):
-            raise ValueError(f"unknown cta_order {cta_order!r}")
+            raise InvalidProblemError(f"unknown cta_order {cta_order!r}")
+        if max_retries < 0:
+            raise InvalidProblemError("max_retries cannot be negative")
         self.tiling = tiling
         self.cta_order = cta_order
         self.seed = seed
+        self.abft = abft
+        self.fault_spec = fault_spec
+        self.max_retries = max_retries
+        self.abft_rtol = abft_rtol
 
     def _cta_sequence(self, grid_x: int, grid_y: int) -> list[tuple[int, int]]:
         ctas = [(bx, by) for by in range(grid_y) for bx in range(grid_x)]
@@ -58,11 +130,29 @@ class FusedKernelSummation:
             rng.shuffle(ctas)
         return ctas
 
+    def _rtol(self, dtype: np.dtype) -> float:
+        return self.abft_rtol if self.abft_rtol is not None else _ABFT_RTOL[str(dtype)]
+
     def __call__(self, data: ProblemData) -> np.ndarray:
+        return self.run_with_stats(data)[0]
+
+    def run_with_stats(self, data: ProblemData) -> tuple[np.ndarray, AbftReport]:
+        """Run the fused kernel; also return the ABFT bookkeeping.
+
+        The report is meaningful with ``abft=True`` (detections, retries,
+        degradation); on a plain run it only carries the CTA count.
+        """
         spec = data.spec
         t = self.tiling
         dt = spec.np_dtype
         kf = get_kernel(spec.kernel)
+        # explicit spec wins over an ambient fault_injection() context
+        inj = (
+            FaultInjector(self.fault_spec)
+            if self.fault_spec is not None
+            else active_injector()
+        )
+        report = AbftReport(abft=self.abft)
 
         # --- norms kernel (one lightweight launch before the fused kernel) --
         norm_a = data.source_norms  # (M,)
@@ -81,40 +171,152 @@ class FusedKernelSummation:
         grid_x, grid_y = Np // t.nc, Mp // t.mc
         k_iters = Kp // t.kc
 
+        # injection site "dram": the operands as resident in device memory.
+        # The corruption persists across CTA re-executions and feeds the
+        # checksum predictions too — the silent case ABFT cannot catch.
+        if inj is not None:
+            Ap = inj.corrupt_array("dram", Ap, where="A")
+            Bp = inj.corrupt_array("dram", Bp, where="B")
+
         # Padded target columns must not contribute: zero-padded B columns
         # have zero norm and distance ||a||^2, which the kernel maps to a
         # nonzero value — mask them via zero weights (Wp pads with zeros).
         V = np.zeros(Mp, dtype=dt)
+        rtol = self._rtol(dt) if self.abft else 0.0
 
         for bx, by in self._cta_sequence(grid_x, grid_y):
+            report.ctas += 1
             r0, r1 = by * t.mc, (by + 1) * t.mc
             c0, c1 = bx * t.nc, (bx + 1) * t.nc
 
-            # GEMM portion: rank-kc updates, double-buffered on hardware.
-            subC = np.zeros((t.mc, t.nc), dtype=dt)
-            for ki in range(k_iters):
-                k0, k1 = ki * t.kc, (ki + 1) * t.kc
-                subC += Ap[r0:r1, k0:k1] @ Bp[k0:k1, c0:c1]
+            for attempt in range(self.max_retries + 1):
+                delta, failed = self._cta_attempt(
+                    Ap, Bp, Wp, na, nb, kf, spec.h, dt,
+                    (bx, by), (r0, r1, c0, c1), k_iters, inj, rtol,
+                )
+                if not failed:
+                    break
+                report.detections.append(CtaDetection((bx, by), attempt, tuple(failed)))
+                if attempt < self.max_retries:
+                    report.retries += 1
+            else:
+                # retries exhausted: degrade to the unfused reference path,
+                # which keeps its intermediate in host memory and is outside
+                # every injection site
+                report.degraded = True
+                report.degraded_cta = (bx, by)
+                warnings.warn(
+                    DegradedResultWarning(
+                        f"ABFT retries exhausted on CTA ({bx}, {by}) after "
+                        f"{self.max_retries + 1} attempts "
+                        f"(checks failed: {', '.join(failed)}); "
+                        "returning the reference result",
+                        cta=(bx, by),
+                        attempts=self.max_retries + 1,
+                    ),
+                    stacklevel=2,
+                )
+                from .reference import expanded
 
-            # Kernel evaluation straight out of "registers" (line 14).
-            sq = na[r0:r1, None] + nb[None, c0:c1] - dt.type(2.0) * subC
-            Kblk = kf.evaluate(sq, spec.h)
-
-            # Intra-thread reduction (line 16): thread (tx, ty) row-sums its
-            # 8 x 8 microtile against its 8 weights.  Equivalent reshaping:
-            gamma = (Kblk * Wp[None, c0:c1]).reshape(t.mc, t.block_dim_x, t.micro_n)
-            thread_partials = gamma.sum(axis=2, dtype=dt)  # (mc, 16)
-
-            # Intra-CTA reduction (line 20): one thread per row sums the 16
-            # partials sequentially in tx order.
-            partialV = np.zeros(t.mc, dtype=dt)
-            for tx in range(t.block_dim_x):
-                partialV += thread_partials[:, tx]
+                return expanded(data), report
 
             # Inter-CTA reduction (line 21): atomicAdd into the result.
-            V[r0:r1] += partialV
+            V[r0:r1] += delta
 
-        return V[: spec.M]
+        return V[: spec.M], report
+
+    def _cta_attempt(
+        self,
+        Ap: np.ndarray,
+        Bp: np.ndarray,
+        Wp: np.ndarray,
+        na: np.ndarray,
+        nb: np.ndarray,
+        kf,
+        h: float,
+        dt: np.dtype,
+        cta: Tuple[int, int],
+        bounds: Tuple[int, int, int, int],
+        k_iters: int,
+        inj: Optional[FaultInjector],
+        rtol: float,
+    ) -> tuple[np.ndarray, list[str]]:
+        """One execution of one CTA; returns (partial V slice, failed checks).
+
+        With ``inj is None`` and ``rtol == 0`` this performs exactly the
+        pre-ABFT arithmetic in exactly the original order — no staging
+        copies, no checksums — so clean results stay bit-identical.
+        """
+        t = self.tiling
+        r0, r1, c0, c1 = bounds
+        check = rtol > 0.0
+        failed: list[str] = []
+        where = f"cta({cta[0]},{cta[1]})"
+
+        # GEMM portion: rank-kc updates, double-buffered on hardware.
+        subC = np.zeros((t.mc, t.nc), dtype=dt)
+        if check:
+            pred_colsum = np.zeros(t.nc, dtype=np.float64)
+            scale_colsum = np.zeros(t.nc, dtype=np.float64)
+        for ki in range(k_iters):
+            k0, k1 = ki * t.kc, (ki + 1) * t.kc
+            a_panel = Ap[r0:r1, k0:k1]
+            b_panel = Bp[k0:k1, c0:c1]
+            if check:
+                # checksum prediction straight from the DRAM operands,
+                # independent of the staged copies the compute consumes
+                b64 = b_panel.astype(np.float64)
+                pred_colsum += a_panel.sum(axis=0, dtype=np.float64) @ b64
+                scale_colsum += np.abs(a_panel).sum(axis=0, dtype=np.float64) @ np.abs(b64)
+            if inj is not None:
+                # injection site "smem": the staged shared-memory copies
+                a_panel = inj.corrupt_array("smem", a_panel, where=f"{where}/tileA{ki}")
+                b_panel = inj.corrupt_array("smem", b_panel, where=f"{where}/tileB{ki}")
+            subC += a_panel @ b_panel
+
+        if inj is not None:
+            # injection site "accumulator": the register-resident microtiles
+            subC = inj.corrupt_array("accumulator", subC, where=where)
+
+        if check:
+            actual_colsum = subC.sum(axis=0, dtype=np.float64)
+            tol = rtol * np.maximum(scale_colsum, 1.0)
+            if np.any(np.abs(actual_colsum - pred_colsum) > tol):
+                failed.append("gemm-colsum")
+
+        # Kernel evaluation straight out of "registers" (line 14).
+        sq = na[r0:r1, None] + nb[None, c0:c1] - dt.type(2.0) * subC
+        Kblk = kf.evaluate(sq, h)
+
+        # Intra-thread reduction (line 16): thread (tx, ty) row-sums its
+        # 8 x 8 microtile against its 8 weights.  Equivalent reshaping:
+        gamma = (Kblk * Wp[None, c0:c1]).reshape(t.mc, t.block_dim_x, t.micro_n)
+        thread_partials = gamma.sum(axis=2, dtype=dt)  # (mc, 16)
+
+        # Intra-CTA reduction (line 20): one thread per row sums the 16
+        # partials sequentially in tx order.
+        partialV = np.zeros(t.mc, dtype=dt)
+        for tx in range(t.block_dim_x):
+            partialV += thread_partials[:, tx]
+
+        if check:
+            # weighted kernel-mass checksum for the reduction + commit:
+            # computed in float64 from the register-resident Kblk, before
+            # anything downstream can corrupt it
+            w_slice = Wp[c0:c1].astype(np.float64)
+            s_pred = float((Kblk.astype(np.float64) * w_slice[None, :]).sum())
+            l1_mass = float((np.abs(Kblk).astype(np.float64) * np.abs(w_slice)[None, :]).sum())
+
+        if inj is not None:
+            # injection site "atomic": the 128-word partial commit
+            partialV = inj.corrupt_array("atomic", partialV, where=where)
+
+        if check:
+            s_act = float(partialV.sum(dtype=np.float64))
+            if abs(s_act - s_pred) > rtol * max(l1_mass, 1.0):
+                failed.append("reduction-sum")
+
+        return partialV, failed
 
 
 def fused_kernel_summation(
@@ -122,6 +324,12 @@ def fused_kernel_summation(
     tiling: TilingConfig = PAPER_TILING,
     cta_order: CtaOrder = "rowmajor",
     seed: int = 0,
+    abft: bool = False,
+    fault_spec: Optional[FaultSpec] = None,
+    max_retries: int = 2,
 ) -> np.ndarray:
     """One-shot convenience wrapper around :class:`FusedKernelSummation`."""
-    return FusedKernelSummation(tiling, cta_order, seed)(data)
+    return FusedKernelSummation(
+        tiling, cta_order, seed,
+        abft=abft, fault_spec=fault_spec, max_retries=max_retries,
+    )(data)

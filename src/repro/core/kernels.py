@@ -23,6 +23,8 @@ from typing import Callable, Dict
 
 import numpy as np
 
+from ..errors import InvalidProblemError, UnknownKernelError
+
 __all__ = ["KernelFunction", "KERNELS", "get_kernel"]
 
 
@@ -43,7 +45,7 @@ class KernelFunction:
     def evaluate(self, sqdist: np.ndarray, h: float) -> np.ndarray:
         """Evaluate on squared distances, clamping negatives from cancellation."""
         if h <= 0:
-            raise ValueError("bandwidth h must be positive")
+            raise InvalidProblemError("bandwidth h must be positive")
         sq = np.maximum(sqdist, np.asarray(0, dtype=sqdist.dtype))
         return self.fn(sq, h)
 
@@ -92,5 +94,7 @@ KERNELS: Dict[str, KernelFunction] = {
 def get_kernel(name: str) -> KernelFunction:
     """Look up a kernel by registry name."""
     if name not in KERNELS:
-        raise KeyError(f"unknown kernel {name!r}; available: {sorted(KERNELS)}")
+        raise UnknownKernelError(
+            f"unknown kernel {name!r}; available: {sorted(KERNELS)}"
+        )
     return KERNELS[name]

@@ -20,6 +20,8 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from ..errors import InvalidProblemError
+
 __all__ = ["ProblemSpec", "ProblemData", "generate"]
 
 #: Parameter grid from the paper's experimental methodology (section IV).
@@ -43,11 +45,11 @@ class ProblemSpec:
 
     def __post_init__(self) -> None:
         if min(self.M, self.N, self.K) <= 0:
-            raise ValueError("M, N, K must all be positive")
+            raise InvalidProblemError("M, N, K must all be positive")
         if self.h <= 0:
-            raise ValueError("bandwidth h must be positive")
+            raise InvalidProblemError("bandwidth h must be positive")
         if self.dtype not in ("float32", "float64"):
-            raise ValueError("dtype must be float32 or float64")
+            raise InvalidProblemError("dtype must be float32 or float64")
 
     @property
     def np_dtype(self) -> np.dtype:
@@ -84,14 +86,16 @@ class ProblemData:
     def __post_init__(self) -> None:
         s = self.spec
         if self.A.shape != (s.M, s.K):
-            raise ValueError(f"A must be ({s.M}, {s.K}), got {self.A.shape}")
+            raise InvalidProblemError(f"A must be ({s.M}, {s.K}), got {self.A.shape}")
         if self.B.shape != (s.K, s.N):
-            raise ValueError(f"B must be ({s.K}, {s.N}), got {self.B.shape}")
+            raise InvalidProblemError(f"B must be ({s.K}, {s.N}), got {self.B.shape}")
         if self.W.shape != (s.N,):
-            raise ValueError(f"W must be ({s.N},), got {self.W.shape}")
+            raise InvalidProblemError(f"W must be ({s.N},), got {self.W.shape}")
         for name, arr in (("A", self.A), ("B", self.B), ("W", self.W)):
             if arr.dtype != s.np_dtype:
-                raise ValueError(f"{name} has dtype {arr.dtype}, expected {s.np_dtype}")
+                raise InvalidProblemError(
+                    f"{name} has dtype {arr.dtype}, expected {s.np_dtype}"
+                )
 
     @property
     def source_norms(self) -> np.ndarray:
@@ -118,7 +122,7 @@ def generate(spec: ProblemSpec, point_scale: float = 1.0) -> ProblemData:
     both signs and cancellation is exercised.
     """
     if point_scale <= 0:
-        raise ValueError("point_scale must be positive")
+        raise InvalidProblemError("point_scale must be positive")
     rng = np.random.default_rng(spec.seed)
     dt = spec.np_dtype
     A = rng.random((spec.M, spec.K), dtype=np.float64).astype(dt) * dt.type(point_scale)

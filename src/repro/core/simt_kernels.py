@@ -17,6 +17,7 @@ from typing import Literal
 
 import numpy as np
 
+from ..faults.injector import active_injector
 from ..gpu.simt import Block, BlockRunStats, ThreadCtx
 from .mapping import compute_load_addresses, store_assignment
 
@@ -222,6 +223,12 @@ def fused_cta_kernel(
         for i in range(8):
             b_vals[i] = yield ctx.lds(B_OFF + int(b_addrs[i]))
         acc += np.outer(a_vals, b_vals)
+
+    # injection site: the microtile accumulator lives purely in registers —
+    # no memory-side protection ever sees a flip here
+    inj = active_injector()
+    if inj is not None:
+        acc = inj.corrupt_array("accumulator", acc, where=f"microtile(t{tid})")
 
     # --- kernel evaluation out of registers (line 14) ---------------------
     rows = np.arange(8 * ty, 8 * ty + 8)

@@ -1,0 +1,102 @@
+"""Shared exception taxonomy for the whole package.
+
+Historically each layer raised bare ``ValueError``/``KeyError``; the
+resilient experiment harness needs to *classify* failures (is this retry-
+worthy? configuration? corruption?), so every error the library raises on
+purpose now derives from :class:`ReproError`.
+
+Backward compatibility is preserved by double inheritance: each class also
+subclasses the builtin it replaced, so ``except ValueError`` /
+``except KeyError`` in downstream code keeps working unchanged.
+
+The taxonomy:
+
+``InvalidProblemError``
+    malformed user inputs (shapes, dtypes, non-finite values, bad spec
+    parameters) — a ``ValueError``;
+``UnknownImplementationError`` / ``UnknownKernelError``
+    registry lookups that missed — ``KeyError`` with a readable message;
+``FaultConfigError``
+    an inconsistent :class:`repro.faults.FaultSpec` — a ``ValueError``;
+``TransientModelError``
+    a failure worth retrying (the harness's backoff loop catches exactly
+    this) — a ``RuntimeError``;
+``ExperimentTimeoutError``
+    a grid point exceeded its wall-clock budget — a ``TimeoutError``;
+``CheckpointCorruptionError``
+    an unreadable sweep journal — a ``ValueError``;
+``DegradedResultWarning``
+    structured warning emitted when ABFT retries are exhausted and the
+    computation falls back to the reference implementation.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidProblemError",
+    "UnknownImplementationError",
+    "UnknownKernelError",
+    "FaultConfigError",
+    "TransientModelError",
+    "ExperimentTimeoutError",
+    "CheckpointCorruptionError",
+    "DegradedResultWarning",
+]
+
+
+class ReproError(Exception):
+    """Base class for every intentional error raised by :mod:`repro`."""
+
+
+class InvalidProblemError(ReproError, ValueError):
+    """User-supplied problem inputs are malformed (shape, dtype, values)."""
+
+
+class _ReadableKeyError(ReproError, KeyError):
+    """KeyError whose ``str()`` is the message, not the quoted repr.
+
+    ``KeyError.__str__`` returns ``repr(args[0])``, which turns helpful
+    messages into quoted blobs; this override restores plain text while
+    keeping ``except KeyError`` compatibility.
+    """
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.args[0] if self.args else ""
+
+
+class UnknownImplementationError(_ReadableKeyError):
+    """Requested implementation name is not in ``IMPLEMENTATIONS``."""
+
+
+class UnknownKernelError(_ReadableKeyError):
+    """Requested kernel name is not in ``KERNELS``."""
+
+
+class FaultConfigError(ReproError, ValueError):
+    """A fault-injection specification is inconsistent."""
+
+
+class TransientModelError(ReproError, RuntimeError):
+    """A retryable failure: the resilient harness backs off and retries."""
+
+
+class ExperimentTimeoutError(ReproError, TimeoutError):
+    """One experiment grid point exceeded its wall-clock budget."""
+
+
+class CheckpointCorruptionError(ReproError, ValueError):
+    """A sweep journal exists but cannot be parsed."""
+
+
+class DegradedResultWarning(UserWarning):
+    """ABFT retries were exhausted; the result came from the reference path.
+
+    Structured: carries the failing CTA coordinates and the attempt count so
+    monitoring can aggregate without parsing the message.
+    """
+
+    def __init__(self, message: str, cta: tuple[int, int] | None = None, attempts: int = 0):
+        super().__init__(message)
+        self.cta = cta
+        self.attempts = attempts

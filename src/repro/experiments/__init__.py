@@ -13,9 +13,19 @@ from .figures import (
     fig9_energy_comparison,
 )
 from .paper_values import FIG_CLAIMS, TABLE2_FLOP_EFFICIENCY, TABLE3_ENERGY_SAVINGS
+from .io import SweepJournal
 from .report import format_row, render_bars, render_figure, render_table
 from .runner import ExperimentRunner, Metrics
-from .sweep import SweepPoint, bandwidth_sweep, l2_size_sweep, n_sweep, sm_count_sweep
+from .sweep import (
+    ResilientSweep,
+    SweepPoint,
+    SweepTask,
+    bandwidth_sweep,
+    l2_size_sweep,
+    n_sweep,
+    sm_count_sweep,
+    sweep_tasks,
+)
 from .validation import TrafficValidation, validate_kernel_traffic
 from .full_report import ClaimCheck, ReproductionReport, full_reproduction_report
 from .tables import (
@@ -53,6 +63,10 @@ __all__ = [
     "FIG_CLAIMS",
     "render_bars",
     "SweepPoint",
+    "SweepTask",
+    "ResilientSweep",
+    "SweepJournal",
+    "sweep_tasks",
     "bandwidth_sweep",
     "sm_count_sweep",
     "l2_size_sweep",

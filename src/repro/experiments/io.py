@@ -1,10 +1,14 @@
-"""Result serialization: figures and tables to CSV / JSON.
+"""Result serialization: figures/tables to CSV / JSON, sweep journals.
 
 The benchmark harness renders text reports; downstream plotting or
 regression tracking wants machine-readable output.  These helpers write
 :class:`~repro.experiments.figures.FigureResult` and
 :class:`~repro.experiments.tables.TableResult` to CSV, and round-trip
 figure results through JSON.
+
+:class:`SweepJournal` is the checkpoint store of the resilient sweep
+harness: an append-only JSON-lines file with one record per completed grid
+point, so an interrupted sweep resumes without recomputing finished work.
 """
 
 from __future__ import annotations
@@ -13,7 +17,9 @@ import csv
 import io as _io
 import json
 import pathlib
+from typing import Dict
 
+from ..errors import CheckpointCorruptionError
 from .figures import FigureResult
 from .tables import TableResult
 
@@ -22,7 +28,54 @@ __all__ = [
     "table_to_csv",
     "figure_to_json",
     "figure_from_json",
+    "SweepJournal",
 ]
+
+
+class SweepJournal:
+    """Append-only JSON-lines journal of completed sweep points.
+
+    Each line is ``{"key": <point label>, "payload": {...}}``.  Appends are
+    flushed line-at-a-time, so a killed sweep leaves at worst one truncated
+    trailing line — which :meth:`load` rejects loudly rather than silently
+    resuming from a lie.
+    """
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        self.path = pathlib.Path(path)
+
+    def exists(self) -> bool:
+        """Whether any journal file is on disk yet."""
+        return self.path.exists()
+
+    def load(self) -> Dict[str, dict]:
+        """Completed points, keyed by label; empty dict if no journal yet."""
+        if not self.path.exists():
+            return {}
+        done: Dict[str, dict] = {}
+        for i, line in enumerate(self.path.read_text().splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                rec = json.loads(line)
+                key, payload = rec["key"], rec["payload"]
+            except (json.JSONDecodeError, TypeError, KeyError) as exc:
+                raise CheckpointCorruptionError(
+                    f"journal {self.path} line {i} is unreadable: {exc}"
+                ) from exc
+            done[key] = payload
+        return done
+
+    def append(self, key: str, payload: dict) -> None:
+        """Record one completed point (creates parent dirs on first write)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as fh:
+            fh.write(json.dumps({"key": key, "payload": payload}, sort_keys=True) + "\n")
+            fh.flush()
+
+    def clear(self) -> None:
+        """Delete the journal (start the sweep from scratch)."""
+        self.path.unlink(missing_ok=True)
 
 
 def figure_to_csv(result: FigureResult, path: str | pathlib.Path | None = None) -> str:

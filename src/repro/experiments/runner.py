@@ -3,17 +3,26 @@
 Combines the performance model (:mod:`repro.perf`) and the energy model
 (:mod:`repro.energy`) into the flat :class:`Metrics` record every figure
 and table builder consumes.  Results are memoised per runner instance —
-the figures share most of their grid points.
+the figures share most of their grid points.  The cache key covers
+*everything* that determines the answer (implementation, spec, tiling,
+calibration, device), so mutating ``runner.cal`` or ``runner.tiling``
+between calls can never hand back a stale record.
+
+:meth:`ExperimentRunner.run_with_retry` is the resilient entry point the
+sweep harness builds on: transient failures are retried with exponential
+backoff, and every attempt is held to a wall-clock budget.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from ..core.problem import ProblemSpec
 from ..core.tiling import PAPER_TILING, TilingConfig
 from ..energy.model import EnergyBreakdown, EnergyModel
+from ..errors import ExperimentTimeoutError, TransientModelError
 from ..gpu.device import GTX970, DeviceSpec
 from ..perf.calibration import Calibration, DEFAULT_CALIBRATION
 from ..perf.pipeline import model_gemm, model_run
@@ -52,13 +61,22 @@ class ExperimentRunner:
         self.tiling = tiling
         self.cal = cal
         self.energy_model = EnergyModel(device)
-        self._cache: Dict[Tuple[str, ProblemSpec], Metrics] = {}
+        self._cache: Dict[
+            Tuple[str, ProblemSpec, TilingConfig, Calibration, DeviceSpec], Metrics
+        ] = {}
+
+    def _key(self, implementation: str, spec: ProblemSpec):
+        # the full configuration, not just (implementation, spec): a runner
+        # whose tiling/cal/device is swapped must recompute, not replay
+        return (implementation, spec, self.tiling, self.cal, self.device)
 
     def run(self, implementation: str, spec: ProblemSpec) -> Metrics:
         """Model one implementation on one problem (cached)."""
-        key = (implementation, spec)
+        key = self._key(implementation, spec)
         if key not in self._cache:
             prof = model_run(implementation, spec, self.tiling, self.device, self.cal)
+            if self.energy_model.device is not self.device:
+                self.energy_model = EnergyModel(self.device)
             self._cache[key] = Metrics(
                 implementation=implementation,
                 spec=spec,
@@ -70,6 +88,42 @@ class ExperimentRunner:
                 energy=self.energy_model.breakdown(prof),
             )
         return self._cache[key]
+
+    def run_with_retry(
+        self,
+        implementation: str,
+        spec: ProblemSpec,
+        max_retries: int = 3,
+        backoff_s: float = 0.05,
+        timeout_s: Optional[float] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> Metrics:
+        """:meth:`run`, hardened for long unattended campaigns.
+
+        Retries :class:`~repro.errors.TransientModelError` up to
+        ``max_retries`` times with exponential backoff (``backoff_s``,
+        doubling per attempt); any attempt whose wall-clock time exceeds
+        ``timeout_s`` raises :class:`~repro.errors.ExperimentTimeoutError`.
+        ``sleep`` is injectable so tests don't actually wait.
+        """
+        attempt = 0
+        while True:
+            t0 = time.perf_counter()
+            try:
+                result = self.run(implementation, spec)
+            except TransientModelError:
+                if attempt >= max_retries:
+                    raise
+                sleep(backoff_s * (2.0 ** attempt))
+                attempt += 1
+                continue
+            elapsed = time.perf_counter() - t0
+            if timeout_s is not None and elapsed > timeout_s:
+                raise ExperimentTimeoutError(
+                    f"{implementation} on M={spec.M} N={spec.N} K={spec.K} took "
+                    f"{elapsed:.3f}s (budget {timeout_s:.3f}s)"
+                )
+            return result
 
     def gemm_seconds(self, flavor: str, spec: ProblemSpec) -> float:
         """Standalone-GEMM runtime (Fig. 7)."""

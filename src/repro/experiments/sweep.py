@@ -11,18 +11,37 @@ performance model exists to answer:
   memory system, growing the fused advantage;
 * :func:`l2_size_sweep` — the fused kernel needs B resident in L2; a small
   L2 erodes its traffic advantage once ``K*N*4`` stops fitting.
+
+Long unattended sweeps run through :class:`ResilientSweep`: grid points are
+journalled to disk as they complete (:class:`~repro.experiments.io.
+SweepJournal`), transient failures are retried with exponential backoff
+under a wall-clock budget, and a re-run with the same journal path resumes
+exactly where the previous process died.
 """
 
 from __future__ import annotations
 
+import pathlib
+import time
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Callable, List, Optional, Sequence, Union
 
 from ..core.problem import ProblemSpec
+from ..errors import ExperimentTimeoutError, TransientModelError
 from ..gpu.device import GTX970, DeviceSpec
+from .io import SweepJournal
 from .runner import ExperimentRunner
 
-__all__ = ["SweepPoint", "bandwidth_sweep", "sm_count_sweep", "l2_size_sweep", "n_sweep"]
+__all__ = [
+    "SweepPoint",
+    "SweepTask",
+    "ResilientSweep",
+    "sweep_tasks",
+    "bandwidth_sweep",
+    "sm_count_sweep",
+    "l2_size_sweep",
+    "n_sweep",
+]
 
 
 @dataclass(frozen=True)
@@ -45,6 +64,148 @@ def _point(label: str, device: DeviceSpec, spec: ProblemSpec) -> SweepPoint:
     fused = runner.run("fused", spec).seconds
     base = runner.run("cublas-unfused", spec).seconds
     return SweepPoint(label, device, base / fused, fused, base)
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One not-yet-computed grid point of a sweep."""
+
+    label: str
+    device: DeviceSpec
+    spec: ProblemSpec
+
+
+def sweep_tasks(axis: str, spec: ProblemSpec, base: DeviceSpec = GTX970) -> List[SweepTask]:
+    """The task list behind one sweep axis (``bandwidth``/``sms``/``l2``/``n``).
+
+    The same grids the eager sweep functions below walk, expressed as data
+    so :class:`ResilientSweep` can journal and resume them point by point.
+    """
+    if axis == "bandwidth":
+        return [
+            SweepTask(
+                f"{s:g}x BW",
+                base.with_overrides(name=f"{base.name}-bw{s:g}x", mem_clock_hz=base.mem_clock_hz * s),
+                spec,
+            )
+            for s in (0.5, 1.0, 2.0, 4.0)
+        ]
+    if axis == "sms":
+        return [
+            SweepTask(f"{n} SMs", base.with_overrides(name=f"{base.name}-{n}sm", num_sms=n), spec)
+            for n in (7, 13, 26, 52)
+        ]
+    if axis == "l2":
+        return [
+            SweepTask(
+                f"{kib} KiB L2",
+                base.with_overrides(name=f"{base.name}-l2-{kib}k", l2_size=kib * 1024),
+                spec,
+            )
+            for kib in (256, 512, 1792, 4096)
+        ]
+    if axis == "n":
+        return [
+            SweepTask(f"N={n}", base, ProblemSpec(M=spec.M, N=n, K=spec.K))
+            for n in (256, 1024, 4096, 16384)
+        ]
+    raise ValueError(f"unknown sweep axis {axis!r}; use bandwidth | sms | l2 | n")
+
+
+class ResilientSweep:
+    """Checkpointed, retrying executor for a list of :class:`SweepTask`.
+
+    * completed points are appended to a :class:`SweepJournal` the moment
+      they finish; a re-run with the same journal path replays them from
+      disk instead of recomputing;
+    * a point that raises :class:`~repro.errors.TransientModelError` is
+      retried up to ``max_retries`` times with exponential backoff
+      (``backoff_s`` doubling per attempt);
+    * any single attempt exceeding ``timeout_s`` raises
+      :class:`~repro.errors.ExperimentTimeoutError` — a hung model is a
+      bug, not something to spin on forever.
+
+    ``point_fn`` computes one task (default: the fused-vs-cuBLAS speedup
+    point every axis sweep uses) and ``sleep`` is injectable so tests of
+    the backoff path take microseconds.
+    """
+
+    def __init__(
+        self,
+        journal: Union[SweepJournal, str, pathlib.Path, None] = None,
+        max_retries: int = 3,
+        backoff_s: float = 0.05,
+        timeout_s: Optional[float] = None,
+        point_fn: Callable[[SweepTask], SweepPoint] = lambda task: _point(
+            task.label, task.device, task.spec
+        ),
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if isinstance(journal, (str, pathlib.Path)):
+            journal = SweepJournal(journal)
+        self.journal = journal
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.timeout_s = timeout_s
+        self.point_fn = point_fn
+        self.sleep = sleep
+        #: labels served from the journal during the most recent run()
+        self.resumed_labels: List[str] = []
+
+    # -- journal payload (de)serialization --------------------------------
+    @staticmethod
+    def _payload(point: SweepPoint) -> dict:
+        return {
+            "speedup": point.speedup,
+            "fused_seconds": point.fused_seconds,
+            "baseline_seconds": point.baseline_seconds,
+        }
+
+    @staticmethod
+    def _from_payload(task: SweepTask, payload: dict) -> SweepPoint:
+        return SweepPoint(
+            label=task.label,
+            device=task.device,
+            speedup=float(payload["speedup"]),
+            fused_seconds=float(payload["fused_seconds"]),
+            baseline_seconds=float(payload["baseline_seconds"]),
+        )
+
+    def _attempt(self, task: SweepTask) -> SweepPoint:
+        attempt = 0
+        while True:
+            t0 = time.perf_counter()
+            try:
+                point = self.point_fn(task)
+            except TransientModelError:
+                if attempt >= self.max_retries:
+                    raise
+                self.sleep(self.backoff_s * (2.0 ** attempt))
+                attempt += 1
+                continue
+            elapsed = time.perf_counter() - t0
+            if self.timeout_s is not None and elapsed > self.timeout_s:
+                raise ExperimentTimeoutError(
+                    f"sweep point {task.label!r} took {elapsed:.3f}s "
+                    f"(budget {self.timeout_s:.3f}s)"
+                )
+            return point
+
+    def run(self, tasks: Sequence[SweepTask]) -> List[SweepPoint]:
+        """Compute (or resume) every task, in order; returns all points."""
+        done = self.journal.load() if self.journal is not None else {}
+        self.resumed_labels = []
+        points: List[SweepPoint] = []
+        for task in tasks:
+            if task.label in done:
+                points.append(self._from_payload(task, done[task.label]))
+                self.resumed_labels.append(task.label)
+                continue
+            point = self._attempt(task)
+            if self.journal is not None:
+                self.journal.append(task.label, self._payload(point))
+            points.append(point)
+        return points
 
 
 def bandwidth_sweep(

@@ -1,0 +1,47 @@
+"""Fault injection and ABFT recovery for the fused kernel.
+
+The fused kernel keeps its entire ``M x N`` intermediate in registers and
+shared memory and commits results via ``atomicAdd`` — there is no DRAM copy
+to cross-check, so a single transient fault silently corrupts the final
+potential vector.  This package provides the robustness layer:
+
+* :class:`FaultSpec` / :class:`FaultInjector` — declarative, seeded,
+  deterministic fault injection at four sites of the data path
+  (DRAM read, shared-memory staging, microtile accumulator, atomic commit),
+  armed process-wide through the :func:`fault_injection` context manager;
+* ABFT detection and bounded re-execution live in
+  :class:`repro.core.fused.FusedKernelSummation` (``abft=True``);
+* :mod:`repro.faults.campaign` — a campaign driver sweeping fault rate x
+  site and reporting detection / recovery / silent-corruption rates.
+
+Campaign entry points (``run_campaign``, ``CampaignResult``, ...) are
+re-exported lazily: the campaign imports :mod:`repro.core`, which itself
+imports the injection hooks from this package, and the lazy hop keeps that
+cycle open.
+"""
+
+from .injector import FaultInjector, InjectionEvent, active_injector, fault_injection
+from .spec import FAULT_MODELS, FAULT_SITES, FaultSpec
+
+__all__ = [
+    "FaultSpec",
+    "FAULT_SITES",
+    "FAULT_MODELS",
+    "FaultInjector",
+    "InjectionEvent",
+    "active_injector",
+    "fault_injection",
+    "CampaignPoint",
+    "CampaignResult",
+    "run_campaign",
+]
+
+_CAMPAIGN_EXPORTS = ("CampaignPoint", "CampaignResult", "run_campaign")
+
+
+def __getattr__(name: str):
+    if name in _CAMPAIGN_EXPORTS:
+        from . import campaign
+
+        return getattr(campaign, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

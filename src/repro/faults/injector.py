@@ -1,0 +1,192 @@
+"""Deterministic fault injector and the global injection context.
+
+:class:`FaultInjector` consumes a :class:`~repro.faults.spec.FaultSpec` and
+corrupts values presented at matching injection sites, recording every hit
+as an :class:`InjectionEvent`.  Determinism: one seeded generator, advanced
+only by hook crossings of the matching site, so a campaign trial is exactly
+reproducible from ``(spec, call order)``.
+
+Hook protocol
+-------------
+Instrumented code calls :func:`active_injector` — a single global read that
+returns ``None`` when no injection context is open — and only then pays for
+anything:
+
+.. code-block:: python
+
+    inj = active_injector()
+    if inj is not None:
+        vals = inj.corrupt_array("smem", vals, where="cta(0,1)/panel3")
+
+With no context open the hook is one ``is None`` test: the disabled path
+adds no measurable work and, crucially, performs *no* floating-point
+operations, so results are bit-identical to the uninstrumented code.
+
+:func:`fault_injection` is the context manager that arms a spec (or a
+prebuilt injector) process-wide; nesting restores the previous injector on
+exit.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Union
+
+import numpy as np
+
+from .spec import FaultSpec
+
+__all__ = [
+    "InjectionEvent",
+    "FaultInjector",
+    "active_injector",
+    "fault_injection",
+]
+
+
+@dataclass(frozen=True)
+class InjectionEvent:
+    """One performed corruption: where it struck and what it changed."""
+
+    site: str
+    where: str  # free-form location label from the hook (e.g. "cta(1,0)")
+    index: int  # flat index into the struck array
+    old: float
+    new: float
+
+    def describe(self) -> str:
+        """Human-readable one-liner for logs and reports."""
+        return f"{self.site}@{self.where or '?'}[{self.index}]: {self.old!r} -> {self.new!r}"
+
+
+class FaultInjector:
+    """Applies a :class:`FaultSpec` to values crossing injection hooks.
+
+    All randomness (does this opportunity fire? which element? which bit?)
+    comes from one ``numpy`` generator seeded by ``spec.seed``, advanced
+    only on matching-site crossings — re-executing a CTA therefore redraws,
+    so a retry under a ``rate < 1`` spec can succeed, while
+    ``max_injections=1`` models the classic single-event upset.
+    """
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self.spec = spec
+        self.rng = np.random.default_rng(spec.seed)
+        self.events: List[InjectionEvent] = []
+        self.opportunities = 0
+
+    # -- bookkeeping ---------------------------------------------------------
+    @property
+    def injections(self) -> int:
+        """Total corruptions performed so far."""
+        return len(self.events)
+
+    def by_site(self) -> Dict[str, int]:
+        """Histogram of performed corruptions per site."""
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.site] = out.get(e.site, 0) + 1
+        return out
+
+    def reset(self) -> None:
+        """Clear events and counters; the RNG stream is *not* rewound."""
+        self.events.clear()
+        self.opportunities = 0
+
+    # -- firing decision -----------------------------------------------------
+    def _fires(self, site: str) -> bool:
+        if site != self.spec.site:
+            return False
+        self.opportunities += 1
+        if self.spec.max_injections is not None and self.injections >= self.spec.max_injections:
+            return False
+        if self.spec.rate >= 1.0:
+            return True
+        return bool(self.rng.random() < self.spec.rate)
+
+    # -- corruption models ---------------------------------------------------
+    def _corrupt_element(self, value: np.ndarray) -> np.ndarray:
+        """Return the corrupted version of one scalar (0-d array) value."""
+        spec = self.spec
+        dt = value.dtype
+        if spec.model == "stuck":
+            return dt.type(spec.stuck_value)
+        if spec.model == "scale":
+            return dt.type(value * dt.type(spec.magnitude))
+        # bitflip: XOR one bit of the IEEE-754 representation
+        nbits = dt.itemsize * 8
+        uint = {32: np.uint32, 64: np.uint64}[nbits]
+        bit = spec.bit if spec.bit is not None else int(self.rng.integers(nbits))
+        bit %= nbits
+        raw = value.copy().view(uint)
+        raw ^= uint(1) << uint(bit)
+        return raw.view(dt)
+
+    def _pick_index(self, flat: np.ndarray) -> int:
+        if self.spec.target == "max_abs":
+            return int(np.argmax(np.abs(flat)))
+        return int(self.rng.integers(flat.size))
+
+    # -- hook entry points ---------------------------------------------------
+    def corrupt_array(self, site: str, values: np.ndarray, where: str = "") -> np.ndarray:
+        """Possibly corrupt one element of ``values``.
+
+        Returns ``values`` itself (same object, untouched) when the
+        opportunity does not fire; otherwise returns a corrupted *copy*, so
+        callers decide whether the corruption persists (assign it back) or
+        stays confined to the staged copy.
+        """
+        if values.size == 0 or not self._fires(site):
+            return values
+        out = np.array(values, copy=True)
+        flat = out.reshape(-1)
+        idx = self._pick_index(flat)
+        old = flat[idx].copy()
+        flat[idx] = self._corrupt_element(flat[idx : idx + 1].reshape(()))
+        self.events.append(
+            InjectionEvent(site=site, where=where, index=idx, old=float(old), new=float(flat[idx]))
+        )
+        return out
+
+    def corrupt_scalar(self, site: str, value: float, where: str = "") -> float:
+        """Scalar-value variant of :meth:`corrupt_array` (atomic operands)."""
+        if not self._fires(site):
+            return value
+        old = np.float32(value)
+        new = self._corrupt_element(np.asarray(old).reshape(()))
+        self.events.append(
+            InjectionEvent(site=site, where=where, index=0, old=float(old), new=float(new))
+        )
+        return float(new)
+
+
+#: the one process-wide active injector (None = injection disabled)
+_ACTIVE: Optional[FaultInjector] = None
+
+
+def active_injector() -> Optional[FaultInjector]:
+    """The armed injector, or ``None`` — the single check every hook makes."""
+    return _ACTIVE
+
+
+@contextmanager
+def fault_injection(spec_or_injector: Union[FaultSpec, FaultInjector]) -> Iterator[FaultInjector]:
+    """Arm fault injection for the dynamic extent of the ``with`` block.
+
+    Accepts either a spec (a fresh injector is built) or a prebuilt
+    injector (campaigns reuse one to keep a single RNG stream across
+    trials).  Nested contexts restore the previous injector on exit.
+    """
+    global _ACTIVE
+    injector = (
+        spec_or_injector
+        if isinstance(spec_or_injector, FaultInjector)
+        else FaultInjector(spec_or_injector)
+    )
+    previous = _ACTIVE
+    _ACTIVE = injector
+    try:
+        yield injector
+    finally:
+        _ACTIVE = previous

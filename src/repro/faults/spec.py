@@ -1,0 +1,114 @@
+"""Declarative fault-injection specification.
+
+A :class:`FaultSpec` names *where* a transient fault strikes (``site``),
+*what* it does to the struck value (``model``), and *how often* it fires
+(``rate``), plus the seed that makes the whole campaign deterministic.
+
+Sites map onto the stages of the fused kernel's data path (Algorithm 2):
+
+``"dram"``
+    the input matrices as resident in device memory — corrupting them
+    poisons both the computation *and* any checksum derived from them,
+    which is exactly why DRAM faults are the silent-corruption case ABFT
+    cannot catch without an ECC-style memory-side code;
+``"smem"``
+    the per-CTA shared-memory staging copies of the A/B panels — the
+    original DRAM data survives, so input-checksum ABFT detects these;
+``"accumulator"``
+    the per-thread microtile accumulator (``subC`` in the functional
+    layer) after the rank-k panel loop;
+``"atomic"``
+    the 128-element ``partialV`` slice at the moment it is committed to
+    the result vector by ``atomicAdd``.
+
+Models:
+
+``"bitflip"``
+    XOR one bit of the IEEE-754 representation (``bit`` selects which;
+    ``None`` draws one uniformly);
+``"stuck"``
+    replace the value with ``stuck_value`` (a stuck-at line);
+``"scale"``
+    multiply the value by ``magnitude`` (a proportional corruption whose
+    detectability scales with ``|magnitude - 1|``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Literal, Optional
+
+from ..errors import FaultConfigError
+
+__all__ = ["FAULT_SITES", "FAULT_MODELS", "FaultSpec"]
+
+FaultSite = Literal["dram", "smem", "accumulator", "atomic"]
+FaultModel = Literal["bitflip", "stuck", "scale"]
+
+#: Valid injection sites, in pipeline order.
+FAULT_SITES = ("dram", "smem", "accumulator", "atomic")
+#: Valid corruption models.
+FAULT_MODELS = ("bitflip", "stuck", "scale")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic fault-injection configuration.
+
+    ``rate`` is the probability that a given injection opportunity (one
+    hook crossing: one staged panel, one accumulator, one atomic commit)
+    fires; at most one element is corrupted per firing.  ``max_injections``
+    caps the total number of corruptions an injector will perform — set it
+    to 1 to model a single transient upset and let re-execution recover.
+
+    ``target`` picks the element within the struck array: ``"random"``
+    draws uniformly; ``"max_abs"`` strikes the largest-magnitude element,
+    which is the adversarial case for scale/stuck models (a scaled zero is
+    no fault at all).
+    """
+
+    site: str = "atomic"
+    model: str = "bitflip"
+    rate: float = 1.0
+    seed: int = 0
+    magnitude: float = 8.0
+    stuck_value: float = 0.0
+    bit: Optional[int] = None
+    max_injections: Optional[int] = None
+    target: str = "random"
+
+    def __post_init__(self) -> None:
+        if self.site not in FAULT_SITES:
+            raise FaultConfigError(
+                f"unknown fault site {self.site!r}; available: {list(FAULT_SITES)}"
+            )
+        if self.model not in FAULT_MODELS:
+            raise FaultConfigError(
+                f"unknown fault model {self.model!r}; available: {list(FAULT_MODELS)}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise FaultConfigError(f"rate must be in [0, 1], got {self.rate}")
+        if self.bit is not None and not 0 <= self.bit < 64:
+            raise FaultConfigError(f"bit must be in [0, 64), got {self.bit}")
+        if self.max_injections is not None and self.max_injections < 0:
+            raise FaultConfigError("max_injections cannot be negative")
+        if self.target not in ("random", "max_abs"):
+            raise FaultConfigError(
+                f"target must be 'random' or 'max_abs', got {self.target!r}"
+            )
+        if self.model == "scale" and self.magnitude == 1.0:
+            raise FaultConfigError("scale model with magnitude 1.0 injects nothing")
+
+    def with_(self, **kwargs) -> "FaultSpec":
+        """Copy with fields replaced (campaign sweeps use this)."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        """One-line human-readable summary for reports."""
+        how = {
+            "bitflip": f"bitflip(bit={'rand' if self.bit is None else self.bit})",
+            "stuck": f"stuck({self.stuck_value:g})",
+            "scale": f"scale(x{self.magnitude:g})",
+        }[self.model]
+        cap = "" if self.max_injections is None else f", cap={self.max_injections}"
+        return f"{self.site}:{how}@rate={self.rate:g}{cap}"

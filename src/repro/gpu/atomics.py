@@ -22,12 +22,32 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["AtomicCostModel", "atomic_reduction_cycles"]
+import numpy as np
+
+from ..faults.injector import active_injector
+
+__all__ = ["AtomicCostModel", "atomic_reduction_cycles", "atomic_add_word"]
 
 #: L2 read-modify-write round trip seen by dependent atomics (cycles)
 L2_ATOMIC_RTT = 190.0
 #: word updates the L2 can retire per cycle, device-wide
 ATOMIC_THROUGHPUT = 64.0
+
+
+def atomic_add_word(buffer: np.ndarray, index: int, value: float, where: str = "") -> None:
+    """One functional ``atomicAdd`` on a float32 word of a global buffer.
+
+    This is the commit point of the inter-CTA reduction: the SIMT
+    interpreter routes every ``ctx.atomic_add`` through here, so the fault
+    injector's ``"atomic"`` site can corrupt the operand at the moment it
+    leaves the CTA — the exact hazard the fused kernel exposes by having no
+    DRAM intermediate to cross-check.  A no-op passthrough when injection
+    is disabled.
+    """
+    inj = active_injector()
+    if inj is not None:
+        value = inj.corrupt_scalar("atomic", value, where=where)
+    buffer[index] = np.float32(buffer[index]) + np.float32(value)
 
 
 @dataclass(frozen=True)

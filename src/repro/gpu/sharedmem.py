@@ -20,6 +20,8 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..faults.injector import active_injector
+
 __all__ = [
     "warp_transactions",
     "warp_conflicts",
@@ -171,6 +173,9 @@ class SharedMemory:
         addrs = np.asarray(word_addresses, dtype=np.int64)
         self._check(addrs, width)
         vals = np.asarray(values, dtype=np.float32).reshape(addrs.size, width)
+        inj = active_injector()
+        if inj is not None:
+            vals = inj.corrupt_array("smem", vals, where="warp_store")
         tx = 0
         for phase in range(width):
             tx += warp_transactions(addrs + phase, self.num_banks, active_mask)

@@ -34,6 +34,7 @@ from typing import Callable, Generator, Optional
 
 import numpy as np
 
+from .atomics import atomic_add_word
 from .sharedmem import SharedMemory
 
 __all__ = ["LockstepError", "DeadlockError", "ThreadCtx", "Block", "BlockRunStats"]
@@ -248,7 +249,7 @@ class Block:
                     for t in active:
                         if pending[t][0] == _ATOM:
                             _, buf, idx, val = pending[t]
-                            buf[idx] = np.float32(buf[idx]) + np.float32(val)
+                            atomic_add_word(buf, idx, val, where=f"tid{t}")
                             atomics += 1
                         advance(t)
                     progressed = True

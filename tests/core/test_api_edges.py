@@ -1,0 +1,92 @@
+"""Public-API edge cases: empty sets, off-tile sizes, views, float64."""
+
+import numpy as np
+import pytest
+
+from repro.core import IMPLEMENTATIONS, kernel_summation, make_problem
+from repro.core.reference import expanded
+from repro.errors import InvalidProblemError
+
+RTOL = {"float32": 2e-4, "float64": 1e-10}
+
+
+def _arrays(M, N, K, dtype=np.float32, seed=0):
+    rng = np.random.default_rng(seed)
+    A = rng.random((M, K)).astype(dtype)
+    B = rng.random((K, N)).astype(dtype)
+    W = rng.normal(size=N).astype(dtype)
+    return A, B, W
+
+
+class TestEmptyInputs:
+    @pytest.mark.parametrize("M,N,K", [(0, 8, 4), (16, 0, 4), (16, 8, 0)])
+    def test_empty_dimension_rejected(self, M, N, K):
+        A = np.zeros((M, K), dtype=np.float32)
+        B = np.zeros((K, N), dtype=np.float32)
+        W = np.zeros(N, dtype=np.float32)
+        with pytest.raises(InvalidProblemError):
+            make_problem(A, B, W)
+
+    def test_empty_sources(self):
+        A, B, W = _arrays(16, 8, 4)
+        with pytest.raises(InvalidProblemError, match="empty point sets"):
+            kernel_summation(A[:0], B, W)
+
+    def test_empty_targets(self):
+        A, B, W = _arrays(16, 8, 4)
+        with pytest.raises(InvalidProblemError, match="empty point sets"):
+            kernel_summation(A, B[:, :0], W[:0])
+
+
+class TestOffTileSizes:
+    """M / N that are not multiples of the 128 CTA tile must pad correctly."""
+
+    @pytest.mark.parametrize("M,N", [(1, 1), (127, 129), (130, 3), (257, 255)])
+    def test_every_implementation_agrees(self, M, N):
+        A, B, W = _arrays(M, N, 8)
+        data = make_problem(A, B, W, h=0.9)
+        truth = expanded(data)
+        for name in IMPLEMENTATIONS:
+            V = kernel_summation(A, B, W, h=0.9, implementation=name)
+            assert V.shape == (M,)
+            np.testing.assert_allclose(
+                V, truth, rtol=RTOL["float32"], atol=1e-5,
+                err_msg=f"{name} at M={M} N={N}",
+            )
+
+
+class TestNonContiguousInputs:
+    def test_sliced_inputs(self):
+        A, B, W = _arrays(64, 32, 8)
+        A2, B2, W2 = A[::2], B[:, ::2], W[::2]
+        assert not A2.flags.c_contiguous
+        V = kernel_summation(A2, B2, W2)
+        Vc = kernel_summation(A2.copy(), B2.copy(), W2.copy())
+        np.testing.assert_array_equal(V, Vc)
+
+    def test_transposed_inputs(self):
+        A, B, W = _arrays(32, 48, 8)
+        At = np.ascontiguousarray(A.T).T  # F-contiguous view, same values
+        assert not At.flags.c_contiguous
+        np.testing.assert_array_equal(
+            kernel_summation(At, B, W), kernel_summation(A, B, W)
+        )
+
+    def test_make_problem_outputs_contiguous(self):
+        A, B, W = _arrays(32, 16, 4)
+        data = make_problem(A[::2], B, W)
+        assert data.A.flags.c_contiguous
+
+
+class TestFloat64:
+    @pytest.mark.parametrize("name", sorted(IMPLEMENTATIONS))
+    def test_float64_end_to_end(self, name):
+        A, B, W = _arrays(150, 140, 8, dtype=np.float64, seed=3)
+        data = make_problem(A, B, W, h=0.8)
+        truth = expanded(data)
+        V = kernel_summation(A, B, W, h=0.8, implementation=name)
+        assert V.dtype == np.float64
+        assert V.shape == (150,)
+        np.testing.assert_allclose(
+            V, truth, rtol=RTOL["float64"], atol=1e-12, err_msg=name
+        )

@@ -1,10 +1,12 @@
 """Experiment harness tests: configs, runner, figures, tables, report."""
 
+import dataclasses
 import math
 
 import pytest
 
 from repro.core import ProblemSpec
+from repro.errors import ExperimentTimeoutError, TransientModelError
 from repro.experiments import (
     PAPER_GRID,
     SMALL_GRID,
@@ -73,6 +75,79 @@ class TestRunner:
     def test_unknown_implementation_propagates(self, runner):
         with pytest.raises(KeyError):
             runner.run("warp-drive", ProblemSpec(M=1024, N=1024, K=32))
+
+    # the session-scoped ``runner`` fixture is shared; tests that mutate the
+    # runner's configuration build their own instance
+
+    def test_cache_key_includes_tiling(self):
+        # regression: the cache used to key on (implementation, spec) only,
+        # replaying stale records after runner.tiling was swapped
+        r = ExperimentRunner()
+        s = ProblemSpec(M=4096, N=1024, K=32)
+        before = r.run("fused", s)
+        r.tiling = dataclasses.replace(r.tiling, double_buffered=False)
+        after = r.run("fused", s)
+        assert after is not before
+        assert after.seconds > before.seconds  # single-buffering stalls
+
+    def test_cache_key_includes_calibration(self):
+        r = ExperimentRunner()
+        s = ProblemSpec(M=4096, N=1024, K=32)
+        before = r.run("cublas-unfused", s)
+        r.cal = dataclasses.replace(
+            r.cal, issue_efficiency_cublas=r.cal.issue_efficiency_cublas / 2
+        )
+        after = r.run("cublas-unfused", s)
+        assert after is not before
+        assert after.seconds != before.seconds
+
+    def test_cache_key_includes_device(self):
+        r = ExperimentRunner()
+        s = ProblemSpec(M=4096, N=1024, K=32)
+        before = r.run("fused", s)
+        r.device = r.device.with_overrides(
+            name=f"{r.device.name}-halfbw", mem_clock_hz=r.device.mem_clock_hz / 2
+        )
+        after = r.run("fused", s)
+        assert after is not before
+        # the energy model must follow the device swap too
+        assert r.energy_model.device is r.device
+
+    def test_run_with_retry_recovers_from_transient(self):
+        r = ExperimentRunner()
+        s = ProblemSpec(M=4096, N=1024, K=32)
+        failures = {"left": 2}
+        real_run = r.run
+
+        def flaky(implementation, spec):
+            if failures["left"]:
+                failures["left"] -= 1
+                raise TransientModelError("simulated glitch")
+            return real_run(implementation, spec)
+
+        r.run = flaky
+        sleeps = []
+        m = r.run_with_retry("fused", s, backoff_s=0.25, sleep=sleeps.append)
+        assert m.seconds > 0
+        assert sleeps == [0.25, 0.5]  # exponential backoff
+
+    def test_run_with_retry_exhausts(self):
+        r = ExperimentRunner()
+
+        def always_fails(implementation, spec):
+            raise TransientModelError("permanently flaky")
+
+        r.run = always_fails
+        with pytest.raises(TransientModelError):
+            r.run_with_retry(
+                "fused", ProblemSpec(M=4096, N=1024, K=32),
+                max_retries=2, sleep=lambda s: None,
+            )
+
+    def test_run_with_retry_timeout(self):
+        r = ExperimentRunner()
+        with pytest.raises(ExperimentTimeoutError):
+            r.run_with_retry("fused", ProblemSpec(M=4096, N=1024, K=32), timeout_s=0.0)
 
 
 class TestFigures:

@@ -1,0 +1,170 @@
+"""Resilient sweep tests: journalling, resume, retry, timeout."""
+
+import json
+
+import pytest
+
+from repro.core import ProblemSpec
+from repro.errors import (
+    CheckpointCorruptionError,
+    ExperimentTimeoutError,
+    TransientModelError,
+)
+from repro.experiments import ResilientSweep, SweepJournal, sweep_tasks
+from repro.experiments.sweep import _point
+
+SPEC = ProblemSpec(M=131072, N=4096, K=32)
+
+
+@pytest.fixture
+def tasks():
+    return sweep_tasks("bandwidth", SPEC)
+
+
+class TestSweepTasks:
+    def test_axes_match_eager_grids(self):
+        assert [t.label for t in sweep_tasks("bandwidth", SPEC)] == [
+            "0.5x BW", "1x BW", "2x BW", "4x BW"
+        ]
+        assert [t.label for t in sweep_tasks("sms", SPEC)] == [
+            "7 SMs", "13 SMs", "26 SMs", "52 SMs"
+        ]
+        assert [t.label for t in sweep_tasks("l2", SPEC)] == [
+            "256 KiB L2", "512 KiB L2", "1792 KiB L2", "4096 KiB L2"
+        ]
+        assert [t.label for t in sweep_tasks("n", SPEC)] == [
+            "N=256", "N=1024", "N=4096", "N=16384"
+        ]
+
+    def test_unknown_axis(self):
+        with pytest.raises(ValueError):
+            sweep_tasks("warp", SPEC)
+
+
+class TestJournal:
+    def test_roundtrip(self, tmp_path):
+        j = SweepJournal(tmp_path / "j.jsonl")
+        assert not j.exists()
+        assert j.load() == {}
+        j.append("a", {"speedup": 2.0})
+        j.append("b", {"speedup": 3.0})
+        assert j.exists()
+        assert j.load() == {"a": {"speedup": 2.0}, "b": {"speedup": 3.0}}
+        j.clear()
+        assert not j.exists()
+
+    def test_creates_parent_dirs(self, tmp_path):
+        j = SweepJournal(tmp_path / "deep" / "er" / "j.jsonl")
+        j.append("a", {"speedup": 1.0})
+        assert j.load() == {"a": {"speedup": 1.0}}
+
+    def test_last_write_wins(self, tmp_path):
+        j = SweepJournal(tmp_path / "j.jsonl")
+        j.append("a", {"speedup": 1.0})
+        j.append("a", {"speedup": 2.0})
+        assert j.load() == {"a": {"speedup": 2.0}}
+
+    def test_truncated_line_is_loud(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = SweepJournal(path)
+        j.append("a", {"speedup": 1.0})
+        with path.open("a") as fh:
+            fh.write('{"key": "b", "payl')  # the crash mid-write
+        with pytest.raises(CheckpointCorruptionError):
+            j.load()
+
+    def test_missing_key_is_loud(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(json.dumps({"payload": {}}) + "\n")
+        with pytest.raises(CheckpointCorruptionError):
+            SweepJournal(path).load()
+
+
+class TestResilientSweep:
+    def test_matches_eager_sweep(self, tasks, tmp_path):
+        resilient = ResilientSweep(journal=tmp_path / "j.jsonl").run(tasks)
+        eager = [_point(t.label, t.device, t.spec) for t in tasks]
+        assert [p.speedup for p in resilient] == [p.speedup for p in eager]
+
+    def test_resume_skips_completed_points(self, tasks, tmp_path):
+        journal_path = tmp_path / "j.jsonl"
+        truth = ResilientSweep().run(tasks)  # uninterrupted reference run
+
+        # the sweep dies mid-grid: the third point fails persistently
+        def dies_on_third(task):
+            if task.label == tasks[2].label:
+                raise TransientModelError("injected crash")
+            return _point(task.label, task.device, task.spec)
+
+        crashing = ResilientSweep(
+            journal=journal_path, max_retries=0, point_fn=dies_on_third
+        )
+        with pytest.raises(TransientModelError):
+            crashing.run(tasks)
+        assert set(SweepJournal(journal_path).load()) == {t.label for t in tasks[:2]}
+
+        # a fresh process with the same journal path picks up where it died
+        computed = []
+
+        def counting(task):
+            computed.append(task.label)
+            return _point(task.label, task.device, task.spec)
+
+        resumed = ResilientSweep(journal=journal_path, point_fn=counting)
+        points = resumed.run(tasks)
+        assert resumed.resumed_labels == [t.label for t in tasks[:2]]
+        assert computed == [t.label for t in tasks[2:]]  # no recomputation
+        # and the resumed report equals the uninterrupted run
+        assert [(p.label, p.speedup) for p in points] == [
+            (p.label, p.speedup) for p in truth
+        ]
+
+    def test_second_run_computes_nothing(self, tasks, tmp_path):
+        journal_path = tmp_path / "j.jsonl"
+        ResilientSweep(journal=journal_path).run(tasks)
+        computed = []
+
+        def counting(task):
+            computed.append(task.label)
+            return _point(task.label, task.device, task.spec)
+
+        replay = ResilientSweep(journal=journal_path, point_fn=counting)
+        replay.run(tasks)
+        assert computed == []
+        assert replay.resumed_labels == [t.label for t in tasks]
+
+    def test_transient_errors_retried_with_backoff(self, tasks):
+        attempts = {"n": 0}
+
+        def flaky(task):
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise TransientModelError("transient")
+            return _point(task.label, task.device, task.spec)
+
+        sleeps = []
+        sweep = ResilientSweep(
+            max_retries=3, backoff_s=0.1, point_fn=flaky, sleep=sleeps.append
+        )
+        points = sweep.run(tasks[:1])
+        assert len(points) == 1
+        assert sleeps == [0.1, 0.2]  # doubling backoff, no real sleeping
+
+    def test_retries_exhausted_reraises(self, tasks):
+        def always_fails(task):
+            raise TransientModelError("permanently flaky")
+
+        sweep = ResilientSweep(
+            max_retries=2, point_fn=always_fails, sleep=lambda s: None
+        )
+        with pytest.raises(TransientModelError):
+            sweep.run(tasks[:1])
+
+    def test_timeout_guard(self, tasks):
+        with pytest.raises(ExperimentTimeoutError):
+            ResilientSweep(timeout_s=0.0).run(tasks[:1])
+
+    def test_no_journal_still_works(self, tasks):
+        points = ResilientSweep().run(tasks[:2])
+        assert len(points) == 2
+        assert all(p.speedup > 0 for p in points)

@@ -1,0 +1,193 @@
+"""ABFT acceptance tests: detection, exact recovery, graceful degradation.
+
+These pin the issue's acceptance criteria:
+
+* with injection disabled the instrumented fused kernel is bit-identical
+  to the unprotected one (the hooks are true no-ops);
+* adversarial atomic-commit faults are detected 100% of the time once the
+  corruption sits comfortably above the checksum tolerance;
+* selective CTA re-execution recovers the *exact* fault-free result;
+* exhausted retries degrade to the reference implementation with a
+  structured :class:`DegradedResultWarning` instead of raising.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import IMPLEMENTATIONS, ProblemSpec, generate, kernel_summation
+from repro.core.fused import FusedKernelSummation
+from repro.core.reference import expanded
+from repro.errors import DegradedResultWarning, FaultConfigError
+from repro.faults import FaultInjector, FaultSpec, fault_injection
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate(ProblemSpec(M=256, N=256, K=32, h=1.0, seed=5))
+
+
+@pytest.fixture(scope="module")
+def clean(data):
+    return FusedKernelSummation()(data)
+
+
+def _faulted_run(data, fspec, max_retries=2):
+    engine = FusedKernelSummation(abft=True, max_retries=max_retries)
+    injector = FaultInjector(fspec)
+    with fault_injection(injector):
+        V, report = engine.run_with_stats(data)
+    return V, report, injector
+
+
+class TestZeroCostWhenDisabled:
+    def test_abft_output_bit_identical(self, data, clean):
+        # the checksum layer observes; it must never perturb the result
+        assert np.array_equal(FusedKernelSummation(abft=True)(data), clean)
+
+    def test_fused_abft_registry_entry_bit_identical(self, data, clean):
+        from repro.core.tiling import PAPER_TILING
+
+        assert np.array_equal(IMPLEMENTATIONS["fused-abft"](data, PAPER_TILING), clean)
+
+    def test_padded_problem_bit_identical(self, small_problem):
+        plain = FusedKernelSummation()(small_problem)
+        assert np.array_equal(FusedKernelSummation(abft=True)(small_problem), plain)
+
+    def test_clean_run_reports_nothing(self, data):
+        V, report = FusedKernelSummation(abft=True).run_with_stats(data)
+        assert report.abft
+        assert report.ctas == 4  # 256/128 x 256/128
+        assert not report.detected
+        assert report.retries == 0
+        assert not report.degraded
+
+    def test_still_matches_reference_at_seed_tolerance(self, data, clean):
+        ref = expanded(data)
+        np.testing.assert_allclose(clean, ref, rtol=2e-4, atol=1e-4)
+
+
+class TestDetection:
+    @pytest.mark.parametrize("magnitude", [1.05, 2.0, 8.0, 64.0])
+    def test_atomic_scale_detected_100pct(self, data, magnitude):
+        # 1.05 is ~2x the empirical detection floor for this problem; every
+        # magnitude from there up must be caught on every seed
+        detected = injected = 0
+        for seed in range(10):
+            fspec = FaultSpec(site="atomic", model="scale", rate=1.0, seed=seed,
+                              magnitude=magnitude, max_injections=1, target="max_abs")
+            _, report, injector = _faulted_run(data, fspec)
+            if injector.injections:
+                injected += 1
+                detected += report.detected
+        assert injected == 10
+        assert detected == injected  # 100% detection
+
+    def test_below_tolerance_scale_is_accepted(self, data, clean):
+        # a perturbation inside the checksum tolerance is indistinguishable
+        # from rounding: not detected, and numerically harmless
+        fspec = FaultSpec(site="atomic", model="scale", rate=1.0, seed=0,
+                          magnitude=1.0001, max_injections=1, target="max_abs")
+        V, report, injector = _faulted_run(data, fspec)
+        assert injector.injections == 1
+        assert not report.detected
+        np.testing.assert_allclose(V, clean, rtol=1e-3)
+
+    @pytest.mark.parametrize("site", ["smem", "accumulator"])
+    def test_staging_and_accumulator_detected(self, data, site):
+        fspec = FaultSpec(site=site, model="scale", rate=1.0, seed=1,
+                          magnitude=8.0, max_injections=1, target="max_abs")
+        _, report, injector = _faulted_run(data, fspec)
+        assert injector.injections == 1
+        assert report.detected
+        assert report.detections[0].checks  # names the failing invariant
+
+    def test_dram_corruption_is_silent_by_design(self, data, clean):
+        # operand corruption feeds the checksum predictions too: ABFT is
+        # blind to it, and the result is wrong — the documented gap
+        fspec = FaultSpec(site="dram", model="scale", rate=1.0, seed=2,
+                          magnitude=8.0, max_injections=1, target="max_abs")
+        V, report, injector = _faulted_run(data, fspec)
+        assert injector.injections == 1
+        assert not report.detected
+        assert not np.array_equal(V, clean)
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("site", ["smem", "accumulator", "atomic"])
+    def test_single_upset_recovered_exactly(self, data, clean, site):
+        # max_injections=1: the retry re-executes the CTA fault-free, so
+        # the final vector must be bit-identical to the clean run
+        fspec = FaultSpec(site=site, model="scale", rate=1.0, seed=3,
+                          magnitude=8.0, max_injections=1, target="max_abs")
+        V, report, injector = _faulted_run(data, fspec)
+        assert injector.injections == 1
+        assert report.detected
+        assert report.retries >= 1
+        assert not report.degraded
+        assert np.array_equal(V, clean)
+
+    def test_recovery_on_padded_problem(self, small_problem):
+        plain = FusedKernelSummation()(small_problem)
+        fspec = FaultSpec(site="accumulator", model="scale", rate=1.0, seed=4,
+                          magnitude=8.0, max_injections=1, target="max_abs")
+        V, report, _ = _faulted_run(small_problem, fspec)
+        assert report.detected
+        assert np.array_equal(V, plain)
+
+    def test_bitflip_recovered(self, data, clean):
+        fspec = FaultSpec(site="atomic", model="bitflip", bit=30, rate=1.0,
+                          seed=6, max_injections=1, target="max_abs")
+        V, report, _ = _faulted_run(data, fspec)
+        assert report.detected
+        assert np.array_equal(V, clean)
+
+
+class TestDegradation:
+    def test_exhausted_retries_degrade_with_structured_warning(self, data):
+        # unlimited injections at rate 1: every re-execution is corrupted
+        # again, so retries run out and the reference path takes over
+        fspec = FaultSpec(site="atomic", model="scale", rate=1.0, seed=7,
+                          magnitude=8.0, target="max_abs")
+        engine = FusedKernelSummation(abft=True, max_retries=1)
+        with pytest.warns(DegradedResultWarning) as record:
+            with fault_injection(FaultInjector(fspec)):
+                V, report = engine.run_with_stats(data)
+        assert report.degraded
+        assert report.degraded_cta is not None
+        warning = record[0].message
+        assert warning.cta == report.degraded_cta
+        assert warning.attempts == 2  # max_retries + 1
+        # degraded means correct-but-slower, not wrong
+        np.testing.assert_allclose(V, expanded(data), rtol=1e-6)
+
+    def test_degradation_does_not_raise(self, data):
+        fspec = FaultSpec(site="accumulator", model="stuck", stuck_value=1e6,
+                          rate=1.0, seed=8, target="max_abs")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedResultWarning)
+            V = FusedKernelSummation(abft=True, max_retries=0,
+                                     fault_spec=fspec)(data)
+        assert np.isfinite(V).all()
+
+
+class TestApiIntegration:
+    def test_fault_spec_through_kernel_summation(self, data, clean):
+        fspec = FaultSpec(site="atomic", model="scale", rate=1.0, seed=9,
+                          magnitude=8.0, max_injections=1, target="max_abs")
+        V = kernel_summation(data.A, data.B, data.W, h=data.spec.h,
+                             implementation="fused", fault_spec=fspec)
+        assert np.array_equal(V, clean)  # ABFT auto-enabled and recovered
+
+    def test_fault_spec_rejected_for_unfused(self, data):
+        with pytest.raises(FaultConfigError):
+            kernel_summation(data.A, data.B, data.W,
+                             implementation="reference", fault_spec=FaultSpec())
+
+    def test_abft_false_under_injection_is_unprotected(self, data, clean):
+        fspec = FaultSpec(site="atomic", model="scale", rate=1.0, seed=10,
+                          magnitude=8.0, max_injections=1, target="max_abs")
+        V = kernel_summation(data.A, data.B, data.W, h=data.spec.h,
+                             implementation="fused", fault_spec=fspec, abft=False)
+        assert not np.array_equal(V, clean)  # the fault landed unchecked

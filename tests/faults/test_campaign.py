@@ -1,0 +1,83 @@
+"""Campaign driver tests: determinism, classification, rendering."""
+
+import pytest
+
+from repro.core import ProblemSpec
+from repro.errors import FaultConfigError
+from repro.faults import CampaignPoint, run_campaign
+
+SPEC = ProblemSpec(M=256, N=256, K=16, h=0.8, seed=7)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_campaign(spec=SPEC, trials=4, rates=(1.0,))
+
+
+class TestRunCampaign:
+    def test_deterministic(self, result):
+        again = run_campaign(spec=SPEC, trials=4, rates=(1.0,))
+        assert again.points == result.points
+
+    def test_one_point_per_cell(self, result):
+        assert len(result.points) == 4  # 4 sites x 1 rate
+        assert {p.site for p in result.points} == {"dram", "smem", "accumulator", "atomic"}
+
+    def test_atomic_detection_and_recovery_100pct(self, result):
+        p = result.point("atomic", 1.0)
+        assert p.injected == p.trials == 4
+        assert p.detection_rate == 1.0
+        assert p.recovery_rate == 1.0
+        assert p.silent_rate == 0.0
+
+    @pytest.mark.parametrize("site", ["smem", "accumulator"])
+    def test_upstream_sites_recovered(self, result, site):
+        p = result.point(site, 1.0)
+        assert p.detection_rate == 1.0
+        assert p.recovery_rate == 1.0
+
+    def test_dram_all_silent(self, result):
+        p = result.point("dram", 1.0)
+        assert p.injected == 4
+        assert p.detection_rate == 0.0
+        assert p.silent_rate == 1.0
+
+    def test_counts_are_consistent(self, result):
+        for p in result.points:
+            assert p.injected <= p.trials
+            assert p.recovered + p.degraded + p.silent + p.benign == p.injected
+
+    def test_unknown_point_raises(self, result):
+        with pytest.raises(KeyError):
+            result.point("atomic", 0.123)
+
+    def test_bad_trials_rejected(self):
+        with pytest.raises(FaultConfigError):
+            run_campaign(spec=SPEC, trials=0)
+
+
+class TestReport:
+    def test_figure_series(self, result):
+        fig = result.to_figure()
+        assert fig.figure == "fault-campaign"
+        assert set(fig.series) == {
+            "injected", "detection_rate", "recovery_rate",
+            "degraded_rate", "silent_rate",
+        }
+        assert len(fig.x_labels) == len(result.points)
+
+    def test_render_mentions_every_site(self, result):
+        text = result.render()
+        for site in ("dram", "smem", "accumulator", "atomic"):
+            assert site in text
+        assert "detection_rate" in text
+
+
+class TestCampaignPoint:
+    def test_rates_zero_when_nothing_injected(self):
+        p = CampaignPoint(site="atomic", rate=0.0, trials=5, injected=0,
+                          detected=0, recovered=0, degraded=0, silent=0, benign=0)
+        assert p.detection_rate == 0.0
+        assert p.recovery_rate == 0.0
+        assert p.silent_rate == 0.0
+        assert p.degraded_rate == 0.0

@@ -1,0 +1,172 @@
+"""FaultSpec validation and FaultInjector determinism/bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultConfigError, ReproError
+from repro.faults import (
+    FAULT_MODELS,
+    FAULT_SITES,
+    FaultInjector,
+    FaultSpec,
+    active_injector,
+    fault_injection,
+)
+
+
+class TestFaultSpec:
+    def test_defaults_valid(self):
+        spec = FaultSpec()
+        assert spec.site in FAULT_SITES
+        assert spec.model in FAULT_MODELS
+
+    @pytest.mark.parametrize("bad", [
+        dict(site="register"),
+        dict(model="cosmic"),
+        dict(rate=-0.1),
+        dict(rate=1.5),
+        dict(bit=64),
+        dict(bit=-1),
+        dict(max_injections=-1),
+        dict(target="min_abs"),
+        dict(model="scale", magnitude=1.0),
+    ])
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(FaultConfigError):
+            FaultSpec(**bad)
+
+    def test_fault_config_error_is_value_error(self):
+        with pytest.raises(ValueError):
+            FaultSpec(site="register")
+        with pytest.raises(ReproError):
+            FaultSpec(site="register")
+
+    def test_with_replaces(self):
+        spec = FaultSpec(site="smem", rate=0.5)
+        other = spec.with_(rate=0.25, seed=9)
+        assert (other.site, other.rate, other.seed) == ("smem", 0.25, 9)
+        assert spec.rate == 0.5  # frozen original untouched
+
+    def test_describe(self):
+        assert FaultSpec(site="atomic", model="scale", magnitude=4).describe() == \
+            "atomic:scale(x4)@rate=1"
+        assert "cap=1" in FaultSpec(max_injections=1).describe()
+        assert "stuck(0)" in FaultSpec(model="stuck").describe()
+
+
+class TestFaultInjector:
+    def test_deterministic_replay(self):
+        spec = FaultSpec(site="smem", model="bitflip", rate=0.5, seed=11)
+        vals = np.linspace(-1, 1, 64, dtype=np.float32)
+        runs = []
+        for _ in range(2):
+            inj = FaultInjector(spec)
+            outs = [inj.corrupt_array("smem", vals.copy()) for _ in range(20)]
+            runs.append(([o.tolist() for o in outs], inj.injections))
+        assert runs[0] == runs[1]
+
+    def test_site_mismatch_is_noop(self):
+        inj = FaultInjector(FaultSpec(site="atomic", rate=1.0))
+        vals = np.ones(4, dtype=np.float32)
+        out = inj.corrupt_array("smem", vals)
+        assert out is vals  # same object, rng not advanced
+        assert inj.opportunities == 0
+        assert inj.injections == 0
+
+    def test_rate_zero_never_fires(self):
+        inj = FaultInjector(FaultSpec(site="smem", rate=0.0))
+        vals = np.ones(8, dtype=np.float32)
+        for _ in range(50):
+            assert inj.corrupt_array("smem", vals) is vals
+        assert inj.opportunities == 50 and inj.injections == 0
+
+    def test_injection_budget(self):
+        inj = FaultInjector(FaultSpec(site="smem", rate=1.0, max_injections=2))
+        vals = np.ones(8, dtype=np.float32)
+        fired = sum(inj.corrupt_array("smem", vals) is not vals for _ in range(10))
+        assert fired == 2
+        assert inj.injections == 2
+        assert inj.by_site() == {"smem": 2}
+
+    def test_corruption_is_a_copy(self):
+        inj = FaultInjector(FaultSpec(site="accumulator", model="stuck",
+                                      stuck_value=99.0, rate=1.0))
+        vals = np.zeros(4, dtype=np.float32)
+        out = inj.corrupt_array("accumulator", vals)
+        assert out is not vals
+        assert np.all(vals == 0.0)  # the original is untouched
+        assert np.count_nonzero(out == 99.0) == 1
+
+    def test_bitflip_is_involutive(self):
+        # flipping the same bit twice restores the value exactly
+        spec = FaultSpec(site="smem", model="bitflip", bit=20, rate=1.0)
+        vals = np.array([3.7], dtype=np.float32)
+        once = FaultInjector(spec).corrupt_array("smem", vals)
+        twice = FaultInjector(spec).corrupt_array("smem", once)
+        assert once[0] != vals[0]
+        assert twice[0] == vals[0]
+
+    def test_scale_and_max_abs_target(self):
+        spec = FaultSpec(site="atomic", model="scale", magnitude=2.0,
+                         rate=1.0, target="max_abs")
+        inj = FaultInjector(spec)
+        vals = np.array([1.0, -5.0, 2.0], dtype=np.float32)
+        out = inj.corrupt_array("atomic", vals)
+        assert out.tolist() == [1.0, -10.0, 2.0]
+        event = inj.events[0]
+        assert (event.index, event.old, event.new) == (1, -5.0, -10.0)
+        assert "atomic" in event.describe()
+
+    def test_corrupt_scalar(self):
+        inj = FaultInjector(FaultSpec(site="atomic", model="stuck",
+                                      stuck_value=-1.0, rate=1.0))
+        assert inj.corrupt_scalar("atomic", 7.0) == -1.0
+        assert inj.corrupt_scalar("smem", 7.0) == 7.0
+
+    def test_float64_bitflip(self):
+        spec = FaultSpec(site="smem", model="bitflip", bit=52, rate=1.0)
+        vals = np.array([1.0], dtype=np.float64)
+        out = FaultInjector(spec).corrupt_array("smem", vals)
+        assert out[0] == 0.5  # clearing the exponent LSB of 1.0 halves it
+
+    def test_empty_array_skipped(self):
+        inj = FaultInjector(FaultSpec(site="smem", rate=1.0))
+        vals = np.empty(0, dtype=np.float32)
+        assert inj.corrupt_array("smem", vals) is vals
+
+    def test_reset_keeps_rng_stream(self):
+        inj = FaultInjector(FaultSpec(site="smem", rate=0.5, seed=3))
+        vals = np.ones(4, dtype=np.float32)
+        for _ in range(10):
+            inj.corrupt_array("smem", vals)
+        inj.reset()
+        assert inj.injections == 0 and inj.opportunities == 0
+
+
+class TestInjectionContext:
+    def test_disabled_by_default(self):
+        assert active_injector() is None
+
+    def test_context_arms_and_disarms(self):
+        spec = FaultSpec(site="smem")
+        with fault_injection(spec) as inj:
+            assert active_injector() is inj
+            assert inj.spec is spec
+        assert active_injector() is None
+
+    def test_nesting_restores_previous(self):
+        with fault_injection(FaultSpec(site="smem")) as outer:
+            with fault_injection(FaultSpec(site="atomic")) as inner:
+                assert active_injector() is inner
+            assert active_injector() is outer
+
+    def test_prebuilt_injector_reused(self):
+        inj = FaultInjector(FaultSpec(site="smem"))
+        with fault_injection(inj) as armed:
+            assert armed is inj
+
+    def test_disarmed_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with fault_injection(FaultSpec()):
+                raise RuntimeError("boom")
+        assert active_injector() is None

@@ -77,3 +77,29 @@ class TestValidate:
         assert rc == 0
         out = capsys.readouterr().out
         assert "fused" in out and "evalsum" in out
+
+
+class TestFaults:
+    def test_faults_defaults(self):
+        args = build_parser().parse_args(["faults"])
+        assert (args.M, args.N, args.K) == (256, 256, 16)
+        assert args.model == "scale"
+        assert args.rates == [0.25, 1.0]
+
+    def test_faults_campaign_report(self, capsys):
+        rc = main(["faults", "--trials", "3", "--rates", "1.0",
+                   "--sites", "atomic", "dram"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fault-campaign" in out
+        assert "detection_rate" in out
+        assert "atomic r=1" in out and "dram r=1" in out
+
+    def test_faults_bad_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "--model", "gamma-ray"])
+
+    def test_faults_bad_trials(self, capsys):
+        rc = main(["faults", "--trials", "0"])
+        assert rc == 2
+        assert "bad campaign configuration" in capsys.readouterr().err

@@ -1,0 +1,110 @@
+"""Exception taxonomy: hierarchy, builtin compatibility, and messages."""
+
+import numpy as np
+import pytest
+
+from repro.core import kernel_summation, make_problem
+from repro.core.kernels import get_kernel
+from repro.core.problem import ProblemSpec
+from repro.errors import (
+    CheckpointCorruptionError,
+    DegradedResultWarning,
+    ExperimentTimeoutError,
+    FaultConfigError,
+    InvalidProblemError,
+    ReproError,
+    TransientModelError,
+    UnknownImplementationError,
+    UnknownKernelError,
+)
+
+
+def _arrays(M=8, N=8, K=4, dtype=np.float32):
+    rng = np.random.default_rng(0)
+    return (rng.normal(size=(M, K)).astype(dtype),
+            rng.normal(size=(K, N)).astype(dtype),
+            rng.normal(size=N).astype(dtype))
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("cls,builtin", [
+        (InvalidProblemError, ValueError),
+        (UnknownImplementationError, KeyError),
+        (UnknownKernelError, KeyError),
+        (FaultConfigError, ValueError),
+        (TransientModelError, RuntimeError),
+        (ExperimentTimeoutError, TimeoutError),
+        (CheckpointCorruptionError, ValueError),
+    ])
+    def test_dual_inheritance(self, cls, builtin):
+        # every taxonomy member is both a ReproError (classifiable by the
+        # harness) and its historical builtin (downstream `except` clauses)
+        assert issubclass(cls, ReproError)
+        assert issubclass(cls, builtin)
+
+    def test_key_errors_have_readable_str(self):
+        # plain KeyError.__str__ repr-quotes the message; ours must not
+        err = UnknownImplementationError("unknown implementation 'x'")
+        assert str(err) == "unknown implementation 'x'"
+
+    def test_degraded_warning_is_structured(self):
+        w = DegradedResultWarning("fell back", cta=(1, 2), attempts=3)
+        assert isinstance(w, UserWarning)
+        assert w.cta == (1, 2)
+        assert w.attempts == 3
+
+
+class TestApiMessages:
+    def test_unknown_implementation_message(self):
+        A, B, W = _arrays()
+        with pytest.raises(UnknownImplementationError, match="warp-drive"):
+            kernel_summation(A, B, W, implementation="warp-drive")
+        with pytest.raises(KeyError, match="available"):
+            kernel_summation(A, B, W, implementation="warp-drive")
+
+    def test_unknown_kernel_message(self):
+        A, B, W = _arrays()
+        with pytest.raises(UnknownKernelError, match="sinc"):
+            kernel_summation(A, B, W, kernel="sinc")
+        with pytest.raises(UnknownKernelError, match="gaussian"):
+            get_kernel("sinc")  # the message lists what IS available
+
+    def test_shape_mismatch_message(self):
+        A, B, W = _arrays()
+        with pytest.raises(InvalidProblemError, match="K dimensions disagree"):
+            make_problem(A, B[:-1], W)
+
+    def test_weight_length_message(self):
+        A, B, W = _arrays()
+        with pytest.raises(InvalidProblemError, match="length N=8"):
+            make_problem(A, B, W[:-1])
+
+    def test_empty_input_message(self):
+        A, B, W = _arrays()
+        with pytest.raises(InvalidProblemError, match="empty point sets"):
+            make_problem(A[:0], B, W)
+
+    def test_nan_input_message(self):
+        A, B, W = _arrays()
+        A[0, 0] = np.nan
+        with pytest.raises(InvalidProblemError, match="A contains NaN or Inf"):
+            make_problem(A, B, W)
+
+    def test_mixed_dtype_message(self):
+        A, B, W = _arrays()
+        with pytest.raises(InvalidProblemError, match="share one dtype"):
+            make_problem(A, B.astype(np.float64), W)
+
+    def test_bad_spec_is_invalid_problem(self):
+        with pytest.raises(InvalidProblemError):
+            ProblemSpec(M=0, N=8, K=4)
+        with pytest.raises(ValueError):  # builtin compatibility
+            ProblemSpec(M=8, N=8, K=4, h=-1.0)
+
+    def test_fault_config_message(self):
+        A, B, W = _arrays()
+        from repro.faults import FaultSpec
+
+        with pytest.raises(FaultConfigError, match="fused implementations"):
+            kernel_summation(A, B, W, implementation="cuda-unfused",
+                             fault_spec=FaultSpec())

@@ -55,6 +55,11 @@ PUBLIC_MODULES = [
     "repro.experiments.sweep",
     "repro.experiments.validation",
     "repro.experiments.io",
+    "repro.errors",
+    "repro.faults",
+    "repro.faults.spec",
+    "repro.faults.injector",
+    "repro.faults.campaign",
     "repro.cli",
 ]
 
