@@ -21,6 +21,7 @@ Quickstart::
     V = kernel_summation(A, B, W, h=0.5)           # fused, Gaussian kernel
 """
 
+from ._version import __version__
 from .core import (
     IMPLEMENTATIONS,
     KERNELS,
@@ -42,7 +43,6 @@ from .experiments import ExperimentRunner
 from .gpu import GTX970, DeviceSpec, get_device
 from .perf import Calibration, model_run
 
-__version__ = "1.0.0"
 
 __all__ = [
     "kernel_summation",

@@ -1,0 +1,30 @@
+"""Single source of the package version.
+
+The version is read from the installed package metadata so wheels and
+editable installs agree with ``pyproject.toml``; the literal fallback keeps
+``PYTHONPATH=src`` checkouts (CI, development) working without an install.
+Every trace/metrics/profile export stamps this value into its header for
+provenance — a committed ``BENCH_profile.json`` records which code produced
+it.
+"""
+
+from __future__ import annotations
+
+__all__ = ["__version__"]
+
+#: fallback for uninstalled source checkouts; keep in sync with pyproject.toml
+_FALLBACK_VERSION = "1.0.0"
+
+
+def _detect_version() -> str:
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - importlib.metadata is 3.8+
+        return _FALLBACK_VERSION
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        return _FALLBACK_VERSION
+
+
+__version__ = _detect_version()

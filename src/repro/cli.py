@@ -13,7 +13,15 @@ writing any code:
 * ``reproduce`` — run the whole reproduction and print the claim report;
 * ``selftest``  — numerical parity of every implementation vs the reference;
 * ``sweep``     — device-sensitivity sweeps of the fused speedup;
-* ``faults``    — fault-injection campaign exercising the ABFT recovery path.
+* ``faults``    — fault-injection campaign exercising the ABFT recovery path;
+* ``profile``   — collect the observability profile (spans, counters,
+  modelled metrics) and optionally gate it against a baseline.
+
+Global observability flags (see :mod:`repro.obs` and docs/OBSERVABILITY.md):
+``--log-level`` turns on structured key=value logging, ``--trace PATH``
+records a Chrome-trace span file for any command; the ``REPRO_LOG``,
+``REPRO_TRACE`` and ``REPRO_METRICS`` environment variables do the same
+without touching the command line.
 """
 
 from __future__ import annotations
@@ -24,6 +32,8 @@ import time
 from typing import Callable, Dict
 
 import numpy as np
+
+from ._version import __version__
 
 __all__ = ["main", "build_parser"]
 
@@ -42,6 +52,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Fused GPGPU kernel summation — paper reproduction toolkit",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default=None,
+        help="enable structured key=value logging at this level "
+        "(equivalent to REPRO_LOG=<level>)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a Chrome-trace span file for this command "
+        "(equivalent to REPRO_TRACE=<path>; load in Perfetto / chrome://tracing)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -110,6 +137,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-retries", type=int, default=2,
                    help="CTA re-executions before degrading to the reference")
     p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "profile",
+        help="collect the observability profile and gate it against a baseline",
+    )
+    p.add_argument("--grid", choices=["quick", "table", "paper"], default="paper",
+                   help="experiment grid to model")
+    p.add_argument("--quick", action="store_true",
+                   help="shorthand for --grid quick (the CI-sized sweep)")
+    p.add_argument("--output", "-o", default=None, metavar="PATH",
+                   help="write the profile JSON here "
+                   "(default: benchmarks/results/BENCH_profile.json)")
+    p.add_argument("--baseline", default=None, metavar="PATH",
+                   help="compare against this committed profile and fail on drift")
+    p.add_argument("--rtol", type=float, default=0.02,
+                   help="relative drift tolerance for --baseline (default 0.02)")
+    p.add_argument("--no-functional", action="store_true",
+                   help="skip the wall-timed functional executions")
 
     return parser
 
@@ -313,6 +358,32 @@ def _cmd_selftest(args) -> int:
     return 1 if bad else 0
 
 
+def _cmd_profile(args) -> int:
+    from .obs.profiling import (
+        collect_profile,
+        compare_profiles,
+        load_profile,
+        render_profile,
+        write_profile,
+    )
+
+    grid = "quick" if args.quick else args.grid
+    profile = collect_profile(grid=grid, functional=not args.no_functional)
+    out = args.output or "benchmarks/results/BENCH_profile.json"
+    write_profile(profile, out)
+    print(render_profile(profile))
+    print(f"profile written to {out}")
+    if args.baseline:
+        drifts = compare_profiles(load_profile(args.baseline), profile, rtol=args.rtol)
+        if drifts:
+            print(f"\nREGRESSION vs {args.baseline}:", file=sys.stderr)
+            for d in drifts:
+                print(f"  {d}", file=sys.stderr)
+            return 1
+        print(f"no drift vs {args.baseline} (rtol={args.rtol:g})")
+    return 0
+
+
 def _cmd_reproduce(args) -> int:
     from .experiments import full_reproduction_report
 
@@ -323,6 +394,10 @@ def _cmd_reproduce(args) -> int:
 
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit status."""
+    import os
+
+    from . import obs
+
     args = build_parser().parse_args(argv)
     handlers = {
         "solve": _cmd_solve,
@@ -336,12 +411,37 @@ def main(argv=None) -> int:
         "selftest": _cmd_selftest,
         "sweep": _cmd_sweep,
         "faults": _cmd_faults,
+        "profile": _cmd_profile,
     }
+
+    # Observability: environment first, then explicit flags on top.
+    env = dict(os.environ)
+    if args.log_level:
+        env["REPRO_LOG"] = args.log_level
+    state = obs.configure_from_env(env)
+    trace_path = args.trace or state["trace_path"]
+    # `profile` always traces and counts — its exports are the deliverable.
+    if obs.active_tracer() is None and (
+        trace_path or state["tracing"] or args.command == "profile"
+    ):
+        obs.enable_tracing()
+    if obs.active_metrics() is None and args.command == "profile":
+        obs.enable_metrics()
+    tracer = obs.active_tracer()
+
     try:
-        return handlers[args.command](args)
+        status = handlers[args.command](args)
     except BrokenPipeError:
         # output piped into a closed reader (e.g. `| head`) — not an error
-        return 0
+        status = 0
+    finally:
+        obs.disable_tracing()
+        obs.disable_metrics()
+
+    if tracer is not None and trace_path:
+        out = obs.write_chrome_trace(tracer, trace_path)
+        print(f"trace written to {out} ({len(tracer)} spans)", file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":

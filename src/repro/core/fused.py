@@ -43,6 +43,7 @@ pre-ABFT arithmetic, bit for bit.
 
 from __future__ import annotations
 
+import logging
 import warnings
 from dataclasses import dataclass, field
 from typing import List, Literal, Optional, Tuple
@@ -52,6 +53,9 @@ import numpy as np
 from ..errors import DegradedResultWarning, InvalidProblemError
 from ..faults.injector import FaultInjector, active_injector
 from ..faults.spec import FaultSpec
+from ..obs.log import get_logger, log_event
+from ..obs.metrics import counter_inc
+from ..obs.tracer import span
 from .kernels import get_kernel
 from .problem import ProblemData
 from .tiling import PAPER_TILING, TilingConfig
@@ -64,6 +68,8 @@ __all__ = [
 ]
 
 CtaOrder = Literal["rowmajor", "colmajor", "shuffled"]
+
+_log = get_logger("core.fused")
 
 #: default relative checksum tolerances per dtype, expressed against the
 #: L1 mass of the checked quantity (cancellation-safe; see ``_rtol``)
@@ -184,44 +190,68 @@ class FusedKernelSummation:
         V = np.zeros(Mp, dtype=dt)
         rtol = self._rtol(dt) if self.abft else 0.0
 
-        for bx, by in self._cta_sequence(grid_x, grid_y):
-            report.ctas += 1
-            r0, r1 = by * t.mc, (by + 1) * t.mc
-            c0, c1 = bx * t.nc, (bx + 1) * t.nc
+        with span(
+            "fused.run",
+            M=spec.M, N=spec.N, K=spec.K,
+            grid_x=grid_x, grid_y=grid_y, abft=self.abft,
+        ):
+            for bx, by in self._cta_sequence(grid_x, grid_y):
+                report.ctas += 1
+                r0, r1 = by * t.mc, (by + 1) * t.mc
+                c0, c1 = bx * t.nc, (bx + 1) * t.nc
 
-            for attempt in range(self.max_retries + 1):
-                delta, failed = self._cta_attempt(
-                    Ap, Bp, Wp, na, nb, kf, spec.h, dt,
-                    (bx, by), (r0, r1, c0, c1), k_iters, inj, rtol,
-                )
-                if not failed:
-                    break
-                report.detections.append(CtaDetection((bx, by), attempt, tuple(failed)))
-                if attempt < self.max_retries:
-                    report.retries += 1
-            else:
-                # retries exhausted: degrade to the unfused reference path,
-                # which keeps its intermediate in host memory and is outside
-                # every injection site
-                report.degraded = True
-                report.degraded_cta = (bx, by)
-                warnings.warn(
-                    DegradedResultWarning(
-                        f"ABFT retries exhausted on CTA ({bx}, {by}) after "
-                        f"{self.max_retries + 1} attempts "
-                        f"(checks failed: {', '.join(failed)}); "
-                        "returning the reference result",
-                        cta=(bx, by),
-                        attempts=self.max_retries + 1,
-                    ),
-                    stacklevel=2,
-                )
-                from .reference import expanded
+                with span("fused.cta", bx=bx, by=by):
+                    for attempt in range(self.max_retries + 1):
+                        delta, failed = self._cta_attempt(
+                            Ap, Bp, Wp, na, nb, kf, spec.h, dt,
+                            (bx, by), (r0, r1, c0, c1), k_iters, inj, rtol,
+                        )
+                        if not failed:
+                            break
+                        report.detections.append(
+                            CtaDetection((bx, by), attempt, tuple(failed))
+                        )
+                        counter_inc("faults.abft.detections")
+                        log_event(
+                            _log, logging.INFO, "abft_detected",
+                            cta=f"({bx},{by})", attempt=attempt,
+                            checks=",".join(failed),
+                        )
+                        if attempt < self.max_retries:
+                            report.retries += 1
+                            counter_inc("faults.abft.retries")
+                    else:
+                        # retries exhausted: degrade to the unfused reference
+                        # path, which keeps its intermediate in host memory
+                        # and is outside every injection site
+                        report.degraded = True
+                        report.degraded_cta = (bx, by)
+                        counter_inc("faults.abft.degraded")
+                        log_event(
+                            _log, logging.INFO, "abft_degraded",
+                            cta=f"({bx},{by})",
+                            attempts=self.max_retries + 1,
+                            checks=",".join(failed),
+                        )
+                        warnings.warn(
+                            DegradedResultWarning(
+                                f"ABFT retries exhausted on CTA ({bx}, {by}) after "
+                                f"{self.max_retries + 1} attempts "
+                                f"(checks failed: {', '.join(failed)}); "
+                                "returning the reference result",
+                                cta=(bx, by),
+                                attempts=self.max_retries + 1,
+                            ),
+                            stacklevel=2,
+                        )
+                        from .reference import expanded
 
-                return expanded(data), report
+                        with span("fused.degraded_reference"):
+                            return expanded(data), report
 
-            # Inter-CTA reduction (line 21): atomicAdd into the result.
-            V[r0:r1] += delta
+                # Inter-CTA reduction (line 21): atomicAdd into the result.
+                with span("fused.reduce.inter_cta", bx=bx, by=by):
+                    V[r0:r1] += delta
 
         return V[: spec.M], report
 
@@ -258,21 +288,23 @@ class FusedKernelSummation:
         if check:
             pred_colsum = np.zeros(t.nc, dtype=np.float64)
             scale_colsum = np.zeros(t.nc, dtype=np.float64)
-        for ki in range(k_iters):
-            k0, k1 = ki * t.kc, (ki + 1) * t.kc
-            a_panel = Ap[r0:r1, k0:k1]
-            b_panel = Bp[k0:k1, c0:c1]
-            if check:
-                # checksum prediction straight from the DRAM operands,
-                # independent of the staged copies the compute consumes
-                b64 = b_panel.astype(np.float64)
-                pred_colsum += a_panel.sum(axis=0, dtype=np.float64) @ b64
-                scale_colsum += np.abs(a_panel).sum(axis=0, dtype=np.float64) @ np.abs(b64)
-            if inj is not None:
-                # injection site "smem": the staged shared-memory copies
-                a_panel = inj.corrupt_array("smem", a_panel, where=f"{where}/tileA{ki}")
-                b_panel = inj.corrupt_array("smem", b_panel, where=f"{where}/tileB{ki}")
-            subC += a_panel @ b_panel
+        with span("fused.gemm", k_iters=k_iters):
+            for ki in range(k_iters):
+                k0, k1 = ki * t.kc, (ki + 1) * t.kc
+                a_panel = Ap[r0:r1, k0:k1]
+                b_panel = Bp[k0:k1, c0:c1]
+                if check:
+                    # checksum prediction straight from the DRAM operands,
+                    # independent of the staged copies the compute consumes
+                    b64 = b_panel.astype(np.float64)
+                    pred_colsum += a_panel.sum(axis=0, dtype=np.float64) @ b64
+                    scale_colsum += np.abs(a_panel).sum(axis=0, dtype=np.float64) @ np.abs(b64)
+                if inj is not None:
+                    # injection site "smem": the staged shared-memory copies
+                    a_panel = inj.corrupt_array("smem", a_panel, where=f"{where}/tileA{ki}")
+                    b_panel = inj.corrupt_array("smem", b_panel, where=f"{where}/tileB{ki}")
+                with span("fused.gemm.kpanel", ki=ki):
+                    subC += a_panel @ b_panel
 
         if inj is not None:
             # injection site "accumulator": the register-resident microtiles
@@ -285,19 +317,22 @@ class FusedKernelSummation:
                 failed.append("gemm-colsum")
 
         # Kernel evaluation straight out of "registers" (line 14).
-        sq = na[r0:r1, None] + nb[None, c0:c1] - dt.type(2.0) * subC
-        Kblk = kf.evaluate(sq, h)
+        with span("fused.kernel_eval"):
+            sq = na[r0:r1, None] + nb[None, c0:c1] - dt.type(2.0) * subC
+            Kblk = kf.evaluate(sq, h)
 
         # Intra-thread reduction (line 16): thread (tx, ty) row-sums its
         # 8 x 8 microtile against its 8 weights.  Equivalent reshaping:
-        gamma = (Kblk * Wp[None, c0:c1]).reshape(t.mc, t.block_dim_x, t.micro_n)
-        thread_partials = gamma.sum(axis=2, dtype=dt)  # (mc, 16)
+        with span("fused.reduce.intra_thread"):
+            gamma = (Kblk * Wp[None, c0:c1]).reshape(t.mc, t.block_dim_x, t.micro_n)
+            thread_partials = gamma.sum(axis=2, dtype=dt)  # (mc, 16)
 
         # Intra-CTA reduction (line 20): one thread per row sums the 16
         # partials sequentially in tx order.
-        partialV = np.zeros(t.mc, dtype=dt)
-        for tx in range(t.block_dim_x):
-            partialV += thread_partials[:, tx]
+        with span("fused.reduce.intra_cta"):
+            partialV = np.zeros(t.mc, dtype=dt)
+            for tx in range(t.block_dim_x):
+                partialV += thread_partials[:, tx]
 
         if check:
             # weighted kernel-mass checksum for the reduction + commit:

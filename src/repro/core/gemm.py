@@ -19,6 +19,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..obs.tracer import span
 from .tiling import PAPER_TILING, TilingConfig
 
 __all__ = ["pad_to_tiles", "tiled_gemm", "TiledGemm"]
@@ -78,18 +79,23 @@ class TiledGemm:
 
         k_iters = Kp // t.kc
         grid_x, grid_y = Np // t.nc, Mp // t.mc
-        for by in range(grid_y):
-            r0, r1 = by * t.mc, (by + 1) * t.mc
-            for bx in range(grid_x):
-                c0, c1 = bx * t.nc, (bx + 1) * t.nc
-                acc = np.zeros((t.mc, t.nc), dtype=dt)
-                for ki in range(k_iters):
-                    k0, k1 = ki * t.kc, (ki + 1) * t.kc
-                    # rank-kc update; NumPy keeps float32 arithmetic for
-                    # float32 inputs, matching the GPU's FFMA chain.
-                    acc += Ap[r0:r1, k0:k1] @ Bp[k0:k1, c0:c1]
-                rr, cc = min(r1, M), min(c1, N)
-                C[r0:rr, c0:cc] = acc[: rr - r0, : cc - c0]
+        with span(
+            "gemm.tiled", M=M, N=N, K=K, grid_x=grid_x, grid_y=grid_y
+        ):
+            for by in range(grid_y):
+                r0, r1 = by * t.mc, (by + 1) * t.mc
+                for bx in range(grid_x):
+                    c0, c1 = bx * t.nc, (bx + 1) * t.nc
+                    with span("gemm.cta", bx=bx, by=by):
+                        acc = np.zeros((t.mc, t.nc), dtype=dt)
+                        for ki in range(k_iters):
+                            k0, k1 = ki * t.kc, (ki + 1) * t.kc
+                            # rank-kc update; NumPy keeps float32 arithmetic
+                            # for float32 inputs, matching the GPU's FFMA
+                            # chain.
+                            acc += Ap[r0:r1, k0:k1] @ Bp[k0:k1, c0:c1]
+                        rr, cc = min(r1, M), min(c1, N)
+                        C[r0:rr, c0:cc] = acc[: rr - r0, : cc - c0]
         return C
 
 

@@ -24,6 +24,8 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ..obs.metrics import counter_inc
+from ..obs.tracer import span
 from .gemm import TiledGemm
 from .kernels import get_kernel
 from .problem import ProblemData
@@ -61,26 +63,34 @@ class UnfusedPipeline:
         elem = dt.itemsize
         mn_bytes = spec.M * spec.N * elem
 
-        # Kernel 1: squared norms of both point sets.
-        norm_a = data.source_norms
-        norm_b = data.target_norms
+        with span(
+            "unfused.run", pipeline=self.name, M=spec.M, N=spec.N, K=spec.K
+        ):
+            # Kernel 1: squared norms of both point sets.
+            with span("unfused.norms"):
+                norm_a = data.source_norms
+                norm_b = data.target_norms
 
-        # Kernel 2: GEMM; output written back to "main memory".
-        if self.gemm is None:
-            C = (data.A @ data.B).astype(dt, copy=False)
-        else:
-            C = self.gemm(data.A, data.B)
-            if C.dtype != dt or C.shape != (spec.M, spec.N):
-                raise ValueError("gemm callable returned a mismatched array")
+            # Kernel 2: GEMM; output written back to "main memory".
+            with span("unfused.gemm"):
+                if self.gemm is None:
+                    C = (data.A @ data.B).astype(dt, copy=False)
+                else:
+                    C = self.gemm(data.A, data.B)
+                    if C.dtype != dt or C.shape != (spec.M, spec.N):
+                        raise ValueError("gemm callable returned a mismatched array")
 
-        # Kernel 3: distance assembly + kernel evaluation; reads C, writes K.
-        sq = norm_a[:, None] + norm_b[None, :] - dt.type(2.0) * C
-        Kmat = kf.evaluate(sq, spec.h)
+            # Kernel 3: distance assembly + kernel evaluation; reads C, writes K.
+            with span("unfused.kernel_eval"):
+                sq = norm_a[:, None] + norm_b[None, :] - dt.type(2.0) * C
+                Kmat = kf.evaluate(sq, spec.h)
 
-        # Kernel 4: GEMV against the weights.
-        V = (Kmat @ data.W).astype(dt, copy=False)
+            # Kernel 4: GEMV against the weights.
+            with span("unfused.gemv"):
+                V = (Kmat @ data.W).astype(dt, copy=False)
 
         # C is written once and read once; K likewise: 4 * M * N elements.
+        counter_inc("core.unfused.intermediate_bytes", 4 * mn_bytes)
         result = PipelineResult(V=V, intermediate_bytes=4 * mn_bytes)
         if keep_intermediates:
             result.intermediates = {"C": C, "K": Kmat, "norm_a": norm_a, "norm_b": norm_b}

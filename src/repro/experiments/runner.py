@@ -15,6 +15,7 @@ backoff, and every attempt is held to a wall-clock budget.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
@@ -24,10 +25,15 @@ from ..core.tiling import PAPER_TILING, TilingConfig
 from ..energy.model import EnergyBreakdown, EnergyModel
 from ..errors import ExperimentTimeoutError, TransientModelError
 from ..gpu.device import GTX970, DeviceSpec
+from ..obs.log import get_logger, log_event
+from ..obs.metrics import counter_inc
+from ..obs.tracer import span
 from ..perf.calibration import Calibration, DEFAULT_CALIBRATION
 from ..perf.pipeline import model_gemm, model_run
 
 __all__ = ["Metrics", "ExperimentRunner"]
+
+_log = get_logger("experiments.runner")
 
 
 @dataclass(frozen=True)
@@ -74,19 +80,27 @@ class ExperimentRunner:
         """Model one implementation on one problem (cached)."""
         key = self._key(implementation, spec)
         if key not in self._cache:
-            prof = model_run(implementation, spec, self.tiling, self.device, self.cal)
-            if self.energy_model.device is not self.device:
-                self.energy_model = EnergyModel(self.device)
-            self._cache[key] = Metrics(
+            counter_inc("experiments.cache.misses")
+            with span(
+                "experiment.run",
                 implementation=implementation,
-                spec=spec,
-                seconds=prof.total_seconds,
-                flop_efficiency=prof.flop_efficiency(),
-                l2_transactions=prof.l2_transactions,
-                dram_transactions=prof.dram_transactions,
-                l2_mpki=prof.l2_mpki(),
-                energy=self.energy_model.breakdown(prof),
-            )
+                M=spec.M, N=spec.N, K=spec.K,
+            ):
+                prof = model_run(implementation, spec, self.tiling, self.device, self.cal)
+                if self.energy_model.device is not self.device:
+                    self.energy_model = EnergyModel(self.device)
+                self._cache[key] = Metrics(
+                    implementation=implementation,
+                    spec=spec,
+                    seconds=prof.total_seconds,
+                    flop_efficiency=prof.flop_efficiency(),
+                    l2_transactions=prof.l2_transactions,
+                    dram_transactions=prof.dram_transactions,
+                    l2_mpki=prof.l2_mpki(),
+                    energy=self.energy_model.breakdown(prof),
+                )
+        else:
+            counter_inc("experiments.cache.hits")
         return self._cache[key]
 
     def run_with_retry(
@@ -111,9 +125,18 @@ class ExperimentRunner:
             t0 = time.perf_counter()
             try:
                 result = self.run(implementation, spec)
-            except TransientModelError:
+            except TransientModelError as exc:
                 if attempt >= max_retries:
                     raise
+                counter_inc("experiments.retries")
+                log_event(
+                    _log, logging.INFO, "retry",
+                    implementation=implementation,
+                    M=spec.M, N=spec.N, K=spec.K,
+                    attempt=attempt + 1,
+                    max_retries=max_retries,
+                    error=type(exc).__name__,
+                )
                 sleep(backoff_s * (2.0 ** attempt))
                 attempt += 1
                 continue

@@ -21,6 +21,7 @@ exactly where the previous process died.
 
 from __future__ import annotations
 
+import logging
 import pathlib
 import time
 from dataclasses import dataclass
@@ -29,8 +30,13 @@ from typing import Callable, List, Optional, Sequence, Union
 from ..core.problem import ProblemSpec
 from ..errors import ExperimentTimeoutError, TransientModelError
 from ..gpu.device import GTX970, DeviceSpec
+from ..obs.log import get_logger, log_event
+from ..obs.metrics import counter_inc
+from ..obs.tracer import span
 from .io import SweepJournal
 from .runner import ExperimentRunner
+
+_log = get_logger("experiments.sweep")
 
 __all__ = [
     "SweepPoint",
@@ -176,10 +182,19 @@ class ResilientSweep:
         while True:
             t0 = time.perf_counter()
             try:
-                point = self.point_fn(task)
-            except TransientModelError:
+                with span("sweep.point", label=task.label, device=task.device.name):
+                    point = self.point_fn(task)
+            except TransientModelError as exc:
                 if attempt >= self.max_retries:
                     raise
+                counter_inc("sweep.retries")
+                log_event(
+                    _log, logging.INFO, "retry",
+                    point=task.label,
+                    attempt=attempt + 1,
+                    max_retries=self.max_retries,
+                    error=type(exc).__name__,
+                )
                 self.sleep(self.backoff_s * (2.0 ** attempt))
                 attempt += 1
                 continue
@@ -200,11 +215,14 @@ class ResilientSweep:
             if task.label in done:
                 points.append(self._from_payload(task, done[task.label]))
                 self.resumed_labels.append(task.label)
+                counter_inc("sweep.points_resumed")
+                log_event(_log, logging.INFO, "resume", point=task.label)
                 continue
             point = self._attempt(task)
             if self.journal is not None:
                 self.journal.append(task.label, self._payload(point))
             points.append(point)
+            counter_inc("sweep.points_computed")
         return points
 
 

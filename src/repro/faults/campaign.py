@@ -21,6 +21,7 @@ figures (:func:`~repro.experiments.report.render_figure`).
 
 from __future__ import annotations
 
+import logging
 import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
@@ -31,10 +32,14 @@ from ..core.fused import FusedKernelSummation
 from ..core.problem import ProblemData, ProblemSpec, generate
 from ..core.tiling import PAPER_TILING, TilingConfig
 from ..errors import DegradedResultWarning, FaultConfigError
+from ..obs.log import get_logger, log_event
+from ..obs.tracer import span
 from .injector import FaultInjector, fault_injection
 from .spec import FAULT_SITES, FaultSpec
 
 __all__ = ["CampaignPoint", "CampaignResult", "run_campaign"]
+
+_log = get_logger("faults.campaign")
 
 
 @dataclass(frozen=True)
@@ -167,32 +172,40 @@ def run_campaign(
         (s, r) for s in sites for r in rates
     ):
         injected = detected = recovered = degraded = silent = benign = 0
-        for t in range(trials):
-            fspec = FaultSpec(
-                site=site,
-                model=model,
-                rate=rate,
-                seed=seed * 100_000 + cell * 1_000 + t,
-                magnitude=magnitude,
-                max_injections=1,
-                target="max_abs",
-            )
-            inj, was_detected, was_degraded, exact = _run_trial(
-                data, clean, fspec, tiling, max_retries
-            )
-            if inj.injections == 0:
-                continue  # the dice never fired: not an injected trial
-            injected += 1
-            if was_detected:
-                detected += 1
-            if was_degraded:
-                degraded += 1
-            elif was_detected and exact:
-                recovered += 1
-            if not was_detected and not exact:
-                silent += 1
-            if not was_detected and exact:
-                benign += 1
+        with span("campaign.cell", site=site, rate=rate, trials=trials):
+            for t in range(trials):
+                fspec = FaultSpec(
+                    site=site,
+                    model=model,
+                    rate=rate,
+                    seed=seed * 100_000 + cell * 1_000 + t,
+                    magnitude=magnitude,
+                    max_injections=1,
+                    target="max_abs",
+                )
+                with span("campaign.trial", trial=t):
+                    inj, was_detected, was_degraded, exact = _run_trial(
+                        data, clean, fspec, tiling, max_retries
+                    )
+                if inj.injections == 0:
+                    continue  # the dice never fired: not an injected trial
+                injected += 1
+                if was_detected:
+                    detected += 1
+                if was_degraded:
+                    degraded += 1
+                elif was_detected and exact:
+                    recovered += 1
+                if not was_detected and not exact:
+                    silent += 1
+                if not was_detected and exact:
+                    benign += 1
+        log_event(
+            _log, logging.INFO, "campaign_cell",
+            site=site, rate=rate, trials=trials, injected=injected,
+            detected=detected, recovered=recovered, degraded=degraded,
+            silent=silent, benign=benign,
+        )
         result.points.append(
             CampaignPoint(
                 site=site,

@@ -29,13 +29,18 @@ exit.
 
 from __future__ import annotations
 
+import logging
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Union
 
 import numpy as np
 
+from ..obs.log import get_logger, log_event
+from ..obs.metrics import counter_inc
 from .spec import FaultSpec
+
+_log = get_logger("faults.injector")
 
 __all__ = [
     "InjectionEvent",
@@ -144,9 +149,11 @@ class FaultInjector:
         idx = self._pick_index(flat)
         old = flat[idx].copy()
         flat[idx] = self._corrupt_element(flat[idx : idx + 1].reshape(()))
-        self.events.append(
-            InjectionEvent(site=site, where=where, index=idx, old=float(old), new=float(flat[idx]))
+        event = InjectionEvent(
+            site=site, where=where, index=idx, old=float(old), new=float(flat[idx])
         )
+        self.events.append(event)
+        self._observe(event)
         return out
 
     def corrupt_scalar(self, site: str, value: float, where: str = "") -> float:
@@ -155,10 +162,20 @@ class FaultInjector:
             return value
         old = np.float32(value)
         new = self._corrupt_element(np.asarray(old).reshape(()))
-        self.events.append(
-            InjectionEvent(site=site, where=where, index=0, old=float(old), new=float(new))
-        )
+        event = InjectionEvent(site=site, where=where, index=0, old=float(old), new=float(new))
+        self.events.append(event)
+        self._observe(event)
         return float(new)
+
+    @staticmethod
+    def _observe(event: InjectionEvent) -> None:
+        """Feed one performed corruption to the observability layer."""
+        counter_inc(f"faults.injections.{event.site}")
+        log_event(
+            _log, logging.DEBUG, "fault_injected",
+            site=event.site, where=event.where or "?",
+            index=event.index, old=event.old, new=event.new,
+        )
 
 
 #: the one process-wide active injector (None = injection disabled)

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..faults.injector import active_injector
+from ..obs.metrics import active_metrics, counter_inc
 
 __all__ = ["AtomicCostModel", "atomic_reduction_cycles", "atomic_add_word"]
 
@@ -47,6 +48,7 @@ def atomic_add_word(buffer: np.ndarray, index: int, value: float, where: str = "
     inj = active_injector()
     if inj is not None:
         value = inj.corrupt_scalar("atomic", value, where=where)
+    counter_inc("gpu.atomic.updates")
     buffer[index] = np.float32(buffer[index]) + np.float32(value)
 
 
@@ -86,9 +88,15 @@ def atomic_reduction_cycles(
         raise ValueError("the hottest address cannot exceed the total")
     if rtt_cycles <= 0 or throughput <= 0:
         raise ValueError("rtt and throughput must be positive")
-    return AtomicCostModel(
+    cost = AtomicCostModel(
         total_updates=total_updates,
         max_updates_per_address=max_updates_per_address,
         throughput_cycles=total_updates / throughput,
         serialization_cycles=max_updates_per_address * rtt_cycles,
     )
+    m = active_metrics()
+    if m is not None:
+        m.counter("gpu.atomic.modelled_updates").inc(total_updates)
+        m.counter("gpu.atomic.serialization_cycles").inc(cost.serialization_cycles)
+        m.counter("gpu.atomic.throughput_cycles").inc(cost.throughput_cycles)
+    return cost

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs.metrics import active_metrics
 from .device import DeviceSpec
 
 __all__ = ["DramModel", "DramTraffic"]
@@ -70,4 +71,13 @@ class DramModel:
 
     def transfer_time(self, traffic: DramTraffic, streaming_fraction: float = 1.0) -> float:
         """Seconds needed to move ``traffic`` at the sustained bandwidth."""
-        return traffic.total_bytes / self.sustained_bandwidth(streaming_fraction)
+        seconds = traffic.total_bytes / self.sustained_bandwidth(streaming_fraction)
+        m = active_metrics()
+        if m is not None:
+            m.counter("gpu.dram.read_bytes").inc(traffic.read_bytes)
+            m.counter("gpu.dram.write_bytes").inc(traffic.write_bytes)
+            m.counter("gpu.dram.sectors").inc(
+                traffic.transactions(self.device.dram_transaction_bytes)
+            )
+            m.histogram("gpu.dram.transfer_seconds").observe(seconds)
+        return seconds

@@ -17,6 +17,8 @@ from typing import Iterable
 
 import numpy as np
 
+from ..obs.metrics import active_metrics
+
 __all__ = ["CacheStats", "L2Cache"]
 
 
@@ -123,6 +125,9 @@ class L2Cache:
                 self.stats.read_hits += 1
             else:
                 self.stats.read_misses += 1
+        m = active_metrics()
+        if m is not None:
+            m.counter("gpu.l2.hits" if hit else "gpu.l2.misses").inc()
         return hit
 
     def access_many(self, byte_addresses: Iterable[int] | np.ndarray, write: bool = False) -> None:
@@ -140,6 +145,9 @@ class L2Cache:
             wb += sum(1 for e in s.values() if e[1])
             s.clear()
         self.stats.writebacks += wb
+        m = active_metrics()
+        if m is not None:
+            m.counter("gpu.l2.writebacks").inc(wb)
         return wb
 
     def reset_stats(self) -> None:

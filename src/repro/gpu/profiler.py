@@ -27,11 +27,15 @@ class KernelProfile:
     seconds: float
 
     def __post_init__(self) -> None:
-        if self.seconds <= 0:
-            raise ValueError("kernel time must be positive")
+        # zero is legal: degenerate edge sweeps (M=0/N=0 tiles masked out)
+        # model kernels that cost nothing, and aggregation must not crash
+        if self.seconds < 0:
+            raise ValueError("kernel time cannot be negative")
 
     @property
     def flop_rate(self) -> float:
+        if self.seconds == 0:
+            return 0.0
         return self.launch.counters.flops / self.seconds
 
     def flop_efficiency(self, device: DeviceSpec) -> float:
@@ -87,6 +91,8 @@ class ProfiledRun:
     def flop_efficiency(self) -> float:
         """Cycle-weighted FLOP efficiency across the pipeline (section V-A)."""
         total = self.kernel_seconds
+        if total == 0:
+            return 0.0
         return sum(
             p.flop_efficiency(self.device) * (p.seconds / total) for p in self.profiles
         )
@@ -100,7 +106,7 @@ class ProfiledRun:
         misses = self.counters.dram.read_bytes / self.device.l2_line_bytes
         instructions = self.thread_instructions
         if instructions <= 0:
-            raise ValueError("run executed no instructions")
+            return 0.0  # degenerate zero-work runs execute no instructions
         return 1000.0 * misses / instructions
 
     def summary(self) -> dict:
@@ -126,7 +132,7 @@ def format_nvprof(run: "ProfiledRun") -> str:
 
     One row per kernel: time, share of total, and the headline counters.
     """
-    total = run.kernel_seconds
+    total = run.kernel_seconds or 1.0  # all-zero-cost runs: avoid 0/0 shares
     header = (
         f"{'Time(%)':>8}  {'Time':>10}  {'FLOP eff':>9}  {'DRAM MB':>9}  "
         f"{'L2 Mtx':>8}  Name"

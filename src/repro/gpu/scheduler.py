@@ -13,6 +13,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from ..obs.metrics import DEFAULT_RATIO_BUCKETS, active_metrics
 from .device import DeviceSpec
 from .occupancy import occupancy
 
@@ -51,6 +52,12 @@ def plan_schedule(
     concurrent = occ.blocks_per_sm * device.num_sms
     waves = math.ceil(grid_blocks / concurrent)
     utilization = grid_blocks / (waves * concurrent)
+    m = active_metrics()
+    if m is not None:
+        m.counter("gpu.sched.launches").inc()
+        m.counter("gpu.sched.waves").inc(waves)
+        m.histogram("gpu.sched.utilization", DEFAULT_RATIO_BUCKETS).observe(utilization)
+        m.histogram("gpu.sched.occupancy", DEFAULT_RATIO_BUCKETS).observe(occ.occupancy)
     return SchedulePlan(
         grid_blocks=grid_blocks,
         blocks_per_sm=occ.blocks_per_sm,

@@ -21,6 +21,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..faults.injector import active_injector
+from ..obs.metrics import active_metrics
 
 __all__ = [
     "warp_transactions",
@@ -151,6 +152,10 @@ class SharedMemory:
         self.stats.load_requests += 1
         self.stats.load_transactions += tx
         self.stats.per_request_conflicts.append(tx - width)
+        m = active_metrics()
+        if m is not None:
+            m.counter("gpu.smem.load_transactions").inc(tx)
+            m.counter("gpu.smem.bank_conflicts").inc(tx - width)
         lanes = addrs.size
         if active_mask is None:
             active = np.ones(lanes, dtype=bool)
@@ -182,6 +187,10 @@ class SharedMemory:
         self.stats.store_requests += 1
         self.stats.store_transactions += tx
         self.stats.per_request_conflicts.append(tx - width)
+        m = active_metrics()
+        if m is not None:
+            m.counter("gpu.smem.store_transactions").inc(tx)
+            m.counter("gpu.smem.bank_conflicts").inc(tx - width)
         lanes = addrs.size
         if active_mask is None:
             active = np.ones(lanes, dtype=bool)

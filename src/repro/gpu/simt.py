@@ -34,6 +34,8 @@ from typing import Callable, Generator, Optional
 
 import numpy as np
 
+from ..obs.metrics import active_metrics
+from ..obs.tracer import span
 from .atomics import atomic_add_word
 from .sharedmem import SharedMemory
 
@@ -152,6 +154,26 @@ class Block:
         **kwargs,
     ) -> BlockRunStats:
         """Run ``kernel(ctx, *args, **kwargs)`` on every thread of the block."""
+        with span(
+            "simt.block",
+            kernel=getattr(kernel, "__name__", str(kernel)),
+            threads=self.num_threads,
+            warps=self.num_warps,
+        ):
+            stats = self._run(kernel, *args, **kwargs)
+        m = active_metrics()
+        if m is not None:
+            m.counter("gpu.simt.steps").inc(stats.steps)
+            m.counter("gpu.simt.barriers").inc(stats.barriers)
+            m.counter("gpu.simt.atomic_ops").inc(stats.atomic_ops)
+        return stats
+
+    def _run(
+        self,
+        kernel: Callable[..., Generator],
+        *args,
+        **kwargs,
+    ) -> BlockRunStats:
         ctxs = [ThreadCtx(t, self.block_dim, self.warp_size) for t in range(self.num_threads)]
         gens: list[Optional[Generator]] = [kernel(c, *args, **kwargs) for c in ctxs]
         # value to send into each generator at its next step (None initially)

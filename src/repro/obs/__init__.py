@@ -1,0 +1,142 @@
+"""repro.obs — unified tracing, metrics, and structured logging.
+
+Three observability primitives with one shared contract: *disabled costs
+nothing and changes nothing*.  Every hook in the library starts with a
+single global read (``active_tracer()`` / ``active_metrics()``) and an
+``is None`` test; no floating-point work happens on the disabled path, so
+numerical results stay bit-identical whether observability is on or off —
+the same discipline :mod:`repro.faults` established for injection hooks.
+
+* :mod:`repro.obs.tracer` — hierarchical span tracer (``span()``,
+  ``@traced``, thread-safe nesting, per-span attributes);
+* :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket histograms
+  fed live by the GPU model (L2 hits/misses, DRAM bytes, bank conflicts,
+  atomic serialization, scheduler stalls, ABFT events);
+* :mod:`repro.obs.log` — stdlib-logging-based ``key=value`` events with
+  span-context propagation (``REPRO_LOG`` env);
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto), JSON
+  lines, flat text, all version-stamped;
+* :mod:`repro.obs.profiling` — the machinery behind ``repro profile`` and
+  ``tools/check_regression.py`` (imported lazily; it pulls in the model
+  stack).
+
+Environment switches (read by :func:`configure_from_env`, which the CLI
+calls on startup): ``REPRO_TRACE=1`` or ``REPRO_TRACE=<path>`` arms the
+tracer (a path also writes the Chrome trace there on CLI exit),
+``REPRO_METRICS=1`` arms the metrics registry, and ``REPRO_LOG=<level>``
+installs the stderr key=value log handler.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from .export import (
+    chrome_trace,
+    export_header,
+    format_text,
+    metrics_report,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics,
+)
+from .log import configure_logging, format_fields, get_logger, log_event
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    active_metrics,
+    counter_inc,
+    disable_metrics,
+    enable_metrics,
+    metrics_collection,
+)
+from .tracer import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    active_tracer,
+    disable_tracing,
+    enable_tracing,
+    span,
+    traced,
+    tracing,
+)
+
+__all__ = [
+    # tracer
+    "Span",
+    "NULL_SPAN",
+    "Tracer",
+    "active_tracer",
+    "span",
+    "traced",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "active_metrics",
+    "enable_metrics",
+    "disable_metrics",
+    "metrics_collection",
+    "counter_inc",
+    # logging
+    "get_logger",
+    "log_event",
+    "format_fields",
+    "configure_logging",
+    # export
+    "export_header",
+    "chrome_trace",
+    "write_chrome_trace",
+    "to_jsonl",
+    "write_jsonl",
+    "format_text",
+    "metrics_report",
+    "write_metrics",
+    # env wiring
+    "configure_from_env",
+]
+
+_FALSEY = ("", "0", "false", "off", "no")
+
+
+def configure_from_env(environ: Optional[dict] = None) -> dict:
+    """Arm tracing/metrics/logging as the ``REPRO_*`` variables request.
+
+    Returns what was configured: ``{"tracing": bool, "trace_path":
+    Optional[str], "metrics": bool, "log_handler": Optional[Handler]}``.
+    Idempotent: an already-armed tracer/registry is left in place.
+    """
+    env = os.environ if environ is None else environ
+
+    trace_value = (env.get("REPRO_TRACE") or "").strip()
+    trace_on = trace_value.lower() not in _FALSEY
+    trace_path = (
+        trace_value
+        if trace_on and trace_value.lower() not in ("1", "true", "on", "yes")
+        else None
+    )
+    if trace_on and active_tracer() is None:
+        enable_tracing()
+
+    metrics_value = (env.get("REPRO_METRICS") or "").strip()
+    metrics_on = metrics_value.lower() not in _FALSEY
+    if metrics_on and active_metrics() is None:
+        enable_metrics()
+
+    handler = configure_logging(environ=env)
+
+    return {
+        "tracing": trace_on,
+        "trace_path": trace_path,
+        "metrics": metrics_on,
+        "log_handler": handler,
+    }

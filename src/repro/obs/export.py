@@ -1,0 +1,149 @@
+"""Trace and metrics exporters.
+
+Three span formats, all stamped with the package version for provenance:
+
+* **Chrome trace-event JSON** (:func:`chrome_trace`) — the ``traceEvents``
+  array of ``"ph": "X"`` complete events that Perfetto
+  (https://ui.perfetto.dev) and ``chrome://tracing`` load directly;
+* **JSON lines** (:func:`to_jsonl`) — one span per line after a header
+  record, for ``grep``/``jq`` pipelines over long campaigns;
+* **flat text** (:func:`format_text`) — an indented per-thread tree for
+  terminals and docs.
+
+Metrics snapshots export through :func:`metrics_report` /
+:func:`write_metrics` with the same header convention.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List, Union
+
+from .._version import __version__
+from .metrics import MetricsRegistry
+from .tracer import Tracer
+
+__all__ = [
+    "export_header",
+    "chrome_trace",
+    "write_chrome_trace",
+    "to_jsonl",
+    "write_jsonl",
+    "format_text",
+    "metrics_report",
+    "write_metrics",
+]
+
+PathLike = Union[str, pathlib.Path]
+
+
+def export_header() -> Dict[str, str]:
+    """Provenance stamp shared by every exporter."""
+    return {"repro_version": __version__, "generator": "repro.obs"}
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _span_args(span) -> Dict[str, Any]:
+    return {k: _jsonable(v) for k, v in span.attrs.items()}
+
+
+def chrome_trace(tracer: Tracer, process_name: str = "repro") -> dict:
+    """The trace as a Chrome trace-event JSON object (Perfetto-loadable)."""
+    events: List[dict] = [
+        {
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": process_name},
+        }
+    ]
+    for s in tracer.spans:
+        events.append(
+            {
+                "name": s.name,
+                "cat": s.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": round(s.start_us, 3),
+                "dur": round(s.dur_us, 3),
+                "pid": 0,
+                "tid": s.thread,
+                "args": _span_args(s),
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": export_header(),
+    }
+
+
+def write_chrome_trace(
+    tracer: Tracer, path: PathLike, process_name: str = "repro"
+) -> pathlib.Path:
+    """Serialize :func:`chrome_trace` to ``path``; returns the path."""
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(chrome_trace(tracer, process_name), indent=1))
+    return out
+
+
+def to_jsonl(tracer: Tracer) -> str:
+    """Header record plus one JSON object per span, newline-separated."""
+    lines = [json.dumps({"record": "header", **export_header()})]
+    for s in tracer.spans:
+        lines.append(
+            json.dumps(
+                {
+                    "record": "span",
+                    "name": s.name,
+                    "id": s.span_id,
+                    "parent": s.parent_id,
+                    "depth": s.depth,
+                    "tid": s.thread,
+                    "ts_us": round(s.start_us, 3),
+                    "dur_us": round(s.dur_us, 3),
+                    "attrs": _span_args(s),
+                }
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def write_jsonl(tracer: Tracer, path: PathLike) -> pathlib.Path:
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(to_jsonl(tracer))
+    return out
+
+
+def format_text(tracer: Tracer) -> str:
+    """Indented per-thread span tree for terminals."""
+    lines = [f"# trace (repro {__version__}, {len(tracer)} spans)"]
+    for s in tracer.spans:
+        attrs = " ".join(f"{k}={_jsonable(v)}" for k, v in s.attrs.items())
+        lines.append(
+            f"[t{s.thread}] "
+            + "  " * s.depth
+            + f"{s.name}  {s.dur_us:.1f}us"
+            + (f"  {attrs}" if attrs else "")
+        )
+    return "\n".join(lines)
+
+
+def metrics_report(registry: MetricsRegistry) -> dict:
+    """A metrics snapshot wrapped with the provenance header."""
+    return {**export_header(), "metrics": registry.snapshot()}
+
+
+def write_metrics(registry: MetricsRegistry, path: PathLike) -> pathlib.Path:
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(metrics_report(registry), indent=1))
+    return out

@@ -1,0 +1,129 @@
+"""Structured logging on top of the stdlib ``logging`` package.
+
+Every event the library emits goes through :func:`log_event`, which renders
+``key=value`` pairs (grep-able, machine-splittable) and automatically
+prepends the active span's name when tracing is on — so a campaign log line
+reads::
+
+    ts=2026-08-06T12:00:00 level=INFO logger=repro.core.fused \
+        event=abft_degraded span=fused.cta cta=(1,0) attempts=3
+
+Nothing is printed unless the user opts in: :func:`configure_logging`
+installs a stderr handler on the ``repro`` logger at the level named by the
+``REPRO_LOG`` environment variable (``debug``/``info``/``warning``/...) or
+an explicit argument.  Without configuration the events still flow through
+the stdlib machinery, so applications embedding :mod:`repro` can route them
+with their own handlers.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+from typing import Any, Optional, TextIO
+
+from .tracer import active_tracer
+
+__all__ = [
+    "get_logger",
+    "log_event",
+    "format_fields",
+    "KeyValueFormatter",
+    "configure_logging",
+    "ENV_VAR",
+]
+
+#: environment variable naming the default log level
+ENV_VAR = "REPRO_LOG"
+
+_ROOT_NAME = "repro"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+    "critical": logging.CRITICAL,
+}
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``get_logger("faults")``)."""
+    return logging.getLogger(f"{_ROOT_NAME}.{name}" if name else _ROOT_NAME)
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    text = str(value)
+    if not text or any(ch in text for ch in ' "\n\t'):
+        return json.dumps(text)
+    return text
+
+
+def format_fields(**fields: Any) -> str:
+    """Render keyword arguments as a ``key=value`` sequence."""
+    return " ".join(f"{k}={_format_value(v)}" for k, v in fields.items())
+
+
+def log_event(
+    logger: logging.Logger, level: int, event: str, **fields: Any
+) -> None:
+    """Emit one structured event; span context is attached automatically."""
+    if not logger.isEnabledFor(level):
+        return  # skip formatting work entirely below the threshold
+    parts = [f"event={_format_value(event)}"]
+    tracer = active_tracer()
+    if tracer is not None:
+        current = tracer.current()
+        if current is not None:
+            parts.append(f"span={_format_value(current.name)}")
+    if fields:
+        parts.append(format_fields(**fields))
+    logger.log(level, " ".join(parts))
+
+
+class KeyValueFormatter(logging.Formatter):
+    """Formats records as ``ts=... level=... logger=... <message>``."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            fmt="ts=%(asctime)s level=%(levelname)s logger=%(name)s %(message)s",
+            datefmt="%Y-%m-%dT%H:%M:%S",
+        )
+
+
+def configure_logging(
+    level: Optional[str] = None,
+    stream: Optional[TextIO] = None,
+    environ: Optional[dict] = None,
+) -> Optional[logging.Handler]:
+    """Install (or replace) the package's stderr key=value handler.
+
+    ``level`` falls back to the ``REPRO_LOG`` environment variable; with
+    neither set this is a no-op returning ``None``, leaving log routing to
+    the embedding application.  Re-configuring replaces the previous
+    handler instead of stacking duplicates.
+    """
+    env = os.environ if environ is None else environ
+    chosen = level if level is not None else env.get(ENV_VAR)
+    if not chosen:
+        return None
+    name = str(chosen).strip().lower()
+    if name not in _LEVELS:
+        raise ValueError(
+            f"unknown log level {chosen!r}; use one of {sorted(_LEVELS)}"
+        )
+    logger = get_logger()
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(KeyValueFormatter())
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.setLevel(_LEVELS[name])
+    logger.propagate = False
+    return handler

@@ -1,0 +1,269 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The GPU model feeds this registry *live* while it simulates — L2 hits and
+misses as the cache services sectors, shared-memory transactions and bank
+conflicts per warp access, DRAM bytes per transfer, atomic serialization
+cycles, scheduler utilization, fault-injection and ABFT events — replacing
+the old end-of-run-aggregate-only reporting (``ProfiledRun`` remains a
+consumer of the analytical counters; this registry observes the *dynamic*
+simulators).
+
+Gating mirrors the tracer and the fault injector: instrumented code calls
+:func:`active_metrics` and pays nothing beyond one global read and an
+``is None`` test while collection is disabled.  No floating-point work
+happens on the disabled path, so results stay bit-identical.
+
+Histogram semantics: ``boundaries`` are upper bucket edges (inclusive,
+``value <= edge``); one overflow bucket catches everything beyond the last
+edge.  This matches the Prometheus/OpenMetrics ``le`` convention, so the
+snapshots are directly convertible.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "active_metrics",
+    "enable_metrics",
+    "disable_metrics",
+    "metrics_collection",
+    "counter_inc",
+    "DEFAULT_SECONDS_BUCKETS",
+    "DEFAULT_RATIO_BUCKETS",
+]
+
+#: decade-spaced edges for kernel times (1 us .. 10 s)
+DEFAULT_SECONDS_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+
+#: even edges for fractions such as occupancy/utilization/latency hiding
+DEFAULT_RATIO_BUCKETS: Tuple[float, ...] = (
+    0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0,
+)
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, n: Union[int, float] = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up; use a Gauge for deltas")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self._value}
+
+
+class Gauge:
+    """Last-written value (set, not accumulated)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    def set(self, value: Union[int, float]) -> None:
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "value": self._value}
+
+
+class Histogram:
+    """Fixed-boundary histogram with sum/count for mean recovery."""
+
+    __slots__ = ("name", "boundaries", "bucket_counts", "_sum", "_count", "_lock")
+
+    def __init__(self, name: str, boundaries: Sequence[float]) -> None:
+        edges = tuple(float(b) for b in boundaries)
+        if not edges:
+            raise ValueError("histogram needs at least one bucket boundary")
+        if any(b >= a for b, a in zip(edges, edges[1:])):
+            raise ValueError("bucket boundaries must be strictly increasing")
+        self.name = name
+        self.boundaries = edges
+        self.bucket_counts: List[int] = [0] * (len(edges) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: Union[int, float]) -> None:
+        v = float(value)
+        # value <= boundaries[i] lands in bucket i; beyond the last edge
+        # falls into the overflow bucket
+        idx = bisect.bisect_left(self.boundaries, v)
+        with self._lock:
+            self.bucket_counts[idx] += 1
+            self._sum += v
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "boundaries": list(self.boundaries),
+            "counts": list(self.bucket_counts),
+            "sum": self._sum,
+            "count": self._count,
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use, snapshot-able as a flat dict."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, factory, kind) -> Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = factory()
+            elif not isinstance(metric, kind):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {kind.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, lambda: Counter(name), Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name), Gauge)
+
+    def histogram(
+        self, name: str, boundaries: Sequence[float] = DEFAULT_SECONDS_BUCKETS
+    ) -> Histogram:
+        return self._get_or_create(name, lambda: Histogram(name, boundaries), Histogram)
+
+    def get(self, name: str) -> Optional[Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Scalar value of a counter/gauge (histograms: their sum)."""
+        metric = self.get(name)
+        if metric is None:
+            return default
+        if isinstance(metric, Histogram):
+            return metric.sum
+        return metric.value
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Point-in-time copy of every metric, sorted by name."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        return {name: metric.to_dict() for name, metric in items}
+
+    def render_text(self) -> str:
+        """Human-readable one-line-per-metric dump."""
+        lines = []
+        for name, payload in self.snapshot().items():
+            if payload["type"] == "histogram":
+                lines.append(
+                    f"{name}: count={payload['count']} sum={payload['sum']:g} "
+                    f"buckets={payload['counts']}"
+                )
+            else:
+                lines.append(f"{name}: {payload['value']:g}")
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._metrics
+
+
+#: the one process-wide active registry (None = collection disabled)
+_ACTIVE: Optional[MetricsRegistry] = None
+
+
+def active_metrics() -> Optional[MetricsRegistry]:
+    """The armed registry, or ``None`` — the single check every hook makes."""
+    return _ACTIVE
+
+
+def enable_metrics(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Arm a registry process-wide (a fresh one if none is given)."""
+    global _ACTIVE
+    _ACTIVE = registry if registry is not None else MetricsRegistry()
+    return _ACTIVE
+
+
+def disable_metrics() -> Optional[MetricsRegistry]:
+    """Disarm collection; returns the registry that was active, if any."""
+    global _ACTIVE
+    registry = _ACTIVE
+    _ACTIVE = None
+    return registry
+
+
+@contextmanager
+def metrics_collection(
+    registry: Optional[MetricsRegistry] = None,
+) -> Iterator[MetricsRegistry]:
+    """Arm collection for a ``with`` block; restores the previous registry."""
+    global _ACTIVE
+    previous = _ACTIVE
+    current = registry if registry is not None else MetricsRegistry()
+    _ACTIVE = current
+    try:
+        yield current
+    finally:
+        _ACTIVE = previous
+
+
+def counter_inc(name: str, n: Union[int, float] = 1) -> None:
+    """Increment a counter iff collection is enabled (hook convenience)."""
+    registry = _ACTIVE
+    if registry is not None:
+        registry.counter(name).inc(n)

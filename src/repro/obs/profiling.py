@@ -1,0 +1,251 @@
+"""Performance-trajectory collection and regression gating.
+
+``repro profile`` turns the paper sweep into a machine-readable record —
+the ``BENCH_profile.json`` the repository tracks — with two sections:
+
+* **model records** — the analytical performance model evaluated over an
+  experiment grid: modelled wall time, modelled cycles, L2/DRAM traffic,
+  MPKI, FLOP efficiency per (implementation, problem).  These are
+  deterministic, so any drift against the committed baseline is a code
+  change, and :func:`compare_profiles` gates on them;
+* **functional records** — one wall-timed execution of each functional
+  implementation on a representative shape (the paper's K=64, M=8192 point
+  for the full grids), run under the active tracer so the span timeline of
+  the real computation lands in the exported Chrome trace.  Wall times are
+  host-dependent and therefore *not* regression-gated.
+
+``tools/check_regression.py`` is a thin wrapper over
+:func:`compare_profiles`; CI runs it against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .._version import __version__
+from .tracer import span
+
+__all__ = [
+    "PROFILE_IMPLEMENTATIONS",
+    "TRACKED_METRICS",
+    "FUNCTIONAL_SPECS",
+    "collect_profile",
+    "model_record",
+    "functional_record",
+    "write_profile",
+    "load_profile",
+    "compare_profiles",
+    "render_profile",
+]
+
+PathLike = Union[str, pathlib.Path]
+
+#: the three implementations the paper compares head to head
+PROFILE_IMPLEMENTATIONS: Tuple[str, ...] = ("fused", "cublas-unfused", "cuda-unfused")
+
+#: deterministic model outputs the regression gate compares
+TRACKED_METRICS: Tuple[str, ...] = (
+    "modelled_seconds",
+    "modelled_cycles",
+    "l2_transactions",
+    "dram_transactions",
+    "dram_bytes",
+    "l2_mpki",
+    "flop_efficiency",
+)
+
+#: shape used for the wall-timed functional runs, per grid flavour
+FUNCTIONAL_SPECS: Dict[str, Tuple[int, int, int]] = {
+    "quick": (1024, 256, 32),     # CI-sized
+    "table": (8192, 1024, 64),    # the paper's K=64 overhead point
+    "paper": (8192, 1024, 64),
+}
+
+
+def _grids():
+    from ..experiments.configs import PAPER_GRID, SMALL_GRID, TABLE_GRID
+
+    return {"quick": SMALL_GRID, "table": TABLE_GRID, "paper": PAPER_GRID}
+
+
+def model_record(implementation: str, spec, device=None) -> dict:
+    """One analytical-model evaluation, flattened for the profile JSON."""
+    from ..gpu.device import GTX970
+    from ..perf.pipeline import model_run
+
+    device = device if device is not None else GTX970
+    t0 = time.perf_counter()
+    with span(
+        "profile.model",
+        implementation=implementation,
+        M=spec.M,
+        N=spec.N,
+        K=spec.K,
+    ):
+        run = model_run(implementation, spec, device=device)
+    wall = time.perf_counter() - t0
+    summary = run.summary()
+    return {
+        "implementation": implementation,
+        "M": spec.M,
+        "N": spec.N,
+        "K": spec.K,
+        "modelled_seconds": summary["total_seconds"],
+        "modelled_cycles": summary["total_seconds"] * device.core_clock_hz,
+        "l2_transactions": summary["l2_transactions"],
+        "dram_transactions": summary["dram_transactions"],
+        "dram_bytes": summary["dram_bytes"],
+        "l2_mpki": summary["l2_mpki"],
+        "flop_efficiency": summary["flop_efficiency"],
+        "model_wall_seconds": wall,
+    }
+
+
+def functional_record(implementation: str, spec) -> dict:
+    """One wall-timed functional execution under the active tracer."""
+    from ..core import IMPLEMENTATIONS, generate
+    from ..core.tiling import PAPER_TILING
+
+    data = generate(spec)
+    t0 = time.perf_counter()
+    with span(
+        "profile.functional",
+        implementation=implementation,
+        M=spec.M,
+        N=spec.N,
+        K=spec.K,
+    ):
+        IMPLEMENTATIONS[implementation](data, PAPER_TILING)
+    wall = time.perf_counter() - t0
+    return {
+        "implementation": implementation,
+        "M": spec.M,
+        "N": spec.N,
+        "K": spec.K,
+        "wall_seconds": wall,
+    }
+
+
+def collect_profile(
+    grid: str = "paper",
+    device=None,
+    implementations: Sequence[str] = PROFILE_IMPLEMENTATIONS,
+    functional: bool = True,
+) -> dict:
+    """Run the profile sweep; returns the ``BENCH_profile.json`` payload."""
+    from ..core.problem import ProblemSpec
+    from ..gpu.device import GTX970
+
+    grids = _grids()
+    if grid not in grids:
+        raise ValueError(f"unknown profile grid {grid!r}; use {sorted(grids)}")
+    device = device if device is not None else GTX970
+
+    with span("profile.collect", grid=grid, device=device.name):
+        records = [
+            model_record(impl, spec, device)
+            for impl in implementations
+            for spec in grids[grid].specs()
+        ]
+        profile = {
+            "schema": 1,
+            "repro_version": __version__,
+            "generated_by": "repro profile",
+            "device": device.name,
+            "grid": grid,
+            "records": records,
+        }
+        if functional:
+            m, n, k = FUNCTIONAL_SPECS[grid]
+            fspec = ProblemSpec(M=m, N=n, K=k)
+            profile["functional"] = [
+                functional_record(impl, fspec) for impl in implementations
+            ]
+    return profile
+
+
+def write_profile(profile: dict, path: PathLike) -> pathlib.Path:
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(profile, indent=1, sort_keys=True) + "\n")
+    return out
+
+
+def load_profile(path: PathLike) -> dict:
+    payload = json.loads(pathlib.Path(path).read_text())
+    if "records" not in payload:
+        raise ValueError(f"{path} is not a repro profile (no 'records' key)")
+    return payload
+
+
+def _index(profile: dict) -> Dict[tuple, dict]:
+    return {
+        (r["implementation"], r["M"], r["N"], r["K"]): r
+        for r in profile.get("records", [])
+    }
+
+
+def compare_profiles(
+    baseline: dict,
+    current: dict,
+    rtol: float = 0.02,
+    metrics: Sequence[str] = TRACKED_METRICS,
+) -> List[str]:
+    """Drift report: one line per tracked metric exceeding ``rtol``.
+
+    Every baseline record must exist in ``current`` (the baseline defines
+    the gate; the current run may cover a superset).  Returns an empty
+    list when everything is within tolerance.
+    """
+    if rtol < 0:
+        raise ValueError("tolerance cannot be negative")
+    drifts: List[str] = []
+    have = _index(current)
+    for key, base in sorted(_index(baseline).items()):
+        impl, m, n, k = key
+        point = f"{impl} M={m} N={n} K={k}"
+        cur = have.get(key)
+        if cur is None:
+            drifts.append(f"{point}: missing from the current profile")
+            continue
+        for metric in metrics:
+            b, c = base.get(metric), cur.get(metric)
+            if b is None or c is None:
+                drifts.append(f"{point}: metric {metric!r} absent")
+                continue
+            scale = max(abs(b), abs(c), 1e-300)
+            rel = abs(c - b) / scale
+            if rel > rtol:
+                drifts.append(
+                    f"{point}: {metric} drifted {rel * 100:.2f}% "
+                    f"(baseline {b:g}, current {c:g}, tolerance {rtol * 100:g}%)"
+                )
+    return drifts
+
+
+def render_profile(profile: dict) -> str:
+    """Terminal summary of one collected profile."""
+    lines = [
+        f"repro profile  version={profile['repro_version']} "
+        f"device={profile['device']} grid={profile['grid']} "
+        f"({len(profile['records'])} model points)",
+        f"{'implementation':18s} {'M':>8} {'K':>4} {'model ms':>10} "
+        f"{'DRAM MB':>9} {'MPKI':>7} {'FLOP eff':>9}",
+    ]
+    for r in profile["records"]:
+        lines.append(
+            f"{r['implementation']:18s} {r['M']:>8d} {r['K']:>4d} "
+            f"{r['modelled_seconds'] * 1e3:>10.3f} "
+            f"{r['dram_bytes'] / 1e6:>9.1f} {r['l2_mpki']:>7.2f} "
+            f"{r['flop_efficiency'] * 100:>8.1f}%"
+        )
+    for f in profile.get("functional", []):
+        lines.append(
+            f"functional {f['implementation']:18s} "
+            f"M={f['M']} N={f['N']} K={f['K']}  "
+            f"wall {f['wall_seconds'] * 1e3:.1f} ms (host)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,297 @@
+"""Hierarchical span tracer with a zero-cost disabled path.
+
+The paper's whole argument is profiler-driven: where inside a run the time
+goes, not just how much of it there is.  This module provides the span
+layer every subsystem hooks into:
+
+* :class:`Tracer` collects :class:`Span` records — named, nested, timed
+  regions with free-form attributes — across threads;
+* :func:`span` is the hook instrumented code calls.  While no tracer is
+  active it returns the shared :data:`NULL_SPAN` singleton, so a disabled
+  hook costs one global read, one ``is None`` test, and two no-op method
+  calls — and performs *no* floating-point work, keeping results
+  bit-identical to uninstrumented code (the same contract as
+  :func:`repro.faults.injector.active_injector`);
+* :func:`traced` wraps a whole function in a span;
+* :func:`tracing` / :func:`enable_tracing` / :func:`disable_tracing`
+  manage the process-wide active tracer.
+
+Exporters (Chrome trace-event JSON for Perfetto, flat text, JSON lines)
+live in :mod:`repro.obs.export`.
+
+Nesting is tracked per thread: each thread owns a stack, a span's parent is
+whatever that thread had open when the span started, and the exported
+``tid`` is a small stable integer assigned in order of first appearance so
+traces from the same program compare cleanly run to run.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Span",
+    "NULL_SPAN",
+    "Tracer",
+    "active_tracer",
+    "span",
+    "traced",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing",
+]
+
+
+class Span:
+    """One timed, attributed region of execution (a context manager).
+
+    Spans are created by :meth:`Tracer.span`, never directly; entering is
+    implicit in creation (the clock starts immediately) and ``__exit__``
+    stops the clock and files the record with the owning tracer.
+    """
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "depth",
+        "thread",
+        "start_us",
+        "dur_us",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        attrs: Dict[str, Any],
+        span_id: int,
+        parent_id: Optional[int],
+        depth: int,
+        thread: int,
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.thread = thread
+        self.start_us = 0.0
+        self.dur_us = 0.0
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach (or overwrite) attributes; chainable."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._exit_span(self)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, depth={self.depth}, dur_us={self.dur_us:.1f})"
+
+
+class _NullSpan:
+    """Shared do-nothing stand-in handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: the one null span every disabled hook shares (identity-testable)
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects nested spans, thread-safely.
+
+    ``clock`` is injectable (a zero-argument callable returning seconds) so
+    tests can produce deterministic timestamps; the default is
+    :func:`time.perf_counter`.  Timestamps are stored in microseconds
+    relative to tracer construction — the unit Chrome trace events use.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._t0 = clock()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._finished: List[Span] = []
+        self._next_id = 0
+        self._thread_ids: Dict[int, int] = {}
+
+    # -- internals ---------------------------------------------------------
+    def _now_us(self) -> float:
+        return (self._clock() - self._t0) * 1e6
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _thread_index(self) -> int:
+        ident = threading.get_ident()
+        with self._lock:
+            if ident not in self._thread_ids:
+                self._thread_ids[ident] = len(self._thread_ids)
+            return self._thread_ids[ident]
+
+    def _exit_span(self, s: Span) -> None:
+        s.dur_us = self._now_us() - s.start_us
+        stack = self._stack()
+        if stack and stack[-1] is s:
+            stack.pop()
+        elif s in stack:  # out-of-order exit: tolerate, drop deeper spans' link
+            stack.remove(s)
+        with self._lock:
+            self._finished.append(s)
+
+    # -- public API --------------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a span as a child of this thread's innermost open span."""
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        s = Span(
+            self,
+            name,
+            attrs,
+            span_id,
+            parent.span_id if parent is not None else None,
+            parent.depth + 1 if parent is not None else 0,
+            self._thread_index(),
+        )
+        s.start_us = self._now_us()
+        stack.append(s)
+        return s
+
+    def current(self) -> Optional[Span]:
+        """This thread's innermost open span, or ``None``."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @property
+    def spans(self) -> List[Span]:
+        """Finished spans, ordered by (thread, start time)."""
+        with self._lock:
+            return sorted(self._finished, key=lambda s: (s.thread, s.start_us, s.span_id))
+
+    def find(self, name: str) -> List[Span]:
+        """All finished spans with exactly this name."""
+        return [s for s in self.spans if s.name == name]
+
+    def names(self) -> List[str]:
+        """Distinct finished-span names, first-seen order."""
+        seen: Dict[str, None] = {}
+        with self._lock:
+            for s in self._finished:
+                seen.setdefault(s.name, None)
+        return list(seen)
+
+    def clear(self) -> None:
+        """Drop every finished span (open spans keep recording)."""
+        with self._lock:
+            self._finished.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._finished)
+
+
+#: the one process-wide active tracer (None = tracing disabled)
+_ACTIVE: Optional[Tracer] = None
+
+
+def active_tracer() -> Optional[Tracer]:
+    """The armed tracer, or ``None`` — the single check every hook makes."""
+    return _ACTIVE
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the active tracer, or return :data:`NULL_SPAN`.
+
+    This is the hook instrumented code uses::
+
+        with span("fused.cta", bx=bx, by=by):
+            ...
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+def enable_tracing(tracer: Optional[Tracer] = None) -> Tracer:
+    """Arm a tracer process-wide (a fresh one if none is given)."""
+    global _ACTIVE
+    _ACTIVE = tracer if tracer is not None else Tracer()
+    return _ACTIVE
+
+
+def disable_tracing() -> Optional[Tracer]:
+    """Disarm tracing; returns the tracer that was active, if any."""
+    global _ACTIVE
+    tracer = _ACTIVE
+    _ACTIVE = None
+    return tracer
+
+
+@contextmanager
+def tracing(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Arm tracing for a ``with`` block; restores the previous tracer."""
+    global _ACTIVE
+    previous = _ACTIVE
+    current = tracer if tracer is not None else Tracer()
+    _ACTIVE = current
+    try:
+        yield current
+    finally:
+        _ACTIVE = previous
+
+
+def traced(name: Optional[Callable] = None, /, **attrs: Any):
+    """Decorator: run the function inside a span named after it.
+
+    Usable bare (``@traced``) or parameterized
+    (``@traced(label="...", **attrs)`` — the span name stays the qualified
+    function name; keyword arguments become span attributes).
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        label = f"{fn.__module__}.{fn.__qualname__}"
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            tracer = _ACTIVE
+            if tracer is None:
+                return fn(*args, **kwargs)
+            with tracer.span(label, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    if callable(name):  # bare @traced
+        return decorate(name)
+    return decorate

@@ -30,6 +30,8 @@ from ..gpu.device import DeviceSpec
 from ..gpu.dram import DramTraffic
 from ..gpu.isa import InstructionMix
 from ..gpu.kernel import KernelCounters, KernelLaunch
+from ..obs.metrics import counter_inc
+from ..obs.tracer import span
 from .calibration import Calibration, DEFAULT_CALIBRATION
 
 __all__ = [
@@ -104,6 +106,7 @@ def norms_launch(
         l2_write_transactions=_sectors(write, device),
         dram=DramTraffic(read, write),
     )
+    counter_inc("perf.counts.builds.norms")
     return KernelLaunch(
         name="norms",
         grid_blocks=max(1, math.ceil(points / _STREAM_THREADS)),
@@ -147,6 +150,7 @@ def eval_launch(
         l2_write_transactions=_sectors(stream, device),
         dram=DramTraffic(stream + vec_read, stream),
     )
+    counter_inc("perf.counts.builds.kernel-eval")
     return KernelLaunch(
         name="kernel-eval",
         grid_blocks=max(1, math.ceil(mn / (_STREAM_THREADS * 32))),
@@ -203,6 +207,7 @@ def evalsum_launch(
         barriers=2 * spec.M / 32,
         atomics=float(spec.M),
     )
+    counter_inc("perf.counts.builds.evalsum")
     return KernelLaunch(
         name="evalsum",
         grid_blocks=max(1, math.ceil(mn / (_STREAM_THREADS * 32))),
@@ -252,6 +257,7 @@ def gemv_launch(
         if flavor == "cublas"
         else cal.issue_efficiency_streaming
     )
+    counter_inc(f"perf.counts.builds.gemv-{flavor}")
     return KernelLaunch(
         name=f"gemv-{flavor}",
         grid_blocks=max(1, math.ceil(spec.M / _STREAM_THREADS)),
@@ -406,10 +412,11 @@ def gemm_launch(
     e = spec.bytes_per_element
     mn = spec.M * spec.N
     mn_bytes = float(e * mn)
-    core = _gemm_core(
-        spec, tiling, device, cal, flavor, stream_bytes=mn_bytes,
-        smem_load_conflict_factor=smem_load_conflict_factor,
-    )
+    with span("perf.counts.gemm_core", flavor=flavor, M=spec.M, N=spec.N, K=spec.K):
+        core = _gemm_core(
+            spec, tiling, device, cal, flavor, stream_bytes=mn_bytes,
+            smem_load_conflict_factor=smem_load_conflict_factor,
+        )
     grid = core.grid_x * core.grid_y
 
     mix = InstructionMix()
@@ -441,6 +448,7 @@ def gemm_launch(
     per_cta = (
         cal.barrier_stall_cycles * (1 - cal.barrier_overlap) + stall
     ) * core.k_iters if flavor == "cudac" else 0.0
+    counter_inc(f"perf.counts.builds.gemm-{flavor}")
     return KernelLaunch(
         name=f"gemm-{flavor}",
         grid_blocks=grid,
@@ -507,10 +515,11 @@ def fused_launch(
     """
     e = spec.bytes_per_element
     kf = get_kernel(spec.kernel)
-    core = _gemm_core(
-        spec, tiling, device, cal, "cudac", stream_bytes=0.0,
-        smem_load_conflict_factor=smem_load_conflict_factor,
-    )
+    with span("perf.counts.gemm_core", flavor="cudac", M=spec.M, N=spec.N, K=spec.K):
+        core = _gemm_core(
+            spec, tiling, device, cal, "cudac", stream_bytes=0.0,
+            smem_load_conflict_factor=smem_load_conflict_factor,
+        )
     grid = core.grid_x * core.grid_y
     t = tiling
     threads = t.threads_per_block
@@ -582,6 +591,7 @@ def fused_launch(
     per_cta_overhead = (
         cal.barrier_stall_cycles * (1 - cal.barrier_overlap) + stall
     ) * core.k_iters
+    counter_inc("perf.counts.builds.fused")
     return KernelLaunch(
         name="fused-kernel-summation",
         grid_blocks=grid,

@@ -18,6 +18,7 @@ from ..core.tiling import PAPER_TILING, TilingConfig
 from ..gpu.device import GTX970, DeviceSpec
 from ..gpu.kernel import KernelLaunch
 from ..gpu.profiler import KernelProfile, ProfiledRun
+from ..obs.tracer import span
 from .calibration import Calibration, DEFAULT_CALIBRATION
 from .counts import (
     eval_launch,
@@ -90,11 +91,18 @@ def model_run(
     **kwargs,
 ) -> ProfiledRun:
     """Model one implementation end to end; returns the profiled run."""
-    launches = build_pipeline(implementation, spec, tiling, device, cal, **kwargs)
-    profiles = [
-        KernelProfile(launch=lk, seconds=time_kernel(lk, device, cal).seconds)
-        for lk in launches
-    ]
+    with span(
+        "perf.model_run",
+        implementation=implementation,
+        M=spec.M, N=spec.N, K=spec.K, device=device.name,
+    ):
+        launches = build_pipeline(implementation, spec, tiling, device, cal, **kwargs)
+        profiles = []
+        for lk in launches:
+            with span("perf.time_kernel", kernel=lk.name) as s:
+                timing = time_kernel(lk, device, cal)
+                s.set(seconds=timing.seconds, bottleneck=timing.bottleneck)
+            profiles.append(KernelProfile(launch=lk, seconds=timing.seconds))
     return ProfiledRun(implementation, device, profiles)
 
 
@@ -106,6 +114,7 @@ def model_gemm(
     cal: Calibration = DEFAULT_CALIBRATION,
 ) -> ProfiledRun:
     """Model the standalone GEMM alone (the paper's Fig. 7 comparison)."""
-    launch = gemm_launch(spec, tiling, device, cal, flavor=flavor)
-    prof = KernelProfile(launch=launch, seconds=time_kernel(launch, device, cal).seconds)
+    with span("perf.model_gemm", flavor=flavor, M=spec.M, N=spec.N, K=spec.K):
+        launch = gemm_launch(spec, tiling, device, cal, flavor=flavor)
+        prof = KernelProfile(launch=launch, seconds=time_kernel(launch, device, cal).seconds)
     return ProfiledRun(f"gemm-{flavor}", device, [prof])

@@ -27,6 +27,7 @@ from ..gpu.dram import DramModel
 from ..gpu.isa import Unit
 from ..gpu.kernel import KernelLaunch
 from ..gpu.scheduler import plan_schedule
+from ..obs.metrics import DEFAULT_RATIO_BUCKETS, active_metrics
 from .calibration import Calibration, DEFAULT_CALIBRATION
 
 __all__ = ["KernelTiming", "time_kernel"]
@@ -131,6 +132,16 @@ def time_kernel(
     # wave-tail correction: the last wave's occupancy droop
     if plan.waves > 1 and utilization < 1.0:
         seconds += (base / plan.waves) * (1.0 - utilization)
+
+    m = active_metrics()
+    if m is not None:
+        m.counter(f"perf.bottleneck.{bottleneck}").inc()
+        m.histogram("perf.kernel_seconds").observe(seconds)
+        # warp-scheduler stall exposure: the fraction of the roofs the
+        # schedulers cannot cover below ~16 resident warps per SM
+        m.histogram("gpu.sched.latency_hiding", DEFAULT_RATIO_BUCKETS).observe(hiding)
+        if hiding < 1.0:
+            m.counter("gpu.sched.stall_seconds").inc(base / hiding - base)
 
     return KernelTiming(
         seconds=seconds,

@@ -60,9 +60,19 @@ class TestProfiledRun:
         eff_fast = fast.flop_efficiency(GTX970)
         assert run.flop_efficiency() == pytest.approx(0.1 * eff_fast)
 
-    def test_kernel_profile_rejects_nonpositive_time(self):
+    def test_kernel_profile_rejects_negative_time(self):
         with pytest.raises(ValueError):
-            KernelProfile(launch(), 0.0)
+            KernelProfile(launch(), -1e-6)
+
+    def test_kernel_profile_accepts_zero_time(self):
+        # degenerate zero-work kernels model at zero cost; aggregation
+        # must not crash and the rate metrics must stay finite
+        p = KernelProfile(launch(), 0.0)
+        assert p.flop_rate == 0.0
+        assert p.flop_efficiency(GTX970) == 0.0
+        run = ProfiledRun("x", GTX970, [p])
+        assert run.flop_efficiency() == 0.0
+        assert run.l2_mpki() >= 0.0
 
     def test_mpki_counts_line_fills(self):
         # 128e3 bytes read -> 1000 line fills over 32000 thread instructions

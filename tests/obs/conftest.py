@@ -1,0 +1,15 @@
+"""Observability tests share one invariant: leave the globals disarmed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import disable_metrics, disable_tracing
+
+
+@pytest.fixture(autouse=True)
+def _disarm_observability():
+    """No test may leak an armed tracer/registry into its neighbours."""
+    yield
+    disable_tracing()
+    disable_metrics()

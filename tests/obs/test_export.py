@@ -1,0 +1,109 @@
+"""Exporters: Chrome trace schema, JSON lines, text tree, metrics report."""
+
+from __future__ import annotations
+
+import json
+
+import repro
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    chrome_trace,
+    export_header,
+    format_text,
+    metrics_report,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics,
+)
+
+
+def make_tracer() -> Tracer:
+    t = [0.0]
+
+    def clock() -> float:
+        t[0] += 1e-3
+        return t[0]
+
+    tr = Tracer(clock=clock)
+    with tr.span("gemm.outer", M=128):
+        with tr.span("gemm.kpanel", ki=0):
+            pass
+    return tr
+
+
+class TestHeader:
+    def test_version_stamp(self):
+        h = export_header()
+        assert h["repro_version"] == repro.__version__
+        assert h["generator"] == "repro.obs"
+
+
+class TestChromeTrace:
+    def test_schema(self):
+        doc = chrome_trace(make_tracer())
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert doc["otherData"]["repro_version"] == repro.__version__
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert meta[0]["name"] == "process_name"
+        assert len(complete) == 2
+        for e in complete:
+            assert {"name", "cat", "ph", "ts", "dur", "pid", "tid", "args"} <= set(e)
+            assert e["cat"] == "gemm"
+            assert e["dur"] > 0
+
+    def test_events_nest_in_time(self):
+        doc = chrome_trace(make_tracer())
+        by_name = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        outer, inner = by_name["gemm.outer"], by_name["gemm.kpanel"]
+        assert outer["ts"] <= inner["ts"]
+        assert outer["ts"] + outer["dur"] >= inner["ts"] + inner["dur"]
+
+    def test_roundtrips_json_load(self, tmp_path):
+        out = write_chrome_trace(make_tracer(), tmp_path / "trace.json")
+        loaded = json.loads(out.read_text())
+        assert len(loaded["traceEvents"]) == 3
+
+    def test_non_jsonable_attrs_stringified(self, tmp_path):
+        tr = Tracer()
+        with tr.span("x", shape=(1, 2)):
+            pass
+        out = write_chrome_trace(tr, tmp_path / "t.json")
+        ev = json.loads(out.read_text())["traceEvents"][-1]
+        assert ev["args"]["shape"] == "(1, 2)"
+
+
+class TestJsonl:
+    def test_header_then_spans(self, tmp_path):
+        out = write_jsonl(make_tracer(), tmp_path / "spans.jsonl")
+        lines = [json.loads(l) for l in out.read_text().splitlines()]
+        assert lines[0]["record"] == "header"
+        assert lines[0]["repro_version"] == repro.__version__
+        spans = [l for l in lines[1:] if l["record"] == "span"]
+        assert [s["name"] for s in spans] == ["gemm.outer", "gemm.kpanel"]
+        assert spans[1]["parent"] == spans[0]["id"]
+
+    def test_to_jsonl_trailing_newline(self):
+        assert to_jsonl(make_tracer()).endswith("\n")
+
+
+class TestText:
+    def test_indents_by_depth(self):
+        text = format_text(make_tracer())
+        lines = text.splitlines()
+        assert lines[0].startswith("# trace")
+        assert "gemm.outer" in lines[1]
+        assert lines[2].index("gemm.kpanel") > lines[1].index("gemm.outer")
+
+
+class TestMetricsExport:
+    def test_report_and_write(self, tmp_path):
+        r = MetricsRegistry()
+        r.counter("hits").inc(5)
+        doc = metrics_report(r)
+        assert doc["repro_version"] == repro.__version__
+        assert doc["metrics"]["hits"]["value"] == 5
+        out = write_metrics(r, tmp_path / "m.json")
+        assert json.loads(out.read_text())["metrics"]["hits"]["type"] == "counter"

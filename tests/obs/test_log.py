@@ -1,0 +1,137 @@
+"""Structured logging: key=value rendering, span context, env configuration."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+import numpy as np
+import pytest
+import warnings
+
+from repro.core import ProblemSpec, generate
+from repro.core.fused import FusedKernelSummation
+from repro.core.tiling import PAPER_TILING
+from repro.errors import DegradedResultWarning
+from repro.faults import FaultSpec, fault_injection
+from repro.obs import configure_logging, format_fields, get_logger, log_event, tracing
+
+
+@pytest.fixture
+def capture():
+    """A configured repro log handler writing into a StringIO."""
+    stream = io.StringIO()
+    handler = configure_logging(level="debug", stream=stream)
+    yield stream
+    logger = get_logger()
+    logger.removeHandler(handler)
+    logger.setLevel(logging.NOTSET)
+
+
+class TestFormatting:
+    def test_plain_fields(self):
+        assert format_fields(a=1, b="x") == "a=1 b=x"
+
+    def test_floats_compact(self):
+        assert format_fields(t=0.25) == "t=0.25"
+
+    def test_quoting(self):
+        assert format_fields(msg="two words") == 'msg="two words"'
+        assert format_fields(empty="") == 'empty=""'
+
+
+class TestLogEvent:
+    def test_event_key_leads(self, capture):
+        log_event(get_logger("t"), logging.INFO, "hello", n=3)
+        line = capture.getvalue()
+        assert "event=hello" in line and "n=3" in line
+        assert "logger=repro.t" in line and "level=INFO" in line
+
+    def test_span_context_attached(self, capture):
+        with tracing() as tr:
+            with tr.span("unit.work"):
+                log_event(get_logger("t"), logging.INFO, "inside")
+        assert "span=unit.work" in capture.getvalue()
+
+    def test_no_span_context_when_disabled(self, capture):
+        log_event(get_logger("t"), logging.INFO, "outside")
+        assert "span=" not in capture.getvalue()
+
+    def test_below_threshold_is_skipped(self, capture):
+        logger = get_logger("t")
+        logger.setLevel(logging.WARNING)
+        log_event(logger, logging.DEBUG, "quiet")
+        assert capture.getvalue() == ""
+        logger.setLevel(logging.NOTSET)
+
+
+class TestConfigure:
+    def test_noop_without_level_or_env(self):
+        assert configure_logging(environ={}) is None
+
+    def test_env_variable_drives_level(self):
+        handler = configure_logging(environ={"REPRO_LOG": "info"})
+        try:
+            assert handler is not None
+            assert get_logger().level == logging.INFO
+        finally:
+            get_logger().removeHandler(handler)
+            get_logger().setLevel(logging.NOTSET)
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging(level="loud")
+
+    def test_reconfigure_replaces_handler(self):
+        h1 = configure_logging(level="info", stream=io.StringIO())
+        h2 = configure_logging(level="debug", stream=io.StringIO())
+        try:
+            ours = [
+                h for h in get_logger().handlers
+                if getattr(h, "_repro_obs_handler", False)
+            ]
+            assert ours == [h2]
+        finally:
+            get_logger().removeHandler(h2)
+            get_logger().setLevel(logging.NOTSET)
+
+
+class TestAbftEvents:
+    def test_degraded_run_logs_structured_events(self, capture):
+        """Satellite: DegradedResultWarning routes through the logger too."""
+        spec = ProblemSpec(M=256, N=256, K=16, h=0.8, seed=7)
+        data = generate(spec)
+        fspec = FaultSpec(site="atomic", model="scale", rate=1.0, seed=7,
+                          magnitude=8.0, target="max_abs")
+        engine = FusedKernelSummation(PAPER_TILING, abft=True, max_retries=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedResultWarning)
+            with fault_injection(fspec):
+                V, report = engine.run_with_stats(data)
+        assert report.degraded
+        log = capture.getvalue()
+        assert "event=abft_detected" in log
+        assert "event=abft_degraded" in log
+        assert "event=fault_injected" in log
+
+    def test_retry_event_from_runner(self, capture):
+        from repro.errors import TransientModelError
+        from repro.experiments import ExperimentRunner
+
+        runner = ExperimentRunner()
+        calls = [0]
+        real_run = runner.run
+
+        def flaky(implementation, spec):
+            calls[0] += 1
+            if calls[0] == 1:
+                raise TransientModelError("synthetic blip")
+            return real_run(implementation, spec)
+
+        runner.run = flaky
+        m = runner.run_with_retry(
+            "fused", ProblemSpec(M=1024, N=256, K=32), sleep=lambda s: None
+        )
+        assert m.seconds > 0
+        log = capture.getvalue()
+        assert "event=retry" in log and "attempt=1" in log

@@ -1,0 +1,157 @@
+"""Metrics registry: bucketing semantics, type safety, live GPU-model feed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu import GTX970
+from repro.gpu.l2cache import L2Cache
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    active_metrics,
+    counter_inc,
+    disable_metrics,
+    enable_metrics,
+    metrics_collection,
+)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("x")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+
+class TestHistogram:
+    def test_boundaries_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", [1.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram("h", [])
+
+    def test_le_bucketing(self):
+        """Edges are inclusive upper bounds (Prometheus ``le`` convention)."""
+        h = Histogram("h", [1.0, 10.0])
+        h.observe(0.5)   # bucket 0 (<= 1.0)
+        h.observe(1.0)   # bucket 0 (inclusive edge)
+        h.observe(5.0)   # bucket 1 (<= 10.0)
+        h.observe(10.0)  # bucket 1 (inclusive edge)
+        h.observe(11.0)  # overflow
+        assert h.bucket_counts == [2, 2, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(27.5)
+        assert h.mean == pytest.approx(5.5)
+
+    def test_to_dict_roundtrip(self):
+        h = Histogram("h", [2.0])
+        h.observe(1.0)
+        d = h.to_dict()
+        assert d["type"] == "histogram"
+        assert d["boundaries"] == [2.0]
+        assert d["counts"] == [1, 0]
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert len(r) == 1
+
+    def test_type_conflict_raises(self):
+        r = MetricsRegistry()
+        r.counter("a")
+        with pytest.raises(ValueError, match="already registered"):
+            r.gauge("a")
+        with pytest.raises(ValueError, match="already registered"):
+            r.histogram("a")
+
+    def test_value_accessor(self):
+        r = MetricsRegistry()
+        r.counter("c").inc(2)
+        r.histogram("h", [1.0]).observe(0.5)
+        assert r.value("c") == 2
+        assert r.value("h") == 0.5  # histograms report their sum
+        assert r.value("missing", default=-1.0) == -1.0
+
+    def test_snapshot_sorted_and_contains(self):
+        r = MetricsRegistry()
+        r.counter("z.last")
+        r.counter("a.first")
+        assert list(r.snapshot()) == ["a.first", "z.last"]
+        assert "z.last" in r and "nope" not in r
+
+    def test_render_text(self):
+        r = MetricsRegistry()
+        r.counter("hits").inc(3)
+        r.histogram("t", [1.0]).observe(0.2)
+        text = r.render_text()
+        assert "hits: 3" in text and "count=1" in text
+
+
+class TestGlobalGating:
+    def test_counter_inc_noop_when_disabled(self):
+        disable_metrics()
+        counter_inc("ghost")  # must not raise, must not create anything
+        assert active_metrics() is None
+
+    def test_enable_disable_roundtrip(self):
+        r = enable_metrics()
+        counter_inc("real", 2)
+        assert r.value("real") == 2
+        assert disable_metrics() is r
+        assert active_metrics() is None
+
+    def test_context_restores_previous(self):
+        outer = enable_metrics()
+        with metrics_collection() as inner:
+            counter_inc("in")
+            assert active_metrics() is inner
+        assert active_metrics() is outer
+        assert "in" not in outer
+        disable_metrics()
+
+
+class TestGpuModelFeed:
+    def test_l2_cache_feeds_hits_and_misses(self):
+        with metrics_collection() as m:
+            cache = L2Cache(GTX970.l2_size)
+            cache.access(0, write=False)     # cold miss
+            cache.access(0, write=False)     # hit
+        assert m.value("gpu.l2.misses") == 1
+        assert m.value("gpu.l2.hits") == 1
+
+    def test_model_run_populates_the_registry(self):
+        from repro.core import ProblemSpec
+        from repro.perf import model_run
+
+        with metrics_collection() as m:
+            model_run("fused", ProblemSpec(M=1024, N=256, K=32))
+        names = set(m.snapshot())
+        assert "gpu.sched.launches" in names
+        assert "gpu.dram.read_bytes" in names
+        assert any(n.startswith("perf.bottleneck.") for n in names)
+
+    def test_disabled_model_run_is_unobserved(self):
+        from repro.core import ProblemSpec
+        from repro.perf import model_run
+
+        disable_metrics()
+        run = model_run("fused", ProblemSpec(M=1024, N=256, K=32))
+        assert run.total_seconds > 0  # works fine with collection off

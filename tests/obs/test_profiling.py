@@ -1,0 +1,141 @@
+"""Profile collection and the drift gate behind ``repro profile``."""
+
+from __future__ import annotations
+
+import copy
+import json
+import pathlib
+
+import pytest
+
+import repro
+from repro.core import ProblemSpec
+from repro.obs.profiling import (
+    PROFILE_IMPLEMENTATIONS,
+    TRACKED_METRICS,
+    collect_profile,
+    compare_profiles,
+    load_profile,
+    model_record,
+    render_profile,
+    write_profile,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_profile() -> dict:
+    return collect_profile(grid="quick", functional=False)
+
+
+class TestCollect:
+    def test_unknown_grid_rejected(self):
+        with pytest.raises(ValueError, match="unknown profile grid"):
+            collect_profile(grid="huge")
+
+    def test_payload_shape(self, quick_profile):
+        p = quick_profile
+        assert p["schema"] == 1
+        assert p["repro_version"] == repro.__version__
+        assert p["grid"] == "quick"
+        assert p["device"] == "GTX970"
+        impls = {r["implementation"] for r in p["records"]}
+        assert impls == set(PROFILE_IMPLEMENTATIONS)
+        for r in p["records"]:
+            for metric in TRACKED_METRICS:
+                assert metric in r, metric
+            assert r["model_wall_seconds"] >= 0
+
+    def test_deterministic_across_collections(self, quick_profile):
+        again = collect_profile(grid="quick", functional=False)
+        assert compare_profiles(quick_profile, again, rtol=0.0) == []
+
+    def test_functional_records(self):
+        p = collect_profile(
+            grid="quick", implementations=("fused",), functional=True
+        )
+        (f,) = p["functional"]
+        assert f["implementation"] == "fused"
+        assert f["wall_seconds"] > 0
+        assert (f["M"], f["N"], f["K"]) == (1024, 256, 32)
+
+    def test_model_record_cycles_follow_seconds(self):
+        from repro.gpu import GTX970
+
+        r = model_record("fused", ProblemSpec(M=1024, N=256, K=32))
+        assert r["modelled_cycles"] == pytest.approx(
+            r["modelled_seconds"] * GTX970.core_clock_hz
+        )
+
+
+class TestCompare:
+    def test_identical_profiles_pass(self, quick_profile):
+        assert compare_profiles(quick_profile, quick_profile) == []
+
+    def test_negative_tolerance_rejected(self, quick_profile):
+        with pytest.raises(ValueError):
+            compare_profiles(quick_profile, quick_profile, rtol=-0.1)
+
+    def test_drift_beyond_rtol_reported(self, quick_profile):
+        current = copy.deepcopy(quick_profile)
+        current["records"][0]["dram_bytes"] *= 1.05
+        drifts = compare_profiles(quick_profile, current, rtol=0.02)
+        assert len(drifts) == 1
+        assert "dram_bytes" in drifts[0]
+
+    def test_drift_within_rtol_tolerated(self, quick_profile):
+        current = copy.deepcopy(quick_profile)
+        current["records"][0]["dram_bytes"] *= 1.01
+        assert compare_profiles(quick_profile, current, rtol=0.02) == []
+
+    def test_missing_point_reported(self, quick_profile):
+        current = copy.deepcopy(quick_profile)
+        dropped = current["records"].pop(0)
+        drifts = compare_profiles(quick_profile, current)
+        assert any("missing" in d and dropped["implementation"] in d for d in drifts)
+
+    def test_missing_metric_reported(self, quick_profile):
+        current = copy.deepcopy(quick_profile)
+        del current["records"][0]["l2_mpki"]
+        drifts = compare_profiles(quick_profile, current)
+        assert any("l2_mpki" in d and "absent" in d for d in drifts)
+
+    def test_current_superset_is_fine(self, quick_profile):
+        """The baseline defines the gate; extra current points are ignored."""
+        current = copy.deepcopy(quick_profile)
+        extra = copy.deepcopy(current["records"][0])
+        extra["M"] = 999
+        current["records"].append(extra)
+        assert compare_profiles(quick_profile, current) == []
+
+    def test_wall_times_never_gated(self, quick_profile):
+        current = copy.deepcopy(quick_profile)
+        for r in current["records"]:
+            r["model_wall_seconds"] *= 100
+        assert compare_profiles(quick_profile, current) == []
+
+
+class TestIo:
+    def test_write_load_roundtrip(self, quick_profile, tmp_path):
+        out = write_profile(quick_profile, tmp_path / "p.json")
+        assert load_profile(out) == quick_profile
+
+    def test_load_rejects_non_profile(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(ValueError, match="not a repro profile"):
+            load_profile(path)
+
+    def test_render_mentions_every_implementation(self, quick_profile):
+        text = render_profile(quick_profile)
+        for impl in PROFILE_IMPLEMENTATIONS:
+            assert impl in text
+        assert repro.__version__ in text
+
+
+class TestCommittedBaseline:
+    def test_baseline_matches_the_current_model(self, quick_profile):
+        """The committed BENCH_profile.json must track the code."""
+        root = pathlib.Path(__file__).resolve().parents[2]
+        baseline = load_profile(root / "benchmarks" / "results" / "BENCH_profile.json")
+        assert baseline["grid"] == "quick"
+        assert compare_profiles(baseline, quick_profile, rtol=0.02) == []

@@ -1,0 +1,221 @@
+"""Span tracer: nesting, thread safety, and the zero-cost disabled path."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import ProblemSpec, generate
+from repro.core.fused import FusedKernelSummation
+from repro.obs import (
+    NULL_SPAN,
+    Tracer,
+    active_tracer,
+    disable_tracing,
+    enable_tracing,
+    span,
+    traced,
+    tracing,
+)
+
+
+class FakeClock:
+    """Deterministic clock: every read advances by ``step`` seconds."""
+
+    def __init__(self, step: float = 1e-3) -> None:
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.t += self.step
+        return self.t
+
+
+class TestNesting:
+    def test_parent_child_links(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        outer = tr.find("outer")[0]
+        inner = tr.find("inner")[0]
+        assert inner.parent_id == outer.span_id
+        assert inner.depth == outer.depth + 1 == 1
+
+    def test_sibling_spans_share_parent(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("root"):
+            with tr.span("a"):
+                pass
+            with tr.span("b"):
+                pass
+        root = tr.find("root")[0]
+        assert {s.parent_id for s in tr.spans if s.name in "ab"} == {root.span_id}
+
+    def test_current_tracks_innermost(self):
+        tr = Tracer(clock=FakeClock())
+        assert tr.current() is None
+        with tr.span("outer"):
+            assert tr.current().name == "outer"
+            with tr.span("inner"):
+                assert tr.current().name == "inner"
+            assert tr.current().name == "outer"
+        assert tr.current() is None
+
+    def test_durations_cover_children(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        outer = tr.find("outer")[0]
+        inner = tr.find("inner")[0]
+        assert outer.start_us <= inner.start_us
+        assert outer.dur_us >= inner.dur_us > 0
+
+    def test_attributes_and_set(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("work", M=8) as s:
+            s.set(bottleneck="dram")
+        rec = tr.find("work")[0]
+        assert rec.attrs == {"M": 8, "bottleneck": "dram"}
+
+    def test_clear_and_len(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("x"):
+            pass
+        assert len(tr) == 1
+        tr.clear()
+        assert len(tr) == 0
+
+
+class TestThreadSafety:
+    def test_stacks_are_per_thread(self):
+        tr = Tracer()
+        errors = []
+
+        def worker(i: int) -> None:
+            try:
+                for _ in range(50):
+                    with tr.span(f"w{i}.outer"):
+                        with tr.span(f"w{i}.inner"):
+                            pass
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(tr) == 4 * 50 * 2
+        for i in range(4):
+            inners = tr.find(f"w{i}.inner")
+            outer_ids = {s.span_id for s in tr.find(f"w{i}.outer")}
+            # every inner nests under one of its own thread's outers
+            assert all(s.parent_id in outer_ids for s in inners)
+
+    def test_thread_ids_are_small_and_stable(self):
+        tr = Tracer()
+
+        def worker() -> None:
+            with tr.span("t"):
+                pass
+
+        ts = [threading.Thread(target=worker) for _ in range(3)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        tids = {s.thread for s in tr.spans}
+        assert tids <= set(range(3))
+
+
+class TestDisabledPath:
+    def test_module_span_returns_null_singleton(self):
+        disable_tracing()
+        assert span("anything", M=1) is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with span("nope") as s:
+            assert s.set(x=1) is NULL_SPAN
+
+    def test_enable_disable_roundtrip(self):
+        tr = enable_tracing()
+        assert active_tracer() is tr
+        assert disable_tracing() is tr
+        assert active_tracer() is None
+
+    def test_tracing_context_restores_previous(self):
+        outer = enable_tracing()
+        with tracing() as inner:
+            assert active_tracer() is inner
+        assert active_tracer() is outer
+        disable_tracing()
+
+    def test_disabled_results_bit_identical(self):
+        """The acceptance criterion: tracing off == never instrumented."""
+        data = generate(ProblemSpec(M=256, N=256, K=16, h=0.8, seed=7))
+        disable_tracing()
+        baseline = FusedKernelSummation()(data)
+        with tracing() as tr:
+            traced_result = FusedKernelSummation()(data)
+        assert len(tr) > 0
+        assert np.array_equal(baseline, traced_result)
+        again = FusedKernelSummation()(data)
+        assert np.array_equal(baseline, again)
+
+
+class TestTracedDecorator:
+    def test_bare_decorator(self):
+        @traced
+        def work(x):
+            return x + 1
+
+        with tracing() as tr:
+            assert work(1) == 2
+        assert len(tr.find(f"{work.__module__}.{work.__qualname__}")) == 1
+
+    def test_decorator_with_attrs(self):
+        @traced(stage="setup")
+        def prep():
+            return "ok"
+
+        with tracing() as tr:
+            prep()
+        assert tr.spans[0].attrs == {"stage": "setup"}
+
+    def test_disabled_is_passthrough(self):
+        calls = []
+
+        @traced
+        def work():
+            calls.append(1)
+
+        disable_tracing()
+        work()
+        assert calls == [1]
+
+
+class TestFusedSpanShape:
+    def test_fused_run_has_the_paper_phases(self):
+        """GEMM k-panels, kernel evaluation, and all three reduction levels."""
+        data = generate(ProblemSpec(M=256, N=256, K=16, h=0.8, seed=7))
+        with tracing() as tr:
+            FusedKernelSummation()(data)
+        names = set(tr.names())
+        assert {
+            "fused.run",
+            "fused.cta",
+            "fused.gemm",
+            "fused.gemm.kpanel",
+            "fused.kernel_eval",
+            "fused.reduce.intra_thread",
+            "fused.reduce.intra_cta",
+            "fused.reduce.inter_cta",
+        } <= names
+        # the k-panel spans nest under a fused.gemm span
+        gemm_ids = {s.span_id for s in tr.find("fused.gemm")}
+        assert all(s.parent_id in gemm_ids for s in tr.find("fused.gemm.kpanel"))

@@ -103,3 +103,77 @@ class TestFaults:
         rc = main(["faults", "--trials", "0"])
         assert rc == 2
         assert "bad campaign configuration" in capsys.readouterr().err
+
+
+class TestObservabilityFlags:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_trace_flag_writes_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        rc = main(["--trace", str(trace), "solve", "-M", "256", "-N", "128", "-K", "4"])
+        assert rc == 0
+        assert "trace written" in capsys.readouterr().err
+        doc = json.loads(trace.read_text())
+        names = {e["name"] for e in doc["traceEvents"] if e.get("ph") == "X"}
+        assert "fused.run" in names and "fused.gemm.kpanel" in names
+
+    def test_observability_disarmed_after_main(self):
+        from repro.obs import active_metrics, active_tracer
+
+        main(["solve", "-M", "256", "-N", "128", "-K", "4"])
+        assert active_tracer() is None and active_metrics() is None
+
+    def test_log_level_flag(self, capsys):
+        import logging
+
+        from repro.obs import get_logger
+
+        rc = main(["--log-level", "info", "solve", "-M", "256", "-N", "128", "-K", "4"])
+        assert rc == 0
+        logger = get_logger()
+        try:
+            assert logger.level == logging.INFO
+        finally:
+            for h in list(logger.handlers):
+                if getattr(h, "_repro_obs_handler", False):
+                    logger.removeHandler(h)
+            logger.setLevel(logging.NOTSET)
+
+
+class TestProfile:
+    def test_profile_quick(self, tmp_path, capsys):
+        out = tmp_path / "profile.json"
+        rc = main(["profile", "--quick", "--no-functional", "-o", str(out)])
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "repro profile" in stdout and "fused" in stdout
+        assert out.exists()
+
+    def test_profile_gates_against_baseline(self, tmp_path, capsys):
+        import json
+
+        base = tmp_path / "base.json"
+        out = tmp_path / "cur.json"
+        rc = main(["profile", "--quick", "--no-functional", "-o", str(base)])
+        assert rc == 0
+        rc = main(["profile", "--quick", "--no-functional", "-o", str(out),
+                   "--baseline", str(base)])
+        assert rc == 0
+        assert "no drift" in capsys.readouterr().out
+
+        # poison the baseline: the same collection must now fail the gate
+        payload = json.loads(base.read_text())
+        payload["records"][0]["dram_bytes"] *= 2
+        base.write_text(json.dumps(payload))
+        rc = main(["profile", "--quick", "--no-functional", "-o", str(out),
+                   "--baseline", str(base)])
+        assert rc == 1
+        assert "REGRESSION" in capsys.readouterr().err

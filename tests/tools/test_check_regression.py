@@ -1,0 +1,77 @@
+"""tools/check_regression.py: the CI drift gate, end to end as a process."""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+SCRIPT = ROOT / "tools" / "check_regression.py"
+BASELINE = ROOT / "benchmarks" / "results" / "BENCH_profile.json"
+
+
+def run_check(*argv: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ, PYTHONPATH=str(ROOT / "src"))
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=ROOT,
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline_payload() -> dict:
+    return json.loads(BASELINE.read_text())
+
+
+class TestCheckRegression:
+    def test_identical_profile_passes(self, tmp_path, baseline_payload):
+        current = tmp_path / "current.json"
+        current.write_text(json.dumps(baseline_payload))
+        proc = run_check("--current", str(current))
+        assert proc.returncode == 0, proc.stderr
+        assert "OK" in proc.stdout
+
+    def test_drifted_profile_fails(self, tmp_path, baseline_payload):
+        payload = json.loads(json.dumps(baseline_payload))
+        payload["records"][0]["l2_transactions"] *= 1.5
+        current = tmp_path / "current.json"
+        current.write_text(json.dumps(payload))
+        proc = run_check("--current", str(current))
+        assert proc.returncode == 1
+        assert "REGRESSION" in proc.stderr
+        assert "l2_transactions" in proc.stderr
+
+    def test_rtol_flag_loosens_the_gate(self, tmp_path, baseline_payload):
+        payload = json.loads(json.dumps(baseline_payload))
+        payload["records"][0]["l2_transactions"] *= 1.05
+        current = tmp_path / "current.json"
+        current.write_text(json.dumps(payload))
+        assert run_check("--current", str(current)).returncode == 1
+        assert run_check("--current", str(current), "--rtol", "0.1").returncode == 0
+
+    def test_missing_file_is_a_usage_error(self, tmp_path):
+        proc = run_check("--current", str(tmp_path / "nope.json"))
+        assert proc.returncode == 2
+        assert "cannot load profile" in proc.stderr
+
+    def test_non_profile_json_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"records?": []}))
+        proc = run_check("--current", str(bad))
+        assert proc.returncode == 2
+
+    def test_explicit_baseline_flag(self, tmp_path, baseline_payload):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(baseline_payload))
+        current = tmp_path / "current.json"
+        current.write_text(json.dumps(baseline_payload))
+        proc = run_check("--baseline", str(base), "--current", str(current))
+        assert proc.returncode == 0

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Gate a collected profile against the committed baseline.
+
+    python tools/check_regression.py \
+        --baseline benchmarks/results/BENCH_profile.json \
+        --current BENCH_profile.json [--rtol 0.02]
+
+Compares every deterministic model metric the baseline records
+(:data:`repro.obs.profiling.TRACKED_METRICS`) point by point and exits
+non-zero if any drifts beyond the tolerance, printing one line per drift.
+Wall-clock fields (``model_wall_seconds``, functional ``wall_seconds``)
+are host-dependent and never gated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.obs.profiling import compare_profiles, load_profile  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default=str(ROOT / "benchmarks" / "results" / "BENCH_profile.json"),
+        help="committed reference profile (default: benchmarks/results/BENCH_profile.json)",
+    )
+    parser.add_argument("--current", required=True, help="freshly collected profile")
+    parser.add_argument(
+        "--rtol", type=float, default=0.02,
+        help="relative drift tolerance per metric (default 0.02)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_profile(args.baseline)
+        current = load_profile(args.current)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load profile: {exc}", file=sys.stderr)
+        return 2
+
+    drifts = compare_profiles(baseline, current, rtol=args.rtol)
+    points = len(baseline.get("records", []))
+    if drifts:
+        print(
+            f"REGRESSION: {len(drifts)} drift(s) vs {args.baseline} "
+            f"(rtol={args.rtol:g}):",
+            file=sys.stderr,
+        )
+        for d in drifts:
+            print(f"  {d}", file=sys.stderr)
+        return 1
+    print(f"OK: {points} baseline points within rtol={args.rtol:g} of {args.current}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
