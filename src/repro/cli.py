@@ -121,6 +121,10 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["bandwidth", "sms", "l2", "n"],
         default="bandwidth",
     )
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="compute sweep points on N threads (default: serial)")
+    p.add_argument("--journal", default=None, metavar="PATH",
+                   help="journal completed points here and resume from it on re-run")
 
     p = sub.add_parser("faults", help="fault-injection campaign with ABFT recovery")
     p.add_argument("-M", type=int, default=256, help="number of source points")
@@ -302,10 +306,27 @@ def _cmd_roofline(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    from .experiments import bandwidth_sweep, l2_size_sweep, n_sweep, render_bars, sm_count_sweep
+    from .experiments import (
+        ResilientSweep,
+        bandwidth_sweep,
+        l2_size_sweep,
+        n_sweep,
+        render_bars,
+        sm_count_sweep,
+        sweep_tasks,
+    )
 
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
     spec = _make_spec(args)
-    if args.axis == "bandwidth":
+    if args.workers > 1 or args.journal is not None:
+        # the resilient scheduler: journalled, resumable, optionally parallel
+        sweep = ResilientSweep(journal=args.journal, max_workers=args.workers)
+        points = sweep.run(sweep_tasks(args.axis, spec))
+        if sweep.resumed_labels:
+            print(f"resumed {len(sweep.resumed_labels)} point(s) from {args.journal}")
+    elif args.axis == "bandwidth":
         points = bandwidth_sweep(spec)
     elif args.axis == "sms":
         points = sm_count_sweep(spec)

@@ -39,6 +39,26 @@ gracefully to the reference implementation and emits a structured
 :class:`repro.errors.DegradedResultWarning` instead of raising.  With
 injection disabled and ``abft=False`` the code path performs the exact
 pre-ABFT arithmetic, bit for bit.
+
+Execution engines (``engine=``)
+-------------------------------
+Two paths produce bit-identical results (see docs/PERFORMANCE.md):
+
+* ``"loop"`` — the per-CTA Python loop above.  This is the only path that
+  supports ABFT and fault injection (both are *per-CTA* mechanisms), and
+  the one that emits per-CTA ``fused.cta`` spans under tracing.
+* ``"batched"`` — row chunks of the output are processed full-width with
+  preallocated buffers: one ``(rows x kc) @ (kc x Np)`` BLAS call per
+  k-panel, in-place kernel evaluation, a vectorized microtile row-sum, and
+  the explicit tx-order intra-CTA add loop.  The k-panel order, every
+  elementwise operation order, the 8-element microtile reduction tree, and
+  the per-row inter-CTA commit order are all preserved exactly, so float32
+  bits match the loop path (enforced by the parametrized bit-identity test
+  matrix in ``tests/core/test_batched_engine.py``).
+
+``engine="auto"`` (the default) selects the batched path whenever no fault
+injector is active and ``abft=False``, and falls back to the loop path
+otherwise; :attr:`FusedKernelSummation.last_engine` records the decision.
 """
 
 from __future__ import annotations
@@ -68,12 +88,83 @@ __all__ = [
 ]
 
 CtaOrder = Literal["rowmajor", "colmajor", "shuffled"]
+Engine = Literal["auto", "batched", "loop"]
 
 _log = get_logger("core.fused")
 
 #: default relative checksum tolerances per dtype, expressed against the
 #: L1 mass of the checked quantity (cancellation-safe; see ``_rtol``)
 _ABFT_RTOL = {"float32": 1e-4, "float64": 1e-11}
+
+#: memoised probe results: does the explicit pairs tree reproduce NumPy's
+#: 8-element last-axis reduction bit for bit on this build?
+_PAIRS_TREE_OK: dict = {}
+
+
+def _pairs_tree_matches(dt: np.dtype) -> bool:
+    """Probe whether ``((a0+a1)+(a2+a3))+((a4+a5)+(a6+a7)) == a.sum(-1)``.
+
+    NumPy's pairwise summation reduces a contiguous length-8 axis with this
+    exact tree on every build we know of, but the batched engine must not
+    *assume* so — a mismatch silently breaks the bit-identity contract.  A
+    cheap one-time probe per dtype decides between the fast strided tree
+    and a plain ``.sum`` fallback.
+    """
+    key = str(dt)
+    if key not in _PAIRS_TREE_OK:
+        g = np.sin(np.arange(3 * 5 * 8, dtype=np.float64) * 1.7).astype(dt)
+        g = (g * dt.type(3.0)).reshape(3, 5, 8)
+        t4 = g[..., 0::2] + g[..., 1::2]
+        t2 = t4[..., 0::2] + t4[..., 1::2]
+        tree = t2[..., 0] + t2[..., 1]
+        _PAIRS_TREE_OK[key] = bool(np.array_equal(tree, g.sum(axis=2, dtype=g.dtype)))
+    return _PAIRS_TREE_OK[key]
+
+
+#: memoised probe results for the sequential left-fold strategy
+_SEQ_FOLD_OK: dict = {}
+
+
+def _seq_fold_matches(n: int, dt: np.dtype) -> bool:
+    """Probe whether ``(((a0+a1)+a2)+...)+a(n-1) == a.sum(-1)`` for length n."""
+    key = (n, str(dt))
+    if key not in _SEQ_FOLD_OK:
+        g = np.sin(np.arange(3 * 5 * n, dtype=np.float64) * 1.3).astype(dt)
+        g = (g * dt.type(3.0)).reshape(3, 5, n)
+        r = g[..., 0].copy()
+        for i in range(1, n):
+            r = r + g[..., i]
+        _SEQ_FOLD_OK[key] = bool(np.array_equal(r, g.sum(axis=2, dtype=g.dtype)))
+    return _SEQ_FOLD_OK[key]
+
+
+def _microtile_reduce_plan(micro_n: int, dt: np.dtype) -> str:
+    """Fastest strided strategy that reproduces ``.sum(axis=-1)`` exactly.
+
+    NumPy reduces a contiguous length-8 axis with the pairs tree and
+    shorter axes with a sequential fold; both are replayable as a handful
+    of strided ``np.add`` calls, which is several times faster than the
+    generic reduction machinery.  Anything the probes cannot confirm falls
+    back to ``.sum`` itself — slower, but trivially bit-identical.
+    """
+    if micro_n == 1:
+        return "copy"
+    if micro_n == 8 and _pairs_tree_matches(dt):
+        return "tree8"
+    if micro_n < 8 and _seq_fold_matches(micro_n, dt):
+        return "seq"
+    return "sum"
+
+
+def _auto_chunk_rows(Np: int, itemsize: int, budget_bytes: int = 1 << 20) -> int:
+    """Row-chunk height keeping the working buffers L2-resident.
+
+    Three ``(rows, Np)`` buffers are live per chunk (accumulator, scratch,
+    and the A row slice); the budget targets the host L2 so the chunked
+    passes stream from cache rather than DRAM.
+    """
+    rows = budget_bytes // max(1, 3 * Np * itemsize)
+    return max(16, min(4096, int(rows)))
 
 
 @dataclass(frozen=True)
@@ -114,11 +205,19 @@ class FusedKernelSummation:
         fault_spec: Optional[FaultSpec] = None,
         max_retries: int = 2,
         abft_rtol: Optional[float] = None,
+        engine: Engine = "auto",
+        chunk_rows: Optional[int] = None,
     ) -> None:
         if cta_order not in ("rowmajor", "colmajor", "shuffled"):
             raise InvalidProblemError(f"unknown cta_order {cta_order!r}")
         if max_retries < 0:
             raise InvalidProblemError("max_retries cannot be negative")
+        if engine not in ("auto", "batched", "loop"):
+            raise InvalidProblemError(
+                f"unknown engine {engine!r}; use auto | batched | loop"
+            )
+        if chunk_rows is not None and chunk_rows < 1:
+            raise InvalidProblemError("chunk_rows must be positive")
         self.tiling = tiling
         self.cta_order = cta_order
         self.seed = seed
@@ -126,12 +225,16 @@ class FusedKernelSummation:
         self.fault_spec = fault_spec
         self.max_retries = max_retries
         self.abft_rtol = abft_rtol
+        self.engine = engine
+        self.chunk_rows = chunk_rows
+        #: engine the most recent run dispatched to ("batched" or "loop")
+        self.last_engine: Optional[str] = None
 
     def _cta_sequence(self, grid_x: int, grid_y: int) -> list[tuple[int, int]]:
-        ctas = [(bx, by) for by in range(grid_y) for bx in range(grid_x)]
         if self.cta_order == "colmajor":
-            ctas.sort(key=lambda c: (c[0], c[1]))
-        elif self.cta_order == "shuffled":
+            return [(bx, by) for bx in range(grid_x) for by in range(grid_y)]
+        ctas = [(bx, by) for by in range(grid_y) for bx in range(grid_x)]
+        if self.cta_order == "shuffled":
             rng = np.random.default_rng(self.seed)
             rng.shuffle(ctas)
         return ctas
@@ -165,13 +268,13 @@ class FusedKernelSummation:
         norm_b = data.target_norms  # (N,)
 
         # --- pad to the CTA grid --------------------------------------------
-        from .gemm import pad_to_tiles  # local import to avoid cycle at module load
+        from .gemm import pad_to_tiles, pad_vector  # local import to avoid cycle at module load
 
         Ap = pad_to_tiles(data.A, t.mc, t.kc)
         Bp = pad_to_tiles(data.B, t.kc, t.nc)
-        Wp = np.pad(data.W, (0, (-spec.N) % t.nc))
-        na = np.pad(norm_a, (0, (-spec.M) % t.mc))
-        nb = np.pad(norm_b, (0, (-spec.N) % t.nc))
+        Wp = pad_vector(data.W, t.nc)
+        na = pad_vector(norm_a, t.mc)
+        nb = pad_vector(norm_b, t.nc)
         Mp, Kp = Ap.shape
         _, Np = Bp.shape
         grid_x, grid_y = Np // t.nc, Mp // t.mc
@@ -184,11 +287,34 @@ class FusedKernelSummation:
             Ap = inj.corrupt_array("dram", Ap, where="A")
             Bp = inj.corrupt_array("dram", Bp, where="B")
 
+        # ABFT and fault injection are per-CTA mechanisms: only the loop
+        # engine can run them.
+        if self.engine == "batched" and (self.abft or inj is not None):
+            raise InvalidProblemError(
+                "engine='batched' cannot run with ABFT or fault injection "
+                "(per-CTA mechanisms); use engine='auto' or engine='loop'"
+            )
+        use_batched = self.engine != "loop" and not self.abft and inj is None
+        self.last_engine = "batched" if use_batched else "loop"
+
         # Padded target columns must not contribute: zero-padded B columns
         # have zero norm and distance ||a||^2, which the kernel maps to a
         # nonzero value — mask them via zero weights (Wp pads with zeros).
         V = np.zeros(Mp, dtype=dt)
         rtol = self._rtol(dt) if self.abft else 0.0
+
+        if use_batched:
+            report.ctas = grid_x * grid_y
+            with span(
+                "fused.run",
+                M=spec.M, N=spec.N, K=spec.K,
+                grid_x=grid_x, grid_y=grid_y, abft=False, engine="batched",
+            ):
+                self._run_batched(
+                    Ap, Bp, Wp, na, nb, kf, spec.h, dt, V,
+                    grid_x, grid_y, k_iters,
+                )
+            return V[: spec.M], report
 
         with span(
             "fused.run",
@@ -254,6 +380,117 @@ class FusedKernelSummation:
                     V[r0:r1] += delta
 
         return V[: spec.M], report
+
+    def _run_batched(
+        self,
+        Ap: np.ndarray,
+        Bp: np.ndarray,
+        Wp: np.ndarray,
+        na: np.ndarray,
+        nb: np.ndarray,
+        kf,
+        h: float,
+        dt: np.dtype,
+        V: np.ndarray,
+        grid_x: int,
+        grid_y: int,
+        k_iters: int,
+    ) -> None:
+        """The batched engine: row-chunked, full-width, buffer-reusing.
+
+        Bit-identity with the per-CTA loop holds stage by stage:
+
+        * **GEMM** — each output element accumulates the same rank-``kc``
+          panel products in the same order; a BLAS dot product's bits do
+          not depend on how the surrounding output is blocked.
+        * **kernel eval** — the same elementwise expression, replayed with
+          ``out=`` ufunc calls in the identical operation order.
+        * **intra-thread** — the contiguous ``micro_n`` row-sum uses
+          NumPy's own length-8 pairwise tree (probed, with a ``.sum``
+          fallback), exactly what ``gamma.sum(axis=2)`` does per CTA.
+        * **intra-CTA** — the explicit tx-order add loop, vectorized over
+          rows and CTA columns (elementwise adds are shape-independent).
+        * **inter-CTA** — per output row, both ``rowmajor`` and
+          ``colmajor`` sequences commit CTA columns in ascending ``bx``
+          order, so one add loop over ``bx`` serves both; ``shuffled``
+          replays each row block's actual ``bx`` order from the sequence.
+        """
+        t = self.tiling
+        Mp = Ap.shape[0]
+        Np = Bp.shape[1]
+        threads_x = grid_x * t.block_dim_x
+        chunk = min(self.chunk_rows or _auto_chunk_rows(Np, dt.itemsize), Mp)
+
+        acc = np.empty((chunk, Np), dtype=dt)
+        tmp = np.empty_like(acc)
+        tp = np.empty((chunk, threads_x), dtype=dt)
+        part = np.empty((chunk, grid_x), dtype=dt)
+        plan = _microtile_reduce_plan(t.micro_n, dt)
+        if plan == "tree8":
+            t4 = np.empty((chunk, threads_x, 4), dtype=dt)
+            t2 = np.empty((chunk, threads_x, 2), dtype=dt)
+
+        bx_orders = None
+        if self.cta_order == "shuffled":
+            bx_orders: list[list[int]] = [[] for _ in range(grid_y)]
+            for bx, by in self._cta_sequence(grid_x, grid_y):
+                bx_orders[by].append(bx)
+
+        two = dt.type(2.0)
+        for r0 in range(0, Mp, chunk):
+            r1 = min(r0 + chunk, Mp)
+            R = r1 - r0
+            a, b, tpv, pv = acc[:R], tmp[:R], tp[:R], part[:R]
+
+            with span("fused.gemm", k_iters=k_iters, r0=r0, rows=R):
+                a[...] = 0
+                for ki in range(k_iters):
+                    k0, k1 = ki * t.kc, (ki + 1) * t.kc
+                    with span("fused.gemm.kpanel", ki=ki):
+                        np.matmul(Ap[r0:r1, k0:k1], Bp[k0:k1, :], out=b)
+                        np.add(a, b, out=a)
+
+            with span("fused.kernel_eval", r0=r0, rows=R):
+                np.multiply(two, a, out=b)           # 2 * subC
+                np.add(na[r0:r1, None], nb[None, :], out=a)
+                np.subtract(a, b, out=a)             # squared distances
+                kf.evaluate_inplace(a, h, scratch=b)  # Kblk, in place
+
+            with span("fused.reduce.intra_thread", r0=r0, rows=R):
+                np.multiply(a, Wp[None, :], out=a)   # gamma = Kblk * W
+                g = a.reshape(R, threads_x, t.micro_n)
+                if plan == "tree8":
+                    np.add(g[:, :, 0::2], g[:, :, 1::2], out=t4[:R])
+                    np.add(t4[:R, :, 0::2], t4[:R, :, 1::2], out=t2[:R])
+                    np.add(t2[:R, :, 0], t2[:R, :, 1], out=tpv)
+                elif plan == "seq":
+                    np.add(g[:, :, 0], g[:, :, 1], out=tpv)
+                    for i in range(2, t.micro_n):
+                        np.add(tpv, g[:, :, i], out=tpv)
+                elif plan == "copy":
+                    np.copyto(tpv, g[:, :, 0])
+                else:
+                    g.sum(axis=2, dtype=dt, out=tpv)
+
+            with span("fused.reduce.intra_cta", r0=r0, rows=R):
+                tp3 = tpv.reshape(R, grid_x, t.block_dim_x)
+                pv[...] = 0
+                for tx in range(t.block_dim_x):
+                    np.add(pv, tp3[:, :, tx], out=pv)
+
+            with span("fused.reduce.inter_cta", r0=r0, rows=R):
+                if bx_orders is None:
+                    for bx in range(grid_x):
+                        np.add(V[r0:r1], pv[:, bx], out=V[r0:r1])
+                else:
+                    rr = r0
+                    while rr < r1:
+                        by = rr // t.mc
+                        seg = min(r1, (by + 1) * t.mc)
+                        lo, hi = rr - r0, seg - r0
+                        for bx in bx_orders[by]:
+                            np.add(V[rr:seg], pv[lo:hi, bx], out=V[rr:seg])
+                        rr = seg
 
     def _cta_attempt(
         self,
@@ -362,9 +599,11 @@ def fused_kernel_summation(
     abft: bool = False,
     fault_spec: Optional[FaultSpec] = None,
     max_retries: int = 2,
+    engine: Engine = "auto",
 ) -> np.ndarray:
     """One-shot convenience wrapper around :class:`FusedKernelSummation`."""
     return FusedKernelSummation(
         tiling, cta_order, seed,
         abft=abft, fault_spec=fault_spec, max_retries=max_retries,
+        engine=engine,
     )(data)

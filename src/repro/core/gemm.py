@@ -11,6 +11,20 @@ k-ordering.)
 Arbitrary shapes are supported by zero-padding up to the tile grid — the
 GPU kernel would instead predicate the boundary threads; zero padding is
 arithmetically identical for GEMM.
+
+Execution engines
+-----------------
+:class:`TiledGemm` has two execution paths producing bit-identical output
+(see docs/PERFORMANCE.md):
+
+* ``engine="loop"`` — the original per-CTA Python loop, one small matmul
+  per ``(bx, by, ki)``;
+* ``engine="batched"`` (what ``"auto"`` selects) — row chunks of the
+  output are computed full-width, one ``(rows x kc) @ (kc x Np)`` BLAS
+  call per k-panel.  Each output element still accumulates its rank-``kc``
+  updates in the same panel order, and a GEMM's per-element dot products do
+  not depend on how the surrounding output is blocked, so the bits match
+  the loop path exactly.
 """
 
 from __future__ import annotations
@@ -22,13 +36,20 @@ import numpy as np
 from ..obs.tracer import span
 from .tiling import PAPER_TILING, TilingConfig
 
-__all__ = ["pad_to_tiles", "tiled_gemm", "TiledGemm"]
+__all__ = ["pad_to_tiles", "pad_vector", "tiled_gemm", "TiledGemm"]
+
+#: engine names shared by TiledGemm and FusedKernelSummation
+ENGINES = ("auto", "batched", "loop")
 
 
 def pad_to_tiles(
     X: np.ndarray, row_multiple: int, col_multiple: int
 ) -> np.ndarray:
-    """Zero-pad a 2-D array so both dimensions hit the tile multiples."""
+    """Zero-pad a 2-D array so both dimensions hit the tile multiples.
+
+    Returns ``X`` itself (no copy) when both dimensions are already
+    aligned.
+    """
     if X.ndim != 2:
         raise ValueError("expected a 2-D array")
     r, c = X.shape
@@ -39,6 +60,22 @@ def pad_to_tiles(
     return np.pad(X, ((0, pr), (0, pc)))
 
 
+def pad_vector(x: np.ndarray, multiple: int) -> np.ndarray:
+    """Zero-pad a 1-D array to a length multiple; no copy when aligned."""
+    if x.ndim != 1:
+        raise ValueError("expected a 1-D array")
+    p = (-x.shape[0]) % multiple
+    if p == 0:
+        return x
+    return np.pad(x, (0, p))
+
+
+def _auto_chunk_rows(Np: int, itemsize: int, budget_bytes: int = 1 << 20) -> int:
+    """Row-chunk height keeping the two working buffers cache-resident."""
+    rows = budget_bytes // max(1, 2 * Np * itemsize)
+    return max(16, min(4096, int(rows)))
+
+
 class TiledGemm:
     """``C = A @ B`` computed CTA-by-CTA with rank-``kc`` panel updates.
 
@@ -46,10 +83,27 @@ class TiledGemm:
     and dtypes each time.  ``out`` lets the unfused pipeline write into a
     preallocated intermediate (mirroring the GPU, where the GEMM output
     buffer round-trips through DRAM).
+
+    ``engine`` selects the execution path (``"auto"``/``"batched"``/
+    ``"loop"``, see the module docstring); the path actually taken by the
+    most recent call is recorded in :attr:`last_engine`.
     """
 
-    def __init__(self, tiling: TilingConfig = PAPER_TILING) -> None:
+    def __init__(
+        self,
+        tiling: TilingConfig = PAPER_TILING,
+        engine: str = "auto",
+        chunk_rows: Optional[int] = None,
+    ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; use auto | batched | loop")
+        if chunk_rows is not None and chunk_rows < 1:
+            raise ValueError("chunk_rows must be positive")
         self.tiling = tiling
+        self.engine = engine
+        self.chunk_rows = chunk_rows
+        #: engine used by the most recent call ("batched" or "loop")
+        self.last_engine: Optional[str] = None
 
     def __call__(
         self, A: np.ndarray, B: np.ndarray, out: Optional[np.ndarray] = None
@@ -79,24 +133,56 @@ class TiledGemm:
 
         k_iters = Kp // t.kc
         grid_x, grid_y = Np // t.nc, Mp // t.mc
+        self.last_engine = "loop" if self.engine == "loop" else "batched"
         with span(
-            "gemm.tiled", M=M, N=N, K=K, grid_x=grid_x, grid_y=grid_y
+            "gemm.tiled",
+            M=M, N=N, K=K, grid_x=grid_x, grid_y=grid_y, engine=self.last_engine,
         ):
-            for by in range(grid_y):
-                r0, r1 = by * t.mc, (by + 1) * t.mc
-                for bx in range(grid_x):
-                    c0, c1 = bx * t.nc, (bx + 1) * t.nc
-                    with span("gemm.cta", bx=bx, by=by):
-                        acc = np.zeros((t.mc, t.nc), dtype=dt)
-                        for ki in range(k_iters):
-                            k0, k1 = ki * t.kc, (ki + 1) * t.kc
-                            # rank-kc update; NumPy keeps float32 arithmetic
-                            # for float32 inputs, matching the GPU's FFMA
-                            # chain.
-                            acc += Ap[r0:r1, k0:k1] @ Bp[k0:k1, c0:c1]
-                        rr, cc = min(r1, M), min(c1, N)
-                        C[r0:rr, c0:cc] = acc[: rr - r0, : cc - c0]
+            if self.last_engine == "batched":
+                self._run_batched(Ap, Bp, C, M, N, Np, k_iters, dt)
+            else:
+                self._run_loop(Ap, Bp, C, M, N, Np, Mp, k_iters, dt)
         return C
+
+    def _run_loop(self, Ap, Bp, C, M, N, Np, Mp, k_iters, dt) -> None:
+        t = self.tiling
+        for by in range(Mp // t.mc):
+            r0, r1 = by * t.mc, (by + 1) * t.mc
+            for bx in range(Np // t.nc):
+                c0, c1 = bx * t.nc, (bx + 1) * t.nc
+                with span("gemm.cta", bx=bx, by=by):
+                    acc = np.zeros((t.mc, t.nc), dtype=dt)
+                    for ki in range(k_iters):
+                        k0, k1 = ki * t.kc, (ki + 1) * t.kc
+                        # rank-kc update; NumPy keeps float32 arithmetic
+                        # for float32 inputs, matching the GPU's FFMA
+                        # chain.
+                        acc += Ap[r0:r1, k0:k1] @ Bp[k0:k1, c0:c1]
+                    rr, cc = min(r1, M), min(c1, N)
+                    C[r0:rr, c0:cc] = acc[: rr - r0, : cc - c0]
+
+    def _run_batched(self, Ap, Bp, C, M, N, Np, k_iters, dt) -> None:
+        t = self.tiling
+        Mp = Ap.shape[0]
+        chunk = self.chunk_rows or _auto_chunk_rows(Np, dt.itemsize)
+        acc = np.empty((min(chunk, Mp), Np), dtype=dt)
+        tmp = np.empty_like(acc)
+        for r0 in range(0, Mp, chunk):
+            r1 = min(r0 + chunk, Mp)
+            R = r1 - r0
+            a, b = acc[:R], tmp[:R]
+            with span("gemm.chunk", r0=r0, rows=R):
+                # same start-from-zero + per-panel add sequence as the CTA
+                # loop; copying the first panel instead would keep a -0.0
+                # that the loop's ``0 + x`` turns into +0.0
+                a[...] = 0
+                for ki in range(k_iters):
+                    k0, k1 = ki * t.kc, (ki + 1) * t.kc
+                    np.matmul(Ap[r0:r1, k0:k1], Bp[k0:k1, :], out=b)
+                    np.add(a, b, out=a)
+                rr = min(r1, M)
+                if rr > r0:
+                    C[r0:rr, :] = a[: rr - r0, :N]
 
 
 def tiled_gemm(
@@ -104,6 +190,7 @@ def tiled_gemm(
     B: np.ndarray,
     tiling: TilingConfig = PAPER_TILING,
     out: Optional[np.ndarray] = None,
+    engine: str = "auto",
 ) -> np.ndarray:
     """Convenience wrapper around :class:`TiledGemm`."""
-    return TiledGemm(tiling)(A, B, out=out)
+    return TiledGemm(tiling, engine=engine)(A, B, out=out)

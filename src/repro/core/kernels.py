@@ -13,13 +13,18 @@ Each :class:`KernelFunction` provides:
   (clamped at zero: float32 cancellation in ``|a|^2+|b|^2-2ab`` can produce
   tiny negatives, which the GPU code tolerates because ``exp`` is total but
   ``sqrt`` is not);
+* :meth:`evaluate_inplace` — the same arithmetic written into the input
+  buffer with ``out=`` ufunc calls, used by the batched execution engine to
+  avoid allocating the large intermediates; each in-place body replays the
+  out-of-place expression operation by operation, so the results are
+  bit-identical (see docs/PERFORMANCE.md);
 * a per-element flop/SFU cost used by the instruction-count model.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
@@ -41,6 +46,11 @@ class KernelFunction:
     fn: Callable[[np.ndarray, float], np.ndarray]
     fma_flops_per_element: int
     sfu_ops_per_element: int
+    #: optional allocation-free body: ``fn_inplace(sq, h, scratch)`` must
+    #: overwrite ``sq`` with the kernel value using the exact operation
+    #: sequence of ``fn`` (same ufuncs, same operand order), so the bits
+    #: match the out-of-place path
+    fn_inplace: Optional[Callable[[np.ndarray, float, Optional[np.ndarray]], np.ndarray]] = None
 
     def evaluate(self, sqdist: np.ndarray, h: float) -> np.ndarray:
         """Evaluate on squared distances, clamping negatives from cancellation."""
@@ -48,6 +58,24 @@ class KernelFunction:
             raise InvalidProblemError("bandwidth h must be positive")
         sq = np.maximum(sqdist, np.asarray(0, dtype=sqdist.dtype))
         return self.fn(sq, h)
+
+    def evaluate_inplace(
+        self, sqdist: np.ndarray, h: float, scratch: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Evaluate into ``sqdist`` itself; returns the overwritten array.
+
+        ``scratch`` is an optional same-shape buffer for kernels that need a
+        second intermediate (Matérn).  Falls back to the out-of-place body
+        (plus a copy) for kernels without an in-place form — bit-identical
+        either way.
+        """
+        if h <= 0:
+            raise InvalidProblemError("bandwidth h must be positive")
+        np.maximum(sqdist, np.asarray(0, dtype=sqdist.dtype), out=sqdist)
+        if self.fn_inplace is None:
+            np.copyto(sqdist, self.fn(sqdist, h))
+            return sqdist
+        return self.fn_inplace(sqdist, h, scratch)
 
 
 def _gaussian(sq: np.ndarray, h: float) -> np.ndarray:
@@ -75,18 +103,64 @@ def _matern32(sq: np.ndarray, h: float) -> np.ndarray:
     return ((dt.type(1.0) + c * r) * np.exp(-c * r)).astype(dt, copy=False)
 
 
+# In-place bodies.  Each replays its out-of-place expression one ufunc at a
+# time; unary negation/commuted multiplies are exact in IEEE arithmetic, so
+# e.g. ``np.negative`` + ``np.divide`` reproduces ``-sq / c`` bit for bit.
+
+def _gaussian_inplace(sq: np.ndarray, h: float, scratch=None) -> np.ndarray:
+    dt = sq.dtype
+    np.negative(sq, out=sq)
+    np.divide(sq, dt.type(2.0 * h * h), out=sq)
+    np.exp(sq, out=sq)
+    return sq
+
+
+def _laplace_inplace(sq: np.ndarray, h: float, scratch=None) -> np.ndarray:
+    dt = sq.dtype
+    np.add(sq, dt.type(h * h), out=sq)
+    np.sqrt(sq, out=sq)
+    np.divide(dt.type(1.0), sq, out=sq)
+    return sq
+
+
+def _polynomial_inplace(sq: np.ndarray, h: float, scratch=None) -> np.ndarray:
+    dt = sq.dtype
+    np.divide(sq, dt.type(h * h), out=sq)
+    np.add(dt.type(1.0), sq, out=sq)
+    np.divide(dt.type(1.0), sq, out=sq)
+    return sq
+
+
+def _matern32_inplace(sq: np.ndarray, h: float, scratch=None) -> np.ndarray:
+    dt = sq.dtype
+    if scratch is None or scratch.shape != sq.shape or scratch.dtype != dt:
+        scratch = np.empty_like(sq)
+    np.sqrt(sq, out=sq)
+    np.divide(sq, dt.type(h), out=sq)            # r
+    np.multiply(dt.type(np.sqrt(3.0)), sq, out=sq)  # c*r
+    np.negative(sq, out=scratch)                 # -(c*r) == (-c)*r exactly
+    np.exp(scratch, out=scratch)
+    np.add(dt.type(1.0), sq, out=sq)             # 1 + c*r
+    np.multiply(sq, scratch, out=sq)
+    return sq
+
+
 KERNELS: Dict[str, KernelFunction] = {
     k.name: k
     for k in [
         # exp lowers to FMUL (scale) + MUFU.EX2; the subtract/scale of the
         # exponent argument costs 2 more core flops.
-        KernelFunction("gaussian", _gaussian, fma_flops_per_element=3, sfu_ops_per_element=1),
+        KernelFunction("gaussian", _gaussian, fma_flops_per_element=3, sfu_ops_per_element=1,
+                       fn_inplace=_gaussian_inplace),
         # add softening + MUFU.RSQ
-        KernelFunction("laplace", _laplace, fma_flops_per_element=2, sfu_ops_per_element=1),
+        KernelFunction("laplace", _laplace, fma_flops_per_element=2, sfu_ops_per_element=1,
+                       fn_inplace=_laplace_inplace),
         # add + divide (MUFU.RCP)
-        KernelFunction("polynomial", _polynomial, fma_flops_per_element=2, sfu_ops_per_element=1),
+        KernelFunction("polynomial", _polynomial, fma_flops_per_element=2, sfu_ops_per_element=1,
+                       fn_inplace=_polynomial_inplace),
         # sqrt + exp + polynomial factor
-        KernelFunction("matern32", _matern32, fma_flops_per_element=4, sfu_ops_per_element=2),
+        KernelFunction("matern32", _matern32, fma_flops_per_element=4, sfu_ops_per_element=2,
+                       fn_inplace=_matern32_inplace),
     ]
 }
 

@@ -106,6 +106,11 @@ def cuda_unfused(
     data: ProblemData,
     tiling: TilingConfig = PAPER_TILING,
     keep_intermediates: bool = False,
+    engine: str = "auto",
 ) -> PipelineResult:
-    """Algorithm 1 with our own tiled CUDA-C-style GEMM."""
-    return UnfusedPipeline(TiledGemm(tiling), "CUDA-Unfused")(data, keep_intermediates)
+    """Algorithm 1 with our own tiled CUDA-C-style GEMM.
+
+    ``engine`` selects the GEMM execution path (``auto``/``batched``/
+    ``loop``, bit-identical — see :mod:`repro.core.gemm`).
+    """
+    return UnfusedPipeline(TiledGemm(tiling, engine=engine), "CUDA-Unfused")(data, keep_intermediates)

@@ -24,8 +24,9 @@ from __future__ import annotations
 import logging
 import pathlib
 import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..core.problem import ProblemSpec
 from ..errors import ExperimentTimeoutError, TransientModelError
@@ -134,6 +135,17 @@ class ResilientSweep:
     ``point_fn`` computes one task (default: the fused-vs-cuBLAS speedup
     point every axis sweep uses) and ``sleep`` is injectable so tests of
     the backoff path take microseconds.
+
+    ``max_workers > 1`` computes pending points concurrently on a thread
+    pool (the observability layer is thread-safe: span stacks are
+    thread-local, metric updates are locked).  Journal appends still
+    happen only in the calling thread, as each future completes, so the
+    journal file is never written concurrently; retry/backoff runs
+    per-task inside its worker.  The returned list is always in task
+    order regardless of completion order, and if any points fail the
+    exception of the earliest failing task is re-raised after the pool
+    drains (completed points are journalled first, so a re-run resumes
+    them).
     """
 
     def __init__(
@@ -146,15 +158,19 @@ class ResilientSweep:
             task.label, task.device, task.spec
         ),
         sleep: Callable[[float], None] = time.sleep,
+        max_workers: int = 1,
     ) -> None:
         if isinstance(journal, (str, pathlib.Path)):
             journal = SweepJournal(journal)
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
         self.journal = journal
         self.max_retries = max_retries
         self.backoff_s = backoff_s
         self.timeout_s = timeout_s
         self.point_fn = point_fn
         self.sleep = sleep
+        self.max_workers = max_workers
         #: labels served from the journal during the most recent run()
         self.resumed_labels: List[str] = []
 
@@ -206,24 +222,45 @@ class ResilientSweep:
                 )
             return point
 
+    def _commit(self, task: SweepTask, point: SweepPoint) -> SweepPoint:
+        """Journal + count one computed point (calling thread only)."""
+        if self.journal is not None:
+            self.journal.append(task.label, self._payload(point))
+        counter_inc("sweep.points_computed")
+        return point
+
     def run(self, tasks: Sequence[SweepTask]) -> List[SweepPoint]:
-        """Compute (or resume) every task, in order; returns all points."""
+        """Compute (or resume) every task; returns points in task order."""
         done = self.journal.load() if self.journal is not None else {}
         self.resumed_labels = []
-        points: List[SweepPoint] = []
-        for task in tasks:
+        points: List[Optional[SweepPoint]] = [None] * len(tasks)
+        pending: List[int] = []
+        for i, task in enumerate(tasks):
             if task.label in done:
-                points.append(self._from_payload(task, done[task.label]))
+                points[i] = self._from_payload(task, done[task.label])
                 self.resumed_labels.append(task.label)
                 counter_inc("sweep.points_resumed")
                 log_event(_log, logging.INFO, "resume", point=task.label)
-                continue
-            point = self._attempt(task)
-            if self.journal is not None:
-                self.journal.append(task.label, self._payload(point))
-            points.append(point)
-            counter_inc("sweep.points_computed")
-        return points
+            else:
+                pending.append(i)
+        if self.max_workers == 1 or len(pending) <= 1:
+            for i in pending:
+                points[i] = self._commit(tasks[i], self._attempt(tasks[i]))
+            return points  # type: ignore[return-value]
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            futures = {pool.submit(self._attempt, tasks[i]): i for i in pending}
+            failures: Dict[int, BaseException] = {}
+            for fut in as_completed(futures):
+                i = futures[fut]
+                try:
+                    point = fut.result()
+                except Exception as exc:  # noqa: BLE001 - re-raised below
+                    failures[i] = exc
+                    continue
+                points[i] = self._commit(tasks[i], point)
+        if failures:
+            raise failures[min(failures)]
+        return points  # type: ignore[return-value]
 
 
 def bandwidth_sweep(

@@ -47,12 +47,12 @@ def coalesce(
 
     first = addrs // sector_bytes
     last = (addrs + access_size - 1) // sector_bytes
-    sectors = set()
+    # expand each lane's [first, last] sector range in one 2-D broadcast,
+    # then unique-sort — no Python-level set loop
     span = int((last - first).max()) + 1
-    for k in range(span):
-        s = first + k
-        sectors.update(s[s <= last].tolist())
-    return np.array(sorted(sectors), dtype=np.int64) * sector_bytes
+    candidates = first[:, None] + np.arange(span, dtype=np.int64)[None, :]
+    sectors = np.unique(candidates[candidates <= last[:, None]])
+    return sectors * sector_bytes
 
 
 def transaction_count(

@@ -32,6 +32,23 @@ class CacheStats:
     write_misses: int = 0
     writebacks: int = 0
 
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            read_hits=self.read_hits + other.read_hits,
+            read_misses=self.read_misses + other.read_misses,
+            write_hits=self.write_hits + other.write_hits,
+            write_misses=self.write_misses + other.write_misses,
+            writebacks=self.writebacks + other.writebacks,
+        )
+
+    def __iadd__(self, other: "CacheStats") -> "CacheStats":
+        self.read_hits += other.read_hits
+        self.read_misses += other.read_misses
+        self.write_hits += other.write_hits
+        self.write_misses += other.write_misses
+        self.writebacks += other.writebacks
+        return self
+
     @property
     def accesses(self) -> int:
         return self.read_hits + self.read_misses + self.write_hits + self.write_misses
@@ -67,11 +84,14 @@ class CacheStats:
 class L2Cache:
     """LRU set-associative write-back cache over byte addresses.
 
-    Timestamps implement true LRU; the tag store is a dict per set, which is
-    plenty fast for the trace sizes used in validation (millions of
-    accesses).  Addresses are tracked at line granularity; sub-line (sector)
-    accesses to a resident line are hits, matching Maxwell's behaviour of
-    filling whole 128-byte lines from DRAM on miss.
+    The tag store is a dict per set kept in LRU order (hits re-insert their
+    entry, so the first key is always the least recently used line and
+    eviction is O(1) instead of an O(ways) timestamp scan); entries also
+    carry a last-use timestamp, which stays bit-exact between the scalar
+    and vectorized access paths.  Addresses are tracked at line
+    granularity; sub-line (sector) accesses to a resident line are hits,
+    matching Maxwell's behaviour of filling whole 128-byte lines from DRAM
+    on miss.
     """
 
     def __init__(self, size_bytes: int, line_bytes: int = 128, ways: int = 16) -> None:
@@ -96,14 +116,15 @@ class L2Cache:
         """Access one line; returns True on hit.  Handles fill + eviction."""
         self._clock += 1
         s = self._sets[set_idx]
-        entry = s.get(tag)
+        entry = s.pop(tag, None)
         if entry is not None:
             entry[0] = self._clock
             entry[1] = entry[1] or write
+            s[tag] = entry  # re-insert: dict order stays oldest-first
             return True
         if len(s) >= self.ways:
-            victim = min(s, key=lambda t: s[t][0])
-            if s[victim][1]:
+            victim, ventry = next(iter(s.items()))
+            if ventry[1]:
                 self.stats.writebacks += 1
             del s[victim]
         s[tag] = [self._clock, write]
@@ -130,10 +151,107 @@ class L2Cache:
             m.counter("gpu.l2.hits" if hit else "gpu.l2.misses").inc()
         return hit
 
-    def access_many(self, byte_addresses: Iterable[int] | np.ndarray, write: bool = False) -> None:
-        """Drive the cache with a stream of sector addresses."""
-        for a in np.asarray(byte_addresses, dtype=np.int64).ravel():
-            self.access(int(a), write)
+    def access_many(
+        self, byte_addresses: Iterable[int] | np.ndarray, write: bool = False
+    ) -> CacheStats:
+        """Drive the cache with a stream of sector addresses.
+
+        Vectorized equivalent of calling :meth:`access` per address:
+        addresses are shifted/masked to ``(set, tag)`` arrays up front and
+        consecutive same-line accesses are run-length deduplicated, so a
+        run of ``L`` sectors on one line costs one tag-store operation
+        (the trailing ``L - 1`` accesses are hits by construction; the
+        clock and the line's LRU timestamp advance exactly as the scalar
+        loop would have advanced them).  Final cache state, ``self.stats``
+        totals, and the ``repro.obs`` counter totals are identical to the
+        scalar path.
+
+        Returns the :class:`CacheStats` delta of this call (also
+        accumulated into ``self.stats``).
+        """
+        addrs = np.asarray(byte_addresses, dtype=np.int64).ravel()
+        delta = CacheStats()
+        if addrs.size == 0:
+            return delta
+        if addrs.min() < 0:
+            raise ValueError("negative address")
+        lines = addrs // self.line_bytes
+        set_idx = lines % self.num_sets
+        tags = lines // self.num_sets
+
+        # run-length dedup of consecutive same-line accesses; a run of L
+        # sectors costs one tag-store operation, and the line's final LRU
+        # timestamp is the clock value at the run's *last* access
+        starts = np.empty(lines.size, dtype=bool)
+        starts[0] = True
+        np.not_equal(lines[1:], lines[:-1], out=starts[1:])
+        run_at = np.flatnonzero(starts)
+        if run_at.size == lines.size:
+            # no dedup in this stream: every access is its own run, so the
+            # clock advances by exactly one per run and a lazy range avoids
+            # materializing a third Python list
+            run_sets = set_idx.tolist()
+            run_tags = tags.tolist()
+            run_clocks = range(self._clock + 1, self._clock + lines.size + 1)
+        else:
+            run_end = np.empty(run_at.size, dtype=np.int64)
+            run_end[:-1] = run_at[1:]
+            run_end[-1] = lines.size
+            run_sets = set_idx[run_at].tolist()
+            run_tags = tags[run_at].tolist()
+            run_clocks = (self._clock + run_end).tolist()
+
+        sets = self._sets
+        ways = self.ways
+        misses = 0
+        writebacks = 0
+        if write:
+            for si, tag, clk in zip(run_sets, run_tags, run_clocks):
+                s = sets[si]
+                entry = s.pop(tag, None)
+                if entry is not None:
+                    entry[0] = clk
+                    entry[1] = True
+                    s[tag] = entry
+                else:
+                    if len(s) >= ways:
+                        victim, ventry = next(iter(s.items()))
+                        if ventry[1]:
+                            writebacks += 1
+                        del s[victim]
+                    s[tag] = [clk, True]
+                    misses += 1
+        else:
+            for si, tag, clk in zip(run_sets, run_tags, run_clocks):
+                s = sets[si]
+                entry = s.pop(tag, None)
+                if entry is not None:
+                    entry[0] = clk
+                    s[tag] = entry
+                else:
+                    if len(s) >= ways:
+                        victim, ventry = next(iter(s.items()))
+                        if ventry[1]:
+                            writebacks += 1
+                        del s[victim]
+                    s[tag] = [clk, False]
+                    misses += 1
+        self._clock += int(addrs.size)
+        hits = int(addrs.size) - misses
+
+        if write:
+            delta.write_hits, delta.write_misses = hits, misses
+        else:
+            delta.read_hits, delta.read_misses = hits, misses
+        delta.writebacks = writebacks
+        self.stats += delta
+        m = active_metrics()
+        if m is not None:
+            if hits:
+                m.counter("gpu.l2.hits").inc(hits)
+            if misses:
+                m.counter("gpu.l2.misses").inc(misses)
+        return delta
 
     def resident_lines(self) -> int:
         return sum(len(s) for s in self._sets)

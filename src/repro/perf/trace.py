@@ -192,7 +192,27 @@ def evalsum_trace(spec: ProblemSpec) -> Iterator[Access]:
         yield addr, True
 
 
-def simulate_trace(trace: Iterator[Access], cache) -> None:
-    """Drive an :class:`~repro.gpu.l2cache.L2Cache` with a trace."""
+def simulate_trace(trace: Iterator[Access], cache, batch: int = 1 << 16):
+    """Drive an :class:`~repro.gpu.l2cache.L2Cache` with a trace.
+
+    Accesses are buffered into runs of the same read/write flag and fed to
+    the vectorized :meth:`~repro.gpu.l2cache.L2Cache.access_many` (up to
+    ``batch`` addresses per call), which preserves access order and
+    therefore the exact hit/miss/LRU behaviour of the per-access loop.
+    Returns the aggregate :class:`~repro.gpu.l2cache.CacheStats` delta of
+    the whole trace.
+    """
+    from ..gpu.l2cache import CacheStats
+
+    total = CacheStats()
+    buf: list[int] = []
+    buf_write = False
     for addr, write in trace:
-        cache.access(addr, write)
+        if buf and (write != buf_write or len(buf) >= batch):
+            total += cache.access_many(buf, buf_write)
+            buf.clear()
+        buf_write = write
+        buf.append(addr)
+    if buf:
+        total += cache.access_many(buf, buf_write)
+    return total

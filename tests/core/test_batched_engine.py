@@ -1,0 +1,176 @@
+"""Bit-identity of the batched execution engines vs the reference loops.
+
+The batched engine replaces the per-CTA Python loop with row-chunked numpy
+ops but promises the *same float32/float64 output bits* — same k-panel
+order, same tx-order intra-CTA summation, same ``cta_order`` inter-CTA
+commit order.  These tests pin that contract across dtypes, CTA orders,
+kernels, microtile widths (each intra-thread reduction plan), and
+non-tile-aligned shapes, and pin the dispatch rules (ABFT and fault
+injection always take the loop path).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FusedKernelSummation,
+    ProblemSpec,
+    TilingConfig,
+    generate,
+)
+from repro.core.gemm import TiledGemm, pad_to_tiles, pad_vector
+from repro.errors import InvalidProblemError
+from repro.faults import FaultSpec
+
+# small tiles so modest shapes span many CTAs in both grid dimensions;
+# micro_n picks the intra-thread reduction plan (copy / seq / tree8 / sum)
+TILING_MICRO4 = TilingConfig(mc=16, nc=16, kc=8, block_dim_x=4, block_dim_y=4)
+TILING_MICRO8 = TilingConfig(mc=16, nc=32, kc=8, block_dim_x=4, block_dim_y=4)
+TILING_MICRO2 = TilingConfig(mc=16, nc=16, kc=8, block_dim_x=8, block_dim_y=4)
+TILING_MICRO1 = TilingConfig(mc=16, nc=16, kc=8, block_dim_x=16, block_dim_y=4)
+
+# deliberately not multiples of mc/nc/kc
+ODD_SHAPE = (85, 51, 13)
+
+
+def _run(engine, tiling=TILING_MICRO4, cta_order="rowmajor", shape=ODD_SHAPE,
+         dtype="float32", kernel="gaussian", **kw):
+    M, N, K = shape
+    data = generate(ProblemSpec(M=M, N=N, K=K, h=0.9, kernel=kernel,
+                                dtype=dtype, seed=7))
+    impl = FusedKernelSummation(tiling, cta_order=cta_order, engine=engine, **kw)
+    return impl(data), impl
+
+
+class TestFusedBitIdentity:
+    @pytest.mark.parametrize("dtype", ["float32", "float64"])
+    @pytest.mark.parametrize("cta_order", ["rowmajor", "colmajor", "shuffled"])
+    @pytest.mark.parametrize("kernel",
+                             ["gaussian", "laplace", "polynomial", "matern32"])
+    def test_dtype_order_kernel_matrix(self, dtype, cta_order, kernel):
+        v_loop, _ = _run("loop", cta_order=cta_order, dtype=dtype, kernel=kernel)
+        v_bat, impl = _run("batched", cta_order=cta_order, dtype=dtype,
+                           kernel=kernel)
+        assert impl.last_engine == "batched"
+        assert np.array_equal(v_loop, v_bat)
+
+    @pytest.mark.parametrize("tiling", [TILING_MICRO1, TILING_MICRO2,
+                                        TILING_MICRO4, TILING_MICRO8],
+                             ids=["micro1", "micro2", "micro4", "micro8"])
+    def test_every_microtile_reduce_plan(self, tiling):
+        v_loop, _ = _run("loop", tiling=tiling)
+        v_bat, _ = _run("batched", tiling=tiling)
+        assert np.array_equal(v_loop, v_bat)
+
+    @pytest.mark.parametrize("shape", [(1, 1, 1), (16, 16, 8), (17, 15, 9),
+                                       (128, 96, 24), (3, 200, 5)])
+    def test_nonaligned_shapes(self, shape):
+        v_loop, _ = _run("loop", shape=shape)
+        v_bat, _ = _run("batched", shape=shape)
+        assert np.array_equal(v_loop, v_bat)
+
+    def test_paper_tiling_single_cta_column(self):
+        from repro.core.tiling import PAPER_TILING
+        v_loop, _ = _run("loop", tiling=PAPER_TILING, shape=(300, 200, 17))
+        v_bat, _ = _run("batched", tiling=PAPER_TILING, shape=(300, 200, 17))
+        assert np.array_equal(v_loop, v_bat)
+
+    def test_small_chunk_rows_still_identical(self):
+        v_bat, _ = _run("batched")
+        small, _ = _run("batched", chunk_rows=16)
+        assert np.array_equal(v_bat, small)
+
+
+class TestEngineDispatch:
+    def test_auto_without_abft_is_batched(self):
+        _, impl = _run("auto")
+        assert impl.last_engine == "batched"
+
+    def test_abft_takes_loop_path(self):
+        _, impl = _run("auto", abft=True)
+        assert impl.last_engine == "loop"
+
+    def test_fault_injection_takes_loop_path(self):
+        _, impl = _run("auto", fault_spec=FaultSpec(site="atomic", rate=0.0))
+        assert impl.last_engine == "loop"
+
+    def test_forced_batched_with_abft_refused(self):
+        with pytest.raises(InvalidProblemError):
+            _run("batched", abft=True)
+
+    def test_forced_loop_honoured(self):
+        _, impl = _run("loop")
+        assert impl.last_engine == "loop"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            FusedKernelSummation(TILING_MICRO4, engine="vectorised")
+
+
+class TestTiledGemmEngines:
+    @pytest.mark.parametrize("shape", [(85, 51, 13), (128, 128, 8), (1, 1, 1)])
+    def test_batched_matches_loop(self, shape):
+        M, N, K = shape
+        rng = np.random.default_rng(3)
+        A = rng.standard_normal((M, K)).astype(np.float32)
+        B = rng.standard_normal((K, N)).astype(np.float32)
+        loop = TiledGemm(TILING_MICRO4, engine="loop")
+        batched = TiledGemm(TILING_MICRO4, engine="batched")
+        assert np.array_equal(loop(A, B), batched(A, B))
+        assert batched.last_engine == "batched"
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ValueError):
+            TiledGemm(TILING_MICRO4, engine="nope")
+
+
+class TestZeroCopyPadding:
+    def test_pad_to_tiles_aligned_shares_memory(self):
+        X = np.ones((32, 64), dtype=np.float32)
+        P = pad_to_tiles(X, 16, 16)
+        assert P is X and np.shares_memory(P, X)
+
+    def test_pad_to_tiles_unaligned_copies_and_zero_fills(self):
+        X = np.ones((17, 15), dtype=np.float32)
+        P = pad_to_tiles(X, 16, 16)
+        assert P.shape == (32, 16)
+        assert not np.shares_memory(P, X)
+        assert np.all(P[17:, :] == 0) and np.all(P[:, 15:] == 0)
+
+    def test_pad_vector_aligned_shares_memory(self):
+        x = np.arange(48, dtype=np.float32)
+        p = pad_vector(x, 16)
+        assert p is x and np.shares_memory(p, x)
+
+    def test_pad_vector_unaligned_copies_and_zero_fills(self):
+        x = np.ones(13, dtype=np.float32)
+        p = pad_vector(x, 8)
+        assert p.shape == (16,) and not np.shares_memory(p, x)
+        assert np.all(p[13:] == 0)
+
+
+class TestCtaSequence:
+    """The three cta_orders are permutations of the same CTA grid."""
+
+    @pytest.mark.parametrize("grid", [(1, 1), (3, 4), (7, 5), (16, 2)])
+    def test_orders_are_permutations_of_the_grid(self, grid):
+        gx, gy = grid
+        want = sorted((bx, by) for bx in range(gx) for by in range(gy))
+        seqs = {}
+        for order in ("rowmajor", "colmajor", "shuffled"):
+            impl = FusedKernelSummation(TILING_MICRO4, cta_order=order)
+            seq = impl._cta_sequence(gx, gy)
+            assert len(seq) == gx * gy
+            assert sorted(seq) == want
+            seqs[order] = seq
+        assert seqs["rowmajor"] == [(bx, by) for by in range(gy)
+                                    for bx in range(gx)]
+        assert seqs["colmajor"] == [(bx, by) for bx in range(gx)
+                                    for by in range(gy)]
+
+    def test_shuffled_is_deterministic_per_seed(self):
+        a = FusedKernelSummation(TILING_MICRO4, cta_order="shuffled", seed=5)
+        b = FusedKernelSummation(TILING_MICRO4, cta_order="shuffled", seed=5)
+        c = FusedKernelSummation(TILING_MICRO4, cta_order="shuffled", seed=6)
+        assert a._cta_sequence(4, 4) == b._cta_sequence(4, 4)
+        assert a._cta_sequence(8, 8) != c._cta_sequence(8, 8)

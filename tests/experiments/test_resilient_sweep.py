@@ -168,3 +168,78 @@ class TestResilientSweep:
         points = ResilientSweep().run(tasks[:2])
         assert len(points) == 2
         assert all(p.speedup > 0 for p in points)
+
+
+class TestParallelSweep:
+    def test_workers_validated(self):
+        with pytest.raises(ValueError):
+            ResilientSweep(max_workers=0)
+
+    def test_parallel_matches_serial_in_task_order(self, tasks, tmp_path):
+        serial = ResilientSweep().run(tasks)
+        parallel = ResilientSweep(
+            journal=tmp_path / "j.jsonl", max_workers=4
+        ).run(tasks)
+        assert [(p.label, p.speedup) for p in parallel] == [
+            (p.label, p.speedup) for p in serial
+        ]
+
+    def test_parallel_journals_every_point(self, tasks, tmp_path):
+        journal_path = tmp_path / "j.jsonl"
+        ResilientSweep(journal=journal_path, max_workers=3).run(tasks)
+        assert set(SweepJournal(journal_path).load()) == {t.label for t in tasks}
+
+    def test_parallel_resumes_from_serial_journal(self, tasks, tmp_path):
+        journal_path = tmp_path / "j.jsonl"
+        ResilientSweep(journal=journal_path).run(tasks[:2])
+        computed = []
+
+        def counting(task):
+            computed.append(task.label)
+            return _point(task.label, task.device, task.spec)
+
+        sweep = ResilientSweep(
+            journal=journal_path, max_workers=4, point_fn=counting
+        )
+        points = sweep.run(tasks)
+        assert sweep.resumed_labels == [t.label for t in tasks[:2]]
+        assert sorted(computed) == sorted(t.label for t in tasks[2:])
+        assert [p.label for p in points] == [t.label for t in tasks]
+
+    def test_earliest_failure_reraised_after_drain(self, tasks, tmp_path):
+        journal_path = tmp_path / "j.jsonl"
+
+        def fails_late_and_early(task):
+            if task.label in (tasks[1].label, tasks[3].label):
+                raise TransientModelError(task.label)
+            return _point(task.label, task.device, task.spec)
+
+        sweep = ResilientSweep(
+            journal=journal_path, max_retries=0, max_workers=4,
+            point_fn=fails_late_and_early,
+        )
+        with pytest.raises(TransientModelError, match=tasks[1].label):
+            sweep.run(tasks)
+        # the successful points were journalled before the re-raise
+        assert set(SweepJournal(journal_path).load()) == {
+            tasks[0].label, tasks[2].label
+        }
+
+    def test_retry_backoff_runs_inside_workers(self, tasks):
+        failed = []
+
+        def flaky(task):
+            # only the first task's worker ever raises, exactly once
+            if task.label == tasks[0].label and not failed:
+                failed.append(task.label)
+                raise TransientModelError("transient")
+            return _point(task.label, task.device, task.spec)
+
+        sleeps = []
+        sweep = ResilientSweep(
+            max_retries=2, backoff_s=0.1, max_workers=2,
+            point_fn=flaky, sleep=sleeps.append,
+        )
+        points = sweep.run(tasks[:2])
+        assert len(points) == 2
+        assert sleeps == [0.1]

@@ -200,22 +200,36 @@ class TestTracedDecorator:
 
 
 class TestFusedSpanShape:
+    #: both engines emit the same phase spans (the batched engine per row
+    #: chunk rather than per CTA)
+    PHASES = {
+        "fused.run",
+        "fused.gemm",
+        "fused.gemm.kpanel",
+        "fused.kernel_eval",
+        "fused.reduce.intra_thread",
+        "fused.reduce.intra_cta",
+        "fused.reduce.inter_cta",
+    }
+
     def test_fused_run_has_the_paper_phases(self):
         """GEMM k-panels, kernel evaluation, and all three reduction levels."""
         data = generate(ProblemSpec(M=256, N=256, K=16, h=0.8, seed=7))
         with tracing() as tr:
             FusedKernelSummation()(data)
         names = set(tr.names())
-        assert {
-            "fused.run",
-            "fused.cta",
-            "fused.gemm",
-            "fused.gemm.kpanel",
-            "fused.kernel_eval",
-            "fused.reduce.intra_thread",
-            "fused.reduce.intra_cta",
-            "fused.reduce.inter_cta",
-        } <= names
+        assert self.PHASES <= names
+        # the default engine is batched: no per-CTA span
+        assert "fused.cta" not in names
         # the k-panel spans nest under a fused.gemm span
+        gemm_ids = {s.span_id for s in tr.find("fused.gemm")}
+        assert all(s.parent_id in gemm_ids for s in tr.find("fused.gemm.kpanel"))
+
+    def test_loop_engine_keeps_per_cta_spans(self):
+        data = generate(ProblemSpec(M=256, N=256, K=16, h=0.8, seed=7))
+        with tracing() as tr:
+            FusedKernelSummation(engine="loop")(data)
+        names = set(tr.names())
+        assert self.PHASES | {"fused.cta"} <= names
         gemm_ids = {s.span_id for s in tr.find("fused.gemm")}
         assert all(s.parent_id in gemm_ids for s in tr.find("fused.gemm.kpanel"))

@@ -1,20 +1,35 @@
 #!/usr/bin/env python
-"""Gate a collected profile against the committed baseline.
+"""Gate collected profiles and hot-path benchmarks against committed baselines.
 
     python tools/check_regression.py \
         --baseline benchmarks/results/BENCH_profile.json \
         --current BENCH_profile.json [--rtol 0.02]
 
-Compares every deterministic model metric the baseline records
-(:data:`repro.obs.profiling.TRACKED_METRICS`) point by point and exits
-non-zero if any drifts beyond the tolerance, printing one line per drift.
-Wall-clock fields (``model_wall_seconds``, functional ``wall_seconds``)
-are host-dependent and never gated.
+    python tools/check_regression.py \
+        --hotpath-current BENCH_hotpath.json [--hotpath-rtol 0.2]
+
+Profile gate: compares every deterministic model metric the baseline
+records (:data:`repro.obs.profiling.TRACKED_METRICS`) point by point and
+exits non-zero if any drifts beyond ``--rtol``.  Wall-clock fields
+(``model_wall_seconds``, functional ``wall_seconds``) are host-dependent
+and never gated.
+
+Hot-path gate: compares the *speedup ratios* recorded by
+``benchmarks/bench_hotpath.py`` case by case (intersecting names only) and
+fails if any current speedup falls below ``baseline * (1 - hotpath_rtol)``
+— by default a >20 % regression of a batched/vectorized path.  Speedups
+are same-machine ratios, so they transfer across hosts far better than
+absolute times; on noisy shared runners loosen the gate with
+``--hotpath-rtol 0.5`` (the override CI uses) rather than skipping it.
+
+Both gates run when both ``--current`` and ``--hotpath-current`` are
+given; at least one is required.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 
@@ -22,6 +37,35 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
 from repro.obs.profiling import compare_profiles, load_profile  # noqa: E402
+
+HOTPATH_SCHEMA = "repro-hotpath-bench/v1"
+
+
+def _load_hotpath(path: str) -> dict:
+    data = json.loads(pathlib.Path(path).read_text())
+    if data.get("schema") != HOTPATH_SCHEMA:
+        raise ValueError(f"{path}: not a {HOTPATH_SCHEMA} report")
+    return {c["name"]: c for c in data.get("cases", [])}
+
+
+def check_hotpath(baseline_path: str, current_path: str, rtol: float) -> list[str]:
+    """Speedup drifts beyond ``rtol``, one message per failing case."""
+    baseline = _load_hotpath(baseline_path)
+    current = _load_hotpath(current_path)
+    drifts = []
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        raise ValueError("no case names in common between baseline and current")
+    for name in shared:
+        want = float(baseline[name]["speedup"])
+        got = float(current[name]["speedup"])
+        floor = want * (1.0 - rtol)
+        if got < floor:
+            drifts.append(
+                f"{name}: speedup {got:.2f}x < floor {floor:.2f}x "
+                f"(baseline {want:.2f}x, rtol {rtol:g})"
+            )
+    return drifts
 
 
 def main(argv=None) -> int:
@@ -31,33 +75,77 @@ def main(argv=None) -> int:
         default=str(ROOT / "benchmarks" / "results" / "BENCH_profile.json"),
         help="committed reference profile (default: benchmarks/results/BENCH_profile.json)",
     )
-    parser.add_argument("--current", required=True, help="freshly collected profile")
+    parser.add_argument("--current", default=None, help="freshly collected profile")
     parser.add_argument(
         "--rtol", type=float, default=0.02,
-        help="relative drift tolerance per metric (default 0.02)",
+        help="relative drift tolerance per profile metric (default 0.02)",
+    )
+    parser.add_argument(
+        "--hotpath-baseline",
+        default=str(ROOT / "benchmarks" / "results" / "BENCH_hotpath.json"),
+        help="committed hot-path benchmark (default: benchmarks/results/BENCH_hotpath.json)",
+    )
+    parser.add_argument(
+        "--hotpath-current", default=None,
+        help="freshly collected hot-path benchmark (benchmarks/bench_hotpath.py output)",
+    )
+    parser.add_argument(
+        "--hotpath-rtol", type=float, default=0.2,
+        help="allowed relative speedup loss per hot-path case (default 0.2; "
+        "use 0.5 on noisy shared runners)",
     )
     args = parser.parse_args(argv)
 
-    try:
-        baseline = load_profile(args.baseline)
-        current = load_profile(args.current)
-    except (OSError, ValueError) as exc:
-        print(f"cannot load profile: {exc}", file=sys.stderr)
-        return 2
+    if args.current is None and args.hotpath_current is None:
+        parser.error("nothing to gate: pass --current and/or --hotpath-current")
 
-    drifts = compare_profiles(baseline, current, rtol=args.rtol)
-    points = len(baseline.get("records", []))
-    if drifts:
-        print(
-            f"REGRESSION: {len(drifts)} drift(s) vs {args.baseline} "
-            f"(rtol={args.rtol:g}):",
-            file=sys.stderr,
-        )
-        for d in drifts:
-            print(f"  {d}", file=sys.stderr)
-        return 1
-    print(f"OK: {points} baseline points within rtol={args.rtol:g} of {args.current}")
-    return 0
+    failures = 0
+
+    if args.current is not None:
+        try:
+            baseline = load_profile(args.baseline)
+            current = load_profile(args.current)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load profile: {exc}", file=sys.stderr)
+            return 2
+        drifts = compare_profiles(baseline, current, rtol=args.rtol)
+        points = len(baseline.get("records", []))
+        if drifts:
+            failures += 1
+            print(
+                f"REGRESSION: {len(drifts)} drift(s) vs {args.baseline} "
+                f"(rtol={args.rtol:g}):",
+                file=sys.stderr,
+            )
+            for d in drifts:
+                print(f"  {d}", file=sys.stderr)
+        else:
+            print(f"OK: {points} baseline points within rtol={args.rtol:g} of {args.current}")
+
+    if args.hotpath_current is not None:
+        try:
+            drifts = check_hotpath(
+                args.hotpath_baseline, args.hotpath_current, args.hotpath_rtol
+            )
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+            print(f"cannot load hot-path benchmark: {exc}", file=sys.stderr)
+            return 2
+        if drifts:
+            failures += 1
+            print(
+                f"REGRESSION: {len(drifts)} hot-path speedup(s) below floor "
+                f"vs {args.hotpath_baseline} (rtol={args.hotpath_rtol:g}):",
+                file=sys.stderr,
+            )
+            for d in drifts:
+                print(f"  {d}", file=sys.stderr)
+        else:
+            print(
+                f"OK: hot-path speedups within rtol={args.hotpath_rtol:g} "
+                f"of {args.hotpath_baseline}"
+            )
+
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":
