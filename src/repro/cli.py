@@ -15,13 +15,21 @@ writing any code:
 * ``sweep``     — device-sensitivity sweeps of the fused speedup;
 * ``faults``    — fault-injection campaign exercising the ABFT recovery path;
 * ``profile``   — collect the observability profile (spans, counters,
-  modelled metrics) and optionally gate it against a baseline.
+  modelled metrics) and optionally gate it against a baseline;
+* ``cache``     — inspect/clear/verify the persistent result store.
 
 Global observability flags (see :mod:`repro.obs` and docs/OBSERVABILITY.md):
 ``--log-level`` turns on structured key=value logging, ``--trace PATH``
 records a Chrome-trace span file for any command; the ``REPRO_LOG``,
 ``REPRO_TRACE`` and ``REPRO_METRICS`` environment variables do the same
 without touching the command line.
+
+The global ``--cache-dir PATH`` flag (or ``REPRO_CACHE_DIR``) arms the
+persistent result store (see docs/CACHING.md) for every grid-shaped
+command — ``solve``, ``model``, ``figure``, ``table``, ``reproduce`` and
+``sweep`` all consult it before recomputing, so two invocations sharing a
+cache directory produce bit-identical results with the second one served
+almost entirely from disk.
 """
 
 from __future__ import annotations
@@ -69,6 +77,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="record a Chrome-trace span file for this command "
         "(equivalent to REPRO_TRACE=<path>; load in Perfetto / chrome://tracing)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="persistent result store directory (equivalent to "
+        "REPRO_CACHE_DIR=<path>; see docs/CACHING.md)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -122,7 +137,10 @@ def build_parser() -> argparse.ArgumentParser:
         default="bandwidth",
     )
     p.add_argument("--workers", type=int, default=1, metavar="N",
-                   help="compute sweep points on N threads (default: serial)")
+                   help="compute sweep points on N workers (default: serial)")
+    p.add_argument("--backend", choices=["thread", "process"], default="thread",
+                   help="worker pool flavour: 'thread' (cheap, GIL-bound) or "
+                   "'process' (sidesteps the GIL; scales CPU-bound grids)")
     p.add_argument("--journal", default=None, metavar="PATH",
                    help="journal completed points here and resume from it on re-run")
 
@@ -160,6 +178,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-functional", action="store_true",
                    help="skip the wall-timed functional executions")
 
+    p = sub.add_parser("cache", help="inspect or maintain the persistent result store")
+    p.add_argument("action", choices=["stats", "clear", "verify"])
+    p.add_argument("--fix", action="store_true",
+                   help="with 'verify': delete records that fail the audit")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="with 'stats': machine-readable output")
+
     return parser
 
 
@@ -167,6 +192,22 @@ def _make_spec(args):
     from .core import ProblemSpec
 
     return ProblemSpec(M=args.M, N=args.N, K=args.K, h=args.h, kernel=args.kernel, seed=args.seed)
+
+
+def _store(args):
+    """The persistent result store this invocation should use, or None."""
+    from .store import ResultStore, default_store
+
+    if getattr(args, "cache_dir", None):
+        return ResultStore(args.cache_dir)
+    return default_store()
+
+
+def _print_store_stats(store) -> None:
+    if store is not None:
+        s = store.stats
+        print(f"store: {s.hits} hit(s), {s.misses} miss(es), "
+              f"{s.writes} write(s) [{len(store)} record(s) on disk]")
 
 
 def _cmd_solve(args) -> int:
@@ -179,12 +220,15 @@ def _cmd_solve(args) -> int:
               f"available: {sorted(IMPLEMENTATIONS)}", file=sys.stderr)
         return 2
     from .core.tiling import PAPER_TILING
+    from .store import cached_solve
 
+    store = _store(args)
     t0 = time.perf_counter()
-    V = IMPLEMENTATIONS[args.implementation](data, PAPER_TILING)
+    V = cached_solve(args.implementation, spec, PAPER_TILING, store=store)
     dt = time.perf_counter() - t0
+    cached = store is not None and store.stats.hits > 0
     print(f"{args.implementation}: M={spec.M} N={spec.N} K={spec.K} "
-          f"{dt * 1e3:.1f} ms (host), V[:4]={V[:4]}")
+          f"{dt * 1e3:.1f} ms (host{', cached' if cached else ''}), V[:4]={V[:4]}")
     if args.check:
         ref = direct(data)
         err = float(np.max(np.abs(V - ref) / (np.abs(ref) + 1e-3)))
@@ -236,21 +280,24 @@ def _cmd_figure(args) -> int:
         "fig8b": lambda r: ex.fig8b_dram_transactions(r, _grid(args.grid)),
         "fig9": lambda r: ex.fig9_energy_comparison(r, _grid(args.grid)),
     }
-    result = builders[args.name](ex.ExperimentRunner())
+    runner = ex.ExperimentRunner(store=_store(args))
+    result = builders[args.name](runner)
     print(ex.render_figure(result))
+    _print_store_stats(runner.store)
     return 0
 
 
 def _cmd_table(args) -> int:
     from . import experiments as ex
 
-    runner = ex.ExperimentRunner()
+    runner = ex.ExperimentRunner(store=_store(args))
     builders: Dict[str, Callable] = {
         "table1": lambda: ex.table1_configuration(),
         "table2": lambda: ex.table2_flop_efficiency(runner),
         "table3": lambda: ex.table3_energy_savings(runner),
     }
     print(ex.render_table(builders[args.name]()))
+    _print_store_stats(runner.store)
     return 0
 
 
@@ -320,12 +367,20 @@ def _cmd_sweep(args) -> int:
         print("error: --workers must be >= 1", file=sys.stderr)
         return 2
     spec = _make_spec(args)
-    if args.workers > 1 or args.journal is not None:
+    store = _store(args)
+    if args.workers > 1 or args.journal is not None or store is not None:
         # the resilient scheduler: journalled, resumable, optionally parallel
-        sweep = ResilientSweep(journal=args.journal, max_workers=args.workers)
+        sweep = ResilientSweep(
+            journal=args.journal,
+            max_workers=args.workers,
+            backend=args.backend,
+            store=store,
+        )
         points = sweep.run(sweep_tasks(args.axis, spec))
         if sweep.resumed_labels:
             print(f"resumed {len(sweep.resumed_labels)} point(s) from {args.journal}")
+        if sweep.cached_labels:
+            print(f"served {len(sweep.cached_labels)} point(s) from the result store")
     elif args.axis == "bandwidth":
         points = bandwidth_sweep(spec)
     elif args.axis == "sms":
@@ -337,6 +392,7 @@ def _cmd_sweep(args) -> int:
     print(f"fused speedup vs cuBLAS-Unfused, sweeping {args.axis} "
           f"(M={spec.M}, N={spec.N}, K={spec.K} baseline):")
     print(render_bars([p.label for p in points], [p.speedup for p in points], unit="x"))
+    _print_store_stats(store)
     return 0
 
 
@@ -406,11 +462,55 @@ def _cmd_profile(args) -> int:
 
 
 def _cmd_reproduce(args) -> int:
-    from .experiments import full_reproduction_report
+    from .experiments import ExperimentRunner, full_reproduction_report
 
-    report = full_reproduction_report(_grid(args.grid), include_figures=not args.no_figures)
+    runner = ExperimentRunner(store=_store(args))
+    report = full_reproduction_report(
+        _grid(args.grid), include_figures=not args.no_figures, runner=runner
+    )
     print(report.render())
+    _print_store_stats(runner.store)
     return 0 if report.passed == report.total else 1
+
+
+def _cmd_cache(args) -> int:
+    import json as _json
+
+    from .store import default_store
+
+    store = _store(args)
+    if store is None:
+        print("no result store configured: pass --cache-dir PATH or set "
+              "REPRO_CACHE_DIR", file=sys.stderr)
+        return 2
+    if args.action == "stats":
+        doc = {
+            "root": str(store.root),
+            "records": len(store),
+            "size_bytes": store.size_bytes(),
+            "kinds": store.kinds(),
+        }
+        if args.as_json:
+            print(_json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            print(f"result store at {doc['root']}")
+            print(f"  records:  {doc['records']}")
+            print(f"  on disk:  {doc['size_bytes'] / 1e6:.2f} MB")
+            for kind, count in sorted(doc["kinds"].items()):
+                print(f"  {kind}: {count}")
+        return 0
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} record(s) from {store.root}")
+        return 0
+    # verify
+    report = store.verify(fix=args.fix)
+    print(f"checked {report.checked} record(s)")
+    for problem in report.problems:
+        print(f"  BAD {problem}", file=sys.stderr)
+    if report.removed:
+        print(f"removed {len(report.removed)} broken record(s)")
+    return 0 if report.ok or args.fix else 1
 
 
 def main(argv=None) -> int:
@@ -433,6 +533,7 @@ def main(argv=None) -> int:
         "sweep": _cmd_sweep,
         "faults": _cmd_faults,
         "profile": _cmd_profile,
+        "cache": _cmd_cache,
     }
 
     # Observability: environment first, then explicit flags on top.

@@ -1,0 +1,102 @@
+"""Canonical configuration digesting for the persistent result store.
+
+Every cached experiment record (:mod:`repro.store`) is addressed by a
+SHA-256 digest of *everything that determines the answer*: the repro
+version, the device configuration, the pipeline/engine pair, the problem
+shapes and dtype, the kernel and tiling parameters, and — when present —
+the fault/ABFT specification.  Two processes that agree on all of those
+produce bit-identical results, so they may share one record; any single
+field changing must change the digest, so a stale record can never be
+served.
+
+:func:`canonical_payload` flattens the frozen dataclasses this package
+uses as configuration (ProblemSpec, TilingConfig, Calibration, DeviceSpec,
+FaultSpec, ...) into a deterministic JSON-serializable structure.  Each
+dataclass is tagged with its class name so two config types whose field
+values coincide still digest differently.  Floats pass through ``repr``
+via ``json.dumps`` — Python's shortest-round-trip formatting — so the
+digest is exact, not approximate.
+
+:func:`config_digest` stamps the package version into every digest, which
+makes a version bump a whole-cache invalidation by construction (records
+written by old code are simply never looked up again; ``repro cache
+clear`` reclaims the space).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Mapping
+
+__all__ = ["canonical_payload", "canonical_json", "config_digest"]
+
+
+def _version() -> str:
+    # indirection so tests can simulate a version bump by monkeypatching
+    from .._version import __version__
+
+    return __version__
+
+
+def canonical_payload(obj: Any) -> Any:
+    """Deterministic JSON-ready form of a configuration value.
+
+    Supported: dataclasses (tagged with their class name), mappings with
+    string keys, sequences, numpy scalars, and JSON scalars.  Anything
+    else is a configuration-design error and raises ``TypeError`` loudly
+    rather than digesting an unstable ``repr``.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: canonical_payload(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return {"__config__": type(obj).__name__, **fields}
+    if isinstance(obj, Mapping):
+        out = {}
+        for key in obj:
+            if not isinstance(key, str):
+                raise TypeError(f"config mapping keys must be str, got {key!r}")
+            out[key] = canonical_payload(obj[key])
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [canonical_payload(v) for v in obj]
+    if isinstance(obj, (str, bool)) or obj is None:
+        return obj
+    if isinstance(obj, (int, float)):
+        return obj
+    # numpy scalars (np.float64, np.int64, ...) expose .item()
+    item = getattr(obj, "item", None)
+    if callable(item) and getattr(obj, "shape", None) == ():
+        return canonical_payload(item())
+    raise TypeError(
+        f"cannot canonicalize {type(obj).__name__!r} for digesting; "
+        "use dataclasses, mappings, sequences, or JSON scalars"
+    )
+
+
+def canonical_json(components: Mapping[str, Any]) -> str:
+    """The exact JSON text a digest is computed over (for debugging)."""
+    payload = {"repro_version": _version(), **canonical_payload(components)}
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def config_digest(components: Mapping[str, Any]) -> str:
+    """SHA-256 hex digest of a component mapping, version included.
+
+    ``components`` names every ingredient of one cacheable result, e.g.::
+
+        config_digest({
+            "kind": "experiment.metrics/v1",
+            "implementation": "fused",
+            "spec": spec, "tiling": tiling, "cal": cal, "device": device,
+        })
+
+    The ``kind`` entry namespaces record schemas so a metrics record and a
+    functional-solve record can never collide; bump its ``/vN`` suffix
+    when the record layout changes.
+    """
+    text = canonical_json(components)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

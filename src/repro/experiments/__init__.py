@@ -21,9 +21,11 @@ from .sweep import (
     SweepPoint,
     SweepTask,
     bandwidth_sweep,
+    default_point_fn,
     l2_size_sweep,
     n_sweep,
     sm_count_sweep,
+    sweep_point_digest,
     sweep_tasks,
 )
 from .validation import TrafficValidation, validate_kernel_traffic
@@ -66,6 +68,8 @@ __all__ = [
     "SweepTask",
     "ResilientSweep",
     "SweepJournal",
+    "default_point_fn",
+    "sweep_point_digest",
     "sweep_tasks",
     "bandwidth_sweep",
     "sm_count_sweep",

@@ -155,9 +155,15 @@ def _headline_claims(runner: ExperimentRunner) -> List[ClaimCheck]:
 def full_reproduction_report(
     grid: ExperimentGrid = PAPER_GRID,
     include_figures: bool = True,
+    runner: ExperimentRunner = None,
 ) -> ReproductionReport:
-    """Run the whole reproduction and return the consolidated report."""
-    runner = ExperimentRunner()
+    """Run the whole reproduction and return the consolidated report.
+
+    Pass a ``runner`` carrying a persistent store to make a warm re-run of
+    the entire report replay its grid from cache.
+    """
+    if runner is None:
+        runner = ExperimentRunner()
     report = ReproductionReport()
     report.claims = _headline_claims(runner)
 

@@ -8,6 +8,16 @@ the figures share most of their grid points.  The cache key covers
 calibration, device), so mutating ``runner.cal`` or ``runner.tiling``
 between calls can never hand back a stale record.
 
+On top of the in-process memo sits the optional *persistent* layer: give
+the runner a :class:`repro.store.ResultStore` (or let :func:`repro.store.
+default_store` pick one up from ``$REPRO_CACHE_DIR``) and every computed
+record is written through to disk under a full-configuration content
+digest, so a second CLI invocation, CI job, or figure bench on the same
+machine replays the grid from cache instead of recomputing it.  Runs
+under an armed fault-injection context bypass the persistent layer in
+both directions — an injected run is neither served clean results nor
+allowed to poison them.
+
 :meth:`ExperimentRunner.run_with_retry` is the resilient entry point the
 sweep harness builds on: transient failures are retried with exponential
 backoff, and every attempt is held to a wall-clock budget.
@@ -18,12 +28,14 @@ from __future__ import annotations
 import logging
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple, Union
 
+from ..core.digest import config_digest
 from ..core.problem import ProblemSpec
 from ..core.tiling import PAPER_TILING, TilingConfig
 from ..energy.model import EnergyBreakdown, EnergyModel
 from ..errors import ExperimentTimeoutError, TransientModelError
+from ..faults.injector import active_injector
 from ..gpu.device import GTX970, DeviceSpec
 from ..obs.log import get_logger, log_event
 from ..obs.metrics import counter_inc
@@ -31,7 +43,10 @@ from ..obs.tracer import span
 from ..perf.calibration import Calibration, DEFAULT_CALIBRATION
 from ..perf.pipeline import model_gemm, model_run
 
-__all__ = ["Metrics", "ExperimentRunner"]
+__all__ = ["Metrics", "ExperimentRunner", "METRICS_KIND"]
+
+#: record-schema namespace of persisted metric records
+METRICS_KIND = "experiment.metrics/v1"
 
 _log = get_logger("experiments.runner")
 
@@ -54,19 +69,62 @@ class Metrics:
         return self.energy.total
 
 
+def _metrics_payload(m: Metrics) -> dict:
+    """JSON-exact record body (floats round-trip bit-identically)."""
+    e = m.energy
+    # float() unwraps any numpy scalar; float64 -> JSON -> float64 is exact
+    return {
+        "kind": METRICS_KIND,
+        "implementation": m.implementation,
+        "seconds": float(m.seconds),
+        "flop_efficiency": float(m.flop_efficiency),
+        "l2_transactions": float(m.l2_transactions),
+        "dram_transactions": float(m.dram_transactions),
+        "l2_mpki": float(m.l2_mpki),
+        "energy": {
+            "compute": float(e.compute), "smem": float(e.smem), "l2": float(e.l2),
+            "dram": float(e.dram), "static": float(e.static),
+        },
+    }
+
+
+def _metrics_from_payload(implementation: str, spec: ProblemSpec, payload: dict) -> Metrics:
+    return Metrics(
+        implementation=implementation,
+        spec=spec,
+        seconds=float(payload["seconds"]),
+        flop_efficiency=float(payload["flop_efficiency"]),
+        l2_transactions=float(payload["l2_transactions"]),
+        dram_transactions=float(payload["dram_transactions"]),
+        l2_mpki=float(payload["l2_mpki"]),
+        energy=EnergyBreakdown(**{k: float(v) for k, v in payload["energy"].items()}),
+    )
+
+
 class ExperimentRunner:
-    """Runs and caches modelled experiments on one device."""
+    """Runs and caches modelled experiments on one device.
+
+    ``store`` adds the persistent layer: a :class:`repro.store.ResultStore`
+    instance or a cache-directory path.  ``store=None`` (the default)
+    keeps the runner purely in-memory.
+    """
 
     def __init__(
         self,
         device: DeviceSpec = GTX970,
         tiling: TilingConfig = PAPER_TILING,
         cal: Calibration = DEFAULT_CALIBRATION,
+        store: Union["ResultStore", str, None] = None,
     ) -> None:
         self.device = device
         self.tiling = tiling
         self.cal = cal
         self.energy_model = EnergyModel(device)
+        if store is not None and not hasattr(store, "get"):
+            from ..store import ResultStore
+
+            store = ResultStore(store)
+        self.store = store
         self._cache: Dict[
             Tuple[str, ProblemSpec, TilingConfig, Calibration, DeviceSpec], Metrics
         ] = {}
@@ -76,10 +134,46 @@ class ExperimentRunner:
         # whose tiling/cal/device is swapped must recompute, not replay
         return (implementation, spec, self.tiling, self.cal, self.device)
 
+    def digest(self, implementation: str, spec: ProblemSpec) -> str:
+        """Content address of one metric record in the persistent store."""
+        return config_digest(
+            {
+                "kind": METRICS_KIND,
+                "implementation": implementation,
+                "spec": spec,
+                "tiling": self.tiling,
+                "cal": self.cal,
+                "device": self.device,
+            }
+        )
+
+    def _store_get(self, implementation: str, spec: ProblemSpec) -> Optional[Metrics]:
+        if self.store is None or active_injector() is not None:
+            return None
+        cached = self.store.get(self.digest(implementation, spec))
+        if cached is None:
+            return None
+        payload, _ = cached
+        if payload.get("kind") != METRICS_KIND:
+            return None
+        return _metrics_from_payload(implementation, spec, payload)
+
+    def _store_put(self, implementation: str, spec: ProblemSpec, metrics: Metrics) -> None:
+        # never persist anything computed under an armed fault injector:
+        # the clean cache must only ever hold clean results
+        if self.store is None or active_injector() is not None:
+            return
+        self.store.put(self.digest(implementation, spec), _metrics_payload(metrics))
+
     def run(self, implementation: str, spec: ProblemSpec) -> Metrics:
         """Model one implementation on one problem (cached)."""
         key = self._key(implementation, spec)
         if key not in self._cache:
+            persisted = self._store_get(implementation, spec)
+            if persisted is not None:
+                counter_inc("experiments.cache.store_hits")
+                self._cache[key] = persisted
+                return persisted
             counter_inc("experiments.cache.misses")
             with span(
                 "experiment.run",
@@ -99,6 +193,7 @@ class ExperimentRunner:
                     l2_mpki=prof.l2_mpki(),
                     energy=self.energy_model.breakdown(prof),
                 )
+            self._store_put(implementation, spec, self._cache[key])
         else:
             counter_inc("experiments.cache.hits")
         return self._cache[key]

@@ -17,23 +17,46 @@ journalled to disk as they complete (:class:`~repro.experiments.io.
 SweepJournal`), transient failures are retried with exponential backoff
 under a wall-clock budget, and a re-run with the same journal path resumes
 exactly where the previous process died.
+
+Two execution backends compute the pending points:
+
+* ``backend="thread"`` — a thread pool; cheap to spin up, but grid points
+  are GIL-bound Python, so concurrency only helps latency-dominated work;
+* ``backend="process"`` — a :class:`~concurrent.futures.
+  ProcessPoolExecutor`; each point runs with its own interpreter, so a
+  K x M model grid scales with cores.  Bulk inputs travel zero-copy
+  through ``multiprocessing.shared_memory`` (``shared_inputs=``; workers
+  read them back via :func:`repro.store.get_shared_arrays`).
+
+Either backend consults the persistent result store (``store=``) *before*
+scheduling: points already on disk — journalled by a previous run of this
+journal, or computed by any other process sharing the cache directory —
+are served without touching the pool, so a warm re-run of a figure bench
+is pure cache hits.
 """
 
 from __future__ import annotations
 
 import logging
 import pathlib
+import pickle
 import time
-from concurrent.futures import ThreadPoolExecutor, as_completed
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
+import numpy as np
+
+from ..core.digest import config_digest
 from ..core.problem import ProblemSpec
+from ..core.tiling import PAPER_TILING
 from ..errors import ExperimentTimeoutError, TransientModelError
+from ..faults.injector import active_injector
 from ..gpu.device import GTX970, DeviceSpec
 from ..obs.log import get_logger, log_event
 from ..obs.metrics import counter_inc
 from ..obs.tracer import span
+from ..perf.calibration import DEFAULT_CALIBRATION
 from .io import SweepJournal
 from .runner import ExperimentRunner
 
@@ -43,12 +66,21 @@ __all__ = [
     "SweepPoint",
     "SweepTask",
     "ResilientSweep",
+    "default_point_fn",
+    "sweep_point_digest",
     "sweep_tasks",
     "bandwidth_sweep",
     "sm_count_sweep",
     "l2_size_sweep",
     "n_sweep",
+    "SWEEP_KIND",
+    "DEFAULT_POINT_TAG",
 ]
+
+#: record-schema namespace of persisted sweep points
+SWEEP_KIND = "sweep.point/v1"
+#: store tag of :func:`default_point_fn` (fused-vs-cuBLAS speedup)
+DEFAULT_POINT_TAG = "fused-vs-cublas-speedup/v1"
 
 
 @dataclass(frozen=True)
@@ -80,6 +112,78 @@ class SweepTask:
     label: str
     device: DeviceSpec
     spec: ProblemSpec
+
+
+def default_point_fn(task: SweepTask) -> SweepPoint:
+    """The point every axis sweep computes: fused-vs-cuBLAS speedup.
+
+    Module-level (not a lambda) so the process backend can pickle it, and
+    the store can address its results under :data:`DEFAULT_POINT_TAG`.
+    """
+    return _point(task.label, task.device, task.spec)
+
+
+def sweep_point_digest(task: SweepTask, tag: str = DEFAULT_POINT_TAG) -> str:
+    """Content address of one sweep point in the persistent store.
+
+    The default point function models with the paper tiling and default
+    calibration, so both are part of the address — a calibration change
+    invalidates every cached point.
+    """
+    components = {
+        "kind": SWEEP_KIND,
+        "tag": tag,
+        "label": task.label,
+        "device": task.device,
+        "spec": task.spec,
+    }
+    if tag == DEFAULT_POINT_TAG:
+        components["tiling"] = PAPER_TILING
+        components["cal"] = DEFAULT_CALIBRATION
+    return config_digest(components)
+
+
+def _attempt_task(
+    point_fn: Callable[[SweepTask], SweepPoint],
+    task: SweepTask,
+    max_retries: int,
+    backoff_s: float,
+    timeout_s: Optional[float],
+    sleep: Callable[[float], None] = time.sleep,
+) -> SweepPoint:
+    """Compute one task with retry/backoff/timeout (both backends).
+
+    Module-level so a process worker can receive it directly; the thread
+    backend passes the sweep's injectable ``sleep``, process workers
+    always really sleep.
+    """
+    attempt = 0
+    while True:
+        t0 = time.perf_counter()
+        try:
+            with span("sweep.point", label=task.label, device=task.device.name):
+                point = point_fn(task)
+        except TransientModelError as exc:
+            if attempt >= max_retries:
+                raise
+            counter_inc("sweep.retries")
+            log_event(
+                _log, logging.INFO, "retry",
+                point=task.label,
+                attempt=attempt + 1,
+                max_retries=max_retries,
+                error=type(exc).__name__,
+            )
+            sleep(backoff_s * (2.0 ** attempt))
+            attempt += 1
+            continue
+        elapsed = time.perf_counter() - t0
+        if timeout_s is not None and elapsed > timeout_s:
+            raise ExperimentTimeoutError(
+                f"sweep point {task.label!r} took {elapsed:.3f}s "
+                f"(budget {timeout_s:.3f}s)"
+            )
+        return point
 
 
 def sweep_tasks(axis: str, spec: ProblemSpec, base: DeviceSpec = GTX970) -> List[SweepTask]:
@@ -132,20 +236,38 @@ class ResilientSweep:
       :class:`~repro.errors.ExperimentTimeoutError` — a hung model is a
       bug, not something to spin on forever.
 
-    ``point_fn`` computes one task (default: the fused-vs-cuBLAS speedup
-    point every axis sweep uses) and ``sleep`` is injectable so tests of
-    the backoff path take microseconds.
+    ``point_fn`` computes one task (default: :func:`default_point_fn`, the
+    fused-vs-cuBLAS speedup point every axis sweep uses) and ``sleep`` is
+    injectable so tests of the backoff path take microseconds (thread
+    backend only; process workers really sleep).
 
-    ``max_workers > 1`` computes pending points concurrently on a thread
-    pool (the observability layer is thread-safe: span stacks are
-    thread-local, metric updates are locked).  Journal appends still
-    happen only in the calling thread, as each future completes, so the
-    journal file is never written concurrently; retry/backoff runs
-    per-task inside its worker.  The returned list is always in task
-    order regardless of completion order, and if any points fail the
-    exception of the earliest failing task is re-raised after the pool
-    drains (completed points are journalled first, so a re-run resumes
-    them).
+    ``max_workers > 1`` computes pending points concurrently.  With
+    ``backend="thread"`` that is a thread pool (the observability layer
+    is thread-safe: span stacks are thread-local, metric updates are
+    locked); with ``backend="process"`` a :class:`ProcessPoolExecutor`,
+    which sidesteps the GIL for the CPU-bound model grids — ``point_fn``
+    must then be picklable (module-level, not a lambda/closure).  Bulk
+    numpy inputs go in ``shared_inputs``: they are exported once into
+    ``multiprocessing.shared_memory`` segments and every worker maps them
+    read-only, zero-copy (:func:`repro.store.get_shared_arrays` retrieves
+    them inside ``point_fn``; the thread and serial paths expose the same
+    dict through the same call, so one point function serves every
+    backend).  Journal appends happen only in the parent, as each future
+    completes, so the journal file is never written concurrently.  The
+    returned list is always in task order regardless of completion order,
+    and if any points fail the exception of the earliest failing task is
+    re-raised after the pool drains (completed points are journalled
+    first, so a re-run resumes them).
+
+    ``store`` plugs in the persistent result cache: before any point is
+    scheduled the store is consulted under :func:`sweep_point_digest`, and
+    computed points are written back, so any process sharing the cache
+    directory short-circuits warm re-runs entirely.  The store is only
+    used when the results are addressable — i.e. ``point_fn`` is the
+    default one, or the caller names a ``store_tag`` vouching that the
+    digest identifies their function's output.  With a fault-injection
+    context armed the store is bypassed in both directions: injected runs
+    are never served from, and never written to, the clean-result cache.
     """
 
     def __init__(
@@ -154,16 +276,24 @@ class ResilientSweep:
         max_retries: int = 3,
         backoff_s: float = 0.05,
         timeout_s: Optional[float] = None,
-        point_fn: Callable[[SweepTask], SweepPoint] = lambda task: _point(
-            task.label, task.device, task.spec
-        ),
+        point_fn: Callable[[SweepTask], SweepPoint] = default_point_fn,
         sleep: Callable[[float], None] = time.sleep,
         max_workers: int = 1,
+        backend: str = "thread",
+        store: Union["ResultStore", str, pathlib.Path, None] = None,
+        store_tag: Optional[str] = None,
+        shared_inputs: Optional[Dict[str, np.ndarray]] = None,
     ) -> None:
         if isinstance(journal, (str, pathlib.Path)):
             journal = SweepJournal(journal)
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        if backend not in ("thread", "process"):
+            raise ValueError(f"unknown backend {backend!r}; use thread | process")
+        if store is not None and not hasattr(store, "get"):
+            from ..store import ResultStore
+
+            store = ResultStore(store)
         self.journal = journal
         self.max_retries = max_retries
         self.backoff_s = backoff_s
@@ -171,8 +301,17 @@ class ResilientSweep:
         self.point_fn = point_fn
         self.sleep = sleep
         self.max_workers = max_workers
+        self.backend = backend
+        self.store = store
+        if store_tag is None and point_fn is default_point_fn:
+            store_tag = DEFAULT_POINT_TAG
+        #: digest tag the store uses; None disables the store for this sweep
+        self.store_tag = store_tag
+        self.shared_inputs = shared_inputs
         #: labels served from the journal during the most recent run()
         self.resumed_labels: List[str] = []
+        #: labels served from the persistent store during the most recent run()
+        self.cached_labels: List[str] = []
 
     # -- journal payload (de)serialization --------------------------------
     @staticmethod
@@ -194,45 +333,79 @@ class ResilientSweep:
         )
 
     def _attempt(self, task: SweepTask) -> SweepPoint:
-        attempt = 0
-        while True:
-            t0 = time.perf_counter()
-            try:
-                with span("sweep.point", label=task.label, device=task.device.name):
-                    point = self.point_fn(task)
-            except TransientModelError as exc:
-                if attempt >= self.max_retries:
-                    raise
-                counter_inc("sweep.retries")
-                log_event(
-                    _log, logging.INFO, "retry",
-                    point=task.label,
-                    attempt=attempt + 1,
-                    max_retries=self.max_retries,
-                    error=type(exc).__name__,
-                )
-                self.sleep(self.backoff_s * (2.0 ** attempt))
-                attempt += 1
-                continue
-            elapsed = time.perf_counter() - t0
-            if self.timeout_s is not None and elapsed > self.timeout_s:
-                raise ExperimentTimeoutError(
-                    f"sweep point {task.label!r} took {elapsed:.3f}s "
-                    f"(budget {self.timeout_s:.3f}s)"
-                )
-            return point
+        return _attempt_task(
+            self.point_fn, task,
+            self.max_retries, self.backoff_s, self.timeout_s, self.sleep,
+        )
 
     def _commit(self, task: SweepTask, point: SweepPoint) -> SweepPoint:
-        """Journal + count one computed point (calling thread only)."""
+        """Journal + persist + count one computed point (parent side only)."""
         if self.journal is not None:
             self.journal.append(task.label, self._payload(point))
+        if self._store_usable():
+            self.store.put(
+                sweep_point_digest(task, self.store_tag),
+                {"kind": SWEEP_KIND, "tag": self.store_tag,
+                 "label": task.label, **self._payload(point)},
+            )
         counter_inc("sweep.points_computed")
         return point
 
+    def _store_usable(self) -> bool:
+        # injected runs must neither read nor write the clean-result cache
+        return (
+            self.store is not None
+            and self.store_tag is not None
+            and active_injector() is None
+        )
+
+    def _store_lookup(self, task: SweepTask) -> Optional[SweepPoint]:
+        cached = self.store.get(sweep_point_digest(task, self.store_tag))
+        if cached is None:
+            return None
+        payload, _ = cached
+        if payload.get("kind") != SWEEP_KIND:
+            return None
+        return self._from_payload(task, payload)
+
+    def _make_pool(self) -> Executor:
+        if self.backend == "process":
+            try:
+                pickle.dumps(self.point_fn)
+            except Exception as exc:
+                raise ValueError(
+                    "backend='process' needs a picklable point_fn "
+                    "(module-level function, not a lambda/closure); "
+                    f"pickling {self.point_fn!r} failed: {exc}"
+                ) from exc
+            initializer = initargs = None
+            if self.shared_inputs:
+                from ..store import shm
+
+                self._shared = shm.share_arrays(self.shared_inputs)
+                handles = {name: s.handle for name, s in self._shared.items()}
+                initializer, initargs = shm.attach_arrays, (handles,)
+            return ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                initializer=initializer,
+                initargs=initargs or (),
+            )
+        return ThreadPoolExecutor(max_workers=self.max_workers)
+
+    def _submit(self, pool: Executor, task: SweepTask):
+        if self.backend == "process":
+            # ship the retry loop to the worker; real sleeps there
+            return pool.submit(
+                _attempt_task, self.point_fn, task,
+                self.max_retries, self.backoff_s, self.timeout_s,
+            )
+        return pool.submit(self._attempt, task)
+
     def run(self, tasks: Sequence[SweepTask]) -> List[SweepPoint]:
-        """Compute (or resume) every task; returns points in task order."""
+        """Compute (or resume, or replay from cache) every task, in order."""
         done = self.journal.load() if self.journal is not None else {}
         self.resumed_labels = []
+        self.cached_labels = []
         points: List[Optional[SweepPoint]] = [None] * len(tasks)
         pending: List[int] = []
         for i, task in enumerate(tasks):
@@ -243,24 +416,74 @@ class ResilientSweep:
                 log_event(_log, logging.INFO, "resume", point=task.label)
             else:
                 pending.append(i)
-        if self.max_workers == 1 or len(pending) <= 1:
+        if self._store_usable():
+            # the store may know points this journal never saw (another
+            # process computed them); serve those without scheduling, and
+            # journal them so this journal is complete for the next resume
+            still_pending: List[int] = []
             for i in pending:
-                points[i] = self._commit(tasks[i], self._attempt(tasks[i]))
-            return points  # type: ignore[return-value]
-        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            futures = {pool.submit(self._attempt, tasks[i]): i for i in pending}
-            failures: Dict[int, BaseException] = {}
-            for fut in as_completed(futures):
-                i = futures[fut]
-                try:
-                    point = fut.result()
-                except Exception as exc:  # noqa: BLE001 - re-raised below
-                    failures[i] = exc
+                point = self._store_lookup(tasks[i])
+                if point is None:
+                    still_pending.append(i)
                     continue
-                points[i] = self._commit(tasks[i], point)
-        if failures:
-            raise failures[min(failures)]
-        return points  # type: ignore[return-value]
+                points[i] = point
+                self.cached_labels.append(tasks[i].label)
+                if self.journal is not None:
+                    self.journal.append(tasks[i].label, self._payload(point))
+                counter_inc("sweep.points_cached")
+                log_event(_log, logging.INFO, "cache_hit", point=tasks[i].label)
+            pending = still_pending
+        use_pool = self.max_workers > 1 and len(pending) > 1
+        try:
+            if not use_pool or self.backend == "thread":
+                # threads (and the inline serial path) see the parent's
+                # arrays directly — same get_shared_arrays() contract,
+                # zero copies, no segments to manage
+                self._expose_shared_inputs_inline()
+            if not use_pool:
+                for i in pending:
+                    points[i] = self._commit(tasks[i], self._attempt(tasks[i]))
+                return points  # type: ignore[return-value]
+            with self._make_pool() as pool:
+                futures = {self._submit(pool, tasks[i]): i for i in pending}
+                failures: Dict[int, BaseException] = {}
+                for fut in as_completed(futures):
+                    i = futures[fut]
+                    try:
+                        point = fut.result()
+                    except Exception as exc:  # noqa: BLE001 - re-raised below
+                        failures[i] = exc
+                        continue
+                    points[i] = self._commit(tasks[i], point)
+            if failures:
+                raise failures[min(failures)]
+            return points  # type: ignore[return-value]
+        finally:
+            self._teardown_shared_inputs()
+
+    # -- shared-input plumbing --------------------------------------------
+    _shared = None  # SharedNDArray registry while a process pool is alive
+    _inline_shared = False
+
+    def _expose_shared_inputs_inline(self) -> None:
+        """Serial/thread paths: same get_shared_arrays() view, no copies."""
+        if self.shared_inputs:
+            from ..store import shm
+
+            shm._WORKER_ARRAYS = dict(self.shared_inputs)
+            self._inline_shared = True
+
+    def _teardown_shared_inputs(self) -> None:
+        if self._shared is not None:
+            from ..store import shm
+
+            shm.unlink_arrays(self._shared)
+            self._shared = None
+        if self._inline_shared:
+            from ..store import shm
+
+            shm._WORKER_ARRAYS = None
+            self._inline_shared = False
 
 
 def bandwidth_sweep(

@@ -185,17 +185,41 @@ class Block:
         atomics = 0
         steps = 0
 
+        # Preallocated per-lane staging buffers, reused across every
+        # micro-step: advance() scatters each LDS/STS token's operands here,
+        # so warp execution gathers addresses, widths and store data with one
+        # fancy index instead of rebuilding per-lane Python lists each step.
+        addr_buf = np.zeros(self.num_threads, dtype=np.int64)
+        width_buf = np.ones(self.num_threads, dtype=np.int64)
+        vals_buf = np.zeros((self.num_threads, 4), dtype=np.float32)  # max width
+
         def advance(t: int) -> None:
             """Step thread ``t`` until it presents a token or finishes."""
             g = gens[t]
             if g is None:
                 return
             try:
-                pending[t] = g.send(inbox[t])
+                tok = g.send(inbox[t])
+                pending[t] = tok
                 inbox[t] = None
             except StopIteration:
                 gens[t] = None
                 pending[t] = None
+                return
+            kind = tok[0]
+            if kind == _LDS:
+                addr_buf[t] = tok[1]
+                width_buf[t] = tok[2]
+            elif kind == _STS:
+                w = tok[3]
+                if tok[2].size != w:
+                    raise ValueError(
+                        f"tid{t}: sts provided {tok[2].size} value(s) "
+                        f"for a width-{w} store"
+                    )
+                addr_buf[t] = tok[1]
+                width_buf[t] = w
+                vals_buf[t, :w] = tok[2]
 
         for t in range(self.num_threads):
             advance(t)
@@ -234,11 +258,11 @@ class Block:
                 kind = next(iter(kindset - {_IDLE}), _IDLE)
                 if kind == _LDS:
                     doers = [t for t in active if pending[t][0] == _LDS]
-                    width = pending[doers[0]][2]
-                    if any(pending[t][2] != width for t in doers):
+                    d = np.asarray(doers, dtype=np.intp)
+                    width = int(width_buf[d[0]])
+                    if np.any(width_buf[d] != width):
                         raise LockstepError("mixed access widths within one warp step")
-                    addrs = np.array([pending[t][1] for t in doers], dtype=np.int64)
-                    vals = self.smem.warp_load(addrs, width)
+                    vals = self.smem.warp_load(addr_buf[d], width)
                     for i, t in enumerate(doers):
                         inbox[t] = vals[i, 0] if width == 1 else vals[i].copy()
                         advance(t)
@@ -248,12 +272,11 @@ class Block:
                     progressed = True
                 elif kind == _STS:
                     doers = [t for t in active if pending[t][0] == _STS]
-                    width = pending[doers[0]][3]
-                    if any(pending[t][3] != width for t in doers):
+                    d = np.asarray(doers, dtype=np.intp)
+                    width = int(width_buf[d[0]])
+                    if np.any(width_buf[d] != width):
                         raise LockstepError("mixed access widths within one warp step")
-                    addrs = np.array([pending[t][1] for t in doers], dtype=np.int64)
-                    vals = np.stack([pending[t][2] for t in doers])
-                    self.smem.warp_store(addrs, vals, width)
+                    self.smem.warp_store(addr_buf[d], vals_buf[d, :width], width)
                     for t in active:
                         advance(t)
                     progressed = True

@@ -1,0 +1,42 @@
+"""Persistent, content-addressed experiment result store.
+
+The paper's evaluation is one large parameter grid re-walked by every
+figure bench, CLI invocation, and CI job; this package makes each grid
+point compute-once-per-machine instead of once-per-process.  Records are
+addressed by a :func:`repro.core.digest.config_digest` over everything
+that determines the answer (repro version, device config, pipeline,
+engine, shapes, dtype, kernel/tiling parameters, fault spec), persisted
+as atomic-rename JSON/NPZ files, and verified on read — corruption is a
+cache miss, never a wrong answer.
+
+Entry points:
+
+* :class:`ResultStore` — the store itself (``get``/``put``/``verify``/
+  ``clear``; counters feed ``repro.obs`` under ``store.*``);
+* :func:`default_store` — the store named by ``$REPRO_CACHE_DIR``;
+* :func:`cached_solve` — functional kernel summation through the store;
+* :mod:`repro.store.shm` — zero-copy shared-memory input shipping for
+  the process sweep backend.
+
+See ``docs/CACHING.md`` for the record layout and invalidation rules.
+"""
+
+from .functional import SOLVE_KIND, cached_solve, solve_digest
+from .result_store import CACHE_DIR_ENV, ResultStore, StoreStats, VerifyReport, default_store
+from .shm import SharedNDArray, attach_arrays, get_shared_arrays, share_arrays, unlink_arrays
+
+__all__ = [
+    "ResultStore",
+    "StoreStats",
+    "VerifyReport",
+    "default_store",
+    "CACHE_DIR_ENV",
+    "cached_solve",
+    "solve_digest",
+    "SOLVE_KIND",
+    "SharedNDArray",
+    "share_arrays",
+    "attach_arrays",
+    "get_shared_arrays",
+    "unlink_arrays",
+]

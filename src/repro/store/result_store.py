@@ -1,0 +1,329 @@
+"""Persistent content-addressed result store.
+
+One :class:`ResultStore` is a directory of records, each addressed by a
+:func:`repro.core.digest.config_digest` of the full configuration that
+produced it.  A record is:
+
+* ``<root>/<dd>/<digest>.json`` — the scalar payload plus provenance
+  (repro version, kind, array checksum); written last, atomically, so its
+  presence *is* the commit point;
+* ``<root>/<dd>/<digest>.npz`` — optional numpy arrays (e.g. a cached
+  potential vector), written (atomically) before the JSON.
+
+``<dd>`` is the first two digest hex chars — the usual content-addressed
+fan-out that keeps directory listings short at hundreds of thousands of
+records.
+
+Atomicity: every write lands in a same-directory temp file and is
+published with ``os.replace``, so concurrent writers of the same digest
+race benignly (last writer wins with identical bytes — the digest pins
+the content) and a killed writer leaves only a temp file that ``verify``
+sweeps away.  Readers treat any unreadable or checksum-mismatched record
+as a miss and recompute; the cache can only cost time, never correctness.
+
+Counters (hits/misses/writes/evictions) accumulate on the instance and
+feed the :mod:`repro.obs` metrics registry live under ``store.*`` when
+collection is armed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+from zipfile import BadZipFile
+
+import numpy as np
+
+from .._version import __version__
+from ..obs.log import get_logger, log_event
+from ..obs.metrics import counter_inc
+from ..obs.tracer import span
+
+__all__ = ["StoreStats", "ResultStore", "default_store"]
+
+_log = get_logger("store")
+
+#: environment variable naming the default persistent cache directory
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_TMP_PREFIX = ".tmp-"
+
+
+@dataclass
+class StoreStats:
+    """Counters accumulated by one :class:`ResultStore` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    evictions: int = 0
+    verify_failures: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "evictions": self.evictions,
+            "verify_failures": self.verify_failures,
+        }
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of one :meth:`ResultStore.verify` pass."""
+
+    checked: int = 0
+    problems: List[str] = field(default_factory=list)
+    removed: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+
+def _sha256_file(path: pathlib.Path) -> str:
+    import hashlib
+
+    h = hashlib.sha256()
+    with path.open("rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+class ResultStore:
+    """Directory-backed content-addressed cache of experiment results.
+
+    ``max_records``, when set, bounds the record count: a :meth:`put` that
+    grows the store beyond the bound evicts the oldest records (by
+    modification time) until it fits — the figure benches re-touch their
+    grid on every run, so mtime order approximates LRU.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, pathlib.Path],
+        max_records: Optional[int] = None,
+    ) -> None:
+        if max_records is not None and max_records < 1:
+            raise ValueError("max_records must be positive (or None for unbounded)")
+        self.root = pathlib.Path(root)
+        self.max_records = max_records
+        self.stats = StoreStats()
+
+    # -- paths -------------------------------------------------------------
+    def _json_path(self, digest: str) -> pathlib.Path:
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def _npz_path(self, digest: str) -> pathlib.Path:
+        return self.root / digest[:2] / f"{digest}.npz"
+
+    def _atomic_write_bytes(self, path: pathlib.Path, payload: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(prefix=_TMP_PREFIX, dir=path.parent)
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            pathlib.Path(tmp).unlink(missing_ok=True)
+            raise
+
+    # -- read --------------------------------------------------------------
+    def get(self, digest: str) -> Optional[Tuple[dict, Dict[str, np.ndarray]]]:
+        """Load one record; ``None`` on miss *or* any corruption.
+
+        Returns ``(payload, arrays)`` — ``arrays`` is empty when the record
+        carries no numpy data.  A record whose JSON is unreadable or whose
+        NPZ is missing/corrupt/checksum-mismatched counts as a miss (and a
+        ``verify_failure``): the caller recomputes and overwrites it.
+        """
+        jpath = self._json_path(digest)
+        with span("store.get", digest=digest[:12]):
+            try:
+                doc = json.loads(jpath.read_text())
+            except FileNotFoundError:
+                self._miss(digest)
+                return None
+            except (OSError, json.JSONDecodeError) as exc:
+                self._corrupt(digest, f"unreadable JSON: {exc}")
+                return None
+            if not isinstance(doc, dict) or "payload" not in doc:
+                self._corrupt(digest, "record missing payload")
+                return None
+            arrays: Dict[str, np.ndarray] = {}
+            if doc.get("arrays_sha256") is not None:
+                npath = self._npz_path(digest)
+                try:
+                    if _sha256_file(npath) != doc["arrays_sha256"]:
+                        self._corrupt(digest, "NPZ checksum mismatch")
+                        return None
+                    with np.load(npath) as npz:
+                        arrays = {name: npz[name] for name in npz.files}
+                except (OSError, ValueError, BadZipFile) as exc:
+                    self._corrupt(digest, f"unreadable NPZ: {exc}")
+                    return None
+            self.stats.hits += 1
+            counter_inc("store.hits")
+            return doc["payload"], arrays
+
+    def contains(self, digest: str) -> bool:
+        """Whether a committed record exists (no payload load, no counters)."""
+        return self._json_path(digest).exists()
+
+    def _miss(self, digest: str) -> None:
+        self.stats.misses += 1
+        counter_inc("store.misses")
+
+    def _corrupt(self, digest: str, why: str) -> None:
+        self.stats.misses += 1
+        self.stats.verify_failures += 1
+        counter_inc("store.misses")
+        counter_inc("store.verify_failures")
+        log_event(_log, 30, "store_corrupt_record", digest=digest[:12], why=why)
+
+    # -- write -------------------------------------------------------------
+    def put(
+        self,
+        digest: str,
+        payload: dict,
+        arrays: Optional[Dict[str, np.ndarray]] = None,
+    ) -> None:
+        """Persist one record atomically (arrays first, JSON last)."""
+        with span("store.put", digest=digest[:12]):
+            arrays_sha = None
+            if arrays:
+                import io
+
+                buf = io.BytesIO()
+                np.savez(buf, **arrays)
+                data = buf.getvalue()
+                self._atomic_write_bytes(self._npz_path(digest), data)
+                arrays_sha = _sha256_file(self._npz_path(digest))
+            doc = {
+                "digest": digest,
+                "repro_version": __version__,
+                "arrays_sha256": arrays_sha,
+                "payload": payload,
+            }
+            self._atomic_write_bytes(
+                self._json_path(digest),
+                (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8"),
+            )
+        self.stats.writes += 1
+        counter_inc("store.writes")
+        if self.max_records is not None:
+            self._evict_to(self.max_records)
+
+    def _evict_to(self, bound: int) -> None:
+        records = self._record_paths()
+        if len(records) <= bound:
+            return
+        records.sort(key=lambda p: p.stat().st_mtime)
+        for jpath in records[: len(records) - bound]:
+            digest = jpath.stem
+            jpath.unlink(missing_ok=True)
+            self._npz_path(digest).unlink(missing_ok=True)
+            self.stats.evictions += 1
+            counter_inc("store.evictions")
+            log_event(_log, 20, "store_evict", digest=digest[:12])
+
+    # -- maintenance -------------------------------------------------------
+    def _record_paths(self) -> List[pathlib.Path]:
+        if not self.root.exists():
+            return []
+        return sorted(self.root.glob("??/*.json"))
+
+    def __len__(self) -> int:
+        return len(self._record_paths())
+
+    def size_bytes(self) -> int:
+        """Total bytes on disk across all record files."""
+        total = 0
+        if self.root.exists():
+            for p in self.root.glob("??/*"):
+                if p.is_file():
+                    total += p.stat().st_size
+        return total
+
+    def kinds(self) -> Dict[str, int]:
+        """Record counts by the ``kind`` field of each payload digest doc."""
+        out: Dict[str, int] = {}
+        for jpath in self._record_paths():
+            try:
+                doc = json.loads(jpath.read_text())
+                kind = doc.get("payload", {}).get("kind", "?")
+            except (OSError, json.JSONDecodeError, AttributeError):
+                kind = "<corrupt>"
+            out[kind] = out.get(kind, 0) + 1
+        return out
+
+    def verify(self, fix: bool = False) -> VerifyReport:
+        """Audit every record; optionally delete the broken ones.
+
+        Checks per record: JSON readable, digest field matches the file
+        name, NPZ present and matching its recorded checksum.  Stray temp
+        files from killed writers are reported (and removed under
+        ``fix=True``).
+        """
+        report = VerifyReport()
+
+        def bad(jpath: pathlib.Path, digest: str, why: str) -> None:
+            report.problems.append(f"{digest[:12]}: {why}")
+            if fix:
+                jpath.unlink(missing_ok=True)
+                self._npz_path(digest).unlink(missing_ok=True)
+                report.removed.append(digest)
+
+        for jpath in self._record_paths():
+            digest = jpath.stem
+            report.checked += 1
+            try:
+                doc = json.loads(jpath.read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                bad(jpath, digest, f"unreadable JSON ({exc})")
+                continue
+            if doc.get("digest") != digest:
+                bad(jpath, digest, "digest field does not match file name")
+                continue
+            sha = doc.get("arrays_sha256")
+            if sha is not None:
+                npath = self._npz_path(digest)
+                if not npath.exists():
+                    bad(jpath, digest, "NPZ missing")
+                    continue
+                if _sha256_file(npath) != sha:
+                    bad(jpath, digest, "NPZ checksum mismatch")
+                    continue
+        if self.root.exists():
+            for tmp in self.root.glob(f"??/{_TMP_PREFIX}*"):
+                report.problems.append(f"stray temp file {tmp.name}")
+                if fix:
+                    tmp.unlink(missing_ok=True)
+                    report.removed.append(tmp.name)
+        return report
+
+    def clear(self) -> int:
+        """Delete every record; returns how many were removed."""
+        removed = 0
+        for jpath in self._record_paths():
+            digest = jpath.stem
+            jpath.unlink(missing_ok=True)
+            self._npz_path(digest).unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+
+def default_store() -> Optional[ResultStore]:
+    """Store named by ``$REPRO_CACHE_DIR``, or ``None`` when unset."""
+    root = os.environ.get(CACHE_DIR_ENV)
+    if not root:
+        return None
+    return ResultStore(root)

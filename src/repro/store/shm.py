@@ -1,0 +1,126 @@
+"""Zero-copy numpy shipping over ``multiprocessing.shared_memory``.
+
+The process sweep backend sends each worker a tiny picklable task; the
+*data* a point function needs (generated problem matrices, staged input
+panels) can be megabytes per array and identical across every point of a
+grid.  Pickling that through the executor would copy it per task;
+:class:`SharedNDArray` instead places each array in a POSIX shared-memory
+segment once, and workers attach read-only views — zero copies after the
+initial export, regardless of how many points the grid has.
+
+Lifecycle: the parent calls :func:`share_arrays` before building the pool
+and :meth:`SharedNDArray.unlink` (via :func:`unlink_arrays`) after the
+pool drains; workers attach in the pool initializer via
+:func:`attach_arrays`, which parks the views in a module global that
+:func:`get_shared_arrays` hands to point functions.  Attached views keep
+their segment alive until the worker exits, so the parent's unlink is
+safe the moment ``run()`` returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SharedNDArray",
+    "share_arrays",
+    "attach_arrays",
+    "unlink_arrays",
+    "get_shared_arrays",
+]
+
+
+@dataclass(frozen=True)
+class _Handle:
+    """Picklable description of one shared segment (what workers receive)."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+class SharedNDArray:
+    """One numpy array backed by a named shared-memory segment."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, shape, dtype, owner: bool) -> None:
+        self._shm = shm
+        self._owner = owner
+        self.array = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+
+    @classmethod
+    def create(cls, source: np.ndarray) -> "SharedNDArray":
+        """Copy ``source`` into a fresh segment (the one copy there is)."""
+        shm = shared_memory.SharedMemory(create=True, size=max(1, source.nbytes))
+        out = cls(shm, source.shape, source.dtype, owner=True)
+        out.array[...] = source
+        return out
+
+    @classmethod
+    def attach(cls, handle: _Handle) -> "SharedNDArray":
+        """Map an existing segment (worker side); the view copies nothing."""
+        shm = shared_memory.SharedMemory(name=handle.name)
+        return cls(shm, handle.shape, handle.dtype, owner=False)
+
+    @property
+    def handle(self) -> _Handle:
+        return _Handle(self._shm.name, tuple(self.array.shape), str(self.array.dtype))
+
+    def close(self) -> None:
+        """Drop this process's mapping (the segment itself survives)."""
+        # release the buffer view before closing the mapping
+        self.array = None  # type: ignore[assignment]
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner side, after every worker detached)."""
+        self.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink
+                pass
+
+
+def share_arrays(arrays: Dict[str, np.ndarray]) -> Dict[str, SharedNDArray]:
+    """Export a dict of arrays into shared memory (parent side)."""
+    shared: Dict[str, SharedNDArray] = {}
+    try:
+        for name, arr in arrays.items():
+            shared[name] = SharedNDArray.create(np.ascontiguousarray(arr))
+    except BaseException:
+        unlink_arrays(shared)
+        raise
+    return shared
+
+
+def unlink_arrays(shared: Dict[str, SharedNDArray]) -> None:
+    """Tear down every segment exported by :func:`share_arrays`."""
+    for s in shared.values():
+        s.unlink()
+
+
+#: worker-side registry of attached views, filled by the pool initializer
+_WORKER_ARRAYS: Optional[Dict[str, np.ndarray]] = None
+_WORKER_SEGMENTS: list = []
+
+
+def attach_arrays(handles: Dict[str, _Handle]) -> None:
+    """Pool-initializer hook: map every parent segment into this worker."""
+    global _WORKER_ARRAYS
+    views: Dict[str, np.ndarray] = {}
+    for name, handle in handles.items():
+        seg = SharedNDArray.attach(handle)
+        _WORKER_SEGMENTS.append(seg)  # keep mappings alive for process life
+        view = seg.array
+        view.flags.writeable = False  # inputs are read-only by contract
+        views[name] = view
+    _WORKER_ARRAYS = views
+
+
+def get_shared_arrays() -> Dict[str, np.ndarray]:
+    """The attached input arrays (empty dict outside a process sweep)."""
+    return _WORKER_ARRAYS or {}

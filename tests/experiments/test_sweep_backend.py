@@ -1,0 +1,204 @@
+"""Process backend + persistent store semantics of ResilientSweep."""
+
+import numpy as np
+import pytest
+
+from repro.core import ProblemSpec
+from repro.faults import FaultSpec, fault_injection
+from repro.experiments import (
+    ResilientSweep,
+    SweepJournal,
+    default_point_fn,
+    sweep_tasks,
+)
+from repro.experiments.sweep import SweepPoint, _point
+from repro.store import ResultStore, get_shared_arrays
+
+SPEC = ProblemSpec(M=131072, N=4096, K=32)
+
+
+@pytest.fixture
+def tasks():
+    return sweep_tasks("bandwidth", SPEC)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "cache")
+
+
+def shm_point_fn(task):
+    """Module-level (picklable) point fn reading the shared inputs."""
+    w = get_shared_arrays()["w"]
+    v = float(w.sum())
+    return SweepPoint(task.label, task.device, v, 1.0, v)
+
+
+class TestProcessBackend:
+    def test_backend_validated(self):
+        with pytest.raises(ValueError):
+            ResilientSweep(backend="fiber")
+
+    def test_process_matches_serial_bit_identically(self, tasks, tmp_path):
+        serial = ResilientSweep().run(tasks)
+        proc = ResilientSweep(
+            journal=tmp_path / "j.jsonl", max_workers=2, backend="process"
+        ).run(tasks)
+        assert [(p.label, p.speedup, p.fused_seconds, p.baseline_seconds)
+                for p in proc] == [
+            (p.label, p.speedup, p.fused_seconds, p.baseline_seconds)
+            for p in serial
+        ]
+
+    def test_process_journals_every_point(self, tasks, tmp_path):
+        journal_path = tmp_path / "j.jsonl"
+        ResilientSweep(journal=journal_path, max_workers=2,
+                       backend="process").run(tasks)
+        assert set(SweepJournal(journal_path).load()) == {t.label for t in tasks}
+
+    def test_unpicklable_point_fn_rejected_helpfully(self, tasks):
+        sweep = ResilientSweep(
+            max_workers=2, backend="process", point_fn=lambda t: None
+        )
+        with pytest.raises(ValueError, match="picklable"):
+            sweep.run(tasks)
+
+    def test_single_pending_point_skips_the_pool(self, tasks):
+        # a lambda is fine when the pool is never built (1 pending point)
+        sweep = ResilientSweep(
+            max_workers=4, backend="process",
+            point_fn=lambda t: _point(t.label, t.device, t.spec),
+        )
+        points = sweep.run(tasks[:1])
+        assert len(points) == 1
+
+
+class TestSharedInputs:
+    """One point_fn reads the same arrays on every backend, zero-copy."""
+
+    W = np.arange(1.0, 5.0)
+
+    def _run(self, tasks, **kw):
+        sweep = ResilientSweep(point_fn=shm_point_fn,
+                               shared_inputs={"w": self.W}, **kw)
+        return [p.speedup for p in sweep.run(tasks)]
+
+    def test_same_view_on_every_backend(self, tasks):
+        expected = [float(self.W.sum())] * len(tasks)
+        assert self._run(tasks) == expected  # serial inline
+        assert self._run(tasks, max_workers=2) == expected  # threads
+        assert self._run(tasks, max_workers=2, backend="process") == expected
+
+    def test_worker_global_reset_after_run(self, tasks):
+        self._run(tasks)
+        assert get_shared_arrays() == {}
+
+
+class TestSweepStore:
+    def test_cold_then_warm_bit_identical(self, tasks, store, tmp_path):
+        cold = ResilientSweep(store=store).run(tasks)
+        assert len(store) == len(tasks)
+
+        warm_sweep = ResilientSweep(
+            store=ResultStore(tmp_path / "cache"),  # fresh instance = new process
+            point_fn=default_point_fn,
+        )
+        warm = warm_sweep.run(tasks)
+        assert warm_sweep.cached_labels == [t.label for t in tasks]
+        assert [(p.label, p.speedup, p.fused_seconds, p.baseline_seconds)
+                for p in warm] == [
+            (p.label, p.speedup, p.fused_seconds, p.baseline_seconds)
+            for p in cold
+        ]
+
+    def test_store_consulted_before_scheduling(self, tasks, store):
+        ResilientSweep(store=store).run(tasks)
+        computed = []
+
+        def counting(task):
+            computed.append(task.label)
+            return _point(task.label, task.device, task.spec)
+
+        # a counting fn is not store-addressable unless the caller tags it
+        sweep = ResilientSweep(store=store, point_fn=counting,
+                               store_tag="fused-vs-cublas-speedup/v1")
+        sweep.run(tasks)
+        assert computed == []
+        assert sweep.cached_labels == [t.label for t in tasks]
+
+    def test_custom_point_fn_without_tag_disables_store(self, tasks, store):
+        sweep = ResilientSweep(store=store,
+                               point_fn=lambda t: _point(t.label, t.device, t.spec))
+        sweep.run(tasks[:2])
+        assert len(store) == 0 and sweep.cached_labels == []
+
+    def test_store_hits_backfill_the_journal(self, tasks, store, tmp_path):
+        """The journal x cache resume matrix.
+
+        journal missing / cache present -> served from cache, not recomputed,
+        and the journal is completed so a later journal-only resume works.
+        """
+        ResilientSweep(store=store).run(tasks)  # populate cache, no journal
+
+        journal_path = tmp_path / "j.jsonl"
+        sweep = ResilientSweep(journal=journal_path, store=store)
+        sweep.run(tasks)
+        assert sweep.resumed_labels == []
+        assert sweep.cached_labels == [t.label for t in tasks]
+        # backfilled: a third run resumes purely from the journal
+        replay = ResilientSweep(journal=journal_path)  # no store at all
+        replay.run(tasks)
+        assert replay.resumed_labels == [t.label for t in tasks]
+        assert replay.cached_labels == []
+
+    def test_journal_wins_over_store(self, tasks, store, tmp_path):
+        journal_path = tmp_path / "j.jsonl"
+        ResilientSweep(journal=journal_path, store=store).run(tasks)
+        sweep = ResilientSweep(journal=journal_path, store=store)
+        sweep.run(tasks)
+        assert sweep.resumed_labels == [t.label for t in tasks]
+        assert sweep.cached_labels == []
+
+    def test_process_backend_consults_store(self, tasks, store):
+        ResilientSweep(store=store).run(tasks)
+        sweep = ResilientSweep(store=store, max_workers=2, backend="process")
+        warm = sweep.run(tasks)
+        assert sweep.cached_labels == [t.label for t in tasks]
+        assert len(warm) == len(tasks)
+
+    def test_armed_injector_bypasses_store(self, tasks, store):
+        with fault_injection(FaultSpec(site="smem", rate=1.0)):
+            sweep = ResilientSweep(store=store)
+            sweep.run(tasks[:2])
+        assert len(store) == 0  # nothing written...
+        assert sweep.cached_labels == []  # ...nothing served
+
+    def test_injected_run_not_served_clean_points(self, tasks, store):
+        ResilientSweep(store=store).run(tasks)  # clean cache populated
+        with fault_injection(FaultSpec(site="smem", rate=1.0)):
+            sweep = ResilientSweep(store=store)
+            sweep.run(tasks[:2])
+        assert sweep.cached_labels == []
+
+
+class TestRunnerStore:
+    def test_write_through_and_cross_runner_replay(self, store, tmp_path):
+        from repro.experiments import ExperimentRunner
+
+        spec = ProblemSpec(M=131072, N=1024, K=32)
+        r1 = ExperimentRunner(store=store)
+        m1 = r1.run("fused", spec)
+        assert store.stats.writes > 0
+
+        r2 = ExperimentRunner(store=str(tmp_path / "cache"))  # path coercion
+        m2 = r2.run("fused", spec)
+        assert r2.store.stats.hits == 1
+        assert m1 == m2  # dataclass equality: every float bit-identical
+
+    def test_runner_store_bypassed_under_injection(self, store):
+        from repro.experiments import ExperimentRunner
+
+        spec = ProblemSpec(M=131072, N=1024, K=32)
+        with fault_injection(FaultSpec(site="smem", rate=1.0)):
+            ExperimentRunner(store=store).run("fused", spec)
+        assert len(store) == 0

@@ -1,0 +1,106 @@
+"""Canonical digesting: stability, and the full invalidation matrix."""
+
+import numpy as np
+import pytest
+
+from repro.core import ProblemSpec
+from repro.core.digest import canonical_json, canonical_payload, config_digest
+from repro.core.tiling import PAPER_TILING
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.sweep import sweep_tasks, sweep_point_digest
+from repro.faults import FaultSpec
+from repro.gpu.device import GTX970
+from repro.store import solve_digest
+
+SPEC = ProblemSpec(M=2048, N=1024, K=32)
+
+
+class TestCanonicalPayload:
+    def test_dataclass_tagged_with_class_name(self):
+        payload = canonical_payload(SPEC)
+        assert payload["__config__"] == "ProblemSpec"
+        assert payload["M"] == 2048
+
+    def test_same_fields_different_class_differ(self):
+        # the tag keeps two config types with coincident fields apart
+        a = canonical_payload(PAPER_TILING)
+        b = dict(a, __config__="SomethingElse")
+        assert config_digest({"x": a}) != config_digest({"x": b})
+
+    def test_numpy_scalar_unwrapped(self):
+        assert canonical_payload(np.float64(1.5)) == 1.5
+        assert canonical_payload(np.int64(7)) == 7
+
+    def test_non_string_mapping_key_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_payload({1: "x"})
+
+    def test_unstable_object_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_payload(object())
+
+    def test_sequences_normalized(self):
+        assert canonical_payload((1, 2)) == [1, 2]
+
+
+class TestConfigDigest:
+    def test_deterministic(self):
+        c = {"kind": "t/v1", "spec": SPEC, "device": GTX970}
+        assert config_digest(c) == config_digest(dict(c))
+
+    def test_key_order_irrelevant(self):
+        a = config_digest({"a": 1, "b": 2})
+        b = config_digest({"b": 2, "a": 1})
+        assert a == b
+
+    def test_version_stamped_into_text(self):
+        from repro._version import __version__
+
+        assert __version__ in canonical_json({"x": 1})
+
+    def test_version_bump_invalidates(self, monkeypatch):
+        before = config_digest({"spec": SPEC})
+        monkeypatch.setattr("repro.core.digest._version", lambda: "999.0.0")
+        assert config_digest({"spec": SPEC}) != before
+
+    def test_kind_namespaces_schemas(self):
+        a = config_digest({"kind": "experiment.metrics/v1", "spec": SPEC})
+        b = config_digest({"kind": "functional.solve/v1", "spec": SPEC})
+        assert a != b
+
+
+class TestInvalidationMatrix:
+    """Every ingredient that determines a result must move its digest."""
+
+    def test_device_edit(self):
+        r1 = ExperimentRunner()
+        r2 = ExperimentRunner(device=GTX970.with_overrides(name="GTX970-oc",
+                                                           core_clock_hz=GTX970.core_clock_hz * 1.1))
+        assert r1.digest("fused", SPEC) != r2.digest("fused", SPEC)
+
+    def test_dtype_change(self):
+        a = solve_digest("fused", SPEC)
+        b = solve_digest("fused", ProblemSpec(M=SPEC.M, N=SPEC.N, K=SPEC.K,
+                                              dtype="float64"))
+        assert a != b
+
+    def test_engine_change(self):
+        assert solve_digest("fused", SPEC, engine="loop") != solve_digest(
+            "fused", SPEC, engine="batched"
+        )
+
+    def test_implementation_change(self):
+        assert solve_digest("fused", SPEC) != solve_digest("reference", SPEC)
+
+    def test_fault_spec_change(self):
+        base = {"kind": "faults.campaign/v1", "spec": SPEC}
+        a = config_digest({**base, "fault": FaultSpec(site="smem")})
+        b = config_digest({**base, "fault": FaultSpec(site="smem", model="stuck")})
+        c = config_digest({**base, "fault": FaultSpec(site="atomic")})
+        assert len({a, b, c}) == 3
+
+    def test_sweep_point_digest_moves_with_device_and_tag(self):
+        tasks = sweep_tasks("bandwidth", SPEC)
+        d0, d1 = sweep_point_digest(tasks[0]), sweep_point_digest(tasks[1])
+        assert d0 != d1
+        assert sweep_point_digest(tasks[0], tag="custom/v1") != d0

@@ -1,0 +1,97 @@
+"""cached_solve: bit-identity, and the fault-safety rules of the store."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import ProblemSpec
+from repro.core.problem import generate
+from repro.errors import DegradedResultWarning, UnknownImplementationError
+from repro.faults import FaultSpec, fault_injection
+from repro.store import ResultStore, cached_solve, solve_digest
+
+SPEC = ProblemSpec(M=512, N=256, K=8)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "cache")
+
+
+class TestCachedSolve:
+    def test_matches_plain_solve(self, store):
+        V = cached_solve("fused", SPEC, store=store)
+        plain = cached_solve("fused", SPEC)  # store=None: plain compute
+        np.testing.assert_allclose(V, plain, rtol=0, atol=0)
+
+    def test_warm_hit_bit_identical_across_processes(self, store, tmp_path):
+        cold = cached_solve("fused", SPEC, store=store)
+        # a second store instance models a second CLI invocation / process
+        other = ResultStore(tmp_path / "cache")
+        warm = cached_solve("fused", SPEC, store=other)
+        assert other.stats.hits == 1 and other.stats.writes == 0
+        assert np.array_equal(cold, warm)
+        assert warm.dtype == cold.dtype
+
+    def test_engines_cached_separately(self, store):
+        a = cached_solve("fused", SPEC, engine="loop", store=store)
+        b = cached_solve("fused", SPEC, engine="batched", store=store)
+        assert len(store) == 2
+        assert np.array_equal(a, b)  # different records, same math
+
+    def test_unknown_implementation(self, store):
+        with pytest.raises(UnknownImplementationError):
+            cached_solve("magic", SPEC, store=store)
+
+    def test_custom_data_bypasses_store(self, store):
+        data = generate(SPEC, point_scale=2.0)
+        cached_solve("fused", SPEC, store=store, data=data)
+        # the digest only pins *generated* inputs, so nothing may be cached
+        assert len(store) == 0
+        assert store.stats.hits == store.stats.misses == 0
+
+    def test_corrupt_record_falls_back_to_recompute(self, store):
+        cached_solve("fused", SPEC, store=store)
+        digest = solve_digest("fused", SPEC)
+        npath = store.root / digest[:2] / f"{digest}.npz"
+        npath.write_bytes(b"not an npz")
+        V = cached_solve("fused", SPEC, store=store)
+        assert store.stats.verify_failures == 1
+        np.testing.assert_array_equal(V, cached_solve("fused", SPEC))
+        # the recompute healed the record: next read is a real hit
+        hits_before = store.stats.hits
+        cached_solve("fused", SPEC, store=store)
+        assert store.stats.hits == hits_before + 1
+
+
+class TestFaultSafety:
+    """Injected/degraded runs must never touch the clean cache."""
+
+    def test_injected_run_writes_nothing(self, store):
+        with fault_injection(FaultSpec(site="smem", rate=1.0)):
+            cached_solve("reference", SPEC, store=store)
+        assert len(store) == 0
+        assert store.stats.writes == 0
+
+    def test_injected_run_not_served_clean_result(self, store):
+        cached_solve("reference", SPEC, store=store)  # warm the clean cache
+        with fault_injection(FaultSpec(site="smem", rate=1.0)):
+            cached_solve("reference", SPEC, store=store)
+        assert store.stats.hits == 0  # the injected run never read the cache
+        assert len(store) == 1  # and the record count did not move
+
+    def test_degraded_result_returned_but_not_cached(self, store, monkeypatch):
+        from repro.core import api
+
+        def degraded_impl(data, tiling):
+            warnings.warn("recovery failed", DegradedResultWarning)
+            return np.ones(data.spec.M, dtype=np.float32)
+
+        monkeypatch.setitem(api.IMPLEMENTATIONS, "degraded-test", degraded_impl)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            V = cached_solve("degraded-test", SPEC, store=store)
+        assert any(issubclass(w.category, DegradedResultWarning) for w in caught)
+        assert np.array_equal(V, np.ones(SPEC.M, dtype=np.float32))
+        assert len(store) == 0 and store.stats.writes == 0

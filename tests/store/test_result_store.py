@@ -1,0 +1,176 @@
+"""ResultStore: atomic persistence, corruption handling, maintenance."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.store import CACHE_DIR_ENV, ResultStore, default_store
+
+DIGEST = "ab" + "0" * 62
+OTHER = "cd" + "1" * 62
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "cache")
+
+
+class TestRoundtrip:
+    def test_payload_roundtrip(self, store):
+        store.put(DIGEST, {"kind": "t/v1", "x": 1.5})
+        payload, arrays = store.get(DIGEST)
+        assert payload == {"kind": "t/v1", "x": 1.5}
+        assert arrays == {}
+        assert store.stats.hits == 1 and store.stats.writes == 1
+
+    def test_arrays_bit_identical(self, store):
+        rng = np.random.default_rng(0)
+        V = rng.standard_normal(257).astype(np.float32)
+        store.put(DIGEST, {"kind": "t/v1"}, arrays={"V": V})
+        _, arrays = store.get(DIGEST)
+        assert np.array_equal(arrays["V"], V)
+        assert arrays["V"].dtype == V.dtype
+
+    def test_float_exactness_through_json(self, store):
+        # repr-based shortest-round-trip floats: bit-identical after reload
+        x = 0.1 + 0.2
+        store.put(DIGEST, {"x": x})
+        payload, _ = store.get(DIGEST)
+        assert payload["x"] == x and isinstance(payload["x"], float)
+
+    def test_cross_instance_hit(self, store, tmp_path):
+        store.put(DIGEST, {"kind": "t/v1"})
+        other = ResultStore(tmp_path / "cache")
+        assert other.get(DIGEST) is not None
+        assert other.stats.hits == 1
+
+    def test_miss(self, store):
+        assert store.get(DIGEST) is None
+        assert store.stats.misses == 1
+
+    def test_contains(self, store):
+        assert not store.contains(DIGEST)
+        store.put(DIGEST, {})
+        assert store.contains(DIGEST)
+
+    def test_fanout_layout(self, store):
+        store.put(DIGEST, {})
+        assert (store.root / DIGEST[:2] / f"{DIGEST}.json").exists()
+
+    def test_last_writer_wins(self, store):
+        store.put(DIGEST, {"x": 1})
+        store.put(DIGEST, {"x": 2})
+        payload, _ = store.get(DIGEST)
+        assert payload == {"x": 2}
+        assert len(store) == 1
+
+
+class TestCorruption:
+    """Any broken record is a miss — the cache never costs correctness."""
+
+    def test_truncated_npz_is_a_miss(self, store):
+        store.put(DIGEST, {"kind": "t/v1"}, arrays={"V": np.ones(8)})
+        npath = store.root / DIGEST[:2] / f"{DIGEST}.npz"
+        npath.write_bytes(npath.read_bytes()[:20])
+        assert store.get(DIGEST) is None
+        assert store.stats.verify_failures == 1
+
+    def test_missing_npz_is_a_miss(self, store):
+        store.put(DIGEST, {"kind": "t/v1"}, arrays={"V": np.ones(8)})
+        (store.root / DIGEST[:2] / f"{DIGEST}.npz").unlink()
+        assert store.get(DIGEST) is None
+
+    def test_garbage_json_is_a_miss(self, store):
+        store.put(DIGEST, {})
+        (store.root / DIGEST[:2] / f"{DIGEST}.json").write_text("{nope")
+        assert store.get(DIGEST) is None
+        assert store.stats.verify_failures == 1
+
+    def test_recompute_overwrites_corrupt_record(self, store):
+        store.put(DIGEST, {"kind": "t/v1"}, arrays={"V": np.ones(8)})
+        npath = store.root / DIGEST[:2] / f"{DIGEST}.npz"
+        npath.write_bytes(b"garbage")
+        assert store.get(DIGEST) is None  # caller now recomputes...
+        store.put(DIGEST, {"kind": "t/v1"}, arrays={"V": np.ones(8)})
+        _, arrays = store.get(DIGEST)  # ...and the overwrite heals it
+        assert np.array_equal(arrays["V"], np.ones(8))
+
+
+class TestVerify:
+    def test_clean_store_verifies(self, store):
+        store.put(DIGEST, {"kind": "t/v1"}, arrays={"V": np.ones(4)})
+        report = store.verify()
+        assert report.ok and report.checked == 1
+
+    def test_checksum_mismatch_detected_and_fixed(self, store):
+        store.put(DIGEST, {"kind": "t/v1"}, arrays={"V": np.ones(4)})
+        store.put(OTHER, {"kind": "t/v1"})
+        npath = store.root / DIGEST[:2] / f"{DIGEST}.npz"
+        npath.write_bytes(npath.read_bytes() + b"x")
+        report = store.verify()
+        assert not report.ok and "checksum" in report.problems[0]
+        fixed = store.verify(fix=True)
+        assert fixed.removed == [DIGEST]
+        assert store.verify().ok and len(store) == 1
+
+    def test_digest_filename_mismatch_detected(self, store):
+        store.put(DIGEST, {})
+        jpath = store.root / DIGEST[:2] / f"{DIGEST}.json"
+        doc = json.loads(jpath.read_text())
+        doc["digest"] = OTHER
+        jpath.write_text(json.dumps(doc))
+        assert not store.verify().ok
+
+    def test_stray_temp_files_swept(self, store):
+        store.put(DIGEST, {})
+        (store.root / DIGEST[:2] / ".tmp-killed-writer").write_text("partial")
+        report = store.verify()
+        assert any("temp" in p for p in report.problems)
+        store.verify(fix=True)
+        assert store.verify().ok
+
+
+class TestMaintenance:
+    def test_eviction_bounds_record_count(self, tmp_path):
+        store = ResultStore(tmp_path / "cache", max_records=2)
+        import os
+
+        for i, d in enumerate((DIGEST, OTHER, "ef" + "2" * 62)):
+            store.put(d, {"i": i})
+            # mtime granularity: make the eviction order unambiguous
+            jp = store.root / d[:2] / f"{d}.json"
+            os.utime(jp, (i, i))
+        assert len(store) == 2
+        assert store.stats.evictions == 1
+        assert not store.contains(DIGEST)  # oldest went first
+
+    def test_max_records_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path, max_records=0)
+
+    def test_clear(self, store):
+        store.put(DIGEST, {}, arrays={"V": np.ones(2)})
+        store.put(OTHER, {})
+        assert store.clear() == 2
+        assert len(store) == 0
+
+    def test_kinds_and_size(self, store):
+        store.put(DIGEST, {"kind": "a/v1"})
+        store.put(OTHER, {"kind": "b/v1"}, arrays={"V": np.ones(4)})
+        assert store.kinds() == {"a/v1": 1, "b/v1": 1}
+        assert store.size_bytes() > 0
+
+    def test_len_of_missing_root(self, tmp_path):
+        assert len(ResultStore(tmp_path / "never-created")) == 0
+
+
+class TestDefaultStore:
+    def test_unset_env_disables(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert default_store() is None
+
+    def test_env_names_root(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "c"))
+        store = default_store()
+        assert store is not None and store.root == tmp_path / "c"

@@ -177,3 +177,84 @@ class TestProfile:
                    "--baseline", str(base)])
         assert rc == 1
         assert "REGRESSION" in capsys.readouterr().err
+
+
+class TestCacheCLI:
+    """The persistent result store on the command line."""
+
+    def test_cache_without_store_configured(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        rc = main(["cache", "stats"])
+        assert rc == 2
+        assert "no result store" in capsys.readouterr().err
+
+    def test_sweep_warm_rerun_served_from_store(self, tmp_path, capsys):
+        argv = ["--cache-dir", str(tmp_path / "c"), "sweep", "--axis", "n"]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "4 write(s)" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "4 hit(s), 0 miss(es), 0 write(s)" in warm
+        assert "served 4 point(s) from the result store" in warm
+
+        # the rendered sweep itself is identical between cold and warm
+        def bars(text):
+            return [ln for ln in text.splitlines() if ln.lstrip().startswith("N=")]
+
+        assert bars(cold) == bars(warm) and len(bars(cold)) == 4
+
+    def test_sweep_process_backend_flag(self, tmp_path, capsys):
+        rc = main(["--cache-dir", str(tmp_path / "c"), "sweep", "--axis", "n",
+                   "--workers", "2", "--backend", "process"])
+        assert rc == 0
+        serial = main(["sweep", "--axis", "n"])
+        assert serial == 0
+
+    def test_cache_stats_clear_roundtrip(self, tmp_path, capsys):
+        import json
+
+        cdir = str(tmp_path / "c")
+        main(["--cache-dir", cdir, "sweep", "--axis", "n"])
+        capsys.readouterr()
+        rc = main(["--cache-dir", cdir, "cache", "stats", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["records"] == 4
+        assert doc["kinds"] == {"sweep.point/v1": 4}
+        rc = main(["--cache-dir", cdir, "cache", "clear"])
+        assert rc == 0
+        assert "removed 4 record(s)" in capsys.readouterr().out
+
+    def test_solve_served_cached_on_second_invocation(self, tmp_path, capsys):
+        argv = ["--cache-dir", str(tmp_path / "c"), "solve",
+                "-M", "512", "-N", "256", "-K", "8"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "cached" not in first
+        assert main(argv) == 0
+        assert "cached" in capsys.readouterr().out
+
+    def test_cache_verify_detects_and_fixes_corruption(self, tmp_path, capsys):
+        import pathlib
+
+        cdir = tmp_path / "c"
+        main(["--cache-dir", str(cdir), "solve",
+              "-M", "512", "-N", "256", "-K", "8"])
+        capsys.readouterr()
+        assert main(["--cache-dir", str(cdir), "cache", "verify"]) == 0
+        npz = next(pathlib.Path(cdir).glob("??/*.npz"))
+        npz.write_bytes(npz.read_bytes() + b"x")
+        assert main(["--cache-dir", str(cdir), "cache", "verify"]) == 1
+        assert "BAD" in capsys.readouterr().err
+        assert main(["--cache-dir", str(cdir), "cache", "verify", "--fix"]) == 0
+        assert main(["--cache-dir", str(cdir), "cache", "verify"]) == 0
+
+    def test_env_var_names_the_store(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        assert main(["sweep", "--axis", "n"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--json"]) == 0
+        import json
+
+        assert json.loads(capsys.readouterr().out)["records"] == 4

@@ -75,3 +75,81 @@ class TestCheckRegression:
         current.write_text(json.dumps(baseline_payload))
         proc = run_check("--baseline", str(base), "--current", str(current))
         assert proc.returncode == 0
+
+
+SWEEP_BASELINE = ROOT / "benchmarks" / "results" / "BENCH_sweep.json"
+
+
+@pytest.fixture(scope="module")
+def sweep_payload() -> dict:
+    return json.loads(SWEEP_BASELINE.read_text())
+
+
+class TestSweepGate:
+    """--sweep-current: the sweep-backend / result-store acceptance gate."""
+
+    def test_committed_baseline_passes_its_own_gate(self, tmp_path, sweep_payload):
+        current = tmp_path / "sweep.json"
+        current.write_text(json.dumps(sweep_payload))
+        proc = run_check("--sweep-current", str(current))
+        assert proc.returncode == 0, proc.stderr
+        assert "OK: sweep backend" in proc.stdout
+
+    def test_bit_identity_violation_fails(self, tmp_path, sweep_payload):
+        payload = dict(sweep_payload, bit_identical=False)
+        current = tmp_path / "sweep.json"
+        current.write_text(json.dumps(payload))
+        proc = run_check("--sweep-current", str(current))
+        assert proc.returncode == 1
+        assert "bit-identical" in proc.stderr
+
+    def test_slow_warm_run_fails(self, tmp_path, sweep_payload):
+        payload = json.loads(json.dumps(sweep_payload))
+        payload["speedups"]["warm_vs_cold"] = 3.0  # below the 10x floor
+        current = tmp_path / "sweep.json"
+        current.write_text(json.dumps(payload))
+        proc = run_check("--sweep-current", str(current))
+        assert proc.returncode == 1
+        assert "warm_vs_cold" in proc.stderr
+
+    def test_process_floor_binds_only_on_4_cores(self, tmp_path, sweep_payload):
+        payload = json.loads(json.dumps(sweep_payload))
+        payload["speedups"]["process_vs_thread"] = 0.5
+        payload["cores"] = 2
+        current = tmp_path / "sweep.json"
+        current.write_text(json.dumps(payload))
+        proc = run_check("--sweep-current", str(current))
+        assert proc.returncode == 0, proc.stderr
+        assert "not binding" in proc.stdout
+
+        payload["cores"] = 4
+        current.write_text(json.dumps(payload))
+        proc = run_check("--sweep-current", str(current))
+        assert proc.returncode == 1
+        assert "process_vs_thread" in proc.stderr
+
+    def test_quick_reports_never_gated(self, tmp_path, sweep_payload):
+        payload = dict(sweep_payload, quick=True)
+        current = tmp_path / "sweep.json"
+        current.write_text(json.dumps(payload))
+        proc = run_check("--sweep-current", str(current))
+        assert proc.returncode == 2
+        assert "never gated" in proc.stderr
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        current = tmp_path / "sweep.json"
+        current.write_text(json.dumps({"schema": "other/v1"}))
+        proc = run_check("--sweep-current", str(current))
+        assert proc.returncode == 2
+
+    def test_warm_regression_vs_baseline(self, tmp_path, sweep_payload):
+        # an order-of-magnitude collapse trips the loose baseline check
+        payload = json.loads(json.dumps(sweep_payload))
+        payload["speedups"]["warm_vs_cold"] = max(
+            10.5, 0.01 * sweep_payload["speedups"]["warm_vs_cold"]
+        )
+        current = tmp_path / "sweep.json"
+        current.write_text(json.dumps(payload))
+        proc = run_check("--sweep-current", str(current), "--sweep-rtol", "0.5")
+        assert proc.returncode == 1
+        assert "baseline" in proc.stderr

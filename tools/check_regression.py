@@ -22,7 +22,21 @@ are same-machine ratios, so they transfer across hosts far better than
 absolute times; on noisy shared runners loosen the gate with
 ``--hotpath-rtol 0.5`` (the override CI uses) rather than skipping it.
 
-Both gates run when both ``--current`` and ``--hotpath-current`` are
+Sweep-backend gate (``--sweep-current BENCH_sweep.json``): checks the
+``benchmarks/bench_sweep_backend.py`` report for the two acceptance
+claims of the result-store PR — a warm (fully cached) sweep at least
+``--sweep-min-warm`` (default 10) times faster than the cold run, and the
+process backend at least ``--sweep-min-process`` (default 2) times faster
+than the thread backend.  The process-vs-thread floor only binds when the
+report was collected on >= 4 cores: a 1-2 core container cannot express a
+parallelism win, and gating it there would only test the pool overhead.
+The report's ``bit_identical`` flag (all backends and the warm replay
+agree exactly) must be true unconditionally.  The committed baseline is
+compared loosely (``--sweep-rtol``, default 0.9 — i.e. an
+order-of-magnitude check): warm-vs-cold mixes disk latency against
+compute speed, so tight cross-host gating would be noise.
+
+Any combination of gates runs when the corresponding ``--*-current`` is
 given; at least one is required.
 """
 
@@ -39,6 +53,7 @@ sys.path.insert(0, str(ROOT / "src"))
 from repro.obs.profiling import compare_profiles, load_profile  # noqa: E402
 
 HOTPATH_SCHEMA = "repro-hotpath-bench/v1"
+SWEEP_SCHEMA = "repro-sweep-bench/v1"
 
 
 def _load_hotpath(path: str) -> dict:
@@ -68,6 +83,59 @@ def check_hotpath(baseline_path: str, current_path: str, rtol: float) -> list[st
     return drifts
 
 
+def _load_sweep(path: str) -> dict:
+    data = json.loads(pathlib.Path(path).read_text())
+    if data.get("schema") != SWEEP_SCHEMA:
+        raise ValueError(f"{path}: not a {SWEEP_SCHEMA} report")
+    return data
+
+
+def check_sweep(
+    baseline_path: str,
+    current_path: str,
+    min_warm: float,
+    min_process: float,
+    rtol: float,
+) -> list[str]:
+    """Violated sweep-backend acceptance floors, one message per issue."""
+    current = _load_sweep(current_path)
+    issues = []
+    if current.get("quick"):
+        raise ValueError(f"{current_path}: --quick runs are never gated")
+    if not current.get("bit_identical"):
+        issues.append("backends/warm replay are not bit-identical")
+    if not current.get("warm_fully_cached"):
+        issues.append("warm run was not served entirely from the store")
+    speedups = current.get("speedups", {})
+    warm = float(speedups.get("warm_vs_cold", 0.0))
+    if warm < min_warm:
+        issues.append(
+            f"warm_vs_cold {warm:.2f}x < required {min_warm:g}x"
+        )
+    cores = int(current.get("cores", 1))
+    proc = float(speedups.get("process_vs_thread", 0.0))
+    if cores >= 4:
+        if proc < min_process:
+            issues.append(
+                f"process_vs_thread {proc:.2f}x < required {min_process:g}x "
+                f"on {cores} cores"
+            )
+    else:
+        print(
+            f"note: process_vs_thread floor not binding on {cores} core(s) "
+            f"(measured {proc:.2f}x; needs >= 4 cores to express parallelism)"
+        )
+    baseline = _load_sweep(baseline_path)
+    want = float(baseline.get("speedups", {}).get("warm_vs_cold", 0.0))
+    floor = want * (1.0 - rtol)
+    if warm < floor:
+        issues.append(
+            f"warm_vs_cold {warm:.2f}x < {floor:.2f}x "
+            f"(baseline {want:.2f}x, rtol {rtol:g})"
+        )
+    return issues
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -94,10 +162,36 @@ def main(argv=None) -> int:
         help="allowed relative speedup loss per hot-path case (default 0.2; "
         "use 0.5 on noisy shared runners)",
     )
+    parser.add_argument(
+        "--sweep-baseline",
+        default=str(ROOT / "benchmarks" / "results" / "BENCH_sweep.json"),
+        help="committed sweep-backend benchmark (default: benchmarks/results/BENCH_sweep.json)",
+    )
+    parser.add_argument(
+        "--sweep-current", default=None,
+        help="freshly collected sweep benchmark (benchmarks/bench_sweep_backend.py output)",
+    )
+    parser.add_argument(
+        "--sweep-min-warm", type=float, default=10.0,
+        help="required warm-vs-cold speedup of a fully cached sweep (default 10)",
+    )
+    parser.add_argument(
+        "--sweep-min-process", type=float, default=2.0,
+        help="required process-vs-thread speedup on >= 4-core hosts (default 2)",
+    )
+    parser.add_argument(
+        "--sweep-rtol", type=float, default=0.9,
+        help="allowed relative warm-speedup loss vs the committed baseline "
+        "(default 0.9: an order-of-magnitude check, not a tight gate)",
+    )
     args = parser.parse_args(argv)
 
-    if args.current is None and args.hotpath_current is None:
-        parser.error("nothing to gate: pass --current and/or --hotpath-current")
+    if (args.current is None and args.hotpath_current is None
+            and args.sweep_current is None):
+        parser.error(
+            "nothing to gate: pass --current, --hotpath-current, "
+            "and/or --sweep-current"
+        )
 
     failures = 0
 
@@ -143,6 +237,30 @@ def main(argv=None) -> int:
             print(
                 f"OK: hot-path speedups within rtol={args.hotpath_rtol:g} "
                 f"of {args.hotpath_baseline}"
+            )
+
+    if args.sweep_current is not None:
+        try:
+            issues = check_sweep(
+                args.sweep_baseline, args.sweep_current,
+                args.sweep_min_warm, args.sweep_min_process, args.sweep_rtol,
+            )
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+            print(f"cannot load sweep benchmark: {exc}", file=sys.stderr)
+            return 2
+        if issues:
+            failures += 1
+            print(
+                f"REGRESSION: {len(issues)} sweep-backend issue(s) "
+                f"in {args.sweep_current}:",
+                file=sys.stderr,
+            )
+            for issue in issues:
+                print(f"  {issue}", file=sys.stderr)
+        else:
+            print(
+                f"OK: sweep backend bit-identical, warm >= "
+                f"{args.sweep_min_warm:g}x cold in {args.sweep_current}"
             )
 
     return 1 if failures else 0
