@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench reproduce selftest examples docs clean
+.PHONY: install test bench reproduce selftest examples docs clean lint analyze
 
 install:
 	$(PYTHON) setup.py develop
@@ -24,6 +24,17 @@ examples:
 
 docs:
 	$(PYTHON) tools/regenerate_docs.py
+
+# External linters (skipped gracefully where not installed; CI installs both)
+# + the project's own invariant lint / race / bank-conflict gate.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then ruff check src tools; \
+	else echo "ruff not installed; skipping (pip install ruff)"; fi
+	@if command -v mypy >/dev/null 2>&1; then mypy src/repro/analysis; \
+	else echo "mypy not installed; skipping (pip install mypy)"; fi
+
+analyze:
+	PYTHONPATH=src $(PYTHON) tools/run_analysis.py
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks

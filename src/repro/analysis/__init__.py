@@ -1,0 +1,58 @@
+"""Static analysis of the repository's kernels and invariants.
+
+Three analyzers, one subsystem (see docs/ANALYSIS.md):
+
+* :mod:`repro.analysis.races` — GPUVerify-style barrier-interval race
+  detection over symbolic SIMT token streams
+  (:mod:`repro.analysis.trace`): proves the fused kernel's double-buffered
+  staging free of shared-memory races for every paper configuration, and
+  catches seeded missing-barrier mutants with file/line witnesses.
+* :mod:`repro.analysis.banks` — per-instruction bank-conflict
+  certification of the Fig.-5 thread↔track mapping; emits a
+  machine-readable :class:`~repro.analysis.banks.BankCertificate` that
+  :func:`repro.core.autotune.rank_tilings` can use to reject conflicting
+  mappings before simulation.
+* :mod:`repro.analysis.lint` — AST rules for the determinism and
+  hot-path invariants prior PRs established (no unordered-set iteration in
+  deterministic paths, float64-only ABFT checksums, ``is None`` hook
+  guards, frozen config dataclasses), gated against a committed baseline
+  (:mod:`repro.analysis.baseline`).
+
+``repro analyze [race|banks|lint|all] --json`` exposes all three; the
+seeded negative controls live in :mod:`repro.analysis.mutants`.
+"""
+
+from .banks import BankCertificate, InstructionReport, certify_mapping, certify_tiling
+from .baseline import load_baseline, new_findings, save_baseline
+from .lint import RULES, LintFinding, lint_paths, lint_source
+from .races import (
+    PAPER_K_VALUES,
+    RaceReport,
+    RaceViolation,
+    certify_paper_kernels,
+    detect_races,
+)
+from .trace import AccessEvent, IntervalAccesses, KernelTrace, trace_kernel
+
+__all__ = [
+    "AccessEvent",
+    "BankCertificate",
+    "InstructionReport",
+    "IntervalAccesses",
+    "KernelTrace",
+    "LintFinding",
+    "PAPER_K_VALUES",
+    "RULES",
+    "RaceReport",
+    "RaceViolation",
+    "certify_mapping",
+    "certify_paper_kernels",
+    "certify_tiling",
+    "detect_races",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "new_findings",
+    "save_baseline",
+    "trace_kernel",
+]

@@ -1,0 +1,231 @@
+"""Bank-conflict certification of the Fig.-5 shared-memory mapping.
+
+The paper's Fig. 5 claims two static properties of the optimized tile
+layout: every STS of the staging phase and every LDS of the compute phase
+is serviced in a single transaction per warp (replay factor 0).  The
+:mod:`repro.core.mapping` audits verify the *totals*; this module instead
+enumerates **every individual warp instruction** — 4 loader warps x ``kc``
+store phases, and 8 compute warps x ``kc`` k-steps x 8 load instructions
+per tile — computes its per-warp bank occupancy with
+:func:`repro.gpu.sharedmem.warp_transactions`, and emits a
+machine-readable :class:`BankCertificate` recording the replay factor of
+each instruction.
+
+A certificate with ``max_replay == 0`` *proves* the Fig.-5 claim for that
+``(layout, kc)`` mapping under the Maxwell banking rules the simulator
+implements.  :func:`certify_tiling` adapts the certifier to an arbitrary
+:class:`~repro.core.tiling.TilingConfig` so
+:func:`repro.core.autotune.rank_tilings` can reject conflicting mappings
+before spending any simulation on them; tilings the Fig.-5 mapping does
+not cover (non-128-point tiles, non-16x16 blocks) return ``None`` —
+"not applicable" rather than "certified".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.mapping import TrackAssignment, compute_load_addresses, store_assignment
+from ..core.tiling import TilingConfig
+from ..gpu.sharedmem import warp_transactions
+
+__all__ = [
+    "InstructionReport",
+    "BankCertificate",
+    "certify_mapping",
+    "certify_tiling",
+]
+
+#: Shape constants of the Fig.-5 mapping: 128-point tiles staged by four
+#: 32-lane loader warps, consumed by a 16 x 16 compute block.
+_POINTS = 128
+_LOADER_WARPS = 4
+_BLOCK = (16, 16)
+
+CERTIFICATE_SCHEMA = "repro-bank-certificate/v1"
+
+StoreFn = Callable[[int, str, int], TrackAssignment]
+LoadFn = Callable[[int, int, str, int], np.ndarray]
+
+
+@dataclass(frozen=True)
+class InstructionReport:
+    """Bank occupancy of one warp-wide shared-memory instruction."""
+
+    op: str  # "sts" | "lds"
+    tile: str  # "A" | "B" | "AB" (stores: both tiles share the pattern)
+    warp: int
+    phase: int  # store phase (track element) or k-step for loads
+    instr: int  # per-element load instruction index (0 for stores)
+    transactions: int
+
+    @property
+    def replay(self) -> int:
+        return self.transactions - 1
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "op": self.op,
+            "tile": self.tile,
+            "warp": self.warp,
+            "phase": self.phase,
+            "instr": self.instr,
+            "transactions": self.transactions,
+            "replay": self.replay,
+        }
+
+
+@dataclass(frozen=True)
+class BankCertificate:
+    """Machine-readable proof object for one ``(layout, kc)`` mapping."""
+
+    layout: str
+    kc: int
+    num_banks: int
+    instructions: Tuple[InstructionReport, ...]
+
+    @property
+    def max_replay(self) -> int:
+        return max((i.replay for i in self.instructions), default=0)
+
+    @property
+    def conflict_free(self) -> bool:
+        return self.max_replay == 0
+
+    @property
+    def max_store_replay(self) -> int:
+        return max((i.replay for i in self.instructions if i.op == "sts"), default=0)
+
+    @property
+    def max_load_replay(self) -> int:
+        return max((i.replay for i in self.instructions if i.op == "lds"), default=0)
+
+    def worst(self) -> Optional[InstructionReport]:
+        """The instruction with the highest replay factor, if any conflict."""
+        bad = [i for i in self.instructions if i.replay > 0]
+        return max(bad, key=lambda i: i.replay) if bad else None
+
+    def describe(self) -> str:
+        head = (
+            f"layout={self.layout} kc={self.kc}: {len(self.instructions)} warp "
+            f"instruction(s), max replay {self.max_replay} "
+            f"(sts {self.max_store_replay}, lds {self.max_load_replay})"
+        )
+        if self.conflict_free:
+            return head + " — bank-conflict-free"
+        w = self.worst()
+        assert w is not None
+        return (
+            head
+            + f" — WORST {w.op} warp {w.warp} phase {w.phase} instr {w.instr}: "
+            + f"{w.transactions} transactions"
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        conflicting = [i.to_payload() for i in self.instructions if i.replay > 0]
+        return {
+            "schema": CERTIFICATE_SCHEMA,
+            "layout": self.layout,
+            "kc": self.kc,
+            "num_banks": self.num_banks,
+            "instructions": len(self.instructions),
+            "max_replay": self.max_replay,
+            "max_store_replay": self.max_store_replay,
+            "max_load_replay": self.max_load_replay,
+            "conflict_free": self.conflict_free,
+            "conflicting": conflicting,
+        }
+
+
+def certify_mapping(
+    layout: str = "optimized",
+    kc: int = 8,
+    num_banks: int = 32,
+    store_fn: Optional[StoreFn] = None,
+    load_fn: Optional[LoadFn] = None,
+) -> BankCertificate:
+    """Per-instruction bank certificate for one tile mapping.
+
+    ``store_fn``/``load_fn`` default to the real
+    :func:`repro.core.mapping.store_assignment` /
+    :func:`~repro.core.mapping.compute_load_addresses`; tests substitute
+    seeded mutants to prove the certifier catches broken mappings.
+    Raises ``ValueError`` when the mapping is undefined for ``kc`` (the
+    address functions refuse out-of-range points), so callers can treat
+    "not expressible" separately from "conflicting".
+    """
+    sfn: StoreFn = store_fn if store_fn is not None else store_assignment
+    lfn: LoadFn = load_fn if load_fn is not None else compute_load_addresses
+    reports: List[InstructionReport] = []
+
+    # Staging STS: four loader warps, one store instruction per track
+    # element.  Both tile halves use the same (warp, lane) -> address
+    # pattern, so one sweep certifies A and B at once.
+    for warp in range(_LOADER_WARPS):
+        assigns = [sfn(warp * 32 + lane, layout, kc) for lane in range(32)]
+        for phase in range(kc):
+            addrs = np.array([a.smem_addresses[phase] for a in assigns], dtype=np.int64)
+            reports.append(
+                InstructionReport(
+                    op="sts",
+                    tile="AB",
+                    warp=warp,
+                    phase=phase,
+                    instr=0,
+                    transactions=warp_transactions(addrs, num_banks),
+                )
+            )
+
+    # Compute LDS: every warp of the 16 x 16 block, each k-step, each of
+    # the 8 per-element load instructions, for both tiles (tileB indexes by
+    # tx, tileA by ty — different broadcast structure, both must certify).
+    bx, by = _BLOCK
+    for warp_start in range(0, bx * by, 32):
+        warp = warp_start // 32
+        lanes = np.arange(warp_start, warp_start + 32)
+        tx, ty = lanes % bx, lanes // bx
+        for tile, coord in (("B", tx), ("A", ty)):
+            for k_step in range(kc):
+                per_lane = np.stack(
+                    [lfn(int(c), k_step, layout, kc) for c in coord]
+                )  # (32 lanes, 8 elements)
+                for instr in range(8):
+                    reports.append(
+                        InstructionReport(
+                            op="lds",
+                            tile=tile,
+                            warp=warp,
+                            phase=k_step,
+                            instr=instr,
+                            transactions=warp_transactions(per_lane[:, instr], num_banks),
+                        )
+                    )
+
+    return BankCertificate(
+        layout=layout, kc=kc, num_banks=num_banks, instructions=tuple(reports)
+    )
+
+
+def certify_tiling(
+    tiling: TilingConfig, layout: str = "optimized", num_banks: int = 32
+) -> Optional[BankCertificate]:
+    """Certificate for a :class:`TilingConfig`, or ``None`` if inapplicable.
+
+    The Fig.-5 mapping is defined for 128 x 128 CTA tiles staged by a
+    16 x 16 block; other shapes return ``None`` (the mapping simply does
+    not describe their staging), as does any ``kc`` for which the address
+    functions refuse to produce a full schedule.  Callers rejecting
+    candidates must therefore distinguish ``None`` (no claim) from a
+    certificate with conflicts (a disproved claim).
+    """
+    if (tiling.mc, tiling.nc) != (_POINTS, _POINTS):
+        return None
+    if (tiling.block_dim_x, tiling.block_dim_y) != _BLOCK:
+        return None
+    try:
+        return certify_mapping(layout=layout, kc=tiling.kc, num_banks=num_banks)
+    except ValueError:
+        return None

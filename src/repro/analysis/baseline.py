@@ -1,0 +1,55 @@
+"""Committed-baseline bookkeeping for the lint gate.
+
+The CI ``analysis`` job fails on any *new* violation while tolerating the
+(ideally empty) set of findings that were reviewed and accepted when the
+gate was introduced.  Accepted findings live in a committed JSON file as
+stable keys (``rule:path:context`` — see
+:attr:`repro.analysis.lint.LintFinding.key`), so unrelated line-number
+churn does not invalidate the baseline, while moving a violation to a new
+function or file does.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Set, Union
+
+from .lint import LintFinding
+
+__all__ = ["BASELINE_SCHEMA", "load_baseline", "save_baseline", "new_findings"]
+
+BASELINE_SCHEMA = "repro-analysis-baseline/v1"
+
+
+def load_baseline(path: Union[str, Path]) -> Set[str]:
+    """Accepted finding keys from a baseline file (missing file = empty)."""
+    p = Path(path)
+    if not p.exists():
+        return set()
+    doc = json.loads(p.read_text(encoding="utf-8"))
+    if doc.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{p}: expected schema {BASELINE_SCHEMA!r}, got {doc.get('schema')!r}"
+        )
+    accepted = doc.get("accepted", [])
+    if not isinstance(accepted, list) or not all(isinstance(k, str) for k in accepted):
+        raise ValueError(f"{p}: 'accepted' must be a list of finding keys")
+    return set(accepted)
+
+
+def save_baseline(path: Union[str, Path], findings: Sequence[LintFinding]) -> Dict[str, object]:
+    """Write the current findings as the accepted baseline; returns the doc."""
+    doc: Dict[str, object] = {
+        "schema": BASELINE_SCHEMA,
+        "accepted": sorted({f.key for f in findings}),
+    }
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return doc
+
+
+def new_findings(
+    findings: Sequence[LintFinding], baseline: Set[str]
+) -> List[LintFinding]:
+    """Findings whose keys are not in the accepted baseline."""
+    return [f for f in findings if f.key not in baseline]

@@ -1,0 +1,453 @@
+"""AST lint for the repository's determinism and hot-path invariants.
+
+Every prior PR left behind an invariant that is enforced by convention
+only: results must not depend on hash ordering (the batched engines are
+bit-identical to the loops), the ABFT checksums must stay in float64, the
+obs/faults hooks must cost one ``is None`` test when disabled, and every
+configuration field must reach :mod:`repro.core.digest`'s key material.
+This pass turns those conventions into checkable rules:
+
+``RA001 bare-except``
+    ``except:`` swallows ``KeyboardInterrupt``/``SystemExit`` and buries
+    the structured :mod:`repro.errors` taxonomy; name the exception.
+
+``RA002 unordered-iteration``
+    iterating a ``set``/``frozenset`` expression (literal, constructor,
+    comprehension, or a name bound to one in the same scope) in a ``for``,
+    comprehension, or ``sum()``/accumulation context.  Set order depends
+    on ``PYTHONHASHSEED`` for str keys; one such iteration feeding a float
+    accumulation silently breaks bit-reproducibility.  Wrap in
+    ``sorted(...)`` to accept.
+
+``RA003 checksum-narrowing``
+    a dtype-narrowing operation (``.astype(np.float32)``,
+    ``np.float32(...)``, ``dtype=np.float32``) inside a function whose
+    name marks it part of the float64 ABFT checksum path (contains
+    ``checksum`` or ``abft``).  Narrowing there destroys the error bound
+    the recovery logic relies on.
+
+``RA004 hot-path-guard``
+    the result of ``active_injector()`` / ``active_metrics()`` /
+    ``active_tracer()`` used as a truth value (directly or via a local
+    binding) instead of compared ``is None`` / ``is not None``.  The
+    zero-cost disabled path is *specified* as a single identity test; a
+    truthiness protocol call would reintroduce per-access overhead and
+    break on empty-but-armed registries.
+
+``RA005 config-digest-fields``
+    a known configuration dataclass (the classes
+    :func:`repro.core.digest.canonical_payload` flattens into store keys)
+    that is not declared ``@dataclass(frozen=True)``, or whose methods
+    assign ``self.<attr>`` outside the declared fields.  The digest
+    includes exactly the declared fields — hidden mutable state would
+    change results without changing the key.
+
+:func:`lint_paths` walks files or directories and returns
+:class:`LintFinding` records; ``tools/run_analysis.py`` gates them against
+the committed baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["LintFinding", "lint_source", "lint_file", "lint_paths", "RULES"]
+
+#: rule id -> one-line description (the CLI prints this table).
+RULES: Dict[str, str] = {
+    "RA001": "bare except: swallows SystemExit and the repro.errors taxonomy",
+    "RA002": "iteration over an unordered set feeding deterministic code",
+    "RA003": "dtype narrowing inside a float64 ABFT checksum path",
+    "RA004": "obs/faults hot-path guard must be `is None`, not truthiness",
+    "RA005": "config dataclass must be frozen with all state in digested fields",
+}
+
+#: Configuration classes whose dataclass fields form digest key material.
+CONFIG_CLASSES: Set[str] = {
+    "ProblemSpec",
+    "TilingConfig",
+    "DeviceSpec",
+    "Calibration",
+    "FaultSpec",
+}
+
+#: The zero-cost hook accessors guarded by RA004.
+_HOT_ACCESSORS: Set[str] = {"active_injector", "active_metrics", "active_tracer"}
+
+_CHECKSUM_MARKERS: Tuple[str, ...] = ("checksum", "abft")
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    context: str  # enclosing qualname ("<module>" at top level)
+    message: str
+
+    @property
+    def key(self) -> str:
+        """Baseline key: stable across unrelated line-number churn."""
+        return f"{self.rule}:{self.path}:{self.context}"
+
+    def describe(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} [{self.context}] {self.message}"
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "context": self.context,
+            "message": self.message,
+            "key": self.key,
+        }
+
+
+def _is_set_expr(node: ast.AST, set_names: Set[str]) -> bool:
+    """Syntactic judgement: does ``node`` evaluate to a set?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # set algebra (a | b, a & b, a - b, a ^ b) of known sets
+        return _is_set_expr(node.left, set_names) and _is_set_expr(node.right, set_names)
+    return False
+
+
+def _is_sorted_call(node: ast.AST) -> bool:
+    # Only sorted() launders set order; list()/tuple() preserve hash order.
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "sorted"
+    )
+
+
+def _is_narrowing_call(node: ast.Call) -> bool:
+    """``x.astype(np.float32)`` / ``np.float32(...)`` / ``dtype=np.float32``."""
+
+    def names_float32(expr: ast.AST) -> bool:
+        if isinstance(expr, ast.Attribute) and expr.attr in ("float32", "float16"):
+            return True
+        if isinstance(expr, ast.Name) and expr.id in ("float32", "float16"):
+            return True
+        if isinstance(expr, ast.Constant) and expr.value in ("float32", "float16"):
+            return True
+        return False
+
+    if isinstance(node.func, ast.Attribute) and node.func.attr == "astype":
+        if any(names_float32(a) for a in node.args):
+            return True
+        if any(kw.arg == "dtype" and names_float32(kw.value) for kw in node.keywords):
+            return True
+    if names_float32(node.func):
+        return True
+    return any(kw.arg == "dtype" and names_float32(kw.value) for kw in node.keywords)
+
+
+def _call_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name):
+            return node.func.id
+        if isinstance(node.func, ast.Attribute):
+            return node.func.attr
+    return None
+
+
+class _Linter(ast.NodeVisitor):
+    """Single-pass visitor applying every rule; tracks the qualname stack."""
+
+    def __init__(self, path: str, enabled: Set[str]) -> None:
+        self.path = path
+        self.enabled = enabled
+        self.findings: List[LintFinding] = []
+        self.stack: List[str] = []
+        # per-function-scope name tracking for RA002 / RA004
+        self.set_names: List[Set[str]] = [set()]
+        self.hot_names: List[Set[str]] = [set()]
+
+    # -- bookkeeping -------------------------------------------------------
+    @property
+    def context(self) -> str:
+        return ".".join(self.stack) if self.stack else "<module>"
+
+    def emit(self, rule: str, node: ast.AST, message: str) -> None:
+        if rule in self.enabled:
+            self.findings.append(
+                LintFinding(
+                    rule=rule,
+                    path=self.path,
+                    line=getattr(node, "lineno", 0),
+                    col=getattr(node, "col_offset", 0),
+                    context=self.context,
+                    message=message,
+                )
+            )
+
+    def _in_scope(self, frames: List[Set[str]], name: str) -> bool:
+        return any(name in frame for frame in frames)
+
+    # -- scope handling ----------------------------------------------------
+    def _visit_scope(self, node: ast.AST, name: str) -> None:
+        self.stack.append(name)
+        self.set_names.append(set())
+        self.hot_names.append(set())
+        self.generic_visit(node)
+        self.hot_names.pop()
+        self.set_names.pop()
+        self.stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_checksum_fn(node)
+        self._visit_scope(node, node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_scope(node, node.name)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._check_config_class(node)
+        self._visit_scope(node, node.name)
+
+    # -- RA001 -------------------------------------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.emit("RA001", node, "bare `except:`; name the exception type")
+        self.generic_visit(node)
+
+    # -- RA002 / RA004 name tracking ---------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if targets:
+            if _is_set_expr(node.value, self._flat(self.set_names)):
+                self.set_names[-1].update(targets)
+            else:
+                for frame in self.set_names:
+                    frame.difference_update(targets)
+            if _call_name(node.value) in _HOT_ACCESSORS:
+                self.hot_names[-1].update(targets)
+            else:
+                for frame in self.hot_names:
+                    frame.difference_update(targets)
+        self.generic_visit(node)
+
+    @staticmethod
+    def _flat(frames: List[Set[str]]) -> Set[str]:
+        out: Set[str] = set()
+        for f in frames:
+            out |= f
+        return out
+
+    # -- RA002 -------------------------------------------------------------
+    def _check_unordered_iter(self, iter_node: ast.AST) -> None:
+        if _is_sorted_call(iter_node):
+            return
+        if _is_set_expr(iter_node, self._flat(self.set_names)):
+            self.emit(
+                "RA002",
+                iter_node,
+                "iterating an unordered set; wrap in sorted(...) for a "
+                "deterministic order",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_unordered_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_unordered_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # sum(<set>) accumulates floats in hash order
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in ("sum", "math.fsum", "fsum")
+            and node.args
+        ):
+            self._check_unordered_iter(node.args[0])
+        # RA003 context is handled in _check_checksum_fn via a sub-walk.
+        self.generic_visit(node)
+
+    # -- RA003 -------------------------------------------------------------
+    def _check_checksum_fn(self, node: ast.FunctionDef) -> None:
+        name = node.name.lower()
+        if not any(marker in name for marker in _CHECKSUM_MARKERS):
+            return
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call) and _is_narrowing_call(sub):
+                self.emit(
+                    "RA003",
+                    sub,
+                    f"dtype narrowing inside checksum path {node.name!r}; "
+                    "ABFT invariants are float64",
+                )
+
+    # -- RA004 -------------------------------------------------------------
+    def _truthiness_target(self, test: ast.AST) -> Optional[str]:
+        """Name/call used as a truth value if it is a hot accessor result."""
+        node = test
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+            node = node.operand
+        cn = _call_name(node)
+        if cn in _HOT_ACCESSORS:
+            return f"{cn}()"
+        if isinstance(node, ast.Name) and self._in_scope(self.hot_names, node.id):
+            return node.id
+        return None
+
+    def _check_guard(self, test: ast.AST) -> None:
+        target = self._truthiness_target(test)
+        if target is not None:
+            self.emit(
+                "RA004",
+                test,
+                f"truthiness test on {target}; hot-path guards must compare "
+                "`is None` / `is not None`",
+            )
+        if isinstance(test, ast.BoolOp):
+            for v in test.values:
+                self._check_guard(v)
+        if isinstance(test, ast.Compare):
+            # `x == None` defeats the identity contract too
+            if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in test.ops) and any(
+                isinstance(c, ast.Constant) and c.value is None
+                for c in list(test.comparators) + [test.left]
+            ):
+                left = test.left
+                cn = _call_name(left)
+                if cn in _HOT_ACCESSORS or (
+                    isinstance(left, ast.Name) and self._in_scope(self.hot_names, left.id)
+                ):
+                    self.emit(
+                        "RA004",
+                        test,
+                        "equality comparison with None on a hot-path guard; use "
+                        "`is None` / `is not None`",
+                    )
+
+    def visit_If(self, node: ast.If) -> None:
+        self._check_guard(node.test)
+        self.generic_visit(node)
+
+    def visit_IfExp(self, node: ast.IfExp) -> None:
+        self._check_guard(node.test)
+        self.generic_visit(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._check_guard(node.test)
+        self.generic_visit(node)
+
+    # -- RA005 -------------------------------------------------------------
+    def _check_config_class(self, node: ast.ClassDef) -> None:
+        if node.name not in CONFIG_CLASSES:
+            return
+        frozen = False
+        is_dataclass = False
+        for dec in node.decorator_list:
+            name = None
+            if isinstance(dec, ast.Name):
+                name = dec.id
+            elif isinstance(dec, ast.Attribute):
+                name = dec.attr
+            elif isinstance(dec, ast.Call):
+                name = _call_name(dec)
+                if name == "dataclass":
+                    for kw in dec.keywords:
+                        if (
+                            kw.arg == "frozen"
+                            and isinstance(kw.value, ast.Constant)
+                            and kw.value.value is True
+                        ):
+                            frozen = True
+            if name == "dataclass":
+                is_dataclass = True
+        if not is_dataclass or not frozen:
+            self.emit(
+                "RA005",
+                node,
+                f"config class {node.name!r} must be @dataclass(frozen=True) so "
+                "core.digest flattens exactly its declared fields",
+            )
+        declared = {
+            t.target.id
+            for t in node.body
+            if isinstance(t, ast.AnnAssign) and isinstance(t.target, ast.Name)
+        }
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.FunctionDef):
+                for stmt in ast.walk(sub):
+                    if isinstance(stmt, ast.Assign):
+                        for tgt in stmt.targets:
+                            if (
+                                isinstance(tgt, ast.Attribute)
+                                and isinstance(tgt.value, ast.Name)
+                                and tgt.value.id == "self"
+                                and tgt.attr not in declared
+                            ):
+                                self.emit(
+                                    "RA005",
+                                    stmt,
+                                    f"{node.name}.{tgt.attr} assigned outside the "
+                                    "declared dataclass fields; it would escape the "
+                                    "config digest",
+                                )
+
+
+def lint_source(
+    source: str, path: str = "<string>", rules: Optional[Iterable[str]] = None
+) -> List[LintFinding]:
+    """Lint one source text; ``path`` labels the findings."""
+    enabled = set(rules) if rules is not None else set(RULES)
+    unknown = enabled - set(RULES)
+    if unknown:
+        raise ValueError(f"unknown lint rule(s): {sorted(unknown)}")
+    tree = ast.parse(source, filename=path)
+    linter = _Linter(path, enabled)
+    linter.visit(tree)
+    return linter.findings
+
+
+def lint_file(path: Path, rules: Optional[Iterable[str]] = None, root: Optional[Path] = None) -> List[LintFinding]:
+    rel = str(path.relative_to(root)) if root is not None else str(path)
+    return lint_source(path.read_text(encoding="utf-8"), rel, rules)
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    rules: Optional[Iterable[str]] = None,
+    root: Optional[str | Path] = None,
+) -> List[LintFinding]:
+    """Lint files and/or directories (``*.py``, recursively, sorted).
+
+    ``root`` relativizes the reported paths so baseline keys are stable
+    across checkouts; it defaults to the current working directory when
+    every path lies under it.
+    """
+    root_path = Path(root).resolve() if root is not None else Path.cwd().resolve()
+    findings: List[LintFinding] = []
+    for p in paths:
+        path = Path(p).resolve()
+        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for f in files:
+            try:
+                rel_root: Optional[Path] = root_path
+                f.relative_to(root_path)
+            except ValueError:
+                rel_root = None
+            findings.extend(lint_file(f, rules, rel_root))
+    findings.sort(key=lambda x: (x.path, x.line, x.col, x.rule))
+    return findings

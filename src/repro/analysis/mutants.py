@@ -1,0 +1,165 @@
+"""Seeded buggy kernel variants the analyzers must catch.
+
+These are *negative controls*: deliberately broken copies of the paper's
+kernels that exercise the two failure classes the static analyzers exist
+to rule out.  Tests (and the CI gate's self-check) run the analyzers
+against them and demand a violation — an analyzer that certifies a mutant
+is itself broken.
+
+* :func:`stage_tile_missing_barrier_kernel` — the Fig.-5 staging kernel
+  with the ``__syncthreads`` between staging and compute deleted: the
+  compute phase's LDS now share a barrier interval with the staging STS,
+  a textbook read-write race.
+* :func:`double_buffered_missing_barrier_kernel` — Algorithm 2's panel
+  loop with the per-iteration barrier (line 11) deleted: iteration
+  ``i+1``'s staging overwrites the buffer iteration ``i`` is still
+  reading from.
+* :func:`permuted_store_assignment` — the Fig.-5 thread↔track mapping
+  with the track shuffle dropped: each loader thread fetches its *naive*
+  track (point = loader index) but stores into the optimized 32 x 2
+  microtile layout, concentrating every warp's stores into 8 banks
+  (4-way conflicts) instead of spreading them across all 32.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Literal
+
+import numpy as np
+
+from ..core.mapping import (
+    TrackAssignment,
+    compute_load_addresses,
+    optimized_address,
+    store_assignment,
+)
+from ..gpu.simt import ThreadCtx
+
+__all__ = [
+    "stage_tile_missing_barrier_kernel",
+    "double_buffered_missing_barrier_kernel",
+    "permuted_store_assignment",
+]
+
+
+def stage_tile_missing_barrier_kernel(
+    ctx: ThreadCtx,
+    tileA: np.ndarray,
+    tileB: np.ndarray,
+    acc: np.ndarray,
+    layout: Literal["optimized", "naive"],
+    kc: int,
+) -> Generator[Any, Any, None]:
+    """:func:`repro.core.simt_kernels.stage_tile_kernel` minus the barrier.
+
+    Identical staging and compute phases, but the block-wide barrier that
+    separates them is gone — every compute-phase load races with the
+    staging stores of the other threads.
+    """
+    B_OFF = 128 * kc
+    half = ctx.block_dim[0] * ctx.block_dim[1] // 2
+    tid = ctx.tid
+
+    if tid < half:
+        assign = store_assignment(tid, layout, kc)
+        track = tileA[assign.point, :]
+        for p in range(kc):
+            yield ctx.sts(assign.smem_addresses[p], [track[p]])
+    else:
+        assign = store_assignment(tid - half, layout, kc)
+        track = tileB[:, assign.point]
+        for p in range(kc):
+            yield ctx.sts(B_OFF + assign.smem_addresses[p], [track[p]])
+
+    # BUG under test: no ctx.barrier() here.
+
+    tx, ty = ctx.tx, ctx.ty
+    for k in range(kc):
+        a_addrs = compute_load_addresses(ty, k, layout, kc)
+        b_addrs = compute_load_addresses(tx, k, layout, kc)
+        a_vals = np.empty(8, dtype=np.float32)
+        b_vals = np.empty(8, dtype=np.float32)
+        for i in range(8):
+            a_vals[i] = yield ctx.lds(int(a_addrs[i]))
+        for i in range(8):
+            b_vals[i] = yield ctx.lds(B_OFF + int(b_addrs[i]))
+        acc[8 * ty : 8 * ty + 8, 8 * tx : 8 * tx + 8] += np.outer(a_vals, b_vals)
+
+    yield ctx.barrier()
+
+
+def double_buffered_missing_barrier_kernel(
+    ctx: ThreadCtx,
+    tileAs: np.ndarray,
+    tileBs: np.ndarray,
+    acc: np.ndarray,
+    kc: int,
+) -> Generator[Any, Any, None]:
+    """Algorithm 2's panel loop with the line-11 barrier deleted.
+
+    Without the per-iteration barrier, ``stage(i+1)`` into buffer ``j``
+    lands in the same interval as ``compute`` still reading buffer ``j``
+    from the *previous* flip — the race double buffering exists to avoid.
+    """
+    PAIR = 2 * 128 * kc
+    B_OFF = 128 * kc
+    half = ctx.block_dim[0] * ctx.block_dim[1] // 2
+    tid, tx, ty = ctx.tid, ctx.tx, ctx.ty
+
+    def stage(panel: int, buf: int) -> Generator[Any, Any, None]:
+        base = buf * PAIR
+        if tid < half:
+            assign = store_assignment(tid, "optimized", kc)
+            track = tileAs[panel, assign.point, :]
+            for p in range(kc):
+                yield ctx.sts(base + assign.smem_addresses[p], [track[p]])
+        else:
+            assign = store_assignment(tid - half, "optimized", kc)
+            track = tileBs[panel, :, assign.point]
+            for p in range(kc):
+                yield ctx.sts(base + B_OFF + assign.smem_addresses[p], [track[p]])
+
+    def compute(buf: int) -> Generator[Any, Any, None]:
+        base = buf * PAIR
+        for k in range(kc):
+            a_addrs = compute_load_addresses(ty, k, "optimized", kc)
+            b_addrs = compute_load_addresses(tx, k, "optimized", kc)
+            a_vals = np.empty(8, dtype=np.float32)
+            b_vals = np.empty(8, dtype=np.float32)
+            for i in range(8):
+                a_vals[i] = yield ctx.lds(base + int(a_addrs[i]))
+            for i in range(8):
+                b_vals[i] = yield ctx.lds(base + B_OFF + int(b_addrs[i]))
+            acc[8 * ty : 8 * ty + 8, 8 * tx : 8 * tx + 8] += np.outer(a_vals, b_vals)
+
+    panels = tileAs.shape[0]
+    j = 0
+    yield from stage(0, j)
+    yield ctx.barrier()
+    for i in range(1, panels):
+        j ^= 1
+        yield from stage(i, j)
+        yield from compute(j ^ 1)
+        # BUG under test: no ctx.barrier() here (Algorithm 2 line 11).
+    yield from compute(j)
+
+
+def permuted_store_assignment(
+    loader_index: int, layout: str = "optimized", kc: int = 8
+) -> TrackAssignment:
+    """Fig.-5 store schedule with the thread↔track permutation dropped.
+
+    The optimized mapping's whole point is that loader-warp ``w``, lane
+    ``l`` fetches track ``(l % 2) + 2w`` of microtile ``l // 2`` so that
+    the 32 lanes land in 32 distinct banks.  This mutant keeps the
+    optimized *addresses* but pairs threads with tracks naively
+    (``point = loader_index``): lanes 0..31 of a warp then write rows of
+    only 4 microtiles, i.e. 8 distinct banks — a 4-way store conflict the
+    certifier must flag.
+    """
+    if not 0 <= loader_index < 128:
+        raise ValueError("loader_index must lie in [0, 128)")
+    microtile, track = divmod(loader_index, kc)
+    point = microtile * kc + track
+    addresses = tuple(optimized_address(p, point, kc) for p in range(kc))
+    return TrackAssignment(loader_index, microtile, track, addresses)

@@ -1,0 +1,269 @@
+"""Symbolic enumeration of SIMT operation-token streams.
+
+The kernels in :mod:`repro.core.simt_kernels` are Python generators whose
+*control flow never depends on loaded data*: the addresses they touch and
+the barriers they cross are fully determined by the thread coordinates and
+the launch parameters.  That makes them amenable to static analysis by
+*symbolic replay*: each thread's generator is advanced to completion with
+neutral values fed into every ``yield`` (zeros for ``lds``, the lane's own
+contribution for ``shfl``), and the stream of operation tokens it presents
+is recorded instead of executed.
+
+The recorded stream is partitioned at ``ctx.barrier()`` tokens into
+*barrier intervals* — the synchronization quanta of GPUVerify-style race
+analysis: two shared-memory accesses can only conflict if they fall into
+the same interval, because ``__syncthreads`` orders everything across
+interval boundaries.
+
+:func:`trace_kernel` produces a :class:`KernelTrace` holding, for every
+interval, compact NumPy arrays of ``(thread, word address)`` pairs for
+loads and stores.  When ``detail_intervals`` is given, per-access
+:class:`AccessEvent` records (including the generator's suspended source
+line, read from ``gi_frame.f_lineno``) are additionally collected for
+those intervals so a violation can be reported with file/line locations.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..gpu.simt import ThreadCtx
+
+__all__ = [
+    "AccessEvent",
+    "IntervalAccesses",
+    "KernelTrace",
+    "trace_kernel",
+]
+
+# Token kind tags, mirroring the tuples built by ThreadCtx.  Kept as local
+# literals (rather than importing repro.gpu.simt's private constants) so the
+# trace layer documents the protocol it speaks.
+_BARRIER = "bar"
+_LDS = "lds"
+_STS = "sts"
+_ATOM = "atom"
+_IDLE = "idle"
+_SHFL = "shfl"
+
+#: Hard cap on tokens a single thread may present before the tracer declares
+#: the kernel non-terminating under symbolic replay.
+MAX_TOKENS_PER_THREAD = 2_000_000
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One shared-memory access of one thread (detail mode only)."""
+
+    thread: int
+    kind: str  # "load" | "store"
+    address: int  # first word address
+    width: int  # words accessed (1, 2, or 4)
+    line: int  # source line of the suspended ``yield``
+
+    def words(self) -> Tuple[int, ...]:
+        return tuple(range(self.address, self.address + self.width))
+
+
+@dataclass
+class IntervalAccesses:
+    """All shared-memory traffic of one barrier interval, block-wide.
+
+    The four arrays are parallel decompositions: ``read_threads[i]`` issued
+    a load of word ``read_addresses[i]`` (wide accesses contribute one entry
+    per word), and likewise for stores.  ``events`` is populated only when
+    the interval was traced in detail mode.
+    """
+
+    index: int
+    read_threads: np.ndarray
+    read_addresses: np.ndarray
+    write_threads: np.ndarray
+    write_addresses: np.ndarray
+    events: Optional[List[AccessEvent]] = None
+
+    @property
+    def reads(self) -> int:
+        return int(self.read_addresses.size)
+
+    @property
+    def writes(self) -> int:
+        return int(self.write_addresses.size)
+
+
+@dataclass
+class KernelTrace:
+    """The symbolic execution footprint of one kernel launch."""
+
+    kernel_name: str
+    source_file: str
+    block_dim: Tuple[int, int]
+    warp_size: int
+    barrier_counts: List[int]
+    intervals: List[IntervalAccesses]
+    atomic_ops: int
+    shuffle_ops: int
+
+    @property
+    def num_threads(self) -> int:
+        return self.block_dim[0] * self.block_dim[1]
+
+    @property
+    def num_intervals(self) -> int:
+        return len(self.intervals)
+
+    @property
+    def barriers_aligned(self) -> bool:
+        """Did every thread cross the same number of barriers?"""
+        return len(set(self.barrier_counts)) <= 1
+
+    def total_accesses(self) -> int:
+        return sum(iv.reads + iv.writes for iv in self.intervals)
+
+
+class _IntervalBuilder:
+    """Mutable accumulator for one interval while threads are replayed."""
+
+    __slots__ = ("index", "rt", "ra", "wt", "wa", "events")
+
+    def __init__(self, index: int, detail: bool) -> None:
+        self.index = index
+        self.rt: List[int] = []
+        self.ra: List[int] = []
+        self.wt: List[int] = []
+        self.wa: List[int] = []
+        self.events: Optional[List[AccessEvent]] = [] if detail else None
+
+    def finish(self) -> IntervalAccesses:
+        return IntervalAccesses(
+            index=self.index,
+            read_threads=np.asarray(self.rt, dtype=np.int64),
+            read_addresses=np.asarray(self.ra, dtype=np.int64),
+            write_threads=np.asarray(self.wt, dtype=np.int64),
+            write_addresses=np.asarray(self.wa, dtype=np.int64),
+            events=self.events,
+        )
+
+
+def trace_kernel(
+    kernel: Callable[..., Generator[Any, Any, None]],
+    block_dim: Tuple[int, int],
+    *args: Any,
+    warp_size: int = 32,
+    detail_intervals: Optional[Set[int]] = None,
+    **kwargs: Any,
+) -> KernelTrace:
+    """Symbolically replay ``kernel`` on every thread and record its tokens.
+
+    ``args``/``kwargs`` are passed to the kernel body exactly as
+    :meth:`repro.gpu.simt.Block.run` would.  Loaded values are replaced by
+    zeros and shuffles return the lane's own contribution, which is sound
+    for any kernel whose control flow and addressing are value-independent
+    — true of every kernel in this repository (and a prerequisite for the
+    lockstep SIMT model to execute them at all).
+
+    Replay is per-thread, not lockstep: barrier *alignment* between threads
+    is checked by the race detector via :attr:`KernelTrace.barrier_counts`,
+    not enforced here.
+    """
+    bx, by = block_dim
+    if bx <= 0 or by <= 0:
+        raise ValueError("block dimensions must be positive")
+    num_threads = bx * by
+    detail = detail_intervals if detail_intervals is not None else set()
+
+    builders: Dict[int, _IntervalBuilder] = {}
+
+    def builder(interval: int) -> _IntervalBuilder:
+        b = builders.get(interval)
+        if b is None:
+            b = _IntervalBuilder(interval, interval in detail)
+            builders[interval] = b
+        return b
+
+    barrier_counts: List[int] = []
+    atomic_ops = 0
+    shuffle_ops = 0
+    max_interval = 0
+
+    for tid in range(num_threads):
+        ctx = ThreadCtx(tid, block_dim, warp_size)
+        gen = kernel(ctx, *args, **kwargs)
+        interval = 0
+        tokens = 0
+        send_value: Any = None
+        while True:
+            try:
+                tok = gen.send(send_value)
+            except StopIteration:
+                break
+            tokens += 1
+            if tokens > MAX_TOKENS_PER_THREAD:
+                gen.close()
+                raise RuntimeError(
+                    f"thread {tid} of {getattr(kernel, '__name__', kernel)!r} "
+                    f"presented more than {MAX_TOKENS_PER_THREAD} tokens; "
+                    "kernel does not terminate under symbolic replay"
+                )
+            send_value = None
+            kind = tok[0]
+            if kind == _BARRIER:
+                interval += 1
+            elif kind == _LDS:
+                addr, width = int(tok[1]), int(tok[2])
+                b = builder(interval)
+                for w in range(width):
+                    b.rt.append(tid)
+                    b.ra.append(addr + w)
+                if b.events is not None:
+                    frame = gen.gi_frame
+                    line = frame.f_lineno if frame is not None else -1
+                    b.events.append(AccessEvent(tid, "load", addr, width, line))
+                send_value = (
+                    np.float32(0.0) if width == 1 else np.zeros(width, dtype=np.float32)
+                )
+            elif kind == _STS:
+                addr, width = int(tok[1]), int(tok[3])
+                b = builder(interval)
+                for w in range(width):
+                    b.wt.append(tid)
+                    b.wa.append(addr + w)
+                if b.events is not None:
+                    frame = gen.gi_frame
+                    line = frame.f_lineno if frame is not None else -1
+                    b.events.append(AccessEvent(tid, "store", addr, width, line))
+            elif kind == _SHFL:
+                shuffle_ops += 1
+                send_value = tok[1]  # the lane's own value: neutral and exact
+            elif kind == _ATOM:
+                atomic_ops += 1
+            elif kind == _IDLE:
+                pass
+            else:  # pragma: no cover - future token kinds
+                raise ValueError(f"unknown operation token {kind!r} from thread {tid}")
+        barrier_counts.append(interval)
+        if interval > max_interval:
+            max_interval = interval
+
+    intervals = [
+        builders[i].finish() if i in builders else _IntervalBuilder(i, False).finish()
+        for i in range(max_interval + 1)
+    ]
+    try:
+        source = inspect.getsourcefile(kernel) or "<unknown>"
+    except TypeError:  # builtins / callables without source
+        source = "<unknown>"
+    return KernelTrace(
+        kernel_name=getattr(kernel, "__name__", repr(kernel)),
+        source_file=source,
+        block_dim=(bx, by),
+        warp_size=warp_size,
+        barrier_counts=barrier_counts,
+        intervals=intervals,
+        atomic_ops=atomic_ops,
+        shuffle_ops=shuffle_ops,
+    )

@@ -16,7 +16,12 @@ writing any code:
 * ``faults``    — fault-injection campaign exercising the ABFT recovery path;
 * ``profile``   — collect the observability profile (spans, counters,
   modelled metrics) and optionally gate it against a baseline;
-* ``cache``     — inspect/clear/verify the persistent result store.
+* ``cache``     — inspect/clear/verify the persistent result store;
+* ``analyze``   — static analysis (see docs/ANALYSIS.md): ``race`` proves
+  the SIMT kernels free of shared-memory races per barrier interval,
+  ``banks`` emits the Fig.-5 bank-conflict certificate, ``lint`` checks
+  the repo's determinism/hot-path invariants against the committed
+  baseline; all three speak ``--json``.
 
 Global observability flags (see :mod:`repro.obs` and docs/OBSERVABILITY.md):
 ``--log-level`` turns on structured key=value logging, ``--trace PATH``
@@ -114,6 +119,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("autotune", help="search the blocking space for a problem shape")
     _spec_args(p)
     p.add_argument("--top", type=int, default=5, help="how many candidates to print")
+    p.add_argument(
+        "--certify-banks",
+        action="store_true",
+        help="reject candidates whose staging mapping the static bank "
+        "certifier proves conflicting (see docs/ANALYSIS.md)",
+    )
 
     p = sub.add_parser("validate", help="trace-driven vs analytical DRAM traffic")
     _spec_args(p)
@@ -184,6 +195,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="with 'verify': delete records that fail the audit")
     p.add_argument("--json", action="store_true", dest="as_json",
                    help="with 'stats': machine-readable output")
+
+    p = sub.add_parser(
+        "analyze",
+        help="static analysis: race detector, bank certifier, invariant lint",
+    )
+    p.add_argument("analyzer", choices=["race", "banks", "lint", "all"])
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="machine-readable report (schema repro-analysis/v1)")
+    p.add_argument("--k-values", nargs="+", type=int, default=None, metavar="K",
+                   help="K values for the race certification "
+                   "(default: the paper grid 32 64 128 256)")
+    p.add_argument("--layout", choices=["optimized", "naive"], default="optimized",
+                   help="tile layout for the bank certificate")
+    p.add_argument("--kc", type=int, default=8, help="k-panel depth for the certificate")
+    p.add_argument("--paths", nargs="+", default=["src/repro"], metavar="PATH",
+                   help="files/directories the lint pass walks")
+    p.add_argument("--baseline", default=None, metavar="PATH",
+                   help="accepted-findings baseline for lint "
+                   "(default: tools/analysis_baseline.json when present)")
+    p.add_argument("--certificate", default=None, metavar="PATH",
+                   help="also write the bank certificate JSON here")
 
     return parser
 
@@ -305,9 +337,10 @@ def _cmd_autotune(args) -> int:
     from .core.autotune import rank_tilings
 
     spec = _make_spec(args)
-    ranked = rank_tilings(spec)
+    ranked = rank_tilings(spec, require_conflict_free=args.certify_banks)
     print(f"best blockings for M={spec.M} N={spec.N} K={spec.K} "
-          f"({len(ranked)} launchable candidates):")
+          f"({len(ranked)} launchable candidates"
+          f"{', bank-certified' if args.certify_banks else ''}):")
     for r in ranked[: args.top]:
         t = r.tiling
         print(f"  {t.mc:3d}x{t.nc:<3d} kc={t.kc:<2d} "
@@ -513,6 +546,74 @@ def _cmd_cache(args) -> int:
     return 0 if report.ok or args.fix else 1
 
 
+ANALYSIS_SCHEMA = "repro-analysis/v1"
+DEFAULT_BASELINE = "tools/analysis_baseline.json"
+
+
+def _cmd_analyze(args) -> int:
+    import json as _json
+    import os
+
+    from .analysis import (
+        PAPER_K_VALUES,
+        certify_mapping,
+        certify_paper_kernels,
+        lint_paths,
+        load_baseline,
+        new_findings,
+    )
+
+    doc: Dict = {"schema": ANALYSIS_SCHEMA, "analyzer": args.analyzer, "reports": {}}
+    ok = True
+    text: list[str] = []
+
+    if args.analyzer in ("race", "all"):
+        k_values = tuple(args.k_values) if args.k_values else PAPER_K_VALUES
+        reports = certify_paper_kernels(k_values)
+        doc["reports"]["race"] = [r.to_payload() for r in reports]
+        ok &= all(r.ok for r in reports)
+        text.append(f"race detector ({len(reports)} kernel configuration(s), "
+                    f"K={list(k_values)}):")
+        text += ["  " + r.describe().replace("\n", "\n  ") for r in reports]
+
+    if args.analyzer in ("banks", "all"):
+        cert = certify_mapping(args.layout, args.kc)
+        doc["reports"]["banks"] = cert.to_payload()
+        ok &= cert.conflict_free
+        text.append("bank certifier: " + cert.describe())
+        if args.certificate:
+            with open(args.certificate, "w", encoding="utf-8") as fh:
+                _json.dump(cert.to_payload(), fh, indent=2, sort_keys=True)
+            text.append(f"  certificate written to {args.certificate}")
+
+    if args.analyzer in ("lint", "all"):
+        findings = lint_paths(args.paths)
+        baseline_path = args.baseline or (
+            DEFAULT_BASELINE if os.path.exists(DEFAULT_BASELINE) else None
+        )
+        baseline = load_baseline(baseline_path) if baseline_path else set()
+        fresh = new_findings(findings, baseline)
+        ok &= not fresh
+        doc["reports"]["lint"] = {
+            "paths": list(args.paths),
+            "baseline": baseline_path,
+            "accepted": len(findings) - len(fresh),
+            "findings": [f.to_payload() for f in findings],
+            "new": [f.key for f in fresh],
+        }
+        text.append(f"invariant lint over {', '.join(args.paths)}: "
+                    f"{len(findings)} finding(s), {len(fresh)} new vs baseline")
+        text += ["  " + f.describe() for f in fresh]
+
+    doc["ok"] = ok
+    if args.as_json:
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print("\n".join(text))
+        print("analysis: " + ("OK" if ok else "VIOLATIONS FOUND"))
+    return 0 if ok else 1
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit status."""
     import os
@@ -534,6 +635,7 @@ def main(argv=None) -> int:
         "faults": _cmd_faults,
         "profile": _cmd_profile,
         "cache": _cmd_cache,
+        "analyze": _cmd_analyze,
     }
 
     # Observability: environment first, then explicit flags on top.

@@ -23,7 +23,13 @@ from ..gpu.device import GTX970, DeviceSpec
 from .problem import ProblemSpec
 from .tiling import PAPER_TILING, TilingConfig
 
-__all__ = ["TuneResult", "candidate_tilings", "autotune", "rank_tilings"]
+__all__ = [
+    "TuneResult",
+    "candidate_tilings",
+    "filter_conflict_free",
+    "autotune",
+    "rank_tilings",
+]
 
 
 @dataclass(frozen=True)
@@ -87,16 +93,48 @@ def candidate_tilings(
     return unique
 
 
+def filter_conflict_free(
+    candidates: Sequence[TilingConfig], layout: str = "optimized"
+) -> List[TilingConfig]:
+    """Drop candidates whose staging mapping is *provably* bank-conflicting.
+
+    Each candidate is handed to the static bank certifier
+    (:func:`repro.analysis.banks.certify_tiling`): a certificate with a
+    non-zero replay factor disproves the Fig.-5 conflict-free claim for
+    that mapping, so the candidate is rejected before any simulation is
+    spent on it.  Candidates the mapping does not describe (non-128x128
+    tiles, non-16x16 blocks, inexpressible ``kc``) yield no certificate
+    and are kept — absence of a proof is not a disproof.
+    """
+    from ..analysis.banks import certify_tiling  # deferred: avoid import cycle
+
+    keep: List[TilingConfig] = []
+    for t in candidates:
+        cert = certify_tiling(t, layout)
+        if cert is None or cert.conflict_free:
+            keep.append(t)
+    return keep
+
+
 def rank_tilings(
     spec: ProblemSpec,
     candidates: Sequence[TilingConfig] | None = None,
     device: DeviceSpec = GTX970,
+    require_conflict_free: bool = False,
+    layout: str = "optimized",
 ) -> List[TuneResult]:
-    """Model every candidate's fused-kernel runtime; best first."""
+    """Model every candidate's fused-kernel runtime; best first.
+
+    With ``require_conflict_free=True`` candidates are first screened by
+    the static bank certifier (see :func:`filter_conflict_free`) so
+    provably conflicting mappings never reach the performance model.
+    """
     from ..perf.pipeline import model_run  # deferred: avoid import cycle
 
     if candidates is None:
         candidates = candidate_tilings(device)
+    if require_conflict_free:
+        candidates = filter_conflict_free(candidates, layout)
     if not candidates:
         raise ValueError("no launchable candidates to rank")
     results = []
@@ -119,9 +157,10 @@ def autotune(
     spec: ProblemSpec,
     candidates: Sequence[TilingConfig] | None = None,
     device: DeviceSpec = GTX970,
+    require_conflict_free: bool = False,
 ) -> TuneResult:
     """Best blocking for ``spec`` on ``device`` under the performance model."""
-    return rank_tilings(spec, candidates, device)[0]
+    return rank_tilings(spec, candidates, device, require_conflict_free)[0]
 
 
 def paper_rank(spec: ProblemSpec, device: DeviceSpec = GTX970) -> int:

@@ -30,7 +30,7 @@ detector in tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Generator, Optional
+from typing import Callable, Generator, Optional, Sequence
 
 import numpy as np
 
@@ -43,7 +43,28 @@ __all__ = ["LockstepError", "DeadlockError", "ThreadCtx", "Block", "BlockRunStat
 
 
 class LockstepError(RuntimeError):
-    """Lanes of one warp issued different operations in the same step."""
+    """Lanes of one warp issued different operations in the same step.
+
+    Carries the divergence site in structured attributes so the static
+    analyzers and tests can assert on *where* lockstep broke, not just
+    parse the message: ``warp_id`` (which warp diverged), ``step`` (the
+    scheduler micro-step index at the time), and ``token_kinds`` (the
+    conflicting operation-token kinds the lanes presented, sorted).
+    Attributes are ``None`` when a site does not apply.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        warp_id: Optional[int] = None,
+        step: Optional[int] = None,
+        token_kinds: Optional[Sequence[str]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.warp_id = warp_id
+        self.step = step
+        self.token_kinds = tuple(token_kinds) if token_kinds is not None else None
 
 
 class DeadlockError(RuntimeError):
@@ -253,7 +274,10 @@ class Block:
                 kindset = {pending[t][0] for t in active}
                 if len(kindset - {_IDLE}) > 1:
                     raise LockstepError(
-                        f"warp {w} diverged: lanes issued {sorted(kindset)} in one step"
+                        f"warp {w} diverged: lanes issued {sorted(kindset)} in one step",
+                        warp_id=w,
+                        step=steps,
+                        token_kinds=sorted(kindset),
                     )
                 kind = next(iter(kindset - {_IDLE}), _IDLE)
                 if kind == _LDS:
@@ -261,7 +285,12 @@ class Block:
                     d = np.asarray(doers, dtype=np.intp)
                     width = int(width_buf[d[0]])
                     if np.any(width_buf[d] != width):
-                        raise LockstepError("mixed access widths within one warp step")
+                        raise LockstepError(
+                            "mixed access widths within one warp step",
+                            warp_id=w,
+                            step=steps,
+                            token_kinds=[_LDS],
+                        )
                     vals = self.smem.warp_load(addr_buf[d], width)
                     for i, t in enumerate(doers):
                         inbox[t] = vals[i, 0] if width == 1 else vals[i].copy()
@@ -275,7 +304,12 @@ class Block:
                     d = np.asarray(doers, dtype=np.intp)
                     width = int(width_buf[d[0]])
                     if np.any(width_buf[d] != width):
-                        raise LockstepError("mixed access widths within one warp step")
+                        raise LockstepError(
+                            "mixed access widths within one warp step",
+                            warp_id=w,
+                            step=steps,
+                            token_kinds=[_STS],
+                        )
                     self.smem.warp_store(addr_buf[d], vals_buf[d, :width], width)
                     for t in active:
                         advance(t)

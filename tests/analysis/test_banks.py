@@ -1,0 +1,99 @@
+"""Tests for the per-instruction bank-conflict certifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.banks import (
+    CERTIFICATE_SCHEMA,
+    certify_mapping,
+    certify_tiling,
+)
+from repro.analysis.mutants import permuted_store_assignment
+from repro.core.autotune import filter_conflict_free, rank_tilings
+from repro.core.tiling import PAPER_TILING, TilingConfig
+from repro.core.problem import ProblemSpec
+
+
+def _spec():
+    return ProblemSpec(M=256, N=256, K=32)
+
+
+def test_optimized_mapping_certifies_conflict_free():
+    cert = certify_mapping("optimized", kc=8)
+    assert cert.conflict_free
+    assert cert.max_replay == 0
+    assert cert.worst() is None
+    # 4 warps x 8 store phases + 8 warps x 2 tiles x 8 k-steps x 8 loads
+    assert len(cert.instructions) == 4 * 8 + 8 * 2 * 8 * 8
+    assert all(i.transactions == 1 for i in cert.instructions)
+    assert "bank-conflict-free" in cert.describe()
+
+
+def test_naive_layout_has_four_way_load_conflicts():
+    cert = certify_mapping("naive", kc=8)
+    assert not cert.conflict_free
+    # stores in the naive row-major layout are still conflict-free; it is
+    # the compute loads (stride-128 column walks) that serialize 4-way
+    assert cert.max_store_replay == 0
+    assert cert.max_load_replay == 3
+    worst = cert.worst()
+    assert worst is not None and worst.op == "lds" and worst.replay == 3
+    assert "WORST lds" in cert.describe()
+
+
+def test_permuted_track_mutant_flagged():
+    cert = certify_mapping("optimized", kc=8, store_fn=permuted_store_assignment)
+    assert not cert.conflict_free
+    # naive thread<->track pairing + optimized addresses: each loader warp
+    # lands its 32 lanes in only 8 banks -> 4 lanes per bank, replay 3
+    assert cert.max_store_replay == 3
+    assert all(i.replay == 3 for i in cert.instructions if i.op == "sts")
+    # the compute loads still use the genuine mapping and stay clean
+    assert cert.max_load_replay == 0
+
+
+def test_certificate_payload_schema():
+    payload = certify_mapping("naive", kc=8).to_payload()
+    assert payload["schema"] == CERTIFICATE_SCHEMA
+    assert payload["layout"] == "naive"
+    assert payload["conflict_free"] is False
+    assert payload["instructions"] == 1056
+    assert payload["max_replay"] == 3
+    # only conflicting instructions are itemized, each with its replay
+    assert payload["conflicting"]
+    assert all(entry["replay"] > 0 for entry in payload["conflicting"])
+
+
+def test_certify_tiling_paper_point():
+    cert = certify_tiling(PAPER_TILING)
+    assert cert is not None and cert.conflict_free
+
+
+def test_certify_tiling_inapplicable_shapes_return_none():
+    # 64-point tile: the Fig.-5 mapping does not describe this staging
+    assert certify_tiling(TilingConfig(mc=64, nc=64, kc=8)) is None
+    # 128x128 tile but kc=16: store_assignment cannot produce a schedule
+    assert certify_tiling(TilingConfig(mc=128, nc=128, kc=16)) is None
+
+
+def test_filter_keeps_unprovable_and_conflict_free_candidates():
+    applicable = TilingConfig()  # the paper point: certified clean
+    inapplicable = TilingConfig(mc=64, nc=64, kc=8)  # no certificate
+    kept = filter_conflict_free([applicable, inapplicable])
+    assert kept == [applicable, inapplicable]
+
+
+def test_filter_drops_provably_conflicting_layout():
+    # under the naive layout the 128x128 point is provably conflicting,
+    # so requiring conflict-freedom must reject it before ranking
+    assert filter_conflict_free([PAPER_TILING], layout="naive") == []
+    with pytest.raises(ValueError, match="no launchable candidates"):
+        rank_tilings(_spec(), [PAPER_TILING], require_conflict_free=True, layout="naive")
+
+
+def test_rank_tilings_with_certification_keeps_paper_point():
+    ranked = rank_tilings(_spec(), require_conflict_free=True)
+    assert ranked, "the default candidate set must survive certification"
+    keys = {(r.tiling.mc, r.tiling.nc, r.tiling.kc) for r in ranked}
+    assert (128, 128, 8) in keys

@@ -1,0 +1,133 @@
+"""Tests for `repro analyze` and the tools/run_analysis.py gate."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import ANALYSIS_SCHEMA, build_parser, main
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+class TestParser:
+    def test_analyzer_choices(self):
+        args = build_parser().parse_args(["analyze", "banks"])
+        assert args.analyzer == "banks"
+        assert args.layout == "optimized" and args.kc == 8
+        assert args.paths == ["src/repro"]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "everything"])
+
+    def test_layout_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "banks", "--layout", "diagonal"])
+
+
+class TestJsonSchema:
+    def test_banks_json_document(self, capsys):
+        rc = main(["analyze", "banks", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == ANALYSIS_SCHEMA
+        assert doc["analyzer"] == "banks"
+        assert doc["ok"] is True
+        banks = doc["reports"]["banks"]
+        assert banks["conflict_free"] is True
+        assert banks["max_replay"] == 0
+        assert banks["instructions"] == 1056
+
+    def test_naive_banks_fail_with_nonzero_exit(self, capsys):
+        rc = main(["analyze", "banks", "--layout", "naive", "--json"])
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is False
+        assert doc["reports"]["banks"]["max_replay"] == 3
+
+    def test_race_json_document(self, capsys):
+        rc = main(["analyze", "race", "--k-values", "32", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["analyzer"] == "race"
+        reports = doc["reports"]["race"]
+        # fused + evalsum + the one requested K
+        assert [r["kernel"] for r in reports] == [
+            "fused_cta_kernel",
+            "evalsum_cta_kernel",
+            "double_buffered_gemm_kernel[K=32]",
+        ]
+        for r in reports:
+            assert r["ok"] is True and r["violations"] == []
+
+    def test_lint_json_document(self, capsys, tmp_path, monkeypatch):
+        bad = tmp_path / "bad.py"
+        bad.write_text("try:\n    f()\nexcept:\n    pass\n")
+        monkeypatch.chdir(tmp_path)
+        rc = main(["analyze", "lint", "--paths", str(bad), "--json"])
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        lint = doc["reports"]["lint"]
+        assert lint["new"] == ["RA001:bad.py:<module>"]
+        assert lint["findings"][0]["rule"] == "RA001"
+        assert doc["ok"] is False
+
+    def test_lint_baseline_accepts_findings(self, capsys, tmp_path, monkeypatch):
+        bad = tmp_path / "bad.py"
+        bad.write_text("try:\n    f()\nexcept:\n    pass\n")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "schema": "repro-analysis-baseline/v1",
+                    "accepted": ["RA001:bad.py:<module>"],
+                }
+            )
+        )
+        monkeypatch.chdir(tmp_path)
+        rc = main(
+            ["analyze", "lint", "--paths", str(bad), "--baseline", str(baseline), "--json"]
+        )
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["reports"]["lint"]["new"] == []
+        assert doc["reports"]["lint"]["accepted"] == 1
+
+    def test_certificate_file_written(self, capsys, tmp_path):
+        cert_path = tmp_path / "cert.json"
+        rc = main(["analyze", "banks", "--certificate", str(cert_path)])
+        assert rc == 0
+        cert = json.loads(cert_path.read_text())
+        assert cert["schema"] == "repro-bank-certificate/v1"
+        assert cert["conflict_free"] is True
+
+    def test_text_mode_prints_verdict(self, capsys):
+        rc = main(["analyze", "banks"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bank certifier:" in out
+        assert "analysis: OK" in out
+
+
+class TestGateScript:
+    def test_run_analysis_gate_passes_on_the_repo(self, tmp_path):
+        cert = tmp_path / "certificate.json"
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(REPO / "tools" / "run_analysis.py"),
+                "--skip-races",
+                "--certificate",
+                str(cert),
+            ],
+            capture_output=True,
+            text=True,
+            cwd=REPO,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "analysis gate: OK" in proc.stdout
+        assert json.loads(cert.read_text())["conflict_free"] is True

@@ -1,0 +1,336 @@
+"""Fixture-snippet tests for the determinism & invariant lint."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import load_baseline, new_findings, save_baseline
+from repro.analysis.lint import RULES, lint_paths, lint_source
+
+
+def lint(src, rules=None):
+    return lint_source(textwrap.dedent(src), path="fixture.py", rules=rules)
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# RA001: bare except
+
+
+def test_ra001_bare_except():
+    findings = lint(
+        """
+        def f():
+            try:
+                g()
+            except:
+                pass
+        """
+    )
+    assert rules_of(findings) == ["RA001"]
+    assert findings[0].context == "f"
+
+
+def test_ra001_named_except_clean():
+    assert lint(
+        """
+        try:
+            g()
+        except ValueError:
+            pass
+        """
+    ) == []
+
+
+# ---------------------------------------------------------------------------
+# RA002: unordered set iteration
+
+
+def test_ra002_for_over_set_literal():
+    findings = lint(
+        """
+        total = 0.0
+        for x in {1.0, 2.0}:
+            total += x
+        """
+    )
+    assert rules_of(findings) == ["RA002"]
+
+
+def test_ra002_sum_of_set_constructor():
+    findings = lint("total = sum(set(values))\n")
+    assert rules_of(findings) == ["RA002"]
+
+
+def test_ra002_tracks_names_bound_to_sets():
+    findings = lint(
+        """
+        def f(values):
+            pending = set(values)
+            out = 0.0
+            for v in pending:
+                out += v
+            return out
+        """
+    )
+    assert rules_of(findings) == ["RA002"]
+
+
+def test_ra002_set_algebra_of_known_sets():
+    findings = lint(
+        """
+        def f(a, b):
+            xs = set(a)
+            ys = set(b)
+            return [v for v in xs | ys]
+        """
+    )
+    assert rules_of(findings) == ["RA002"]
+
+
+def test_ra002_sorted_launders_the_order():
+    assert lint(
+        """
+        def f(values):
+            return [v for v in sorted(set(values))]
+        """
+    ) == []
+
+
+def test_ra002_rebinding_to_list_clears_tracking():
+    assert lint(
+        """
+        def f(values):
+            pending = set(values)
+            pending = sorted(pending)
+            for v in pending:
+                print(v)
+        """
+    ) == []
+
+
+# ---------------------------------------------------------------------------
+# RA003: dtype narrowing in checksum paths
+
+
+def test_ra003_astype_in_checksum_fn():
+    findings = lint(
+        """
+        def column_checksum(block):
+            return block.astype(np.float32).sum(axis=0)
+        """
+    )
+    assert rules_of(findings) == ["RA003"]
+    assert "float64" in findings[0].message
+
+
+def test_ra003_float32_ctor_and_dtype_kwarg():
+    findings = lint(
+        """
+        def abft_verify(vec):
+            a = np.float32(vec.sum())
+            b = np.zeros(4, dtype=np.float32)
+            return a, b
+        """
+    )
+    assert rules_of(findings) == ["RA003", "RA003"]
+
+
+def test_ra003_ignores_non_checksum_functions():
+    assert lint(
+        """
+        def stage_tile(block):
+            return block.astype(np.float32)
+        """
+    ) == []
+
+
+def test_ra003_float64_in_checksum_fn_clean():
+    assert lint(
+        """
+        def row_checksum(block):
+            return block.astype(np.float64).sum(axis=1)
+        """
+    ) == []
+
+
+# ---------------------------------------------------------------------------
+# RA004: hot-path guards
+
+
+def test_ra004_truthiness_on_accessor():
+    findings = lint(
+        """
+        def hot():
+            if active_injector():
+                record()
+        """
+    )
+    assert rules_of(findings) == ["RA004"]
+
+
+def test_ra004_truthiness_via_local_binding():
+    findings = lint(
+        """
+        def hot():
+            tracer = active_tracer()
+            if not tracer:
+                return
+            tracer.emit()
+        """
+    )
+    assert rules_of(findings) == ["RA004"]
+
+
+def test_ra004_equality_with_none():
+    findings = lint(
+        """
+        def hot():
+            m = active_metrics()
+            if m == None:
+                return
+        """
+    )
+    assert rules_of(findings) == ["RA004"]
+
+
+def test_ra004_is_none_guard_clean():
+    assert lint(
+        """
+        def hot():
+            m = active_metrics()
+            if m is not None:
+                m.counter("x").inc()
+        """
+    ) == []
+
+
+def test_ra004_unrelated_truthiness_clean():
+    assert lint(
+        """
+        def f(items):
+            if items:
+                return items[0]
+        """
+    ) == []
+
+
+# ---------------------------------------------------------------------------
+# RA005: config dataclasses
+
+
+def test_ra005_unfrozen_config_class():
+    findings = lint(
+        """
+        @dataclass
+        class TilingConfig:
+            mc: int = 128
+        """
+    )
+    assert rules_of(findings) == ["RA005"]
+    assert "frozen=True" in findings[0].message
+
+
+def test_ra005_undeclared_self_assignment():
+    findings = lint(
+        """
+        @dataclass(frozen=True)
+        class DeviceSpec:
+            sms: int = 13
+
+            def warm(self):
+                object.__setattr__  # placate the reader; the bug is below
+                self.cache = {}
+        """
+    )
+    assert rules_of(findings) == ["RA005"]
+    assert "escape the config digest" in findings[0].message
+
+
+def test_ra005_frozen_with_declared_fields_clean():
+    assert lint(
+        """
+        @dataclass(frozen=True)
+        class ProblemSpec:
+            M: int
+            N: int
+        """
+    ) == []
+
+
+def test_ra005_ignores_non_config_classes():
+    assert lint(
+        """
+        class Scratch:
+            def __init__(self):
+                self.anything = 1
+        """
+    ) == []
+
+
+# ---------------------------------------------------------------------------
+# Driver-level behaviour
+
+
+def test_unknown_rule_rejected():
+    with pytest.raises(ValueError, match="unknown lint rule"):
+        lint("x = 1\n", rules={"RA999"})
+
+
+def test_rule_filter_restricts_output():
+    src = """
+    def f():
+        try:
+            g()
+        except:
+            pass
+        for x in {1, 2}:
+            print(x)
+    """
+    assert rules_of(lint(src)) == ["RA001", "RA002"]
+    assert rules_of(lint(src, rules={"RA002"})) == ["RA002"]
+
+
+def test_finding_key_is_line_stable():
+    a = lint("def f():\n    try:\n        g()\n    except:\n        pass\n")
+    b = lint("\n\n\ndef f():\n    try:\n        g()\n    except:\n        pass\n")
+    assert a[0].line != b[0].line
+    assert a[0].key == b[0].key == "RA001:fixture.py:f"
+
+
+def test_lint_paths_relativizes_and_sorts(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "b.py").write_text("for x in {1}:\n    print(x)\n")
+    (tmp_path / "pkg" / "a.py").write_text("try:\n    f()\nexcept:\n    pass\n")
+    findings = lint_paths([tmp_path / "pkg"], root=tmp_path)
+    assert [f.path for f in findings] == ["pkg/a.py", "pkg/b.py"]
+    assert rules_of(findings) == ["RA001", "RA002"]
+
+
+def test_repo_tree_is_clean_modulo_baseline():
+    """The committed source must introduce no findings beyond the baseline."""
+    repo = Path(__file__).resolve().parents[2]
+    findings = lint_paths([repo / "src" / "repro"], root=repo)
+    baseline = load_baseline(repo / "tools" / "analysis_baseline.json")
+    fresh = new_findings(findings, baseline)
+    assert fresh == [], "\n".join(f.describe() for f in fresh)
+
+
+def test_baseline_roundtrip(tmp_path):
+    findings = lint("def f():\n    try:\n        g()\n    except:\n        pass\n")
+    path = tmp_path / "baseline.json"
+    assert load_baseline(path) == set()  # missing file = empty baseline
+    save_baseline(path, findings)
+    accepted = load_baseline(path)
+    assert accepted == {f.key for f in findings}
+    assert new_findings(findings, accepted) == []
+
+
+def test_rules_table_covers_all_emitted_rules():
+    assert set(RULES) == {"RA001", "RA002", "RA003", "RA004", "RA005"}

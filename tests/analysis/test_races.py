@@ -1,0 +1,194 @@
+"""Tests for the barrier-interval race detector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.mutants import (
+    double_buffered_missing_barrier_kernel,
+    stage_tile_missing_barrier_kernel,
+)
+from repro.analysis.races import (
+    MAX_REPORTED_VIOLATIONS,
+    PAPER_K_VALUES,
+    certify_paper_kernels,
+    detect_races,
+)
+
+
+# ---------------------------------------------------------------------------
+# Synthetic kernels exercising each violation class in isolation.
+
+
+def test_write_write_race_detected():
+    def kernel(ctx):
+        yield ctx.sts(0, [float(ctx.tid)])  # all threads hit word 0
+
+    report = detect_races(kernel, (4, 1))
+    assert not report.ok
+    assert report.total_conflicting_words == 1
+    v = report.violations[0]
+    assert v.kind == "write-write"
+    assert v.address == 0 and v.interval == 0
+    assert v.threads == (0, 1, 2, 3)
+    assert all(loc.kind == "store" for loc in v.locations)
+
+
+def test_read_write_race_detected():
+    def kernel(ctx):
+        if ctx.tid == 0:
+            yield ctx.sts(7, [1.0])
+        else:
+            _ = yield ctx.lds(7)
+
+    report = detect_races(kernel, (2, 1))
+    assert not report.ok
+    v = report.violations[0]
+    assert v.kind == "read-write"
+    assert v.address == 7
+    assert v.threads == (0, 1)
+    kinds = {loc.thread: loc.kind for loc in v.locations}
+    assert kinds == {0: "store", 1: "load"}
+
+
+def test_same_thread_raw_is_not_a_race():
+    def kernel(ctx):
+        yield ctx.sts(ctx.tid, [1.0])
+        _ = yield ctx.lds(ctx.tid)  # own word, own program order
+
+    report = detect_races(kernel, (8, 1))
+    assert report.ok
+
+
+def test_barrier_separates_accesses():
+    def kernel(ctx):
+        yield ctx.sts(ctx.tid, [1.0])
+        yield ctx.barrier()
+        n = ctx.block_dim[0]
+        _ = yield ctx.lds((ctx.tid + 1) % n)
+
+    report = detect_races(kernel, (8, 1))
+    assert report.ok
+    assert report.barriers == 1
+    assert report.intervals_checked == 2
+
+
+def test_barrier_divergence_reported():
+    def kernel(ctx):
+        if ctx.tid < 2:
+            yield ctx.barrier()
+        yield ctx.idle()
+
+    report = detect_races(kernel, (4, 1))
+    assert not report.ok
+    v = report.violations[0]
+    assert v.kind == "barrier-divergence"
+    assert v.address is None
+    assert v.threads == (0, 1)  # the minority that crossed the extra barrier
+    assert "barrier-divergence" in report.describe()
+
+
+def test_report_truncation_keeps_total_count():
+    def kernel(ctx):
+        for w in range(64):
+            yield ctx.sts(w, [float(ctx.tid)])  # every word contested
+
+    report = detect_races(kernel, (2, 1), max_violations=5)
+    assert report.total_conflicting_words == 64
+    assert len(report.violations) == 5
+    assert report.truncated
+    assert "truncated" in report.describe()
+
+
+def test_atomics_are_exempt():
+    buf = np.zeros(1, dtype=np.float64)
+
+    def kernel(ctx):
+        yield ctx.atomic_add(buf, 0, 1.0)
+
+    report = detect_races(kernel, (8, 1))
+    assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# The paper kernels must certify race-free at every paper K.
+
+
+def test_paper_kernels_race_free_all_k():
+    reports = certify_paper_kernels()
+    # fused + evalsum + one double-buffered config per K
+    assert len(reports) == 2 + len(PAPER_K_VALUES)
+    for report in reports:
+        assert report.ok, report.describe()
+    names = [r.kernel_name for r in reports]
+    assert names[0] == "fused_cta_kernel"
+    assert names[1] == "evalsum_cta_kernel"
+    for K, name in zip(PAPER_K_VALUES, names[2:]):
+        assert name == f"double_buffered_gemm_kernel[K={K}]"
+    # the double-buffered interval structure scales with the panel count
+    by_k = dict(zip(PAPER_K_VALUES, reports[2:]))
+    assert by_k[256].intervals_checked > by_k[32].intervals_checked
+    assert by_k[256].accesses_checked > by_k[32].accesses_checked
+
+
+def test_certify_rejects_non_multiple_k():
+    with pytest.raises(ValueError, match="multiples of"):
+        certify_paper_kernels(k_values=(12,))
+
+
+# ---------------------------------------------------------------------------
+# Seeded mutants: the detector must catch both missing-barrier variants.
+
+
+def _stage_args(kc=8):
+    return (
+        np.zeros((128, kc), dtype=np.float32),
+        np.zeros((kc, 128), dtype=np.float32),
+        np.zeros((128, 128), dtype=np.float32),
+    )
+
+
+def test_missing_barrier_mutant_caught():
+    tileA, tileB, acc = _stage_args()
+    report = detect_races(
+        stage_tile_missing_barrier_kernel, (16, 16), tileA, tileB, acc, "optimized", 8
+    )
+    assert not report.ok
+    # staging writes the full 2*128*8 word footprint and compute reads it
+    # all back in the same interval: every word races
+    assert report.total_conflicting_words == 2 * 128 * 8
+    assert len(report.violations) == MAX_REPORTED_VIOLATIONS
+    assert report.truncated
+    v = report.violations[0]
+    assert v.kind == "read-write"
+    assert v.interval == 0  # the barrier that would start interval 1 is gone
+    assert v.locations, "detail retrace must attach file/line witnesses"
+    assert report.source_file.endswith("mutants.py")
+    assert {loc.kind for loc in v.locations} == {"load", "store"}
+    assert all(loc.line > 0 for loc in v.locations)
+
+
+def test_missing_barrier_mutant_caught_in_naive_layout_too():
+    tileA, tileB, acc = _stage_args()
+    report = detect_races(
+        stage_tile_missing_barrier_kernel, (16, 16), tileA, tileB, acc, "naive", 8
+    )
+    assert not report.ok
+
+
+def test_double_buffered_missing_barrier_mutant_caught():
+    panels = 4  # K = 32
+    tileAs = np.zeros((panels, 128, 8), dtype=np.float32)
+    tileBs = np.zeros((panels, 8, 128), dtype=np.float32)
+    acc = np.zeros((128, 128), dtype=np.float32)
+    report = detect_races(
+        double_buffered_missing_barrier_kernel, (16, 16), tileAs, tileBs, acc, 8
+    )
+    assert not report.ok
+    # only the first stage/compute pair is still separated by a barrier
+    assert report.barriers == 1
+    kinds = {v.kind for v in report.violations}
+    assert "read-write" in kinds
+    # the race is in interval 1: stage(i+1) overlapping compute(i)
+    assert {v.interval for v in report.violations} == {1}

@@ -1,0 +1,128 @@
+"""Tests for the symbolic SIMT token-stream tracer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.trace import trace_kernel
+from repro.gpu.simt import Block
+
+
+def two_interval_kernel(ctx):
+    """Each thread stores its tid, syncs, reads its neighbour's word."""
+    yield ctx.sts(ctx.tid, [float(ctx.tid)])
+    yield ctx.barrier()
+    n = ctx.block_dim[0] * ctx.block_dim[1]
+    val = yield ctx.lds((ctx.tid + 1) % n)
+    assert val is not None
+
+
+def test_barrier_partitioning():
+    trace = trace_kernel(two_interval_kernel, (8, 4))
+    assert trace.num_intervals == 2
+    assert trace.barrier_counts == [1] * 32
+    assert trace.barriers_aligned
+    iv0, iv1 = trace.intervals
+    assert iv0.writes == 32 and iv0.reads == 0
+    assert iv1.reads == 32 and iv1.writes == 0
+    # every word 0..31 written exactly once, by its own thread
+    assert sorted(iv0.write_addresses.tolist()) == list(range(32))
+    assert np.array_equal(iv0.write_threads, iv0.write_addresses)
+
+
+def test_loaded_values_are_neutral_zeros():
+    seen = []
+
+    def kernel(ctx):
+        v = yield ctx.lds(ctx.tid)
+        seen.append(float(v))
+
+    trace_kernel(kernel, (4, 1))
+    assert seen == [0.0] * 4
+
+
+def test_wide_access_expands_to_words():
+    def kernel(ctx):
+        yield ctx.sts(4 * ctx.tid, np.zeros(4, dtype=np.float32), width=4)
+
+    trace = trace_kernel(kernel, (2, 1))
+    iv = trace.intervals[0]
+    assert sorted(iv.write_addresses.tolist()) == list(range(8))
+
+
+def test_shuffle_feeds_own_value_and_counts():
+    got = []
+
+    def kernel(ctx):
+        v = yield ctx.shfl(float(ctx.tid) * 2.0, ctx.lane ^ 1)
+        got.append(v)
+
+    trace = trace_kernel(kernel, (32, 1))
+    assert trace.shuffle_ops == 32
+    assert got == [2.0 * t for t in range(32)]  # symbolic: lane's own value
+
+
+def test_detail_mode_records_source_lines():
+    trace = trace_kernel(two_interval_kernel, (8, 4), detail_intervals={0, 1})
+    ev0 = trace.intervals[0].events
+    ev1 = trace.intervals[1].events
+    assert ev0 is not None and len(ev0) == 32
+    assert ev1 is not None and len(ev1) == 32
+    assert all(e.kind == "store" for e in ev0)
+    assert all(e.kind == "load" for e in ev1)
+    # the recorded lines point at the actual yield statements, in order
+    assert len({e.line for e in ev0}) == 1
+    assert len({e.line for e in ev1}) == 1
+    assert ev0[0].line < ev1[0].line
+
+
+def test_detail_only_for_requested_intervals():
+    trace = trace_kernel(two_interval_kernel, (8, 4), detail_intervals={1})
+    assert trace.intervals[0].events is None
+    assert trace.intervals[1].events is not None
+
+
+def test_trace_matches_execution_footprint():
+    """The tracer and the lockstep executor agree on the access volume."""
+
+    def kernel(ctx):
+        yield ctx.sts(ctx.tid, [1.0])
+        yield ctx.barrier()
+        _ = yield ctx.lds(ctx.tid)
+
+    trace = trace_kernel(kernel, (8, 4))
+    block = Block(block_dim=(8, 4), smem_words=32)
+    stats = block.run(kernel)
+    # one warp of 32: each warp-level request covers 32 single-word accesses
+    assert trace.intervals[0].writes == stats.smem.stats.store_requests * 32
+    assert sum(iv.reads for iv in trace.intervals) == stats.smem.stats.load_requests * 32
+    assert max(trace.barrier_counts) == stats.barriers
+
+
+def test_divergent_barrier_counts_surface():
+    def kernel(ctx):
+        yield ctx.sts(ctx.tid, [0.0])
+        if ctx.tid == 0:
+            yield ctx.barrier()
+
+    trace = trace_kernel(kernel, (4, 1))
+    assert not trace.barriers_aligned
+    assert trace.barrier_counts == [1, 0, 0, 0]
+
+
+def test_nonterminating_kernel_rejected():
+    def kernel(ctx):
+        while True:
+            yield ctx.idle()
+
+    with pytest.raises(RuntimeError, match="tokens"):
+        trace_kernel(kernel, (1, 1))
+
+
+def test_unknown_token_rejected():
+    def kernel(ctx):
+        yield ("frob",)
+
+    with pytest.raises(ValueError, match="unknown operation token"):
+        trace_kernel(kernel, (1, 1))

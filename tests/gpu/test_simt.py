@@ -117,6 +117,38 @@ class TestLockstep:
         with pytest.raises(LockstepError):
             Block((32, 1), smem_words=128).run(kernel)
 
+    def test_divergence_carries_structured_attributes(self):
+        def kernel(ctx):
+            if ctx.tid % 2:
+                yield ctx.lds(0)
+            else:
+                yield ctx.sts(0, [1.0])
+
+        with pytest.raises(LockstepError) as exc_info:
+            Block((64, 1), smem_words=4).run(kernel)
+        err = exc_info.value
+        assert err.warp_id == 0  # warp 0 diverges first
+        assert err.step == 1  # scheduler micro-steps count from 1
+        assert err.token_kinds == ("lds", "sts")
+
+    def test_mixed_width_error_carries_structured_attributes(self):
+        def kernel(ctx):
+            if ctx.tid % 2:
+                yield ctx.lds(ctx.tid * 2, width=2)
+            else:
+                yield ctx.lds(ctx.tid, width=1)
+
+        with pytest.raises(LockstepError) as exc_info:
+            Block((32, 1), smem_words=128).run(kernel)
+        err = exc_info.value
+        assert err.warp_id == 0
+        assert err.step == 1  # scheduler micro-steps count from 1
+        assert err.token_kinds == ("lds",)
+
+    def test_attributes_default_to_none(self):
+        err = LockstepError("free-form")
+        assert err.warp_id is None and err.step is None and err.token_kinds is None
+
     def test_idle_lanes_ride_along(self):
         def kernel(ctx):
             if ctx.tid < 16:

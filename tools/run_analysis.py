@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""CI gate for the static-analysis subsystem (docs/ANALYSIS.md).
+
+    python tools/run_analysis.py [--certificate analysis_certificate.json]
+                                 [--baseline tools/analysis_baseline.json]
+                                 [--k-values 32 64 128 256] [--update-baseline]
+
+Runs all three analyzers against the committed tree and fails (exit 1) on
+any violation that is not in the accepted baseline:
+
+1. **invariant lint** over ``src/repro`` — new findings vs the committed
+   baseline fail the gate (``--update-baseline`` rewrites the baseline
+   instead, for use after a reviewed acceptance);
+2. **bank certifier** — the optimized Fig.-5 mapping must certify
+   bank-conflict-free (max replay 0 over every STS/LDS warp instruction);
+   the machine-readable certificate is written to ``--certificate`` for
+   CI artifact upload;
+3. **race detector** — the fused CTA kernel, the unfused eval+sum tail,
+   and the double-buffered panel loop at every paper K must certify
+   race-free;
+4. **self-check** — the seeded mutants (missing barrier, permuted track
+   mapping) must *fail* their analyses; a gate that cannot see planted
+   bugs proves nothing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.analysis import (  # noqa: E402
+    PAPER_K_VALUES,
+    certify_mapping,
+    certify_paper_kernels,
+    detect_races,
+    lint_paths,
+    load_baseline,
+    new_findings,
+    save_baseline,
+)
+from repro.analysis.mutants import (  # noqa: E402
+    permuted_store_assignment,
+    stage_tile_missing_barrier_kernel,
+)
+
+DEFAULT_BASELINE = ROOT / "tools" / "analysis_baseline.json"
+
+
+def run_lint(baseline_path: pathlib.Path, update: bool) -> int:
+    findings = lint_paths([ROOT / "src" / "repro"], root=ROOT)
+    if update:
+        save_baseline(baseline_path, findings)
+        print(f"lint: baseline rewritten with {len(findings)} finding(s)")
+        return 0
+    baseline = load_baseline(baseline_path)
+    fresh = new_findings(findings, baseline)
+    stale = baseline - {f.key for f in findings}
+    print(f"lint: {len(findings)} finding(s), {len(fresh)} new, "
+          f"{len(baseline)} accepted, {len(stale)} stale accepted key(s)")
+    for f in fresh:
+        print(f"  NEW {f.describe()}")
+    for key in sorted(stale):
+        print(f"  note: accepted key no longer fires (consider pruning): {key}")
+    return 1 if fresh else 0
+
+
+def run_banks(certificate: pathlib.Path | None) -> int:
+    cert = certify_mapping("optimized", 8)
+    print("banks:", cert.describe())
+    if certificate is not None:
+        certificate.write_text(
+            json.dumps(cert.to_payload(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"banks: certificate written to {certificate}")
+    return 0 if cert.conflict_free else 1
+
+
+def run_races(k_values: tuple[int, ...]) -> int:
+    status = 0
+    for report in certify_paper_kernels(k_values):
+        print("race:", report.describe().replace("\n", "\n  "))
+        if not report.ok:
+            status = 1
+    return status
+
+
+def run_selfcheck() -> int:
+    status = 0
+    mutant_cert = certify_mapping("optimized", 8, store_fn=permuted_store_assignment)
+    if mutant_cert.conflict_free:
+        print("SELF-CHECK FAILED: permuted track mapping certified conflict-free")
+        status = 1
+    else:
+        w = mutant_cert.worst()
+        assert w is not None
+        print(f"self-check: permuted-mapping mutant flagged "
+              f"(max replay {mutant_cert.max_replay}, worst {w.op} warp {w.warp})")
+    tileA = np.zeros((128, 8), dtype=np.float32)
+    tileB = np.zeros((8, 128), dtype=np.float32)
+    acc = np.zeros((128, 128), dtype=np.float32)
+    report = detect_races(
+        stage_tile_missing_barrier_kernel, (16, 16), tileA, tileB, acc, "optimized", 8
+    )
+    if report.ok:
+        print("SELF-CHECK FAILED: missing-barrier mutant certified race-free")
+        status = 1
+    else:
+        print(f"self-check: missing-barrier mutant flagged "
+              f"({report.total_conflicting_words} conflicting word(s))")
+    return status
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--certificate", default=None, metavar="PATH",
+                    help="write the bank certificate JSON here")
+    ap.add_argument("--baseline", default=str(DEFAULT_BASELINE), metavar="PATH",
+                    help="accepted lint findings (default: tools/analysis_baseline.json)")
+    ap.add_argument("--k-values", nargs="+", type=int, default=list(PAPER_K_VALUES),
+                    metavar="K", help="K values for the race certification")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline with the current findings and exit")
+    ap.add_argument("--skip-races", action="store_true",
+                    help="lint + banks only (the race sweep takes ~10 s)")
+    args = ap.parse_args(argv)
+
+    status = run_lint(pathlib.Path(args.baseline), args.update_baseline)
+    if args.update_baseline:
+        return status
+    status |= run_banks(pathlib.Path(args.certificate) if args.certificate else None)
+    if not args.skip_races:
+        status |= run_races(tuple(args.k_values))
+    status |= run_selfcheck()
+    print("analysis gate:", "OK" if status == 0 else "FAILED")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
