@@ -1,0 +1,224 @@
+"""Serving-layer benchmark: micro-batched vs sequential dispatch.
+
+Runs the :mod:`repro.serve` stack end to end — real asyncio sockets, the
+write-ahead request journal fsync'ing on the dispatch path, a fresh
+content-addressed result store — under a closed-loop load of concurrent
+clients, twice:
+
+* **sequential** — ``mode="sequential"``: one engine dispatch and one
+  journal fsync per request, the classic request-at-a-time server;
+* **batched** — ``mode="batched"``: the micro-batcher coalesces the
+  concurrent requests into compatibility groups, dedupes identical specs
+  in flight, and group-commits the journal — one dispatch + one fsync
+  per *batch*.
+
+The load cycles ``distinct_specs`` problem specs across ``requests``
+requests at ``concurrency`` in-flight clients, which is exactly the shape
+where request-level fusion pays: the batcher amortizes dispatch and
+durability the way the paper's kernel fusion amortizes launches and DRAM
+round trips.
+
+Every answer is compared bit-for-bit against an offline
+:func:`repro.store.functional.cached_solve` of the same spec before the
+report is written — a serving layer that wins by answering wrongly does
+not get a number.  ``tools/check_regression.py --serve-current`` gates the
+recorded ``batched_vs_sequential`` throughput ratio (floor 1.1x by
+default) and the correctness flag.
+
+Regenerate the committed baseline::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py -o benchmarks/results/BENCH_serve.json
+
+``--quick`` shrinks the load for local iteration (marked in the report;
+never gated).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import pathlib
+import shutil
+import sys
+import tempfile
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.serve import (  # noqa: E402
+    KernelServer,
+    RequestJournal,
+    ServeClient,
+    ServerConfig,
+    SolveRequest,
+)
+from repro.store import ResultStore  # noqa: E402
+from repro.store.functional import cached_solve  # noqa: E402
+
+SCHEMA = "repro-serve-bench/v1"
+RESULTS = ROOT / "benchmarks" / "results" / "BENCH_serve.json"
+
+REQUESTS = 96
+CONCURRENCY = 16
+DISTINCT_SPECS = 12
+M, N, K = 256, 128, 8
+
+
+def _request(mode: str, i: int, distinct: int) -> SolveRequest:
+    return SolveRequest(
+        id=f"{mode}-{i}", M=M, N=N, K=K, seed=i % distinct, implementation="fused"
+    )
+
+
+async def _run_mode(
+    mode: str, requests: int, concurrency: int, distinct: int, tmp: pathlib.Path
+):
+    """One server lifetime under closed-loop load; returns (wall, lats, answers)."""
+    store = ResultStore(tmp / f"store-{mode}")
+    journal = RequestJournal(tmp / f"{mode}.wal")
+    server = KernelServer(
+        ServerConfig(mode=mode, max_queue_depth=max(64, requests)),
+        store=store,
+        journal=journal,
+    )
+    await server.start()
+    latencies: list = []
+    answers: dict = {}
+
+    async def worker(client: ServeClient, indices: list) -> None:
+        for i in indices:
+            t0 = time.perf_counter()
+            res = await client.solve(_request(mode, i, distinct), deadline_s=120.0)
+            latencies.append(time.perf_counter() - t0)
+            answers[i] = res.V
+
+    try:
+        async with ServeClient(port=server.port) as client:
+            chunks = [list(range(requests))[w::concurrency] for w in range(concurrency)]
+            t0 = time.perf_counter()
+            await asyncio.gather(*(worker(client, c) for c in chunks if c))
+            wall = time.perf_counter() - t0
+    finally:
+        await server.stop()
+    return wall, latencies, answers
+
+
+def _percentiles_ms(latencies: list) -> dict:
+    lat = np.asarray(latencies)
+    return {
+        "p50": round(float(np.percentile(lat, 50)) * 1e3, 3),
+        "p99": round(float(np.percentile(lat, 99)) * 1e3, 3),
+    }
+
+
+def collect(
+    quick: bool = False,
+    requests: int = REQUESTS,
+    concurrency: int = CONCURRENCY,
+    distinct: int = DISTINCT_SPECS,
+) -> dict:
+    if quick:
+        requests, concurrency, distinct = 32, 8, 8
+    tmp = pathlib.Path(tempfile.mkdtemp(prefix="repro-serve-bench-"))
+    try:
+        seq_wall, seq_lat, seq_ans = asyncio.run(
+            _run_mode("sequential", requests, concurrency, distinct, tmp)
+        )
+        bat_wall, bat_lat, bat_ans = asyncio.run(
+            _run_mode("batched", requests, concurrency, distinct, tmp)
+        )
+        # offline ground truth, one solve per distinct spec
+        truth = {
+            s: cached_solve("fused", _request("ref", s, distinct).spec())
+            for s in range(distinct)
+        }
+        correct = all(
+            np.array_equal(ans[i], truth[i % distinct])
+            for ans in (seq_ans, bat_ans)
+            for i in range(requests)
+        )
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    if not correct:
+        raise AssertionError("served answers diverge from offline solves; refusing to report")
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "cores": os.cpu_count() or 1,
+        "requests": requests,
+        "concurrency": concurrency,
+        "distinct_specs": distinct,
+        "correct": correct,
+        "seconds": {
+            "sequential_wall": round(seq_wall, 6),
+            "batched_wall": round(bat_wall, 6),
+        },
+        "latency_ms": {
+            "sequential": _percentiles_ms(seq_lat),
+            "batched": _percentiles_ms(bat_lat),
+        },
+        "throughput_rps": {
+            "sequential": round(requests / seq_wall, 2),
+            "batched": round(requests / bat_wall, 2),
+        },
+        "speedups": {
+            "batched_vs_sequential": round(seq_wall / bat_wall, 3),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", default=str(RESULTS),
+                        help=f"where to write the JSON (default: {RESULTS})")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller load (marked in the report; not gated)")
+    parser.add_argument("--requests", type=int, default=REQUESTS)
+    parser.add_argument("--concurrency", type=int, default=CONCURRENCY)
+    parser.add_argument("--distinct-specs", type=int, default=DISTINCT_SPECS)
+    args = parser.parse_args(argv)
+
+    report = collect(quick=args.quick, requests=args.requests,
+                     concurrency=args.concurrency, distinct=args.distinct_specs)
+    s, lat, thr = report["seconds"], report["latency_ms"], report["throughput_rps"]
+    print(f"load: {report['requests']} requests, concurrency "
+          f"{report['concurrency']}, {report['distinct_specs']} distinct specs, "
+          f"{report['cores']} core(s)")
+    print(f"  sequential {s['sequential_wall']:7.3f}s  {thr['sequential']:8.1f} req/s  "
+          f"p50 {lat['sequential']['p50']:7.2f} ms  p99 {lat['sequential']['p99']:7.2f} ms")
+    print(f"  batched    {s['batched_wall']:7.3f}s  {thr['batched']:8.1f} req/s  "
+          f"p50 {lat['batched']['p50']:7.2f} ms  p99 {lat['batched']['p99']:7.2f} ms")
+    print(f"  batched_vs_sequential: {report['speedups']['batched_vs_sequential']:.2f}x "
+          f"(all answers bit-identical to offline solves)")
+    out = pathlib.Path(args.output)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[written to {out}]")
+    return 0
+
+
+# -- pytest smoke (make bench) ---------------------------------------------
+
+def test_serve_bench_quick_smoke(benchmark, sink):
+    report = collect(quick=True)
+    assert report["correct"]
+    assert report["speedups"]["batched_vs_sequential"] > 1.0
+    benchmark(lambda: collect(quick=True))
+    s, sp = report["seconds"], report["speedups"]
+    sink(
+        "serve_bench_smoke",
+        f"serve bench smoke ({report['requests']} requests @ "
+        f"{report['concurrency']} concurrent):\n"
+        f"  sequential {s['sequential_wall']:.3f}s  batched {s['batched_wall']:.3f}s "
+        f"({sp['batched_vs_sequential']:.2f}x)",
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,6 +42,16 @@ This pass turns those conventions into checkable rules:
     includes exactly the declared fields — hidden mutable state would
     change results without changing the key.
 
+``RA006 blocking-in-async``
+    a blocking call — ``time.sleep``, ``subprocess.run``/``Popen``/
+    ``check_*``, ``os.fsync``/``os.system``, builtin ``open``, or a
+    pathlib-style ``read_text``/``write_bytes`` method — directly inside
+    an ``async def`` body.  One such call stalls the entire event loop:
+    every in-flight request of :mod:`repro.serve` pays the latency, and
+    the micro-batcher's deadline arithmetic goes wrong.  Offload through
+    ``loop.run_in_executor`` (a nested *sync* helper is fine; the rule
+    only fires in the async scope itself).
+
 :func:`lint_paths` walks files or directories and returns
 :class:`LintFinding` records; ``tools/run_analysis.py`` gates them against
 the committed baseline.
@@ -63,6 +73,7 @@ RULES: Dict[str, str] = {
     "RA003": "dtype narrowing inside a float64 ABFT checksum path",
     "RA004": "obs/faults hot-path guard must be `is None`, not truthiness",
     "RA005": "config dataclass must be frozen with all state in digested fields",
+    "RA006": "blocking call inside async def stalls the event loop",
 }
 
 #: Configuration classes whose dataclass fields form digest key material.
@@ -78,6 +89,31 @@ CONFIG_CLASSES: Set[str] = {
 _HOT_ACCESSORS: Set[str] = {"active_injector", "active_metrics", "active_tracer"}
 
 _CHECKSUM_MARKERS: Tuple[str, ...] = ("checksum", "abft")
+
+#: module.attr calls RA006 considers blocking (module name -> attrs)
+_BLOCKING_MODULE_CALLS: Dict[str, Set[str]] = {
+    "time": {"sleep"},
+    "subprocess": {"run", "call", "check_call", "check_output", "Popen"},
+    "os": {"fsync", "system"},
+}
+
+#: method names RA006 treats as sync file I/O regardless of receiver
+_BLOCKING_METHODS: Set[str] = {"read_text", "write_text", "read_bytes", "write_bytes"}
+
+
+def _blocking_call(node: ast.Call) -> Optional[str]:
+    """The display name of a blocking call, or None."""
+    f = node.func
+    if isinstance(f, ast.Name) and f.id == "open":
+        return "open()"
+    if isinstance(f, ast.Attribute):
+        if isinstance(f.value, ast.Name):
+            attrs = _BLOCKING_MODULE_CALLS.get(f.value.id)
+            if attrs is not None and f.attr in attrs:
+                return f"{f.value.id}.{f.attr}()"
+        if f.attr in _BLOCKING_METHODS:
+            return f".{f.attr}()"
+    return None
 
 
 @dataclass(frozen=True)
@@ -179,6 +215,8 @@ class _Linter(ast.NodeVisitor):
         # per-function-scope name tracking for RA002 / RA004
         self.set_names: List[Set[str]] = [set()]
         self.hot_names: List[Set[str]] = [set()]
+        # RA006: is the innermost function scope an `async def`?
+        self.async_scope: List[bool] = [False]
 
     # -- bookkeeping -------------------------------------------------------
     @property
@@ -202,11 +240,13 @@ class _Linter(ast.NodeVisitor):
         return any(name in frame for frame in frames)
 
     # -- scope handling ----------------------------------------------------
-    def _visit_scope(self, node: ast.AST, name: str) -> None:
+    def _visit_scope(self, node: ast.AST, name: str, is_async: bool = False) -> None:
         self.stack.append(name)
         self.set_names.append(set())
         self.hot_names.append(set())
+        self.async_scope.append(is_async)
         self.generic_visit(node)
+        self.async_scope.pop()
         self.hot_names.pop()
         self.set_names.pop()
         self.stack.pop()
@@ -216,7 +256,7 @@ class _Linter(ast.NodeVisitor):
         self._visit_scope(node, node.name)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        self._visit_scope(node, node.name)
+        self._visit_scope(node, node.name, is_async=True)
 
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
         self._check_config_class(node)
@@ -279,6 +319,17 @@ class _Linter(ast.NodeVisitor):
             and node.args
         ):
             self._check_unordered_iter(node.args[0])
+        # RA006: blocking call directly inside an async def body
+        if self.async_scope[-1]:
+            blocked = _blocking_call(node)
+            if blocked is not None:
+                self.emit(
+                    "RA006",
+                    node,
+                    f"blocking call {blocked} inside `async def "
+                    f"{self.stack[-1] if self.stack else '?'}`; it stalls the "
+                    "event loop — offload via loop.run_in_executor",
+                )
         # RA003 context is handled in _check_checksum_fn via a sub-walk.
         self.generic_visit(node)
 

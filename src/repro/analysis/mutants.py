@@ -19,6 +19,10 @@ is itself broken.
   track (point = loader index) but stores into the optimized 32 x 2
   microtile layout, concentrating every warp's stores into 8 banks
   (4-way conflicts) instead of spreading them across all 32.
+* :data:`BLOCKING_ASYNC_MUTANT_SOURCE` — a dispatcher coroutine in the
+  shape of :mod:`repro.serve`'s, but with the executor offload deleted:
+  it sleeps and does file I/O directly on the event loop.  The RA006
+  lint rule must flag both calls.
 """
 
 from __future__ import annotations
@@ -39,7 +43,25 @@ __all__ = [
     "stage_tile_missing_barrier_kernel",
     "double_buffered_missing_barrier_kernel",
     "permuted_store_assignment",
+    "BLOCKING_ASYNC_MUTANT_SOURCE",
 ]
+
+#: RA006 negative control: an async dispatcher that blocks the event loop.
+#: ``time.sleep`` stalls every in-flight request; the direct ``open`` +
+#: write is the sync-file-I/O shape the serve journal offloads through
+#: ``run_in_executor``.  Lint must produce (at least) two RA006 findings.
+BLOCKING_ASYNC_MUTANT_SOURCE = '''\
+import time
+
+
+async def dispatch_batch(queue):
+    """Seeded RA006 mutant: does the journal fsync dance on the loop."""
+    batch = await queue.get()
+    time.sleep(0.002)  # BUG under test: sync sleep inside async def
+    with open("requests.wal", "ab") as fh:  # BUG under test: sync file I/O
+        fh.write(repr(batch).encode())
+    return batch
+'''
 
 
 def stage_tile_missing_barrier_kernel(

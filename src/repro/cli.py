@@ -16,6 +16,11 @@ writing any code:
 * ``faults``    — fault-injection campaign exercising the ABFT recovery path;
 * ``profile``   — collect the observability profile (spans, counters,
   modelled metrics) and optionally gate it against a baseline;
+* ``serve``     — run the chaos-hardened kernel-summation service
+  (:mod:`repro.serve`): micro-batched dispatch, admission control,
+  circuit breaking, crash-safe request journaling (docs/SERVING.md);
+* ``loadgen``   — closed-loop load generator against a running service;
+  prints throughput, latency percentiles, and typed failure counts;
 * ``cache``     — inspect/clear/verify the persistent result store;
 * ``analyze``   — static analysis (see docs/ANALYSIS.md): ``race`` proves
   the SIMT kernels free of shared-memory races per barrier interval,
@@ -188,6 +193,40 @@ def build_parser() -> argparse.ArgumentParser:
                    help="relative drift tolerance for --baseline (default 0.02)")
     p.add_argument("--no-functional", action="store_true",
                    help="skip the wall-timed functional executions")
+
+    p = sub.add_parser("serve", help="run the kernel-summation service (docs/SERVING.md)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7070, help="0 picks an ephemeral port")
+    p.add_argument("--mode", choices=["batched", "sequential"], default="batched",
+                   help="'sequential' dispatches one request at a time (the "
+                   "baseline the serve benchmark compares against)")
+    p.add_argument("--max-batch", type=int, default=16,
+                   help="micro-batch size ceiling")
+    p.add_argument("--batch-delay-ms", type=float, default=2.0,
+                   help="max time the batcher waits to fill a batch")
+    p.add_argument("--max-queue-depth", type=int, default=64,
+                   help="admission bound; beyond it requests are shed")
+    p.add_argument("--max-wait-ms", type=float, default=None,
+                   help="also shed when the estimated queueing delay exceeds this")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="default per-request deadline for requests that carry none")
+    p.add_argument("--journal", default=None, metavar="PATH",
+                   help="crash-safe write-ahead request journal; accepted-but-"
+                   "unfinished requests are replayed on restart")
+
+    p = sub.add_parser("loadgen", help="closed-loop load generator for `repro serve`")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7070)
+    p.add_argument("-n", "--requests", type=int, default=64)
+    p.add_argument("--concurrency", type=int, default=8,
+                   help="closed-loop worker count sharing one connection")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="per-request deadline budget")
+    _spec_args(p)
+    p.add_argument("--implementation", default="fused",
+                   help="fused | cublas-unfused | cuda-unfused | reference")
+    p.add_argument("--distinct-specs", type=int, default=8, metavar="S",
+                   help="cycle request seeds over S values (dedup/batch diversity)")
 
     p = sub.add_parser("cache", help="inspect or maintain the persistent result store")
     p.add_argument("action", choices=["stats", "clear", "verify"])
@@ -506,6 +545,115 @@ def _cmd_reproduce(args) -> int:
     return 0 if report.passed == report.total else 1
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve import KernelServer, RequestJournal, ServerConfig
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        mode=args.mode,
+        max_batch_size=args.max_batch,
+        batch_delay_s=args.batch_delay_ms / 1e3,
+        max_queue_depth=args.max_queue_depth,
+        max_wait_s=None if args.max_wait_ms is None else args.max_wait_ms / 1e3,
+        default_deadline_s=None if args.deadline_ms is None else args.deadline_ms / 1e3,
+    )
+    journal = RequestJournal(args.journal) if args.journal else None
+    store = _store(args)
+    if journal is not None and store is None:
+        print("note: --journal without a result store replays recovered work "
+              "to nowhere; pass --cache-dir to make replay populate the store",
+              file=sys.stderr)
+    server = KernelServer(config, store=store, journal=journal)
+
+    async def run() -> None:
+        await server.start()
+        if server.replayed_ids:
+            print(f"replayed {len(server.replayed_ids)} journalled request(s)")
+        print(f"serving on {config.host}:{server.port} "
+              f"(mode={config.mode}, batch<= {config.max_batch_size}); Ctrl-C to stop")
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nshut down cleanly")
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import asyncio
+    import warnings as _warnings
+
+    from .errors import (
+        DeadlineExceededError,
+        DegradedResultWarning,
+        ReproError,
+        ServiceOverloadError,
+    )
+    from .serve import ServeClient, SolveRequest
+
+    deadline_s = None if args.deadline_ms is None else args.deadline_ms / 1e3
+    latencies: list = []
+    counts = {"ok": 0, "degraded": 0, "cached": 0,
+              "shed": 0, "deadline": 0, "error": 0}
+
+    async def worker(client: ServeClient, indices: list) -> None:
+        for i in indices:
+            req = SolveRequest(
+                id=f"lg{i}", M=args.M, N=args.N, K=args.K, h=args.h,
+                kernel=args.kernel, seed=args.seed + (i % args.distinct_specs),
+                implementation=args.implementation,
+            )
+            t0 = time.perf_counter()
+            try:
+                res = await client.solve(req, deadline_s=deadline_s)
+            except ServiceOverloadError:
+                counts["shed"] += 1
+                continue
+            except DeadlineExceededError:
+                counts["deadline"] += 1
+                continue
+            except ReproError:
+                counts["error"] += 1
+                continue
+            latencies.append(time.perf_counter() - t0)
+            counts["ok"] += 1
+            counts["degraded"] += int(res.degraded)
+            counts["cached"] += int(res.cached)
+
+    async def run() -> float:
+        async with ServeClient(args.host, args.port) as client:
+            chunks = [list(range(args.requests))[w::args.concurrency]
+                      for w in range(args.concurrency)]
+            t0 = time.perf_counter()
+            await asyncio.gather(*(worker(client, c) for c in chunks if c))
+            return time.perf_counter() - t0
+
+    with _warnings.catch_warnings():
+        _warnings.simplefilter("ignore", DegradedResultWarning)
+        wall = asyncio.run(run())
+
+    answered = counts["ok"]
+    print(f"loadgen: {args.requests} request(s) at concurrency {args.concurrency} "
+          f"in {wall:.3f}s -> {args.requests / wall:.1f} req/s")
+    if latencies:
+        lat = np.sort(np.asarray(latencies))
+        p50 = float(np.percentile(lat, 50)) * 1e3
+        p99 = float(np.percentile(lat, 99)) * 1e3
+        print(f"  latency: p50 {p50:.2f} ms, p99 {p99:.2f} ms "
+              f"(over {answered} answered)")
+    print(f"  ok {counts['ok']} (degraded {counts['degraded']}, cached "
+          f"{counts['cached']}), shed {counts['shed']}, "
+          f"deadline {counts['deadline']}, error {counts['error']}")
+    return 0 if answered or args.requests == 0 else 1
+
+
 def _cmd_cache(args) -> int:
     import json as _json
 
@@ -634,6 +782,8 @@ def main(argv=None) -> int:
         "sweep": _cmd_sweep,
         "faults": _cmd_faults,
         "profile": _cmd_profile,
+        "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
         "cache": _cmd_cache,
         "analyze": _cmd_analyze,
     }

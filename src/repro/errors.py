@@ -25,9 +25,25 @@ The taxonomy:
     a grid point exceeded its wall-clock budget — a ``TimeoutError``;
 ``CheckpointCorruptionError``
     an unreadable sweep journal — a ``ValueError``;
+``WorkerCrashError``
+    a pool worker died mid-task (the process-pool analogue of a GPU CTA
+    falling over) — a ``RuntimeError`` carrying the task index and the
+    backend so schedulers can report *which* grid point was in flight;
+``ServiceOverloadError``
+    the serving layer shed a request at admission (queue full or the
+    latency budget is hopeless) — a ``RuntimeError`` carrying a
+    ``retry_after_s`` hint clients should back off by;
+``DeadlineExceededError``
+    a request's end-to-end deadline budget expired before (or while) its
+    work ran — a ``TimeoutError``;
+``CircuitOpenError``
+    an execution backend's circuit breaker is open and the request could
+    not be served even by the degraded path — a ``RuntimeError``;
 ``DegradedResultWarning``
     structured warning emitted when ABFT retries are exhausted and the
-    computation falls back to the reference implementation.
+    computation falls back to the reference implementation.  The serving
+    layer reuses the same convention for results that fell back to the
+    reference path after a tripped breaker or a detected corruption.
 """
 
 from __future__ import annotations
@@ -41,6 +57,10 @@ __all__ = [
     "TransientModelError",
     "ExperimentTimeoutError",
     "CheckpointCorruptionError",
+    "WorkerCrashError",
+    "ServiceOverloadError",
+    "DeadlineExceededError",
+    "CircuitOpenError",
     "DegradedResultWarning",
 ]
 
@@ -87,6 +107,40 @@ class ExperimentTimeoutError(ReproError, TimeoutError):
 
 class CheckpointCorruptionError(ReproError, ValueError):
     """A sweep journal exists but cannot be parsed."""
+
+
+class WorkerCrashError(ReproError, RuntimeError):
+    """A pool worker process died mid-task.
+
+    Structured: carries the index of the task that was in flight and the
+    backend name so sweep reports can say which grid point to suspect.
+    """
+
+    def __init__(self, message: str, task_index: int | None = None, backend: str = ""):
+        super().__init__(message)
+        self.task_index = task_index
+        self.backend = backend
+
+
+class ServiceOverloadError(ReproError, RuntimeError):
+    """The serving layer shed this request at admission.
+
+    ``retry_after_s`` is the server's estimate of when capacity will free
+    up (queue depth x recent per-request latency); well-behaved clients
+    back off at least that long before retrying.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A request's end-to-end deadline budget expired."""
+
+
+class CircuitOpenError(ReproError, RuntimeError):
+    """An execution backend's circuit breaker rejected the call."""
 
 
 class DegradedResultWarning(UserWarning):

@@ -20,8 +20,12 @@ import pathlib
 from typing import Dict
 
 from ..errors import CheckpointCorruptionError
+from ..obs.log import get_logger, log_event
+from ..obs.metrics import counter_inc
 from .figures import FigureResult
 from .tables import TableResult
+
+_log = get_logger("experiments.io")
 
 __all__ = [
     "figure_to_csv",
@@ -37,8 +41,13 @@ class SweepJournal:
 
     Each line is ``{"key": <point label>, "payload": {...}}``.  Appends are
     flushed line-at-a-time, so a killed sweep leaves at worst one truncated
-    trailing line — which :meth:`load` rejects loudly rather than silently
-    resuming from a lie.
+    trailing line.  :meth:`load` *tolerates* exactly that shape of damage —
+    the torn final record is dropped, a structured ``journal.truncated``
+    event is logged, and the file is trimmed back to the last good line so
+    the next append starts clean (the dropped point simply recomputes).
+    Corruption anywhere *before* the final record cannot come from a torn
+    append and still raises :class:`CheckpointCorruptionError` loudly —
+    resuming over mid-file damage would silently skip completed work.
     """
 
     def __init__(self, path: str | pathlib.Path) -> None:
@@ -49,21 +58,52 @@ class SweepJournal:
         return self.path.exists()
 
     def load(self) -> Dict[str, dict]:
-        """Completed points, keyed by label; empty dict if no journal yet."""
+        """Completed points, keyed by label; empty dict if no journal yet.
+
+        A torn *final* line (the crash-mid-append signature) is dropped and
+        trimmed; unreadable content with good records after it raises.
+        """
         if not self.path.exists():
             return {}
+        blob = self.path.read_bytes()
         done: Dict[str, dict] = {}
-        for i, line in enumerate(self.path.read_text().splitlines(), start=1):
-            if not line.strip():
-                continue
-            try:
-                rec = json.loads(line)
-                key, payload = rec["key"], rec["payload"]
-            except (json.JSONDecodeError, TypeError, KeyError) as exc:
-                raise CheckpointCorruptionError(
-                    f"journal {self.path} line {i} is unreadable: {exc}"
-                ) from exc
-            done[key] = payload
+        offset = 0
+        lineno = 0
+        while offset < len(blob):
+            nl = blob.find(b"\n", offset)
+            end = len(blob) if nl == -1 else nl
+            raw = blob[offset:end]
+            lineno += 1
+            if raw.strip():
+                try:
+                    rec = json.loads(raw.decode("utf-8"))
+                    key, payload = rec["key"], rec["payload"]
+                except (UnicodeDecodeError, json.JSONDecodeError, TypeError, KeyError) as exc:
+                    tail = blob[end + 1:] if nl != -1 else b""
+                    if tail.strip():
+                        raise CheckpointCorruptionError(
+                            f"journal {self.path} line {lineno} is unreadable "
+                            f"with intact records after it: {exc}"
+                        ) from exc
+                    dropped = len(blob) - offset
+                    log_event(
+                        _log, 30, "journal.truncated",
+                        path=str(self.path), line=lineno,
+                        dropped_bytes=dropped, records_kept=len(done),
+                        why=type(exc).__name__,
+                    )
+                    counter_inc("sweep.journal.truncations")
+                    with self.path.open("r+b") as fh:
+                        fh.truncate(offset)
+                    break
+                done[key] = payload
+                if nl == -1:
+                    # the record is complete but its terminating newline was
+                    # torn off; repair it so the next append does not glue
+                    # onto this line and corrupt it
+                    with self.path.open("ab") as fh:
+                        fh.write(b"\n")
+            offset = end + 1 if nl != -1 else len(blob)
         return done
 
     def append(self, key: str, payload: dict) -> None:

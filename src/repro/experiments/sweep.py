@@ -41,7 +41,13 @@ import logging
 import pathlib
 import pickle
 import time
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor, as_completed
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
@@ -50,7 +56,7 @@ import numpy as np
 from ..core.digest import config_digest
 from ..core.problem import ProblemSpec
 from ..core.tiling import PAPER_TILING
-from ..errors import ExperimentTimeoutError, TransientModelError
+from ..errors import ExperimentTimeoutError, TransientModelError, WorkerCrashError
 from ..faults.injector import active_injector
 from ..gpu.device import GTX970, DeviceSpec
 from ..obs.log import get_logger, log_event
@@ -451,6 +457,26 @@ class ResilientSweep:
                     i = futures[fut]
                     try:
                         point = fut.result()
+                    except BrokenExecutor as exc:
+                        # a died worker (OOM kill, segfault) surfaces as
+                        # BrokenProcessPool on every in-flight future; map it
+                        # to the typed taxonomy with the task it took down.
+                        # Points committed before the death are already in
+                        # the journal, so a resume skips them.
+                        counter_inc("sweep.worker_crashes")
+                        log_event(
+                            _log, logging.WARNING, "worker_crash",
+                            point=tasks[i].label, task_index=i,
+                            backend=self.backend, error=type(exc).__name__,
+                        )
+                        failures[i] = WorkerCrashError(
+                            f"sweep worker died while computing "
+                            f"{tasks[i].label!r} (task {i}); completed points "
+                            f"are journalled — re-run to resume",
+                            task_index=i,
+                            backend=self.backend,
+                        )
+                        continue
                     except Exception as exc:  # noqa: BLE001 - re-raised below
                         failures[i] = exc
                         continue

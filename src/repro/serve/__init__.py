@@ -1,0 +1,71 @@
+"""Chaos-hardened async serving layer for kernel summation.
+
+The production front door the ROADMAP asks for: an asyncio service that
+accepts solve requests over newline-JSON streams, micro-batches compatible
+requests into single dispatches (request-level horizontal fusion — the
+serving-side analogue of the paper's kernel fusion), answers warm requests
+straight from the content-addressed :mod:`repro.store`, and — the headline
+property — stays *correct* under injected failure:
+
+* **admission control** — bounded queues; overload is shed with a typed
+  :class:`~repro.errors.ServiceOverloadError` carrying a retry-after hint
+  instead of letting latency collapse for everyone;
+* **deadlines** — every request carries an end-to-end budget that is
+  checked at admission, at dispatch, and after execution; expired or
+  abandoned work is actually torn down, not silently computed;
+* **circuit breaking** — consecutive primary-engine failures trip a
+  per-backend breaker; tripped traffic degrades to the trusted reference
+  path under the existing :class:`~repro.errors.DegradedResultWarning`
+  convention, and a half-open probe closes the breaker on recovery;
+* **crash-safe journaling** — accepted requests hit a length-prefixed,
+  CRC-protected, fsync'd write-ahead journal before execution; a killed
+  server replays in-flight work on restart without double-executing
+  anything that completed (mirroring ``SweepJournal`` resume semantics);
+* **chaos harness** — :mod:`repro.serve.chaos` injects worker crashes,
+  latency spikes, and payload corruption in-process with
+  :mod:`repro.faults`-style seeding; ``tests/serve`` asserts zero wrong
+  answers under every scenario.
+
+See docs/SERVING.md for the architecture and the failure matrix.
+"""
+
+from __future__ import annotations
+
+from .admission import AdmissionController, CircuitBreaker
+from .batcher import BatchMember, MicroBatcher, batch_key
+from .chaos import ChaosClock, ChaosMonkey, ChaosSpec, active_chaos, chaos_injection
+from .client import ServeClient, SolveResult
+from .journal import RequestJournal
+from .protocol import (
+    PROTOCOL_VERSION,
+    SolveRequest,
+    SolveResponse,
+    decode_message,
+    encode_message,
+    request_digest,
+)
+from .server import KernelServer, ServerConfig
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "SolveRequest",
+    "SolveResponse",
+    "encode_message",
+    "decode_message",
+    "request_digest",
+    "RequestJournal",
+    "AdmissionController",
+    "CircuitBreaker",
+    "MicroBatcher",
+    "BatchMember",
+    "batch_key",
+    "KernelServer",
+    "ServerConfig",
+    "ServeClient",
+    "SolveResult",
+    "ChaosSpec",
+    "ChaosMonkey",
+    "ChaosClock",
+    "chaos_injection",
+    "active_chaos",
+]

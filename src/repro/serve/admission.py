@@ -1,0 +1,176 @@
+"""Admission control and per-backend circuit breaking.
+
+Both mechanisms exist for the same reason micro-batching does: a batched
+service amplifies failure.  One slow worker stalls a whole batch, and an
+unbounded queue converts a throughput deficit into unbounded latency for
+*every* request.  So:
+
+* :class:`AdmissionController` bounds the queue and sheds load with a
+  typed :class:`~repro.errors.ServiceOverloadError` the moment either the
+  depth bound or the latency-budget estimate (queue depth x EWMA service
+  time) says a new request cannot be served in time.  The rejection
+  carries a ``retry_after_s`` hint derived from the same estimate.
+
+* :class:`CircuitBreaker` watches one execution backend.  ``failure_
+  threshold`` consecutive failures/timeouts open it; while open, callers
+  skip the backend entirely (the server degrades to the reference path)
+  until ``reset_timeout_s`` has passed, at which point exactly one probe
+  is let through half-open — success closes the breaker, failure re-opens
+  it for another full timeout.  The clock is injectable so the chaos
+  tests drive open -> half-open -> closed transitions in microseconds.
+
+Neither object is asyncio-specific; both are plain, lock-free-in-the-
+event-loop state machines the server calls from its single dispatcher
+task (and the tests call directly).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from ..errors import ServiceOverloadError
+from ..obs.log import get_logger, log_event
+from ..obs.metrics import active_metrics, counter_inc
+
+__all__ = ["AdmissionController", "CircuitBreaker"]
+
+_log = get_logger("serve.admission")
+
+#: circuit breaker states
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+
+class AdmissionController:
+    """Bounded-queue admission with latency-aware load shedding."""
+
+    def __init__(
+        self,
+        max_queue_depth: int = 64,
+        max_wait_s: Optional[float] = None,
+        latency_alpha: float = 0.2,
+    ) -> None:
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if not 0.0 < latency_alpha <= 1.0:
+            raise ValueError("latency_alpha must lie in (0, 1]")
+        self.max_queue_depth = max_queue_depth
+        #: estimated queueing delay beyond which new work is shed (None = depth only)
+        self.max_wait_s = max_wait_s
+        self.latency_alpha = latency_alpha
+        self.depth = 0
+        self.ewma_service_s = 0.0
+        self.shed_total = 0
+        self.admitted_total = 0
+
+    # -- service-time feedback --------------------------------------------
+    def observe_service_time(self, seconds: float) -> None:
+        """Fold one completed request's service time into the EWMA."""
+        if seconds < 0:
+            return
+        if self.ewma_service_s == 0.0:
+            self.ewma_service_s = seconds
+        else:
+            a = self.latency_alpha
+            self.ewma_service_s = a * seconds + (1.0 - a) * self.ewma_service_s
+
+    def estimated_wait_s(self) -> float:
+        """Expected queueing delay for a request admitted right now."""
+        return self.depth * self.ewma_service_s
+
+    # -- admission ---------------------------------------------------------
+    def admit(self) -> None:
+        """Claim one queue slot or raise :class:`ServiceOverloadError`."""
+        retry_after = max(self.estimated_wait_s(), self.ewma_service_s)
+        if self.depth >= self.max_queue_depth:
+            self._shed(f"queue full ({self.depth}/{self.max_queue_depth})", retry_after)
+        if self.max_wait_s is not None and self.estimated_wait_s() > self.max_wait_s:
+            self._shed(
+                f"estimated wait {self.estimated_wait_s():.3f}s exceeds "
+                f"budget {self.max_wait_s:.3f}s",
+                retry_after,
+            )
+        self.depth += 1
+        self.admitted_total += 1
+        self._export_depth()
+
+    def release(self) -> None:
+        """Return one queue slot (request finished, cancelled, or shed later)."""
+        self.depth = max(0, self.depth - 1)
+        self._export_depth()
+
+    def _shed(self, why: str, retry_after: float) -> None:
+        self.shed_total += 1
+        counter_inc("serve.shed")
+        log_event(_log, 30, "admission.shed", why=why, retry_after_s=retry_after)
+        raise ServiceOverloadError(
+            f"request shed: {why}; retry after {retry_after:.3f}s",
+            retry_after_s=retry_after,
+        )
+
+    def _export_depth(self) -> None:
+        registry = active_metrics()
+        if registry is not None:
+            registry.gauge("serve.queue_depth").set(self.depth)
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with a half-open recovery probe."""
+
+    def __init__(
+        self,
+        backend: str = "batched",
+        failure_threshold: int = 3,
+        reset_timeout_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout_s <= 0:
+            raise ValueError("reset_timeout_s must be positive")
+        self.backend = backend
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.clock = clock
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: Optional[float] = None
+        self.trips_total = 0
+
+    def allow(self) -> bool:
+        """May the next call use this backend?
+
+        While open, returns ``False`` until the reset timeout elapses;
+        the first ``True`` after that is the half-open probe — exactly one
+        in-flight probe, because the dispatcher is a single task and the
+        state moves to ``half_open`` immediately.
+        """
+        if self.state == OPEN:
+            assert self.opened_at is not None
+            if self.clock() - self.opened_at >= self.reset_timeout_s:
+                self.state = HALF_OPEN
+                log_event(_log, 20, "breaker.half_open", backend=self.backend)
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        if self.state != CLOSED:
+            log_event(_log, 20, "breaker.closed", backend=self.backend)
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = None
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN or self.consecutive_failures >= self.failure_threshold:
+            if self.state != OPEN:
+                self.trips_total += 1
+                counter_inc("serve.breaker.trips")
+                log_event(
+                    _log, 30, "breaker.open",
+                    backend=self.backend,
+                    consecutive_failures=self.consecutive_failures,
+                )
+            self.state = OPEN
+            self.opened_at = self.clock()

@@ -1,0 +1,217 @@
+"""Micro-batching: request-level horizontal fusion.
+
+The paper fuses kernels so many small device passes become one; a serving
+layer fuses *requests* so many small dispatches become one (Li et al.,
+"Automatic Horizontal Fusion for GPU Kernels" is the device-side analogue
+of the same idea).  The batcher
+
+* collects up to ``max_batch_size`` queued requests inside a
+  ``max_delay_s`` window (the first request never waits longer than the
+  window; an idle service adds zero latency because collection starts only
+  when a request arrives);
+* partitions them into compatibility groups — same implementation,
+  kernel, dtype, and (N, K) tiling class — so each group lowers to one
+  dispatch of the PR-3 batched numpy engine;
+* deduplicates members within a group by content digest: identical
+  requests (same full spec) are computed once and fanned out to every
+  waiter, and warm digests are answered straight from the persistent
+  :class:`~repro.store.ResultStore` without touching the executor.
+
+One dispatch also means one write-ahead-journal group commit and one
+executor round trip for the whole batch — the durability and scheduling
+overheads amortize exactly like the kernel-launch overhead the paper's
+fusion removes.
+
+:func:`compute_group` is the sync half that runs inside the worker
+executor; it is where the chaos hooks (crash / latency / corruption)
+live, and where each result is checksummed *at the moment of production*
+so later corruption is detectable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.problem import ProblemSpec
+from ..errors import DegradedResultWarning
+from ..obs.metrics import active_metrics, counter_inc
+from ..serve.chaos import active_chaos
+from ..store.functional import cached_solve
+from .protocol import SolveRequest, array_checksum, request_digest
+
+__all__ = [
+    "BatchMember",
+    "MicroBatcher",
+    "batch_key",
+    "GroupResult",
+    "compute_group",
+    "compute_reference",
+]
+
+#: histogram edges for batch sizes
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+
+@dataclass(eq=False)  # identity semantics: members live in per-connection sets
+class BatchMember:
+    """One admitted request waiting in the dispatch queue."""
+
+    request: SolveRequest
+    future: "asyncio.Future[object]"
+    enqueued_at: float
+    #: absolute event-loop deadline (None = no deadline)
+    deadline_at: Optional[float] = None
+    digest: str = field(default="")
+    #: admission slot returned already (guards double release when a member
+    #: is both resolved and swept up by an error path)
+    released: bool = field(default=False)
+
+    def __post_init__(self) -> None:
+        if not self.digest:
+            self.digest = request_digest(self.request)
+
+    def expired(self, now: float) -> bool:
+        return self.deadline_at is not None and now >= self.deadline_at
+
+    def abandoned(self) -> bool:
+        """Client gone (future cancelled) — tear the work down."""
+        return self.future.cancelled() or self.future.done()
+
+
+def batch_key(request: SolveRequest) -> Tuple[str, str, str, int, int]:
+    """Compatibility class: one group -> one batched-engine dispatch."""
+    return (request.implementation, request.kernel, request.dtype, request.N, request.K)
+
+
+class MicroBatcher:
+    """Collects queue entries into batches without ever losing one.
+
+    The pending ``get`` is a persistent task that survives a window
+    timeout (``asyncio.wait`` leaves it running rather than cancelling
+    it), so a request can never fall between batches — the classic
+    wait_for-cancellation lost-item race is designed out.
+    """
+
+    def __init__(self, max_batch_size: int = 16, max_delay_s: float = 0.002) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_delay_s < 0:
+            raise ValueError("max_delay_s must be non-negative")
+        self.max_batch_size = max_batch_size
+        self.max_delay_s = max_delay_s
+        self._pending_get: Optional["asyncio.Task[BatchMember]"] = None
+
+    async def _next(self, queue: "asyncio.Queue[BatchMember]") -> "asyncio.Task[BatchMember]":
+        if self._pending_get is None:
+            self._pending_get = asyncio.ensure_future(queue.get())
+        return self._pending_get
+
+    async def collect(self, queue: "asyncio.Queue[BatchMember]") -> List[BatchMember]:
+        """Wait for the first member, then fill the window."""
+        loop = asyncio.get_running_loop()
+        first_task = await self._next(queue)
+        first = await first_task
+        self._pending_get = None
+        members = [first]
+        if self.max_batch_size == 1 or self.max_delay_s == 0.0:
+            return members
+        window_ends = loop.time() + self.max_delay_s
+        while len(members) < self.max_batch_size:
+            remaining = window_ends - loop.time()
+            if remaining <= 0:
+                break
+            task = await self._next(queue)
+            done, _ = await asyncio.wait({task}, timeout=remaining)
+            if not done:
+                break  # the get stays pending and seeds the next batch
+            members.append(task.result())
+            self._pending_get = None
+        registry = active_metrics()
+        if registry is not None:
+            registry.histogram("serve.batch_size", BATCH_SIZE_BUCKETS).observe(len(members))
+        counter_inc("serve.batches")
+        counter_inc("serve.batched_requests", len(members))
+        return members
+
+    def drain_pending(self) -> None:
+        """Cancel the carried-over get (server shutdown only)."""
+        if self._pending_get is not None:
+            self._pending_get.cancel()
+            self._pending_get = None
+
+
+def group_by_key(members: List[BatchMember]) -> Dict[Tuple[str, str, str, int, int], List[BatchMember]]:
+    """Partition one collected batch into compatibility groups."""
+    groups: Dict[Tuple[str, str, str, int, int], List[BatchMember]] = {}
+    for m in members:
+        groups.setdefault(batch_key(m.request), []).append(m)
+    return groups
+
+
+@dataclass
+class GroupResult:
+    """Outcome of one unique digest inside a group dispatch."""
+
+    digest: str
+    V: np.ndarray
+    checksum: str
+    degraded: bool = False
+    cached: bool = False
+
+
+def _solve_one(
+    implementation: str, spec: ProblemSpec, store: Optional[object]
+) -> Tuple[np.ndarray, bool, bool]:
+    """(V, degraded?, cached?) for one unique spec, through the store."""
+    hits_before = store.stats.hits if store is not None else 0
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", DegradedResultWarning)
+        V = cached_solve(implementation, spec, store=store)
+    degraded = any(issubclass(w.category, DegradedResultWarning) for w in caught)
+    cached = store is not None and store.stats.hits > hits_before
+    return V, degraded, cached
+
+
+def compute_group(
+    unique: List[Tuple[str, str, ProblemSpec]],
+    store: Optional[object] = None,
+) -> List[GroupResult]:
+    """Sync executor half: compute each unique (digest, implementation, spec).
+
+    Chaos hooks fire here, in worker context: a crash aborts the whole
+    group (exactly how a died pool worker takes its batch with it — the
+    server isolates and retries), a latency spike stalls the worker
+    thread (never the event loop), and corruption strikes *after* the
+    checksum was taken, so the server's verify step catches it.
+    """
+    chaos = active_chaos()
+    out: List[GroupResult] = []
+    for digest, implementation, spec in unique:
+        if chaos is not None:
+            chaos.maybe_crash(where=f"group[{digest[:8]}]")
+            delay = chaos.delay_s(where=f"group[{digest[:8]}]")
+            if delay > 0:
+                time.sleep(delay)  # worker thread, not the event loop
+        V, degraded, cached = _solve_one(implementation, spec, store)
+        checksum = array_checksum(V)
+        if chaos is not None:
+            V = chaos.maybe_corrupt(V, where=f"group[{digest[:8]}]")
+        out.append(GroupResult(digest, V, checksum, degraded=degraded, cached=cached))
+    return out
+
+
+def compute_reference(spec: ProblemSpec) -> GroupResult:
+    """Trusted last-resort path: the float64 reference, no chaos hooks.
+
+    Used when the primary engine's breaker is open or a computed payload
+    failed its checksum — the serving analogue of the ABFT fallback, and
+    like it, always flagged :class:`DegradedResultWarning` downstream.
+    """
+    V, _, _ = _solve_one("reference", spec, None)
+    return GroupResult("", V, array_checksum(V), degraded=True, cached=False)

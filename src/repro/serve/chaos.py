@@ -1,0 +1,165 @@
+"""In-process chaos injection for the serving layer.
+
+The same discipline as :mod:`repro.faults`: one seeded generator, a
+process-wide armed context, hooks that cost a single ``is None`` test when
+disarmed.  Where the fault injector corrupts values inside the simulated
+kernel data path, the chaos monkey attacks the *service* around it:
+
+* ``crash``   — the worker raises :class:`~repro.errors.WorkerCrashError`
+  mid-task (a died process-pool worker / OOM-killed executor thread);
+* ``latency`` — the worker stalls for ``latency_s`` before answering (a
+  thermal-throttled device, a page-cache miss storm);
+* ``corrupt`` — one element of the computed potential vector is scaled
+  after the worker checksummed it (a torn DMA / NIC bit-flip between the
+  worker and the response path).
+
+Determinism: every decision comes from one ``numpy`` generator seeded by
+``ChaosSpec.seed`` and advanced only by hook crossings, so a chaos test
+failure replays exactly from (spec, request order).
+
+:class:`ChaosClock` is the controllable time source the circuit-breaker
+and deadline tests drive: ``advance()`` moves time without sleeping, so
+open -> half-open -> closed transitions are tested in microseconds.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..errors import FaultConfigError, WorkerCrashError
+from ..obs.log import get_logger, log_event
+from ..obs.metrics import counter_inc
+
+__all__ = [
+    "ChaosSpec",
+    "ChaosMonkey",
+    "ChaosClock",
+    "chaos_injection",
+    "active_chaos",
+]
+
+_log = get_logger("serve.chaos")
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Rates (per hook crossing) and parameters of one chaos scenario."""
+
+    crash_rate: float = 0.0
+    latency_rate: float = 0.0
+    latency_s: float = 0.05
+    corrupt_rate: float = 0.0
+    corrupt_scale: float = 8.0
+    seed: int = 0
+    max_events: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("crash_rate", "latency_rate", "corrupt_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise FaultConfigError(f"{name} must lie in [0, 1], got {rate}")
+        if self.latency_s < 0:
+            raise FaultConfigError("latency_s must be non-negative")
+        if self.corrupt_scale == 1.0:
+            raise FaultConfigError("corrupt_scale=1 is a no-op corruption")
+        if self.max_events is not None and self.max_events < 1:
+            raise FaultConfigError("max_events must be positive (or None)")
+
+
+class ChaosMonkey:
+    """Applies a :class:`ChaosSpec` at the serving layer's chaos hooks."""
+
+    def __init__(self, spec: ChaosSpec) -> None:
+        self.spec = spec
+        self.rng = np.random.default_rng(spec.seed)
+        self.crashes = 0
+        self.delays = 0
+        self.corruptions = 0
+
+    @property
+    def events(self) -> int:
+        return self.crashes + self.delays + self.corruptions
+
+    def _fires(self, rate: float) -> bool:
+        if rate <= 0.0:
+            return False
+        if self.spec.max_events is not None and self.events >= self.spec.max_events:
+            return False
+        if rate >= 1.0:
+            return True
+        return bool(self.rng.random() < rate)
+
+    def maybe_crash(self, where: str = "") -> None:
+        """Worker entry hook: raise :class:`WorkerCrashError` or pass."""
+        if self._fires(self.spec.crash_rate):
+            self.crashes += 1
+            counter_inc("serve.chaos.crashes")
+            log_event(_log, 30, "chaos.crash", where=where)
+            raise WorkerCrashError(f"chaos: worker crashed at {where or '?'}")
+
+    def delay_s(self, where: str = "") -> float:
+        """Latency hook: seconds the worker should stall (0 = no spike)."""
+        if self._fires(self.spec.latency_rate):
+            self.delays += 1
+            counter_inc("serve.chaos.delays")
+            log_event(_log, 20, "chaos.delay", where=where, seconds=self.spec.latency_s)
+            return self.spec.latency_s
+        return 0.0
+
+    def maybe_corrupt(self, V: np.ndarray, where: str = "") -> np.ndarray:
+        """Post-checksum payload hook: return a corrupted copy, or V as-is."""
+        if not self._fires(self.spec.corrupt_rate) or V.size == 0:
+            return V
+        self.corruptions += 1
+        counter_inc("serve.chaos.corruptions")
+        out = np.array(V, copy=True)
+        idx = int(self.rng.integers(out.size))
+        old = out.flat[idx]
+        out.flat[idx] = out.dtype.type(old * self.spec.corrupt_scale + 1.0)
+        log_event(_log, 30, "chaos.corrupt", where=where, index=idx)
+        return out
+
+
+#: process-wide armed monkey (None = chaos disabled)
+_ACTIVE: Optional[ChaosMonkey] = None
+
+
+def active_chaos() -> Optional[ChaosMonkey]:
+    """The armed chaos monkey, or ``None`` — the single check every hook makes."""
+    return _ACTIVE
+
+
+@contextmanager
+def chaos_injection(spec: ChaosSpec | ChaosMonkey) -> Iterator[ChaosMonkey]:
+    """Arm chaos process-wide for a ``with`` block; restores the previous."""
+    global _ACTIVE
+    monkey = spec if isinstance(spec, ChaosMonkey) else ChaosMonkey(spec)
+    previous = _ACTIVE
+    _ACTIVE = monkey
+    try:
+        yield monkey
+    finally:
+        _ACTIVE = previous
+
+
+class ChaosClock:
+    """Deterministic, manually advanced monotonic clock for tests."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("time only moves forward")
+        self._now += seconds
+        return self._now

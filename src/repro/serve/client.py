@@ -1,0 +1,218 @@
+"""Asyncio client for the kernel-summation service.
+
+One connection multiplexes any number of in-flight requests: a reader
+task routes each newline-JSON response to the future registered under its
+request id, so callers can ``asyncio.gather`` dozens of :meth:`solve`
+calls over a single socket — which is exactly the concurrency shape the
+server's micro-batcher coalesces.
+
+Deadlines are enforced twice, on purpose.  The budget rides inside the
+request, so the *server* sheds work whose deadline lapsed while queued;
+and the client arms its own ``asyncio.wait_for`` with the same budget, so
+a stalled (or chaos-killed) server cannot hang the caller — either side
+firing first yields the same typed
+:class:`~repro.errors.DeadlineExceededError`.
+
+Typed failure mapping (the client never returns a wrong answer silently):
+
+===========  ==========================================================
+status       raised / returned
+===========  ==========================================================
+``ok``       :class:`SolveResult`; checksum re-verified on receipt, and
+             degraded answers re-emit :class:`DegradedResultWarning`
+``overload`` :class:`~repro.errors.ServiceOverloadError` (retry_after_s)
+``deadline`` :class:`~repro.errors.DeadlineExceededError`
+``invalid``  :class:`~repro.errors.InvalidProblemError`
+``error``    :class:`~repro.errors.TransientModelError`
+===========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import warnings
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import (
+    DeadlineExceededError,
+    DegradedResultWarning,
+    InvalidProblemError,
+    ServiceOverloadError,
+    TransientModelError,
+)
+from ..obs.log import get_logger, log_event
+from .protocol import SolveRequest, SolveResponse, array_checksum, decode_message, encode_message
+
+__all__ = ["ServeClient", "SolveResult"]
+
+_log = get_logger("serve.client")
+
+_request_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """One verified answer from the service."""
+
+    V: np.ndarray
+    #: True when the answer came from the reference fallback path
+    degraded: bool = False
+    #: True when the server answered from the content-addressed store
+    cached: bool = False
+    #: how many requests shared the dispatch that produced this answer
+    batch_size: int = 1
+
+
+class ServeClient:
+    """``async with ServeClient(host, port) as client: await client.solve(...)``"""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional["asyncio.Task[None]"] = None
+        self._inflight: Dict[str, "asyncio.Future[SolveResponse]"] = {}
+        self._write_lock = asyncio.Lock()
+
+    # -- lifecycle ---------------------------------------------------------
+    async def connect(self) -> "ServeClient":
+        self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+        return self
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            self._writer = None
+        self._fail_inflight(ConnectionResetError("client closed"))
+
+    async def __aenter__(self) -> "ServeClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.close()
+
+    def _fail_inflight(self, error: BaseException) -> None:
+        for future in self._inflight.values():
+            if not future.done():
+                future.set_exception(error)
+        self._inflight.clear()
+
+    # -- wire --------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    doc = decode_message(line)
+                except InvalidProblemError:
+                    log_event(_log, 30, "client.bad_frame")
+                    continue
+                if doc.get("type") != "result":
+                    continue
+                response = SolveResponse.from_payload(doc)
+                future = self._inflight.pop(response.id, None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+            self._fail_inflight(exc)
+            return
+        self._fail_inflight(ConnectionResetError("server closed the connection"))
+
+    async def _send(self, payload: Dict[str, object]) -> None:
+        assert self._writer is not None, "client is not connected"
+        async with self._write_lock:
+            self._writer.write(encode_message(payload))
+            await self._writer.drain()
+
+    # -- API ---------------------------------------------------------------
+    async def ping(self, timeout_s: float = 5.0) -> bool:
+        """Liveness probe (used by the CLI and the load generator warmup)."""
+        assert self._reader is not None
+        await self._send({"type": "ping"})
+        # pong is not id-routed; the read loop ignores it, so race-free
+        # probing just bounds how long the write round-trip may take.
+        await asyncio.sleep(0)
+        return not self._reader.at_eof()
+
+    async def solve(
+        self,
+        request: SolveRequest,
+        deadline_s: Optional[float] = None,
+    ) -> SolveResult:
+        """Solve one request; raises the typed error for every failure mode."""
+        if deadline_s is None:
+            deadline_s = request.deadline_s
+        if not request.id or request.id in self._inflight:
+            request = request.with_id(f"r{next(_request_ids)}")
+        if deadline_s is not None and request.deadline_s != deadline_s:
+            request = replace(request, deadline_s=deadline_s)
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[SolveResponse]" = loop.create_future()
+        self._inflight[request.id] = future
+        try:
+            await self._send({"type": "solve", **request.to_payload()})
+            if deadline_s is not None:
+                response = await asyncio.wait_for(future, timeout=deadline_s)
+            else:
+                response = await future
+        except asyncio.TimeoutError:
+            raise DeadlineExceededError(
+                f"request {request.id} exceeded its {deadline_s}s budget"
+            ) from None
+        finally:
+            self._inflight.pop(request.id, None)
+        return self._interpret(request, response)
+
+    def _interpret(self, request: SolveRequest, response: SolveResponse) -> SolveResult:
+        if response.status == "overload":
+            raise ServiceOverloadError(
+                response.error or "service overloaded",
+                retry_after_s=response.retry_after_s,
+            )
+        if response.status == "deadline":
+            raise DeadlineExceededError(
+                response.error or f"request {request.id} missed its deadline"
+            )
+        if response.status == "invalid":
+            raise InvalidProblemError(response.error or "invalid request")
+        if response.status != "ok":
+            raise TransientModelError(
+                response.error or f"server error for request {request.id}"
+            )
+        V = response.array()
+        if array_checksum(V) != response.checksum:
+            raise TransientModelError(
+                f"response payload for {request.id} failed its checksum"
+            )
+        if response.degraded:
+            warnings.warn(
+                f"request {request.id} served by the degraded reference path",
+                DegradedResultWarning,
+                stacklevel=3,
+            )
+        return SolveResult(
+            V=V,
+            degraded=response.degraded,
+            cached=response.cached,
+            batch_size=response.batch_size,
+        )

@@ -1,0 +1,240 @@
+"""Wire protocol: newline-delimited JSON requests and responses.
+
+One connection carries any number of concurrently outstanding requests;
+each message is a single JSON object on one line, matched by ``id``.  The
+payload of a solve is the *specification* of the problem (the inputs are
+derived deterministically from the spec, exactly as
+:func:`repro.core.problem.generate` does for the library paths), so a
+request is a few hundred bytes regardless of M, and the response carries
+the potential vector ``V`` plus a SHA-256 checksum computed at the worker
+the moment the result was produced — the serving layer re-verifies it
+before answering, which is what turns injected payload corruption into a
+detected (and recovered) fault instead of a wrong answer.
+
+Floats travel as JSON numbers: every float32/float64 value is exactly
+representable, so an encode/decode round trip is bit-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..core.problem import ProblemSpec
+from ..core.tiling import PAPER_TILING
+from ..errors import InvalidProblemError
+from ..store.functional import solve_digest
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "SolveRequest",
+    "SolveResponse",
+    "encode_message",
+    "decode_message",
+    "request_digest",
+    "array_checksum",
+]
+
+#: bump when a message field changes meaning
+PROTOCOL_VERSION = "repro-serve/v1"
+
+#: implementations the server is willing to dispatch
+SERVABLE_IMPLEMENTATIONS = ("fused", "cublas-unfused", "cuda-unfused", "reference")
+
+
+def array_checksum(V: np.ndarray) -> str:
+    """SHA-256 of the raw little-endian bytes of ``V`` (order-sensitive)."""
+    data = np.ascontiguousarray(V)
+    return hashlib.sha256(data.tobytes()).hexdigest()
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One kernel-summation request.
+
+    ``deadline_s`` is the *budget* granted by the client (seconds from
+    send); the server turns it into an absolute deadline at admission and
+    checks it at every stage.  ``None`` means no deadline.
+    """
+
+    id: str
+    M: int
+    N: int
+    K: int
+    h: float = 1.0
+    kernel: str = "gaussian"
+    dtype: str = "float32"
+    seed: int = 0
+    implementation: str = "fused"
+    deadline_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        # an empty id means "let the client assign one before sending";
+        # the server-side decode path (from_payload) rejects it
+        if self.implementation not in SERVABLE_IMPLEMENTATIONS:
+            raise InvalidProblemError(
+                f"unservable implementation {self.implementation!r}; "
+                f"available: {list(SERVABLE_IMPLEMENTATIONS)}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise InvalidProblemError("deadline_s must be positive (or None)")
+        # validate shape/kernel parameters eagerly: a malformed request must
+        # be rejected at the front door, not inside a batch
+        self.spec()
+
+    def spec(self) -> ProblemSpec:
+        return ProblemSpec(
+            M=self.M, N=self.N, K=self.K, h=self.h,
+            kernel=self.kernel, dtype=self.dtype, seed=self.seed,
+        )
+
+    def with_id(self, new_id: str) -> "SolveRequest":
+        return replace(self, id=new_id)
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "type": "solve",
+            "version": PROTOCOL_VERSION,
+            "id": self.id,
+            "M": self.M, "N": self.N, "K": self.K,
+            "h": self.h,
+            "kernel": self.kernel,
+            "dtype": self.dtype,
+            "seed": self.seed,
+            "implementation": self.implementation,
+            "deadline_s": self.deadline_s,
+        }
+
+    @classmethod
+    def from_payload(cls, doc: Dict[str, Any]) -> "SolveRequest":
+        if not str(doc.get("id", "")):
+            raise InvalidProblemError("request id must be non-empty on the wire")
+        try:
+            return cls(
+                id=str(doc["id"]),
+                M=int(doc["M"]), N=int(doc["N"]), K=int(doc["K"]),
+                h=float(doc.get("h", 1.0)),
+                kernel=str(doc.get("kernel", "gaussian")),
+                dtype=str(doc.get("dtype", "float32")),
+                seed=int(doc.get("seed", 0)),
+                implementation=str(doc.get("implementation", "fused")),
+                deadline_s=(
+                    None if doc.get("deadline_s") is None
+                    else float(doc["deadline_s"])
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise InvalidProblemError(f"malformed solve request: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class SolveResponse:
+    """One answer (or typed rejection) for one request id.
+
+    ``status`` is ``"ok"`` for an answered request; otherwise the name of
+    the rejection class (``"overload"``, ``"deadline"``, ``"error"``) —
+    the client maps these back onto the :mod:`repro.errors` taxonomy.
+    """
+
+    id: str
+    status: str
+    V: Optional[List[float]] = None
+    dtype: str = "float32"
+    checksum: Optional[str] = None
+    degraded: bool = False
+    cached: bool = False
+    batch_size: int = 1
+    error: Optional[str] = None
+    retry_after_s: Optional[float] = None
+
+    def to_payload(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "type": "result",
+            "version": PROTOCOL_VERSION,
+            "id": self.id,
+            "status": self.status,
+            "dtype": self.dtype,
+            "degraded": self.degraded,
+            "cached": self.cached,
+            "batch_size": self.batch_size,
+        }
+        if self.V is not None:
+            doc["V"] = self.V
+            doc["checksum"] = self.checksum
+        if self.error is not None:
+            doc["error"] = self.error
+        if self.retry_after_s is not None:
+            doc["retry_after_s"] = self.retry_after_s
+        return doc
+
+    @classmethod
+    def from_payload(cls, doc: Dict[str, Any]) -> "SolveResponse":
+        return cls(
+            id=str(doc["id"]),
+            status=str(doc["status"]),
+            V=doc.get("V"),
+            dtype=str(doc.get("dtype", "float32")),
+            checksum=doc.get("checksum"),
+            degraded=bool(doc.get("degraded", False)),
+            cached=bool(doc.get("cached", False)),
+            batch_size=int(doc.get("batch_size", 1)),
+            error=doc.get("error"),
+            retry_after_s=doc.get("retry_after_s"),
+        )
+
+    def array(self) -> np.ndarray:
+        """The potential vector as a numpy array in the response dtype."""
+        if self.V is None:
+            raise ValueError(f"response {self.id!r} carries no result (status={self.status})")
+        return np.asarray(self.V, dtype=np.dtype(self.dtype))
+
+    @classmethod
+    def ok(
+        cls,
+        request_id: str,
+        V: np.ndarray,
+        checksum: str,
+        degraded: bool = False,
+        cached: bool = False,
+        batch_size: int = 1,
+    ) -> "SolveResponse":
+        return cls(
+            id=request_id,
+            status="ok",
+            V=[float(v) for v in V],
+            dtype=str(V.dtype),
+            checksum=checksum,
+            degraded=degraded,
+            cached=cached,
+            batch_size=batch_size,
+        )
+
+
+def request_digest(request: SolveRequest) -> str:
+    """Content address of a request's result in the persistent store.
+
+    Identical to :func:`repro.store.functional.solve_digest` for the same
+    (implementation, spec) — a result computed by the service is a warm
+    hit for the library paths and vice versa.
+    """
+    return solve_digest(request.implementation, request.spec(), PAPER_TILING)
+
+
+def encode_message(doc: Dict[str, Any]) -> bytes:
+    """One message -> one newline-terminated JSON line."""
+    return (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_message(line: bytes) -> Dict[str, Any]:
+    """Parse one line; raises :class:`InvalidProblemError` on garbage."""
+    try:
+        doc = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise InvalidProblemError(f"undecodable message: {exc}") from exc
+    if not isinstance(doc, dict) or "type" not in doc:
+        raise InvalidProblemError("message must be a JSON object with a 'type'")
+    return doc

@@ -1,0 +1,456 @@
+"""The asyncio kernel-summation server.
+
+One process, one event loop, three moving parts:
+
+* **connection handlers** read newline-JSON requests, run admission
+  control, stamp the absolute deadline, and enqueue
+  :class:`~repro.serve.batcher.BatchMember` entries; a per-request
+  responder task writes the answer back when the dispatcher resolves it.
+  A dropped connection cancels its pending members — abandoned work is
+  torn down before it is dispatched, not computed into the void.
+
+* **the dispatcher** (a single task) collects micro-batches, group-commits
+  accept records to the write-ahead journal (one fsync per batch), and
+  executes each compatibility group through the worker executor.  Results
+  are checksum-verified; failures walk a retry ladder — whole-group
+  retry per member, then the trusted reference path — under a per-backend
+  :class:`~repro.serve.admission.CircuitBreaker`, so injected crashes,
+  stalls, and corruptions become degraded-but-correct answers, never
+  wrong ones and never hangs.
+
+* **journal replay** runs before the listener opens: accepted-but-
+  incomplete requests from a previous (possibly SIGKILL'd) process are
+  re-resolved through the content-addressed store — anything the dead
+  server finished is a warm hit, so nothing completed is ever executed
+  twice — and marked complete.
+
+Every stage exports metrics through :mod:`repro.obs.metrics` when
+collection is armed: ``serve.queue_depth``, ``serve.shed``,
+``serve.breaker.trips``, ``serve.latency_seconds``, ``serve.batch_size``
+and friends (see docs/SERVING.md for the full table).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..core.problem import ProblemSpec
+from ..errors import InvalidProblemError, ReproError
+from ..obs.log import get_logger, log_event
+from ..obs.metrics import active_metrics, counter_inc
+from ..store.result_store import ResultStore
+from .admission import AdmissionController, CircuitBreaker
+from .batcher import (
+    BatchMember,
+    GroupResult,
+    MicroBatcher,
+    compute_group,
+    compute_reference,
+    group_by_key,
+)
+from .journal import RequestJournal
+from .protocol import (
+    SolveRequest,
+    SolveResponse,
+    array_checksum,
+    decode_message,
+    encode_message,
+)
+
+__all__ = ["ServerConfig", "KernelServer"]
+
+_log = get_logger("serve.server")
+
+#: histogram edges for end-to-end request latency (seconds)
+LATENCY_BUCKETS = (1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0)
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything tunable about one server instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; read KernelServer.port after start()
+    #: "batched" coalesces requests; "sequential" dispatches one at a time
+    #: (the baseline the serve benchmark beats)
+    mode: str = "batched"
+    max_batch_size: int = 16
+    batch_delay_s: float = 0.002
+    max_queue_depth: int = 64
+    max_wait_s: Optional[float] = None
+    default_deadline_s: Optional[float] = None
+    breaker_threshold: int = 3
+    breaker_reset_s: float = 2.0
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("batched", "sequential"):
+            raise ValueError(f"unknown mode {self.mode!r}; use batched | sequential")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+
+
+class _Connection:
+    """Book-keeping for one client connection."""
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.write_lock = asyncio.Lock()
+        self.members: Set[BatchMember] = set()
+        self.tasks: Set["asyncio.Task[None]"] = set()
+
+
+class KernelServer:
+    """Chaos-hardened asyncio front end over the kernel-summation engines."""
+
+    def __init__(
+        self,
+        config: ServerConfig = ServerConfig(),
+        store: Optional[ResultStore] = None,
+        journal: Optional[RequestJournal] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config
+        self.store = store
+        self.journal = journal
+        self.breaker = CircuitBreaker(
+            backend="batched-engine",
+            failure_threshold=config.breaker_threshold,
+            reset_timeout_s=config.breaker_reset_s,
+            clock=clock,
+        )
+        self.admission = AdmissionController(
+            max_queue_depth=config.max_queue_depth,
+            max_wait_s=config.max_wait_s,
+        )
+        batch = config.max_batch_size if config.mode == "batched" else 1
+        delay = config.batch_delay_s if config.mode == "batched" else 0.0
+        self.batcher = MicroBatcher(max_batch_size=batch, max_delay_s=delay)
+        self.replayed_ids: List[str] = []
+        self._queue: "asyncio.Queue[BatchMember]" = asyncio.Queue()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._dispatcher: Optional["asyncio.Task[None]"] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._connections: Set[_Connection] = set()
+        self._busy = False
+        self._closing = False
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def port(self) -> int:
+        assert self._server is not None and self._server.sockets
+        return int(self._server.sockets[0].getsockname()[1])
+
+    async def start(self) -> None:
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="repro-serve"
+        )
+        if self.journal is not None:
+            await self._replay_journal()
+            self.journal.open()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
+        log_event(_log, 20, "server.started",
+                  host=self.config.host, port=self.port, mode=self.config.mode)
+
+    async def stop(self) -> None:
+        """Graceful: stop accepting, drain the queue, then tear down."""
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        while not self._queue.empty() or self._busy:
+            await asyncio.sleep(0.005)
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._dispatcher
+        self.batcher.drain_pending()
+        for conn in list(self._connections):
+            self._teardown_connection(conn)
+            with contextlib.suppress(OSError):
+                conn.writer.close()
+        if self.journal is not None:
+            self.journal.close()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        log_event(_log, 20, "server.stopped")
+
+    async def serve_forever(self, stop_event: Optional[asyncio.Event] = None) -> None:
+        """Run until ``stop_event`` is set (or forever); then stop cleanly."""
+        await self.start()
+        try:
+            if stop_event is None:
+                assert self._server is not None
+                await self._server.serve_forever()
+            else:
+                await stop_event.wait()
+        finally:
+            await self.stop()
+
+    # -- journal replay ----------------------------------------------------
+    async def _replay_journal(self) -> None:
+        assert self.journal is not None
+        pending, _completed = self.journal.pending_requests()
+        if not pending:
+            return
+        loop = asyncio.get_running_loop()
+        for payload in pending:
+            try:
+                request = SolveRequest.from_payload({**payload, "deadline_s": None})
+            except InvalidProblemError as exc:
+                log_event(_log, 30, "replay.skipped", why=str(exc))
+                continue
+            member = BatchMember(request, loop.create_future(), loop.time())
+            result = await self._run_in_executor(
+                compute_group,
+                [(member.digest, request.implementation, request.spec())],
+                self.store,
+            )
+            self.journal.append_complete(request.id, member.digest)
+            self.replayed_ids.append(request.id)
+            counter_inc("serve.replayed")
+            log_event(_log, 20, "replay.completed",
+                      id=request.id, cached=result[0].cached)
+
+    # -- connection handling -----------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(writer)
+        self._connections.add(conn)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                await self._handle_line(conn, line)
+        except (ConnectionResetError, BrokenPipeError):
+            log_event(_log, 20, "connection.reset")
+        finally:
+            self._teardown_connection(conn)
+            self._connections.discard(conn)
+            with contextlib.suppress(OSError):
+                writer.close()
+
+    def _teardown_connection(self, conn: _Connection) -> None:
+        """Client gone: cancel queued work and the responder tasks."""
+        for member in list(conn.members):
+            if not member.future.done():
+                member.future.cancel()
+                counter_inc("serve.cancelled")
+        for task in list(conn.tasks):
+            task.cancel()
+        conn.members.clear()
+        conn.tasks.clear()
+
+    async def _handle_line(self, conn: _Connection, line: bytes) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            doc = decode_message(line)
+        except InvalidProblemError as exc:
+            await self._write(conn, SolveResponse(
+                id="?", status="invalid", error=str(exc)))
+            return
+        if doc.get("type") == "ping":
+            async with conn.write_lock:
+                conn.writer.write(encode_message({"type": "pong"}))
+                await conn.writer.drain()
+            return
+        if doc.get("type") != "solve":
+            await self._write(conn, SolveResponse(
+                id=str(doc.get("id", "?")), status="invalid",
+                error=f"unknown message type {doc.get('type')!r}"))
+            return
+        try:
+            request = SolveRequest.from_payload(doc)
+        except (InvalidProblemError, ReproError) as exc:
+            await self._write(conn, SolveResponse(
+                id=str(doc.get("id", "?")), status="invalid", error=str(exc)))
+            return
+        try:
+            self.admission.admit()
+        except ReproError as exc:
+            retry = getattr(exc, "retry_after_s", 0.0)
+            await self._write(conn, SolveResponse(
+                id=request.id, status="overload", error=str(exc),
+                retry_after_s=retry))
+            return
+        counter_inc("serve.accepted")
+        deadline_s = request.deadline_s
+        if deadline_s is None:
+            deadline_s = self.config.default_deadline_s
+        member = BatchMember(
+            request=request,
+            future=loop.create_future(),
+            enqueued_at=loop.time(),
+            deadline_at=None if deadline_s is None else loop.time() + deadline_s,
+        )
+        conn.members.add(member)
+        self._queue.put_nowait(member)
+        task = asyncio.ensure_future(self._respond_when_done(conn, member))
+        conn.tasks.add(task)
+        task.add_done_callback(conn.tasks.discard)
+
+    async def _respond_when_done(self, conn: _Connection, member: BatchMember) -> None:
+        try:
+            response = await member.future
+        except asyncio.CancelledError:
+            return
+        finally:
+            conn.members.discard(member)
+        assert isinstance(response, SolveResponse)
+        await self._write(conn, response)
+
+    async def _write(self, conn: _Connection, response: SolveResponse) -> None:
+        async with conn.write_lock:
+            try:
+                conn.writer.write(encode_message(response.to_payload()))
+                await conn.writer.drain()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                log_event(_log, 20, "response.dropped", id=response.id)
+
+    # -- dispatch ----------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        while True:
+            members = await self.batcher.collect(self._queue)
+            self._busy = True
+            try:
+                await self._dispatch_batch(members)
+            except Exception as exc:  # noqa: BLE001 - the loop must survive
+                log_event(_log, 40, "dispatch.failed", error=type(exc).__name__)
+                for m in members:
+                    self._resolve(m, SolveResponse(
+                        id=m.request.id, status="error", error=str(exc)))
+            finally:
+                self._busy = False
+
+    async def _dispatch_batch(self, members: List[BatchMember]) -> None:
+        loop = asyncio.get_running_loop()
+        live: List[BatchMember] = []
+        for m in members:
+            if m.abandoned():
+                self._release(m)
+                continue
+            if m.expired(loop.time()):
+                counter_inc("serve.deadline_exceeded")
+                self._resolve(m, SolveResponse(
+                    id=m.request.id, status="deadline",
+                    error="deadline expired while queued"))
+                continue
+            live.append(m)
+        if not live:
+            return
+        if self.journal is not None:
+            records = [{"type": "accept", "request": m.request.to_payload()}
+                       for m in live]
+            await self._run_in_executor(self.journal.append_batch, records)
+        for group in group_by_key(live).values():
+            await self._execute_group(group)
+        if self.journal is not None:
+            records = [{"type": "complete", "id": m.request.id, "digest": m.digest}
+                       for m in live]
+            await self._run_in_executor(self.journal.append_batch, records)
+
+    async def _execute_group(self, members: List[BatchMember]) -> None:
+        """One compatibility group -> one primary dispatch + retry ladder."""
+        unique: Dict[str, Tuple[str, str, ProblemSpec]] = {}
+        for m in members:
+            if m.digest not in unique:
+                unique[m.digest] = (m.digest, m.request.implementation, m.request.spec())
+            else:
+                counter_inc("serve.dedup_hits")
+        order = list(unique.values())
+        results: Dict[str, GroupResult] = {}
+
+        if self.breaker.allow():
+            try:
+                computed = await self._run_in_executor(compute_group, order, self.store)
+                for r in computed:
+                    self._verify(r)
+                    results[r.digest] = r
+                self.breaker.record_success()
+            except (ReproError, RuntimeError, ValueError) as exc:
+                self.breaker.record_failure()
+                log_event(_log, 30, "group.failed",
+                          size=len(order), error=type(exc).__name__)
+        # retry ladder: anything the group dispatch didn't produce cleanly
+        for digest, implementation, spec in order:
+            if digest in results:
+                continue
+            results[digest] = await self._fallback(digest, implementation, spec)
+
+        batch_size = len(members)
+        for m in members:
+            r = results.get(m.digest)
+            if r is None:  # pragma: no cover - the ladder always answers
+                self._resolve(m, SolveResponse(
+                    id=m.request.id, status="error", error="no result produced"))
+                continue
+            if r.cached:
+                counter_inc("serve.cache_hits")
+            if r.degraded:
+                counter_inc("serve.degraded")
+            self._resolve(m, SolveResponse.ok(
+                m.request.id, r.V, r.checksum,
+                degraded=r.degraded, cached=r.cached, batch_size=batch_size,
+            ))
+
+    async def _fallback(
+        self, digest: str, implementation: str, spec: ProblemSpec
+    ) -> GroupResult:
+        """Per-member retry on the primary engine, then the reference path."""
+        if self.breaker.allow():
+            try:
+                computed = await self._run_in_executor(
+                    compute_group, [(digest, implementation, spec)], self.store
+                )
+                r = computed[0]
+                self._verify(r)
+                self.breaker.record_success()
+                return r
+            except (ReproError, RuntimeError, ValueError) as exc:
+                self.breaker.record_failure()
+                log_event(_log, 30, "member.failed",
+                          digest=digest[:12], error=type(exc).__name__)
+        r = await self._run_in_executor(compute_reference, spec)
+        return GroupResult(digest, r.V, r.checksum, degraded=True, cached=False)
+
+    def _verify(self, r: GroupResult) -> None:
+        """Detect payload corruption between the worker and the response."""
+        if array_checksum(r.V) != r.checksum:
+            counter_inc("serve.corruption_detected")
+            log_event(_log, 30, "payload.corrupt", digest=r.digest[:12])
+            raise ReproError(f"payload checksum mismatch for {r.digest[:12]}")
+
+    def _release(self, member: BatchMember) -> None:
+        """Return the member's admission slot exactly once."""
+        if not member.released:
+            member.released = True
+            self.admission.release()
+
+    def _resolve(self, member: BatchMember, response: SolveResponse) -> None:
+        self._release(member)
+        if member.future.done():
+            # cancelled mid-execution (client gone): the slot is returned
+            # above, the computed answer is dropped
+            return
+        loop = asyncio.get_event_loop()
+        latency = loop.time() - member.enqueued_at
+        registry = active_metrics()
+        if registry is not None:
+            registry.histogram("serve.latency_seconds", LATENCY_BUCKETS).observe(latency)
+        counter_inc("serve.responses")
+        self.admission.observe_service_time(latency)
+        member.future.set_result(response)
+
+    async def _run_in_executor(self, fn, *args):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executor, fn, *args)

@@ -275,6 +275,79 @@ def test_ra005_ignores_non_config_classes():
 
 
 # ---------------------------------------------------------------------------
+# RA006: blocking calls inside async def
+
+
+def test_ra006_time_sleep_in_async_def():
+    findings = lint(
+        """
+        async def dispatch():
+            time.sleep(0.01)
+        """
+    )
+    assert rules_of(findings) == ["RA006"]
+    assert "time.sleep" in findings[0].message
+    assert "run_in_executor" in findings[0].message
+
+
+def test_ra006_open_and_subprocess_in_async_def():
+    findings = lint(
+        """
+        async def persist(payload):
+            with open("journal.wal", "ab") as fh:
+                fh.write(payload)
+            subprocess.run(["sync"])
+        """
+    )
+    assert rules_of(findings) == ["RA006", "RA006"]
+
+
+def test_ra006_path_io_methods_in_async_def():
+    findings = lint(
+        """
+        async def load(path):
+            return path.read_bytes()
+        """
+    )
+    assert rules_of(findings) == ["RA006"]
+
+
+def test_ra006_sync_def_clean():
+    assert lint(
+        """
+        def persist(payload):
+            time.sleep(0.01)
+            with open("journal.wal", "ab") as fh:
+                fh.write(payload)
+        """
+    ) == []
+
+
+def test_ra006_nested_sync_helper_exempt():
+    # the nested def runs via run_in_executor off the loop thread; only the
+    # await-capable scope itself must stay non-blocking
+    assert lint(
+        """
+        async def persist(loop, payload):
+            def _write():
+                with open("journal.wal", "ab") as fh:
+                    fh.write(payload)
+            await loop.run_in_executor(None, _write)
+        """
+    ) == []
+
+
+def test_ra006_seeded_mutant_is_caught():
+    from repro.analysis.mutants import BLOCKING_ASYNC_MUTANT_SOURCE
+
+    findings = lint_source(
+        BLOCKING_ASYNC_MUTANT_SOURCE, path="<ra006-mutant>", rules={"RA006"}
+    )
+    assert len(findings) >= 2
+    assert set(rules_of(findings)) == {"RA006"}
+
+
+# ---------------------------------------------------------------------------
 # Driver-level behaviour
 
 
@@ -333,4 +406,4 @@ def test_baseline_roundtrip(tmp_path):
 
 
 def test_rules_table_covers_all_emitted_rules():
-    assert set(RULES) == {"RA001", "RA002", "RA003", "RA004", "RA005"}
+    assert set(RULES) == {"RA001", "RA002", "RA003", "RA004", "RA005", "RA006"}

@@ -70,3 +70,58 @@ class TestJsonRoundTrip:
         )
         with pytest.raises(ValueError, match="length"):
             figure_from_json(bad)
+
+
+class TestSweepJournalBitChop:
+    """Chop the journal at every byte offset: load() must never lose an
+    intact record, never raise, and always trim back to a clean line."""
+
+    def _journal(self, tmp_path):
+        from repro.experiments import SweepJournal
+
+        j = SweepJournal(tmp_path / "j.jsonl")
+        j.append("a", {"speedup": 1.5})
+        j.append("b", {"speedup": 2.5})
+        j.append("c", {"speedup": 3.5})
+        return j
+
+    def test_every_truncation_offset_recovers(self, tmp_path):
+        from repro.experiments import SweepJournal
+
+        j = self._journal(tmp_path)
+        blob = j.path.read_bytes()
+        # byte offsets one past each record's newline
+        line_ends = [i + 1 for i, b in enumerate(blob) if b == ord("\n")]
+        keys = ["a", "b", "c"]
+        for cut in range(len(blob) + 1):
+            path = tmp_path / f"chop-{cut}.jsonl"
+            path.write_bytes(blob[:cut])
+            whole = sum(1 for end in line_ends if end <= cut)
+            # a cut landing exactly between the JSON and its newline leaves
+            # a complete (kept, then newline-repaired) record behind
+            if whole < len(line_ends) and cut == line_ends[whole] - 1:
+                whole += 1
+            journal = SweepJournal(path)
+            loaded = journal.load()
+            assert list(loaded) == keys[:whole], f"cut={cut}"
+            # recovery leaves the file clean: append + reload round-trips
+            journal.append("z", {"speedup": 9.0})
+            assert list(journal.load()) == keys[:whole] + ["z"], f"cut={cut}"
+
+    def test_append_after_recovery_roundtrips(self, tmp_path):
+        j = self._journal(tmp_path)
+        blob = j.path.read_bytes()
+        j.path.write_bytes(blob[: len(blob) - 7])  # tear the final record
+        assert list(j.load()) == ["a", "b"]
+        j.append("d", {"speedup": 4.5})
+        assert list(j.load()) == ["a", "b", "d"]
+
+    def test_truncation_is_counted(self, tmp_path):
+        from repro.obs.metrics import metrics_collection
+
+        j = self._journal(tmp_path)
+        blob = j.path.read_bytes()
+        j.path.write_bytes(blob[: len(blob) - 3])
+        with metrics_collection() as registry:
+            j.load()
+        assert registry.value("sweep.journal.truncations") == 1

@@ -1,6 +1,7 @@
 """Resilient sweep tests: journalling, resume, retry, timeout."""
 
 import json
+import os
 
 import pytest
 
@@ -9,9 +10,10 @@ from repro.errors import (
     CheckpointCorruptionError,
     ExperimentTimeoutError,
     TransientModelError,
+    WorkerCrashError,
 )
 from repro.experiments import ResilientSweep, SweepJournal, sweep_tasks
-from repro.experiments.sweep import _point
+from repro.experiments.sweep import SweepPoint, _point
 
 SPEC = ProblemSpec(M=131072, N=4096, K=32)
 
@@ -64,18 +66,36 @@ class TestJournal:
         j.append("a", {"speedup": 2.0})
         assert j.load() == {"a": {"speedup": 2.0}}
 
-    def test_truncated_line_is_loud(self, tmp_path):
+    def test_torn_final_line_is_tolerated_and_trimmed(self, tmp_path):
         path = tmp_path / "j.jsonl"
         j = SweepJournal(path)
         j.append("a", {"speedup": 1.0})
+        intact = path.read_bytes()
         with path.open("a") as fh:
             fh.write('{"key": "b", "payl')  # the crash mid-write
-        with pytest.raises(CheckpointCorruptionError):
-            j.load()
+        # the torn tail is dropped and trimmed; the good record survives
+        assert j.load() == {"a": {"speedup": 1.0}}
+        assert path.read_bytes() == intact
+        # the next append lands on a clean line
+        j.append("b", {"speedup": 2.0})
+        assert j.load() == {"a": {"speedup": 1.0}, "b": {"speedup": 2.0}}
 
-    def test_missing_key_is_loud(self, tmp_path):
+    def test_mid_file_corruption_is_loud(self, tmp_path):
+        # damage *before* intact records cannot come from a torn append;
+        # resuming over it would silently skip completed work
         path = tmp_path / "j.jsonl"
-        path.write_text(json.dumps({"payload": {}}) + "\n")
+        path.write_text(
+            '{"key": "a", "payl\n' + json.dumps({"key": "b", "payload": {}}) + "\n"
+        )
+        with pytest.raises(CheckpointCorruptionError, match="intact records after"):
+            SweepJournal(path).load()
+
+    def test_missing_key_mid_file_is_loud(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(
+            json.dumps({"payload": {}}) + "\n"
+            + json.dumps({"key": "b", "payload": {}}) + "\n"
+        )
         with pytest.raises(CheckpointCorruptionError):
             SweepJournal(path).load()
 
@@ -243,3 +263,41 @@ class TestParallelSweep:
         points = sweep.run(tasks[:2])
         assert len(points) == 2
         assert sleeps == [0.1]
+
+
+# module-level so the process backend can pickle them into workers
+def _fake_point(task):
+    return SweepPoint(task.label, task.device, 2.0, 1.0, 2.0)
+
+
+def _die_hard(task):
+    os._exit(3)  # an OOM-killed / segfaulted pool worker, not an exception
+
+
+class TestWorkerCrash:
+    def test_broken_pool_maps_to_typed_error(self, tasks, tmp_path):
+        journal_path = tmp_path / "j.jsonl"
+        # two points complete before the fatal run
+        ResilientSweep(journal=journal_path, point_fn=_fake_point).run(tasks[:2])
+
+        crashing = ResilientSweep(
+            journal=journal_path, max_workers=2, backend="process",
+            max_retries=0, point_fn=_die_hard,
+        )
+        with pytest.raises(WorkerCrashError) as exc_info:
+            crashing.run(tasks)
+        err = exc_info.value
+        # structured: the suspect grid point and backend ride on the error
+        assert err.backend == "process"
+        assert err.task_index == 2
+        assert tasks[2].label in str(err)
+        assert "re-run to resume" in str(err)
+        assert isinstance(err, RuntimeError)  # builtin compatibility
+
+        # the journal still holds everything completed before the death...
+        assert set(SweepJournal(journal_path).load()) == {t.label for t in tasks[:2]}
+        # ...so a fresh sweep resumes instead of recomputing
+        resumed = ResilientSweep(journal=journal_path, point_fn=_fake_point)
+        points = resumed.run(tasks)
+        assert resumed.resumed_labels == [t.label for t in tasks[:2]]
+        assert [p.label for p in points] == [t.label for t in tasks]

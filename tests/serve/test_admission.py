@@ -1,0 +1,161 @@
+"""Admission-control and circuit-breaker state-machine tests.
+
+Every transition is driven by a :class:`ChaosClock` — no sleeping, no
+wall-clock flake: open -> half-open -> closed (and the half-open
+re-trip) are exercised in microseconds.
+"""
+
+import pytest
+
+from repro.errors import ServiceOverloadError
+from repro.serve.admission import CLOSED, HALF_OPEN, OPEN, AdmissionController, CircuitBreaker
+from repro.serve.chaos import ChaosClock
+
+
+class TestAdmissionController:
+    def test_depth_bound_sheds_with_retry_hint(self):
+        ac = AdmissionController(max_queue_depth=2)
+        ac.observe_service_time(0.5)
+        ac.admit()
+        ac.admit()
+        with pytest.raises(ServiceOverloadError, match="queue full") as exc_info:
+            ac.admit()
+        assert exc_info.value.retry_after_s == pytest.approx(1.0)  # 2 deep x 0.5s
+        assert ac.shed_total == 1
+        assert ac.admitted_total == 2
+
+    def test_release_reopens_the_queue(self):
+        ac = AdmissionController(max_queue_depth=1)
+        ac.admit()
+        with pytest.raises(ServiceOverloadError):
+            ac.admit()
+        ac.release()
+        ac.admit()  # does not raise
+        assert ac.depth == 1
+
+    def test_release_floors_at_zero(self):
+        ac = AdmissionController()
+        ac.release()
+        ac.release()
+        assert ac.depth == 0
+
+    def test_ewma_first_sample_then_blend(self):
+        ac = AdmissionController(latency_alpha=0.5)
+        ac.observe_service_time(1.0)
+        assert ac.ewma_service_s == pytest.approx(1.0)
+        ac.observe_service_time(0.0)
+        assert ac.ewma_service_s == pytest.approx(0.5)
+        ac.observe_service_time(-1.0)  # nonsense samples are dropped
+        assert ac.ewma_service_s == pytest.approx(0.5)
+
+    def test_latency_budget_sheds_before_the_queue_fills(self):
+        ac = AdmissionController(max_queue_depth=100, max_wait_s=0.1)
+        ac.observe_service_time(0.2)
+        ac.admit()  # estimated wait was 0 (empty queue)
+        with pytest.raises(ServiceOverloadError, match="exceeds"):
+            ac.admit()  # 1 deep x 0.2s EWMA > 0.1s budget
+
+    def test_estimated_wait_scales_with_depth(self):
+        ac = AdmissionController()
+        ac.observe_service_time(0.25)
+        assert ac.estimated_wait_s() == 0.0
+        ac.admit()
+        ac.admit()
+        assert ac.estimated_wait_s() == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue_depth=0)
+        with pytest.raises(ValueError):
+            AdmissionController(latency_alpha=0.0)
+        with pytest.raises(ValueError):
+            AdmissionController(latency_alpha=1.5)
+
+
+class TestCircuitBreaker:
+    def _breaker(self, **kw):
+        clock = ChaosClock()
+        kw.setdefault("failure_threshold", 3)
+        kw.setdefault("reset_timeout_s", 2.0)
+        return CircuitBreaker(backend="test", clock=clock, **kw), clock
+
+    def test_closed_allows_and_failures_below_threshold_stay_closed(self):
+        br, _ = self._breaker()
+        assert br.allow()
+        br.record_failure()
+        br.record_failure()
+        assert br.state == CLOSED
+        assert br.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        br, _ = self._breaker()
+        br.record_failure()
+        br.record_failure()
+        br.record_success()
+        br.record_failure()
+        br.record_failure()
+        assert br.state == CLOSED  # never three *consecutive* failures
+
+    def test_threshold_trips_open(self):
+        br, _ = self._breaker()
+        for _ in range(3):
+            br.record_failure()
+        assert br.state == OPEN
+        assert br.trips_total == 1
+        assert not br.allow()
+
+    def test_open_to_half_open_to_closed(self):
+        br, clock = self._breaker()
+        for _ in range(3):
+            br.record_failure()
+        clock.advance(1.9)
+        assert not br.allow()  # still inside the reset timeout
+        clock.advance(0.2)
+        assert br.allow()  # the half-open probe
+        assert br.state == HALF_OPEN
+        br.record_success()
+        assert br.state == CLOSED
+        assert br.consecutive_failures == 0
+        assert br.allow()
+
+    def test_half_open_failure_reopens_for_a_full_timeout(self):
+        br, clock = self._breaker()
+        for _ in range(3):
+            br.record_failure()
+        clock.advance(2.0)
+        assert br.allow()  # probe
+        br.record_failure()  # probe failed
+        assert br.state == OPEN
+        assert br.trips_total == 2
+        assert not br.allow()
+        clock.advance(1.9)
+        assert not br.allow()  # the timeout restarted at the re-trip
+        clock.advance(0.2)
+        assert br.allow()
+        br.record_success()
+        assert br.state == CLOSED
+
+    def test_repeated_failures_while_open_do_not_recount_trips(self):
+        br, _ = self._breaker(failure_threshold=1)
+        br.record_failure()
+        br.record_failure()
+        br.record_failure()
+        assert br.trips_total == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout_s=0.0)
+
+
+class TestChaosClock:
+    def test_advance_and_read(self):
+        clock = ChaosClock(start=5.0)
+        assert clock() == 5.0
+        assert clock.advance(1.5) == 6.5
+        assert clock.now() == 6.5
+
+    def test_time_only_moves_forward(self):
+        with pytest.raises(ValueError):
+            ChaosClock().advance(-1.0)

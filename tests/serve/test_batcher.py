@@ -1,0 +1,200 @@
+"""Micro-batcher tests: collection windows, grouping, group execution."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.problem import ProblemSpec
+from repro.serve.batcher import (
+    BatchMember,
+    MicroBatcher,
+    batch_key,
+    compute_group,
+    compute_reference,
+    group_by_key,
+)
+from repro.serve.protocol import SolveRequest, array_checksum, request_digest
+from repro.store import ResultStore
+from repro.store.functional import cached_solve
+
+
+def _request(i=0, **overrides):
+    defaults = dict(id=f"r{i}", M=64, N=32, K=4, seed=i)
+    defaults.update(overrides)
+    return SolveRequest(**defaults)
+
+
+def _member(loop, i=0, **overrides):
+    return BatchMember(_request(i, **overrides), loop.create_future(), loop.time())
+
+
+class TestBatchKey:
+    def test_same_compatibility_class_share_a_key(self):
+        # M and seed vary within a group; the batched engine broadcasts over them
+        assert batch_key(_request(0, M=64)) == batch_key(_request(1, M=128))
+
+    def test_incompatible_requests_split(self):
+        base = _request(0)
+        assert batch_key(base) != batch_key(_request(0, kernel="laplace"))
+        assert batch_key(base) != batch_key(_request(0, N=64))
+        assert batch_key(base) != batch_key(_request(0, implementation="reference"))
+
+    def test_group_by_key_partitions(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            members = [
+                _member(loop, 0),
+                _member(loop, 1),
+                _member(loop, 2, kernel="laplace"),
+            ]
+            groups = group_by_key(members)
+            assert len(groups) == 2
+            assert sorted(len(g) for g in groups.values()) == [1, 2]
+
+        asyncio.run(scenario())
+
+
+class TestMicroBatcher:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(max_delay_s=-1.0)
+
+    def test_collects_everything_already_queued(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            queue = asyncio.Queue()
+            for i in range(5):
+                queue.put_nowait(_member(loop, i))
+            batcher = MicroBatcher(max_batch_size=16, max_delay_s=0.05)
+            members = await batcher.collect(queue)
+            assert [m.request.id for m in members] == [f"r{i}" for i in range(5)]
+
+        asyncio.run(scenario())
+
+    def test_max_batch_size_caps_a_collection(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            queue = asyncio.Queue()
+            for i in range(5):
+                queue.put_nowait(_member(loop, i))
+            batcher = MicroBatcher(max_batch_size=2, max_delay_s=0.05)
+            assert len(await batcher.collect(queue)) == 2
+            assert len(await batcher.collect(queue)) == 2
+            assert len(await batcher.collect(queue)) == 1
+
+        asyncio.run(scenario())
+
+    def test_batch_size_one_returns_immediately(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            queue = asyncio.Queue()
+            queue.put_nowait(_member(loop, 0))
+            batcher = MicroBatcher(max_batch_size=1, max_delay_s=0.5)
+            members = await batcher.collect(queue)
+            assert len(members) == 1
+
+        asyncio.run(scenario())
+
+    def test_no_member_lost_across_window_timeouts(self):
+        # the classic wait_for-cancellation race: a member arriving just as
+        # the window lapses must seed the *next* batch, never vanish
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            queue = asyncio.Queue()
+            batcher = MicroBatcher(max_batch_size=4, max_delay_s=0.01)
+
+            async def producer():
+                for i in range(6):
+                    queue.put_nowait(_member(loop, i))
+                    await asyncio.sleep(0.008)
+
+            seen = []
+
+            async def consumer():
+                while len(seen) < 6:
+                    for m in await batcher.collect(queue):
+                        seen.append(m.request.id)
+
+            await asyncio.wait_for(
+                asyncio.gather(producer(), consumer()), timeout=5.0)
+            assert seen == [f"r{i}" for i in range(6)]
+
+        asyncio.run(scenario())
+
+    def test_drain_pending_cancels_the_carried_get(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            queue = asyncio.Queue()
+            queue.put_nowait(_member(loop, 0))
+            batcher = MicroBatcher(max_batch_size=4, max_delay_s=0.005)
+            await batcher.collect(queue)  # leaves a pending get behind
+            assert batcher._pending_get is not None
+            batcher.drain_pending()
+            assert batcher._pending_get is None
+
+        asyncio.run(scenario())
+
+
+class TestComputeGroup:
+    def test_results_match_offline_solves_and_checksum(self):
+        specs = [ProblemSpec(M=64, N=32, K=4, seed=s) for s in (0, 1)]
+        unique = [(f"d{s.seed}", "fused", s) for s in specs]
+        results = compute_group(unique)
+        for res, spec in zip(results, specs):
+            assert np.array_equal(res.V, cached_solve("fused", spec))
+            assert array_checksum(res.V) == res.checksum
+            assert not res.degraded
+
+    def test_store_hit_is_flagged_cached(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = ProblemSpec(M=64, N=32, K=4)
+        unique = [(request_digest(_request(0)), "fused", spec)]
+        cold = compute_group(unique, store)
+        warm = compute_group(unique, store)
+        assert not cold[0].cached
+        assert warm[0].cached
+        assert np.array_equal(cold[0].V, warm[0].V)
+
+    def test_reference_path_is_flagged_degraded(self):
+        spec = ProblemSpec(M=64, N=32, K=4)
+        res = compute_reference(spec)
+        assert res.degraded
+        assert array_checksum(res.V) == res.checksum
+        assert np.array_equal(res.V, cached_solve("reference", spec))
+
+
+class TestBatchMember:
+    def test_digest_assigned_from_request(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            m = _member(loop, 3)
+            assert m.digest == request_digest(m.request)
+
+        asyncio.run(scenario())
+
+    def test_expiry_and_abandonment(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            m = BatchMember(_request(0), loop.create_future(), loop.time(),
+                            deadline_at=loop.time() + 10.0)
+            assert not m.expired(loop.time())
+            assert m.expired(m.deadline_at + 0.1)
+            assert not m.abandoned()
+            m.future.cancel()
+            assert m.abandoned()
+            no_deadline = _member(loop, 1)
+            assert not no_deadline.expired(loop.time() + 1e9)
+
+        asyncio.run(scenario())
+
+    def test_members_hash_by_identity(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            a = _member(loop, 0)
+            b = BatchMember(a.request, loop.create_future(), a.enqueued_at)
+            assert len({a, b}) == 2  # same request, distinct members
+
+        asyncio.run(scenario())

@@ -1,0 +1,213 @@
+"""Chaos tests: injection mechanics, and the headline guarantee — a
+server under crash/latency/corruption storms returns zero wrong answers."""
+
+import asyncio
+import time
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.errors import DegradedResultWarning, FaultConfigError, WorkerCrashError
+from repro.obs.metrics import metrics_collection
+from repro.serve import (
+    ChaosSpec,
+    KernelServer,
+    ServeClient,
+    ServerConfig,
+    SolveRequest,
+    active_chaos,
+    chaos_injection,
+)
+from repro.serve.chaos import ChaosMonkey
+from repro.store.functional import cached_solve
+
+M, N, K = 64, 32, 4
+
+
+def _request(seed=0):
+    return SolveRequest(id="", M=M, N=N, K=K, seed=seed)
+
+
+class TestChaosSpec:
+    @pytest.mark.parametrize("bad", [
+        dict(crash_rate=-0.1),
+        dict(latency_rate=1.5),
+        dict(corrupt_rate=2.0),
+        dict(latency_s=-1.0),
+        dict(corrupt_scale=1.0),
+        dict(max_events=0),
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(FaultConfigError):
+            ChaosSpec(**bad)
+
+    def test_defaults_are_quiet(self):
+        monkey = ChaosMonkey(ChaosSpec())
+        monkey.maybe_crash()
+        assert monkey.delay_s() == 0.0
+        V = np.ones(4, dtype=np.float32)
+        assert monkey.maybe_corrupt(V) is V
+        assert monkey.events == 0
+
+
+class TestChaosMonkey:
+    def test_decisions_are_seed_deterministic(self):
+        def crash_pattern(monkey, n=50):
+            out = []
+            for _ in range(n):
+                try:
+                    monkey.maybe_crash()
+                    out.append(False)
+                except WorkerCrashError:
+                    out.append(True)
+            return out
+
+        spec = ChaosSpec(crash_rate=0.5, seed=123)
+        a = crash_pattern(ChaosMonkey(spec))
+        b = crash_pattern(ChaosMonkey(spec))
+        assert a == b
+        assert any(a) and not all(a)
+
+    def test_max_events_caps_the_storm(self):
+        monkey = ChaosMonkey(ChaosSpec(crash_rate=1.0, max_events=2))
+        for _ in range(2):
+            with pytest.raises(WorkerCrashError):
+                monkey.maybe_crash()
+        monkey.maybe_crash()  # the budget is spent; no more chaos
+        assert monkey.crashes == 2
+
+    def test_corruption_flips_exactly_one_element(self):
+        monkey = ChaosMonkey(ChaosSpec(corrupt_rate=1.0, seed=5))
+        V = np.arange(1, 9, dtype=np.float32)
+        out = monkey.maybe_corrupt(V)
+        assert out is not V
+        assert np.array_equal(V, np.arange(1, 9, dtype=np.float32))  # input intact
+        assert int((out != V).sum()) == 1
+
+    def test_latency_hook_returns_the_configured_stall(self):
+        monkey = ChaosMonkey(ChaosSpec(latency_rate=1.0, latency_s=0.25))
+        assert monkey.delay_s() == 0.25
+        assert monkey.delays == 1
+
+
+class TestChaosInjection:
+    def test_arming_and_restore(self):
+        assert active_chaos() is None
+        with chaos_injection(ChaosSpec(crash_rate=1.0)) as monkey:
+            assert active_chaos() is monkey
+            with chaos_injection(ChaosSpec()) as inner:
+                assert active_chaos() is inner
+            assert active_chaos() is monkey
+        assert active_chaos() is None
+
+    def test_prebuilt_monkey_accepted(self):
+        monkey = ChaosMonkey(ChaosSpec())
+        with chaos_injection(monkey) as armed:
+            assert armed is monkey
+
+
+class TestChaosStorm:
+    """The acceptance guarantee: injected failure never becomes a wrong answer."""
+
+    REQUESTS = 30
+    DISTINCT = 6
+
+    def _storm(self, spec, config=None, requests=REQUESTS, deadline_s=60.0):
+        async def scenario():
+            server = KernelServer(config or ServerConfig(
+                batch_delay_s=0.005, breaker_reset_s=0.05))
+            await server.start()
+            latencies = []
+            try:
+                async with ServeClient(port=server.port) as client:
+                    async def one(i):
+                        t0 = time.perf_counter()
+                        res = await client.solve(
+                            _request(i % self.DISTINCT), deadline_s=deadline_s)
+                        latencies.append(time.perf_counter() - t0)
+                        return i, res
+
+                    pairs = await asyncio.gather(*(one(i) for i in range(requests)))
+            finally:
+                trips = server.breaker.trips_total
+                await server.stop()
+            return dict(pairs), latencies, trips
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedResultWarning)
+            with chaos_injection(spec) as monkey:
+                answers, latencies, trips = asyncio.run(scenario())
+        return answers, latencies, trips, monkey
+
+    def test_storm_yields_zero_wrong_answers_and_bounded_p99(self):
+        spec = ChaosSpec(crash_rate=0.25, latency_rate=0.2, latency_s=0.02,
+                         corrupt_rate=0.25, seed=42)
+        answers, latencies, _, monkey = self._storm(spec)
+        assert monkey.events > 0, "the storm must actually fire"
+        fused = {s: cached_solve("fused", _request(s).spec())
+                 for s in range(self.DISTINCT)}
+        reference = {s: cached_solve("reference", _request(s).spec())
+                     for s in range(self.DISTINCT)}
+        for i, res in answers.items():
+            s = i % self.DISTINCT
+            if res.degraded:
+                assert np.array_equal(res.V, reference[s]), f"request {i}"
+            else:
+                assert np.array_equal(res.V, fused[s]), f"request {i}"
+        # bounded tail latency: chaos may degrade answers, not hang them
+        assert len(latencies) == self.REQUESTS
+        assert float(np.percentile(latencies, 99)) < 10.0
+
+    def test_crash_storm_trips_the_breaker_and_degrades(self):
+        spec = ChaosSpec(crash_rate=1.0, seed=1)
+        config = ServerConfig(batch_delay_s=0.005, breaker_threshold=2,
+                              breaker_reset_s=30.0)
+        answers, _, trips, _ = self._storm(spec, config=config, requests=8)
+        assert trips >= 1
+        reference = {s: cached_solve("reference", _request(s).spec())
+                     for s in range(self.DISTINCT)}
+        for i, res in answers.items():
+            assert res.degraded
+            assert np.array_equal(res.V, reference[i % self.DISTINCT])
+
+    def test_single_corruption_is_detected_and_retried_clean(self):
+        # one post-checksum corruption: the server's verify catches it and
+        # the per-member retry answers from the primary engine, undegraded
+        spec = ChaosSpec(corrupt_rate=1.0, seed=3, max_events=1)
+
+        async def scenario():
+            with metrics_collection() as registry:
+                server = KernelServer(ServerConfig())
+                await server.start()
+                try:
+                    async with ServeClient(port=server.port) as client:
+                        res = await client.solve(_request(0), deadline_s=60.0)
+                finally:
+                    await server.stop()
+            return res, registry.value("serve.corruption_detected")
+
+        with chaos_injection(spec):
+            res, detected = asyncio.run(scenario())
+        assert detected >= 1
+        assert not res.degraded
+        assert np.array_equal(res.V, cached_solve("fused", _request(0).spec()))
+
+    def test_degraded_answers_warn_at_the_client(self):
+        spec = ChaosSpec(crash_rate=1.0, seed=2)
+
+        async def scenario():
+            server = KernelServer(ServerConfig(breaker_threshold=1,
+                                               breaker_reset_s=30.0))
+            await server.start()
+            try:
+                async with ServeClient(port=server.port) as client:
+                    with pytest.warns(DegradedResultWarning):
+                        res = await client.solve(_request(0), deadline_s=60.0)
+            finally:
+                await server.stop()
+            return res
+
+        with chaos_injection(spec):
+            res = asyncio.run(scenario())
+        assert res.degraded

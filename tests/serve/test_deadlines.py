@@ -1,0 +1,161 @@
+"""Deadline and cancellation semantics, server- and client-side.
+
+The dual-enforcement contract: the server sheds work whose budget lapsed
+while queued; the client arms its own timer with the same budget so a
+stalled server cannot hang the caller.  Either side firing yields the
+same typed :class:`DeadlineExceededError`.  Abandoned work (client gone)
+is torn down before dispatch, and a member cancelled *mid-execution*
+still returns its admission slot.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.errors import DeadlineExceededError
+from repro.obs.metrics import metrics_collection
+from repro.serve import (
+    ChaosSpec,
+    KernelServer,
+    ServeClient,
+    ServerConfig,
+    SolveRequest,
+    chaos_injection,
+)
+from repro.serve.batcher import BatchMember
+from repro.serve.protocol import SolveResponse
+from repro.store.functional import cached_solve
+
+M, N, K = 64, 32, 4
+
+
+def _request(seed=0, **overrides):
+    defaults = dict(id=f"r{seed}", M=M, N=N, K=K, seed=seed)
+    defaults.update(overrides)
+    return SolveRequest(**defaults)
+
+
+class TestServerSideDeadline:
+    def test_expired_while_queued_is_shed_typed(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            server = KernelServer(ServerConfig())
+            server.admission.admit()
+            member = BatchMember(
+                _request(0), loop.create_future(), loop.time(),
+                deadline_at=loop.time() - 0.01,  # already lapsed
+            )
+            await server._dispatch_batch([member])
+            return member.future.result(), server.admission.depth
+
+        response, depth = asyncio.run(scenario())
+        assert response.status == "deadline"
+        assert "while queued" in response.error
+        assert depth == 0  # the slot was returned
+
+    def test_deadline_budget_propagates_in_the_request(self):
+        async def scenario():
+            server = KernelServer(ServerConfig())
+            await server.start()
+            try:
+                async with ServeClient(port=server.port) as client:
+                    res = await client.solve(
+                        _request(0, id=""), deadline_s=30.0)
+            finally:
+                await server.stop()
+            return res
+
+        res = asyncio.run(scenario())
+        assert np.array_equal(res.V, cached_solve("fused", _request(0).spec()))
+
+    def test_client_maps_deadline_status(self):
+        client = ServeClient()
+        with pytest.raises(DeadlineExceededError):
+            client._interpret(
+                _request(0), SolveResponse(id="r0", status="deadline"))
+
+
+class TestClientSideDeadline:
+    def test_timeout_fires_while_the_server_stalls(self):
+        # one injected 0.5s stall against a 0.05s budget: the client-side
+        # timer must fire; the server must not be wedged afterwards
+        spec = ChaosSpec(latency_rate=1.0, latency_s=0.5, max_events=1)
+
+        async def scenario():
+            server = KernelServer(ServerConfig())
+            await server.start()
+            try:
+                async with ServeClient(port=server.port) as client:
+                    with pytest.raises(DeadlineExceededError, match="budget"):
+                        await client.solve(_request(0, id=""), deadline_s=0.05)
+                    # the chaos budget is spent; the service answers again
+                    res = await client.solve(_request(1, id=""), deadline_s=30.0)
+            finally:
+                await server.stop()
+            return res
+
+        with chaos_injection(spec):
+            res = asyncio.run(scenario())
+        assert np.array_equal(res.V, cached_solve("fused", _request(1).spec()))
+
+
+class TestCancellation:
+    def test_cancelled_before_dispatch_skips_the_compute(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            server = KernelServer(ServerConfig())
+            server.admission.admit()
+            member = BatchMember(_request(0), loop.create_future(), loop.time())
+            member.future.cancel()  # client vanished while queued
+            await server._dispatch_batch([member])
+            return member, server.admission.depth
+
+        member, depth = asyncio.run(scenario())
+        assert member.future.cancelled()  # never overwritten with a result
+        assert depth == 0
+
+    def test_cancelled_mid_execution_still_returns_the_slot(self):
+        # the dispatcher resolved a member whose client disconnected while
+        # the executor was computing: the answer is dropped, the admission
+        # slot must not leak
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            server = KernelServer(ServerConfig())
+            server.admission.admit()
+            member = BatchMember(_request(0), loop.create_future(), loop.time())
+            member.future.cancel()
+            server._resolve(member, SolveResponse(id="r0", status="ok"))
+            server._resolve(member, SolveResponse(id="r0", status="ok"))  # idempotent
+            return member, server.admission.depth
+
+        member, depth = asyncio.run(scenario())
+        assert member.future.cancelled()
+        assert depth == 0
+
+    def test_disconnect_cancels_queued_work_end_to_end(self):
+        # a wide batch window holds requests in the queue; the client
+        # disconnects before dispatch, so the members are torn down and
+        # the server drains to depth zero without computing for the void
+        async def scenario():
+            with metrics_collection() as registry:
+                server = KernelServer(ServerConfig(
+                    batch_delay_s=0.25, max_batch_size=16))
+                await server.start()
+                try:
+                    client = await ServeClient(port=server.port).connect()
+                    for i in range(3):
+                        await client._send(
+                            {"type": "solve", **_request(i).to_payload()})
+                    await asyncio.sleep(0.05)  # admitted, still queued
+                    await client.close()
+                    # give the server the window end + teardown
+                    await asyncio.sleep(0.3)
+                    depth = server.admission.depth
+                finally:
+                    await server.stop()
+                return depth, registry.value("serve.cancelled")
+
+        depth, cancelled = asyncio.run(scenario())
+        assert cancelled >= 1
+        assert depth == 0

@@ -1,0 +1,132 @@
+"""Wire-protocol tests: round trips, validation, digests, checksums."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.tiling import PAPER_TILING
+from repro.errors import InvalidProblemError
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    SolveRequest,
+    SolveResponse,
+    array_checksum,
+    decode_message,
+    encode_message,
+    request_digest,
+)
+from repro.store.functional import solve_digest
+
+
+def _request(**overrides):
+    defaults = dict(id="r1", M=64, N=32, K=4)
+    defaults.update(overrides)
+    return SolveRequest(**defaults)
+
+
+class TestSolveRequest:
+    def test_payload_roundtrip_is_lossless(self):
+        req = _request(h=0.5, kernel="laplace", seed=7, deadline_s=1.5)
+        doc = json.loads(encode_message(req.to_payload()))
+        assert doc["version"] == PROTOCOL_VERSION
+        assert SolveRequest.from_payload(doc) == req
+
+    def test_empty_id_constructible_but_not_wire_decodable(self):
+        # the client builds id="" requests and assigns an id before sending
+        req = _request(id="")
+        assert req.with_id("r9").id == "r9"
+        with pytest.raises(InvalidProblemError, match="non-empty"):
+            SolveRequest.from_payload(req.to_payload())
+
+    def test_unservable_implementation_rejected(self):
+        with pytest.raises(InvalidProblemError, match="unservable"):
+            _request(implementation="warp-drive")
+
+    def test_bad_deadline_rejected(self):
+        with pytest.raises(InvalidProblemError, match="positive"):
+            _request(deadline_s=0.0)
+
+    def test_malformed_shape_rejected_at_the_front_door(self):
+        with pytest.raises(InvalidProblemError):
+            _request(M=0)
+
+    def test_malformed_payload_is_typed(self):
+        with pytest.raises(InvalidProblemError, match="malformed"):
+            SolveRequest.from_payload({"id": "r1", "M": "not-a-number"})
+
+    def test_spec_matches_fields(self):
+        spec = _request(seed=3, dtype="float64").spec()
+        assert (spec.M, spec.N, spec.K, spec.seed, spec.dtype) == (64, 32, 4, 3, "float64")
+
+
+class TestSolveResponse:
+    def test_ok_roundtrip_is_bit_identical(self):
+        rng = np.random.default_rng(0)
+        V = rng.normal(size=32).astype(np.float32)
+        resp = SolveResponse.ok("r1", V, array_checksum(V), batch_size=4)
+        wire = decode_message(encode_message(resp.to_payload()))
+        back = SolveResponse.from_payload(wire)
+        restored = back.array()
+        assert restored.dtype == np.float32
+        assert np.array_equal(restored, V)
+        assert array_checksum(restored) == back.checksum
+        assert back.batch_size == 4
+
+    def test_error_response_omits_payload(self):
+        resp = SolveResponse(id="r1", status="overload",
+                             error="shed", retry_after_s=0.25)
+        doc = resp.to_payload()
+        assert "V" not in doc
+        assert doc["retry_after_s"] == 0.25
+        with pytest.raises(ValueError, match="no result"):
+            SolveResponse.from_payload(doc).array()
+
+    def test_float64_roundtrip(self):
+        V = np.array([1.0 / 3.0, 2.0 / 7.0], dtype=np.float64)
+        resp = SolveResponse.ok("r1", V, array_checksum(V))
+        back = SolveResponse.from_payload(
+            decode_message(encode_message(resp.to_payload())))
+        assert np.array_equal(back.array(), V)
+
+
+class TestDecodeMessage:
+    def test_garbage_bytes_rejected(self):
+        with pytest.raises(InvalidProblemError, match="undecodable"):
+            decode_message(b"\xff\xfe not json\n")
+
+    def test_untyped_object_rejected(self):
+        with pytest.raises(InvalidProblemError, match="'type'"):
+            decode_message(b'{"id": "r1"}\n')
+
+    def test_non_object_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            decode_message(b"[1, 2, 3]\n")
+
+
+class TestDigestsAndChecksums:
+    def test_request_digest_matches_store_address(self):
+        req = _request(seed=5)
+        assert request_digest(req) == solve_digest("fused", req.spec(), PAPER_TILING)
+
+    def test_digest_distinguishes_specs(self):
+        assert request_digest(_request(seed=1)) != request_digest(_request(seed=2))
+        assert request_digest(_request()) != request_digest(
+            _request(implementation="reference"))
+
+    def test_digest_ignores_request_id_and_deadline(self):
+        assert request_digest(_request(id="a")) == request_digest(
+            _request(id="b", deadline_s=9.0))
+
+    def test_checksum_is_order_and_value_sensitive(self):
+        V = np.arange(8, dtype=np.float32)
+        assert array_checksum(V) == array_checksum(V.copy())
+        assert array_checksum(V) != array_checksum(V[::-1].copy())
+        flipped = V.copy()
+        flipped[3] += 1e-6
+        assert array_checksum(V) != array_checksum(flipped)
+
+    def test_checksum_sees_through_views(self):
+        base = np.arange(16, dtype=np.float32)
+        strided = base[::2]
+        assert array_checksum(strided) == array_checksum(strided.copy())

@@ -1,0 +1,309 @@
+"""End-to-end server tests over real sockets: correctness, batching,
+admission, journal lifecycle, and crash replay."""
+
+import asyncio
+import json
+
+import numpy as np
+
+from repro.errors import ServiceOverloadError
+from repro.obs.metrics import metrics_collection
+from repro.serve import (
+    KernelServer,
+    RequestJournal,
+    ServeClient,
+    ServerConfig,
+    SolveRequest,
+)
+from repro.serve.protocol import request_digest
+from repro.store import ResultStore
+from repro.store.functional import cached_solve
+
+M, N, K = 64, 32, 4
+
+
+def _request(i=0, **overrides):
+    defaults = dict(id=f"r{i}", M=M, N=N, K=K, seed=i)
+    defaults.update(overrides)
+    return SolveRequest(**defaults)
+
+
+def _truth(seed=0, implementation="fused"):
+    return cached_solve(implementation, _request(seed).spec())
+
+
+class TestEndToEnd:
+    def test_batched_answers_are_bit_identical(self):
+        async def scenario():
+            server = KernelServer(ServerConfig(batch_delay_s=0.02))
+            await server.start()
+            try:
+                async with ServeClient(port=server.port) as client:
+                    results = await asyncio.gather(
+                        *(client.solve(_request(i % 3, id="")) for i in range(9))
+                    )
+            finally:
+                await server.stop()
+            return results
+
+        results = asyncio.run(scenario())
+        truths = {s: _truth(s) for s in range(3)}
+        for i, res in enumerate(results):
+            assert np.array_equal(res.V, truths[i % 3])
+            assert not res.degraded
+        # concurrent submission inside one delay window coalesces
+        assert max(r.batch_size for r in results) > 1
+
+    def test_identical_requests_deduplicate_in_flight(self):
+        async def scenario():
+            with metrics_collection() as registry:
+                server = KernelServer(ServerConfig(batch_delay_s=0.02))
+                await server.start()
+                try:
+                    async with ServeClient(port=server.port) as client:
+                        results = await asyncio.gather(
+                            *(client.solve(_request(0, id="")) for _ in range(6))
+                        )
+                finally:
+                    await server.stop()
+            return results, registry.value("serve.dedup_hits")
+
+        results, dedup_hits = asyncio.run(scenario())
+        truth = _truth(0)
+        assert all(np.array_equal(r.V, truth) for r in results)
+        assert dedup_hits > 0
+
+    def test_sequential_mode_still_answers_correctly(self):
+        async def scenario():
+            server = KernelServer(ServerConfig(mode="sequential"))
+            await server.start()
+            try:
+                async with ServeClient(port=server.port) as client:
+                    results = await asyncio.gather(
+                        *(client.solve(_request(i, id="")) for i in range(4))
+                    )
+            finally:
+                await server.stop()
+            return results
+
+        results = asyncio.run(scenario())
+        for i, res in enumerate(results):
+            assert np.array_equal(res.V, _truth(i))
+            assert res.batch_size == 1
+
+    def test_store_backed_server_serves_warm_hits(self, tmp_path):
+        async def scenario(store):
+            server = KernelServer(ServerConfig(), store=store)
+            await server.start()
+            try:
+                async with ServeClient(port=server.port) as client:
+                    cold = await client.solve(_request(0, id=""))
+                    warm = await client.solve(_request(0, id=""))
+            finally:
+                await server.stop()
+            return cold, warm
+
+        store = ResultStore(tmp_path / "store")
+        cold, warm = asyncio.run(scenario(store))
+        assert np.array_equal(cold.V, warm.V)
+        assert warm.cached
+        assert store.stats.hits >= 1
+
+    def test_invalid_request_is_typed_and_does_not_wedge(self):
+        async def scenario():
+            server = KernelServer(ServerConfig())
+            await server.start()
+            try:
+                async with ServeClient(port=server.port) as client:
+                    # a malformed spec can't be built client-side (the
+                    # dataclass validates eagerly), so send it raw
+                    raw = {"type": "solve", "id": "bad", "M": 0, "N": 32, "K": 4}
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", server.port)
+                    writer.write((json.dumps(raw) + "\n").encode())
+                    await writer.drain()
+                    line = await asyncio.wait_for(reader.readline(), timeout=5)
+                    doc = json.loads(line)
+                    writer.close()
+                    # the same server still answers well-formed work
+                    good = await client.solve(_request(1, id=""))
+            finally:
+                await server.stop()
+            return doc, good
+
+        doc, good = asyncio.run(scenario())
+        assert doc["status"] == "invalid"
+        assert doc["id"] == "bad"
+        assert np.array_equal(good.V, _truth(1))
+
+    def test_garbage_and_unknown_frames_answered_invalid(self):
+        async def scenario():
+            server = KernelServer(ServerConfig())
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port)
+                writer.write(b"not json at all\n")
+                writer.write(json.dumps({"type": "dance", "id": "x"}).encode() + b"\n")
+                await writer.drain()
+                first = json.loads(await asyncio.wait_for(reader.readline(), 5))
+                second = json.loads(await asyncio.wait_for(reader.readline(), 5))
+                writer.close()
+            finally:
+                await server.stop()
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        assert first["status"] == "invalid"
+        assert second["status"] == "invalid"
+        assert second["id"] == "x"
+
+    def test_ping_pong(self):
+        async def scenario():
+            server = KernelServer(ServerConfig())
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port)
+                writer.write(b'{"type": "ping"}\n')
+                await writer.drain()
+                doc = json.loads(await asyncio.wait_for(reader.readline(), 5))
+                writer.close()
+            finally:
+                await server.stop()
+            return doc
+
+        assert asyncio.run(scenario()) == {"type": "pong"}
+
+
+class TestOverload:
+    def test_full_queue_sheds_with_typed_error(self):
+        async def scenario():
+            # depth 1 + a wide batch window: the second request arrives
+            # while the first still owns the only slot
+            server = KernelServer(ServerConfig(
+                max_queue_depth=1, batch_delay_s=0.2, max_batch_size=16))
+            await server.start()
+            shed = None
+            try:
+                async with ServeClient(port=server.port) as client:
+                    first = asyncio.ensure_future(client.solve(_request(0, id="")))
+                    await asyncio.sleep(0.05)  # let r0 claim the slot
+                    try:
+                        await client.solve(_request(1, id=""))
+                    except ServiceOverloadError as exc:
+                        shed = exc
+                    result = await first
+            finally:
+                await server.stop()
+            return shed, result
+
+        shed, result = asyncio.run(scenario())
+        assert shed is not None
+        assert shed.retry_after_s is not None and shed.retry_after_s >= 0.0
+        assert np.array_equal(result.V, _truth(0))
+
+
+class TestJournalLifecycle:
+    def test_clean_run_leaves_no_pending_work(self, tmp_path):
+        journal = RequestJournal(tmp_path / "serve.wal")
+
+        async def scenario():
+            server = KernelServer(ServerConfig(), journal=journal)
+            await server.start()
+            try:
+                async with ServeClient(port=server.port) as client:
+                    await asyncio.gather(
+                        *(client.solve(_request(i, id="")) for i in range(4))
+                    )
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())
+        pending, completed = journal.pending_requests()
+        assert pending == []
+        assert len(completed) == 4
+
+
+class TestReplay:
+    def _accepted_journal(self, tmp_path, seeds, completed=()):
+        """A journal as a SIGKILL'd server would leave it."""
+        journal = RequestJournal(tmp_path / "serve.wal")
+        for s in seeds:
+            journal.append_accept(_request(s).to_payload())
+        for s in completed:
+            journal.append_complete(f"r{s}", request_digest(_request(s)))
+        journal.close()
+        return journal
+
+    def test_accepted_work_replays_into_the_store(self, tmp_path):
+        journal = self._accepted_journal(tmp_path, seeds=(0, 1), completed=(1,))
+        store = ResultStore(tmp_path / "store")
+
+        async def scenario():
+            server = KernelServer(ServerConfig(), store=store, journal=journal)
+            await server.start()
+            replayed = list(server.replayed_ids)
+            await server.stop()
+            return replayed
+
+        replayed = asyncio.run(scenario())
+        # only the accepted-but-incomplete request replays
+        assert replayed == ["r0"]
+        assert store.stats.writes == 1
+        # the replayed answer is the real answer
+        pending, _ = journal.pending_requests()
+        assert pending == []
+
+    def test_restart_after_replay_executes_nothing(self, tmp_path):
+        journal = self._accepted_journal(tmp_path, seeds=(0,))
+        store = ResultStore(tmp_path / "store")
+
+        async def boot():
+            server = KernelServer(ServerConfig(), store=store, journal=journal)
+            await server.start()
+            replayed = list(server.replayed_ids)
+            await server.stop()
+            return replayed
+
+        assert asyncio.run(boot()) == ["r0"]
+        writes_after_first = store.stats.writes
+        # second boot: the completion marker written during replay means
+        # nothing is pending, so nothing executes twice
+        assert asyncio.run(boot()) == []
+        assert store.stats.writes == writes_after_first
+
+    def test_replay_of_warm_digest_hits_the_store(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        # the dead server completed the compute (store write) but was
+        # killed before appending its completion record
+        cached_solve("fused", _request(0).spec(), store=store)
+        journal = self._accepted_journal(tmp_path, seeds=(0,))
+
+        async def boot():
+            server = KernelServer(ServerConfig(), store=store, journal=journal)
+            await server.start()
+            replayed = list(server.replayed_ids)
+            await server.stop()
+            return replayed
+
+        hits_before = store.stats.hits
+        assert asyncio.run(boot()) == ["r0"]
+        assert store.stats.hits == hits_before + 1  # no recomputation
+        assert store.stats.writes == 1  # still just the pre-crash write
+
+    def test_unreadable_accept_is_skipped_not_fatal(self, tmp_path):
+        journal = RequestJournal(tmp_path / "serve.wal")
+        journal.append_accept({"id": "mangled", "M": 0, "N": 32, "K": 4})
+        journal.append_accept(_request(1).to_payload())
+        journal.close()
+        store = ResultStore(tmp_path / "store")
+
+        async def boot():
+            server = KernelServer(ServerConfig(), store=store, journal=journal)
+            await server.start()
+            replayed = list(server.replayed_ids)
+            await server.stop()
+            return replayed
+
+        assert asyncio.run(boot()) == ["r1"]

@@ -8,14 +8,18 @@ from repro.core.kernels import get_kernel
 from repro.core.problem import ProblemSpec
 from repro.errors import (
     CheckpointCorruptionError,
+    CircuitOpenError,
+    DeadlineExceededError,
     DegradedResultWarning,
     ExperimentTimeoutError,
     FaultConfigError,
     InvalidProblemError,
     ReproError,
+    ServiceOverloadError,
     TransientModelError,
     UnknownImplementationError,
     UnknownKernelError,
+    WorkerCrashError,
 )
 
 
@@ -35,6 +39,10 @@ class TestHierarchy:
         (TransientModelError, RuntimeError),
         (ExperimentTimeoutError, TimeoutError),
         (CheckpointCorruptionError, ValueError),
+        (WorkerCrashError, RuntimeError),
+        (ServiceOverloadError, RuntimeError),
+        (DeadlineExceededError, TimeoutError),
+        (CircuitOpenError, RuntimeError),
     ])
     def test_dual_inheritance(self, cls, builtin):
         # every taxonomy member is both a ReproError (classifiable by the

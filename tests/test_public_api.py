@@ -56,6 +56,14 @@ PUBLIC_MODULES = [
     "repro.experiments.validation",
     "repro.experiments.io",
     "repro.errors",
+    "repro.serve",
+    "repro.serve.protocol",
+    "repro.serve.journal",
+    "repro.serve.admission",
+    "repro.serve.batcher",
+    "repro.serve.chaos",
+    "repro.serve.server",
+    "repro.serve.client",
     "repro.faults",
     "repro.faults.spec",
     "repro.faults.injector",

@@ -36,6 +36,16 @@ compared loosely (``--sweep-rtol``, default 0.9 — i.e. an
 order-of-magnitude check): warm-vs-cold mixes disk latency against
 compute speed, so tight cross-host gating would be noise.
 
+Serve gate (``--serve-current BENCH_serve.json``): checks the
+``benchmarks/bench_serve.py`` report for the serving-layer PR's
+acceptance claims — every served answer bit-identical to an offline solve
+(the report's ``correct`` flag; the bench refuses to even write a report
+otherwise), and micro-batched dispatch at least ``--serve-min-batched``
+(default 1.1) times the sequential throughput at concurrency >= 8.  The
+committed baseline is compared loosely (``--serve-rtol``, default 0.9):
+the ratio mixes fsync latency against scheduler overhead, so tight
+cross-host gating would be noise.
+
 Any combination of gates runs when the corresponding ``--*-current`` is
 given; at least one is required.
 """
@@ -54,6 +64,7 @@ from repro.obs.profiling import compare_profiles, load_profile  # noqa: E402
 
 HOTPATH_SCHEMA = "repro-hotpath-bench/v1"
 SWEEP_SCHEMA = "repro-sweep-bench/v1"
+SERVE_SCHEMA = "repro-serve-bench/v1"
 
 
 def _load_hotpath(path: str) -> dict:
@@ -136,6 +147,47 @@ def check_sweep(
     return issues
 
 
+def _load_serve(path: str) -> dict:
+    data = json.loads(pathlib.Path(path).read_text())
+    if data.get("schema") != SERVE_SCHEMA:
+        raise ValueError(f"{path}: not a {SERVE_SCHEMA} report")
+    return data
+
+
+def check_serve(
+    baseline_path: str,
+    current_path: str,
+    min_batched: float,
+    rtol: float,
+) -> list[str]:
+    """Violated serving-layer acceptance floors, one message per issue."""
+    current = _load_serve(current_path)
+    issues = []
+    if current.get("quick"):
+        raise ValueError(f"{current_path}: --quick runs are never gated")
+    if not current.get("correct"):
+        issues.append("served answers were not bit-identical to offline solves")
+    if int(current.get("concurrency", 0)) < 8:
+        issues.append(
+            f"report collected at concurrency {current.get('concurrency')} "
+            "< 8; the batching claim binds at concurrency >= 8"
+        )
+    ratio = float(current.get("speedups", {}).get("batched_vs_sequential", 0.0))
+    if ratio < min_batched:
+        issues.append(
+            f"batched_vs_sequential {ratio:.2f}x < required {min_batched:g}x"
+        )
+    baseline = _load_serve(baseline_path)
+    want = float(baseline.get("speedups", {}).get("batched_vs_sequential", 0.0))
+    floor = want * (1.0 - rtol)
+    if ratio < floor:
+        issues.append(
+            f"batched_vs_sequential {ratio:.2f}x < {floor:.2f}x "
+            f"(baseline {want:.2f}x, rtol {rtol:g})"
+        )
+    return issues
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -184,13 +236,32 @@ def main(argv=None) -> int:
         help="allowed relative warm-speedup loss vs the committed baseline "
         "(default 0.9: an order-of-magnitude check, not a tight gate)",
     )
+    parser.add_argument(
+        "--serve-baseline",
+        default=str(ROOT / "benchmarks" / "results" / "BENCH_serve.json"),
+        help="committed serve benchmark (default: benchmarks/results/BENCH_serve.json)",
+    )
+    parser.add_argument(
+        "--serve-current", default=None,
+        help="freshly collected serve benchmark (benchmarks/bench_serve.py output)",
+    )
+    parser.add_argument(
+        "--serve-min-batched", type=float, default=1.1,
+        help="required batched-vs-sequential throughput ratio at "
+        "concurrency >= 8 (default 1.1)",
+    )
+    parser.add_argument(
+        "--serve-rtol", type=float, default=0.9,
+        help="allowed relative batched-ratio loss vs the committed baseline "
+        "(default 0.9: an order-of-magnitude check, not a tight gate)",
+    )
     args = parser.parse_args(argv)
 
     if (args.current is None and args.hotpath_current is None
-            and args.sweep_current is None):
+            and args.sweep_current is None and args.serve_current is None):
         parser.error(
             "nothing to gate: pass --current, --hotpath-current, "
-            "and/or --sweep-current"
+            "--sweep-current, and/or --serve-current"
         )
 
     failures = 0
@@ -261,6 +332,30 @@ def main(argv=None) -> int:
             print(
                 f"OK: sweep backend bit-identical, warm >= "
                 f"{args.sweep_min_warm:g}x cold in {args.sweep_current}"
+            )
+
+    if args.serve_current is not None:
+        try:
+            issues = check_serve(
+                args.serve_baseline, args.serve_current,
+                args.serve_min_batched, args.serve_rtol,
+            )
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+            print(f"cannot load serve benchmark: {exc}", file=sys.stderr)
+            return 2
+        if issues:
+            failures += 1
+            print(
+                f"REGRESSION: {len(issues)} serving-layer issue(s) "
+                f"in {args.serve_current}:",
+                file=sys.stderr,
+            )
+            for issue in issues:
+                print(f"  {issue}", file=sys.stderr)
+        else:
+            print(
+                f"OK: serve answers bit-identical, batched >= "
+                f"{args.serve_min_batched:g}x sequential in {args.serve_current}"
             )
 
     return 1 if failures else 0

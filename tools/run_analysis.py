@@ -19,8 +19,8 @@ any violation that is not in the accepted baseline:
    and the double-buffered panel loop at every paper K must certify
    race-free;
 4. **self-check** — the seeded mutants (missing barrier, permuted track
-   mapping) must *fail* their analyses; a gate that cannot see planted
-   bugs proves nothing.
+   mapping, event-loop-blocking dispatcher) must *fail* their analyses; a
+   gate that cannot see planted bugs proves nothing.
 """
 
 from __future__ import annotations
@@ -45,7 +45,9 @@ from repro.analysis import (  # noqa: E402
     new_findings,
     save_baseline,
 )
+from repro.analysis.lint import lint_source  # noqa: E402
 from repro.analysis.mutants import (  # noqa: E402
+    BLOCKING_ASYNC_MUTANT_SOURCE,
     permuted_store_assignment,
     stage_tile_missing_barrier_kernel,
 )
@@ -115,6 +117,16 @@ def run_selfcheck() -> int:
     else:
         print(f"self-check: missing-barrier mutant flagged "
               f"({report.total_conflicting_words} conflicting word(s))")
+    ra006 = lint_source(
+        BLOCKING_ASYNC_MUTANT_SOURCE, "<ra006-mutant>", rules=["RA006"]
+    )
+    if len(ra006) < 2:
+        print("SELF-CHECK FAILED: blocking-async mutant passed RA006 "
+              f"({len(ra006)} finding(s), expected >= 2)")
+        status = 1
+    else:
+        print(f"self-check: blocking-async mutant flagged "
+              f"({len(ra006)} RA006 finding(s))")
     return status
 
 
