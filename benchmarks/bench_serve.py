@@ -25,6 +25,12 @@ not get a number.  ``tools/check_regression.py --serve-current`` gates the
 recorded ``batched_vs_sequential`` throughput ratio (floor 1.1x by
 default) and the correctness flag.
 
+The report also records a ``telemetry`` section: the same batched load
+re-run with the full observability stack armed (tracer + metrics +
+energy meter, tracing client) against a disarmed control, best-of-2
+walls each.  ``tools/check_regression.py --serve-max-telemetry-overhead``
+(default 1.05) gates the ratio — telemetry must stay under a 5 % tax.
+
 Regenerate the committed baseline::
 
     PYTHONPATH=src python benchmarks/bench_serve.py -o benchmarks/results/BENCH_serve.json
@@ -77,11 +83,17 @@ def _request(mode: str, i: int, distinct: int) -> SolveRequest:
 
 
 async def _run_mode(
-    mode: str, requests: int, concurrency: int, distinct: int, tmp: pathlib.Path
+    mode: str, requests: int, concurrency: int, distinct: int, tmp: pathlib.Path,
+    tag: str = "",
 ):
-    """One server lifetime under closed-loop load; returns (wall, lats, answers)."""
-    store = ResultStore(tmp / f"store-{mode}")
-    journal = RequestJournal(tmp / f"{mode}.wal")
+    """One server lifetime under closed-loop load; returns (wall, lats, answers).
+
+    ``tag`` names a separate store/journal so repeated runs of the same mode
+    (the telemetry on/off pair) each start cold instead of replaying warm.
+    """
+    name = f"{mode}{tag}"
+    store = ResultStore(tmp / f"store-{name}")
+    journal = RequestJournal(tmp / f"{name}.wal")
     server = KernelServer(
         ServerConfig(mode=mode, max_queue_depth=max(64, requests)),
         store=store,
@@ -109,6 +121,64 @@ async def _run_mode(
     return wall, latencies, answers
 
 
+def _telemetry_overhead(
+    requests: int, concurrency: int, distinct: int, tmp: pathlib.Path, repeats: int = 2
+) -> dict:
+    """Batched-mode wall with full telemetry armed vs off, best-of-``repeats``.
+
+    Arms the whole observability stack the way ``repro serve --telemetry``
+    does — tracer, metrics registry, energy meter — plus a tracing client
+    (the loadgen path attaches a traceparent whenever a tracer is active),
+    so the measured delta is the worst-case per-request cost: context
+    creation, three serve-stage spans, fan-in links, histogram observes
+    with exemplars, and one memoized energy estimate per distinct spec.
+    Best-of-N walls damp scheduler noise; the gate is
+    ``check_regression.py --serve-max-telemetry-overhead`` (default 1.05).
+    """
+    from repro import obs
+
+    off_walls, on_walls = [], []
+    off_lat, on_lat = [], []
+    spans_recorded = 0
+    energy_metered = 0
+    for rep in range(repeats):
+        wall, lat, _ = asyncio.run(
+            _run_mode("batched", requests, concurrency, distinct, tmp, tag=f"-off{rep}")
+        )
+        if not off_walls or wall < min(off_walls):
+            off_lat = lat
+        off_walls.append(wall)
+
+        tracer = obs.enable_tracing()
+        registry = obs.enable_metrics()
+        obs.enable_energy_metering()
+        try:
+            wall, lat, _ = asyncio.run(
+                _run_mode("batched", requests, concurrency, distinct, tmp, tag=f"-on{rep}")
+            )
+        finally:
+            obs.disable_tracing()
+            obs.disable_metrics()
+            obs.disable_energy_metering()
+        if not on_walls or wall < min(on_walls):
+            on_lat = lat
+        on_walls.append(wall)
+        spans_recorded = max(spans_recorded, len(tracer.spans))
+        energy_metered = max(energy_metered, int(registry.value("repro_energy.requests")))
+
+    off_wall, on_wall = min(off_walls), min(on_walls)
+    return {
+        "repeats": repeats,
+        "batched_wall_off": round(off_wall, 6),
+        "batched_wall_on": round(on_wall, 6),
+        "overhead_ratio": round(on_wall / off_wall, 3),
+        "latency_ms_off": _percentiles_ms(off_lat),
+        "latency_ms_on": _percentiles_ms(on_lat),
+        "spans_recorded": spans_recorded,
+        "energy_metered_requests": energy_metered,
+    }
+
+
 def _percentiles_ms(latencies: list) -> dict:
     lat = np.asarray(latencies)
     return {
@@ -133,6 +203,7 @@ def collect(
         bat_wall, bat_lat, bat_ans = asyncio.run(
             _run_mode("batched", requests, concurrency, distinct, tmp)
         )
+        telemetry = _telemetry_overhead(requests, concurrency, distinct, tmp)
         # offline ground truth, one solve per distinct spec
         truth = {
             s: cached_solve("fused", _request("ref", s, distinct).spec())
@@ -170,6 +241,7 @@ def collect(
         "speedups": {
             "batched_vs_sequential": round(seq_wall / bat_wall, 3),
         },
+        "telemetry": telemetry,
     }
 
 
@@ -196,6 +268,11 @@ def main(argv=None) -> int:
           f"p50 {lat['batched']['p50']:7.2f} ms  p99 {lat['batched']['p99']:7.2f} ms")
     print(f"  batched_vs_sequential: {report['speedups']['batched_vs_sequential']:.2f}x "
           f"(all answers bit-identical to offline solves)")
+    tel = report["telemetry"]
+    print(f"  telemetry  off {tel['batched_wall_off']:.3f}s  on "
+          f"{tel['batched_wall_on']:.3f}s  overhead {tel['overhead_ratio']:.3f}x  "
+          f"({tel['spans_recorded']} spans, "
+          f"{tel['energy_metered_requests']} energy-metered)")
     out = pathlib.Path(args.output)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(report, indent=2) + "\n")
@@ -209,6 +286,8 @@ def test_serve_bench_quick_smoke(benchmark, sink):
     report = collect(quick=True)
     assert report["correct"]
     assert report["speedups"]["batched_vs_sequential"] > 1.0
+    assert report["telemetry"]["spans_recorded"] > 0
+    assert report["telemetry"]["energy_metered_requests"] > 0
     benchmark(lambda: collect(quick=True))
     s, sp = report["seconds"], report["speedups"]
     sink(

@@ -52,6 +52,17 @@ This pass turns those conventions into checkable rules:
     ``loop.run_in_executor`` (a nested *sync* helper is fine; the rule
     only fires in the async scope itself).
 
+``RA007 leaky-span``
+    a ``span(...)`` / ``tracer.span(...)`` call in serving code (any path
+    with a ``serve`` directory component) that is not the context
+    expression of a ``with`` statement.  A span's clock starts at
+    creation and only ``__exit__`` files it with the tracer, so a span
+    held as a plain value leaks — and corrupts the thread-local nesting
+    stack — on every exception path.  Request-handling code is exactly
+    where exceptions are routine (sheds, deadlines, resets), so there the
+    context-manager form is mandatory; elsewhere deliberate manual
+    handling stays allowed.
+
 :func:`lint_paths` walks files or directories and returns
 :class:`LintFinding` records; ``tools/run_analysis.py`` gates them against
 the committed baseline.
@@ -74,6 +85,7 @@ RULES: Dict[str, str] = {
     "RA004": "obs/faults hot-path guard must be `is None`, not truthiness",
     "RA005": "config dataclass must be frozen with all state in digested fields",
     "RA006": "blocking call inside async def stalls the event loop",
+    "RA007": "span() in serve code must be a with-statement context manager",
 }
 
 #: Configuration classes whose dataclass fields form digest key material.
@@ -86,7 +98,12 @@ CONFIG_CLASSES: Set[str] = {
 }
 
 #: The zero-cost hook accessors guarded by RA004.
-_HOT_ACCESSORS: Set[str] = {"active_injector", "active_metrics", "active_tracer"}
+_HOT_ACCESSORS: Set[str] = {
+    "active_injector",
+    "active_metrics",
+    "active_tracer",
+    "active_energy_meter",
+}
 
 _CHECKSUM_MARKERS: Tuple[str, ...] = ("checksum", "abft")
 
@@ -217,6 +234,10 @@ class _Linter(ast.NodeVisitor):
         self.hot_names: List[Set[str]] = [set()]
         # RA006: is the innermost function scope an `async def`?
         self.async_scope: List[bool] = [False]
+        # RA007: span() calls that ARE with-statement context expressions
+        self._with_spans: Set[int] = set()
+        # RA007 only binds in serving code (a `serve` path component)
+        self._serve_path = "serve" in Path(path).parts
 
     # -- bookkeeping -------------------------------------------------------
     @property
@@ -330,7 +351,34 @@ class _Linter(ast.NodeVisitor):
                     f"{self.stack[-1] if self.stack else '?'}`; it stalls the "
                     "event loop — offload via loop.run_in_executor",
                 )
+        # RA007: a span in serve code held as a value instead of a `with`
+        if (
+            self._serve_path
+            and _call_name(node) == "span"
+            and id(node) not in self._with_spans
+        ):
+            self.emit(
+                "RA007",
+                node,
+                "span() held as a value in serve code; it leaks (and corrupts "
+                "span nesting) on exception paths — use `with span(...):`",
+            )
         # RA003 context is handled in _check_checksum_fn via a sub-walk.
+        self.generic_visit(node)
+
+    # -- RA007 -------------------------------------------------------------
+    def _register_with_items(self, node: ast.With | ast.AsyncWith) -> None:
+        for item in node.items:
+            if isinstance(item.context_expr, ast.Call):
+                if _call_name(item.context_expr) == "span":
+                    self._with_spans.add(id(item.context_expr))
+
+    def visit_With(self, node: ast.With) -> None:
+        self._register_with_items(node)
+        self.generic_visit(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._register_with_items(node)
         self.generic_visit(node)
 
     # -- RA003 -------------------------------------------------------------

@@ -23,6 +23,12 @@ is itself broken.
   shape of :mod:`repro.serve`'s, but with the executor offload deleted:
   it sleeps and does file I/O directly on the event loop.  The RA006
   lint rule must flag both calls.
+* :data:`LEAKY_SPAN_MUTANT_SOURCE` — a request handler in the shape of
+  :mod:`repro.serve.server`'s, but holding its tracer spans as plain
+  values instead of ``with`` blocks: the admit span is closed by hand
+  (skipped whenever ``admit`` raises) and the resolve span is never
+  closed at all.  The RA007 lint rule must flag both ``span()`` calls
+  when the source is linted under a ``serve/`` path.
 """
 
 from __future__ import annotations
@@ -44,6 +50,7 @@ __all__ = [
     "double_buffered_missing_barrier_kernel",
     "permuted_store_assignment",
     "BLOCKING_ASYNC_MUTANT_SOURCE",
+    "LEAKY_SPAN_MUTANT_SOURCE",
 ]
 
 #: RA006 negative control: an async dispatcher that blocks the event loop.
@@ -61,6 +68,24 @@ async def dispatch_batch(queue):
     with open("requests.wal", "ab") as fh:  # BUG under test: sync file I/O
         fh.write(repr(batch).encode())
     return batch
+'''
+
+#: RA007 negative control: a serve-shaped handler that holds spans as
+#: values.  The admit span's manual ``__exit__`` is skipped whenever
+#: ``admit()`` raises (every shed/deadline path), and the resolve span is
+#: simply never closed — both leak and desync the tracer's thread-local
+#: nesting stack.  Lint under a ``serve/`` path must flag both calls.
+LEAKY_SPAN_MUTANT_SOURCE = '''\
+from repro.obs.tracer import span
+
+
+def handle_solve(admission, engine, request):
+    """Seeded RA007 mutant: spans that only close on the happy path."""
+    admit_span = span("serve.admit", id=request.id)  # BUG under test: no `with`
+    admission.admit(request_id=request.id)
+    admit_span.__exit__(None, None, None)
+    resolve_span = span("serve.resolve", id=request.id)  # BUG under test: leaks
+    return engine.solve(request.spec())
 '''
 
 

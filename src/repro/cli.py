@@ -21,6 +21,9 @@ writing any code:
   circuit breaking, crash-safe request journaling (docs/SERVING.md);
 * ``loadgen``   — closed-loop load generator against a running service;
   prints throughput, latency percentiles, and typed failure counts;
+* ``top``       — live telemetry console for a running service: polls the
+  ``stats`` verb and renders queue depth, latency quantiles, batch shape,
+  energy rates, and SLO burn rates (docs/OBSERVABILITY.md);
 * ``cache``     — inspect/clear/verify the persistent result store;
 * ``analyze``   — static analysis (see docs/ANALYSIS.md): ``race`` proves
   the SIMT kernels free of shared-memory races per barrier interval,
@@ -45,6 +48,7 @@ almost entirely from disk.
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 import time
 from typing import Callable, Dict
@@ -213,6 +217,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--journal", default=None, metavar="PATH",
                    help="crash-safe write-ahead request journal; accepted-but-"
                    "unfinished requests are replayed on restart")
+    p.add_argument("--telemetry", action="store_true",
+                   help="arm tracing, metrics, per-request energy metering, "
+                   "and the default SLO monitors for this server "
+                   "(docs/OBSERVABILITY.md)")
+    p.add_argument("--slo-latency-ms", type=float, default=None, metavar="MS",
+                   help="latency SLO threshold; burn-rate breaches tighten "
+                   "admission (implies an SLO monitor even without --telemetry)")
+    p.add_argument("--slo-target", type=float, default=0.99, metavar="FRAC",
+                   help="fraction of requests that must meet the latency SLO "
+                   "(default 0.99)")
 
     p = sub.add_parser("loadgen", help="closed-loop load generator for `repro serve`")
     p.add_argument("--host", default="127.0.0.1")
@@ -227,6 +241,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fused | cublas-unfused | cuda-unfused | reference")
     p.add_argument("--distinct-specs", type=int, default=8, metavar="S",
                    help="cycle request seeds over S values (dedup/batch diversity)")
+
+    p = sub.add_parser(
+        "top", help="live telemetry console for a running `repro serve`"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7070)
+    p.add_argument("--interval", type=float, default=1.0, metavar="S",
+                   help="refresh period in seconds (default 1.0)")
+    p.add_argument("--once", action="store_true",
+                   help="print one frame and exit (scripts, CI smoke tests)")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="emit the raw snapshot document instead of the console")
 
     p = sub.add_parser("cache", help="inspect or maintain the persistent result store")
     p.add_argument("action", choices=["stats", "clear", "verify"])
@@ -566,24 +592,68 @@ def _cmd_serve(args) -> int:
         print("note: --journal without a result store replays recovered work "
               "to nowhere; pass --cache-dir to make replay populate the store",
               file=sys.stderr)
-    server = KernelServer(config, store=store, journal=journal)
+
+    slo_monitor = None
+    if args.slo_latency_ms is not None:
+        from .obs.slo import SloMonitor, SloObjective
+
+        slo_monitor = SloMonitor((
+            SloObjective(name="latency", target=args.slo_target,
+                         latency_threshold_s=args.slo_latency_ms / 1e3),
+            SloObjective(name="availability", target=0.999),
+        ))
+    if args.telemetry:
+        from . import obs
+
+        if obs.active_tracer() is None:
+            obs.enable_tracing()
+        if obs.active_metrics() is None:
+            obs.enable_metrics()
+        if obs.active_energy_meter() is None:
+            obs.enable_energy_metering()
+        if slo_monitor is None:
+            from .obs.slo import SloMonitor
+
+            slo_monitor = SloMonitor()
+    server = KernelServer(config, store=store, journal=journal,
+                          slo_monitor=slo_monitor)
 
     async def run() -> None:
         await server.start()
         if server.replayed_ids:
             print(f"replayed {len(server.replayed_ids)} journalled request(s)")
+        extras = ""
+        if args.telemetry:
+            extras = ", telemetry on"
+        elif slo_monitor is not None:
+            extras = ", slo armed"
         print(f"serving on {config.host}:{server.port} "
-              f"(mode={config.mode}, batch<= {config.max_batch_size}); Ctrl-C to stop")
+              f"(mode={config.mode}, batch<= {config.max_batch_size}{extras}); "
+              f"Ctrl-C to stop")
         try:
             await asyncio.Event().wait()
         finally:
             await server.stop()
 
+    # A server backgrounded from a non-interactive shell (`repro serve &`
+    # in CI) inherits SIGINT as SIG_IGN, and Python honours the inherited
+    # disposition — `kill -INT $PID` would be silently dropped and the
+    # caller's `wait` would hang forever.  Restore the default handler,
+    # and give SIGTERM the same graceful path so the journal closes and
+    # the --trace file flushes either way.
+    signal.signal(signal.SIGINT, signal.default_int_handler)
+    signal.signal(signal.SIGTERM, _raise_keyboard_interrupt)
     try:
         asyncio.run(run())
     except KeyboardInterrupt:
         print("\nshut down cleanly")
+    finally:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
     return 0
+
+
+def _raise_keyboard_interrupt(signum, frame):  # pragma: no cover - signal glue
+    raise KeyboardInterrupt
 
 
 def _cmd_loadgen(args) -> int:
@@ -596,10 +666,12 @@ def _cmd_loadgen(args) -> int:
         ReproError,
         ServiceOverloadError,
     )
+    from .obs.tracer import span as _span
     from .serve import ServeClient, SolveRequest
 
     deadline_s = None if args.deadline_ms is None else args.deadline_ms / 1e3
     latencies: list = []
+    energies_pj: list = []
     counts = {"ok": 0, "degraded": 0, "cached": 0,
               "shed": 0, "deadline": 0, "error": 0}
 
@@ -622,10 +694,24 @@ def _cmd_loadgen(args) -> int:
             except ReproError:
                 counts["error"] += 1
                 continue
-            latencies.append(time.perf_counter() - t0)
+            dt = time.perf_counter() - t0
+            latencies.append(dt)
             counts["ok"] += 1
             counts["degraded"] += int(res.degraded)
             counts["cached"] += int(res.cached)
+            if res.energy_pj is not None:
+                energies_pj.append(res.energy_pj)
+            # marker span per completed request: closed synchronously, so
+            # concurrent workers on one loop thread can never mis-nest
+            marker = _span("loadgen.request", id=req.id,
+                           latency_ms=round(dt * 1e3, 3),
+                           batch_size=res.batch_size, cached=res.cached)
+            if res.trace is not None:
+                marker.set(trace=res.trace)
+            if res.energy_pj is not None:
+                marker.set(energy_pj=res.energy_pj)
+            with marker:
+                pass
 
     async def run() -> float:
         async with ServeClient(args.host, args.port) as client:
@@ -651,7 +737,48 @@ def _cmd_loadgen(args) -> int:
     print(f"  ok {counts['ok']} (degraded {counts['degraded']}, cached "
           f"{counts['cached']}), shed {counts['shed']}, "
           f"deadline {counts['deadline']}, error {counts['error']}")
+    if energies_pj:
+        total_j = sum(energies_pj) / 1e12
+        print(f"  energy: {total_j * 1e3:.3f} mJ modelled over "
+              f"{len(energies_pj)} request(s) "
+              f"({total_j / len(energies_pj) * 1e6:.2f} uJ/req)")
     return 0 if answered or args.requests == 0 else 1
+
+
+def _cmd_top(args) -> int:
+    import asyncio
+    import json as _json
+
+    from .obs.snapshot import render_top
+    from .serve import ServeClient
+
+    async def fetch() -> dict:
+        async with ServeClient(args.host, args.port) as client:
+            return await client.stats(timeout_s=5.0)
+
+    # reconnect per frame: a console must survive server restarts, and at
+    # human refresh rates a fresh connection costs nothing
+    try:
+        while True:
+            try:
+                snap = asyncio.run(fetch())
+            except (ConnectionRefusedError, OSError) as exc:
+                print(f"cannot reach {args.host}:{args.port}: {exc}",
+                      file=sys.stderr)
+                return 1
+            if args.as_json:
+                print(_json.dumps(snap, indent=2, sort_keys=True))
+            else:
+                if not args.once:
+                    # ANSI clear + home: periodic full-frame redraw, no curses
+                    print("\x1b[2J\x1b[H", end="")
+                print(render_top(snap))
+            if args.once:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
 
 
 def _cmd_cache(args) -> int:
@@ -784,6 +911,7 @@ def main(argv=None) -> int:
         "profile": _cmd_profile,
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,
+        "top": _cmd_top,
         "cache": _cmd_cache,
         "analyze": _cmd_analyze,
     }
@@ -811,6 +939,7 @@ def main(argv=None) -> int:
     finally:
         obs.disable_tracing()
         obs.disable_metrics()
+        obs.disable_energy_metering()
 
     if tracer is not None and trace_path:
         out = obs.write_chrome_trace(tracer, trace_path)

@@ -13,7 +13,15 @@ the same discipline :mod:`repro.faults` established for injection hooks.
   fed live by the GPU model (L2 hits/misses, DRAM bytes, bank conflicts,
   atomic serialization, scheduler stalls, ABFT events);
 * :mod:`repro.obs.log` — stdlib-logging-based ``key=value`` events with
-  span-context propagation (``REPRO_LOG`` env);
+  span- and trace-context propagation (``REPRO_LOG`` env);
+* :mod:`repro.obs.context` — W3C-traceparent-style trace contexts that
+  cross the serve wire protocol and asyncio task boundaries;
+* :mod:`repro.obs.energy_meter` — per-request energy estimates through
+  the fig9 analytical model, charged into ``repro_energy.*`` metrics;
+* :mod:`repro.obs.slo` — declarative latency/error objectives with
+  multi-window burn-rate evaluation and typed breach events;
+* :mod:`repro.obs.snapshot` — the telemetry snapshot document behind the
+  server's ``stats`` verb and the ``repro top`` console;
 * :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto), JSON
   lines, flat text, all version-stamped;
 * :mod:`repro.obs.profiling` — the machinery behind ``repro profile`` and
@@ -23,8 +31,9 @@ the same discipline :mod:`repro.faults` established for injection hooks.
 Environment switches (read by :func:`configure_from_env`, which the CLI
 calls on startup): ``REPRO_TRACE=1`` or ``REPRO_TRACE=<path>`` arms the
 tracer (a path also writes the Chrome trace there on CLI exit),
-``REPRO_METRICS=1`` arms the metrics registry, and ``REPRO_LOG=<level>``
-installs the stderr key=value log handler.
+``REPRO_METRICS=1`` arms the metrics registry, ``REPRO_ENERGY=1`` arms
+the per-request energy meter, and ``REPRO_LOG=<level>`` installs the
+stderr key=value log handler.
 """
 
 from __future__ import annotations
@@ -32,6 +41,22 @@ from __future__ import annotations
 import os
 from typing import Optional
 
+from .context import (
+    TraceContext,
+    bind_context,
+    current_context,
+    new_context,
+    parse_traceparent,
+)
+from .energy_meter import (
+    EnergyMeter,
+    RequestEnergy,
+    active_energy_meter,
+    counters_energy_pj,
+    disable_energy_metering,
+    enable_energy_metering,
+    energy_metering,
+)
 from .export import (
     chrome_trace,
     export_header,
@@ -53,6 +78,21 @@ from .metrics import (
     disable_metrics,
     enable_metrics,
     metrics_collection,
+)
+from .slo import (
+    DEFAULT_OBJECTIVES,
+    SloBreachEvent,
+    SloMonitor,
+    SloObjective,
+    SloStatus,
+)
+from .snapshot import (
+    SNAPSHOT_SCHEMA,
+    histogram_quantile,
+    histogram_stats,
+    render_top,
+    sparkline,
+    telemetry_snapshot,
 )
 from .tracer import (
     NULL_SPAN,
@@ -87,6 +127,33 @@ __all__ = [
     "disable_metrics",
     "metrics_collection",
     "counter_inc",
+    # trace context
+    "TraceContext",
+    "new_context",
+    "parse_traceparent",
+    "current_context",
+    "bind_context",
+    # energy metering
+    "EnergyMeter",
+    "RequestEnergy",
+    "active_energy_meter",
+    "enable_energy_metering",
+    "disable_energy_metering",
+    "energy_metering",
+    "counters_energy_pj",
+    # SLOs
+    "SloObjective",
+    "SloStatus",
+    "SloBreachEvent",
+    "SloMonitor",
+    "DEFAULT_OBJECTIVES",
+    # snapshots
+    "SNAPSHOT_SCHEMA",
+    "histogram_quantile",
+    "histogram_stats",
+    "telemetry_snapshot",
+    "render_top",
+    "sparkline",
     # logging
     "get_logger",
     "log_event",
@@ -132,11 +199,17 @@ def configure_from_env(environ: Optional[dict] = None) -> dict:
     if metrics_on and active_metrics() is None:
         enable_metrics()
 
+    energy_value = (env.get("REPRO_ENERGY") or "").strip()
+    energy_on = energy_value.lower() not in _FALSEY
+    if energy_on and active_energy_meter() is None:
+        enable_energy_metering()
+
     handler = configure_logging(environ=env)
 
     return {
         "tracing": trace_on,
         "trace_path": trace_path,
         "metrics": metrics_on,
+        "energy": energy_on,
         "log_handler": handler,
     }

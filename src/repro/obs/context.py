@@ -1,0 +1,137 @@
+"""Trace-context propagation across process and wire boundaries.
+
+The span tracer (:mod:`repro.obs.tracer`) nests spans per *thread*; a
+serving stack interleaves dozens of requests on one asyncio thread and
+forwards work across sockets and executor threads, where a thread-local
+stack says nothing about which request a span belongs to.  This module
+adds the missing identity:
+
+* :class:`TraceContext` — an immutable (trace_id, span_id) pair with a
+  W3C-``traceparent``-style string form (``00-<32 hex>-<16 hex>-01``)
+  that rides inside :mod:`repro.serve.protocol` frames, so a client span
+  and the server spans that answered it share one ``trace_id``;
+* :func:`new_context` / :meth:`TraceContext.child` — root and child
+  contexts (children keep the trace id, take a fresh span id);
+* :func:`bind_context` / :func:`current_context` — a ``contextvars``
+  binding that follows asyncio task switches, unlike the tracer's
+  thread-local stack.  :func:`repro.obs.log.log_event` reads it to stamp
+  ``trace=...`` onto every structured record emitted inside a bound
+  region, which is what makes batcher/journal events correlatable to a
+  request.
+
+The whole module follows the disabled-path contract: nothing here runs
+unless serving code explicitly creates a context, and reading an unbound
+:func:`current_context` is one ``ContextVar.get`` returning ``None``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, replace
+from typing import Iterator, Optional
+
+__all__ = [
+    "TraceContext",
+    "new_context",
+    "parse_traceparent",
+    "current_context",
+    "bind_context",
+]
+
+#: the only version of the traceparent header this library emits
+_VERSION = "00"
+
+_TRACEPARENT_RE = re.compile(
+    r"^(?P<version>[0-9a-f]{2})-(?P<trace_id>[0-9a-f]{32})"
+    r"-(?P<span_id>[0-9a-f]{16})-(?P<flags>[0-9a-f]{2})$"
+)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One request's identity: a trace id plus the current span within it."""
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+
+    def __post_init__(self) -> None:
+        if not re.fullmatch(r"[0-9a-f]{32}", self.trace_id) or int(self.trace_id, 16) == 0:
+            raise ValueError(f"trace_id must be 32 lowercase hex digits, not all zero: {self.trace_id!r}")
+        if not re.fullmatch(r"[0-9a-f]{16}", self.span_id) or int(self.span_id, 16) == 0:
+            raise ValueError(f"span_id must be 16 lowercase hex digits, not all zero: {self.span_id!r}")
+
+    def to_traceparent(self) -> str:
+        """``00-<trace_id>-<span_id>-<flags>`` (W3C Trace Context shape)."""
+        return f"{_VERSION}-{self.trace_id}-{self.span_id}-{'01' if self.sampled else '00'}"
+
+    def child(self) -> "TraceContext":
+        """Same trace, fresh span id — the handed-down half of propagation."""
+        return replace(self, span_id=_hex_id(8))
+
+    def short(self) -> str:
+        """Abbreviated trace id for log lines and consoles."""
+        return self.trace_id[:12]
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_traceparent()
+
+
+def _hex_id(nbytes: int) -> str:
+    """Non-zero random hex id of ``nbytes`` bytes (ids are never all-zero)."""
+    while True:
+        value = os.urandom(nbytes)
+        if any(value):
+            return value.hex()
+
+
+def new_context() -> TraceContext:
+    """A fresh root context (random trace id, random span id)."""
+    return TraceContext(trace_id=_hex_id(16), span_id=_hex_id(8))
+
+
+def parse_traceparent(header: Optional[str]) -> Optional[TraceContext]:
+    """Parse a traceparent string; returns ``None`` for absent/garbage input.
+
+    Propagation must never turn a malformed header into a failed request,
+    so this is deliberately total: anything unparseable (wrong shape,
+    all-zero ids, future version with extra fields) yields ``None`` and
+    the callee starts a fresh trace instead.
+    """
+    if not header or not isinstance(header, str):
+        return None
+    m = _TRACEPARENT_RE.match(header.strip().lower())
+    if m is None:
+        return None
+    try:
+        return TraceContext(
+            trace_id=m.group("trace_id"),
+            span_id=m.group("span_id"),
+            sampled=bool(int(m.group("flags"), 16) & 0x01),
+        )
+    except ValueError:
+        return None
+
+
+#: the asyncio-task-scoped current context (None = no request in scope)
+_CURRENT: ContextVar[Optional[TraceContext]] = ContextVar(
+    "repro_trace_context", default=None
+)
+
+
+def current_context() -> Optional[TraceContext]:
+    """The bound context, or ``None`` — one ContextVar read, no allocation."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def bind_context(ctx: Optional[TraceContext]) -> Iterator[Optional[TraceContext]]:
+    """Bind ``ctx`` for a ``with`` block (tasks created inside inherit it)."""
+    token = _CURRENT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _CURRENT.reset(token)

@@ -1,0 +1,265 @@
+"""Per-request energy metering for the serving stack.
+
+The fig9 energy pipeline is *offline*: model a run, feed the profiled
+counters through :class:`repro.energy.model.EnergyModel`, plot joules.
+The serving layer needs the same number *live*, per request, even though
+requests execute on the pure-numpy engines (which never touch the GPU
+simulators, so no ``gpu.*`` counters fire during serve).
+
+:class:`EnergyMeter` closes that gap with the analytical path: it runs
+the same ``model_run -> EnergyModel.breakdown`` chain the fig9 figure
+uses — sub-millisecond per call — and memoizes the result per
+``(implementation, problem shape)``, so steady-state serving pays one
+dict lookup per request.  Charged energy lands in ``repro_energy.*``
+counters and a per-request picojoule histogram (with trace-id
+exemplars), giving joules-per-request and joules-per-batch live.
+
+Arming follows the exact contract of the tracer, the metrics registry,
+and the fault injector: instrumented code calls
+:func:`active_energy_meter` and pays one global read plus an ``is None``
+test while metering is disabled — no floating-point work, bit-identical
+results.
+
+:func:`counters_energy_pj` is the complementary *measured* view: it maps
+live ``gpu.*`` simulator counters (when a traced run did exercise the
+simulators) through the same per-access costs.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from .metrics import MetricsRegistry, active_metrics
+
+__all__ = [
+    "RequestEnergy",
+    "EnergyMeter",
+    "ENERGY_PJ_BUCKETS",
+    "active_energy_meter",
+    "enable_energy_metering",
+    "disable_energy_metering",
+    "energy_metering",
+    "counters_energy_pj",
+]
+
+#: decade-spaced picojoule edges — a 64x32 toy solve lands near 1e8 pJ,
+#: paper-scale problems orders of magnitude higher
+ENERGY_PJ_BUCKETS: Tuple[float, ...] = (
+    1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11, 1e12, 1e13,
+)
+
+_PJ = 1e12  # joules -> picojoules
+
+
+@dataclass(frozen=True)
+class RequestEnergy:
+    """Modelled energy for one request's solve, in picojoules."""
+
+    implementation: str
+    compute_pj: float
+    smem_pj: float
+    l2_pj: float
+    dram_pj: float
+    static_pj: float
+    seconds: float
+
+    @property
+    def total_pj(self) -> float:
+        return (
+            self.compute_pj + self.smem_pj + self.l2_pj
+            + self.dram_pj + self.static_pj
+        )
+
+    @property
+    def total_joules(self) -> float:
+        return self.total_pj / _PJ
+
+    def to_dict(self) -> dict:
+        return {
+            "implementation": self.implementation,
+            "compute_pj": self.compute_pj,
+            "smem_pj": self.smem_pj,
+            "l2_pj": self.l2_pj,
+            "dram_pj": self.dram_pj,
+            "static_pj": self.static_pj,
+            "total_pj": self.total_pj,
+            "modelled_seconds": self.seconds,
+        }
+
+
+class EnergyMeter:
+    """Memoized analytical energy estimates plus metric accounting.
+
+    ``estimate`` is deliberately the *same* code path as the offline fig9
+    figure (``model_run`` then ``EnergyModel.breakdown``), so the live
+    per-request number and the static model agree by construction — the
+    acceptance bar is equality, not approximation.  The heavy imports
+    happen lazily on first use so merely importing :mod:`repro.obs`
+    never pulls in the perf/energy stack.
+    """
+
+    def __init__(self, device=None, params=None) -> None:
+        if device is None:
+            from ..gpu.device import GTX970
+
+            device = GTX970
+        from ..energy.model import EnergyModel
+
+        self.device = device
+        self.model = EnergyModel(device, params)
+        self._cache: Dict[Tuple, RequestEnergy] = {}
+        self._lock = threading.Lock()
+
+    # -- estimation ----------------------------------------------------------
+    def estimate(self, implementation: str, spec) -> RequestEnergy:
+        """Modelled energy for one ``(implementation, ProblemSpec)`` solve."""
+        key = (
+            implementation, spec.M, spec.N, spec.K,
+            float(spec.h), spec.kernel, spec.dtype,
+        )
+        with self._lock:
+            hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+
+        from ..perf.pipeline import model_run
+
+        run = model_run(implementation, spec, device=self.device)
+        b = self.model.breakdown(run)
+        energy = RequestEnergy(
+            implementation=implementation,
+            compute_pj=b.compute * _PJ,
+            smem_pj=b.smem * _PJ,
+            l2_pj=b.l2 * _PJ,
+            dram_pj=b.dram * _PJ,
+            static_pj=b.static * _PJ,
+            seconds=run.total_seconds,
+        )
+        with self._lock:
+            self._cache[key] = energy
+        return energy
+
+    def cache_size(self) -> int:
+        with self._lock:
+            return len(self._cache)
+
+    # -- accounting ----------------------------------------------------------
+    def charge(
+        self,
+        energy: RequestEnergy,
+        registry: Optional[MetricsRegistry] = None,
+        exemplar: Optional[str] = None,
+    ) -> None:
+        """Account one request's energy into ``repro_energy.*`` metrics.
+
+        Callers charge once per *computed* request (warm cache hits and
+        deduplicated members re-use already-spent joules and must not be
+        charged again), so the counters integrate to actual modelled
+        energy spent.
+        """
+        if registry is None:
+            registry = active_metrics()
+        if registry is None:
+            return
+        registry.counter("repro_energy.requests").inc()
+        registry.counter("repro_energy.total_pj").inc(energy.total_pj)
+        registry.counter("repro_energy.compute_pj").inc(energy.compute_pj)
+        registry.counter("repro_energy.smem_pj").inc(energy.smem_pj)
+        registry.counter("repro_energy.l2_pj").inc(energy.l2_pj)
+        registry.counter("repro_energy.dram_pj").inc(energy.dram_pj)
+        registry.counter("repro_energy.static_pj").inc(energy.static_pj)
+        registry.histogram(
+            "repro_energy.request_pj", ENERGY_PJ_BUCKETS
+        ).observe(energy.total_pj, exemplar=exemplar)
+
+
+def counters_energy_pj(
+    registry: MetricsRegistry, device=None, params=None
+) -> Dict[str, float]:
+    """Map live ``gpu.*`` simulator counters to picojoules.
+
+    The measured complement of :meth:`EnergyMeter.estimate`: when a run
+    exercised the dynamic cache/DRAM/smem/atomic simulators under a
+    metrics registry, this converts the accumulated counters through the
+    same per-access costs.  Only memory-system components are derivable
+    from those counters (instruction mix and runtime are not), so the
+    dict carries ``smem_pj`` / ``l2_pj`` / ``dram_pj`` / ``atomic_pj``
+    and their sum under ``memory_total_pj``.
+    """
+    if device is None:
+        from ..gpu.device import GTX970
+
+        device = GTX970
+    if params is None:
+        from ..energy.mcpat import params_for_device
+
+        params = params_for_device(device)
+
+    smem_transactions = (
+        registry.value("gpu.smem.load_transactions")
+        + registry.value("gpu.smem.store_transactions")
+    )
+    smem_bytes = smem_transactions * device.warp_size * 4
+    l2_transactions = (
+        registry.value("gpu.l2.hits")
+        + registry.value("gpu.l2.misses")
+        + registry.value("gpu.l2.writebacks")
+    )
+    l2_bytes = l2_transactions * device.l2_transaction_bytes
+    dram_bytes = (
+        registry.value("gpu.dram.read_bytes")
+        + registry.value("gpu.dram.write_bytes")
+    )
+    atomics = registry.value("gpu.atomic.updates")
+
+    smem_pj = smem_bytes * params.smem_energy_per_byte * _PJ
+    l2_pj = l2_bytes * params.l2_energy_per_byte * _PJ
+    dram_pj = dram_bytes * params.dram_energy_per_byte * _PJ
+    atomic_pj = atomics * params.atomic_energy * _PJ
+    return {
+        "smem_pj": smem_pj,
+        "l2_pj": l2_pj,
+        "dram_pj": dram_pj,
+        "atomic_pj": atomic_pj,
+        "memory_total_pj": smem_pj + l2_pj + dram_pj + atomic_pj,
+    }
+
+
+#: the one process-wide active meter (None = metering disabled)
+_ACTIVE: Optional[EnergyMeter] = None
+
+
+def active_energy_meter() -> Optional[EnergyMeter]:
+    """The armed meter, or ``None`` — the single check every hook makes."""
+    return _ACTIVE
+
+
+def enable_energy_metering(meter: Optional[EnergyMeter] = None) -> EnergyMeter:
+    """Arm a meter process-wide (a fresh one if none is given)."""
+    global _ACTIVE
+    _ACTIVE = meter if meter is not None else EnergyMeter()
+    return _ACTIVE
+
+
+def disable_energy_metering() -> Optional[EnergyMeter]:
+    """Disarm metering; returns the meter that was active, if any."""
+    global _ACTIVE
+    meter = _ACTIVE
+    _ACTIVE = None
+    return meter
+
+
+@contextmanager
+def energy_metering(meter: Optional[EnergyMeter] = None) -> Iterator[EnergyMeter]:
+    """Arm metering for a ``with`` block; restores the previous meter."""
+    global _ACTIVE
+    previous = _ACTIVE
+    current = meter if meter is not None else EnergyMeter()
+    _ACTIVE = current
+    try:
+        yield current
+    finally:
+        _ACTIVE = previous

@@ -50,7 +50,11 @@ def _jsonable(value: Any) -> Any:
 
 
 def _span_args(span) -> Dict[str, Any]:
-    return {k: _jsonable(v) for k, v in span.attrs.items()}
+    args = {k: _jsonable(v) for k, v in span.attrs.items()}
+    links = getattr(span, "links", None)
+    if links:
+        args["links"] = [dict(link) for link in links]
+    return args
 
 
 def chrome_trace(tracer: Tracer, process_name: str = "repro") -> dict:

@@ -24,6 +24,7 @@ import os
 import sys
 from typing import Any, Optional, TextIO
 
+from .context import current_context
 from .tracer import active_tracer
 
 __all__ = [
@@ -71,7 +72,13 @@ def format_fields(**fields: Any) -> str:
 def log_event(
     logger: logging.Logger, level: int, event: str, **fields: Any
 ) -> None:
-    """Emit one structured event; span context is attached automatically."""
+    """Emit one structured event; span and trace context attach automatically.
+
+    When the emitting code runs inside a :func:`repro.obs.context.
+    bind_context` region — as every serve stage does while handling a
+    request — the record gains ``trace=<trace_id>``, which is what makes
+    batcher/journal/admission events correlatable to a request.
+    """
     if not logger.isEnabledFor(level):
         return  # skip formatting work entirely below the threshold
     parts = [f"event={_format_value(event)}"]
@@ -80,6 +87,9 @@ def log_event(
         current = tracer.current()
         if current is not None:
             parts.append(f"span={_format_value(current.name)}")
+    ctx = current_context()
+    if ctx is not None:
+        parts.append(f"trace={ctx.trace_id}")
     if fields:
         parts.append(format_fields(**fields))
     logger.log(level, " ".join(parts))

@@ -96,9 +96,20 @@ class Gauge:
 
 
 class Histogram:
-    """Fixed-boundary histogram with sum/count for mean recovery."""
+    """Fixed-boundary histogram with sum/count for mean recovery.
 
-    __slots__ = ("name", "boundaries", "bucket_counts", "_sum", "_count", "_lock")
+    Each ``le`` bucket optionally keeps one **exemplar** — the label (by
+    convention a trace id) of the *last* observation that landed in it.
+    That is the OpenMetrics exemplar idea reduced to its essence: a p99
+    outlier in a latency snapshot links straight back to the trace that
+    produced it.  Exemplar storage is allocated on the first labelled
+    observation, so unlabelled histograms pay nothing.
+    """
+
+    __slots__ = (
+        "name", "boundaries", "bucket_counts", "exemplars",
+        "_sum", "_count", "_lock",
+    )
 
     def __init__(self, name: str, boundaries: Sequence[float]) -> None:
         edges = tuple(float(b) for b in boundaries)
@@ -109,11 +120,13 @@ class Histogram:
         self.name = name
         self.boundaries = edges
         self.bucket_counts: List[int] = [0] * (len(edges) + 1)
+        #: per-bucket last-exemplar labels (None until one is recorded)
+        self.exemplars: Optional[List[Optional[str]]] = None
         self._sum = 0.0
         self._count = 0
         self._lock = threading.Lock()
 
-    def observe(self, value: Union[int, float]) -> None:
+    def observe(self, value: Union[int, float], exemplar: Optional[str] = None) -> None:
         v = float(value)
         # value <= boundaries[i] lands in bucket i; beyond the last edge
         # falls into the overflow bucket
@@ -122,6 +135,16 @@ class Histogram:
             self.bucket_counts[idx] += 1
             self._sum += v
             self._count += 1
+            if exemplar is not None:
+                if self.exemplars is None:
+                    self.exemplars = [None] * len(self.bucket_counts)
+                self.exemplars[idx] = exemplar
+
+    def exemplar_for_bucket(self, index: int) -> Optional[str]:
+        """The last exemplar recorded in bucket ``index``, if any."""
+        if self.exemplars is None:
+            return None
+        return self.exemplars[index]
 
     @property
     def count(self) -> int:
@@ -136,13 +159,16 @@ class Histogram:
         return self._sum / self._count if self._count else 0.0
 
     def to_dict(self) -> dict:
-        return {
+        doc = {
             "type": "histogram",
             "boundaries": list(self.boundaries),
             "counts": list(self.bucket_counts),
             "sum": self._sum,
             "count": self._count,
         }
+        if self.exemplars is not None:
+            doc["exemplars"] = list(self.exemplars)
+        return doc
 
 
 Metric = Union[Counter, Gauge, Histogram]

@@ -1,0 +1,248 @@
+"""Service-level objectives with multi-window burn-rate evaluation.
+
+An SLO here is declarative: "99% of requests answer under 250 ms" or
+"99.9% of requests succeed".  What turns it into an *actionable* signal
+is burn rate — how fast the error budget (``1 - target``) is being
+spent.  A burn rate of 1 spends exactly the budget over the objective
+period; a burn rate of 10 exhausts it ten times too fast.
+
+Following the standard multi-window discipline, an objective only
+*breaches* when **both** a short and a long window burn above the
+threshold: the long window proves the problem is sustained (no paging on
+a single slow request), the short window proves it is still happening
+(recovery clears the breach quickly).  :class:`SloMonitor` evaluates
+this over an in-memory event ring with an injectable clock, so tests
+drive synthetic latency streams deterministically.
+
+Breach *transitions* emit a typed :class:`SloBreachEvent`, a structured
+``slo.breach`` log record, and an ``slo.breaches`` counter tick; the
+admission controller consumes :meth:`SloMonitor.should_shed` to tighten
+its queue bound while any latency objective is burning.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from .log import get_logger, log_event
+from .metrics import counter_inc
+
+_LOG = get_logger("obs.slo")
+
+__all__ = [
+    "SloObjective",
+    "SloStatus",
+    "SloBreachEvent",
+    "SloMonitor",
+    "DEFAULT_OBJECTIVES",
+]
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One declarative objective.
+
+    ``latency_threshold_s`` set: a request is *bad* when it fails **or**
+    answers slower than the threshold (a latency SLO).  Unset: a request
+    is bad only when it fails (an error-rate SLO).
+    """
+
+    name: str
+    target: float
+    latency_threshold_s: Optional[float] = None
+    short_window_s: float = 60.0
+    long_window_s: float = 300.0
+    burn_threshold: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {self.target}")
+        if self.latency_threshold_s is not None and self.latency_threshold_s <= 0:
+            raise ValueError("latency_threshold_s must be positive")
+        if self.short_window_s <= 0 or self.long_window_s <= self.short_window_s:
+            raise ValueError("windows must satisfy 0 < short < long")
+        if self.burn_threshold <= 0:
+            raise ValueError("burn_threshold must be positive")
+
+    @property
+    def budget(self) -> float:
+        """The tolerated bad fraction (``1 - target``)."""
+        return 1.0 - self.target
+
+    def is_bad(self, latency_s: float, ok: bool) -> bool:
+        if not ok:
+            return True
+        if self.latency_threshold_s is not None:
+            return latency_s > self.latency_threshold_s
+        return False
+
+
+@dataclass(frozen=True)
+class SloStatus:
+    """One objective's evaluation at a point in time."""
+
+    objective: SloObjective
+    short_burn: float
+    long_burn: float
+    short_events: int
+    long_events: int
+    breaching: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.objective.name,
+            "target": self.objective.target,
+            "latency_threshold_s": self.objective.latency_threshold_s,
+            "short_burn": round(self.short_burn, 4),
+            "long_burn": round(self.long_burn, 4),
+            "short_events": self.short_events,
+            "long_events": self.long_events,
+            "breaching": self.breaching,
+        }
+
+
+@dataclass(frozen=True)
+class SloBreachEvent:
+    """A breach transition (``started`` True on entry, False on recovery)."""
+
+    objective: str
+    started: bool
+    short_burn: float
+    long_burn: float
+    at: float
+
+
+#: serve defaults: p99-style latency objective plus an availability floor
+DEFAULT_OBJECTIVES: Tuple[SloObjective, ...] = (
+    SloObjective(name="latency", target=0.99, latency_threshold_s=0.25),
+    SloObjective(name="availability", target=0.999),
+)
+
+
+class SloMonitor:
+    """Evaluates objectives over a bounded in-memory event ring.
+
+    ``observe`` is the hot-path call (append to a deque under a lock);
+    ``evaluate`` walks the ring once per invocation and is meant for the
+    per-response cadence of a server or the refresh cadence of a console.
+    ``clock`` is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        objectives: Sequence[SloObjective] = DEFAULT_OBJECTIVES,
+        clock: Callable[[], float] = time.monotonic,
+        capacity: int = 8192,
+        min_events: int = 10,
+    ) -> None:
+        if not objectives:
+            raise ValueError("monitor needs at least one objective")
+        names = [o.name for o in objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"objective names must be unique: {names}")
+        self.objectives = tuple(objectives)
+        self._clock = clock
+        self._min_events = min_events
+        #: (timestamp, latency_s, ok) per request, oldest first
+        self._events: Deque[Tuple[float, float, bool]] = deque(maxlen=capacity)
+        self._breaching: Dict[str, bool] = {o.name: False for o in self.objectives}
+        self._breach_events: List[SloBreachEvent] = []
+        self._lock = threading.Lock()
+
+    def observe(self, latency_s: float, ok: bool = True) -> None:
+        """Record one finished request."""
+        with self._lock:
+            self._events.append((self._clock(), float(latency_s), bool(ok)))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def _burn(self, objective: SloObjective, window_s: float, now: float) -> Tuple[float, int]:
+        """(burn rate, event count) over the trailing window."""
+        cutoff = now - window_s
+        total = bad = 0
+        for t, latency_s, ok in self._events:
+            if t < cutoff:
+                continue
+            total += 1
+            if objective.is_bad(latency_s, ok):
+                bad += 1
+        if total == 0:
+            return 0.0, 0
+        return (bad / total) / objective.budget, total
+
+    def evaluate(self) -> List[SloStatus]:
+        """Burn rates for every objective; fires breach-transition events."""
+        now = self._clock()
+        statuses: List[SloStatus] = []
+        transitions: List[SloBreachEvent] = []
+        with self._lock:
+            for objective in self.objectives:
+                short_burn, short_n = self._burn(objective, objective.short_window_s, now)
+                long_burn, long_n = self._burn(objective, objective.long_window_s, now)
+                breaching = (
+                    long_n >= self._min_events
+                    and short_burn >= objective.burn_threshold
+                    and long_burn >= objective.burn_threshold
+                )
+                statuses.append(
+                    SloStatus(
+                        objective=objective,
+                        short_burn=short_burn,
+                        long_burn=long_burn,
+                        short_events=short_n,
+                        long_events=long_n,
+                        breaching=breaching,
+                    )
+                )
+                if breaching != self._breaching[objective.name]:
+                    self._breaching[objective.name] = breaching
+                    transitions.append(
+                        SloBreachEvent(
+                            objective=objective.name,
+                            started=breaching,
+                            short_burn=short_burn,
+                            long_burn=long_burn,
+                            at=now,
+                        )
+                    )
+        # emit outside the lock: log handlers may be arbitrarily slow
+        for event in transitions:
+            self._breach_events.append(event)
+            counter_inc("slo.breaches" if event.started else "slo.recoveries")
+            log_event(
+                _LOG,
+                logging.WARNING if event.started else logging.INFO,
+                "slo.breach" if event.started else "slo.recovery",
+                objective=event.objective,
+                short_burn=round(event.short_burn, 3),
+                long_burn=round(event.long_burn, 3),
+            )
+        return statuses
+
+    @property
+    def breach_events(self) -> List[SloBreachEvent]:
+        """Every breach/recovery transition fired so far, oldest first."""
+        return list(self._breach_events)
+
+    def should_shed(self) -> bool:
+        """True while any *latency* objective is in breach.
+
+        Error-rate breaches do not trigger shedding: refusing traffic
+        cannot repair a correctness problem, only a congestion one.
+        """
+        statuses = self.evaluate()
+        return any(
+            s.breaching and s.objective.latency_threshold_s is not None
+            for s in statuses
+        )
+
+    def snapshot(self) -> List[dict]:
+        """JSON-ready evaluation (the ``repro top`` SLO column's source)."""
+        return [s.to_dict() for s in self.evaluate()]

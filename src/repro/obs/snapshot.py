@@ -1,0 +1,260 @@
+"""Telemetry snapshots: one JSON document describing a live service.
+
+The server's ``stats`` verb and the ``repro top`` console both need the
+same thing — a point-in-time reduction of the metrics registry (queue
+depth, throughput counters, latency quantiles with exemplars, batch-size
+shape, energy rates) plus the SLO monitor's burn rates, as plain JSON.
+:func:`telemetry_snapshot` builds it; :func:`render_top` turns it into a
+fixed-width, curses-free console frame (the CLI just clears the screen
+and reprints).
+
+:func:`histogram_quantile` recovers quantiles from the ``le``-bucket
+counts the registry keeps, Prometheus-style: find the bucket the target
+rank falls in, interpolate linearly inside it.  Exact enough for a
+console; the raw buckets stay in the snapshot for anything stricter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from .._version import __version__
+from .metrics import Histogram, MetricsRegistry
+
+__all__ = [
+    "SNAPSHOT_SCHEMA",
+    "histogram_quantile",
+    "histogram_stats",
+    "telemetry_snapshot",
+    "render_top",
+    "sparkline",
+]
+
+#: bump when a snapshot field changes meaning
+SNAPSHOT_SCHEMA = "repro-telemetry-snapshot/v1"
+
+_HistogramLike = Union[Histogram, Mapping[str, Any]]
+
+
+def _hist_payload(hist: _HistogramLike) -> Optional[Dict[str, Any]]:
+    if isinstance(hist, Histogram):
+        return hist.to_dict()
+    if isinstance(hist, Mapping) and hist.get("type") == "histogram":
+        return dict(hist)
+    return None
+
+
+def histogram_quantile(hist: _HistogramLike, q: float) -> float:
+    """The ``q``-quantile (0..1) recovered from le-bucket counts.
+
+    Linear interpolation inside the winning bucket; observations beyond
+    the last finite edge clamp to that edge (the Prometheus convention —
+    the overflow bucket has no upper bound to interpolate toward).
+    Returns 0.0 for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must lie in [0, 1], got {q}")
+    payload = _hist_payload(hist)
+    if payload is None:
+        raise TypeError("histogram_quantile needs a Histogram or its to_dict payload")
+    boundaries: Sequence[float] = payload["boundaries"]
+    counts: Sequence[int] = payload["counts"]
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    cumulative = 0.0
+    for i, count in enumerate(counts):
+        prev_cumulative = cumulative
+        cumulative += count
+        if cumulative < rank or count == 0:
+            continue
+        if i >= len(boundaries):  # overflow bucket: clamp to the last edge
+            return float(boundaries[-1])
+        lower = boundaries[i - 1] if i > 0 else 0.0
+        upper = boundaries[i]
+        fraction = (rank - prev_cumulative) / count
+        return float(lower + (upper - lower) * fraction)
+    return float(boundaries[-1])
+
+
+def histogram_stats(hist: _HistogramLike) -> Dict[str, Any]:
+    """Count/mean/p50/p95/p99 (+ the p99 bucket's exemplar, if kept)."""
+    payload = _hist_payload(hist)
+    if payload is None:
+        raise TypeError("histogram_stats needs a Histogram or its to_dict payload")
+    count = payload["count"]
+    stats: Dict[str, Any] = {
+        "count": count,
+        "mean": (payload["sum"] / count) if count else 0.0,
+        "p50": histogram_quantile(payload, 0.50),
+        "p95": histogram_quantile(payload, 0.95),
+        "p99": histogram_quantile(payload, 0.99),
+    }
+    exemplars = payload.get("exemplars")
+    if exemplars:
+        # the exemplar for the slowest non-empty bucket: the trace a p99
+        # outlier links back to
+        for counts_idx in range(len(payload["counts"]) - 1, -1, -1):
+            if payload["counts"][counts_idx] and exemplars[counts_idx]:
+                stats["slow_exemplar"] = exemplars[counts_idx]
+                break
+    return stats
+
+
+def _counter_values(registry: MetricsRegistry, names: Sequence[str]) -> Dict[str, float]:
+    return {name.rsplit(".", 1)[-1]: registry.value(name) for name in names}
+
+
+def telemetry_snapshot(
+    registry: MetricsRegistry,
+    slo: Optional[Sequence[Mapping[str, Any]]] = None,
+    server: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One JSON-ready document summarizing a live service.
+
+    ``slo`` takes the output of :meth:`repro.obs.slo.SloMonitor.snapshot`
+    and ``server`` whatever loop-side state only the server knows
+    (inflight count, breaker state, mode, uptime); both are optional so
+    tests and offline tools can snapshot a bare registry.
+    """
+    doc: Dict[str, Any] = {
+        "schema": SNAPSHOT_SCHEMA,
+        "repro_version": __version__,
+        "server": dict(server) if server is not None else {},
+        "requests": _counter_values(registry, (
+            "serve.accepted", "serve.shed", "serve.responses",
+            "serve.cache_hits", "serve.dedup_hits", "serve.degraded",
+            "serve.deadline_exceeded", "serve.cancelled", "serve.replayed",
+        )),
+        "queue_depth": registry.value("serve.queue_depth"),
+        "batches": registry.value("serve.batches"),
+        "breaker_trips": registry.value("serve.breaker.trips"),
+        "slo": [dict(s) for s in slo] if slo is not None else [],
+    }
+    latency = registry.get("serve.latency_seconds")
+    if isinstance(latency, Histogram):
+        doc["latency_seconds"] = histogram_stats(latency)
+        doc["latency_buckets"] = latency.to_dict()
+    batch = registry.get("serve.batch_size")
+    if isinstance(batch, Histogram):
+        doc["batch_size"] = histogram_stats(batch)
+        doc["batch_buckets"] = batch.to_dict()
+    energy_requests = registry.value("repro_energy.requests")
+    if energy_requests:
+        total_pj = registry.value("repro_energy.total_pj")
+        doc["energy"] = {
+            "requests": energy_requests,
+            "total_pj": total_pj,
+            "total_joules": total_pj / 1e12,
+            "mean_request_pj": total_pj / energy_requests,
+            "components_pj": _counter_values(registry, (
+                "repro_energy.compute_pj", "repro_energy.smem_pj",
+                "repro_energy.l2_pj", "repro_energy.dram_pj",
+                "repro_energy.static_pj",
+            )),
+        }
+        request_pj = registry.get("repro_energy.request_pj")
+        if isinstance(request_pj, Histogram):
+            doc["energy"]["request_pj"] = histogram_stats(request_pj)
+    return doc
+
+
+_SPARK_CHARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(counts: Sequence[float]) -> str:
+    """Unicode mini-bars for a bucket-count vector (empty-safe)."""
+    peak = max(counts) if counts else 0
+    if peak <= 0:
+        return " " * len(counts)
+    return "".join(
+        _SPARK_CHARS[min(len(_SPARK_CHARS) - 1, 1 + int(c / peak * (len(_SPARK_CHARS) - 2)))]
+        if c > 0 else _SPARK_CHARS[0]
+        for c in counts
+    )
+
+
+def _fmt_si(value: float, unit: str) -> str:
+    if value == 0:
+        return f"0{unit}"
+    for scale, prefix in (
+        (1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k"), (1.0, ""),
+        (1e-3, "m"), (1e-6, "u"), (1e-9, "n"),
+    ):
+        if abs(value) >= scale:
+            return f"{value / scale:.2f}{prefix}{unit}"
+    return f"{value / 1e-12:.2f}p{unit}"
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.2f}ms"
+
+
+def render_top(snapshot: Mapping[str, Any]) -> str:
+    """One console frame for ``repro top`` (plain text, no curses)."""
+    lines: List[str] = []
+    server = snapshot.get("server", {})
+    head = f"repro top — telemetry snapshot (repro {snapshot.get('repro_version', '?')})"
+    if server:
+        detail = "  ".join(
+            f"{k}={v}" for k, v in server.items() if not isinstance(v, (dict, list))
+        )
+        if detail:
+            head += f"\n  {detail}"
+    lines.append(head)
+
+    req = snapshot.get("requests", {})
+    shown = "  ".join(
+        f"{k}={int(v)}" for k, v in req.items()
+        if v or k in ("accepted", "shed", "responses")
+    )
+    lines.append(f"  requests   {shown or '(none)'}")
+    lines.append(
+        f"  queue      depth={int(snapshot.get('queue_depth', 0))}"
+        f"  batches={int(snapshot.get('batches', 0))}"
+        f"  breaker_trips={int(snapshot.get('breaker_trips', 0))}"
+    )
+
+    latency = snapshot.get("latency_seconds")
+    if latency:
+        row = (
+            f"  latency    p50={_fmt_ms(latency['p50'])}"
+            f"  p95={_fmt_ms(latency['p95'])}"
+            f"  p99={_fmt_ms(latency['p99'])}"
+            f"  mean={_fmt_ms(latency['mean'])}"
+            f"  n={latency['count']}"
+        )
+        if latency.get("slow_exemplar"):
+            row += f"  slowest▸{str(latency['slow_exemplar'])[:12]}"
+        lines.append(row)
+    batch = snapshot.get("batch_size")
+    if batch:
+        row = (
+            f"  batchsize  p50={batch['p50']:.1f}  p99={batch['p99']:.1f}"
+            f"  mean={batch['mean']:.2f}"
+        )
+        buckets = snapshot.get("batch_buckets")
+        if buckets:
+            row += f"  {sparkline(buckets['counts'])}"
+        lines.append(row)
+
+    energy = snapshot.get("energy")
+    if energy:
+        lines.append(
+            f"  energy     total={_fmt_si(energy['total_joules'], 'J')}"
+            f"  mean={_fmt_si(energy['mean_request_pj'] / 1e12, 'J')}/req"
+            f"  metered={int(energy['requests'])}"
+        )
+
+    slo = snapshot.get("slo") or []
+    if slo:
+        lines.append("  slo        objective      burn(short/long)   state")
+        for status in slo:
+            state = "BREACH" if status.get("breaching") else "ok"
+            lines.append(
+                f"             {status['name']:<14}"
+                f"{status['short_burn']:.2f}/{status['long_burn']:.2f}"
+                f"{'':<12}{state}"
+            )
+    return "\n".join(lines)

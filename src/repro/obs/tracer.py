@@ -63,6 +63,7 @@ class Span:
         "thread",
         "start_us",
         "dur_us",
+        "links",
         "_tracer",
     )
 
@@ -85,10 +86,25 @@ class Span:
         self.thread = thread
         self.start_us = 0.0
         self.dur_us = 0.0
+        #: fan-in links to other traces (allocated on first use; a span
+        #: without links carries no list at all)
+        self.links: Optional[List[Dict[str, str]]] = None
 
     def set(self, **attrs: Any) -> "Span":
         """Attach (or overwrite) attributes; chainable."""
         self.attrs.update(attrs)
+        return self
+
+    def add_link(self, trace_id: str, span_id: str = "") -> "Span":
+        """Link this span to another trace (batched fan-in attribution).
+
+        One micro-batched dispatch serves N coalesced requests; the
+        dispatch span links to every member's trace context so each
+        request's timeline can claim the shared work.  Chainable.
+        """
+        if self.links is None:
+            self.links = []
+        self.links.append({"trace_id": trace_id, "span_id": span_id})
         return self
 
     def __enter__(self) -> "Span":
@@ -108,6 +124,9 @@ class _NullSpan:
     __slots__ = ()
 
     def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def add_link(self, trace_id: str, span_id: str = "") -> "_NullSpan":
         return self
 
     def __enter__(self) -> "_NullSpan":

@@ -32,6 +32,7 @@ from typing import Callable, Optional
 from ..errors import ServiceOverloadError
 from ..obs.log import get_logger, log_event
 from ..obs.metrics import active_metrics, counter_inc
+from ..obs.slo import SloMonitor
 
 __all__ = ["AdmissionController", "CircuitBreaker"]
 
@@ -49,6 +50,7 @@ class AdmissionController:
         max_queue_depth: int = 64,
         max_wait_s: Optional[float] = None,
         latency_alpha: float = 0.2,
+        slo_monitor: Optional[SloMonitor] = None,
     ) -> None:
         if max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1")
@@ -58,10 +60,14 @@ class AdmissionController:
         #: estimated queueing delay beyond which new work is shed (None = depth only)
         self.max_wait_s = max_wait_s
         self.latency_alpha = latency_alpha
+        #: while a latency objective burns, the depth bound halves — the
+        #: monitored signal closes the loop the EWMA only approximates
+        self.slo_monitor = slo_monitor
         self.depth = 0
         self.ewma_service_s = 0.0
         self.shed_total = 0
         self.admitted_total = 0
+        self.slo_shed_total = 0
 
     # -- service-time feedback --------------------------------------------
     def observe_service_time(self, seconds: float) -> None:
@@ -79,17 +85,34 @@ class AdmissionController:
         return self.depth * self.ewma_service_s
 
     # -- admission ---------------------------------------------------------
-    def admit(self) -> None:
-        """Claim one queue slot or raise :class:`ServiceOverloadError`."""
+    def admit(self, request_id: Optional[str] = None) -> None:
+        """Claim one queue slot or raise :class:`ServiceOverloadError`.
+
+        ``request_id`` is correlation only — it rides the shed log record
+        so a rejected request is attributable without a trace.
+        """
         retry_after = max(self.estimated_wait_s(), self.ewma_service_s)
         if self.depth >= self.max_queue_depth:
-            self._shed(f"queue full ({self.depth}/{self.max_queue_depth})", retry_after)
+            self._shed(
+                f"queue full ({self.depth}/{self.max_queue_depth})",
+                retry_after, request_id,
+            )
         if self.max_wait_s is not None and self.estimated_wait_s() > self.max_wait_s:
             self._shed(
                 f"estimated wait {self.estimated_wait_s():.3f}s exceeds "
                 f"budget {self.max_wait_s:.3f}s",
-                retry_after,
+                retry_after, request_id,
             )
+        if self.slo_monitor is not None and self.slo_monitor.should_shed():
+            tightened = max(1, self.max_queue_depth // 2)
+            if self.depth >= tightened:
+                self.slo_shed_total += 1
+                counter_inc("serve.slo_shed")
+                self._shed(
+                    f"latency SLO burning: queue bound tightened to "
+                    f"{tightened} ({self.depth} queued)",
+                    retry_after, request_id,
+                )
         self.depth += 1
         self.admitted_total += 1
         self._export_depth()
@@ -99,10 +122,16 @@ class AdmissionController:
         self.depth = max(0, self.depth - 1)
         self._export_depth()
 
-    def _shed(self, why: str, retry_after: float) -> None:
+    def _shed(
+        self, why: str, retry_after: float, request_id: Optional[str] = None
+    ) -> None:
         self.shed_total += 1
         counter_inc("serve.shed")
-        log_event(_log, 30, "admission.shed", why=why, retry_after_s=retry_after)
+        if request_id is not None:
+            log_event(_log, 30, "admission.shed",
+                      id=request_id, why=why, retry_after_s=retry_after)
+        else:
+            log_event(_log, 30, "admission.shed", why=why, retry_after_s=retry_after)
         raise ServiceOverloadError(
             f"request shed: {why}; retry after {retry_after:.3f}s",
             retry_after_s=retry_after,

@@ -40,6 +40,7 @@ import numpy as np
 
 from ..core.problem import ProblemSpec
 from ..errors import DegradedResultWarning
+from ..obs.context import TraceContext
 from ..obs.metrics import active_metrics, counter_inc
 from ..serve.chaos import active_chaos
 from ..store.functional import cached_solve
@@ -71,6 +72,9 @@ class BatchMember:
     #: admission slot returned already (guards double release when a member
     #: is both resolved and swept up by an error path)
     released: bool = field(default=False)
+    #: server-side trace context (None while telemetry is disarmed); the
+    #: dispatch span links back to every member's context for fan-in
+    ctx: Optional[TraceContext] = None
 
     def __post_init__(self) -> None:
         if not self.digest:

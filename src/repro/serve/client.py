@@ -44,7 +44,9 @@ from ..errors import (
     ServiceOverloadError,
     TransientModelError,
 )
+from ..obs.context import new_context
 from ..obs.log import get_logger, log_event
+from ..obs.tracer import active_tracer
 from .protocol import SolveRequest, SolveResponse, array_checksum, decode_message, encode_message
 
 __all__ = ["ServeClient", "SolveResult"]
@@ -65,6 +67,11 @@ class SolveResult:
     cached: bool = False
     #: how many requests shared the dispatch that produced this answer
     batch_size: int = 1
+    #: modelled energy of the solve in picojoules (None = metering off)
+    energy_pj: Optional[float] = None
+    #: the trace context that handled this request, traceparent form
+    #: (None = telemetry off end to end)
+    trace: Optional[str] = None
 
 
 class ServeClient:
@@ -127,7 +134,13 @@ class ServeClient:
                 except InvalidProblemError:
                     log_event(_log, 30, "client.bad_frame")
                     continue
-                if doc.get("type") != "result":
+                kind = doc.get("type")
+                if kind == "stats":
+                    future = self._inflight.pop(str(doc.get("id", "")), None)
+                    if future is not None and not future.done():
+                        future.set_result(doc.get("snapshot", {}))
+                    continue
+                if kind != "result":
                     continue
                 response = SolveResponse.from_payload(doc)
                 future = self._inflight.pop(response.id, None)
@@ -154,6 +167,22 @@ class ServeClient:
         await asyncio.sleep(0)
         return not self._reader.at_eof()
 
+    async def stats(self, timeout_s: float = 5.0) -> Dict[str, object]:
+        """Fetch the server's telemetry snapshot (the ``repro top`` source)."""
+        loop = asyncio.get_running_loop()
+        stats_id = f"stats{next(_request_ids)}"
+        future: "asyncio.Future[Dict[str, object]]" = loop.create_future()
+        self._inflight[stats_id] = future  # type: ignore[assignment]
+        try:
+            await self._send({"type": "stats", "id": stats_id})
+            return await asyncio.wait_for(future, timeout=timeout_s)
+        except asyncio.TimeoutError:
+            raise DeadlineExceededError(
+                f"stats request exceeded its {timeout_s}s budget"
+            ) from None
+        finally:
+            self._inflight.pop(stats_id, None)
+
     async def solve(
         self,
         request: SolveRequest,
@@ -166,6 +195,9 @@ class ServeClient:
             request = request.with_id(f"r{next(_request_ids)}")
         if deadline_s is not None and request.deadline_s != deadline_s:
             request = replace(request, deadline_s=deadline_s)
+        if request.trace is None and active_tracer() is not None:
+            # a tracing client roots the trace; the server continues it
+            request = replace(request, trace=new_context().to_traceparent())
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[SolveResponse]" = loop.create_future()
         self._inflight[request.id] = future
@@ -215,4 +247,6 @@ class ServeClient:
             degraded=response.degraded,
             cached=response.cached,
             batch_size=response.batch_size,
+            energy_pj=response.energy_pj,
+            trace=response.trace,
         )

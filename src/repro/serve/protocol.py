@@ -13,6 +13,16 @@ detected (and recovered) fault instead of a wrong answer.
 
 Floats travel as JSON numbers: every float32/float64 value is exactly
 representable, so an encode/decode round trip is bit-identical.
+
+Telemetry rides the same frames without changing them when it is off: a
+tracing client attaches ``trace`` (a W3C-traceparent-style string, see
+:mod:`repro.obs.context`) to a solve, the server continues that trace
+and echoes its context plus a modelled ``energy_pj`` on the response —
+all three fields are simply absent while telemetry is disarmed.  Besides
+``solve`` and ``ping``, a ``{"type": "stats", "id": ...}`` request
+returns ``{"type": "stats", "id": ..., "snapshot": {...}}`` with the
+:data:`repro.obs.snapshot.SNAPSHOT_SCHEMA` document ``repro top``
+renders.
 """
 
 from __future__ import annotations
@@ -71,6 +81,9 @@ class SolveRequest:
     seed: int = 0
     implementation: str = "fused"
     deadline_s: Optional[float] = None
+    #: W3C-traceparent-style trace context (``00-<32hex>-<16hex>-<2hex>``);
+    #: None = the client is not tracing.  Never part of the content digest.
+    trace: Optional[str] = None
 
     def __post_init__(self) -> None:
         # an empty id means "let the client assign one before sending";
@@ -96,7 +109,7 @@ class SolveRequest:
         return replace(self, id=new_id)
 
     def to_payload(self) -> Dict[str, Any]:
-        return {
+        doc: Dict[str, Any] = {
             "type": "solve",
             "version": PROTOCOL_VERSION,
             "id": self.id,
@@ -108,6 +121,9 @@ class SolveRequest:
             "implementation": self.implementation,
             "deadline_s": self.deadline_s,
         }
+        if self.trace is not None:
+            doc["trace"] = self.trace
+        return doc
 
     @classmethod
     def from_payload(cls, doc: Dict[str, Any]) -> "SolveRequest":
@@ -126,6 +142,7 @@ class SolveRequest:
                     None if doc.get("deadline_s") is None
                     else float(doc["deadline_s"])
                 ),
+                trace=(None if doc.get("trace") is None else str(doc["trace"])),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise InvalidProblemError(f"malformed solve request: {exc}") from exc
@@ -150,6 +167,12 @@ class SolveResponse:
     batch_size: int = 1
     error: Optional[str] = None
     retry_after_s: Optional[float] = None
+    #: modelled energy of this request's solve (picojoules); None while
+    #: energy metering is disarmed server-side
+    energy_pj: Optional[float] = None
+    #: the server-side trace context that handled this request (traceparent
+    #: form); None while telemetry is disarmed
+    trace: Optional[str] = None
 
     def to_payload(self) -> Dict[str, Any]:
         doc: Dict[str, Any] = {
@@ -169,6 +192,10 @@ class SolveResponse:
             doc["error"] = self.error
         if self.retry_after_s is not None:
             doc["retry_after_s"] = self.retry_after_s
+        if self.energy_pj is not None:
+            doc["energy_pj"] = self.energy_pj
+        if self.trace is not None:
+            doc["trace"] = self.trace
         return doc
 
     @classmethod
@@ -184,6 +211,8 @@ class SolveResponse:
             batch_size=int(doc.get("batch_size", 1)),
             error=doc.get("error"),
             retry_after_s=doc.get("retry_after_s"),
+            energy_pj=doc.get("energy_pj"),
+            trace=doc.get("trace"),
         )
 
     def array(self) -> np.ndarray:
@@ -201,6 +230,8 @@ class SolveResponse:
         degraded: bool = False,
         cached: bool = False,
         batch_size: int = 1,
+        energy_pj: Optional[float] = None,
+        trace: Optional[str] = None,
     ) -> "SolveResponse":
         return cls(
             id=request_id,
@@ -211,6 +242,8 @@ class SolveResponse:
             degraded=degraded,
             cached=cached,
             batch_size=batch_size,
+            energy_pj=energy_pj,
+            trace=trace,
         )
 
 

@@ -28,6 +28,16 @@ Every stage exports metrics through :mod:`repro.obs.metrics` when
 collection is armed: ``serve.queue_depth``, ``serve.shed``,
 ``serve.breaker.trips``, ``serve.latency_seconds``, ``serve.batch_size``
 and friends (see docs/SERVING.md for the full table).
+
+With telemetry armed the server also continues each request's trace
+context end to end (admit -> dispatch -> resolve spans, with the shared
+dispatch span *linking* back to every coalesced member — see
+:mod:`repro.obs.context`), stamps per-request modelled ``energy_pj``
+through :mod:`repro.obs.energy_meter`, feeds an optional
+:class:`~repro.obs.slo.SloMonitor` whose burn rates tighten admission,
+and answers the ``stats`` verb with a
+:mod:`repro.obs.snapshot` document (the ``repro top`` data source).
+All of it is absent — zero cost, bit-identical results — while disarmed.
 """
 
 from __future__ import annotations
@@ -41,8 +51,13 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..core.problem import ProblemSpec
 from ..errors import InvalidProblemError, ReproError
+from ..obs.context import TraceContext, bind_context, new_context, parse_traceparent
+from ..obs.energy_meter import active_energy_meter
 from ..obs.log import get_logger, log_event
-from ..obs.metrics import active_metrics, counter_inc
+from ..obs.metrics import MetricsRegistry, active_metrics, counter_inc
+from ..obs.slo import SloMonitor
+from ..obs.snapshot import telemetry_snapshot
+from ..obs.tracer import active_tracer, span
 from ..store.result_store import ResultStore
 from .admission import AdmissionController, CircuitBreaker
 from .batcher import (
@@ -114,10 +129,14 @@ class KernelServer:
         store: Optional[ResultStore] = None,
         journal: Optional[RequestJournal] = None,
         clock: Callable[[], float] = time.monotonic,
+        slo_monitor: Optional[SloMonitor] = None,
     ) -> None:
         self.config = config
         self.store = store
         self.journal = journal
+        self._clock = clock
+        self._started_at = clock()
+        self.slo_monitor = slo_monitor
         self.breaker = CircuitBreaker(
             backend="batched-engine",
             failure_threshold=config.breaker_threshold,
@@ -127,6 +146,7 @@ class KernelServer:
         self.admission = AdmissionController(
             max_queue_depth=config.max_queue_depth,
             max_wait_s=config.max_wait_s,
+            slo_monitor=slo_monitor,
         )
         batch = config.max_batch_size if config.mode == "batched" else 1
         delay = config.batch_delay_s if config.mode == "batched" else 0.0
@@ -264,6 +284,14 @@ class KernelServer:
                 conn.writer.write(encode_message({"type": "pong"}))
                 await conn.writer.drain()
             return
+        if doc.get("type") == "stats":
+            reply = {"type": "stats", "snapshot": self.snapshot()}
+            if doc.get("id") is not None:
+                reply["id"] = doc["id"]
+            async with conn.write_lock:
+                conn.writer.write(encode_message(reply))
+                await conn.writer.drain()
+            return
         if doc.get("type") != "solve":
             await self._write(conn, SolveResponse(
                 id=str(doc.get("id", "?")), status="invalid",
@@ -275,15 +303,25 @@ class KernelServer:
             await self._write(conn, SolveResponse(
                 id=str(doc.get("id", "?")), status="invalid", error=str(exc)))
             return
-        try:
-            self.admission.admit()
-        except ReproError as exc:
-            retry = getattr(exc, "retry_after_s", 0.0)
-            await self._write(conn, SolveResponse(
-                id=request.id, status="overload", error=str(exc),
-                retry_after_s=retry))
-            return
-        counter_inc("serve.accepted")
+        # continue the client's trace (or root a new one) only when the
+        # server is tracing or the client sent a context — the common
+        # disarmed path does no id generation at all
+        ctx: Optional[TraceContext] = None
+        if active_tracer() is not None or request.trace is not None:
+            parent = parse_traceparent(request.trace)
+            ctx = parent.child() if parent is not None else new_context()
+        with bind_context(ctx):
+            try:
+                with span("serve.admit", id=request.id):
+                    self.admission.admit(request_id=request.id)
+            except ReproError as exc:
+                retry = getattr(exc, "retry_after_s", 0.0)
+                await self._write(conn, SolveResponse(
+                    id=request.id, status="overload", error=str(exc),
+                    retry_after_s=retry,
+                    trace=None if ctx is None else ctx.to_traceparent()))
+                return
+            counter_inc("serve.accepted")
         deadline_s = request.deadline_s
         if deadline_s is None:
             deadline_s = self.config.default_deadline_s
@@ -292,6 +330,7 @@ class KernelServer:
             future=loop.create_future(),
             enqueued_at=loop.time(),
             deadline_at=None if deadline_s is None else loop.time() + deadline_s,
+            ctx=ctx,
         )
         conn.members.add(member)
         self._queue.put_nowait(member)
@@ -325,7 +364,9 @@ class KernelServer:
             try:
                 await self._dispatch_batch(members)
             except Exception as exc:  # noqa: BLE001 - the loop must survive
-                log_event(_log, 40, "dispatch.failed", error=type(exc).__name__)
+                log_event(_log, 40, "dispatch.failed",
+                          error=type(exc).__name__,
+                          ids=",".join(m.request.id for m in members))
                 for m in members:
                     self._resolve(m, SolveResponse(
                         id=m.request.id, status="error", error=str(exc)))
@@ -370,23 +411,33 @@ class KernelServer:
         order = list(unique.values())
         results: Dict[str, GroupResult] = {}
 
-        if self.breaker.allow():
-            try:
-                computed = await self._run_in_executor(compute_group, order, self.store)
-                for r in computed:
-                    self._verify(r)
-                    results[r.digest] = r
-                self.breaker.record_success()
-            except (ReproError, RuntimeError, ValueError) as exc:
-                self.breaker.record_failure()
-                log_event(_log, 30, "group.failed",
-                          size=len(order), error=type(exc).__name__)
-        # retry ladder: anything the group dispatch didn't produce cleanly
-        for digest, implementation, spec in order:
-            if digest in results:
-                continue
-            results[digest] = await self._fallback(digest, implementation, spec)
+        # one shared dispatch serves every coalesced member: the span links
+        # back to each member's trace so all N requests claim this work
+        with span("serve.dispatch",
+                  group_size=len(members), unique=len(order)) as dispatch_span:
+            for m in members:
+                if m.ctx is not None:
+                    dispatch_span.add_link(m.ctx.trace_id, m.ctx.span_id)
+            if self.breaker.allow():
+                try:
+                    computed = await self._run_in_executor(compute_group, order, self.store)
+                    for r in computed:
+                        self._verify(r)
+                        results[r.digest] = r
+                    self.breaker.record_success()
+                except (ReproError, RuntimeError, ValueError) as exc:
+                    self.breaker.record_failure()
+                    log_event(_log, 30, "group.failed",
+                              size=len(order), error=type(exc).__name__,
+                              ids=",".join(m.request.id for m in members))
+            # retry ladder: anything the group dispatch didn't produce cleanly
+            for digest, implementation, spec in order:
+                if digest in results:
+                    continue
+                results[digest] = await self._fallback(digest, implementation, spec)
 
+        meter = active_energy_meter()
+        charged: Dict[str, float] = {}
         batch_size = len(members)
         for m in members:
             r = results.get(m.digest)
@@ -398,10 +449,30 @@ class KernelServer:
                 counter_inc("serve.cache_hits")
             if r.degraded:
                 counter_inc("serve.degraded")
-            self._resolve(m, SolveResponse.ok(
-                m.request.id, r.V, r.checksum,
-                degraded=r.degraded, cached=r.cached, batch_size=batch_size,
-            ))
+            energy_pj = None
+            if meter is not None:
+                energy = meter.estimate(m.request.implementation, m.request.spec())
+                energy_pj = energy.total_pj
+                # charge actual modelled joules once per freshly computed
+                # digest; warm hits and dedup fan-out reuse spent energy
+                if not r.cached and m.digest not in charged:
+                    meter.charge(
+                        energy,
+                        exemplar=None if m.ctx is None else m.ctx.trace_id,
+                    )
+                charged[m.digest] = energy_pj
+            with span("serve.resolve", id=m.request.id,
+                      cache="warm" if r.cached else "cold") as resolve_span:
+                if m.ctx is not None:
+                    resolve_span.set(trace=m.ctx.trace_id)
+                if energy_pj is not None:
+                    resolve_span.set(energy_pj=energy_pj)
+                self._resolve(m, SolveResponse.ok(
+                    m.request.id, r.V, r.checksum,
+                    degraded=r.degraded, cached=r.cached, batch_size=batch_size,
+                    energy_pj=energy_pj,
+                    trace=None if m.ctx is None else m.ctx.to_traceparent(),
+                ))
 
     async def _fallback(
         self, digest: str, implementation: str, spec: ProblemSpec
@@ -446,10 +517,45 @@ class KernelServer:
         latency = loop.time() - member.enqueued_at
         registry = active_metrics()
         if registry is not None:
-            registry.histogram("serve.latency_seconds", LATENCY_BUCKETS).observe(latency)
+            registry.histogram("serve.latency_seconds", LATENCY_BUCKETS).observe(
+                latency,
+                exemplar=None if member.ctx is None else member.ctx.trace_id,
+            )
         counter_inc("serve.responses")
         self.admission.observe_service_time(latency)
+        if self.slo_monitor is not None:
+            self.slo_monitor.observe(latency, ok=response.status == "ok")
         member.future.set_result(response)
+
+    # -- telemetry ---------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The ``stats`` verb's JSON document (see :mod:`repro.obs.snapshot`).
+
+        Built from the active metrics registry when one is armed (an empty
+        registry otherwise, so the document shape never changes), plus the
+        loop-side state only the server knows.
+        """
+        registry = active_metrics()
+        if registry is None:
+            registry = MetricsRegistry()
+        slo = None
+        if self.slo_monitor is not None:
+            slo = self.slo_monitor.snapshot()
+        server_state = {
+            "mode": self.config.mode,
+            "uptime_s": round(self._clock() - self._started_at, 3),
+            "connections": len(self._connections),
+            "queued": self._queue.qsize(),
+            "inflight": self.admission.depth,
+            "breaker": self.breaker.state,
+            "breaker_trips": self.breaker.trips_total,
+            "admitted_total": self.admission.admitted_total,
+            "shed_total": self.admission.shed_total,
+            "slo_shed_total": self.admission.slo_shed_total,
+            "energy_metering": active_energy_meter() is not None,
+            "tracing": active_tracer() is not None,
+        }
+        return telemetry_snapshot(registry, slo=slo, server=server_state)
 
     async def _run_in_executor(self, fn, *args):
         loop = asyncio.get_running_loop()

@@ -11,8 +11,8 @@ from repro.analysis.baseline import load_baseline, new_findings, save_baseline
 from repro.analysis.lint import RULES, lint_paths, lint_source
 
 
-def lint(src, rules=None):
-    return lint_source(textwrap.dedent(src), path="fixture.py", rules=rules)
+def lint(src, rules=None, path="fixture.py"):
+    return lint_source(textwrap.dedent(src), path=path, rules=rules)
 
 
 def rules_of(findings):
@@ -348,6 +348,83 @@ def test_ra006_seeded_mutant_is_caught():
 
 
 # ---------------------------------------------------------------------------
+# RA007: span() in serve code must be a with-statement
+
+
+def test_ra007_span_held_as_value_in_serve_path():
+    findings = lint(
+        """
+        def handle(request):
+            s = span("serve.admit", id=request.id)
+            admit(request)
+            s.__exit__(None, None, None)
+        """,
+        path="src/repro/serve/server.py",
+    )
+    assert rules_of(findings) == ["RA007"]
+    assert findings[0].context == "handle"
+
+
+def test_ra007_with_statement_clean():
+    assert lint(
+        """
+        def handle(request):
+            with span("serve.admit", id=request.id):
+                admit(request)
+            with tracer.span("serve.resolve") as s:
+                s.set(cache="warm")
+        """,
+        path="src/repro/serve/server.py",
+    ) == []
+
+
+def test_ra007_only_binds_on_serve_paths():
+    # holding a span as a value is deliberate in e.g. the loadgen marker
+    # pattern; the rule is scoped to request-handling code
+    assert lint(
+        """
+        def marker(req):
+            m = span("loadgen.request", id=req.id)
+            with m:
+                pass
+        """,
+        path="src/repro/cli.py",
+    ) == []
+
+
+def test_ra007_method_call_and_async_with():
+    src = """
+    async def dispatch(tracer, group):
+        async with lock:
+            d = tracer.span("serve.dispatch")
+            d.set(group_size=len(group))
+    """
+    findings = lint(src, path="src/repro/serve/batcher.py")
+    assert rules_of(findings) == ["RA007"]
+
+
+def test_ra007_seeded_mutant_is_caught():
+    from repro.analysis.mutants import LEAKY_SPAN_MUTANT_SOURCE
+
+    findings = lint_source(
+        LEAKY_SPAN_MUTANT_SOURCE, path="serve/mutant_leaky_span.py", rules={"RA007"}
+    )
+    assert len(findings) >= 2
+    assert set(rules_of(findings)) == {"RA007"}
+
+
+def test_ra004_energy_meter_accessor_guarded():
+    findings = lint(
+        """
+        def charge():
+            if active_energy_meter():
+                pass
+        """
+    )
+    assert rules_of(findings) == ["RA004"]
+
+
+# ---------------------------------------------------------------------------
 # Driver-level behaviour
 
 
@@ -406,4 +483,6 @@ def test_baseline_roundtrip(tmp_path):
 
 
 def test_rules_table_covers_all_emitted_rules():
-    assert set(RULES) == {"RA001", "RA002", "RA003", "RA004", "RA005", "RA006"}
+    assert set(RULES) == {
+        "RA001", "RA002", "RA003", "RA004", "RA005", "RA006", "RA007",
+    }

@@ -4,12 +4,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.obs import disable_metrics, disable_tracing
+from repro.obs import disable_energy_metering, disable_metrics, disable_tracing
 
 
 @pytest.fixture(autouse=True)
 def _disarm_observability():
-    """No test may leak an armed tracer/registry into its neighbours."""
+    """No test may leak an armed tracer/registry/meter into its neighbours."""
     yield
     disable_tracing()
     disable_metrics()
+    disable_energy_metering()

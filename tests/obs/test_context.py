@@ -1,0 +1,119 @@
+"""Trace-context identities, traceparent wire format, contextvar binding."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.obs import (
+    TraceContext,
+    bind_context,
+    current_context,
+    new_context,
+    parse_traceparent,
+)
+
+
+class TestTraceContext:
+    def test_new_context_shape(self):
+        ctx = new_context()
+        assert len(ctx.trace_id) == 32
+        assert len(ctx.span_id) == 16
+        assert int(ctx.trace_id, 16) != 0
+        assert int(ctx.span_id, 16) != 0
+        assert ctx.sampled
+
+    def test_ids_are_unique(self):
+        assert len({new_context().trace_id for _ in range(32)}) == 32
+
+    def test_rejects_malformed_ids(self):
+        with pytest.raises(ValueError):
+            TraceContext(trace_id="xyz", span_id="0" * 15 + "1")
+        with pytest.raises(ValueError):
+            TraceContext(trace_id="A" * 32, span_id="1" * 16)  # uppercase
+        with pytest.raises(ValueError):
+            TraceContext(trace_id="0" * 32, span_id="1" * 16)  # all-zero
+        with pytest.raises(ValueError):
+            TraceContext(trace_id="a" * 32, span_id="0" * 16)
+
+    def test_child_keeps_trace_takes_fresh_span(self):
+        parent = new_context()
+        child = parent.child()
+        assert child.trace_id == parent.trace_id
+        assert child.span_id != parent.span_id
+        assert child.sampled == parent.sampled
+
+    def test_short_abbreviates_trace_id(self):
+        ctx = new_context()
+        assert ctx.short() == ctx.trace_id[:12]
+
+
+class TestTraceparent:
+    def test_round_trip(self):
+        ctx = new_context()
+        parsed = parse_traceparent(ctx.to_traceparent())
+        assert parsed == ctx
+
+    def test_unsampled_flag_round_trips(self):
+        ctx = TraceContext(trace_id="ab" * 16, span_id="cd" * 8, sampled=False)
+        header = ctx.to_traceparent()
+        assert header.endswith("-00")
+        parsed = parse_traceparent(header)
+        assert parsed is not None and not parsed.sampled
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            None,
+            "",
+            "not-a-header",
+            "00-" + "z" * 32 + "-" + "1" * 16 + "-01",   # non-hex
+            "00-" + "0" * 32 + "-" + "1" * 16 + "-01",   # all-zero trace
+            "00-" + "a" * 32 + "-" + "0" * 16 + "-01",   # all-zero span
+            "00-" + "a" * 31 + "-" + "1" * 16 + "-01",   # short trace id
+            "00-" + "a" * 32 + "-" + "1" * 16,           # missing flags
+        ],
+    )
+    def test_garbage_parses_to_none(self, garbage):
+        # propagation is total: malformed headers start a fresh trace
+        # instead of failing the request
+        assert parse_traceparent(garbage) is None
+
+    def test_parse_tolerates_case_and_whitespace(self):
+        ctx = new_context()
+        assert parse_traceparent("  " + ctx.to_traceparent().upper() + " ") == ctx
+
+
+class TestBinding:
+    def test_unbound_is_none(self):
+        assert current_context() is None
+
+    def test_bind_and_restore(self):
+        ctx = new_context()
+        with bind_context(ctx):
+            assert current_context() is ctx
+            inner = ctx.child()
+            with bind_context(inner):
+                assert current_context() is inner
+            assert current_context() is ctx
+        assert current_context() is None
+
+    def test_tasks_inherit_the_binding(self):
+        # contextvars (not thread-locals) so asyncio task switches keep
+        # each request's identity straight
+        async def scenario():
+            seen = {}
+
+            async def request(name: str):
+                ctx = new_context()
+                with bind_context(ctx):
+                    await asyncio.sleep(0)  # force interleaving
+                    seen[name] = current_context()
+
+            await asyncio.gather(request("a"), request("b"))
+            return seen
+
+        seen = asyncio.run(scenario())
+        assert seen["a"] is not None and seen["b"] is not None
+        assert seen["a"].trace_id != seen["b"].trace_id

@@ -1,0 +1,136 @@
+"""Energy meter: equality with the fig9 static model, memoization, charging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ProblemSpec
+from repro.obs import (
+    EnergyMeter,
+    MetricsRegistry,
+    active_energy_meter,
+    counters_energy_pj,
+    disable_energy_metering,
+    enable_energy_metering,
+    energy_metering,
+)
+
+SPEC = ProblemSpec(M=64, N=32, K=4)
+
+
+@pytest.fixture(scope="module")
+def meter() -> EnergyMeter:
+    # module-scoped: the analytical estimate is deterministic, and sharing
+    # the memo keeps this file fast
+    return EnergyMeter()
+
+
+class TestEstimate:
+    def test_matches_the_static_fig9_model_exactly(self, meter):
+        """The acceptance bar is equality with the offline pipeline, not 1%.
+
+        ``estimate`` runs the very same ``model_run -> breakdown`` chain the
+        fig9 figure uses, so the live per-request number must reproduce the
+        static model bit for bit.
+        """
+        from repro.energy.model import EnergyModel
+        from repro.perf.pipeline import model_run
+
+        live = meter.estimate("fused", SPEC)
+        run = model_run("fused", SPEC)
+        static = EnergyModel(meter.device).breakdown(run)
+        assert live.compute_pj == pytest.approx(static.compute * 1e12, rel=1e-12)
+        assert live.smem_pj == pytest.approx(static.smem * 1e12, rel=1e-12)
+        assert live.l2_pj == pytest.approx(static.l2 * 1e12, rel=1e-12)
+        assert live.dram_pj == pytest.approx(static.dram * 1e12, rel=1e-12)
+        assert live.static_pj == pytest.approx(static.static * 1e12, rel=1e-12)
+        assert live.total_joules == pytest.approx(static.total, rel=1e-12)
+
+    def test_memoizes_per_shape(self, meter):
+        before = meter.cache_size()
+        first = meter.estimate("cublas-unfused", SPEC)
+        assert meter.cache_size() == before + 1
+        again = meter.estimate("cublas-unfused", SPEC)
+        assert again is first  # dict hit, no second model run
+        meter.estimate("cublas-unfused", ProblemSpec(M=128, N=32, K=4))
+        assert meter.cache_size() == before + 2
+
+    def test_total_is_the_component_sum(self, meter):
+        e = meter.estimate("fused", SPEC)
+        assert e.total_pj == pytest.approx(
+            e.compute_pj + e.smem_pj + e.l2_pj + e.dram_pj + e.static_pj
+        )
+        assert e.to_dict()["total_pj"] == pytest.approx(e.total_pj)
+
+
+class TestCharge:
+    def test_charges_counters_and_histogram(self, meter):
+        registry = MetricsRegistry()
+        e = meter.estimate("fused", SPEC)
+        meter.charge(e, registry=registry, exemplar="aabbccddeeff")
+        meter.charge(e, registry=registry)
+        assert registry.value("repro_energy.requests") == 2
+        assert registry.value("repro_energy.total_pj") == pytest.approx(2 * e.total_pj)
+        assert registry.value("repro_energy.dram_pj") == pytest.approx(2 * e.dram_pj)
+        hist = registry.get("repro_energy.request_pj")
+        assert hist.count == 2
+        assert "aabbccddeeff" in (hist.exemplars or [])
+
+    def test_charge_without_registry_is_a_noop(self, meter):
+        disable_energy_metering()
+        e = meter.estimate("fused", SPEC)
+        meter.charge(e)  # no active registry: must not raise, must not create
+
+
+class TestArming:
+    def test_disabled_by_default(self):
+        assert active_energy_meter() is None
+
+    def test_enable_disable_roundtrip(self):
+        m = enable_energy_metering()
+        assert active_energy_meter() is m
+        assert disable_energy_metering() is m
+        assert active_energy_meter() is None
+
+    def test_context_restores_previous(self, meter):
+        outer = enable_energy_metering()
+        with energy_metering(meter) as inner:
+            assert inner is meter
+            assert active_energy_meter() is meter
+        assert active_energy_meter() is outer
+        disable_energy_metering()
+
+
+class TestCountersView:
+    def test_maps_gpu_counters_through_mcpat_costs(self):
+        from repro.energy.mcpat import params_for_device
+        from repro.gpu.device import GTX970
+
+        registry = MetricsRegistry()
+        registry.counter("gpu.smem.load_transactions").inc(10)
+        registry.counter("gpu.smem.store_transactions").inc(6)
+        registry.counter("gpu.l2.hits").inc(5)
+        registry.counter("gpu.l2.misses").inc(3)
+        registry.counter("gpu.dram.read_bytes").inc(4096)
+        registry.counter("gpu.atomic.updates").inc(7)
+
+        out = counters_energy_pj(registry)
+        params = params_for_device(GTX970)
+        smem_bytes = 16 * GTX970.warp_size * 4
+        assert out["smem_pj"] == pytest.approx(
+            smem_bytes * params.smem_energy_per_byte * 1e12
+        )
+        assert out["l2_pj"] == pytest.approx(
+            8 * GTX970.l2_transaction_bytes * params.l2_energy_per_byte * 1e12
+        )
+        assert out["dram_pj"] == pytest.approx(
+            4096 * params.dram_energy_per_byte * 1e12
+        )
+        assert out["atomic_pj"] == pytest.approx(7 * params.atomic_energy * 1e12)
+        assert out["memory_total_pj"] == pytest.approx(
+            out["smem_pj"] + out["l2_pj"] + out["dram_pj"] + out["atomic_pj"]
+        )
+
+    def test_empty_registry_is_all_zero(self):
+        out = counters_energy_pj(MetricsRegistry())
+        assert out["memory_total_pj"] == 0.0

@@ -67,6 +67,24 @@ class TestHistogram:
         assert d["boundaries"] == [2.0]
         assert d["counts"] == [1, 0]
 
+    def test_unlabelled_histogram_allocates_no_exemplars(self):
+        h = Histogram("h", [1.0])
+        h.observe(0.5)
+        assert h.exemplars is None
+        assert h.exemplar_for_bucket(0) is None
+        assert "exemplars" not in h.to_dict()
+
+    def test_exemplar_keeps_last_per_bucket(self):
+        h = Histogram("h", [1.0, 10.0])
+        h.observe(0.5, exemplar="trace-a")
+        h.observe(0.7, exemplar="trace-b")   # same bucket: last wins
+        h.observe(5.0, exemplar="trace-c")
+        h.observe(99.0)                      # overflow, unlabelled
+        assert h.exemplar_for_bucket(0) == "trace-b"
+        assert h.exemplar_for_bucket(1) == "trace-c"
+        assert h.exemplar_for_bucket(2) is None
+        assert h.to_dict()["exemplars"] == ["trace-b", "trace-c", None]
+
 
 class TestRegistry:
     def test_get_or_create_is_idempotent(self):

@@ -1,0 +1,177 @@
+"""SLO burn-rate math on synthetic event streams with an injectable clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_OBJECTIVES,
+    SloMonitor,
+    SloObjective,
+    metrics_collection,
+)
+
+LATENCY = SloObjective(name="latency", target=0.99, latency_threshold_s=0.25)
+AVAILABILITY = SloObjective(name="availability", target=0.999)
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def monitor(*objectives, clock=None, min_events=10):
+    return SloMonitor(
+        objectives=objectives or (LATENCY,),
+        clock=clock or FakeClock(),
+        min_events=min_events,
+    )
+
+
+class TestObjective:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SloObjective(name="x", target=1.0)
+        with pytest.raises(ValueError):
+            SloObjective(name="x", target=0.99, latency_threshold_s=0.0)
+        with pytest.raises(ValueError):
+            SloObjective(name="x", target=0.99, short_window_s=300, long_window_s=60)
+        with pytest.raises(ValueError):
+            SloObjective(name="x", target=0.99, burn_threshold=0)
+
+    def test_is_bad_semantics(self):
+        assert LATENCY.is_bad(0.5, ok=True)       # slow counts against latency
+        assert not LATENCY.is_bad(0.1, ok=True)
+        assert LATENCY.is_bad(0.1, ok=False)      # failures always count
+        assert not AVAILABILITY.is_bad(9.9, ok=True)   # slow-but-ok is fine
+        assert AVAILABILITY.is_bad(0.0, ok=False)
+
+    def test_budget(self):
+        assert LATENCY.budget == pytest.approx(0.01)
+        assert AVAILABILITY.budget == pytest.approx(0.001)
+
+    def test_monitor_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="unique"):
+            SloMonitor(objectives=(LATENCY, LATENCY))
+        with pytest.raises(ValueError):
+            SloMonitor(objectives=())
+
+
+class TestBurnRate:
+    def test_burn_is_bad_fraction_over_budget(self):
+        # 100 events, 10 slow: bad fraction 0.1 against a 0.01 budget = 10x
+        m = monitor()
+        for i in range(100):
+            m.observe(0.5 if i < 10 else 0.01)
+        (status,) = m.evaluate()
+        assert status.short_burn == pytest.approx(10.0)
+        assert status.long_burn == pytest.approx(10.0)
+        assert status.short_events == status.long_events == 100
+        assert status.breaching
+
+    def test_no_events_is_zero_burn(self):
+        (status,) = monitor().evaluate()
+        assert status.short_burn == 0.0 and status.long_burn == 0.0
+        assert not status.breaching
+
+    def test_min_events_suppresses_thin_evidence(self):
+        # 5 of 5 requests slow is a 100x burn — but 5 events prove nothing
+        m = monitor(min_events=10)
+        for _ in range(5):
+            m.observe(0.5)
+        (status,) = m.evaluate()
+        assert status.short_burn > LATENCY.burn_threshold
+        assert not status.breaching
+
+    def test_short_window_excludes_old_events(self):
+        clk = FakeClock()
+        m = monitor(clock=clk)
+        for _ in range(20):
+            m.observe(0.5)          # all slow, at t=1000
+        clk.now += 120.0            # past the 60 s short window, inside 300 s
+        for _ in range(20):
+            m.observe(0.01)         # all fast, at t=1120
+        (status,) = m.evaluate()
+        assert status.short_events == 20
+        assert status.short_burn == pytest.approx(0.0)
+        assert status.long_events == 40
+        assert status.long_burn == pytest.approx(50.0)  # 0.5 bad / 0.01 budget
+        # short window healthy: multi-window logic does not breach
+        assert not status.breaching
+
+
+class TestTransitions:
+    def test_breach_and_recovery_events(self):
+        clk = FakeClock()
+        m = monitor(clock=clk)
+        for _ in range(50):
+            m.observe(0.5)
+        m.evaluate()
+        assert [e.started for e in m.breach_events] == [True]
+        m.evaluate()  # still breaching: no duplicate event
+        assert len(m.breach_events) == 1
+
+        clk.now += 400.0  # both windows age out the bad events
+        for _ in range(50):
+            m.observe(0.01)
+        m.evaluate()
+        assert [e.started for e in m.breach_events] == [True, False]
+        assert m.breach_events[-1].at == clk.now
+
+    def test_transitions_tick_counters(self):
+        clk = FakeClock()
+        with metrics_collection() as registry:
+            m = monitor(clock=clk)
+            for _ in range(50):
+                m.observe(0.5)
+            m.evaluate()
+            clk.now += 400.0
+            for _ in range(50):
+                m.observe(0.01)
+            m.evaluate()
+        assert registry.value("slo.breaches") == 1
+        assert registry.value("slo.recoveries") == 1
+
+
+class TestShedding:
+    def test_latency_breach_sheds(self):
+        m = monitor()
+        for _ in range(50):
+            m.observe(0.5)
+        assert m.should_shed()
+
+    def test_error_rate_breach_does_not_shed(self):
+        # refusing traffic cannot repair a correctness problem
+        m = monitor(AVAILABILITY)
+        for _ in range(50):
+            m.observe(0.01, ok=False)
+        (status,) = m.evaluate()
+        assert status.breaching
+        assert not m.should_shed()
+
+    def test_healthy_stream_does_not_shed(self):
+        m = monitor()
+        for _ in range(50):
+            m.observe(0.01)
+        assert not m.should_shed()
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_ready(self):
+        m = monitor(LATENCY, AVAILABILITY)
+        for _ in range(20):
+            m.observe(0.01)
+        snap = m.snapshot()
+        assert [s["name"] for s in snap] == ["latency", "availability"]
+        for s in snap:
+            assert set(s) >= {
+                "name", "target", "short_burn", "long_burn", "breaching",
+            }
+
+    def test_defaults_cover_latency_and_availability(self):
+        names = {o.name for o in DEFAULT_OBJECTIVES}
+        assert names == {"latency", "availability"}
+        assert any(o.latency_threshold_s for o in DEFAULT_OBJECTIVES)

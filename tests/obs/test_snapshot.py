@@ -1,0 +1,174 @@
+"""Snapshot document, quantile recovery, and the `repro top` rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    SNAPSHOT_SCHEMA,
+    histogram_quantile,
+    histogram_stats,
+    render_top,
+    sparkline,
+    telemetry_snapshot,
+)
+from repro.obs.snapshot import _fmt_si
+
+
+class TestHistogramQuantile:
+    def test_linear_interpolation_inside_bucket(self):
+        h = Histogram("h", [1.0, 2.0])
+        for _ in range(10):
+            h.observe(1.5)  # all land in (1.0, 2.0]
+        # rank q*10 interpolates linearly across the 10-count bucket
+        assert histogram_quantile(h, 0.5) == pytest.approx(1.5)
+        assert histogram_quantile(h, 1.0) == pytest.approx(2.0)
+
+    def test_quantile_across_buckets(self):
+        h = Histogram("h", [1.0, 2.0, 4.0])
+        for v in (0.5, 0.5, 1.5, 1.5, 3.0, 3.0, 3.0, 3.0):
+            h.observe(v)
+        # p50 rank=4: falls at the end of the second bucket
+        assert histogram_quantile(h, 0.5) == pytest.approx(2.0)
+        assert histogram_quantile(h, 0.25) == pytest.approx(1.0)
+
+    def test_overflow_clamps_to_last_edge(self):
+        h = Histogram("h", [1.0, 10.0])
+        h.observe(99.0)
+        assert histogram_quantile(h, 0.99) == 10.0
+
+    def test_empty_is_zero(self):
+        assert histogram_quantile(Histogram("h", [1.0]), 0.99) == 0.0
+
+    def test_rejects_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            histogram_quantile(Histogram("h", [1.0]), 1.5)
+
+    def test_accepts_to_dict_payload(self):
+        h = Histogram("h", [2.0])
+        h.observe(1.0)
+        assert histogram_quantile(h.to_dict(), 0.5) == histogram_quantile(h, 0.5)
+        with pytest.raises(TypeError):
+            histogram_quantile({"not": "a histogram"}, 0.5)
+
+
+class TestHistogramStats:
+    def test_stats_shape(self):
+        h = Histogram("h", [1.0, 2.0])
+        h.observe(0.5)
+        h.observe(1.5)
+        stats = histogram_stats(h)
+        assert stats["count"] == 2
+        assert stats["mean"] == pytest.approx(1.0)
+        assert {"p50", "p95", "p99"} <= set(stats)
+        assert "slow_exemplar" not in stats
+
+    def test_slow_exemplar_is_the_slowest_buckets(self):
+        h = Histogram("h", [1.0, 2.0])
+        h.observe(0.5, exemplar="fast-trace")
+        h.observe(1.5, exemplar="slow-trace")
+        assert histogram_stats(h)["slow_exemplar"] == "slow-trace"
+
+
+class TestTelemetrySnapshot:
+    def _registry(self) -> MetricsRegistry:
+        r = MetricsRegistry()
+        r.counter("serve.accepted").inc(24)
+        r.counter("serve.responses").inc(24)
+        r.counter("serve.dedup_hits").inc(8)
+        r.counter("serve.batches").inc(4)
+        r.gauge("serve.queue_depth").set(2)
+        r.histogram("serve.latency_seconds", [0.01, 0.1]).observe(
+            0.02, exemplar="trace-x"
+        )
+        return r
+
+    def test_document_shape(self):
+        doc = telemetry_snapshot(self._registry())
+        assert doc["schema"] == SNAPSHOT_SCHEMA
+        assert doc["requests"]["accepted"] == 24
+        assert doc["requests"]["dedup_hits"] == 8
+        assert doc["queue_depth"] == 2
+        assert doc["batches"] == 4
+        assert doc["latency_seconds"]["count"] == 1
+        assert doc["latency_seconds"]["slow_exemplar"] == "trace-x"
+        assert doc["slo"] == []
+        assert "energy" not in doc  # nothing metered
+        json.dumps(doc)  # must be JSON-serializable as-is
+
+    def test_energy_section_appears_once_metered(self):
+        r = self._registry()
+        r.counter("repro_energy.requests").inc(3)
+        r.counter("repro_energy.total_pj").inc(3e8)
+        doc = telemetry_snapshot(r)
+        assert doc["energy"]["requests"] == 3
+        assert doc["energy"]["total_joules"] == pytest.approx(3e-4)
+        assert doc["energy"]["mean_request_pj"] == pytest.approx(1e8)
+
+    def test_server_and_slo_passthrough(self):
+        doc = telemetry_snapshot(
+            self._registry(),
+            slo=[{"name": "latency", "short_burn": 3.0, "long_burn": 2.5,
+                  "breaching": True}],
+            server={"mode": "batched", "inflight": 2},
+        )
+        assert doc["server"]["mode"] == "batched"
+        assert doc["slo"][0]["breaching"] is True
+
+
+class TestRendering:
+    def test_sparkline(self):
+        assert sparkline([]) == ""
+        assert sparkline([0, 0]) == "  "
+        line = sparkline([1, 0, 8])
+        assert len(line) == 3
+        assert line[1] == " "
+        assert line[2] == "█"
+
+    def test_fmt_si_covers_sub_unit_values(self):
+        # the energy row reports millijoule totals; 0.00J is a rendering bug
+        assert _fmt_si(0, "J") == "0J"
+        assert _fmt_si(1.899e-3, "J") == "1.90mJ"
+        assert _fmt_si(79.11e-6, "J") == "79.11uJ"
+        assert _fmt_si(5e-9, "J") == "5.00nJ"
+        assert _fmt_si(2e-12, "J") == "2.00pJ"
+        assert _fmt_si(1.5, "J") == "1.50J"
+        assert _fmt_si(2.5e3, "J") == "2.50kJ"
+        assert _fmt_si(3e13, "J") == "30.00TJ"
+
+    def test_render_top_frame(self):
+        r = MetricsRegistry()
+        r.counter("serve.accepted").inc(10)
+        r.counter("serve.responses").inc(10)
+        r.histogram("serve.latency_seconds", [0.01, 0.1]).observe(
+            0.02, exemplar="feedfacefeedface"
+        )
+        r.counter("repro_energy.requests").inc(10)
+        r.counter("repro_energy.total_pj").inc(1.899e9)
+        doc = telemetry_snapshot(
+            r,
+            slo=[
+                {"name": "latency", "short_burn": 4.0, "long_burn": 3.0,
+                 "breaching": True},
+                {"name": "availability", "short_burn": 0.0, "long_burn": 0.0,
+                 "breaching": False},
+            ],
+            server={"mode": "batched", "uptime_s": 3.0},
+        )
+        frame = render_top(doc)
+        assert "accepted=10" in frame
+        assert "slowest▸feedfacefeed" in frame
+        assert "total=1.90mJ" in frame
+        assert "burn(short/long)" in frame  # the SLO column header
+        assert "BREACH" in frame and "ok" in frame
+
+    def test_render_top_empty_snapshot(self):
+        # a bare registry still shows the headline counters at zero
+        frame = render_top(telemetry_snapshot(MetricsRegistry()))
+        assert "accepted=0" in frame and "responses=0" in frame
+        # a snapshot with no request data at all degrades gracefully
+        assert "requests   (none)" in render_top({"requests": {}})

@@ -1,0 +1,247 @@
+"""Request telemetry through the serving stack: trace propagation and
+fan-in links, per-request energy, the stats verb, and SLO-fed shedding."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import ServiceOverloadError
+from repro.obs import (
+    SNAPSHOT_SCHEMA,
+    SloMonitor,
+    SloObjective,
+    disable_energy_metering,
+    disable_metrics,
+    disable_tracing,
+    enable_energy_metering,
+    enable_metrics,
+    enable_tracing,
+    new_context,
+    parse_traceparent,
+)
+from repro.obs.export import chrome_trace
+from repro.serve import KernelServer, ServeClient, ServerConfig, SolveRequest
+from repro.serve.admission import AdmissionController
+
+M, N, K = 64, 32, 4
+
+
+def _request(i=0, **overrides):
+    defaults = dict(id=f"r{i}", M=M, N=N, K=K, seed=i)
+    defaults.update(overrides)
+    return SolveRequest(**defaults)
+
+
+@pytest.fixture(autouse=True)
+def _disarm():
+    yield
+    disable_tracing()
+    disable_metrics()
+    disable_energy_metering()
+
+
+def _serve(n_requests, *, distinct=3, config=None, slo_monitor=None):
+    """Run ``n_requests`` concurrent solves against a fresh server."""
+
+    async def scenario():
+        server = KernelServer(
+            config or ServerConfig(batch_delay_s=0.02), slo_monitor=slo_monitor
+        )
+        await server.start()
+        try:
+            async with ServeClient(port=server.port) as client:
+                return await asyncio.gather(
+                    *(client.solve(_request(i % distinct, id="")) for i in range(n_requests))
+                )
+        finally:
+            await server.stop()
+
+    return asyncio.run(scenario())
+
+
+class TestTracePropagation:
+    def test_concurrent_requests_get_distinct_traces(self):
+        tracer = enable_tracing()
+        results = _serve(9)
+        traces = [parse_traceparent(r.trace) for r in results]
+        assert all(t is not None for t in traces)
+        # a tracing client roots one trace per request
+        assert len({t.trace_id for t in traces}) == 9
+
+        admits = tracer.find("serve.admit")
+        resolves = tracer.find("serve.resolve")
+        dispatches = tracer.find("serve.dispatch")
+        assert len(admits) == 9
+        assert len(resolves) == 9
+        assert 1 <= len(dispatches) < 9  # coalesced
+
+    def test_dispatch_span_links_every_member(self):
+        tracer = enable_tracing()
+        results = _serve(9)
+        member_traces = {parse_traceparent(r.trace).trace_id for r in results}
+        linked = set()
+        for d in tracer.find("serve.dispatch"):
+            assert d.links, "dispatch span must carry fan-in links"
+            assert len(d.links) == d.attrs["group_size"]
+            linked |= {link["trace_id"] for link in d.links}
+        # every request's trace is attributed to exactly the shared work
+        assert linked == member_traces
+
+    def test_client_supplied_traceparent_is_continued(self):
+        enable_tracing()
+        root = new_context()
+
+        async def scenario():
+            server = KernelServer(ServerConfig())
+            await server.start()
+            try:
+                async with ServeClient(port=server.port) as client:
+                    return await client.solve(
+                        _request(0, id="", trace=root.to_traceparent())
+                    )
+            finally:
+                await server.stop()
+
+        res = asyncio.run(scenario())
+        served = parse_traceparent(res.trace)
+        assert served.trace_id == root.trace_id     # same trace
+        assert served.span_id != root.span_id       # fresh server-side span
+
+    def test_chrome_trace_export_is_well_formed(self):
+        tracer = enable_tracing()
+        _serve(9)
+        doc = chrome_trace(tracer)
+        json.dumps(doc)  # serializable as-is
+        events = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert len(events) == len(tracer.spans)
+        for e in events:
+            assert e["dur"] >= 0
+            assert isinstance(e["args"], dict)
+        dispatch_events = [e for e in events if e["name"] == "serve.dispatch"]
+        assert dispatch_events and all("links" in e["args"] for e in dispatch_events)
+
+    def test_untraced_serving_is_spanless_and_traceless(self):
+        results = _serve(4)
+        assert all(r.trace is None for r in results)
+        assert all(r.energy_pj is None for r in results)
+
+
+class TestEnergyAttribution:
+    def test_response_energy_matches_the_meter(self):
+        meter = enable_energy_metering()
+        results = _serve(6, distinct=2)
+        want = meter.estimate("fused", _request(0).spec()).total_pj
+        assert all(r.energy_pj == pytest.approx(want) for r in results)
+
+    def test_energy_charged_once_per_computed_digest(self):
+        registry = enable_metrics()
+        meter = enable_energy_metering()
+        results = _serve(9, distinct=3)
+        assert all(r.energy_pj is not None for r in results)
+        # 3 distinct specs -> 3 computed solves; dedup/cached members
+        # re-use already-spent joules and are not double-charged
+        assert registry.value("repro_energy.requests") == 3
+        want = meter.estimate("fused", _request(0).spec()).total_pj
+        assert registry.value("repro_energy.total_pj") == pytest.approx(3 * want)
+
+    def test_warm_store_hits_are_tagged_and_uncharged(self, tmp_path):
+        from repro.store import ResultStore
+
+        tracer = enable_tracing()
+        registry = enable_metrics()
+        enable_energy_metering()
+
+        async def scenario():
+            store = ResultStore(tmp_path / "store")
+            server = KernelServer(ServerConfig(), store=store)
+            await server.start()
+            try:
+                async with ServeClient(port=server.port) as client:
+                    first = await client.solve(_request(0, id=""))
+                    second = await client.solve(_request(0, id=""))
+            finally:
+                await server.stop()
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        assert not first.cached and second.cached
+        # the warm hit still reports the modelled energy of the answer...
+        assert second.energy_pj == pytest.approx(first.energy_pj)
+        # ...but only the cold solve was charged
+        assert registry.value("repro_energy.requests") == 1
+        caches = [s.attrs.get("cache") for s in tracer.find("serve.resolve")]
+        assert sorted(caches) == ["cold", "warm"]
+
+
+class TestStatsVerb:
+    def test_snapshot_rpc_round_trip(self):
+        enable_metrics()
+
+        async def scenario():
+            server = KernelServer(ServerConfig(batch_delay_s=0.02))
+            await server.start()
+            try:
+                async with ServeClient(port=server.port) as client:
+                    await asyncio.gather(
+                        *(client.solve(_request(i % 2, id="")) for i in range(6))
+                    )
+                    return await client.stats()
+            finally:
+                await server.stop()
+
+        snap = asyncio.run(scenario())
+        assert snap["schema"] == SNAPSHOT_SCHEMA
+        assert snap["requests"]["responses"] == 6
+        assert snap["server"]["mode"] == "batched"
+        assert snap["server"]["inflight"] == 0
+        assert snap["latency_seconds"]["count"] == 6
+        json.dumps(snap)
+
+    def test_stats_works_without_metrics(self):
+        async def scenario():
+            server = KernelServer(ServerConfig())
+            await server.start()
+            try:
+                async with ServeClient(port=server.port) as client:
+                    return await client.stats()
+            finally:
+                await server.stop()
+
+        snap = asyncio.run(scenario())
+        # no registry armed: counters read zero but the document is intact
+        assert snap["schema"] == SNAPSHOT_SCHEMA
+        assert snap["requests"]["responses"] == 0
+
+
+class TestSloShedding:
+    def _burning_monitor(self):
+        monitor = SloMonitor(
+            objectives=(
+                SloObjective(name="latency", target=0.99, latency_threshold_s=0.25),
+            ),
+        )
+        for _ in range(50):
+            monitor.observe(0.5)  # every request slow: burn far above 2x
+        return monitor
+
+    def test_burning_latency_slo_tightens_the_queue_bound(self):
+        monitor = self._burning_monitor()
+        ctl = AdmissionController(max_queue_depth=8, slo_monitor=monitor)
+        for _ in range(4):
+            ctl.admit()  # up to the tightened bound (8 // 2)
+        with pytest.raises(ServiceOverloadError):
+            ctl.admit()
+        assert ctl.slo_shed_total == 1
+        assert ctl.depth == 4  # the shed request claimed no slot
+
+    def test_healthy_slo_leaves_the_bound_alone(self):
+        monitor = SloMonitor()
+        for _ in range(50):
+            monitor.observe(0.001)
+        ctl = AdmissionController(max_queue_depth=8, slo_monitor=monitor)
+        for _ in range(8):
+            ctl.admit()
+        with pytest.raises(ServiceOverloadError):
+            ctl.admit()  # plain depth bound, not the SLO path
+        assert ctl.slo_shed_total == 0

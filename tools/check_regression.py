@@ -44,7 +44,12 @@ otherwise), and micro-batched dispatch at least ``--serve-min-batched``
 (default 1.1) times the sequential throughput at concurrency >= 8.  The
 committed baseline is compared loosely (``--serve-rtol``, default 0.9):
 the ratio mixes fsync latency against scheduler overhead, so tight
-cross-host gating would be noise.
+cross-host gating would be noise.  The report's ``telemetry`` section is
+gated absolutely: the batched wall with the full observability stack
+armed may not exceed ``--serve-max-telemetry-overhead`` (default 1.05)
+times the disarmed wall, and the armed run must actually have recorded
+spans and metered energy — a telemetry layer that wins the overhead gate
+by silently not running does not pass.
 
 Any combination of gates runs when the corresponding ``--*-current`` is
 given; at least one is required.
@@ -159,6 +164,7 @@ def check_serve(
     current_path: str,
     min_batched: float,
     rtol: float,
+    max_telemetry: float = 1.05,
 ) -> list[str]:
     """Violated serving-layer acceptance floors, one message per issue."""
     current = _load_serve(current_path)
@@ -177,6 +183,20 @@ def check_serve(
         issues.append(
             f"batched_vs_sequential {ratio:.2f}x < required {min_batched:g}x"
         )
+    telemetry = current.get("telemetry")
+    if telemetry is None:
+        issues.append("report has no telemetry section (bench_serve.py is stale)")
+    else:
+        overhead = float(telemetry.get("overhead_ratio", 0.0))
+        if overhead > max_telemetry:
+            issues.append(
+                f"telemetry overhead {overhead:.3f}x > allowed {max_telemetry:g}x "
+                "(tracing+metrics+energy metering must stay cheap)"
+            )
+        if int(telemetry.get("spans_recorded", 0)) <= 0:
+            issues.append("telemetry run recorded no spans (stack was not armed)")
+        if int(telemetry.get("energy_metered_requests", 0)) <= 0:
+            issues.append("telemetry run metered no energy (meter was not armed)")
     baseline = _load_serve(baseline_path)
     want = float(baseline.get("speedups", {}).get("batched_vs_sequential", 0.0))
     floor = want * (1.0 - rtol)
@@ -254,6 +274,11 @@ def main(argv=None) -> int:
         "--serve-rtol", type=float, default=0.9,
         help="allowed relative batched-ratio loss vs the committed baseline "
         "(default 0.9: an order-of-magnitude check, not a tight gate)",
+    )
+    parser.add_argument(
+        "--serve-max-telemetry-overhead", type=float, default=1.05,
+        help="allowed batched-wall ratio with the full telemetry stack armed "
+        "vs off (default 1.05 — a 5%% tax; use 1.5 on noisy shared runners)",
     )
     args = parser.parse_args(argv)
 
@@ -339,6 +364,7 @@ def main(argv=None) -> int:
             issues = check_serve(
                 args.serve_baseline, args.serve_current,
                 args.serve_min_batched, args.serve_rtol,
+                args.serve_max_telemetry_overhead,
             )
         except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
             print(f"cannot load serve benchmark: {exc}", file=sys.stderr)

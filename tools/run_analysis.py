@@ -19,8 +19,9 @@ any violation that is not in the accepted baseline:
    and the double-buffered panel loop at every paper K must certify
    race-free;
 4. **self-check** — the seeded mutants (missing barrier, permuted track
-   mapping, event-loop-blocking dispatcher) must *fail* their analyses; a
-   gate that cannot see planted bugs proves nothing.
+   mapping, event-loop-blocking dispatcher, leaky-span handler) must
+   *fail* their analyses; a gate that cannot see planted bugs proves
+   nothing.
 """
 
 from __future__ import annotations
@@ -48,6 +49,7 @@ from repro.analysis import (  # noqa: E402
 from repro.analysis.lint import lint_source  # noqa: E402
 from repro.analysis.mutants import (  # noqa: E402
     BLOCKING_ASYNC_MUTANT_SOURCE,
+    LEAKY_SPAN_MUTANT_SOURCE,
     permuted_store_assignment,
     stage_tile_missing_barrier_kernel,
 )
@@ -127,6 +129,17 @@ def run_selfcheck() -> int:
     else:
         print(f"self-check: blocking-async mutant flagged "
               f"({len(ra006)} RA006 finding(s))")
+    # RA007 binds on serve paths only, so label the mutant accordingly
+    ra007 = lint_source(
+        LEAKY_SPAN_MUTANT_SOURCE, "serve/mutant_leaky_span.py", rules=["RA007"]
+    )
+    if len(ra007) < 2:
+        print("SELF-CHECK FAILED: leaky-span mutant passed RA007 "
+              f"({len(ra007)} finding(s), expected >= 2)")
+        status = 1
+    else:
+        print(f"self-check: leaky-span mutant flagged "
+              f"({len(ra007)} RA007 finding(s))")
     return status
 
 
