@@ -1,0 +1,224 @@
+"""Hierarchical fast summation vs the dense engine: crossover + speedup.
+
+Measures the two claims the ``repro.fast`` engine ships with and records
+them to ``benchmarks/results/BENCH_fast.json``:
+
+* **crossover curve** — wall-clock of ``method="auto"`` vs the dense
+  batched engine at small-to-medium ``M = N``.  Below the auto
+  crossover (:data:`repro.fast.plan.AUTO_MIN_INTERACTIONS`) the auto
+  path must hand the problem to the dense engine and cost essentially
+  the same (the gate allows a 10 % routing tax); above it the
+  hierarchical path takes over and the ratio collapses.
+
+* **speedup cases** — ``M = N`` in ``{2^16, 2^18, 2^20}`` (K=2, fp64,
+  h=0.05).  A dense solve at these sizes is ``O(M N)`` — minutes to
+  hours on one core — so the dense wall is measured on a row subset
+  through the same batched engine and extrapolated linearly (each row
+  costs the same ``N``-length reduction); such entries are flagged
+  ``dense_estimated``.  The accuracy contract is measured, not assumed:
+  every case records ``max_rel_error`` (``max |V - V_ref| / sum|w|``)
+  against the exact float64 reference on a deterministic row sample and
+  must come in under ``eps = 1e-6``.
+
+Run as a script to (re)generate the committed baseline::
+
+    PYTHONPATH=src python benchmarks/bench_fast.py -o benchmarks/results/BENCH_fast.json
+
+``--quick`` shrinks the sizes for local iteration / CI smoke (quick
+reports are refused by the gate).  ``tools/check_regression.py
+--fast-current`` gates a fresh run: measured error over eps, the
+largest case under ``--fast-min-speedup`` (default 5x), or the auto
+router losing more than ``--fast-max-auto-overhead`` to dense below the
+crossover all fail the build.
+
+Under pytest (``make bench``) the quick case doubles as a smoke test
+that the FGT path meets its error bound against the exact reference.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.fused import FusedKernelSummation  # noqa: E402
+from repro.core.problem import ProblemData, ProblemSpec  # noqa: E402
+from repro.core.reference import direct  # noqa: E402
+from repro.fast import max_rel_error, run_fast, sampled_max_rel_error  # noqa: E402
+
+SCHEMA = "repro-fast-bench/v1"
+RESULTS = ROOT / "benchmarks" / "results" / "BENCH_fast.json"
+
+EPS = 1e-6
+H = 0.05  # bandwidth: small enough that the far field dominates at scale
+K = 2
+
+#: dense walls above this many interactions are extrapolated from a row
+#: sample (one row costs one N-length reduction, so time is linear in M)
+DENSE_DIRECT_LIMIT = 1 << 28
+
+
+def _cloud(M: int, N: int, seed: int = 0) -> ProblemData:
+    rng = np.random.default_rng(seed)
+    spec = ProblemSpec(M=M, N=N, K=K, h=H, kernel="gaussian",
+                       dtype="float64", seed=0)
+    return ProblemData(
+        spec=spec,
+        A=rng.random((M, K)),
+        B=rng.random((K, N)),
+        W=rng.standard_normal(N),
+    )
+
+
+def _sub_rows(data: ProblemData, rows: np.ndarray) -> ProblemData:
+    spec = data.spec
+    sub_spec = ProblemSpec(M=len(rows), N=spec.N, K=spec.K, h=spec.h,
+                           kernel=spec.kernel, dtype=spec.dtype, seed=spec.seed)
+    return ProblemData(spec=sub_spec, A=np.ascontiguousarray(data.A[rows]),
+                       B=data.B, W=data.W)
+
+
+def _best(fn, reps: int) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _dense_wall(data: ProblemData, engine: FusedKernelSummation,
+                reps: int) -> tuple[float, bool, int]:
+    """(full-problem dense seconds, estimated?, sample rows used)."""
+    spec = data.spec
+    if spec.interaction_count <= DENSE_DIRECT_LIMIT:
+        return _best(lambda: engine(data), reps), False, spec.M
+    rows = max(128, DENSE_DIRECT_LIMIT // (4 * spec.N))
+    sub = _sub_rows(data, np.arange(rows, dtype=np.int64))
+    t_sub = _best(lambda: engine(sub), reps)
+    return t_sub * (spec.M / rows), True, rows
+
+
+def bench_crossover(sizes: list[int], reps: int = 2) -> list[dict]:
+    """auto-vs-dense wall at small/medium M = N — the routing curve."""
+    engine = FusedKernelSummation(engine="auto")
+    points = []
+    for n in sizes:
+        data = _cloud(n, n, seed=n)
+        r = reps if n <= 4096 else 1
+        t_dense = _best(lambda: engine(data), r)
+        _, report = run_fast(data, eps=EPS, method="auto")
+        t_auto = _best(lambda: run_fast(data, eps=EPS, method="auto"), r)
+        points.append({
+            "M": n, "N": n, "interactions": n * n,
+            "dense_seconds": round(t_dense, 6),
+            "auto_seconds": round(t_auto, 6),
+            "auto_method": report.method,
+            "auto_vs_dense": round(t_auto / t_dense, 3),
+        })
+    return points
+
+
+def bench_speedup(name: str, M: int, N: int, error_sample: int,
+                  reps: int = 1) -> dict:
+    """Fast-vs-dense wall at scale, with the error contract measured."""
+    data = _cloud(M, N, seed=1)
+    engine = FusedKernelSummation(engine="auto")
+    V, report = run_fast(data, eps=EPS, method="auto")
+    t_fast = _best(lambda: run_fast(data, eps=EPS, method="auto"), reps)
+    t_dense, estimated, rows = _dense_wall(data, engine, reps)
+    err = sampled_max_rel_error(data, V, sample=error_sample)
+    return {
+        "name": name, "M": M, "N": N, "K": K, "h": H, "dtype": "float64",
+        "fast_seconds": round(t_fast, 6),
+        "dense_seconds": round(t_dense, 6),
+        "dense_estimated": estimated,
+        "dense_sample_rows": rows,
+        "speedup": round(t_dense / t_fast, 3),
+        "method": report.method,
+        "p": report.p,
+        "max_rel_error": err,
+        "error_sample_rows": min(error_sample, M),
+    }
+
+
+def collect(quick: bool = False) -> dict:
+    suffix = "-quick" if quick else ""
+    if quick:
+        crossover_sizes = [256, 512, 1024, 2048]
+        speedup_cases = [(f"m2^14{suffix}", 1 << 14, 1 << 14, 512)]
+    else:
+        crossover_sizes = [512, 1024, 2048, 4096, 8192, 16384]
+        speedup_cases = [
+            ("m2^16", 1 << 16, 1 << 16, 512),
+            ("m2^18", 1 << 18, 1 << 18, 384),
+            ("m2^20", 1 << 20, 1 << 20, 256),
+        ]
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "eps": EPS,
+        "crossover": bench_crossover(crossover_sizes),
+        "speedup": [bench_speedup(n, M, N, s) for n, M, N, s in speedup_cases],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", default=str(RESULTS),
+                        help=f"where to write the JSON (default: {RESULTS})")
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes (refused by the regression gate)")
+    args = parser.parse_args(argv)
+
+    report = collect(quick=args.quick)
+    print("crossover (auto vs dense):")
+    for p in report["crossover"]:
+        print(f"  M=N={p['M']:6d}  dense {p['dense_seconds']:8.4f}s  "
+              f"auto {p['auto_seconds']:8.4f}s  [{p['auto_method']:8s}]  "
+              f"ratio {p['auto_vs_dense']:6.2f}x")
+    print("speedup (fast vs dense):")
+    for c in report["speedup"]:
+        est = " (extrapolated)" if c["dense_estimated"] else ""
+        print(f"  {c['name']:10s} fast {c['fast_seconds']:8.3f}s  "
+              f"dense {c['dense_seconds']:10.3f}s{est}  "
+              f"speedup {c['speedup']:8.1f}x  "
+              f"err {c['max_rel_error']:.2e} (eps {report['eps']:g})")
+    out = pathlib.Path(args.output)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[written to {out}]")
+    return 0
+
+
+# -- pytest smoke (make bench) ---------------------------------------------
+
+def test_fast_quick_smoke(benchmark, sink):
+    data = _cloud(4096, 4096, seed=9)
+    V, report = run_fast(data, eps=EPS, method="fgt")
+    err = max_rel_error(V, direct(data), data.W)
+    assert err <= EPS, f"FGT error {err:.2e} over eps {EPS:g}"
+    t_fast = _best(lambda: run_fast(data, eps=EPS, method="fgt"), 1)
+    engine = FusedKernelSummation(engine="auto")
+    t_dense = _best(lambda: engine(data), 1)
+    benchmark(lambda: run_fast(data, eps=EPS, method="fgt"))
+    sink(
+        "fast_smoke",
+        "fast summation smoke (M=N=4096, K=2, h=0.05, eps=1e-6):\n"
+        f"  dense {t_dense:.3f}s\n"
+        f"  fgt   {t_fast:.3f}s ({t_dense / t_fast:.1f}x, p={report.p}, "
+        f"max_rel_error {err:.2e})",
+    )
+    assert report.method == "fgt"
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

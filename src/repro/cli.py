@@ -227,6 +227,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slo-target", type=float, default=0.99, metavar="FRAC",
                    help="fraction of requests that must meet the latency SLO "
                    "(default 0.99)")
+    p.add_argument("--fast-threshold-m", type=int, default=None, metavar="M",
+                   help="route gaussian 'fused' requests with M >= this through "
+                   "the hierarchical 'fast' implementation (docs/FAST_SUMMATION.md)")
 
     p = sub.add_parser("loadgen", help="closed-loop load generator for `repro serve`")
     p.add_argument("--host", default="127.0.0.1")
@@ -241,6 +244,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fused | cublas-unfused | cuda-unfused | reference")
     p.add_argument("--distinct-specs", type=int, default=8, metavar="S",
                    help="cycle request seeds over S values (dedup/batch diversity)")
+    p.add_argument("--large-m", action="store_true", dest="large_m",
+                   help="large-point-cloud profile: M=32768, N=2048, K=2, "
+                   "h=0.05, gaussian — sized to cross a server's "
+                   "--fast-threshold-m and exercise the hierarchical path")
 
     p = sub.add_parser(
         "top", help="live telemetry console for a running `repro serve`"
@@ -585,6 +592,7 @@ def _cmd_serve(args) -> int:
         max_queue_depth=args.max_queue_depth,
         max_wait_s=None if args.max_wait_ms is None else args.max_wait_ms / 1e3,
         default_deadline_s=None if args.deadline_ms is None else args.deadline_ms / 1e3,
+        fast_threshold_m=args.fast_threshold_m,
     )
     journal = RequestJournal(args.journal) if args.journal else None
     store = _store(args)
@@ -669,6 +677,8 @@ def _cmd_loadgen(args) -> int:
     from .obs.tracer import span as _span
     from .serve import ServeClient, SolveRequest
 
+    if args.large_m:
+        args.M, args.N, args.K, args.h, args.kernel = 32768, 2048, 2, 0.05, "gaussian"
     deadline_s = None if args.deadline_ms is None else args.deadline_ms / 1e3
     latencies: list = []
     energies_pj: list = []

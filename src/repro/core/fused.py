@@ -138,6 +138,12 @@ def _seq_fold_matches(n: int, dt: np.dtype) -> bool:
     return _SEQ_FOLD_OK[key]
 
 
+#: resolved (micro_n, dtype) -> plan strings, shared across instances so a
+#: burst of small batched solves (the fast engine's near field) resolves
+#: each shape once per process instead of re-running the probe ladder
+_REDUCE_PLANS: dict = {}
+
+
 def _microtile_reduce_plan(micro_n: int, dt: np.dtype) -> str:
     """Fastest strided strategy that reproduces ``.sum(axis=-1)`` exactly.
 
@@ -147,13 +153,20 @@ def _microtile_reduce_plan(micro_n: int, dt: np.dtype) -> str:
     generic reduction machinery.  Anything the probes cannot confirm falls
     back to ``.sum`` itself — slower, but trivially bit-identical.
     """
+    key = (micro_n, str(dt))
+    hit = _REDUCE_PLANS.get(key)
+    if hit is not None:
+        return hit
     if micro_n == 1:
-        return "copy"
-    if micro_n == 8 and _pairs_tree_matches(dt):
-        return "tree8"
-    if micro_n < 8 and _seq_fold_matches(micro_n, dt):
-        return "seq"
-    return "sum"
+        plan = "copy"
+    elif micro_n == 8 and _pairs_tree_matches(dt):
+        plan = "tree8"
+    elif micro_n < 8 and _seq_fold_matches(micro_n, dt):
+        plan = "seq"
+    else:
+        plan = "sum"
+    _REDUCE_PLANS[key] = plan
+    return plan
 
 
 def _auto_chunk_rows(Np: int, itemsize: int, budget_bytes: int = 1 << 20) -> int:

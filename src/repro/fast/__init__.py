@@ -1,0 +1,56 @@
+"""Hierarchical fast summation: FGT and treecode with an eps contract.
+
+Turns the paper's dense O(M*N) Gaussian summation into O(M+N) for large
+point clouds: sources and targets are clustered into boxes
+(:mod:`repro.fast.boxes`), far-field box pairs are evaluated through
+truncated Hermite/Taylor expansions whose order is chosen from a
+user-supplied ``eps`` by an analytic error bound
+(:mod:`repro.fast.hermite`), and the near field stays on the paper's
+fused kernel as a batch of small dense problems
+(:mod:`repro.fast.engine`).  The front door for callers is
+:func:`repro.core.api.fast_kernel_summation`.
+"""
+
+from .accuracy import max_rel_error, sampled_max_rel_error
+from .boxes import Box, BoxSet, adaptive_tree, uniform_boxes
+from .engine import FastReport, decide_method, run_fast
+from .hermite import (
+    KAPPA,
+    ExpansionTables,
+    choose_order,
+    cutoff_radius,
+    delta_from_bandwidth,
+    expansion_tables,
+    hermite_functions,
+    truncation_bound,
+)
+from .plan import (
+    AUTO_MIN_INTERACTIONS,
+    FastPlan,
+    build_plan,
+    modelled_work_fraction,
+)
+
+__all__ = [
+    "KAPPA",
+    "AUTO_MIN_INTERACTIONS",
+    "Box",
+    "BoxSet",
+    "ExpansionTables",
+    "FastPlan",
+    "FastReport",
+    "adaptive_tree",
+    "build_plan",
+    "choose_order",
+    "cutoff_radius",
+    "decide_method",
+    "delta_from_bandwidth",
+    "expansion_tables",
+    "hermite_functions",
+    "max_rel_error",
+    "modelled_work_fraction",
+    "run_fast",
+    "sampled_max_rel_error",
+    "truncation_bound",
+    "uniform_boxes",
+]

@@ -1,0 +1,67 @@
+"""Accuracy measurement against the dense reference.
+
+The fast engine's contract is ``max_i |V_fast[i] - V_dense[i]| <= eps * Q``
+with ``Q = sum_j |w_j|`` — the classic FGT normalization, which makes the
+bound independent of weight cancellation in the true sums.
+:func:`max_rel_error` measures exactly that quantity; for problems where
+the full dense reference is unaffordable, :func:`sampled_max_rel_error`
+evaluates the reference on a deterministic row subset (the error bound is
+per-row, so any subset measures the same contract on those rows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.problem import ProblemData, ProblemSpec
+from ..core.reference import direct
+from ..errors import InvalidProblemError
+
+__all__ = ["max_rel_error", "sampled_max_rel_error", "reference_rows"]
+
+
+def max_rel_error(V: np.ndarray, V_ref: np.ndarray, W: np.ndarray) -> float:
+    """``max_i |V[i] - V_ref[i]| / Q`` in float64."""
+    V = np.asarray(V, dtype=np.float64)
+    V_ref = np.asarray(V_ref, dtype=np.float64)
+    if V.shape != V_ref.shape:
+        raise InvalidProblemError(
+            f"result shapes disagree: {V.shape} vs {V_ref.shape}"
+        )
+    q = float(np.abs(np.asarray(W, dtype=np.float64)).sum())
+    if q == 0.0:
+        return float(np.abs(V - V_ref).max(initial=0.0))
+    return float(np.abs(V - V_ref).max(initial=0.0) / q)
+
+
+def reference_rows(M: int, sample: int, seed: int = 0) -> np.ndarray:
+    """A deterministic sorted row subset of size ``min(sample, M)``."""
+    if sample >= M:
+        return np.arange(M, dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    return np.sort(rng.choice(M, size=sample, replace=False)).astype(np.int64)
+
+
+def sampled_max_rel_error(
+    data: ProblemData, V: np.ndarray, sample: int = 2048, seed: int = 0
+) -> float:
+    """:func:`max_rel_error` over a row subset, dense reference included.
+
+    Builds a sub-problem holding only the sampled evaluation rows (all
+    sources kept — each row's sum is exact) and runs the float64
+    row-blocked :func:`repro.core.reference.direct` on it.
+    """
+    rows = reference_rows(data.spec.M, sample, seed=seed)
+    spec = data.spec
+    sub_spec = ProblemSpec(
+        M=len(rows), N=spec.N, K=spec.K, h=spec.h,
+        kernel=spec.kernel, dtype=spec.dtype, seed=spec.seed,
+    )
+    sub = ProblemData(
+        spec=sub_spec,
+        A=np.ascontiguousarray(data.A[rows]),
+        B=data.B,
+        W=data.W,
+    )
+    V_ref = direct(sub)
+    return max_rel_error(np.asarray(V)[rows], V_ref, data.W)

@@ -1,0 +1,487 @@
+"""Hierarchical fast-summation execution.
+
+The engine runs a :class:`~repro.fast.plan.FastPlan` in two halves:
+
+* **far field** — Hermite/Taylor expansion arithmetic, always in
+  float64 (the expansions are the accuracy-critical path; the final
+  cast to the problem dtype costs one dtype rounding, far below any
+  requested ``eps``).  The four paths are executed as grouped
+  vectorized passes: per-source-box coefficient formation (one small
+  GEMM per box), per-offset batched Hermite-to-local translations
+  (per-dimension mode products against memoised translation tables),
+  per-pair ``s2t``/``s2l`` evaluations, one local-expansion evaluation
+  per target box.
+
+* **near field** — the ``direct`` pairs, grouped per target box and
+  lowered as small dense :class:`~repro.core.problem.ProblemData`
+  instances through :class:`~repro.core.fused.FusedKernelSummation`'s
+  batched engine — the paper's kernel stays the inner primitive.  With
+  ``workers > 1`` the per-box subproblems are scheduled through
+  :class:`~repro.experiments.sweep.ResilientSweep` (thread or process
+  backend); the process backend ships ``A``/``B``/``W`` and the
+  gathered index arrays zero-copy via :mod:`repro.store.shm`, so worker
+  dispatch cost is per-task-constant regardless of problem size.
+
+Every phase runs under a ``fast.*`` span, so a traced run shows bin /
+plan / far / near wall-clock side by side (the serving layer surfaces
+the same spans per request).
+
+The public entry point is :func:`run_fast`; the ``method="auto"``
+policy (dense below the crossover, treecode for heavily clustered
+clouds, fgt otherwise) lives in :func:`decide_method`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.fused import FusedKernelSummation
+from ..core.problem import ProblemData, ProblemSpec
+from ..core.tiling import PAPER_TILING, TilingConfig
+from ..errors import InvalidProblemError
+from ..obs.metrics import counter_inc
+from ..obs.tracer import span
+from .hermite import expansion_tables, hermite_functions
+from .plan import (
+    AUTO_MIN_INTERACTIONS,
+    DEFAULT_LEAF_SIZE,
+    DEFAULT_SIDE_FACTOR,
+    FastPlan,
+    build_plan,
+)
+
+__all__ = ["FastReport", "run_fast", "decide_method"]
+
+#: dimensions the tensor expansions stay practical for (p^K coefficients)
+MAX_EXPANSION_DIMS = 3
+
+#: fraction of all sources one uniform cell must hold before auto calls
+#: the cloud clustered and prefers the adaptive tree
+_CLUSTER_MASS_FRACTION = 0.25
+
+
+@dataclass
+class FastReport:
+    """What one :func:`run_fast` call actually did."""
+
+    method: str  # "dense" | "fgt" | "treecode"
+    eps: float
+    p: int = 0
+    plan_summary: Optional[dict] = None
+    near_pairs: int = 0
+    near_workers: int = 1
+    near_backend: str = "inline"
+    reasons: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "method": self.method,
+            "eps": self.eps,
+            "p": self.p,
+            "plan": self.plan_summary,
+            "near_pairs": self.near_pairs,
+            "near_workers": self.near_workers,
+            "near_backend": self.near_backend,
+            "reasons": list(self.reasons),
+        }
+
+
+def decide_method(data: ProblemData, eps: float, min_interactions: int) -> Tuple[str, List[str]]:
+    """The ``method="auto"`` policy; returns (method, reasons)."""
+    spec = data.spec
+    reasons: List[str] = []
+    if spec.kernel != "gaussian":
+        reasons.append(f"kernel {spec.kernel!r} has no Hermite expansion here")
+        return "dense", reasons
+    if spec.K > MAX_EXPANSION_DIMS:
+        reasons.append(f"K={spec.K} exceeds expansion dimension limit {MAX_EXPANSION_DIMS}")
+        return "dense", reasons
+    if spec.interaction_count < min_interactions:
+        reasons.append(
+            f"M*N={spec.interaction_count} below crossover {min_interactions}"
+        )
+        return "dense", reasons
+    # clustered clouds: uniform cells would concentrate points in few
+    # boxes; the adaptive tree splits those. A cheap source-side bin
+    # decides (the skew threshold is a performance heuristic — both
+    # methods meet eps).
+    from .hermite import delta_from_bandwidth
+
+    side = DEFAULT_SIDE_FACTOR * delta_from_bandwidth(spec.h)
+    S = data.B.T.astype(np.float64)
+    cells = np.floor((S - S.min(axis=0)[None, :]) / side).astype(np.int64)
+    _, counts = np.unique(cells, axis=0, return_counts=True)
+    top = counts.max() / counts.sum()
+    if len(counts) >= 8 and top > _CLUSTER_MASS_FRACTION:
+        reasons.append(
+            f"clustered sources (one cell holds {100 * top:.0f}% of them)"
+        )
+        return "treecode", reasons
+    reasons.append("gaussian kernel above crossover")
+    return "fgt", reasons
+
+
+# -- far field ---------------------------------------------------------------
+
+def _dim_powers(v: np.ndarray, p: int, inv_fact: Optional[np.ndarray]) -> List[np.ndarray]:
+    """Per-dimension monomials ``v[:, d]^n`` (times ``1/n!`` when given)."""
+    out: List[np.ndarray] = []
+    for d in range(v.shape[1]):
+        P = np.empty((v.shape[0], p), dtype=np.float64)
+        P[:, 0] = 1.0
+        for n in range(1, p):
+            np.multiply(P[:, n - 1], v[:, d], out=P[:, n])
+        if inv_fact is not None:
+            P *= inv_fact[None, :]
+        out.append(P)
+    return out
+
+
+def _dim_hermites(v: np.ndarray, p: int) -> List[np.ndarray]:
+    """Per-dimension Hermite functions ``h_n(v[:, d])`` as (n, p) arrays."""
+    return [np.ascontiguousarray(hermite_functions(v[:, d], p).T) for d in range(v.shape[1])]
+
+
+class _FarField:
+    """Far-field evaluator: owns the float64 accumulator and the caches."""
+
+    #: memoised per-offset translation tables, keyed
+    #: (p, side_factor-quantized offset); shared across instances so a
+    #: sweep of same-shaped solves builds each table once
+    _H2L_TABLES: Dict[Tuple, List[np.ndarray]] = {}
+
+    def __init__(self, plan: FastPlan, T: np.ndarray, S: np.ndarray, w: np.ndarray):
+        self.plan = plan
+        self.T = T
+        self.S = S
+        self.w = w
+        self.K = T.shape[1]
+        self.V = np.zeros(len(T), dtype=np.float64)
+        self.tables = expansion_tables(plan.p)
+        self.inv_fact = self.tables.inv_factorial.astype(np.float64)
+        self.sign = self.tables.sign.astype(np.float64)
+        self.A: Dict[int, np.ndarray] = {}
+        self.B: Dict[int, np.ndarray] = {}
+
+    def _offsets(self, idx: np.ndarray, center: np.ndarray) -> np.ndarray:
+        return (idx - center[None, :]) / self.plan.delta
+
+    def form_a(self) -> None:
+        p = self.plan.p
+        boxes = self.plan.boxes
+        for si in self.plan.a_boxes:
+            box = boxes.boxes[si]
+            v = self._offsets(self.S[box.sources], box.center)
+            P = _dim_powers(v, p, self.inv_fact)
+            ws = self.w[box.sources]
+            if self.K == 1:
+                A = P[0].T @ ws
+            elif self.K == 2:
+                A = P[0].T @ (ws[:, None] * P[1])
+            else:
+                A = np.einsum("ja,jb,jc,j->abc", P[0], P[1], P[2], ws, optimize=True)
+            self.A[si] = A
+        shape = (p,) * self.K
+        for ti in self.plan.b_boxes:
+            self.B[ti] = np.zeros(shape, dtype=np.float64)
+
+    def run_s2l(self) -> None:
+        """Sources accumulated into target-box local expansions."""
+        p = self.plan.p
+        boxes = self.plan.boxes
+        for ti, si in self.plan.pairs_s2l:
+            tbox, sbox = boxes.boxes[ti], boxes.boxes[si]
+            v = self._offsets(self.S[sbox.sources], tbox.center)
+            H = _dim_hermites(v, p)
+            ws = self.w[sbox.sources]
+            B = self.B[ti]
+            if self.K == 1:
+                contrib = H[0].T @ ws
+            elif self.K == 2:
+                contrib = H[0].T @ (ws[:, None] * H[1])
+            else:
+                contrib = np.einsum("ja,jb,jc,j->abc", H[0], H[1], H[2], ws, optimize=True)
+            # B_beta = (1/beta!) sum_j w_j h_beta(v_j): fold 1/beta! per dim
+            for d in range(self.K):
+                sl = [None] * self.K
+                sl[d] = slice(None)
+                contrib = contrib * self.inv_fact[tuple(sl)]
+            B += contrib
+
+    def _h2l_tables(self, off: Tuple[int, ...], side_factor: float) -> List[np.ndarray]:
+        p = self.plan.p
+        key = (p, round(side_factor, 12), off)
+        hit = self._H2L_TABLES.get(key)
+        if hit is not None:
+            return hit
+        idx = np.arange(p)
+        pair_orders = idx[:, None] + idx[None, :]  # (beta, alpha) -> order
+        tabs: List[np.ndarray] = []
+        for d in range(len(off)):
+            # source coords = target coords + off, so the translation
+            # argument (c_T - c_S)/delta is the *negated* offset
+            c = -off[d] * side_factor
+            hvals = hermite_functions(np.asarray(c, dtype=np.float64), 2 * p - 1)
+            Td = hvals[pair_orders] * (self.sign * self.inv_fact)[:, None]
+            tabs.append(np.ascontiguousarray(Td))
+        self._H2L_TABLES[key] = tabs
+        return tabs
+
+    def run_h2l(self) -> None:
+        """Batched Hermite-to-local translations, one pass per offset."""
+        boxes = self.plan.boxes
+        side_factor = boxes.side / self.plan.delta
+        for off, (t_ids, s_ids) in self.plan.h2l_by_offset.items():
+            tabs = self._h2l_tables(off, side_factor)
+            A_stack = np.stack([self.A[int(s)] for s in s_ids])
+            if self.K == 1:
+                contrib = A_stack @ tabs[0].T
+            elif self.K == 2:
+                contrib = np.einsum("xa,nab,yb->nxy", tabs[0], A_stack, tabs[1], optimize=True)
+            else:
+                contrib = np.einsum(
+                    "xa,yb,zc,nabc->nxyz", tabs[0], tabs[1], tabs[2], A_stack, optimize=True
+                )
+            for n, ti in enumerate(t_ids):
+                self.B[int(ti)] += contrib[n]
+
+    def run_s2t(self) -> None:
+        """Source-box Hermite expansions evaluated directly at targets."""
+        p = self.plan.p
+        boxes = self.plan.boxes
+        for ti, si in self.plan.pairs_s2t:
+            tbox, sbox = boxes.boxes[ti], boxes.boxes[si]
+            u = self._offsets(self.T[tbox.targets], sbox.center)
+            H = _dim_hermites(u, p)
+            A = self.A[si]
+            if self.K == 1:
+                vals = H[0] @ A
+            elif self.K == 2:
+                vals = ((H[0] @ A) * H[1]).sum(axis=1)
+            else:
+                vals = np.einsum("ia,ib,ic,abc->i", H[0], H[1], H[2], A, optimize=True)
+            self.V[tbox.targets] += vals
+
+    def run_l2t(self) -> None:
+        """Each target box's accumulated local expansion, evaluated once."""
+        p = self.plan.p
+        boxes = self.plan.boxes
+        for ti in self.plan.b_boxes:
+            tbox = boxes.boxes[ti]
+            u = self._offsets(self.T[tbox.targets], tbox.center)
+            U = _dim_powers(u, p, None)
+            B = self.B[ti]
+            if self.K == 1:
+                vals = U[0] @ B
+            elif self.K == 2:
+                vals = ((U[0] @ B) * U[1]).sum(axis=1)
+            else:
+                vals = np.einsum("ia,ib,ic,abc->i", U[0], U[1], U[2], B, optimize=True)
+            self.V[tbox.targets] += vals
+
+    def run(self) -> np.ndarray:
+        with span("fast.far.coefficients", a_boxes=len(self.plan.a_boxes),
+                  b_boxes=len(self.plan.b_boxes)):
+            self.form_a()
+        with span("fast.far.s2l", pairs=len(self.plan.pairs_s2l)):
+            self.run_s2l()
+        with span("fast.far.h2l", offsets=len(self.plan.h2l_by_offset)):
+            self.run_h2l()
+        with span("fast.far.s2t", pairs=len(self.plan.pairs_s2t)):
+            self.run_s2t()
+        with span("fast.far.l2t", boxes=len(self.plan.b_boxes)):
+            self.run_l2t()
+        return self.V
+
+
+# -- near field --------------------------------------------------------------
+
+def _near_groups(plan: FastPlan) -> List[Tuple[int, np.ndarray, np.ndarray]]:
+    """Direct pairs grouped per target box: (box ordinal, rows, cols)."""
+    by_target: Dict[int, List[int]] = {}
+    for ti, si in plan.pairs_direct:
+        by_target.setdefault(ti, []).append(si)
+    groups: List[Tuple[int, np.ndarray, np.ndarray]] = []
+    for ti in sorted(by_target):
+        tbox = plan.boxes.boxes[ti]
+        cols = np.concatenate(
+            [plan.boxes.boxes[si].sources for si in sorted(by_target[ti])]
+        )
+        groups.append((ti, tbox.targets, cols))
+    return groups
+
+
+def _near_subproblem(
+    data: ProblemData, rows: np.ndarray, cols: np.ndarray
+) -> ProblemData:
+    spec = data.spec
+    sub_spec = ProblemSpec(
+        M=len(rows), N=len(cols), K=spec.K, h=spec.h,
+        kernel=spec.kernel, dtype=spec.dtype, seed=spec.seed,
+    )
+    return ProblemData(
+        spec=sub_spec,
+        A=np.ascontiguousarray(data.A[rows]),
+        B=np.ascontiguousarray(data.B[:, cols]),
+        W=np.ascontiguousarray(data.W[cols]),
+    )
+
+
+def _near_point(task) -> Tuple[int, np.ndarray]:  # noqa: ANN001 - SweepTask
+    """Sweep point function: one near-field box batch -> its partial V.
+
+    Module-level so the process backend can pickle it; inputs arrive
+    through :func:`repro.store.shm.get_shared_arrays` (the thread and
+    inline paths expose the parent's arrays through the same call).
+    ``task.label`` is ``near:<group>`` and ``task.spec`` the subproblem
+    shape; the index arrays select this group's rows/columns.
+    """
+    from ..store.shm import get_shared_arrays
+
+    arrays = get_shared_arrays()
+    i = int(task.label.split(":", 1)[1])
+    r0, r1 = int(arrays["near_row_off"][i]), int(arrays["near_row_off"][i + 1])
+    c0, c1 = int(arrays["near_col_off"][i]), int(arrays["near_col_off"][i + 1])
+    rows = arrays["near_rows"][r0:r1]
+    cols = arrays["near_cols"][c0:c1]
+    data = ProblemData(
+        spec=task.spec,
+        A=np.ascontiguousarray(arrays["A"][rows]),
+        B=np.ascontiguousarray(arrays["B"][:, cols]),
+        W=np.ascontiguousarray(arrays["W"][cols]),
+    )
+    return i, FusedKernelSummation(engine="auto")(data)
+
+
+def _run_near(
+    data: ProblemData,
+    plan: FastPlan,
+    V: np.ndarray,
+    tiling: TilingConfig,
+    workers: Optional[int],
+    backend: str,
+) -> Tuple[int, str]:
+    """Execute the direct pairs; returns (group count, backend used)."""
+    groups = _near_groups(plan)
+    if not groups:
+        return 0, "inline"
+    if workers is None or workers <= 1 or len(groups) < 2:
+        runner = FusedKernelSummation(tiling, engine="auto")
+        for _, rows, cols in groups:
+            V[rows] += runner(_near_subproblem(data, rows, cols))
+        return len(groups), "inline"
+
+    from ..experiments.sweep import ResilientSweep, SweepTask
+    from ..gpu.device import GTX970
+
+    spec = data.spec
+    row_cat = np.concatenate([rows for _, rows, _ in groups])
+    col_cat = np.concatenate([cols for _, _, cols in groups])
+    row_off = np.concatenate(
+        ([0], np.cumsum([len(rows) for _, rows, _ in groups]))
+    ).astype(np.int64)
+    col_off = np.concatenate(
+        ([0], np.cumsum([len(cols) for _, _, cols in groups]))
+    ).astype(np.int64)
+    tasks = [
+        SweepTask(
+            label=f"near:{g}",
+            device=GTX970,
+            spec=ProblemSpec(
+                M=len(rows), N=len(cols), K=spec.K, h=spec.h,
+                kernel=spec.kernel, dtype=spec.dtype, seed=spec.seed,
+            ),
+        )
+        for g, (_, rows, cols) in enumerate(groups)
+    ]
+    sweep = ResilientSweep(
+        journal=None,
+        store=None,
+        point_fn=_near_point,
+        max_workers=workers,
+        backend=backend,
+        shared_inputs={
+            "A": data.A, "B": data.B, "W": data.W,
+            "near_rows": row_cat, "near_cols": col_cat,
+            "near_row_off": row_off, "near_col_off": col_off,
+        },
+    )
+    for g, partial in sweep.run(tasks):
+        _, rows, _ = groups[g]
+        V[rows] += partial
+    return len(groups), backend
+
+
+# -- entry point -------------------------------------------------------------
+
+def run_fast(
+    data: ProblemData,
+    eps: float = 1e-6,
+    method: str = "auto",
+    tiling: TilingConfig = PAPER_TILING,
+    workers: Optional[int] = None,
+    backend: str = "thread",
+    side_factor: float = DEFAULT_SIDE_FACTOR,
+    leaf_size: int = DEFAULT_LEAF_SIZE,
+    min_interactions: int = AUTO_MIN_INTERACTIONS,
+) -> Tuple[np.ndarray, FastReport]:
+    """Hierarchical kernel summation with an ``eps * Q`` error contract.
+
+    Returns ``(V, report)`` where ``V`` matches the problem dtype and
+    ``report`` records the method actually used and the plan shape.
+    The expansion guarantee ``max_i |V[i] - V_dense[i]| <= eps * Q``
+    (``Q = sum |w_j|``) holds in exact arithmetic of the expansion
+    scheme; dtype rounding of the inputs/outputs adds the usual
+    machine-epsilon-level noise on top — float32 callers should not
+    request ``eps`` below ~1e-4.
+    """
+    spec = data.spec
+    if method not in ("auto", "dense", "fgt", "treecode"):
+        raise InvalidProblemError(
+            f"unknown method {method!r}; use auto | dense | fgt | treecode"
+        )
+    if method in ("fgt", "treecode"):
+        if spec.kernel != "gaussian":
+            raise InvalidProblemError(
+                f"method {method!r} requires the gaussian kernel, not {spec.kernel!r}"
+            )
+        if spec.K > MAX_EXPANSION_DIMS:
+            raise InvalidProblemError(
+                f"method {method!r} supports K <= {MAX_EXPANSION_DIMS}, got K={spec.K}"
+            )
+    report = FastReport(method=method, eps=eps)
+    if method == "auto":
+        with span("fast.decide", M=spec.M, N=spec.N, K=spec.K):
+            report.method, report.reasons = decide_method(data, eps, min_interactions)
+    if report.method == "dense":
+        counter_inc("fast.dense_fallbacks")
+        with span("fast.dense", M=spec.M, N=spec.N):
+            V = FusedKernelSummation(tiling, engine="auto")(data)
+        return V, report
+
+    counter_inc("fast.solves")
+    T = data.A.astype(np.float64)
+    S = data.B.T.astype(np.float64)
+    w = data.W.astype(np.float64)
+    with span("fast.plan", method=report.method, M=spec.M, N=spec.N, K=spec.K):
+        plan = build_plan(
+            T, S, spec.h, eps, report.method,
+            side_factor=side_factor, leaf_size=leaf_size,
+        )
+    report.p = plan.p
+    report.plan_summary = plan.summary()
+    counter_inc("fast.boxes", plan.boxes.n_boxes)
+
+    with span("fast.far", p=plan.p, boxes=plan.boxes.n_boxes):
+        far = _FarField(plan, T, S, w).run()
+    V = far.astype(spec.np_dtype)
+    with span("fast.near", pairs=len(plan.pairs_direct)):
+        report.near_pairs = len(plan.pairs_direct)
+        groups, used = _run_near(data, plan, V, tiling, workers, backend)
+        report.near_workers = workers or 1
+        report.near_backend = used if (workers or 1) > 1 else "inline"
+        counter_inc("fast.near_groups", groups)
+    return V, report

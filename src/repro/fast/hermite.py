@@ -1,0 +1,206 @@
+"""Hermite-function machinery and the truncation-error model.
+
+The fast Gauss transform (Greengard & Strain) rewrites the Gaussian
+kernel through the generating function of the Hermite *functions*
+``h_n(x) = e^{-x^2} H_n(x)``::
+
+    exp(-(u - v)^2) = sum_n  (u^n / n!) * h_n(v)
+
+With ``delta = sqrt(2) * h`` the paper's kernel ``exp(-r^2 / (2 h^2))``
+is exactly ``exp(-r^2 / delta^2)``, so every expansion below works in
+the scaled coordinates ``(x - c) / delta`` of a box center ``c``.
+
+Truncation error is controlled with Cramér's inequality
+``|h_n(x)| <= KAPPA * 2^(n/2) * sqrt(n!)`` (KAPPA ~= 1.09): each 1-D
+series factor truncated after ``p`` terms with per-dimension offsets
+bounded by ``rho`` leaves a tail of at most
+
+    t(p) = KAPPA * sum_{n >= p}  q^n / sqrt(n!),        q = sqrt(2) * rho
+
+while the full factor is bounded by ``S = KAPPA * sum_{n >= 0} q^n /
+sqrt(n!)``.  Truncating a ``d``-dimensional tensor expansion at order
+``p`` per dimension therefore loses at most ``S^d - (S - t)^d`` per unit
+of source mass.  The series have no convenient closed form, so
+:func:`truncation_bound` evaluates them numerically — they converge
+factorially, a few dozen terms suffice.
+
+Errors here (and everywhere in :mod:`repro.fast`) are normalized by the
+total source mass ``Q = sum_j |w_j|``, the standard FGT convention: the
+engine guarantees ``max_i |V_fast[i] - V[i]| <= eps * Q``.
+
+:func:`expansion_tables` memoises the per-``(p, dtype)`` constant tables
+(inverse factorials, alternating signs) so repeated fast solves — the
+near-field batches of a sweep, a warm serving process — never recompute
+them; :func:`hermite_functions` is the shared three-term recurrence
+``h_{n+1} = 2 x h_n - 2 n h_{n-1}``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..errors import InvalidProblemError
+
+__all__ = [
+    "KAPPA",
+    "ExpansionTables",
+    "expansion_tables",
+    "hermite_functions",
+    "truncation_bound",
+    "choose_order",
+    "cutoff_radius",
+    "delta_from_bandwidth",
+]
+
+#: Cramér's constant: |H_n(x)| e^{-x^2/2} <= KAPPA * 2^{n/2} * sqrt(n!)
+KAPPA = 1.09
+
+#: truncation orders beyond this are a configuration error (the series
+#: bound stops improving in float64 long before 60 terms)
+MAX_ORDER = 60
+
+
+def delta_from_bandwidth(h: float) -> float:
+    """The FGT length scale: ``exp(-r^2/(2h^2)) == exp(-(r/delta)^2)``."""
+    if h <= 0:
+        raise InvalidProblemError("bandwidth h must be positive")
+    return math.sqrt(2.0) * h
+
+
+@dataclass(frozen=True)
+class ExpansionTables:
+    """Constant per-order tables shared by every expansion of order ``p``.
+
+    ``inv_factorial[n] = 1/n!`` and ``sign[n] = (-1)^n`` for
+    ``n = 0..p-1``, in the requested dtype.  Instances are memoised per
+    ``(p, dtype)`` — identity-stable, safe to compare with ``is``.
+    """
+
+    p: int
+    dtype: str
+    inv_factorial: np.ndarray  # (p,)
+    sign: np.ndarray  # (p,) alternating +1/-1
+
+    def __post_init__(self) -> None:
+        self.inv_factorial.flags.writeable = False
+        self.sign.flags.writeable = False
+
+
+_TABLES: Dict[Tuple[int, str], ExpansionTables] = {}
+
+
+def expansion_tables(p: int, dtype: str = "float64") -> ExpansionTables:
+    """The memoised constant tables for truncation order ``p``."""
+    if p < 1 or p > MAX_ORDER:
+        raise InvalidProblemError(f"truncation order p={p} out of range [1, {MAX_ORDER}]")
+    key = (p, str(dtype))
+    hit = _TABLES.get(key)
+    if hit is not None:
+        return hit
+    dt = np.dtype(dtype)
+    inv_fact = np.empty(p, dtype=dt)
+    f = 1.0
+    for n in range(p):
+        if n > 0:
+            f *= n
+        inv_fact[n] = 1.0 / f
+    sign = np.where(np.arange(p) % 2 == 0, 1.0, -1.0).astype(dt)
+    tables = ExpansionTables(p=p, dtype=str(dtype), inv_factorial=inv_fact, sign=sign)
+    _TABLES[key] = tables
+    return tables
+
+
+def hermite_functions(x: np.ndarray, p: int) -> np.ndarray:
+    """``h_n(x) = e^{-x^2} H_n(x)`` for ``n = 0..p-1``, shape ``(p, *x.shape)``.
+
+    Three-term recurrence ``h_0 = e^{-x^2}``, ``h_1 = 2 x h_0``,
+    ``h_{n+1} = 2 x h_n - 2 n h_{n-1}`` — numerically benign because the
+    ``e^{-x^2}`` damping is carried inside every term.
+    """
+    if p < 1:
+        raise InvalidProblemError("need at least one Hermite function")
+    x = np.asarray(x, dtype=np.float64)
+    out = np.empty((p,) + x.shape, dtype=np.float64)
+    out[0] = np.exp(-x * x)
+    if p > 1:
+        two_x = 2.0 * x
+        out[1] = two_x * out[0]
+        for n in range(1, p - 1):
+            out[n + 1] = two_x * out[n] - (2.0 * n) * out[n - 1]
+    return out
+
+
+def _series_tail(q: float, start: int, terms: int = 200) -> float:
+    """``sum_{n >= start} q^n / sqrt(n!)`` to float64 exhaustion."""
+    total = 0.0
+    log_q = math.log(q) if q > 0 else None
+    if log_q is None:
+        return 1.0 if start == 0 else 0.0
+    for n in range(start, start + terms):
+        log_term = n * log_q - 0.5 * math.lgamma(n + 1.0)
+        if log_term > 700.0:  # exp() would overflow; the bound is useless anyway
+            return math.inf
+        total += math.exp(log_term)
+        if total and math.exp(log_term) < total * 1e-18 and n > start:
+            break
+    return total
+
+
+def truncation_bound(p: int, rho: float, d: int, translation: bool = False) -> float:
+    """Error per unit source mass of an order-``p`` tensor truncation.
+
+    ``rho`` bounds the per-dimension scaled offset of a point from its
+    box center (``|x_k - c_k| / delta <= rho``); ``d`` is the dimension.
+    ``translation=True`` models the Hermite-to-local translation, whose
+    composed bound replaces ``q = sqrt(2) rho`` by ``2 rho`` (the extra
+    ``2^{n/2}`` from bounding ``sqrt((alpha+beta)!)`` by
+    ``sqrt(alpha!) sqrt(beta!) 2^{(|alpha|+|beta|)/2}``) and is further
+    doubled as a safety factor for the two stacked truncations.
+    """
+    if rho <= 0 or d < 1:
+        raise InvalidProblemError("need rho > 0 and d >= 1")
+    q = (2.0 if translation else math.sqrt(2.0)) * rho
+    tail = KAPPA * _series_tail(q, p)
+    full = KAPPA * _series_tail(q, 0)
+    kept = max(full - tail, 0.0)
+    try:
+        bound = full**d - kept**d
+    except OverflowError:
+        return math.inf
+    return 2.0 * bound if translation else bound
+
+
+def choose_order(eps: float, rho: float, d: int, translation: bool = False) -> int:
+    """Smallest ``p`` whose truncation bound meets ``eps`` (per unit mass).
+
+    Raises :class:`InvalidProblemError` when no order up to
+    :data:`MAX_ORDER` reaches ``eps`` — the caller should fall back to
+    the dense path rather than silently miss the accuracy contract.
+    """
+    if eps <= 0:
+        raise InvalidProblemError("eps must be positive")
+    for p in range(1, MAX_ORDER + 1):
+        if truncation_bound(p, rho, d, translation=translation) <= eps:
+            return p
+    raise InvalidProblemError(
+        f"no truncation order up to {MAX_ORDER} meets eps={eps:g} "
+        f"at rho={rho:g}, d={d} (translation={translation}); "
+        "use the dense path for this accuracy"
+    )
+
+
+def cutoff_radius(eps_tail: float, delta: float) -> float:
+    """Distance beyond which a unit-mass source contributes under ``eps_tail``.
+
+    ``exp(-(r/delta)^2) <= eps_tail  <=>  r >= delta * sqrt(ln(1/eps_tail))``;
+    pruned interactions therefore cost at most ``Q * eps_tail`` in total.
+    """
+    if not (0.0 < eps_tail < 1.0):
+        raise InvalidProblemError("eps_tail must be in (0, 1)")
+    if delta <= 0:
+        raise InvalidProblemError("delta must be positive")
+    return delta * math.sqrt(math.log(1.0 / eps_tail))

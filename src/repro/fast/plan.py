@@ -1,0 +1,322 @@
+"""Interaction planning: which box pairs, evaluated how.
+
+A plan classifies every unpruned (target box, source box) pair into one
+of four evaluation paths, by estimated cost:
+
+* ``direct``  — dense evaluation through the fused batched engine;
+  cost ``m_t * n_s``.  Always available, and the only path for boxes
+  whose geometry violates the expansion's ``rho`` bound (tree leaves in
+  sparse regions).
+* ``s2t``     — the source box's Hermite expansion evaluated at each
+  target; cost ``m_t * p^K`` (plus the once-per-box coefficient
+  formation ``n_s * p^K``).
+* ``s2l``     — sources accumulated into the target box's local Taylor
+  expansion; cost ``n_s * p^K`` (plus one ``m_t * p^K`` local
+  evaluation per target box).
+* ``h2l``     — Hermite-to-local translation (uniform grid only, where
+  box-center offsets repeat across the stencil and the translation
+  factorizes into per-dimension mode products); cost ``~K * p^(K+1)``
+  per pair, independent of occupancy.
+
+Pairs whose minimum box separation exceeds the cutoff radius are pruned
+entirely: every pruned source contributes less than ``eps_tail`` per
+unit weight, so the total pruning error is below ``Q * eps/2`` and the
+truncation budget gets the other ``eps/2``
+(:func:`repro.fast.hermite.truncation_bound`).
+
+The plan also carries the modelled work fraction versus the dense
+``M * N`` evaluation — the number the auto crossover, the energy meter,
+and the bench report all share.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import InvalidProblemError
+from .boxes import BoxSet, adaptive_tree, uniform_boxes
+from .hermite import choose_order, cutoff_radius, delta_from_bandwidth
+
+__all__ = [
+    "FastPlan",
+    "build_plan",
+    "modelled_work_fraction",
+    "DEFAULT_SIDE_FACTOR",
+    "DEFAULT_LEAF_SIZE",
+    "AUTO_MIN_INTERACTIONS",
+]
+
+#: uniform box side as a multiple of delta (rho = SIDE_FACTOR / 2)
+DEFAULT_SIDE_FACTOR = 1.0
+#: adaptive-tree split threshold
+DEFAULT_LEAF_SIZE = 256
+#: below this many dense interactions, method="auto" stays dense — the
+#: planning/binning overhead cannot pay for itself (calibrated by the
+#: crossover curve in benchmarks/results/BENCH_fast.json)
+AUTO_MIN_INTERACTIONS = 1 << 25
+
+#: relative per-op weight of the factorized h2l mode products (BLAS-shaped)
+_C_H2L = 0.25
+
+
+@dataclass
+class FastPlan:
+    """Everything the engine needs to execute one hierarchical solve."""
+
+    method: str  # "fgt" | "treecode"
+    eps: float
+    delta: float
+    p: int  # truncation order per dimension
+    r_cut: float
+    boxes: BoxSet
+    pairs_direct: List[Tuple[int, int]] = field(default_factory=list)
+    pairs_s2t: List[Tuple[int, int]] = field(default_factory=list)
+    pairs_s2l: List[Tuple[int, int]] = field(default_factory=list)
+    #: uniform grid only: coordinate offset -> (target ordinals, source ordinals)
+    h2l_by_offset: Dict[Tuple[int, ...], Tuple[np.ndarray, np.ndarray]] = field(
+        default_factory=dict
+    )
+    #: source boxes needing Hermite coefficients / target boxes needing locals
+    a_boxes: List[int] = field(default_factory=list)
+    b_boxes: List[int] = field(default_factory=list)
+    work_ops: float = 0.0
+    dense_ops: float = 0.0
+
+    @property
+    def work_fraction(self) -> float:
+        """Modelled ops relative to the dense ``M * N`` evaluation."""
+        return self.work_ops / self.dense_ops if self.dense_ops > 0 else 1.0
+
+    def summary(self) -> dict:
+        h2l_pairs = sum(len(t) for t, _ in self.h2l_by_offset.values())
+        return {
+            "method": self.method,
+            "eps": self.eps,
+            "p": self.p,
+            "boxes": self.boxes.n_boxes,
+            "pairs_direct": len(self.pairs_direct),
+            "pairs_s2t": len(self.pairs_s2t),
+            "pairs_s2l": len(self.pairs_s2l),
+            "pairs_h2l": h2l_pairs,
+            "work_ops": self.work_ops,
+            "dense_ops": self.dense_ops,
+            "work_fraction": self.work_fraction,
+        }
+
+
+def _min_box_distance(
+    c1: np.ndarray, s1: float, c2: np.ndarray, s2: float
+) -> float:
+    gap = np.maximum(np.abs(c1 - c2) - 0.5 * (s1 + s2), 0.0)
+    return float(np.sqrt((gap * gap).sum()))
+
+
+def _stencil_offsets(K: int, side: float, r_cut: float) -> List[Tuple[int, ...]]:
+    """Grid offsets whose minimum box separation is within the cutoff."""
+    reach = int(math.floor(r_cut / side)) + 1
+    ranges = [np.arange(-reach, reach + 1)] * K
+    mesh = np.stack(np.meshgrid(*ranges, indexing="ij"), axis=-1).reshape(-1, K)
+    gap = np.maximum(np.abs(mesh) - 1, 0) * side
+    keep = np.sqrt((gap * gap).sum(axis=1)) <= r_cut
+    return [tuple(int(v) for v in row) for row in mesh[keep]]
+
+
+def _classify_uniform(plan: FastPlan) -> None:
+    """Cost-pick a path for every unpruned pair of the uniform grid."""
+    boxes = plan.boxes
+    K = boxes.boxes[0].center.shape[0]
+    pK = float(plan.p**K)
+    h2l_cost = 2.0 * K * float(plan.p ** (K + 1)) * _C_H2L
+    offsets = _stencil_offsets(K, boxes.side, plan.r_cut)
+
+    h2l_accum: Dict[Tuple[int, ...], Tuple[List[int], List[int]]] = {}
+    a_set: set = set()
+    b_set: set = set()
+    work = 0.0
+    for ti, tbox in enumerate(boxes.boxes):
+        m_t = len(tbox.targets)
+        if m_t == 0:
+            continue
+        assert tbox.coords is not None
+        for off in offsets:
+            coords = tuple(tbox.coords[k] + off[k] for k in range(K))
+            si = boxes.by_coords.get(coords)
+            if si is None:
+                continue
+            n_s = len(boxes.boxes[si].sources)
+            if n_s == 0:
+                continue
+            costs = {
+                "direct": float(m_t) * n_s,
+                "s2t": m_t * pK,
+                "s2l": n_s * pK,
+                "h2l": h2l_cost,
+            }
+            path = min(costs, key=costs.get)  # ties: fixed key order
+            work += costs[path]
+            if path == "direct":
+                plan.pairs_direct.append((ti, si))
+            elif path == "s2t":
+                plan.pairs_s2t.append((ti, si))
+                a_set.add(si)
+            elif path == "s2l":
+                plan.pairs_s2l.append((ti, si))
+                b_set.add(ti)
+            else:
+                h2l_accum.setdefault(off, ([], []))[0].append(ti)
+                h2l_accum[off][1].append(si)
+                a_set.add(si)
+                b_set.add(ti)
+    plan.h2l_by_offset = {
+        off: (np.asarray(t, dtype=np.int64), np.asarray(s, dtype=np.int64))
+        for off, (t, s) in sorted(h2l_accum.items())
+    }
+    _finish_amortized(plan, a_set, b_set, pK, work)
+
+
+def _classify_tree(plan: FastPlan, valid_side: float) -> None:
+    """Cost-pick paths over all leaf pairs, pruned by box separation.
+
+    Leaf geometry is irregular, so the pair scan is a vectorized
+    all-pairs distance test per target leaf (O(L^2) with L leaves —
+    leaves are coarse, so L is thousands, not millions).  h2l is not
+    available here: the translation tables key on repeating grid
+    offsets, which irregular leaf centers do not provide.
+    """
+    boxes = plan.boxes
+    K = boxes.boxes[0].center.shape[0]
+    pK = float(plan.p**K)
+    centers = np.stack([b.center for b in boxes.boxes])
+    sides = np.asarray([b.side for b in boxes.boxes])
+    n_src = np.asarray([len(b.sources) for b in boxes.boxes])
+    a_set: set = set()
+    b_set: set = set()
+    work = 0.0
+    for ti, tbox in enumerate(boxes.boxes):
+        m_t = len(tbox.targets)
+        if m_t == 0:
+            continue
+        gap = np.maximum(
+            np.abs(centers - tbox.center[None, :]) - 0.5 * (sides[:, None] + tbox.side),
+            0.0,
+        )
+        near = np.sqrt((gap * gap).sum(axis=1)) <= plan.r_cut
+        t_valid = tbox.side <= valid_side
+        for si in np.nonzero(near & (n_src > 0))[0]:
+            n_s = int(n_src[si])
+            costs = {"direct": float(m_t) * n_s}
+            if boxes.boxes[si].side <= valid_side:
+                costs["s2t"] = m_t * pK
+            if t_valid:
+                costs["s2l"] = n_s * pK
+            path = min(costs, key=costs.get)
+            work += costs[path]
+            if path == "direct":
+                plan.pairs_direct.append((ti, int(si)))
+            elif path == "s2t":
+                plan.pairs_s2t.append((ti, int(si)))
+                a_set.add(int(si))
+            else:
+                plan.pairs_s2l.append((ti, int(si)))
+                b_set.add(ti)
+    _finish_amortized(plan, a_set, b_set, pK, work)
+
+
+def _finish_amortized(
+    plan: FastPlan, a_set: set, b_set: set, pK: float, work: float
+) -> None:
+    plan.a_boxes = sorted(a_set)
+    plan.b_boxes = sorted(b_set)
+    # once-per-box costs: Hermite coefficient formation and local evaluation
+    work += sum(len(plan.boxes.boxes[i].sources) * pK for i in plan.a_boxes)
+    work += sum(len(plan.boxes.boxes[i].targets) * pK for i in plan.b_boxes)
+    plan.work_ops = work
+
+
+def build_plan(
+    targets: np.ndarray,
+    sources: np.ndarray,
+    h: float,
+    eps: float,
+    method: str,
+    side_factor: float = DEFAULT_SIDE_FACTOR,
+    leaf_size: int = DEFAULT_LEAF_SIZE,
+) -> FastPlan:
+    """Decompose, enumerate, and classify one problem's interactions.
+
+    ``targets`` is (M, K) evaluation points (rows of ``A``), ``sources``
+    is (N, K) weighted points (columns of ``B``).  ``method`` must be
+    ``"fgt"`` or ``"treecode"`` — the auto/dense decision happens in the
+    engine, before any plan is built.
+    """
+    if method not in ("fgt", "treecode"):
+        raise InvalidProblemError(f"unknown plan method {method!r}; use fgt | treecode")
+    if eps <= 0 or eps >= 1:
+        raise InvalidProblemError("eps must be in (0, 1)")
+    delta = delta_from_bandwidth(h)
+    K = targets.shape[1]
+    eps_tail = eps / 2.0
+    eps_trunc = eps / 2.0
+    rho = 0.5 * side_factor
+    # the fgt path may translate expansions (h2l), which needs the larger
+    # composed bound; the treecode path only ever stacks one truncation
+    p = choose_order(eps_trunc, rho, K, translation=(method == "fgt"))
+    r_cut = cutoff_radius(eps_tail, delta)
+    side = side_factor * delta
+
+    if method == "fgt":
+        boxes = uniform_boxes(targets, sources, side)
+    else:
+        boxes = adaptive_tree(targets, sources, leaf_size, min_side=side)
+
+    plan = FastPlan(
+        method=method,
+        eps=eps,
+        delta=delta,
+        p=p,
+        r_cut=r_cut,
+        boxes=boxes,
+        dense_ops=float(targets.shape[0]) * sources.shape[0],
+    )
+    if method == "fgt":
+        _classify_uniform(plan)
+    else:
+        _classify_tree(plan, valid_side=side)
+    return plan
+
+
+def modelled_work_fraction(
+    M: int, N: int, K: int, h: float, eps: float = 1e-6
+) -> float:
+    """Analytic work fraction of the hierarchical path vs dense ``M * N``.
+
+    A closed-form stand-in for :attr:`FastPlan.work_fraction` when no
+    point data is available (the serving energy model): assumes points
+    uniform in the unit cube, so each box holds ``N / boxes`` sources
+    and the stencil covers ``~(2 r_cut/side + 1)^K`` neighbours.  Capped
+    at 1 — the hierarchical path is never modelled as costlier than
+    dense (the auto crossover would have picked dense).
+    """
+    if min(M, N, K) < 1:
+        raise InvalidProblemError("M, N, K must be positive")
+    delta = delta_from_bandwidth(h)
+    side = DEFAULT_SIDE_FACTOR * delta
+    rho = 0.5 * DEFAULT_SIDE_FACTOR
+    try:
+        p = choose_order(eps / 2.0, rho, K, translation=True)
+    except InvalidProblemError:
+        return 1.0
+    r_cut = cutoff_radius(eps / 2.0, delta)
+    n_side = max(1, math.ceil(1.0 / side))
+    boxes = float(n_side**K)
+    stencil = min(boxes, float((2 * math.ceil(r_cut / side) + 1) ** K))
+    m_per, n_per = M / boxes, N / boxes
+    pK = float(p**K)
+    h2l_cost = 2.0 * K * float(p ** (K + 1)) * _C_H2L
+    per_pair = min(m_per * n_per, m_per * pK, n_per * pK, h2l_cost)
+    work = boxes * (stencil * per_pair + n_per * pK + m_per * pK)
+    return min(1.0, work / (float(M) * N))

@@ -127,6 +127,29 @@ class EnergyMeter:
 
         from ..perf.pipeline import model_run
 
+        if implementation == "fast":
+            # the hierarchical path has no counter-level GPU model; its
+            # defining property is doing a *fraction* of the dense work,
+            # so model the dense fused solve and scale every dynamic
+            # component by the analytic work fraction (static power
+            # scales with the modelled runtime, i.e. the same factor)
+            from ..fast.plan import modelled_work_fraction
+
+            base = self.estimate("fused", spec)
+            frac = modelled_work_fraction(spec.M, spec.N, spec.K, spec.h)
+            energy = RequestEnergy(
+                implementation=implementation,
+                compute_pj=base.compute_pj * frac,
+                smem_pj=base.smem_pj * frac,
+                l2_pj=base.l2_pj * frac,
+                dram_pj=base.dram_pj * frac,
+                static_pj=base.static_pj * frac,
+                seconds=base.seconds * frac,
+            )
+            with self._lock:
+                self._cache[key] = energy
+            return energy
+
         run = model_run(implementation, spec, device=self.device)
         b = self.model.breakdown(run)
         energy = RequestEnergy(

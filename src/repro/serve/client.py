@@ -55,6 +55,11 @@ _log = get_logger("serve.client")
 
 _request_ids = itertools.count(1)
 
+#: per-line stream buffer bound; asyncio's 64 KiB default truncates the
+#: response of any solve beyond a few thousand rows (a large-M
+#: hierarchical answer is megabytes of JSON floats on one line)
+STREAM_LIMIT = 1 << 27
+
 
 @dataclass(frozen=True)
 class SolveResult:
@@ -88,7 +93,9 @@ class ServeClient:
 
     # -- lifecycle ---------------------------------------------------------
     async def connect(self) -> "ServeClient":
-        self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=STREAM_LIMIT
+        )
         self._reader_task = asyncio.ensure_future(self._read_loop())
         return self
 

@@ -53,7 +53,13 @@ __all__ = [
 PROTOCOL_VERSION = "repro-serve/v1"
 
 #: implementations the server is willing to dispatch
-SERVABLE_IMPLEMENTATIONS = ("fused", "cublas-unfused", "cuda-unfused", "reference")
+SERVABLE_IMPLEMENTATIONS = (
+    "fused",
+    "cublas-unfused",
+    "cuda-unfused",
+    "reference",
+    "fast",
+)
 
 
 def array_checksum(V: np.ndarray) -> str:

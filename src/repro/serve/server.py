@@ -46,7 +46,7 @@ import asyncio
 import contextlib
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..core.problem import ProblemSpec
@@ -102,12 +102,17 @@ class ServerConfig:
     breaker_threshold: int = 3
     breaker_reset_s: float = 2.0
     workers: int = 1
+    #: route dense "fused" solves with M >= this through the hierarchical
+    #: "fast" implementation (Gaussian kernel, K <= 3 only); None = off
+    fast_threshold_m: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("batched", "sequential"):
             raise ValueError(f"unknown mode {self.mode!r}; use batched | sequential")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.fast_threshold_m is not None and self.fast_threshold_m < 1:
+            raise ValueError("fast_threshold_m must be >= 1 (or None)")
 
 
 class _Connection:
@@ -173,8 +178,11 @@ class KernelServer:
         if self.journal is not None:
             await self._replay_journal()
             self.journal.open()
+        from .client import STREAM_LIMIT
+
         self._server = await asyncio.start_server(
-            self._handle_connection, self.config.host, self.config.port
+            self._handle_connection, self.config.host, self.config.port,
+            limit=STREAM_LIMIT,
         )
         self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
         log_event(_log, 20, "server.started",
@@ -271,6 +279,29 @@ class KernelServer:
         conn.members.clear()
         conn.tasks.clear()
 
+    def _route_fast(self, request: SolveRequest) -> SolveRequest:
+        """Rewrite large dense solves onto the hierarchical path.
+
+        Behind ``fast_threshold_m``: a ``"fused"`` request whose M
+        reaches the threshold (and whose kernel/dimension the expansions
+        support) is served by the ``"fast"`` implementation instead.
+        The rewrite happens before the member (and its digest) exists,
+        so batching, caching, journaling, and replay all see the routed
+        implementation — a journal replay reproduces the routed result
+        bit for bit.
+        """
+        t = self.config.fast_threshold_m
+        if (
+            t is None
+            or request.implementation != "fused"
+            or request.M < t
+            or request.kernel != "gaussian"
+            or request.K > 3  # repro.fast.engine.MAX_EXPANSION_DIMS
+        ):
+            return request
+        counter_inc("serve.fast_routed")
+        return replace(request, implementation="fast")
+
     async def _handle_line(self, conn: _Connection, line: bytes) -> None:
         loop = asyncio.get_running_loop()
         try:
@@ -303,6 +334,7 @@ class KernelServer:
             await self._write(conn, SolveResponse(
                 id=str(doc.get("id", "?")), status="invalid", error=str(exc)))
             return
+        request = self._route_fast(request)
         # continue the client's trace (or root a new one) only when the
         # server is tracing or the client sent a context — the common
         # disarmed path does no id generation at all

@@ -21,7 +21,7 @@ Entry points:
 See ``docs/CACHING.md`` for the record layout and invalidation rules.
 """
 
-from .functional import SOLVE_KIND, cached_solve, solve_digest
+from .functional import FAST_DEFAULT_METHOD, SOLVE_KIND, cached_solve, solve_digest
 from .result_store import CACHE_DIR_ENV, ResultStore, StoreStats, VerifyReport, default_store
 from .shm import SharedNDArray, attach_arrays, get_shared_arrays, share_arrays, unlink_arrays
 
@@ -34,6 +34,7 @@ __all__ = [
     "cached_solve",
     "solve_digest",
     "SOLVE_KIND",
+    "FAST_DEFAULT_METHOD",
     "SharedNDArray",
     "share_arrays",
     "attach_arrays",

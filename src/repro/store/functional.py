@@ -38,10 +38,28 @@ from ..faults.injector import active_injector
 from ..obs.metrics import counter_inc
 from ..obs.tracer import span
 
-__all__ = ["solve_digest", "cached_solve"]
+__all__ = ["solve_digest", "cached_solve", "FAST_DEFAULT_METHOD"]
 
 #: record-schema namespace; bump when the record layout changes
-SOLVE_KIND = "functional.solve/v1"
+SOLVE_KIND = "functional.solve/v2"
+
+#: method tag the "fast" implementation runs at through the registry
+FAST_DEFAULT_METHOD = "auto:eps=1e-06"
+
+
+def _resolve_method(implementation: str, method: Optional[str]) -> str:
+    """The algorithm tag entering the digest.
+
+    Dense O(M*N) implementations all compute the same mathematical
+    object, so they share the ``"dense"`` tag (their results are already
+    distinguished by the implementation name); the hierarchical path
+    approximates it to an eps, so its tag carries method and eps —
+    hierarchical and dense records for one spec can never collide, and
+    neither can two fast solves at different accuracy targets.
+    """
+    if method is not None:
+        return method
+    return FAST_DEFAULT_METHOD if implementation == "fast" else "dense"
 
 
 def solve_digest(
@@ -50,12 +68,14 @@ def solve_digest(
     tiling: TilingConfig = PAPER_TILING,
     engine: str = "auto",
     point_scale: float = 1.0,
+    method: Optional[str] = None,
 ) -> str:
     """Content address of one functional solve."""
     return config_digest(
         {
             "kind": SOLVE_KIND,
             "implementation": implementation,
+            "method": _resolve_method(implementation, method),
             "spec": spec,
             "tiling": tiling,
             "engine": engine,
@@ -138,6 +158,7 @@ def cached_solve(
             {
                 "kind": SOLVE_KIND,
                 "implementation": implementation,
+                "method": _resolve_method(implementation, None),
                 "engine": engine,
                 "M": spec.M, "N": spec.N, "K": spec.K,
                 "dtype": spec.dtype,

@@ -1,0 +1,161 @@
+"""The fast engine's accuracy contract, property-tested.
+
+The guarantee under test: ``max_i |V_fast[i] - V_dense[i]| <= eps * Q``
+with ``Q = sum |w_j|``, for uniform and heavily clustered clouds, both
+methods, fp32 and fp64.  fp64 is exercised down to eps=1e-9; fp32 only
+at eps=1e-3 (the far field is computed in float64 and cast, but the
+fp32 near field cannot resolve below ~1e-4 of Q).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.api import fast_kernel_summation
+from repro.core.fused import FusedKernelSummation
+from repro.core.problem import ProblemData, ProblemSpec, generate
+from repro.core.reference import direct
+from repro.errors import InvalidProblemError
+from repro.fast import max_rel_error, run_fast, sampled_max_rel_error
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def _cloud_data(M, N, K, h, seed, dtype="float64", clustered=False):
+    rng = np.random.default_rng(seed)
+    T = rng.random((M, K))
+    if clustered:
+        n_blob = N // 2
+        center = rng.random(K) * 0.8 + 0.1
+        S = np.concatenate(
+            [0.02 * rng.standard_normal((n_blob, K)) + center,
+             rng.random((N - n_blob, K))]
+        )
+    else:
+        S = rng.random((N, K))
+    W = rng.standard_normal(N)
+    dt = np.dtype(dtype)
+    spec = ProblemSpec(M=M, N=N, K=K, h=h, kernel="gaussian", dtype=str(dt), seed=0)
+    return ProblemData(
+        spec=spec,
+        A=np.ascontiguousarray(T, dtype=dt),
+        B=np.ascontiguousarray(S.T, dtype=dt),
+        W=np.ascontiguousarray(W, dtype=dt),
+    )
+
+
+class TestAccuracyContract:
+    @pytest.mark.parametrize("eps", [1e-3, 1e-6, 1e-9])
+    @pytest.mark.parametrize("method", ["fgt", "treecode"])
+    @pytest.mark.parametrize("clustered", [False, True])
+    def test_fp64_meets_eps(self, eps, method, clustered):
+        data = _cloud_data(700, 800, 2, 0.12, seed=42, clustered=clustered)
+        V, report = run_fast(data, eps=eps, method=method)
+        assert report.method == method
+        assert max_rel_error(V, direct(data), data.W) <= eps
+
+    @pytest.mark.parametrize("method", ["fgt", "treecode"])
+    def test_fp32_meets_loose_eps(self, method):
+        data = _cloud_data(600, 700, 2, 0.15, seed=7, dtype="float32")
+        V, _ = run_fast(data, eps=1e-3, method=method)
+        assert V.dtype == np.float32
+        assert max_rel_error(V, direct(data), data.W) <= 1e-3
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=seeds,
+           h=st.floats(min_value=0.05, max_value=0.5),
+           eps=st.sampled_from([1e-3, 1e-6, 1e-9]),
+           clustered=st.booleans())
+    def test_fgt_property(self, seed, h, eps, clustered):
+        data = _cloud_data(500, 500, 2, h, seed=seed, clustered=clustered)
+        V, _ = run_fast(data, eps=eps, method="fgt")
+        assert max_rel_error(V, direct(data), data.W) <= eps
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=seeds,
+           h=st.floats(min_value=0.08, max_value=0.5),
+           eps=st.sampled_from([1e-3, 1e-6]),
+           K=st.integers(min_value=1, max_value=3))
+    def test_treecode_property_any_dim(self, seed, h, eps, K):
+        data = _cloud_data(400, 450, K, h, seed=seed, clustered=True)
+        V, _ = run_fast(data, eps=eps, method="treecode")
+        assert max_rel_error(V, direct(data), data.W) <= eps
+
+
+class TestAutoPolicy:
+    def test_below_crossover_is_exactly_dense(self):
+        # the auto path must hand back the *identical* bits the dense
+        # batched engine produces — no approximation sneaks in
+        data = generate(ProblemSpec(M=300, N=280, K=2, h=0.2, seed=8))
+        V, report = run_fast(data, eps=1e-6, method="auto")
+        assert report.method == "dense"
+        np.testing.assert_array_equal(V, FusedKernelSummation(engine="auto")(data))
+
+    def test_above_crossover_goes_hierarchical(self):
+        data = _cloud_data(900, 900, 2, 0.2, seed=3)
+        V, report = run_fast(data, eps=1e-6, method="auto", min_interactions=1 << 16)
+        assert report.method == "fgt"
+        assert max_rel_error(V, direct(data), data.W) <= 1e-6
+
+    def test_clustered_auto_prefers_treecode(self):
+        rng = np.random.default_rng(0)
+        N = 2000
+        S = np.concatenate(
+            [1e-3 * rng.standard_normal((N - 50, 2)) + 0.5,
+             rng.random((50, 2))]
+        )
+        T = rng.random((800, 2))
+        W = rng.standard_normal(N)
+        spec = ProblemSpec(M=800, N=N, K=2, h=0.05, kernel="gaussian",
+                           dtype="float64", seed=0)
+        data = ProblemData(spec=spec, A=T, B=np.ascontiguousarray(S.T), W=W)
+        _, report = run_fast(data, eps=1e-3, method="auto", min_interactions=1 << 16)
+        assert report.method == "treecode"
+
+    def test_non_gaussian_auto_falls_back_dense(self):
+        data = generate(ProblemSpec(M=300, N=300, K=2, h=0.3, kernel="laplace", seed=1))
+        _, report = run_fast(data, eps=1e-3, method="auto", min_interactions=1)
+        assert report.method == "dense"
+
+    def test_explicit_expansion_method_rejects_unsupported(self):
+        data = generate(ProblemSpec(M=100, N=100, K=2, h=0.3, kernel="laplace", seed=1))
+        with pytest.raises(InvalidProblemError):
+            run_fast(data, method="fgt")
+        data_hi_k = generate(ProblemSpec(M=100, N=100, K=8, h=0.3, seed=1))
+        with pytest.raises(InvalidProblemError):
+            run_fast(data_hi_k, method="treecode")
+        with pytest.raises(InvalidProblemError):
+            run_fast(generate(ProblemSpec(M=64, N=64, K=2, seed=0)), method="nope")
+
+
+class TestNearFieldParallelism:
+    def test_backends_bit_identical(self):
+        data = _cloud_data(1200, 1200, 2, 0.06, seed=13)
+        V0, _ = run_fast(data, eps=1e-6, method="fgt")
+        for backend in ("thread", "process"):
+            V, report = run_fast(
+                data, eps=1e-6, method="fgt", workers=2, backend=backend
+            )
+            assert report.near_backend == backend
+            np.testing.assert_array_equal(V, V0)
+
+
+class TestFrontDoor:
+    def test_report_carries_measured_error(self):
+        rng = np.random.default_rng(21)
+        A = rng.random((800, 2))
+        B = rng.random((2, 700))
+        W = rng.standard_normal(700)
+        V, doc = fast_kernel_summation(
+            A, B, W, h=0.1, method="fgt", eps=1e-6, report_error=True
+        )
+        assert doc["method"] == "fgt"
+        assert doc["max_rel_error"] <= 1e-6
+        assert doc["p"] == doc["plan"]["p"] > 0
+
+    def test_sampled_error_matches_full_on_small(self):
+        data = _cloud_data(300, 300, 2, 0.2, seed=5)
+        V, _ = run_fast(data, eps=1e-6, method="fgt")
+        full = max_rel_error(V, direct(data), data.W)
+        sampled = sampled_max_rel_error(data, V, sample=10_000)
+        assert sampled == pytest.approx(full)

@@ -1,0 +1,118 @@
+"""Hermite machinery: recurrence, memoised tables, the error model."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy.special import eval_hermite
+
+from repro.errors import InvalidProblemError
+from repro.fast.hermite import (
+    KAPPA,
+    MAX_ORDER,
+    choose_order,
+    cutoff_radius,
+    delta_from_bandwidth,
+    expansion_tables,
+    hermite_functions,
+    truncation_bound,
+)
+
+
+class TestHermiteFunctions:
+    def test_recurrence_matches_scipy(self):
+        x = np.linspace(-3.0, 3.0, 41)
+        h = hermite_functions(x, 12)
+        damp = np.exp(-x * x)
+        for n in range(12):
+            np.testing.assert_allclose(
+                h[n], eval_hermite(n, x) * damp, rtol=1e-10, atol=1e-12
+            )
+
+    def test_cramer_bound_holds(self):
+        # |h_n(x)| <= KAPPA 2^{n/2} sqrt(n!) — the inequality every
+        # truncation estimate stands on
+        x = np.linspace(-6.0, 6.0, 201)
+        h = hermite_functions(x, 25)
+        for n in range(25):
+            bound = KAPPA * 2 ** (n / 2.0) * math.sqrt(math.factorial(n))
+            assert np.abs(h[n]).max() <= bound * (1 + 1e-12)
+
+    def test_scalar_and_shape(self):
+        h = hermite_functions(np.float64(0.5), 4)
+        assert h.shape == (4,)
+        assert hermite_functions(np.zeros((3, 2)), 5).shape == (5, 3, 2)
+
+
+class TestExpansionTables:
+    def test_memoised_identity(self):
+        assert expansion_tables(13) is expansion_tables(13)
+        assert expansion_tables(13) is not expansion_tables(14)
+        assert expansion_tables(13, "float32") is not expansion_tables(13)
+
+    def test_contents(self):
+        t = expansion_tables(6)
+        np.testing.assert_allclose(
+            t.inv_factorial, [1 / math.factorial(n) for n in range(6)]
+        )
+        np.testing.assert_array_equal(t.sign, [1, -1, 1, -1, 1, -1])
+
+    def test_immutable(self):
+        t = expansion_tables(5)
+        with pytest.raises(ValueError):
+            t.inv_factorial[0] = 2.0
+
+    def test_rejects_silly_orders(self):
+        with pytest.raises(InvalidProblemError):
+            expansion_tables(0)
+        with pytest.raises(InvalidProblemError):
+            expansion_tables(MAX_ORDER + 1)
+
+
+class TestErrorModel:
+    def test_bound_decreases_with_order(self):
+        # never increases, and once the tail detaches from the full
+        # series (a few terms in) it decays strictly and factorially
+        bounds = [truncation_bound(p, 0.5, 2) for p in range(1, 30)]
+        assert all(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:]))
+        # strictly decreasing until float64 cancellation bottoms out at 0
+        assert all(b2 < b1 or b2 == 0.0 for b1, b2 in zip(bounds[4:], bounds[5:]))
+        assert bounds[-1] < 1e-12
+
+    def test_translation_bound_is_weaker(self):
+        for p in (5, 10, 20):
+            assert truncation_bound(p, 0.5, 2, translation=True) > truncation_bound(
+                p, 0.5, 2
+            )
+
+    def test_choose_order_meets_eps(self):
+        for eps in (1e-3, 1e-6, 1e-9):
+            for translation in (False, True):
+                p = choose_order(eps, 0.5, 2, translation=translation)
+                assert truncation_bound(p, 0.5, 2, translation=translation) <= eps
+                if p > 1:
+                    assert (
+                        truncation_bound(p - 1, 0.5, 2, translation=translation) > eps
+                    )
+
+    def test_choose_order_raises_when_unreachable(self):
+        # rho so large the series never converges below eps
+        with pytest.raises(InvalidProblemError):
+            choose_order(1e-9, 40.0, 2)
+
+    def test_cutoff_radius(self):
+        delta = delta_from_bandwidth(0.1)
+        r = cutoff_radius(1e-6, delta)
+        assert math.exp(-((r / delta) ** 2)) == pytest.approx(1e-6, rel=1e-9)
+        with pytest.raises(InvalidProblemError):
+            cutoff_radius(1.5, delta)
+
+    def test_delta_from_bandwidth(self):
+        # exp(-r^2/(2h^2)) == exp(-(r/delta)^2) at any r
+        h, r = 0.37, 1.23
+        delta = delta_from_bandwidth(h)
+        assert math.exp(-(r**2) / (2 * h * h)) == pytest.approx(
+            math.exp(-((r / delta) ** 2))
+        )
+        with pytest.raises(InvalidProblemError):
+            delta_from_bandwidth(0.0)

@@ -1,0 +1,156 @@
+"""Spatial decomposition and interaction planning invariants."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidProblemError
+from repro.fast.boxes import adaptive_tree, uniform_boxes
+from repro.fast.hermite import cutoff_radius, delta_from_bandwidth
+from repro.fast.plan import (
+    AUTO_MIN_INTERACTIONS,
+    build_plan,
+    modelled_work_fraction,
+)
+
+
+def _clouds(m=400, n=500, k=2, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.random((m, k)), rng.random((n, k))
+
+
+class TestUniformBoxes:
+    def test_partition_is_exact(self):
+        T, S = _clouds()
+        bs = uniform_boxes(T, S, side=0.13)
+        t_seen = np.concatenate([b.targets for b in bs.boxes])
+        s_seen = np.concatenate([b.sources for b in bs.boxes])
+        assert sorted(t_seen) == list(range(len(T)))
+        assert sorted(s_seen) == list(range(len(S)))
+
+    def test_members_inside_their_box(self):
+        T, S = _clouds(seed=3)
+        side = 0.2
+        bs = uniform_boxes(T, S, side)
+        for b in bs.boxes:
+            for pts, idx in ((T, b.targets), (S, b.sources)):
+                if len(idx):
+                    off = np.abs(pts[idx] - b.center[None, :])
+                    assert off.max() <= 0.5 * side * (1 + 1e-9)
+
+    def test_coords_index(self):
+        T, S = _clouds(seed=1)
+        bs = uniform_boxes(T, S, 0.3)
+        for i, b in enumerate(bs.boxes):
+            assert bs.by_coords[b.coords] == i
+
+    def test_rejects_bad_side(self):
+        T, S = _clouds()
+        with pytest.raises(InvalidProblemError):
+            uniform_boxes(T, S, 0.0)
+
+
+class TestAdaptiveTree:
+    def test_partition_is_exact(self):
+        rng = np.random.default_rng(7)
+        # heavily clustered: most mass in a tiny blob
+        S = np.concatenate(
+            [0.02 * rng.random((800, 2)) + 0.5, rng.random((100, 2))]
+        )
+        T = rng.random((300, 2))
+        bs = adaptive_tree(T, S, leaf_size=64, min_side=1e-4)
+        t_seen = np.concatenate([b.targets for b in bs.boxes])
+        s_seen = np.concatenate([b.sources for b in bs.boxes])
+        assert sorted(t_seen) == list(range(len(T)))
+        assert sorted(s_seen) == list(range(len(S)))
+
+    def test_leaves_respect_split_rule(self):
+        rng = np.random.default_rng(2)
+        T, S = rng.random((500, 2)), rng.random((500, 2))
+        leaf_size, min_side = 100, 0.05
+        bs = adaptive_tree(T, S, leaf_size=leaf_size, min_side=min_side)
+        for b in bs.boxes:
+            n = len(b.targets) + len(b.sources)
+            # a leaf is either small enough or already at minimum side
+            assert n <= leaf_size or b.side <= min_side * (1 + 1e-9)
+
+    def test_members_inside_their_leaf(self):
+        rng = np.random.default_rng(9)
+        T, S = rng.random((300, 3)), rng.random((400, 3))
+        bs = adaptive_tree(T, S, leaf_size=64, min_side=0.01)
+        for b in bs.boxes:
+            for pts, idx in ((T, b.targets), (S, b.sources)):
+                if len(idx):
+                    off = np.abs(pts[idx] - b.center[None, :])
+                    assert off.max() <= 0.5 * b.side * (1 + 1e-9)
+
+
+class TestPlan:
+    def test_no_near_pair_is_lost(self):
+        # every (target box, source box) pair within the cutoff radius
+        # must be classified on exactly one path; pairs beyond it may be
+        # pruned (their contribution is under the tail budget)
+        T, S = _clouds(m=600, n=600, seed=4)
+        h, eps = 0.1, 1e-6
+        plan = build_plan(T, S, h, eps, "fgt")
+        classified = set(plan.pairs_direct) | set(plan.pairs_s2t) | set(plan.pairs_s2l)
+        for off, (t_ids, s_ids) in plan.h2l_by_offset.items():
+            for t, s in zip(t_ids, s_ids):
+                classified.add((int(t), int(s)))
+        assert len(classified) == (
+            len(plan.pairs_direct) + len(plan.pairs_s2t) + len(plan.pairs_s2l)
+            + sum(len(t) for t, _ in plan.h2l_by_offset.values())
+        ), "a pair was classified twice"
+        boxes = plan.boxes
+        for ti, tb in enumerate(boxes.boxes):
+            if len(tb.targets) == 0:
+                continue
+            for si, sb in enumerate(boxes.boxes):
+                if len(sb.sources) == 0:
+                    continue
+                gap = np.maximum(
+                    np.abs(tb.center - sb.center) - 0.5 * (tb.side + sb.side), 0.0
+                )
+                if float(np.sqrt((gap**2).sum())) <= plan.r_cut:
+                    assert (ti, si) in classified
+
+    def test_eps_splits_tail_and_truncation(self):
+        T, S = _clouds(seed=5)
+        eps = 1e-6
+        plan = build_plan(T, S, 0.1, eps, "fgt")
+        delta = delta_from_bandwidth(0.1)
+        assert plan.r_cut == pytest.approx(cutoff_radius(eps / 2, delta))
+
+    def test_tree_plan_classifies_everything_near(self):
+        rng = np.random.default_rng(11)
+        S = np.concatenate([0.03 * rng.random((700, 2)) + 0.2, rng.random((100, 2))])
+        T = rng.random((400, 2))
+        plan = build_plan(T, S, 0.15, 1e-3, "treecode")
+        total = (
+            len(plan.pairs_direct) + len(plan.pairs_s2t) + len(plan.pairs_s2l)
+        )
+        assert total > 0
+        assert not plan.h2l_by_offset  # no translations on irregular leaves
+
+    def test_work_fraction_sane(self):
+        T, S = _clouds(m=2000, n=2000, seed=6)
+        plan = build_plan(T, S, 0.05, 1e-6, "fgt")
+        assert 0.0 < plan.work_fraction < 1.0
+
+    def test_rejects_bad_args(self):
+        T, S = _clouds()
+        with pytest.raises(InvalidProblemError):
+            build_plan(T, S, 0.1, 1e-6, "dense")
+        with pytest.raises(InvalidProblemError):
+            build_plan(T, S, 0.1, 0.0, "fgt")
+
+
+class TestModelledWorkFraction:
+    def test_large_problems_model_below_dense(self):
+        assert modelled_work_fraction(1 << 20, 1 << 20, 2, 0.05) < 0.2
+
+    def test_capped_at_one(self):
+        assert modelled_work_fraction(8, 8, 2, 0.05) == 1.0
+
+    def test_crossover_constant_is_sane(self):
+        # the auto floor must be far above the sizes tier-1 tests use
+        assert AUTO_MIN_INTERACTIONS >= 1 << 20

@@ -1,0 +1,150 @@
+"""Hierarchical-path serving: threshold routing, telemetry, warm replays.
+
+``ServerConfig.fast_threshold_m`` rewrites large gaussian ``fused``
+requests onto the ``"fast"`` implementation before admission, so the
+digest, journal, cache, and energy meter all see the routed request.
+These tests pin the contract: responses off the hierarchical path still
+carry energy/trace telemetry, warm cache hits replay bit-identically,
+and below-threshold (or unroutable) requests stay on the dense path.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    disable_energy_metering,
+    disable_metrics,
+    disable_tracing,
+    enable_energy_metering,
+    enable_metrics,
+    enable_tracing,
+)
+from repro.serve import KernelServer, ServeClient, ServerConfig, SolveRequest
+from repro.store.functional import cached_solve
+from repro.store.result_store import ResultStore
+
+# above the routing threshold used here, small enough to serve quickly;
+# the registry's method="auto" still decides fgt-vs-dense on its own
+# crossover, so routing and crossover are exercised independently
+LARGE_M, SMALL_M, N, K, H = 4096, 512, 1100, 2, 0.3
+
+THRESHOLD = 1024
+
+
+@pytest.fixture(autouse=True)
+def _disarm():
+    yield
+    disable_tracing()
+    disable_metrics()
+    disable_energy_metering()
+
+
+def _request(i=0, **overrides):
+    defaults = dict(id=f"f{i}", M=LARGE_M, N=N, K=K, h=H, seed=i)
+    defaults.update(overrides)
+    return SolveRequest(**defaults)
+
+
+def _serve(requests, *, config=None, store=None):
+    async def scenario():
+        server = KernelServer(
+            config or ServerConfig(fast_threshold_m=THRESHOLD), store=store
+        )
+        await server.start()
+        try:
+            async with ServeClient(port=server.port) as client:
+                out = []
+                for req in requests:  # sequential: keep replay order exact
+                    out.append(await client.solve(req))
+                return out
+        finally:
+            await server.stop()
+
+    return asyncio.run(scenario())
+
+
+class TestThresholdRouting:
+    def test_large_fused_request_is_routed(self):
+        reg = enable_metrics()
+        (res,) = _serve([_request(0)])
+        assert reg.value("serve.fast_routed") == 1
+        expected = cached_solve("fast", _request(0).spec())
+        np.testing.assert_array_equal(res.V, expected)
+
+    def test_below_threshold_stays_dense(self):
+        reg = enable_metrics()
+        (res,) = _serve([_request(0, M=SMALL_M)])
+        assert reg.value("serve.fast_routed") == 0
+        expected = cached_solve("fused", _request(0, M=SMALL_M).spec())
+        np.testing.assert_array_equal(res.V, expected)
+
+    def test_unroutable_shapes_stay_dense(self):
+        reg = enable_metrics()
+        results = _serve([
+            _request(0, K=8),                    # beyond expansion dims
+            _request(1, kernel="laplace"),       # no Hermite expansion
+            _request(2, implementation="reference", M=SMALL_M),
+        ])
+        assert all(r.V is not None for r in results)
+        assert reg.value("serve.fast_routed") == 0
+
+    def test_routing_off_by_default(self):
+        reg = enable_metrics()
+        (res,) = _serve([_request(0)], config=ServerConfig())
+        assert res.V is not None
+        assert reg.value("serve.fast_routed") == 0
+
+    def test_fast_is_directly_servable(self):
+        (res,) = _serve([_request(0, implementation="fast")],
+                        config=ServerConfig())
+        np.testing.assert_array_equal(
+            res.V, cached_solve("fast", _request(0).spec())
+        )
+
+
+class TestHierarchicalTelemetry:
+    def test_routed_response_carries_energy_and_trace(self):
+        enable_tracing()
+        enable_metrics()
+        enable_energy_metering()
+        (res,) = _serve([_request(0)])
+        assert res.trace is not None
+        assert res.energy_pj is not None and res.energy_pj > 0
+
+    def test_routed_energy_below_dense_estimate(self):
+        # the whole point of the hierarchical path: the modelled energy
+        # of the routed solve must undercut the dense fused estimate
+        meter = enable_energy_metering()
+        spec = _request(0).spec()
+        assert meter.estimate("fast", spec).total_pj < meter.estimate(
+            "fused", spec
+        ).total_pj
+
+
+class TestWarmReplay:
+    def test_warm_cache_replay_is_bit_identical(self, tmp_path):
+        enable_tracing()
+        enable_metrics()
+        enable_energy_metering()
+        store = ResultStore(tmp_path / "store")
+        cold, warm = _serve(
+            [_request(0, id="cold"), _request(0, id="warm")], store=store
+        )
+        assert not cold.cached and warm.cached
+        np.testing.assert_array_equal(warm.V, cold.V)
+        # telemetry present on the warm hit too
+        assert warm.energy_pj is not None and warm.trace is not None
+
+    def test_fast_and_dense_records_never_collide(self, tmp_path):
+        # same spec through both paths with one shared store: each path
+        # computes (no cross-hits) and keeps its own answer
+        store = ResultStore(tmp_path / "store")
+        spec = _request(0, M=SMALL_M).spec()
+        v_dense = cached_solve("fused", spec, store=store)
+        v_fast = cached_solve("fast", spec, store=store)
+        v_dense2 = cached_solve("fused", spec, store=store)
+        v_fast2 = cached_solve("fast", spec, store=store)
+        np.testing.assert_array_equal(v_dense, v_dense2)
+        np.testing.assert_array_equal(v_fast, v_fast2)

@@ -92,6 +92,24 @@ class TestInvalidationMatrix:
     def test_implementation_change(self):
         assert solve_digest("fused", SPEC) != solve_digest("reference", SPEC)
 
+    def test_method_change(self):
+        # the hierarchical engine's answers are eps-approximate, never
+        # interchangeable with a dense record for the same spec
+        dense = solve_digest("fast", SPEC, method="dense")
+        auto = solve_digest("fast", SPEC, method="auto:eps=1e-06")
+        tight = solve_digest("fast", SPEC, method="auto:eps=1e-09")
+        assert len({dense, auto, tight}) == 3
+
+    def test_fast_default_method_tagged(self):
+        # omitting method must *not* alias the eps-tagged fast default
+        # onto the dense default of every other implementation
+        from repro.store import FAST_DEFAULT_METHOD
+
+        assert solve_digest("fast", SPEC) == solve_digest(
+            "fast", SPEC, method=FAST_DEFAULT_METHOD
+        )
+        assert solve_digest("fast", SPEC, method="dense") != solve_digest("fast", SPEC)
+
     def test_fault_spec_change(self):
         base = {"kind": "faults.campaign/v1", "spec": SPEC}
         a = config_digest({**base, "fault": FaultSpec(site="smem")})

@@ -51,6 +51,17 @@ times the disarmed wall, and the armed run must actually have recorded
 spans and metered energy — a telemetry layer that wins the overhead gate
 by silently not running does not pass.
 
+Fast-summation gate (``--fast-current BENCH_fast.json``): checks the
+``benchmarks/bench_fast.py`` report for the hierarchical-engine PR's
+acceptance claims — the largest speedup case at least
+``--fast-min-speedup`` (default 5) times the dense wall, every case's
+*measured* ``max_rel_error`` within the report's ``eps``, and the auto
+router costing at most ``--fast-max-auto-overhead`` (default 1.1) times
+dense on every crossover point it routed dense.  The committed baseline
+is compared loosely (``--fast-rtol``, default 0.9): the headline
+speedup divides an extrapolated dense wall by a measured hierarchical
+wall, so tight cross-host gating would be noise.
+
 Any combination of gates runs when the corresponding ``--*-current`` is
 given; at least one is required.
 """
@@ -70,6 +81,7 @@ from repro.obs.profiling import compare_profiles, load_profile  # noqa: E402
 HOTPATH_SCHEMA = "repro-hotpath-bench/v1"
 SWEEP_SCHEMA = "repro-sweep-bench/v1"
 SERVE_SCHEMA = "repro-serve-bench/v1"
+FAST_SCHEMA = "repro-fast-bench/v1"
 
 
 def _load_hotpath(path: str) -> dict:
@@ -208,6 +220,65 @@ def check_serve(
     return issues
 
 
+def _load_fast(path: str) -> dict:
+    data = json.loads(pathlib.Path(path).read_text())
+    if data.get("schema") != FAST_SCHEMA:
+        raise ValueError(f"{path}: not a {FAST_SCHEMA} report")
+    return data
+
+
+def check_fast(
+    baseline_path: str,
+    current_path: str,
+    min_speedup: float,
+    max_auto_overhead: float,
+    rtol: float,
+) -> list[str]:
+    """Violated fast-summation acceptance floors, one message per issue."""
+    current = _load_fast(current_path)
+    issues = []
+    if current.get("quick"):
+        raise ValueError(f"{current_path}: --quick runs are never gated")
+    eps = float(current["eps"])
+    cases = current.get("speedup", [])
+    if not cases:
+        raise ValueError(f"{current_path}: no speedup cases")
+    for case in cases:
+        err = float(case["max_rel_error"])
+        if err > eps:
+            issues.append(
+                f"{case['name']}: measured max_rel_error {err:.2e} "
+                f"over eps {eps:g} — the accuracy contract is broken"
+            )
+    largest = max(cases, key=lambda c: int(c["M"]) * int(c["N"]))
+    got = float(largest["speedup"])
+    if got < min_speedup:
+        issues.append(
+            f"{largest['name']}: speedup {got:.1f}x < required {min_speedup:g}x"
+        )
+    for point in current.get("crossover", []):
+        if point.get("auto_method") != "dense":
+            continue
+        ratio = float(point["auto_vs_dense"])
+        if ratio > max_auto_overhead:
+            issues.append(
+                f"crossover M=N={point['M']}: auto routed dense but cost "
+                f"{ratio:.2f}x dense > allowed {max_auto_overhead:g}x"
+            )
+    baseline = _load_fast(baseline_path)
+    base_cases = baseline.get("speedup", [])
+    if base_cases:
+        base_largest = max(base_cases, key=lambda c: int(c["M"]) * int(c["N"]))
+        want = float(base_largest["speedup"])
+        floor = want * (1.0 - rtol)
+        if got < floor:
+            issues.append(
+                f"{largest['name']}: speedup {got:.1f}x < {floor:.1f}x "
+                f"(baseline {want:.1f}x, rtol {rtol:g})"
+            )
+    return issues
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -280,13 +351,37 @@ def main(argv=None) -> int:
         help="allowed batched-wall ratio with the full telemetry stack armed "
         "vs off (default 1.05 — a 5%% tax; use 1.5 on noisy shared runners)",
     )
+    parser.add_argument(
+        "--fast-baseline",
+        default=str(ROOT / "benchmarks" / "results" / "BENCH_fast.json"),
+        help="committed fast-summation benchmark (default: benchmarks/results/BENCH_fast.json)",
+    )
+    parser.add_argument(
+        "--fast-current", default=None,
+        help="freshly collected fast benchmark (benchmarks/bench_fast.py output)",
+    )
+    parser.add_argument(
+        "--fast-min-speedup", type=float, default=5.0,
+        help="required fast-vs-dense speedup of the largest case (default 5)",
+    )
+    parser.add_argument(
+        "--fast-max-auto-overhead", type=float, default=1.1,
+        help="allowed auto-vs-dense wall ratio below the crossover "
+        "(default 1.1 — a 10%% routing tax; use 1.5 on noisy shared runners)",
+    )
+    parser.add_argument(
+        "--fast-rtol", type=float, default=0.9,
+        help="allowed relative headline-speedup loss vs the committed baseline "
+        "(default 0.9: an order-of-magnitude check, not a tight gate)",
+    )
     args = parser.parse_args(argv)
 
     if (args.current is None and args.hotpath_current is None
-            and args.sweep_current is None and args.serve_current is None):
+            and args.sweep_current is None and args.serve_current is None
+            and args.fast_current is None):
         parser.error(
             "nothing to gate: pass --current, --hotpath-current, "
-            "--sweep-current, and/or --serve-current"
+            "--sweep-current, --serve-current, and/or --fast-current"
         )
 
     failures = 0
@@ -382,6 +477,31 @@ def main(argv=None) -> int:
             print(
                 f"OK: serve answers bit-identical, batched >= "
                 f"{args.serve_min_batched:g}x sequential in {args.serve_current}"
+            )
+
+    if args.fast_current is not None:
+        try:
+            issues = check_fast(
+                args.fast_baseline, args.fast_current,
+                args.fast_min_speedup, args.fast_max_auto_overhead,
+                args.fast_rtol,
+            )
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+            print(f"cannot load fast benchmark: {exc}", file=sys.stderr)
+            return 2
+        if issues:
+            failures += 1
+            print(
+                f"REGRESSION: {len(issues)} fast-summation issue(s) "
+                f"in {args.fast_current}:",
+                file=sys.stderr,
+            )
+            for issue in issues:
+                print(f"  {issue}", file=sys.stderr)
+        else:
+            print(
+                f"OK: fast summation within eps, largest case >= "
+                f"{args.fast_min_speedup:g}x dense in {args.fast_current}"
             )
 
     return 1 if failures else 0
