@@ -1,31 +1,278 @@
-"""Blocking-autotuner bench: search cost and the quality of the winner."""
+"""Autotuner-v2 bench: beam quality vs exhaustive, and the search cost.
 
-from repro.core import ProblemSpec
-from repro.core.autotune import paper_rank, rank_tilings
-from repro.experiments import format_row
+Measures the three claims the ``repro.tune`` search driver ships with
+and records them to ``benchmarks/results/BENCH_autotune.json``:
 
-SPEC = ProblemSpec(M=131072, N=1024, K=32)
+* **paper space** — at ``M = 131072, N = 1024`` and every paper
+  ``K in {32, 64, 128, 256}``, the beam search must return the *same*
+  winning tiling as the memoised exhaustive sweep over the legacy
+  candidate set (``quality_ratio = 1.0``);
+
+* **wide space** — on the full tiling x schedule space (~1500 points)
+  the beam reaches exhaustive-quality winners with **>= 10x fewer**
+  full cost-model evaluations (slot-model screening plus the mutation
+  neighbourhood do the pruning);
+
+* **warm replay** — a second beam run against the same content-
+  addressed :class:`~repro.store.result_store.ResultStore` performs
+  **zero** ``model_run`` evaluations and returns bit-identical results.
+
+Every winner carries its static certification (bank verdict + race-free
+proof) in the report.
+
+Run as a script to (re)generate the committed baseline::
+
+    PYTHONPATH=src python benchmarks/bench_autotune.py -o benchmarks/results/BENCH_autotune.json
+
+``--quick`` shrinks the grid for local iteration / CI smoke (quick
+reports are refused by the gate).  ``tools/check_regression.py
+--autotune-current`` gates a fresh run: any paper-space mismatch, a
+wide-space eval ratio under ``--autotune-min-eval-ratio`` (default
+10x), a warm replay that evaluates anything, or an uncertified winner
+all fail the build.
+
+Under pytest (``make bench``) the quick case doubles as a smoke test
+that beam and exhaustive agree on the paper space.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.core import ProblemSpec  # noqa: E402
+from repro.gpu import GTX970  # noqa: E402
+from repro.store import ResultStore  # noqa: E402
+from repro.tune import (  # noqa: E402
+    beam_search,
+    exhaustive_search,
+    paper_space,
+    schedule_space,
+)
+
+SCHEMA = "repro-autotune-bench/v1"
+RESULTS = ROOT / "benchmarks" / "results" / "BENCH_autotune.json"
+
+M, N = 131072, 1024
+PAPER_K = (32, 64, 128, 256)
+BEAM_WIDTH = 8
+WIDE_BUDGET = 120
+SEED = 0
 
 
-def test_autotune_search(benchmark, sink):
-    ranked = benchmark(rank_tilings, SPEC)
+def _spec(K: int) -> ProblemSpec:
+    return ProblemSpec(M=M, N=N, K=K)
 
-    rows = [format_row(["rank", "tile", "kc", "modelled ms", "CTA/SM"], [4, 10, 4, 12, 6])]
+
+def bench_paper_space(k_values=PAPER_K) -> dict:
+    """Beam vs exhaustive on the legacy candidate set, per paper K."""
+    space = paper_space(GTX970)
+    cases = []
+    for K in k_values:
+        spec = _spec(K)
+        t0 = time.perf_counter()
+        ex = exhaustive_search(spec, space=space)
+        t_ex = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        bm = beam_search(spec, space=space, beam_width=BEAM_WIDTH, seed=SEED)
+        t_bm = time.perf_counter() - t0
+        ex_t, bm_t = ex.best.tiling, bm.best.tiling
+        cases.append({
+            "K": K,
+            "match": bm.best_candidate.key() == ex.best_candidate.key(),
+            "winner": bm.best_candidate.describe(),
+            "exhaustive_winner": ex.best_candidate.describe(),
+            "exhaustive_ms": round(ex.best.seconds * 1e3, 4),
+            "beam_ms": round(bm.best.seconds * 1e3, 4),
+            "quality_ratio": round(bm.best.seconds / ex.best.seconds, 5),
+            "exhaustive_evaluations": ex.stats.evaluations,
+            "beam_evaluations": bm.stats.evaluations,
+            "exhaustive_wall_s": round(t_ex, 3),
+            "beam_wall_s": round(t_bm, 3),
+            "winner_tiling": [bm_t.mc, bm_t.nc, bm_t.kc],
+            "exhaustive_tiling": [ex_t.mc, ex_t.nc, ex_t.kc],
+            "certified": bm.certification.accepted
+            if bm.certification else None,
+        })
+    return {"space_size": len(space), "cases": cases}
+
+
+def bench_wide_space(K: int = 32, run_exhaustive: bool = True) -> dict:
+    """Beam vs exhaustive on the widened space — the eval-cost claim."""
+    space = schedule_space(GTX970)
+    spec = _spec(K)
+    t0 = time.perf_counter()
+    bm = beam_search(spec, space=space, beam_width=BEAM_WIDTH,
+                     budget=WIDE_BUDGET, seed=SEED)
+    t_bm = time.perf_counter() - t0
+    doc = {
+        "space_size": len(space),
+        "K": K,
+        "beam_width": BEAM_WIDTH,
+        "budget": WIDE_BUDGET,
+        "beam_evaluations": bm.stats.evaluations,
+        "beam_screened": bm.stats.screened,
+        "beam_generations": bm.stats.generations,
+        "beam_ms": round(bm.best.seconds * 1e3, 4),
+        "beam_wall_s": round(t_bm, 3),
+        "winner": bm.best.to_json(),
+        "certification": bm.certification.to_payload()
+        if bm.certification else None,
+    }
+    if run_exhaustive:
+        t0 = time.perf_counter()
+        ex = exhaustive_search(spec, space=space)
+        t_ex = time.perf_counter() - t0
+        doc.update({
+            "exhaustive_evaluations": ex.stats.evaluations,
+            "exhaustive_ms": round(ex.best.seconds * 1e3, 4),
+            "exhaustive_wall_s": round(t_ex, 3),
+            "quality_ratio": round(bm.best.seconds / ex.best.seconds, 5),
+            "eval_ratio": round(
+                ex.stats.evaluations / max(1, bm.stats.evaluations), 2
+            ),
+        })
+    else:
+        # quick mode: the exhaustive denominator is the space size by
+        # construction (one evaluation per candidate)
+        doc.update({
+            "exhaustive_evaluations": len(space),
+            "eval_ratio": round(len(space) / max(1, bm.stats.evaluations), 2),
+        })
+    return doc
+
+
+def bench_warm_replay(K: int = 32) -> dict:
+    """Cold run populates the store; warm run must not model anything."""
+    spec = _spec(K)
+    space = paper_space(GTX970)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultStore(pathlib.Path(tmp) / "cache")
+        t0 = time.perf_counter()
+        cold = beam_search(spec, space=space, beam_width=BEAM_WIDTH,
+                           seed=SEED, store=store)
+        t_cold = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = beam_search(spec, space=space, beam_width=BEAM_WIDTH,
+                           seed=SEED, store=store)
+        t_warm = time.perf_counter() - t0
+    identical = (
+        warm.best_candidate.key() == cold.best_candidate.key()
+        and [r.to_json() for r in warm.ranked]
+        == [r.to_json() for r in cold.ranked]
+    )
+    return {
+        "K": K,
+        "cold_evaluations": cold.stats.evaluations,
+        "cold_wall_s": round(t_cold, 3),
+        "warm_evaluations": warm.stats.evaluations,
+        "warm_store_hits": warm.stats.store_hits,
+        "warm_wall_s": round(t_warm, 3),
+        "warm_speedup": round(t_cold / max(t_warm, 1e-9), 2),
+        "identical": identical,
+    }
+
+
+def collect(quick: bool = False) -> dict:
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "device": GTX970.name,
+        "spec": {"M": M, "N": N},
+        "paper_space": bench_paper_space((32,) if quick else PAPER_K),
+        "wide_space": bench_wide_space(run_exhaustive=not quick),
+        "warm_replay": bench_warm_replay(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", default=str(RESULTS),
+                        help=f"where to write the JSON (default: {RESULTS})")
+    parser.add_argument("--quick", action="store_true",
+                        help="shrunken grid (refused by the regression gate)")
+    args = parser.parse_args(argv)
+
+    report = collect(quick=args.quick)
+    print(f"paper space ({report['paper_space']['space_size']} candidates):")
+    for c in report["paper_space"]["cases"]:
+        flag = "ok " if c["match"] else "MISMATCH"
+        print(f"  K={c['K']:<4d} {flag} winner {c['winner']:<34s} "
+              f"beam {c['beam_evaluations']:3d} evals vs "
+              f"exhaustive {c['exhaustive_evaluations']:3d}  "
+              f"quality {c['quality_ratio']:.4f}")
+    w = report["wide_space"]
+    print(f"wide space ({w['space_size']} candidates, K={w['K']}):")
+    print(f"  beam {w['beam_evaluations']} evals "
+          f"(budget {w['budget']}, {w['beam_generations']} generations) vs "
+          f"exhaustive {w['exhaustive_evaluations']} -> "
+          f"eval ratio {w['eval_ratio']:.1f}x"
+          + (f", quality {w['quality_ratio']:.4f}"
+             if "quality_ratio" in w else ""))
+    r = report["warm_replay"]
+    print(f"warm replay: cold {r['cold_evaluations']} evals "
+          f"{r['cold_wall_s']:.2f}s -> warm {r['warm_evaluations']} evals, "
+          f"{r['warm_store_hits']} store hits, {r['warm_wall_s']:.2f}s "
+          f"({r['warm_speedup']:.2f}x), "
+          f"{'identical' if r['identical'] else 'DIVERGED'}")
+    out = pathlib.Path(args.output)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[written to {out}]")
+    return 0
+
+
+# -- pytest smoke (make bench) ---------------------------------------------
+
+def test_autotune_smoke(benchmark, sink):
+    """Beam and exhaustive agree on the paper space."""
+    from repro.core.autotune import paper_rank, rank_tilings
+    from repro.experiments import format_row
+
+    spec = _spec(32)
+    space = paper_space(GTX970)
+    ex = exhaustive_search(spec, space=space)
+    bm = benchmark(
+        lambda: beam_search(spec, space=space, beam_width=BEAM_WIDTH,
+                            seed=SEED)
+    )
+    assert bm.best_candidate.key() == ex.best_candidate.key()
+    assert bm.certification is not None and bm.certification.accepted
+
+    ranked = rank_tilings(spec)
+    rows = [format_row(["rank", "tile", "kc", "modelled ms", "CTA/SM"],
+                       [4, 10, 4, 12, 6])]
     for i, r in enumerate(ranked[:8]):
         t = r.tiling
-        rows.append(
-            format_row(
-                [i + 1, f"{t.mc}x{t.nc}", t.kc, r.seconds * 1e3, r.blocks_per_sm],
-                [4, 10, 4, 12, 6],
-            )
-        )
-    pr = paper_rank(SPEC)
+        rows.append(format_row(
+            [i + 1, f"{t.mc}x{t.nc}", t.kc, r.seconds * 1e3, r.blocks_per_sm],
+            [4, 10, 4, 12, 6],
+        ))
+    pr = paper_rank(spec)
     rows.append(f"paper's 128x128/kc=8 design point: rank {pr}/{len(ranked)}")
+    rows.append(
+        f"beam winner {bm.best_candidate.describe()} "
+        f"({bm.stats.evaluations} evals) == exhaustive "
+        f"({ex.stats.evaluations} evals); {bm.certification.describe()}"
+    )
     sink("autotune_search", "\n".join(rows))
 
     # the hand-tuned paper point sits within 5% of the model's optimum
     paper = next(
         r for r in ranked
-        if (r.tiling.mc, r.tiling.nc, r.tiling.kc) == (128, 128, 8) and r.tiling.double_buffered
+        if (r.tiling.mc, r.tiling.nc, r.tiling.kc) == (128, 128, 8)
+        and r.tiling.double_buffered
     )
     assert paper.seconds <= 1.05 * ranked[0].seconds
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

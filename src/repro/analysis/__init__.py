@@ -32,6 +32,7 @@ from .races import (
     certify_paper_kernels,
     detect_races,
 )
+from .schedules import certify_schedule_races, generic_schedule_kernel
 from .trace import AccessEvent, IntervalAccesses, KernelTrace, trace_kernel
 
 __all__ = [
@@ -47,8 +48,10 @@ __all__ = [
     "RaceViolation",
     "certify_mapping",
     "certify_paper_kernels",
+    "certify_schedule_races",
     "certify_tiling",
     "detect_races",
+    "generic_schedule_kernel",
     "lint_paths",
     "lint_source",
     "load_baseline",

@@ -95,6 +95,7 @@ CONFIG_CLASSES: Set[str] = {
     "DeviceSpec",
     "Calibration",
     "FaultSpec",
+    "ScheduleCandidate",
 }
 
 #: The zero-cost hook accessors guarded by RA004.

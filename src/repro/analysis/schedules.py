@@ -1,0 +1,184 @@
+"""Race certification for *arbitrary* tiling schedules.
+
+The paper-kernel generators in :mod:`repro.core.simt_kernels` hard-code
+the 128 x 128 / 16 x 16 / 8 x 8 design point, so the race detector could
+only certify that one shape.  The autotuner v2 search space is much
+wider — any launchable (mc, nc, kc, microtile, buffering) point — and
+every winner it returns must carry a race-free verdict.  This module
+supplies the missing piece: a *shape-generic* schedule kernel whose
+token stream is derived from the blocking parameters alone, replayed
+through the same symbolic tracer and barrier-interval analysis as the
+paper kernels.
+
+The generic kernel reproduces the access *structure* of the fused
+kernel (addresses and barriers), not its arithmetic:
+
+* **staging** — each thread stores its ``tile_words / threads``
+  contiguous words of the (tileA, tileB) buffer (the construction-time
+  validation of :class:`~repro.core.tiling.TilingConfig` guarantees the
+  division is exact);
+* **panel loop** — double-buffered schedules stage panel ``p+1`` into
+  the idle buffer while computing panel ``p`` and cross *one* barrier
+  per iteration (the paper's Algorithm-2 overlap); single-buffered
+  schedules need *two* barriers per panel (stores-complete and
+  reads-complete);
+* **compute** — per k-step each thread loads its ``micro_m`` A-words
+  and ``micro_n`` B-words from the current buffer;
+* **epilogue** — each thread stages ``micro_m`` partials to a scratch
+  region, crosses a barrier, then reads a *different* thread's partials
+  (every thread reads its ring successor's slot — a uniform access that
+  keeps the warps in lockstep *and* turns a missing epilogue barrier
+  into a read-write race the detector must flag), and finally commits
+  through an atomic (exempt from racing by commutativity) or, for the
+  two-pass strategy, a global store outside shared memory.
+
+Two panels are enough to exercise every interval kind (stage/compute
+overlap, buffer swap, epilogue), so certification cost is independent
+of the problem's K.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from ..core.tiling import TilingConfig
+from ..gpu.simt import ThreadCtx
+from .races import RaceReport, detect_races
+
+__all__ = [
+    "generic_schedule_kernel",
+    "schedule_race_args",
+    "certify_schedule_races",
+]
+
+#: Panels replayed during certification — two suffice to cover the
+#: buffer-swap and stage/compute-overlap intervals of any schedule.
+CERTIFY_PANELS = 2
+
+
+def generic_schedule_kernel(
+    ctx: ThreadCtx,
+    mc: int,
+    nc: int,
+    kc: int,
+    micro_m: int,
+    micro_n: int,
+    panels: int,
+    double_buffered: bool,
+    out: np.ndarray,
+    atomic_reduction: bool,
+    skip_epilogue_barrier: bool = False,
+) -> Generator[Any, Any, None]:
+    """Shape-generic fused-schedule kernel for symbolic replay.
+
+    ``skip_epilogue_barrier`` exists for the negative-control tests: it
+    reproduces the classic staged-reduction bug (reading a neighbour's
+    partial before the barrier that publishes it) that the detector must
+    catch.
+    """
+    bx = nc // micro_n
+    threads = bx * (mc // micro_m)
+    tile_words = mc * kc + kc * nc
+    per_thread = tile_words // threads
+    buffers = 2 if double_buffered else 1
+    scratch = buffers * tile_words  # partials live above the tile buffers
+    tid = ctx.tid
+    zero = np.zeros(1, dtype=np.float32)
+
+    def stage(buf: int) -> Generator[Any, Any, None]:
+        base = buf * tile_words + tid * per_thread
+        for w in range(per_thread):
+            yield ctx.sts(base + w, zero)
+
+    def compute(buf: int) -> Generator[Any, Any, None]:
+        base = buf * tile_words
+        row0 = (tid // bx) * micro_m
+        col0 = (tid % bx) * micro_n
+        for k in range(kc):
+            for i in range(micro_m):
+                yield ctx.lds(base + (row0 + i) * kc + k)
+            for j in range(micro_n):
+                yield ctx.lds(base + mc * kc + k * nc + col0 + j)
+
+    if double_buffered:
+        # Algorithm-2 overlap: stage p+1 into the idle buffer while
+        # computing p; one barrier publishes both.
+        yield from stage(0)
+        yield ctx.barrier()
+        for p in range(panels):
+            if p + 1 < panels:
+                yield from stage((p + 1) % 2)
+            yield from compute(p % 2)
+            yield ctx.barrier()
+    else:
+        # Single buffer: stores-complete and reads-complete barriers.
+        for p in range(panels):
+            yield from stage(0)
+            yield ctx.barrier()
+            yield from compute(0)
+            yield ctx.barrier()
+
+    # Epilogue: publish partials, synchronize, cross-read for reduction.
+    for i in range(micro_m):
+        yield ctx.sts(scratch + tid * micro_m + i, zero)
+    if not skip_epilogue_barrier:
+        yield ctx.barrier()
+    partner = (tid + 1) % threads
+    total = 0.0
+    for i in range(micro_m):
+        val = yield ctx.lds(scratch + partner * micro_m + i)
+        total += float(val) if val is not None else 0.0
+    if atomic_reduction:
+        yield ctx.atomic_add(out, tid % out.size, total)
+    # two-pass: the partial goes to global memory, outside the shared
+    # address space the race analysis covers — nothing to yield.
+
+
+def schedule_race_args(
+    tiling: TilingConfig,
+    reduction: str = "atomic",
+    panels: int = CERTIFY_PANELS,
+    skip_epilogue_barrier: bool = False,
+) -> tuple[Any, ...]:
+    """Positional args binding :func:`generic_schedule_kernel` to a tiling."""
+    if reduction not in ("atomic", "two-pass"):
+        raise ValueError(f"unknown reduction strategy {reduction!r}")
+    out = np.zeros(tiling.mc, dtype=np.float64)
+    return (
+        tiling.mc,
+        tiling.nc,
+        tiling.kc,
+        tiling.micro_m,
+        tiling.micro_n,
+        panels,
+        tiling.double_buffered,
+        out,
+        reduction == "atomic",
+        skip_epilogue_barrier,
+    )
+
+
+def certify_schedule_races(
+    tiling: TilingConfig,
+    reduction: str = "atomic",
+    panels: int = CERTIFY_PANELS,
+) -> RaceReport:
+    """Race-check the generic schedule at one blocking point.
+
+    Unlike the bank certifier — whose Fig.-5 mapping only *describes*
+    the 128 x 128 / 16 x 16 shape — this applies to every launchable
+    tiling, so each search winner gets a definite race verdict.
+    """
+    report = detect_races(
+        generic_schedule_kernel,
+        (tiling.block_dim_x, tiling.block_dim_y),
+        *schedule_race_args(tiling, reduction, panels),
+    )
+    report.kernel_name = (
+        f"schedule[{tiling.mc}x{tiling.nc}x{tiling.kc}"
+        f"/{tiling.micro_m}x{tiling.micro_n}"
+        f"{'/db' if tiling.double_buffered else '/sb'}/{reduction}]"
+    )
+    return report

@@ -7,7 +7,11 @@ writing any code:
 * ``model``     — model one configuration on the GTX970 (times, counters);
 * ``figure``    — regenerate one of the paper's figures;
 * ``table``     — regenerate one of the paper's tables;
-* ``autotune``  — search the blocking space for one problem shape;
+* ``autotune``  — search the blocking space for one problem shape; with
+  ``--search beam|exhaustive`` the v2 driver (``repro.tune``,
+  docs/AUTOTUNING.md): slot-model screening, store-memoised evaluations,
+  bank/race-certified winners, ``--explain`` saturation reports and
+  ``--json`` output;
 * ``validate``  — trace-driven vs analytical DRAM-traffic comparison;
 * ``roofline``  — place the modelled kernels on the device roofline;
 * ``reproduce`` — run the whole reproduction and print the claim report;
@@ -134,6 +138,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="reject candidates whose staging mapping the static bank "
         "certifier proves conflicting (see docs/ANALYSIS.md)",
     )
+    p.add_argument(
+        "--search",
+        choices=["beam", "exhaustive"],
+        default=None,
+        help="use the v2 search driver (repro.tune, docs/AUTOTUNING.md): "
+        "'beam' is the slot-model-guided beam + evolutionary search, "
+        "'exhaustive' the memoised full sweep; omit for the legacy "
+        "paper-space ranking",
+    )
+    p.add_argument(
+        "--space",
+        choices=["paper", "wide"],
+        default="paper",
+        help="candidate space for --search: 'paper' is the legacy blocking "
+        "set, 'wide' the full tiling x schedule space (~1500 points)",
+    )
+    p.add_argument("--beam-width", type=int, default=8,
+                   help="beam width for --search beam")
+    p.add_argument("--budget", type=int, default=None, metavar="N",
+                   help="cap evaluation requests (store hits included) "
+                   "for --search beam")
+    p.add_argument("--generations", type=int, default=12,
+                   help="mutation generations for --search beam")
+    p.add_argument("--explain", action="store_true",
+                   help="print the winner's slot-level saturation report "
+                   "(per-phase bottleneck unit and idle-slot fraction)")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="machine-readable outcome "
+                   "(TuneResult schema repro-tune-result/v1)")
 
     p = sub.add_parser("validate", help="trace-driven vs analytical DRAM traffic")
     _spec_args(p)
@@ -405,21 +438,88 @@ def _cmd_table(args) -> int:
     return 0
 
 
-def _cmd_autotune(args) -> int:
-    from .core.autotune import rank_tilings
+def _tune_line(r, show_reduction: bool = False) -> str:
+    t = r.tiling
+    red = f" {r.reduction}" if show_reduction else ""
+    return (f"  {t.mc:3d}x{t.nc:<3d} kc={t.kc:<2d} "
+            f"threads={t.block_dim_x}x{t.block_dim_y} "
+            f"micro={t.micro_m}x{t.micro_n} "
+            f"{'db' if t.double_buffered else 'sb'}{red} -> "
+            f"{r.seconds * 1e3:8.3f} ms  ({r.blocks_per_sm} CTA/SM, {r.limiter}-limited)")
 
+
+def _cmd_autotune(args) -> int:
     spec = _make_spec(args)
-    ranked = rank_tilings(spec, require_conflict_free=args.certify_banks)
-    print(f"best blockings for M={spec.M} N={spec.N} K={spec.K} "
-          f"({len(ranked)} launchable candidates"
-          f"{', bank-certified' if args.certify_banks else ''}):")
-    for r in ranked[: args.top]:
-        t = r.tiling
-        print(f"  {t.mc:3d}x{t.nc:<3d} kc={t.kc:<2d} "
-              f"threads={t.block_dim_x}x{t.block_dim_y} "
-              f"micro={t.micro_m}x{t.micro_n} "
-              f"{'db' if t.double_buffered else 'sb'} -> "
-              f"{r.seconds * 1e3:8.3f} ms  ({r.blocks_per_sm} CTA/SM, {r.limiter}-limited)")
+
+    if args.search is None and not args.as_json and not args.explain:
+        # legacy paper-space ranking — the stable scriptable output
+        from .core.autotune import rank_tilings
+
+        ranked = rank_tilings(
+            spec, require_conflict_free=args.certify_banks, top_k=args.top
+        )
+        print(f"best blockings for M={spec.M} N={spec.N} K={spec.K} "
+              f"({len(ranked)} launchable candidates"
+              f"{', bank-certified' if args.certify_banks else ''}):")
+        for r in ranked:
+            print(_tune_line(r))
+        return 0
+
+    # v2 driver: slot-screened, memoised, certified (docs/AUTOTUNING.md)
+    import json as _json
+
+    from .gpu import GTX970
+    from .tune import beam_search, exhaustive_search, paper_space, schedule_space
+
+    space = paper_space(GTX970) if args.space == "paper" else schedule_space(GTX970)
+    store = _store(args)
+    try:
+        if args.search == "beam":
+            outcome = beam_search(
+                spec,
+                space=space,
+                beam_width=args.beam_width,
+                budget=args.budget,
+                generations=args.generations,
+                seed=args.seed,
+                store=store,
+                top_k=args.top,
+            )
+        else:
+            outcome = exhaustive_search(
+                spec, space=space, store=store, top_k=args.top
+            )
+    except ValueError as exc:
+        print(f"autotune failed: {exc}", file=sys.stderr)
+        return 1
+
+    if args.as_json:
+        doc = outcome.to_json()
+        if args.explain:
+            doc["explain"] = outcome.best.saturation
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+
+    st = outcome.stats
+    print(f"{outcome.search} search over the {args.space} space "
+          f"for M={spec.M} N={spec.N} K={spec.K} "
+          f"({st.space_size} candidates, {st.evaluations} model evaluation(s), "
+          f"{st.store_hits} store hit(s)):")
+    for r in outcome.ranked:
+        print(_tune_line(r, show_reduction=True))
+    print(f"winner: {outcome.best_candidate.describe()}")
+    if outcome.certification is not None:
+        print(f"  certification: {outcome.certification.describe()}")
+    if args.explain:
+        from .perf import saturation_report
+
+        rep = saturation_report(
+            spec,
+            outcome.best_candidate.tiling,
+            atomic_reduction=outcome.best_candidate.reduction == "atomic",
+        )
+        print(rep.describe())
+    _print_store_stats(store)
     return 0
 
 

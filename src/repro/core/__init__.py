@@ -7,7 +7,13 @@ they share and the Fig.-5 shared-memory mapping.
 """
 
 from .api import IMPLEMENTATIONS, kernel_summation, make_problem
-from .autotune import TuneResult, autotune, candidate_tilings, rank_tilings
+from .autotune import (
+    TUNE_RESULT_SCHEMA,
+    TuneResult,
+    autotune,
+    candidate_tilings,
+    rank_tilings,
+)
 from .fused import FusedKernelSummation, fused_kernel_summation
 from .gemm import TiledGemm, pad_to_tiles, tiled_gemm
 from .kernels import KERNELS, KernelFunction, get_kernel
@@ -71,6 +77,7 @@ __all__ = [
     "candidate_tilings",
     "rank_tilings",
     "TuneResult",
+    "TUNE_RESULT_SCHEMA",
     "multi_kernel_summation",
     "multi_reference",
     "chunked_kernel_summation",

@@ -16,14 +16,16 @@ construction.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Any, List, Mapping, Optional, Sequence
 
 from ..gpu.device import GTX970, DeviceSpec
 from .problem import ProblemSpec
 from .tiling import PAPER_TILING, TilingConfig
 
 __all__ = [
+    "TUNE_RESULT_SCHEMA",
     "TuneResult",
     "candidate_tilings",
     "filter_conflict_free",
@@ -31,19 +33,60 @@ __all__ = [
     "rank_tilings",
 ]
 
+#: Version tag of :meth:`TuneResult.to_json` — bump on layout changes.
+TUNE_RESULT_SCHEMA = "repro-tune-result/v1"
+
 
 @dataclass(frozen=True)
 class TuneResult:
-    """One evaluated candidate."""
+    """One evaluated candidate.
+
+    ``saturation`` (when present) is the slot-level issue model's payload
+    (:meth:`repro.perf.slots.SaturationReport.to_payload`) and
+    ``limiter_detail`` breaks the single ``limiter`` string into the
+    occupancy limiter, the slot-model bottleneck engine, and the
+    per-phase bottlenecks — everything ``repro autotune --explain``
+    prints.  Both default to ``None`` for legacy construction sites.
+    """
 
     tiling: TilingConfig
     seconds: float
     blocks_per_sm: int
     limiter: str
+    reduction: str = "atomic"
+    saturation: Optional[Mapping[str, Any]] = None
+    limiter_detail: Optional[Mapping[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.seconds <= 0:
             raise ValueError("modelled time must be positive")
+        if self.reduction not in ("atomic", "two-pass"):
+            raise ValueError(f"unknown reduction strategy {self.reduction!r}")
+
+    def to_json(self) -> dict:
+        """Stable, versioned, machine-readable form (``repro autotune --json``)."""
+        t = self.tiling
+        return {
+            "schema": TUNE_RESULT_SCHEMA,
+            "tiling": {
+                "mc": t.mc,
+                "nc": t.nc,
+                "kc": t.kc,
+                "block_dim_x": t.block_dim_x,
+                "block_dim_y": t.block_dim_y,
+                "micro_m": t.micro_m,
+                "micro_n": t.micro_n,
+                "double_buffered": t.double_buffered,
+            },
+            "reduction": self.reduction,
+            "seconds": self.seconds,
+            "blocks_per_sm": self.blocks_per_sm,
+            "limiter": self.limiter,
+            "saturation": dict(self.saturation) if self.saturation else None,
+            "limiter_detail": (
+                dict(self.limiter_detail) if self.limiter_detail else None
+            ),
+        }
 
 
 def candidate_tilings(
@@ -122,12 +165,19 @@ def rank_tilings(
     device: DeviceSpec = GTX970,
     require_conflict_free: bool = False,
     layout: str = "optimized",
+    top_k: int | None = None,
 ) -> List[TuneResult]:
     """Model every candidate's fused-kernel runtime; best first.
 
     With ``require_conflict_free=True`` candidates are first screened by
     the static bank certifier (see :func:`filter_conflict_free`) so
     provably conflicting mappings never reach the performance model.
+
+    ``top_k`` keeps only the best ``k`` results via a streaming min-heap
+    instead of materialising and sorting the full list — `heapq.nsmallest`
+    is stable, so ``rank_tilings(..., top_k=k) == rank_tilings(...)[:k]``
+    element for element.  :func:`autotune` and the beam-search driver use
+    this path; every candidate is still *evaluated* exactly once.
     """
     from ..perf.pipeline import model_run  # deferred: avoid import cycle
 
@@ -137,18 +187,23 @@ def rank_tilings(
         candidates = filter_conflict_free(candidates, layout)
     if not candidates:
         raise ValueError("no launchable candidates to rank")
-    results = []
-    for t in candidates:
-        run = model_run("fused", spec, t, device)
-        occ = t.occupancy_on(device)
-        results.append(
-            TuneResult(
+    if top_k is not None and top_k <= 0:
+        raise ValueError("top_k must be positive")
+
+    def evaluate():
+        for t in candidates:
+            run = model_run("fused", spec, t, device)
+            occ = t.occupancy_on(device)
+            yield TuneResult(
                 tiling=t,
                 seconds=run.total_seconds,
                 blocks_per_sm=occ.blocks_per_sm,
                 limiter=occ.limiter,
             )
-        )
+
+    if top_k is not None:
+        return heapq.nsmallest(top_k, evaluate(), key=lambda r: r.seconds)
+    results = list(evaluate())
     results.sort(key=lambda r: r.seconds)
     return results
 
@@ -159,8 +214,12 @@ def autotune(
     device: DeviceSpec = GTX970,
     require_conflict_free: bool = False,
 ) -> TuneResult:
-    """Best blocking for ``spec`` on ``device`` under the performance model."""
-    return rank_tilings(spec, candidates, device, require_conflict_free)[0]
+    """Best blocking for ``spec`` on ``device`` under the performance model.
+
+    Streams the candidates through a size-1 min-heap (``top_k=1``) — no
+    full sort, no full result list in memory.
+    """
+    return rank_tilings(spec, candidates, device, require_conflict_free, top_k=1)[0]
 
 
 def paper_rank(spec: ProblemSpec, device: DeviceSpec = GTX970) -> int:

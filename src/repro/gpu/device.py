@@ -117,6 +117,44 @@ class DeviceSpec:
         return self.sfu_per_sm / self.warp_size
 
     @property
+    def lsu_throughput_per_sm_per_cycle(self) -> float:
+        """LD/ST (global/local) instructions per SM per cycle (warp-level).
+
+        Maxwell-class SMs retire one warp-wide load/store per cycle (32
+        LD/ST units); the timing model has always assumed this rate and
+        the slot-issue model names it explicitly.
+        """
+        return 1.0
+
+    @property
+    def smem_throughput_per_sm_per_cycle(self) -> float:
+        """Shared-memory transactions per SM per cycle (all banks, one warp)."""
+        return 1.0
+
+    @property
+    def branch_throughput_per_sm_per_cycle(self) -> float:
+        """Branch/barrier/predicate instructions per SM per cycle (warp-level)."""
+        return 1.0
+
+    def slot_limits(self) -> dict:
+        """Per-engine issue-slot limits, in warp instructions per SM per cycle.
+
+        The engines are the per-issue-slot resources the saturation model
+        (:mod:`repro.perf.slots`) accounts against: CUDA-core ALU slots
+        (FP32 + integer share the cores on Maxwell), SFU slots, LD/ST
+        slots, the shared-memory pipe, branch/control slots, and the warp
+        schedulers' raw issue slots.
+        """
+        return {
+            "alu": self.fma_throughput_per_sm_per_cycle,
+            "sfu": self.sfu_throughput_per_sm_per_cycle,
+            "ldst": self.lsu_throughput_per_sm_per_cycle,
+            "smem": self.smem_throughput_per_sm_per_cycle,
+            "branch": self.branch_throughput_per_sm_per_cycle,
+            "issue": float(self.issue_slots_per_sm_per_cycle),
+        }
+
+    @property
     def l2_num_sets(self) -> int:
         return self.l2_size // (self.l2_line_bytes * self.l2_ways)
 

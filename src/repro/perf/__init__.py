@@ -15,6 +15,14 @@ from .ctasim import CtaTimeline, simulate_cta
 from .footprint import MemoryFootprint, fits_device, footprint
 from .roofline import RooflinePoint, analyze, render_roofline, ridge_intensity
 from .pipeline import PIPELINE_NAMES, build_pipeline, model_gemm, model_run
+from .slots import (
+    ENGINES,
+    PHASE_NAMES,
+    PhaseSaturation,
+    SaturationReport,
+    fused_phase_mixes,
+    saturation_report,
+)
 from .timing import KernelTiming, time_kernel
 
 __all__ = [
@@ -43,4 +51,10 @@ __all__ = [
     "PIPELINE_NAMES",
     "KernelTiming",
     "time_kernel",
+    "ENGINES",
+    "PHASE_NAMES",
+    "PhaseSaturation",
+    "SaturationReport",
+    "fused_phase_mixes",
+    "saturation_report",
 ]

@@ -1,0 +1,354 @@
+"""Slot-level issue model: per-engine saturation accounting per phase.
+
+The bottleneck timing model (:mod:`repro.perf.timing`) answers "how long
+does this kernel take" with one scalar per roof.  Autotuning wants a
+sharper question answered cheaply for thousands of candidates: *which
+issue slots does each phase of the fused kernel saturate, and which sit
+idle?*  This module decomposes the fused kernel into its three phases —
+
+* **stage** — the k-panel staging traffic: float4 global loads of the
+  (tileA, tileB) pair, word-granular shared stores against the Fig.-5
+  layout, addressing arithmetic, and the panel barrier;
+* **fma** — the microtile rank-1 updates: the FFMA stream plus the
+  64-bit shared-memory operand loads;
+* **epilogue** — the fused tail: kernel evaluation out of registers,
+  the three-level reduction, vector inputs, and the atomic (or two-pass)
+  writeback;
+
+— and charges each phase's warp instructions against per-engine issue
+slots (``DeviceSpec.slot_limits``): CUDA-core ALU slots (FP32 and the
+XMAD integer stream share the cores on Maxwell), SFU slots, LD/ST
+slots, the shared-memory pipe (counted in *transactions*, matching the
+timing model: a 64-bit LDS is two word phases), branch/barrier slots,
+and the warp schedulers' raw issue slots.
+
+The per-phase instruction arithmetic deliberately mirrors
+:func:`repro.perf.counts.fused_launch` term by term — a unit test merges
+the three phase mixes and checks them against the fused launch's grid
+totals — so the saturation report is the cost model's own accounting
+re-binned by phase and engine, not a second model that can drift.
+
+The report's ``seconds`` is an *issue-side screening* estimate (slot
+cycles corrected for occupancy-limited latency hiding); it ignores the
+DRAM/L2/atomic roofs on purpose, which makes it cheap enough to rank a
+whole schedule space before any full :func:`~repro.perf.pipeline.
+model_run` evaluation.  The beam search uses it exactly that way.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from ..core.kernels import get_kernel
+from ..core.problem import ProblemSpec
+from ..core.tiling import PAPER_TILING, TilingConfig
+from ..gpu.device import GTX970, DeviceSpec
+from ..gpu.isa import InstructionMix, Unit
+from ..gpu.scheduler import plan_schedule
+from .calibration import Calibration, DEFAULT_CALIBRATION
+from .timing import _WARPS_FOR_FULL_HIDING
+
+__all__ = [
+    "ENGINES",
+    "UNIT_ENGINE",
+    "PHASE_NAMES",
+    "PhaseSaturation",
+    "SaturationReport",
+    "fused_phase_mixes",
+    "saturation_report",
+]
+
+#: Engine accounting order — also the deterministic tie-break when two
+#: engines are equally saturated.
+ENGINES: Tuple[str, ...] = ("alu", "sfu", "ldst", "smem", "branch", "issue")
+
+#: Which issue-slot engine each ISA unit occupies.  FP32 and INT share
+#: the CUDA cores on Maxwell (XMAD retires on the core ALUs); atomics
+#: issue through the LD/ST path.
+UNIT_ENGINE: Mapping[Unit, str] = {
+    Unit.FP32: "alu",
+    Unit.INT: "alu",
+    Unit.SFU: "sfu",
+    Unit.LSU: "ldst",
+    Unit.ATOM: "ldst",
+    Unit.SMEM: "smem",
+    Unit.CONTROL: "branch",
+}
+
+PHASE_NAMES: Tuple[str, ...] = ("stage", "fma", "epilogue")
+
+#: Which timing-model component each engine's saturation corresponds to
+#: (the LSU and issue roofs fold into the timing model's "compute" max).
+ENGINE_TIMING_COMPONENT: Mapping[str, str] = {
+    "alu": "compute",
+    "sfu": "compute",
+    "ldst": "compute",
+    "branch": "compute",
+    "issue": "compute",
+    "smem": "smem",
+}
+
+
+@dataclass(frozen=True)
+class PhaseSaturation:
+    """Issue-slot accounting for one phase of the fused kernel.
+
+    ``busy_cycles`` maps each engine to the device-wide cycles its slots
+    are occupied by this phase; the phase itself takes ``cycles`` (the
+    most saturated engine).  ``idle_fraction`` is the share of each
+    engine's slots left idle while the phase runs — the quantity a tuner
+    reads to decide *what to change*: idle ALU slots during ``stage``
+    mean the panel is too shallow, idle LD/ST slots during ``fma`` mean
+    the microtile could be larger, and so on.
+    """
+
+    name: str
+    cycles: float
+    bottleneck: str
+    busy_cycles: Mapping[str, float]
+    idle_fraction: Mapping[str, float]
+
+    def to_payload(self) -> dict:
+        return {
+            "name": self.name,
+            "cycles": self.cycles,
+            "bottleneck": self.bottleneck,
+            "busy_cycles": {e: self.busy_cycles[e] for e in ENGINES},
+            "idle_fraction": {e: self.idle_fraction[e] for e in ENGINES},
+        }
+
+
+@dataclass(frozen=True)
+class SaturationReport:
+    """Per-candidate slot-saturation verdict over all three phases."""
+
+    phases: Tuple[PhaseSaturation, ...]
+    bottleneck: str  # engine with the most total busy cycles
+    total_cycles: float  # sum of phase cycles (whole grid, device-wide)
+    seconds: float  # issue-side screening estimate
+    occupancy: float
+    utilization: float
+    hiding: float
+
+    @property
+    def phase_bottlenecks(self) -> Dict[str, str]:
+        return {p.name: p.bottleneck for p in self.phases}
+
+    def phase(self, name: str) -> PhaseSaturation:
+        for p in self.phases:
+            if p.name == name:
+                return p
+        raise KeyError(f"unknown phase {name!r}; have {PHASE_NAMES}")
+
+    def to_payload(self) -> dict:
+        return {
+            "bottleneck": self.bottleneck,
+            "total_cycles": self.total_cycles,
+            "seconds": self.seconds,
+            "occupancy": self.occupancy,
+            "utilization": self.utilization,
+            "hiding": self.hiding,
+            "phases": [p.to_payload() for p in self.phases],
+        }
+
+    def describe(self) -> str:
+        """Render the ``--explain`` saturation table."""
+        lines = [
+            f"{'phase':<10} {'cycles':>12} {'bottleneck':>10}  "
+            + "  ".join(f"{e:>7}" for e in ENGINES),
+            "-" * (10 + 13 + 11 + 2 + 9 * len(ENGINES)),
+        ]
+        for p in self.phases:
+            idle = "  ".join(
+                f"{100 * p.idle_fraction[e]:6.1f}%" for e in ENGINES
+            )
+            lines.append(
+                f"{p.name:<10} {p.cycles:12.3e} {p.bottleneck:>10}  {idle}"
+            )
+        lines.append(
+            f"{'overall':<10} {self.total_cycles:12.3e} {self.bottleneck:>10}  "
+            f"(idle-slot %; occupancy {self.occupancy:.2f}, "
+            f"hiding {self.hiding:.2f})"
+        )
+        return "\n".join(lines)
+
+
+def _phase_mix(
+    spec: ProblemSpec,
+    tiling: TilingConfig,
+    atomic_reduction: bool,
+) -> Dict[str, Tuple[InstructionMix, float]]:
+    """(mix, smem_transactions) per phase, grid totals.
+
+    Term-for-term the arithmetic of :func:`~repro.perf.counts.
+    fused_launch`: stage+fma reproduce the ``_gemm_core`` per-panel mix,
+    epilogue the fused tail.  Shared-memory transactions are tracked
+    explicitly because the transaction factor is access-width dependent
+    (64-bit operand LDS = two word phases; word STS/LDS = one).
+    """
+    t = tiling
+    kf = get_kernel(spec.kernel)
+    grid = t.grid_blocks(spec.M, spec.N)
+    k_iters = t.k_iterations(spec.K)
+    threads = t.threads_per_block
+    warps = threads / 32
+    panels = k_iters * grid
+    tile_words = t.mc * t.kc + t.kc * t.nc
+    lds64 = threads * (t.micro_m + t.micro_n) / 2 * t.kc / 32
+    elems = t.mc * t.nc
+    reducing_warps = t.mc / 32
+
+    stage = InstructionMix()
+    stage.add("LDG128", tile_words / 4 / 32)
+    stage.add("STS", tile_words / 32)
+    stage.add("XMAD", 16 * warps)
+    stage.add("BAR", warps if t.double_buffered else 2 * warps)
+    stage = stage.scaled(panels)
+    stage_smem_tx = panels * (tile_words / 32)
+
+    fma = InstructionMix()
+    fma.add("FFMA", threads * t.micro_m * t.micro_n * t.kc / 32)
+    fma.add("LDS", lds64)
+    fma = fma.scaled(panels)
+    fma_smem_tx = panels * 2 * lds64  # 64-bit loads: two word phases each
+
+    epi = InstructionMix()
+    epi.add("FFMA", kf.fma_flops_per_element * elems / 32)
+    epi.add("MUFU", kf.sfu_ops_per_element * elems / 32)
+    epi.add("FFMA", elems / 32)  # microtile x weight slice
+    epi.add("STS", threads * t.micro_m / 32)
+    epi.add("LDS", reducing_warps * t.block_dim_x)
+    epi.add("FADD", reducing_warps * (t.block_dim_x - 1))
+    epi.add("LDG", (t.mc + 2 * t.nc) / 32)
+    if atomic_reduction:
+        epi.add("RED", t.mc / 32)
+    else:
+        epi.add("STG", t.mc / 32)
+    epi.add("BAR", 2 * threads / 32)
+    epi.add("XMAD", 8 * threads / 32)
+    epi = epi.scaled(grid)
+    epi_smem_tx = grid * (threads * t.micro_m / 32 + reducing_warps * t.block_dim_x)
+
+    return {
+        "stage": (stage, stage_smem_tx),
+        "fma": (fma, fma_smem_tx),
+        "epilogue": (epi, epi_smem_tx),
+    }
+
+
+def fused_phase_mixes(
+    spec: ProblemSpec,
+    tiling: TilingConfig | None = None,
+    atomic_reduction: bool = True,
+) -> Dict[str, InstructionMix]:
+    """The fused kernel's grid-total instruction mix, binned by phase.
+
+    Merging the three phases reproduces ``fused_launch(...).counters.mix``
+    exactly (modulo spill traffic, which the slot model does not charge) —
+    the consistency the unit tests pin down.
+    """
+    t = tiling if tiling is not None else PAPER_TILING
+    return {
+        name: mix for name, (mix, _) in _phase_mix(spec, t, atomic_reduction).items()
+    }
+
+
+def _saturate(
+    mix: InstructionMix,
+    smem_tx: float,
+    limits: Mapping[str, float],
+    sms: int,
+    fp64_ratio: float,
+) -> Tuple[float, str, Dict[str, float], Dict[str, float]]:
+    """(phase cycles, bottleneck engine, busy cycles, idle fractions)."""
+    unit_insts = mix.unit_cycles()
+    insts: Dict[str, float] = {e: 0.0 for e in ENGINES}
+    for unit, count in unit_insts.items():
+        insts[UNIT_ENGINE[unit]] += count
+    insts["smem"] = smem_tx  # transactions, not instructions
+    insts["issue"] = mix.issue_cycles()
+
+    busy: Dict[str, float] = {}
+    for e in ENGINES:
+        rate = limits[e] * sms
+        if e == "alu" and fp64_ratio != 1.0:
+            rate /= fp64_ratio
+        busy[e] = insts[e] / rate if rate > 0 else math.inf
+
+    cycles = max(busy.values())
+    bottleneck = next(e for e in ENGINES if busy[e] == cycles)
+    idle = {
+        e: (1.0 - busy[e] / cycles) if cycles > 0 else 1.0 for e in ENGINES
+    }
+    return cycles, bottleneck, busy, idle
+
+
+def saturation_report(
+    spec: ProblemSpec,
+    tiling: TilingConfig,
+    device: DeviceSpec = GTX970,
+    cal: Calibration = DEFAULT_CALIBRATION,
+    atomic_reduction: bool = True,
+) -> SaturationReport:
+    """Slot-saturation accounting of the fused kernel for one candidate.
+
+    Cheap by construction: pure arithmetic on the blocking shape, no
+    pipeline assembly, no memory-system roofs.  The search driver screens
+    every candidate with this before spending a full ``model_run``.
+    """
+    limits = device.slot_limits()
+    sms = device.num_sms
+    fp64_ratio = float(device.fp64_throughput_ratio) if spec.dtype == "float64" else 1.0
+
+    phases = []
+    busy_totals: Dict[str, float] = {e: 0.0 for e in ENGINES}
+    total_cycles = 0.0
+    for name, (mix, smem_tx) in _phase_mix(spec, tiling, atomic_reduction).items():
+        cycles, bottleneck, busy, idle = _saturate(
+            mix, smem_tx, limits, sms, fp64_ratio
+        )
+        for e in ENGINES:
+            busy_totals[e] += busy[e]
+        total_cycles += cycles
+        phases.append(
+            PhaseSaturation(
+                name=name,
+                cycles=cycles,
+                bottleneck=bottleneck,
+                busy_cycles=busy,
+                idle_fraction=idle,
+            )
+        )
+
+    peak = max(busy_totals.values())
+    overall = next(e for e in ENGINES if busy_totals[e] == peak)
+
+    plan = plan_schedule(
+        device,
+        tiling.grid_blocks(spec.M, spec.N),
+        tiling.threads_per_block,
+        min(tiling.regs_per_thread, device.max_registers_per_thread),
+        tiling.smem_per_block,
+    )
+    avg_warps = plan.warps_per_sm * plan.utilization
+    hiding = min(1.0, avg_warps / _WARPS_FOR_FULL_HIDING)
+    if hiding <= 0.0:
+        hiding = 1.0 / _WARPS_FOR_FULL_HIDING  # degenerate launch floor
+    seconds = (
+        total_cycles
+        / device.core_clock_hz
+        / cal.issue_efficiency_cudac
+        / hiding
+    )
+
+    return SaturationReport(
+        phases=tuple(phases),
+        bottleneck=overall,
+        total_cycles=total_cycles,
+        seconds=seconds,
+        occupancy=plan.occupancy,
+        utilization=plan.utilization,
+        hiding=hiding,
+    )

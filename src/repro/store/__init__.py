@@ -22,6 +22,7 @@ See ``docs/CACHING.md`` for the record layout and invalidation rules.
 """
 
 from .functional import FAST_DEFAULT_METHOD, SOLVE_KIND, cached_solve, solve_digest
+from .memo import JsonMemo
 from .result_store import CACHE_DIR_ENV, ResultStore, StoreStats, VerifyReport, default_store
 from .shm import SharedNDArray, attach_arrays, get_shared_arrays, share_arrays, unlink_arrays
 
@@ -35,6 +36,7 @@ __all__ = [
     "solve_digest",
     "SOLVE_KIND",
     "FAST_DEFAULT_METHOD",
+    "JsonMemo",
     "SharedNDArray",
     "share_arrays",
     "attach_arrays",

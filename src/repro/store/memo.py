@@ -1,0 +1,72 @@
+"""Scalar-payload memoisation over the content-addressed store.
+
+:func:`repro.store.functional.cached_solve` caches *array* results (the
+potential vector).  The autotuner needs the same compute-once-per-machine
+behaviour for small *scalar* records — one cost-model evaluation per
+(device, spec, candidate) digest — where the NPZ side of a record is
+dead weight.  :class:`JsonMemo` is that thin adapter: JSON payload in,
+JSON payload out, every miss recomputed by the caller and written back
+atomically through :class:`~repro.store.result_store.ResultStore`.
+
+A ``JsonMemo(None)`` is a null memoiser (every lookup misses, writes are
+dropped), so call sites need no ``if store is not None`` forks — the
+search driver runs identically with and without a cache directory, just
+slower.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from .result_store import ResultStore
+
+__all__ = ["JsonMemo"]
+
+
+class JsonMemo:
+    """JSON-payload view of a :class:`ResultStore` (or of nothing).
+
+    Counters are per-instance: ``hits``/``misses`` describe this
+    memoiser's traffic regardless of what else shares the store.
+    """
+
+    def __init__(self, store: Optional[ResultStore]) -> None:
+        self.store = store
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    @property
+    def persistent(self) -> bool:
+        return self.store is not None
+
+    def get(self, digest: str) -> Optional[dict]:
+        """The cached payload, or ``None`` on miss/corruption/null store."""
+        if self.store is None:
+            self.misses += 1
+            return None
+        rec = self.store.get(digest)
+        if rec is None:
+            self.misses += 1
+            return None
+        payload, _arrays = rec
+        self.hits += 1
+        return payload
+
+    def put(self, digest: str, payload: dict) -> None:
+        """Persist one payload (dropped silently on a null store)."""
+        if self.store is None:
+            return
+        self.store.put(digest, payload)
+        self.writes += 1
+
+    def get_or_compute(
+        self, digest: str, compute: Callable[[], dict]
+    ) -> Tuple[dict, bool]:
+        """``(payload, was_hit)`` — computing and writing back on a miss."""
+        cached = self.get(digest)
+        if cached is not None:
+            return cached, True
+        payload = compute()
+        self.put(digest, payload)
+        return payload, False

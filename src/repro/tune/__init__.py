@@ -1,0 +1,65 @@
+"""Autotuner v2: slot-model-guided, memoised, certified schedule search.
+
+The legacy :mod:`repro.core.autotune` ranks a few dozen blockings by
+evaluating every one against the full pipeline cost model.  This package
+supersedes that loop for real tuning work:
+
+* :mod:`repro.tune.space` — the widened search space (tile dims x
+  k-panel rank x microtile shape x double-buffering x reduction
+  strategy) as frozen :class:`~repro.tune.space.ScheduleCandidate`
+  values, plus the mutation neighbourhood;
+* :mod:`repro.tune.search` — the beam + evolutionary driver: slot-model
+  screening (:mod:`repro.perf.slots`), full cost-model evaluation of
+  the frontier only, every evaluation memoised in the content-addressed
+  :class:`~repro.store.result_store.ResultStore`, deterministic under a
+  seed, budget counted in requests so warm replays are bit-identical
+  with zero model runs; and the memoised exhaustive baseline;
+* :mod:`repro.tune.certify` — the acceptance gates: the Fig.-5 bank
+  certifier and the shape-generic race detector walk the ranking
+  best-first, so every returned winner carries a bank verdict and a
+  race-free proof.
+
+CLI: ``repro autotune --search beam --beam-width 8 --budget 64
+--explain --json``.  See ``docs/AUTOTUNING.md``.
+"""
+
+from .certify import CandidateCertification, certify_candidate
+from .search import (
+    EVAL_KIND,
+    SearchStats,
+    TuneOutcome,
+    beam_search,
+    eval_digest,
+    exhaustive_search,
+)
+from .space import (
+    KC_VALUES,
+    MC_VALUES,
+    MICRO_SHAPES,
+    NC_VALUES,
+    REDUCTIONS,
+    ScheduleCandidate,
+    neighbors,
+    paper_space,
+    schedule_space,
+)
+
+__all__ = [
+    "CandidateCertification",
+    "certify_candidate",
+    "EVAL_KIND",
+    "SearchStats",
+    "TuneOutcome",
+    "beam_search",
+    "eval_digest",
+    "exhaustive_search",
+    "KC_VALUES",
+    "MC_VALUES",
+    "MICRO_SHAPES",
+    "NC_VALUES",
+    "REDUCTIONS",
+    "ScheduleCandidate",
+    "neighbors",
+    "paper_space",
+    "schedule_space",
+]

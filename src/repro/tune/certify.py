@@ -1,0 +1,97 @@
+"""Static certification of search winners.
+
+A search that only optimizes the cost model can happily return a
+schedule that deadlocks or corrupts shared memory — the model doesn't
+know.  Every candidate the v2 autotuner *returns* therefore passes two
+static gates first:
+
+* **bank conflicts** — :func:`repro.analysis.banks.certify_tiling`
+  enumerates every warp instruction of the Fig.-5 staging mapping.  The
+  mapping only *describes* 128 x 128 tiles on a 16 x 16 block, so the
+  verdict is a trichotomy: ``certified`` (proof of replay factor 0),
+  ``rejected`` (a disproof — some instruction replays), or
+  ``inapplicable`` (the mapping makes no claim about this shape; absence
+  of a proof is not a disproof);
+* **races** — :func:`repro.analysis.schedules.certify_schedule_races`
+  replays the shape-generic schedule kernel symbolically and applies
+  GPUVerify-style barrier-interval analysis.  This gate is *always*
+  applicable: every winner carries a definite race verdict.
+
+A candidate is **accepted** iff the bank gate did not reject it and the
+race gate proved it race-free.  The search drivers walk their ranking
+best-first through :func:`certify_candidate` and return the first
+accepted point — a certified-reject candidate can never win, which the
+negative-control tests pin with seeded conflicting mutants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..analysis.banks import certify_tiling
+from ..analysis.schedules import certify_schedule_races
+from .space import ScheduleCandidate
+
+__all__ = ["CandidateCertification", "certify_candidate"]
+
+BANK_CERTIFIED = "certified"
+BANK_INAPPLICABLE = "inapplicable"
+BANK_REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class CandidateCertification:
+    """Combined static verdict for one candidate."""
+
+    candidate_key: tuple
+    bank_status: str  # certified | inapplicable | rejected
+    race_free: bool
+    bank_payload: Optional[Dict[str, Any]]
+    race_payload: Dict[str, Any]
+
+    @property
+    def accepted(self) -> bool:
+        return self.bank_status != BANK_REJECTED and self.race_free
+
+    def describe(self) -> str:
+        return (
+            f"banks: {self.bank_status}, races: "
+            f"{'race-free' if self.race_free else 'VIOLATIONS'}"
+            f" -> {'accepted' if self.accepted else 'rejected'}"
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "bank_status": self.bank_status,
+            "race_free": self.race_free,
+            "accepted": self.accepted,
+            "banks": self.bank_payload,
+            "races": self.race_payload,
+        }
+
+
+def certify_candidate(
+    cand: ScheduleCandidate,
+    layout: str = "optimized",
+) -> CandidateCertification:
+    """Run both static gates on one candidate."""
+    tiling = cand.tiling
+
+    cert = certify_tiling(tiling, layout)
+    if cert is None:
+        bank_status, bank_payload = BANK_INAPPLICABLE, None
+    elif cert.conflict_free:
+        bank_status, bank_payload = BANK_CERTIFIED, cert.to_payload()
+    else:
+        bank_status, bank_payload = BANK_REJECTED, cert.to_payload()
+
+    races = certify_schedule_races(tiling, cand.reduction)
+
+    return CandidateCertification(
+        candidate_key=cand.key(),
+        bank_status=bank_status,
+        race_free=races.ok,
+        bank_payload=bank_payload,
+        race_payload=races.to_payload(),
+    )

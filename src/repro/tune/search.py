@@ -1,0 +1,412 @@
+"""Memoised beam + evolutionary search over the schedule space.
+
+The driver combines four ingredients the repository already trusts:
+
+* the **slot-level issue model** (:func:`repro.perf.slots.
+  saturation_report`) as a cheap screen — pure arithmetic, no pipeline
+  assembly — that orders thousands of candidates before a single full
+  evaluation is spent;
+* the **instruction-level cost model** (:func:`repro.perf.pipeline.
+  model_run`) as the expensive oracle, invoked only on the beam
+  frontier and its surviving mutants;
+* the **content-addressed store** (:class:`repro.store.memo.JsonMemo`
+  over :class:`~repro.store.result_store.ResultStore`): every oracle
+  evaluation is memoised under a digest of (device, spec, candidate,
+  calibration), so a repeated autotune run — same machine, different
+  process — replays warm with *zero* cost-model evaluations;
+* the **static certifiers** (:mod:`repro.tune.certify`): the ranking is
+  walked best-first and the first candidate that passes both the bank
+  and race gates is the winner — a certified-reject candidate can never
+  be returned.
+
+Determinism is load-bearing: the expansion order is fixed, ties break on
+the candidate's total-order key, the evolutionary sampling uses a seeded
+``random.Random``, and the evaluation *budget* counts requests (store
+hits included) rather than model runs — so a warm replay follows the
+exact trajectory of the cold run it replays.
+
+:func:`exhaustive_search` evaluates the whole space through the same
+memoised evaluator (streaming top-k, no full sort), which is both the
+quality baseline for the beam and the upgraded legacy path.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.autotune import TuneResult
+from ..core.digest import config_digest
+from ..core.problem import ProblemSpec
+from ..gpu.device import GTX970, DeviceSpec
+from ..perf.calibration import Calibration, DEFAULT_CALIBRATION
+from ..perf.pipeline import model_run
+from ..perf.slots import saturation_report
+from ..store.memo import JsonMemo
+from ..store.result_store import ResultStore
+from .certify import CandidateCertification, certify_candidate
+from .space import ScheduleCandidate, neighbors, schedule_space
+
+__all__ = [
+    "EVAL_KIND",
+    "SearchStats",
+    "TuneOutcome",
+    "eval_digest",
+    "beam_search",
+    "exhaustive_search",
+]
+
+#: record-schema namespace of one memoised evaluation; bump on layout change
+EVAL_KIND = "tune.eval/v1"
+
+Certifier = Callable[[ScheduleCandidate], CandidateCertification]
+CandidateKey = Tuple[int, int, int, int, int, bool, str]
+
+
+@dataclass
+class SearchStats:
+    """Counters of one search run (the quantities the bench gates)."""
+
+    space_size: int = 0
+    screened: int = 0  # slot-model screenings (cheap)
+    requests: int = 0  # evaluation requests = store hits + model runs
+    evaluations: int = 0  # full model_run evaluations actually performed
+    store_hits: int = 0
+    generations: int = 0
+    certifications: int = 0
+    certified_rejects: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "space_size": self.space_size,
+            "screened": self.screened,
+            "requests": self.requests,
+            "evaluations": self.evaluations,
+            "store_hits": self.store_hits,
+            "generations": self.generations,
+            "certifications": self.certifications,
+            "certified_rejects": self.certified_rejects,
+        }
+
+
+@dataclass(frozen=True)
+class TuneOutcome:
+    """Result of one search: the certified winner plus its provenance."""
+
+    search: str  # "beam" | "exhaustive"
+    best: TuneResult
+    best_candidate: ScheduleCandidate
+    ranked: Tuple[TuneResult, ...]  # best-first, winner included
+    stats: SearchStats
+    certification: Optional[CandidateCertification]
+
+    def to_json(self) -> dict:
+        return {
+            "search": self.search,
+            "best": self.best.to_json(),
+            "candidate": self.best_candidate.describe(),
+            "ranked": [r.to_json() for r in self.ranked],
+            "stats": self.stats.as_dict(),
+            "certification": (
+                self.certification.to_payload() if self.certification else None
+            ),
+        }
+
+
+def eval_digest(
+    spec: ProblemSpec,
+    cand: ScheduleCandidate,
+    device: DeviceSpec,
+    cal: Calibration,
+) -> str:
+    """Content address of one (device, spec, candidate) evaluation."""
+    return config_digest(
+        {
+            "kind": EVAL_KIND,
+            "spec": spec,
+            "tiling": cand.tiling,
+            "reduction": cand.reduction,
+            "device": device,
+            "cal": cal,
+        }
+    )
+
+
+@dataclass
+class _Evaluator:
+    """Memoised cost-model oracle shared by both search drivers.
+
+    Three cache layers, cheapest first: an in-process result table (one
+    evaluation per candidate per run — repeats are free and uncounted),
+    the persistent store (a hit costs a *request* but no model run), and
+    the full :func:`model_run` (a request *and* an evaluation, written
+    back for every later run to reuse).
+    """
+
+    spec: ProblemSpec
+    device: DeviceSpec
+    cal: Calibration
+    memo: JsonMemo
+    stats: SearchStats
+    results: Dict[CandidateKey, TuneResult] = field(default_factory=dict)
+    candidates: Dict[CandidateKey, ScheduleCandidate] = field(default_factory=dict)
+    _screens: Dict[CandidateKey, float] = field(default_factory=dict)
+
+    def screen(self, cand: ScheduleCandidate) -> float:
+        """Slot-model screening seconds (cheap, memoised in-process)."""
+        key = cand.key()
+        cached = self._screens.get(key)
+        if cached is not None:
+            return cached
+        rep = saturation_report(
+            self.spec,
+            cand.tiling,
+            self.device,
+            self.cal,
+            atomic_reduction=cand.reduction == "atomic",
+        )
+        self.stats.screened += 1
+        self._screens[key] = rep.seconds
+        return rep.seconds
+
+    def evaluated(self, cand: ScheduleCandidate) -> bool:
+        return cand.key() in self.results
+
+    def evaluate(self, cand: ScheduleCandidate) -> TuneResult:
+        key = cand.key()
+        hit = self.results.get(key)
+        if hit is not None:
+            return hit
+        self.stats.requests += 1
+        tiling = cand.tiling
+        digest = eval_digest(self.spec, cand, self.device, self.cal)
+        payload = self.memo.get(digest)
+        if payload is not None:
+            self.stats.store_hits += 1
+            result = TuneResult(
+                tiling=tiling,
+                seconds=payload["seconds"],
+                blocks_per_sm=payload["blocks_per_sm"],
+                limiter=payload["limiter"],
+                reduction=cand.reduction,
+                saturation=payload.get("saturation"),
+                limiter_detail=payload.get("limiter_detail"),
+            )
+        else:
+            atomic = cand.reduction == "atomic"
+            run = model_run(
+                "fused", self.spec, tiling, self.device, self.cal,
+                atomic_reduction=atomic,
+            )
+            self.stats.evaluations += 1
+            occ = tiling.occupancy_on(self.device)
+            sat = saturation_report(
+                self.spec, tiling, self.device, self.cal, atomic_reduction=atomic
+            )
+            limiter_detail = {
+                "occupancy": occ.limiter,
+                "slot_bottleneck": sat.bottleneck,
+                "phase_bottlenecks": sat.phase_bottlenecks,
+            }
+            result = TuneResult(
+                tiling=tiling,
+                seconds=run.total_seconds,
+                blocks_per_sm=occ.blocks_per_sm,
+                limiter=occ.limiter,
+                reduction=cand.reduction,
+                saturation=sat.to_payload(),
+                limiter_detail=limiter_detail,
+            )
+            self.memo.put(
+                digest,
+                {
+                    "kind": EVAL_KIND,
+                    "seconds": result.seconds,
+                    "blocks_per_sm": result.blocks_per_sm,
+                    "limiter": result.limiter,
+                    "reduction": result.reduction,
+                    "saturation": result.saturation,
+                    "limiter_detail": limiter_detail,
+                },
+            )
+        self.results[key] = result
+        self.candidates[key] = cand
+        return result
+
+    def ranking(self) -> List[CandidateKey]:
+        """Evaluated candidate keys, best seconds first, key tie-break."""
+        return sorted(self.results, key=lambda k: (self.results[k].seconds, k))
+
+
+def _screen_order(
+    ev: _Evaluator, pool: Sequence[ScheduleCandidate]
+) -> List[ScheduleCandidate]:
+    return sorted(pool, key=lambda c: (ev.screen(c), c.key()))
+
+
+def _finish(
+    search: str,
+    ev: _Evaluator,
+    stats: SearchStats,
+    require_certified: bool,
+    layout: str,
+    certifier: Optional[Certifier],
+    top_k: int,
+) -> TuneOutcome:
+    """Rank the evaluated set and walk it best-first through the gates."""
+    order = ev.ranking()
+    if not order:
+        raise ValueError("search evaluated no candidates (budget too small?)")
+    ranked = tuple(ev.results[k] for k in order[:top_k])
+
+    if not require_certified:
+        best_key = order[0]
+        return TuneOutcome(
+            search=search,
+            best=ev.results[best_key],
+            best_candidate=ev.candidates[best_key],
+            ranked=ranked,
+            stats=stats,
+            certification=None,
+        )
+
+    gate: Certifier = certifier if certifier is not None else (
+        lambda c: certify_candidate(c, layout)
+    )
+    for key in order:
+        cand = ev.candidates[key]
+        cert = gate(cand)
+        stats.certifications += 1
+        if cert.accepted:
+            return TuneOutcome(
+                search=search,
+                best=ev.results[key],
+                best_candidate=cand,
+                ranked=ranked,
+                stats=stats,
+                certification=cert,
+            )
+        stats.certified_rejects += 1
+    raise ValueError(
+        f"no candidate passed certification ({stats.certified_rejects} rejected)"
+    )
+
+
+def beam_search(
+    spec: ProblemSpec,
+    device: DeviceSpec = GTX970,
+    cal: Calibration = DEFAULT_CALIBRATION,
+    space: Optional[Sequence[ScheduleCandidate]] = None,
+    beam_width: int = 8,
+    budget: Optional[int] = None,
+    generations: int = 12,
+    seed: int = 0,
+    store: Optional[ResultStore] = None,
+    require_certified: bool = True,
+    layout: str = "optimized",
+    certifier: Optional[Certifier] = None,
+    top_k: int = 10,
+) -> TuneOutcome:
+    """Beam + evolutionary search; see the module docstring.
+
+    ``budget`` caps evaluation *requests* (store hits included), so warm
+    replays walk the same trajectory as the cold run.  ``certifier`` is
+    injectable for the negative-control tests; production always runs
+    :func:`repro.tune.certify.certify_candidate`.
+    """
+    if beam_width < 1:
+        raise ValueError("beam_width must be positive")
+    if budget is not None and budget < 1:
+        raise ValueError("budget must be positive (or None for unbounded)")
+    cands = list(space) if space is not None else schedule_space(device)
+    if not cands:
+        raise ValueError("empty search space")
+
+    stats = SearchStats(space_size=len(cands))
+    ev = _Evaluator(spec, device, cal, JsonMemo(store), stats)
+    rng = random.Random(seed)
+
+    def can_request() -> bool:
+        return budget is None or stats.requests < budget
+
+    # Seed frontier: the slot model orders the whole space for free;
+    # the top 2w get full evaluations.
+    frontier = _screen_order(ev, cands)[: 2 * beam_width]
+    for cand in frontier:
+        if not can_request():
+            break
+        ev.evaluate(cand)
+
+    for _ in range(generations):
+        if not can_request():
+            break
+        stats.generations += 1
+        beam_keys = ev.ranking()[:beam_width]
+        pool: List[ScheduleCandidate] = []
+        seen = set(ev.results)
+        for key in beam_keys:
+            for nb in neighbors(ev.candidates[key], device):
+                if nb.key() in seen:
+                    continue
+                seen.add(nb.key())
+                pool.append(nb)
+        if not pool:
+            break
+        ordered = _screen_order(ev, pool)
+        greedy = ordered[:beam_width]
+        rest = ordered[beam_width:]
+        explore = (
+            rng.sample(rest, min(len(rest), max(1, beam_width // 2)))
+            if rest
+            else []
+        )
+        progressed = 0
+        for cand in greedy + explore:
+            if not can_request():
+                break
+            ev.evaluate(cand)
+            progressed += 1
+        if not progressed:
+            break
+
+    return _finish(
+        "beam", ev, stats, require_certified, layout, certifier, top_k
+    )
+
+
+def exhaustive_search(
+    spec: ProblemSpec,
+    device: DeviceSpec = GTX970,
+    cal: Calibration = DEFAULT_CALIBRATION,
+    space: Optional[Sequence[ScheduleCandidate]] = None,
+    store: Optional[ResultStore] = None,
+    require_certified: bool = True,
+    layout: str = "optimized",
+    certifier: Optional[Certifier] = None,
+    top_k: int = 10,
+) -> TuneOutcome:
+    """Evaluate the whole space through the memoised evaluator.
+
+    The ranking streams through a bounded min-heap (``heapq.nsmallest``
+    over the evaluation generator), mirroring the ``top_k`` path of
+    :func:`repro.core.autotune.rank_tilings` — but every evaluated
+    candidate stays in the evaluator's table for certification walks.
+    """
+    cands = list(space) if space is not None else schedule_space(device)
+    if not cands:
+        raise ValueError("empty search space")
+    stats = SearchStats(space_size=len(cands))
+    ev = _Evaluator(spec, device, cal, JsonMemo(store), stats)
+    # Streaming top-k evaluation: the heap holds k results, never the
+    # full sorted list.  (The evaluator's table keeps all results for
+    # the certification walk; the heap bounds the *sort*, not storage.)
+    heapq.nsmallest(
+        max(top_k, 1),
+        (ev.evaluate(c) for c in cands),
+        key=lambda r: r.seconds,
+    )
+    return _finish(
+        "exhaustive", ev, stats, require_certified, layout, certifier, top_k
+    )

@@ -1,0 +1,241 @@
+"""The widened tiling x schedule search space.
+
+``repro.core.autotune.candidate_tilings`` enumerates ~tens of blockings
+with a fixed microtile policy, double buffering always on, and the
+atomic epilogue assumed.  The v2 space makes every one of those axes a
+first-class dimension:
+
+* tile shape ``mc x nc`` and k-panel rank ``kc``;
+* microtile shape ``micro_m x micro_n`` (square *and* rectangular);
+* double buffering on/off;
+* epilogue reduction strategy (one-pass atomics vs two-pass partials).
+
+A point is a :class:`ScheduleCandidate` — a frozen value object that
+lowers to the :class:`~repro.core.tiling.TilingConfig` the cost model,
+certifiers, and digests already understand, plus the reduction choice
+that :func:`repro.perf.counts.fused_launch` takes as a flag.
+
+:func:`schedule_space` enumerates every *launchable* point (construction
+validation plus an occupancy check on the target device) in a fixed
+deterministic order.  :func:`paper_space` reproduces the legacy
+``candidate_tilings`` set exactly — same configs, same policy — so
+"beam matches exhaustive on the paper space" is comparing like with
+like.  :func:`neighbors` defines the mutation neighbourhood the beam /
+evolutionary driver expands: one step along any single axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Sequence, Tuple
+
+from ..core.autotune import candidate_tilings
+from ..core.tiling import TilingConfig
+from ..gpu.device import GTX970, DeviceSpec
+
+__all__ = [
+    "MC_VALUES",
+    "NC_VALUES",
+    "KC_VALUES",
+    "MICRO_SHAPES",
+    "REDUCTIONS",
+    "ScheduleCandidate",
+    "schedule_space",
+    "paper_space",
+    "neighbors",
+]
+
+MC_VALUES: Tuple[int, ...] = (32, 64, 128, 256)
+NC_VALUES: Tuple[int, ...] = (32, 64, 128, 256)
+KC_VALUES: Tuple[int, ...] = (2, 4, 8, 16, 32)
+MICRO_SHAPES: Tuple[Tuple[int, int], ...] = (
+    (2, 2), (4, 4), (8, 8), (16, 16), (4, 8), (8, 4), (8, 16), (16, 8),
+)
+REDUCTIONS: Tuple[str, ...] = ("atomic", "two-pass")
+
+
+@dataclass(frozen=True)
+class ScheduleCandidate:
+    """One point of the tiling x schedule space."""
+
+    mc: int
+    nc: int
+    kc: int
+    micro_m: int
+    micro_n: int
+    double_buffered: bool = True
+    reduction: str = "atomic"
+
+    def __post_init__(self) -> None:
+        if self.reduction not in REDUCTIONS:
+            raise ValueError(f"unknown reduction strategy {self.reduction!r}")
+        if self.mc % self.micro_m or self.nc % self.micro_n:
+            raise ValueError("microtile must divide the CTA tile")
+
+    @property
+    def tiling(self) -> TilingConfig:
+        """Lower to the TilingConfig the rest of the system speaks.
+
+        May raise ``ValueError`` — the same construction-time launch
+        rules the legacy enumerator relies on.
+        """
+        return TilingConfig(
+            mc=self.mc,
+            nc=self.nc,
+            kc=self.kc,
+            block_dim_x=self.nc // self.micro_n,
+            block_dim_y=self.mc // self.micro_m,
+            double_buffered=self.double_buffered,
+        )
+
+    def key(self) -> Tuple[int, int, int, int, int, bool, str]:
+        """Total-order identity (dedup and deterministic tie-breaks)."""
+        return (
+            self.mc, self.nc, self.kc, self.micro_m, self.micro_n,
+            self.double_buffered, self.reduction,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.mc}x{self.nc} kc={self.kc} "
+            f"micro {self.micro_m}x{self.micro_n} "
+            f"{'db' if self.double_buffered else 'sb'} {self.reduction}"
+        )
+
+    def launchable_on(self, device: DeviceSpec) -> bool:
+        """Whether the candidate passes validation and can launch."""
+        threads = (self.nc // self.micro_n) * (self.mc // self.micro_m)
+        if threads < 32 or threads > device.max_threads_per_block:
+            return False
+        if threads % 32:
+            return False  # partial warps waste lanes and break certification
+        try:
+            self.tiling.occupancy_on(device)
+        except ValueError:
+            return False
+        return True
+
+    @classmethod
+    def from_tiling(cls, tiling: TilingConfig, reduction: str = "atomic"):
+        return cls(
+            mc=tiling.mc,
+            nc=tiling.nc,
+            kc=tiling.kc,
+            micro_m=tiling.micro_m,
+            micro_n=tiling.micro_n,
+            double_buffered=tiling.double_buffered,
+            reduction=reduction,
+        )
+
+
+def schedule_space(
+    device: DeviceSpec = GTX970,
+    mc_values: Sequence[int] = MC_VALUES,
+    nc_values: Sequence[int] = NC_VALUES,
+    kc_values: Sequence[int] = KC_VALUES,
+    micro_shapes: Sequence[Tuple[int, int]] = MICRO_SHAPES,
+    reductions: Sequence[str] = REDUCTIONS,
+    include_single_buffered: bool = True,
+) -> List[ScheduleCandidate]:
+    """Every launchable candidate, in deterministic enumeration order."""
+    out: List[ScheduleCandidate] = []
+    seen = set()
+    buffer_opts = (True, False) if include_single_buffered else (True,)
+    for mc in mc_values:
+        for nc in nc_values:
+            for kc in kc_values:
+                for micro_m, micro_n in micro_shapes:
+                    if mc % micro_m or nc % micro_n:
+                        continue
+                    for db in buffer_opts:
+                        for red in reductions:
+                            cand = ScheduleCandidate(
+                                mc=mc, nc=nc, kc=kc,
+                                micro_m=micro_m, micro_n=micro_n,
+                                double_buffered=db, reduction=red,
+                            )
+                            if cand.key() in seen:
+                                continue
+                            if not cand.launchable_on(device):
+                                continue
+                            seen.add(cand.key())
+                            out.append(cand)
+    return out
+
+
+def paper_space(device: DeviceSpec = GTX970) -> List[ScheduleCandidate]:
+    """The legacy ``candidate_tilings`` set, lifted into candidates.
+
+    Built *from* the legacy enumerator (not re-derived), so exhaustive
+    search over this space evaluates exactly the configurations
+    ``repro.core.autotune.autotune`` does — the apples-to-apples baseline
+    for the beam-vs-exhaustive acceptance gate.
+    """
+    return [
+        ScheduleCandidate.from_tiling(t) for t in candidate_tilings(device)
+    ]
+
+
+def _step(value: int, values: Sequence[int]) -> List[int]:
+    """The immediate neighbours of ``value`` in an ordered axis."""
+    if value not in values:
+        return []
+    i = values.index(value)
+    out = []
+    if i > 0:
+        out.append(values[i - 1])
+    if i + 1 < len(values):
+        out.append(values[i + 1])
+    return out
+
+
+def neighbors(
+    cand: ScheduleCandidate,
+    device: DeviceSpec = GTX970,
+    mc_values: Sequence[int] = MC_VALUES,
+    nc_values: Sequence[int] = NC_VALUES,
+    kc_values: Sequence[int] = KC_VALUES,
+) -> List[ScheduleCandidate]:
+    """All launchable single-axis mutations of one candidate.
+
+    One step along mc/nc/kc, halving/doubling either microtile edge,
+    swapping the microtile aspect, toggling double buffering, toggling
+    the reduction strategy.  Deterministic order, no duplicates, and the
+    candidate itself is never returned.
+    """
+    raw: List[ScheduleCandidate] = []
+
+    def try_add(**changes) -> None:
+        try:
+            raw.append(replace(cand, **changes))
+        except ValueError:
+            pass
+
+    for mc in _step(cand.mc, mc_values):
+        try_add(mc=mc)
+    for nc in _step(cand.nc, nc_values):
+        try_add(nc=nc)
+    for kc in _step(cand.kc, kc_values):
+        try_add(kc=kc)
+    for m in (cand.micro_m // 2, cand.micro_m * 2):
+        if m >= 1:
+            try_add(micro_m=m)
+    for n in (cand.micro_n // 2, cand.micro_n * 2):
+        if n >= 1:
+            try_add(micro_n=n)
+    if cand.micro_m != cand.micro_n:
+        try_add(micro_m=cand.micro_n, micro_n=cand.micro_m)
+    try_add(double_buffered=not cand.double_buffered)
+    other = "two-pass" if cand.reduction == "atomic" else "atomic"
+    try_add(reduction=other)
+
+    out: List[ScheduleCandidate] = []
+    seen = {cand.key()}
+    for c in raw:
+        if c.key() in seen:
+            continue
+        if not c.launchable_on(device):
+            continue
+        seen.add(c.key())
+        out.append(c)
+    return out

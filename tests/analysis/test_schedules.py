@@ -1,0 +1,73 @@
+"""Shape-generic schedule race certification tests.
+
+The v2 autotuner certifies *every* winner through
+``certify_schedule_races``; these tests pin the positive cases (the
+schedules the space actually contains are race-free) and the negative
+control (a schedule missing the epilogue barrier is flagged).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import certify_schedule_races, detect_races, generic_schedule_kernel
+from repro.analysis.schedules import CERTIFY_PANELS, schedule_race_args
+from repro.core.tiling import PAPER_TILING, TilingConfig
+
+SMALL = TilingConfig(mc=64, nc=64, kc=8, block_dim_x=8, block_dim_y=8)
+SMALL_SB = TilingConfig(mc=64, nc=64, kc=8, block_dim_x=8, block_dim_y=8,
+                        double_buffered=False)
+
+
+class TestCertification:
+    def test_paper_tiling_race_free(self):
+        report = certify_schedule_races(PAPER_TILING)
+        assert report.ok
+        assert report.barriers >= 1
+        assert "schedule[128x128x8/8x8/db/atomic]" == report.kernel_name
+
+    @pytest.mark.parametrize("tiling", [SMALL, SMALL_SB])
+    @pytest.mark.parametrize("reduction", ["atomic", "two-pass"])
+    def test_generic_schedules_race_free(self, tiling, reduction):
+        report = certify_schedule_races(tiling, reduction)
+        assert report.ok, report.describe()
+
+    def test_rectangular_microtile_race_free(self):
+        tiling = TilingConfig(mc=32, nc=64, kc=16,
+                              block_dim_x=16, block_dim_y=8)
+        assert certify_schedule_races(tiling).ok
+
+    def test_single_buffer_has_more_barriers(self):
+        db = certify_schedule_races(SMALL)
+        sb = certify_schedule_races(SMALL_SB)
+        assert sb.barriers > db.barriers
+
+    def test_kernel_name_encodes_buffering_and_reduction(self):
+        report = certify_schedule_races(SMALL_SB, "two-pass")
+        assert report.kernel_name == "schedule[64x64x8/8x8/sb/two-pass]"
+
+
+class TestNegativeControl:
+    def test_missing_epilogue_barrier_is_flagged(self):
+        """The classic staged-reduction bug must produce violations."""
+        args = schedule_race_args(SMALL, skip_epilogue_barrier=True)
+        report = detect_races(
+            generic_schedule_kernel,
+            (SMALL.block_dim_x, SMALL.block_dim_y),
+            *args,
+        )
+        assert not report.ok
+        assert report.violations
+
+    def test_bad_reduction_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_race_args(SMALL, reduction="tree")
+
+
+class TestArgs:
+    def test_args_bind_the_tiling(self):
+        args = schedule_race_args(PAPER_TILING)
+        assert args[:5] == (128, 128, 8, 8, 8)
+        assert args[5] == CERTIFY_PANELS
+        assert args[6] is True  # double buffered
+        assert isinstance(args[7], np.ndarray)
+        assert args[8] is True  # atomic

@@ -89,6 +89,21 @@ class TestRanking:
         with pytest.raises(ValueError):
             rank_tilings(SPEC, [])
 
+    def test_top_k_streams_the_head(self):
+        """top_k must return exactly the head of the full ranking — the
+        streaming min-heap path is an optimisation, not a re-ranking."""
+        full = rank_tilings(SPEC)
+        for k in (1, 3, 10):
+            head = rank_tilings(SPEC, top_k=k)
+            assert len(head) == k
+            assert [(r.seconds, r.tiling) for r in head] == [
+                (r.seconds, r.tiling) for r in full[:k]
+            ]
+
+    def test_top_k_larger_than_space(self):
+        full = rank_tilings(SPEC)
+        assert len(rank_tilings(SPEC, top_k=10_000)) == len(full)
+
     def test_best_depends_on_problem(self):
         small = autotune(ProblemSpec(M=1024, N=1024, K=256))
         large = autotune(SPEC)
@@ -97,3 +112,28 @@ class TestRanking:
         for r in (small, large):
             assert r.seconds > 0
             assert r.blocks_per_sm >= 1
+
+
+class TestTuneResultJson:
+    def test_stable_schema(self):
+        r = autotune(SPEC)
+        doc = r.to_json()
+        assert doc["schema"] == "repro-tune-result/v1"
+        assert doc["tiling"]["mc"] == r.tiling.mc
+        assert doc["tiling"]["double_buffered"] == r.tiling.double_buffered
+        assert doc["seconds"] == r.seconds
+        assert doc["reduction"] == "atomic"
+        # optional fields present (None when not evaluated via the v2 path)
+        assert "saturation" in doc and "limiter_detail" in doc
+
+    def test_json_serialisable(self):
+        import json
+
+        json.dumps(autotune(SPEC).to_json())
+
+    def test_bad_reduction_rejected(self):
+        import dataclasses
+
+        r = autotune(SPEC)
+        with pytest.raises(ValueError):
+            dataclasses.replace(r, reduction="tree")

@@ -1,0 +1,136 @@
+"""Slot-level issue model tests (repro.perf.slots).
+
+The slot model is the autotuner's cheap screen; these tests pin it to
+the instruction-level cost model it approximates:
+
+* the per-phase instruction mixes, merged, must equal the fused
+  launch's counters opcode-for-opcode — the phases are a *partition*
+  of the kernel, not a parallel estimate;
+* the modelled bottleneck must agree with ``time_kernel`` on the paper
+  tilings across the paper K grid (via the engine -> timing-component
+  mapping);
+* degrading occupancy can never make the modelled time better.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import ProblemSpec
+from repro.core.tiling import PAPER_TILING, TilingConfig
+from repro.gpu import GTX970
+from repro.perf import fused_launch, time_kernel
+from repro.perf.slots import (
+    ENGINE_TIMING_COMPONENT,
+    ENGINES,
+    PHASE_NAMES,
+    fused_phase_mixes,
+    saturation_report,
+)
+
+SPEC = ProblemSpec(M=131072, N=1024, K=32)
+
+
+def merged_opcode_counts(spec, tiling, atomic=True):
+    totals = {}
+    for mix in fused_phase_mixes(spec, tiling, atomic).values():
+        for op, count in mix.counts.items():
+            totals[op] = totals.get(op, 0.0) + count
+    return totals
+
+
+class TestPhaseMixes:
+    @pytest.mark.parametrize("K", [32, 128])
+    def test_phases_partition_the_fused_mix(self, K):
+        """Merged phase mixes == the fused launch mix, opcode by opcode."""
+        spec = ProblemSpec(M=131072, N=1024, K=K)
+        launch = fused_launch(spec, PAPER_TILING, GTX970)
+        want = dict(launch.counters.mix.counts)
+        got = merged_opcode_counts(spec, PAPER_TILING)
+        assert got == pytest.approx(want)
+
+    def test_partition_holds_off_paper_shape(self):
+        tiling = TilingConfig(mc=64, nc=64, kc=8, block_dim_x=8, block_dim_y=8,
+                              double_buffered=False)
+        spec = ProblemSpec(M=16384, N=512, K=64)
+        launch = fused_launch(spec, tiling, GTX970)
+        want = dict(launch.counters.mix.counts)
+        assert merged_opcode_counts(spec, tiling) == pytest.approx(want)
+
+    def test_two_pass_partition(self):
+        spec = ProblemSpec(M=16384, N=1024, K=32)
+        launch = fused_launch(spec, PAPER_TILING, GTX970,
+                              atomic_reduction=False)
+        want = dict(launch.counters.mix.counts)
+        got = merged_opcode_counts(spec, PAPER_TILING, atomic=False)
+        assert got == pytest.approx(want)
+
+    def test_phase_names(self):
+        mixes = fused_phase_mixes(SPEC, PAPER_TILING)
+        assert tuple(mixes) == PHASE_NAMES
+
+
+class TestSaturationReport:
+    def test_report_shape(self):
+        rep = saturation_report(SPEC, PAPER_TILING)
+        assert tuple(p.name for p in rep.phases) == PHASE_NAMES
+        assert rep.bottleneck in ENGINES
+        assert rep.seconds > 0
+        assert rep.total_cycles == pytest.approx(
+            sum(p.cycles for p in rep.phases)
+        )
+        for phase in rep.phases:
+            assert phase.bottleneck in ENGINES
+            for engine in ENGINES:
+                assert 0.0 <= phase.idle_fraction[engine] <= 1.0
+            # the bottleneck engine has no idle slots by construction
+            assert phase.idle_fraction[phase.bottleneck] == pytest.approx(0.0)
+
+    def test_payload_and_describe(self):
+        rep = saturation_report(SPEC, PAPER_TILING)
+        doc = rep.to_payload()
+        assert doc["bottleneck"] == rep.bottleneck
+        assert len(doc["phases"]) == len(PHASE_NAMES)
+        text = rep.describe()
+        assert "overall" in text
+        for name in PHASE_NAMES:
+            assert name in text
+
+    @pytest.mark.parametrize("K", [32, 64, 128, 256])
+    def test_bottleneck_agrees_with_cost_model(self, K):
+        """Cross-validation: the slot bottleneck maps onto the timing
+        component the instruction-level model blames, at every paper K."""
+        spec = ProblemSpec(M=131072, N=1024, K=K)
+        launch = fused_launch(spec, PAPER_TILING, GTX970)
+        timing = time_kernel(launch, GTX970)
+        rep = saturation_report(spec, PAPER_TILING)
+        assert ENGINE_TIMING_COMPONENT[rep.bottleneck] == timing.bottleneck
+
+    @pytest.mark.parametrize("K", [32, 64, 128, 256])
+    def test_seconds_track_cost_model(self, K):
+        """The screen is an estimate, but it must stay in the model's
+        ballpark — otherwise screening would mis-order the frontier."""
+        spec = ProblemSpec(M=131072, N=1024, K=K)
+        timing = time_kernel(fused_launch(spec, PAPER_TILING, GTX970), GTX970)
+        rep = saturation_report(spec, PAPER_TILING)
+        assert rep.seconds == pytest.approx(timing.seconds, rel=0.25)
+
+    def test_occupancy_monotonicity(self):
+        """Halving the register file can never speed the model up."""
+        starved = dataclasses.replace(
+            GTX970,
+            name="GTX970-starved",
+            registers_per_sm=GTX970.registers_per_sm // 2,
+        )
+        for tiling in (PAPER_TILING,
+                       TilingConfig(mc=64, nc=64, kc=8,
+                                    block_dim_x=8, block_dim_y=8)):
+            full = saturation_report(SPEC, tiling, GTX970)
+            poor = saturation_report(SPEC, tiling, starved)
+            assert poor.seconds >= full.seconds
+            assert poor.occupancy <= full.occupancy
+
+    def test_slot_limits_cover_engines(self):
+        limits = GTX970.slot_limits()
+        assert set(limits) == set(ENGINES)
+        assert all(v > 0 for v in limits.values())

@@ -70,6 +70,44 @@ class TestAutotune:
         assert "best blockings" in out
         assert out.count("ms") == 3
 
+    def test_autotune_beam_search(self, capsys):
+        rc = main(["autotune", "-M", "16384", "-K", "32", "--search", "beam",
+                   "--beam-width", "4", "--budget", "20", "--top", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "beam search" in out
+        assert "winner:" in out
+        assert "certification:" in out
+
+    def test_autotune_exhaustive_json(self, capsys):
+        import json
+
+        rc = main(["autotune", "-M", "16384", "-K", "32",
+                   "--search", "exhaustive", "--top", "2", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["search"] == "exhaustive"
+        assert doc["best"]["schema"] == "repro-tune-result/v1"
+        assert len(doc["ranked"]) == 2
+        assert doc["certification"]["accepted"]
+
+    def test_autotune_explain_prints_saturation(self, capsys):
+        rc = main(["autotune", "-M", "16384", "-K", "32", "--search", "beam",
+                   "--budget", "16", "--explain", "--top", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "overall" in out
+        assert "idle-slot" in out
+
+    def test_autotune_memoises_in_cache_dir(self, capsys, tmp_path):
+        argv = ["--cache-dir", str(tmp_path), "autotune", "-M", "16384",
+                "-K", "32", "--search", "beam", "--budget", "16", "--top", "1"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 model evaluation(s)" in out
+
 
 class TestValidate:
     def test_validate_passes_bounds(self, capsys):

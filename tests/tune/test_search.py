@@ -1,0 +1,221 @@
+"""Search-driver tests: determinism, memoisation, certification gates."""
+
+import pytest
+
+from repro.core import ProblemSpec
+from repro.store import ResultStore
+from repro.tune import (
+    ScheduleCandidate,
+    beam_search,
+    eval_digest,
+    exhaustive_search,
+    paper_space,
+)
+from repro.tune.certify import (
+    BANK_INAPPLICABLE,
+    BANK_REJECTED,
+    CandidateCertification,
+    certify_candidate,
+)
+from repro.gpu import GTX970
+
+SPEC = ProblemSpec(M=16384, N=1024, K=32)
+
+
+def small_space():
+    """A handful of paper-space points — enough structure, fast tests."""
+    return paper_space(GTX970)[:12]
+
+
+def lenient(cand):
+    """Injectable always-accept certifier (skips the real static gates)."""
+    return CandidateCertification(
+        candidate_key=cand.key(),
+        bank_status=BANK_INAPPLICABLE,
+        race_free=True,
+        bank_payload=None,
+        race_payload={},
+    )
+
+
+def rejecting(keys):
+    """Certifier that rejects exactly the given candidate keys."""
+    def gate(cand):
+        cert = lenient(cand)
+        if cand.key() in keys:
+            return CandidateCertification(
+                candidate_key=cand.key(),
+                bank_status=BANK_REJECTED,
+                race_free=False,
+                bank_payload=None,
+                race_payload={},
+            )
+        return cert
+    return gate
+
+
+class TestExhaustive:
+    def test_evaluates_whole_space(self):
+        space = small_space()
+        outcome = exhaustive_search(SPEC, space=space, certifier=lenient)
+        assert outcome.search == "exhaustive"
+        assert outcome.stats.space_size == len(space)
+        assert outcome.stats.evaluations == len(space)
+        assert outcome.stats.store_hits == 0
+
+    def test_matches_legacy_autotune_on_paper_space(self):
+        from repro.core.autotune import autotune
+
+        outcome = exhaustive_search(SPEC, space=paper_space(GTX970),
+                                    certifier=lenient)
+        legacy = autotune(SPEC)
+        assert outcome.best.seconds == pytest.approx(legacy.seconds)
+        t, lt = outcome.best.tiling, legacy.tiling
+        assert (t.mc, t.nc, t.kc) == (lt.mc, lt.nc, lt.kc)
+
+    def test_ranked_sorted_and_bounded(self):
+        outcome = exhaustive_search(SPEC, space=small_space(),
+                                    certifier=lenient, top_k=4)
+        assert len(outcome.ranked) == 4
+        secs = [r.seconds for r in outcome.ranked]
+        assert secs == sorted(secs)
+        assert outcome.best.seconds == secs[0]
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError):
+            exhaustive_search(SPEC, space=[])
+
+    def test_results_carry_saturation(self):
+        outcome = exhaustive_search(SPEC, space=small_space(),
+                                    certifier=lenient)
+        assert outcome.best.saturation is not None
+        assert outcome.best.limiter_detail is not None
+        assert "slot_bottleneck" in outcome.best.limiter_detail
+
+
+class TestBeam:
+    def test_beam_matches_exhaustive_on_paper_space(self):
+        """The headline acceptance gate, small-M edition: same winner."""
+        space = paper_space(GTX970)
+        ex = exhaustive_search(SPEC, space=space, certifier=lenient)
+        bm = beam_search(SPEC, space=space, beam_width=8, seed=0,
+                         certifier=lenient)
+        assert bm.best_candidate.key() == ex.best_candidate.key()
+        assert bm.best.seconds == pytest.approx(ex.best.seconds)
+
+    def test_seeded_runs_bit_reproducible(self):
+        space = paper_space(GTX970)
+        a = beam_search(SPEC, space=space, beam_width=4, budget=25, seed=7,
+                        certifier=lenient)
+        b = beam_search(SPEC, space=space, beam_width=4, budget=25, seed=7,
+                        certifier=lenient)
+        assert [r.to_json() for r in a.ranked] == [r.to_json() for r in b.ranked]
+        assert a.stats.as_dict() == b.stats.as_dict()
+        assert a.best_candidate.key() == b.best_candidate.key()
+
+    def test_budget_bounds_requests(self):
+        outcome = beam_search(SPEC, space=paper_space(GTX970), beam_width=4,
+                              budget=10, certifier=lenient)
+        assert outcome.stats.requests <= 10
+        assert outcome.stats.evaluations <= 10
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            beam_search(SPEC, space=small_space(), beam_width=0)
+        with pytest.raises(ValueError):
+            beam_search(SPEC, space=small_space(), budget=0)
+        with pytest.raises(ValueError):
+            beam_search(SPEC, space=[])
+
+
+class TestMemoisation:
+    def test_warm_replay_zero_evaluations(self, tmp_path):
+        """Second run against the same store: same trajectory, same
+        answer, not a single model evaluation."""
+        store = ResultStore(tmp_path / "cache")
+        cold = beam_search(SPEC, space=paper_space(GTX970), beam_width=4,
+                           budget=20, seed=3, store=store, certifier=lenient)
+        assert cold.stats.evaluations > 0
+        assert cold.stats.store_hits == 0
+
+        warm = beam_search(SPEC, space=paper_space(GTX970), beam_width=4,
+                           budget=20, seed=3, store=store, certifier=lenient)
+        assert warm.stats.evaluations == 0
+        assert warm.stats.store_hits == cold.stats.requests
+        assert warm.best_candidate.key() == cold.best_candidate.key()
+        assert [r.to_json() for r in warm.ranked] == [
+            r.to_json() for r in cold.ranked
+        ]
+
+    def test_exhaustive_shares_the_memo(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        space = small_space()
+        exhaustive_search(SPEC, space=space, store=store, certifier=lenient)
+        warm = exhaustive_search(SPEC, space=space, store=store,
+                                 certifier=lenient)
+        assert warm.stats.evaluations == 0
+        assert warm.stats.store_hits == len(space)
+
+    def test_digest_separates_candidates_and_specs(self):
+        a = ScheduleCandidate(mc=128, nc=128, kc=8, micro_m=8, micro_n=8)
+        b = ScheduleCandidate(mc=128, nc=128, kc=8, micro_m=8, micro_n=8,
+                              reduction="two-pass")
+        from repro.perf.calibration import DEFAULT_CALIBRATION
+
+        d1 = eval_digest(SPEC, a, GTX970, DEFAULT_CALIBRATION)
+        d2 = eval_digest(SPEC, b, GTX970, DEFAULT_CALIBRATION)
+        d3 = eval_digest(ProblemSpec(M=16384, N=1024, K=64), a, GTX970,
+                         DEFAULT_CALIBRATION)
+        assert len({d1, d2, d3}) == 3
+
+
+class TestCertificationGate:
+    def test_certified_reject_never_wins(self):
+        """Reject the cost-model winner: the search must return the
+        runner-up, never the rejected candidate."""
+        space = small_space()
+        free = exhaustive_search(SPEC, space=space, certifier=lenient)
+        banned = {free.best_candidate.key()}
+        gated = exhaustive_search(SPEC, space=space,
+                                  certifier=rejecting(banned))
+        assert gated.best_candidate.key() not in banned
+        assert gated.stats.certified_rejects >= 1
+        assert gated.best.seconds >= free.best.seconds
+
+    def test_beam_respects_the_gate_too(self):
+        space = paper_space(GTX970)
+        free = beam_search(SPEC, space=space, beam_width=4, seed=0,
+                           certifier=lenient)
+        banned = {free.best_candidate.key()}
+        gated = beam_search(SPEC, space=space, beam_width=4, seed=0,
+                            certifier=rejecting(banned))
+        assert gated.best_candidate.key() not in banned
+
+    def test_all_rejected_raises(self):
+        space = small_space()[:3]
+        gate = rejecting({c.key() for c in space})
+        with pytest.raises(ValueError, match="certification"):
+            exhaustive_search(SPEC, space=space, certifier=gate)
+
+    def test_uncertified_mode_returns_raw_winner(self):
+        outcome = exhaustive_search(SPEC, space=small_space(),
+                                    require_certified=False)
+        assert outcome.certification is None
+
+    def test_real_certifier_accepts_a_paper_point(self):
+        cand = ScheduleCandidate(mc=128, nc=128, kc=8, micro_m=8, micro_n=8)
+        cert = certify_candidate(cand)
+        assert cert.accepted
+        assert cert.bank_status == "certified"
+        assert cert.race_free
+
+    def test_outcome_json_round_trip(self):
+        import json
+
+        outcome = exhaustive_search(SPEC, space=small_space(),
+                                    certifier=lenient, top_k=3)
+        doc = json.loads(json.dumps(outcome.to_json()))
+        assert doc["search"] == "exhaustive"
+        assert doc["best"]["schema"] == "repro-tune-result/v1"
+        assert len(doc["ranked"]) == 3
+        assert doc["stats"]["evaluations"] == len(small_space())

@@ -1,0 +1,124 @@
+"""Search-space tests (repro.tune.space)."""
+
+import pytest
+
+from repro.core.autotune import candidate_tilings
+from repro.gpu import GTX970
+from repro.tune import (
+    ScheduleCandidate,
+    neighbors,
+    paper_space,
+    schedule_space,
+)
+
+
+class TestScheduleCandidate:
+    def test_lowers_to_tiling(self):
+        cand = ScheduleCandidate(mc=128, nc=128, kc=8, micro_m=8, micro_n=8)
+        t = cand.tiling
+        assert (t.mc, t.nc, t.kc) == (128, 128, 8)
+        assert (t.block_dim_x, t.block_dim_y) == (16, 16)
+        assert t.double_buffered
+
+    def test_from_tiling_round_trip(self):
+        for t in candidate_tilings(GTX970)[:8]:
+            cand = ScheduleCandidate.from_tiling(t)
+            back = cand.tiling
+            assert (back.mc, back.nc, back.kc) == (t.mc, t.nc, t.kc)
+            assert (back.block_dim_x, back.block_dim_y) == (
+                t.block_dim_x, t.block_dim_y
+            )
+            assert back.double_buffered == t.double_buffered
+
+    def test_bad_reduction_rejected(self):
+        with pytest.raises(ValueError):
+            ScheduleCandidate(mc=128, nc=128, kc=8, micro_m=8, micro_n=8,
+                              reduction="tree")
+
+    def test_microtile_must_divide_tile(self):
+        with pytest.raises(ValueError):
+            ScheduleCandidate(mc=128, nc=128, kc=8, micro_m=8, micro_n=3)
+
+    def test_key_total_order(self):
+        a = ScheduleCandidate(mc=128, nc=128, kc=8, micro_m=8, micro_n=8)
+        b = ScheduleCandidate(mc=128, nc=128, kc=8, micro_m=8, micro_n=8,
+                              reduction="two-pass")
+        assert a.key() != b.key()
+        assert a.key() == ScheduleCandidate(
+            mc=128, nc=128, kc=8, micro_m=8, micro_n=8
+        ).key()
+
+
+class TestSpaces:
+    def test_wide_space_is_much_larger_than_paper(self):
+        wide = schedule_space(GTX970)
+        paper = paper_space(GTX970)
+        assert len(wide) >= 10 * len(paper)
+
+    def test_wide_space_deterministic(self):
+        a = [c.key() for c in schedule_space(GTX970)]
+        b = [c.key() for c in schedule_space(GTX970)]
+        assert a == b
+
+    def test_wide_space_no_duplicates_all_launchable(self):
+        space = schedule_space(GTX970)
+        keys = [c.key() for c in space]
+        assert len(keys) == len(set(keys))
+        for cand in space[::97]:  # sampled: launchable_on is not free
+            assert cand.launchable_on(GTX970)
+
+    def test_paper_space_matches_legacy_enumerator(self):
+        """Exhaustive over paper_space must evaluate exactly the legacy
+        candidate set — the like-for-like beam-vs-exhaustive baseline."""
+        legacy = candidate_tilings(GTX970)
+        lifted = paper_space(GTX970)
+        assert len(lifted) == len(legacy)
+        want = [
+            (t.mc, t.nc, t.kc, t.micro_m, t.micro_n, t.double_buffered)
+            for t in legacy
+        ]
+        got = [(c.mc, c.nc, c.kc, c.micro_m, c.micro_n, c.double_buffered)
+               for c in lifted]
+        assert got == want
+        assert all(c.reduction == "atomic" for c in lifted)
+
+    def test_paper_point_in_wide_space(self):
+        keys = {c.key() for c in schedule_space(GTX970)}
+        assert (128, 128, 8, 8, 8, True, "atomic") in keys
+
+
+class TestNeighbors:
+    CAND = ScheduleCandidate(mc=128, nc=128, kc=8, micro_m=8, micro_n=8)
+
+    def test_excludes_self_and_duplicates(self):
+        nbs = neighbors(self.CAND, GTX970)
+        keys = [c.key() for c in nbs]
+        assert self.CAND.key() not in keys
+        assert len(keys) == len(set(keys))
+
+    def test_all_neighbors_launchable(self):
+        for c in neighbors(self.CAND, GTX970):
+            assert c.launchable_on(GTX970)
+
+    def test_single_axis_mutations(self):
+        """Every neighbour differs from the seed along >= 1 axis, and the
+        buffering / reduction toggles are always present."""
+        nbs = neighbors(self.CAND, GTX970)
+        keys = {c.key() for c in nbs}
+        assert (128, 128, 8, 8, 8, False, "atomic") in keys  # db toggle
+        assert (128, 128, 8, 8, 8, True, "two-pass") in keys  # reduction
+        assert (128, 128, 4, 8, 8, True, "atomic") in keys  # kc step down
+        assert (128, 128, 16, 8, 8, True, "atomic") in keys  # kc step up
+        for c in nbs:
+            assert c.key() != self.CAND.key()
+
+    def test_deterministic_order(self):
+        a = [c.key() for c in neighbors(self.CAND, GTX970)]
+        b = [c.key() for c in neighbors(self.CAND, GTX970)]
+        assert a == b
+
+    def test_neighbors_stay_in_reachable_closure(self):
+        """Two hops from the paper point still produce valid candidates."""
+        for c in neighbors(self.CAND, GTX970)[:5]:
+            for cc in neighbors(c, GTX970)[:5]:
+                assert cc.launchable_on(GTX970)

@@ -62,6 +62,19 @@ is compared loosely (``--fast-rtol``, default 0.9): the headline
 speedup divides an extrapolated dense wall by a measured hierarchical
 wall, so tight cross-host gating would be noise.
 
+Autotune gate (``--autotune-current BENCH_autotune.json``): checks the
+``benchmarks/bench_autotune.py`` report for the autotuner-v2 PR's
+acceptance claims — the beam search returning the exhaustive winner on
+every paper-space case (``match`` true and ``quality_ratio`` within
+``--autotune-max-quality``, default 1.01), the wide-space evaluation
+ratio at least ``--autotune-min-eval-ratio`` (default 10x fewer full
+cost-model evaluations than exhaustive), the warm replay performing
+zero evaluations and returning bit-identical results, and the wide-
+space winner carrying an accepted static certification (race-free,
+bank gate not rejected).  These are determinism/counter claims, not
+wall-clock ones, so no rtol applies and the committed baseline is only
+used as the schema reference.
+
 Any combination of gates runs when the corresponding ``--*-current`` is
 given; at least one is required.
 """
@@ -82,6 +95,7 @@ HOTPATH_SCHEMA = "repro-hotpath-bench/v1"
 SWEEP_SCHEMA = "repro-sweep-bench/v1"
 SERVE_SCHEMA = "repro-serve-bench/v1"
 FAST_SCHEMA = "repro-fast-bench/v1"
+AUTOTUNE_SCHEMA = "repro-autotune-bench/v1"
 
 
 def _load_hotpath(path: str) -> dict:
@@ -279,6 +293,73 @@ def check_fast(
     return issues
 
 
+def _load_autotune(path: str) -> dict:
+    data = json.loads(pathlib.Path(path).read_text())
+    if data.get("schema") != AUTOTUNE_SCHEMA:
+        raise ValueError(f"{path}: not a {AUTOTUNE_SCHEMA} report")
+    return data
+
+
+def check_autotune(
+    current_path: str,
+    min_eval_ratio: float,
+    max_quality: float,
+) -> list[str]:
+    """Violated autotuner-v2 acceptance claims, one message per issue."""
+    current = _load_autotune(current_path)
+    issues = []
+    if current.get("quick"):
+        raise ValueError(f"{current_path}: --quick runs are never gated")
+
+    cases = current.get("paper_space", {}).get("cases", [])
+    if not cases:
+        raise ValueError(f"{current_path}: no paper-space cases")
+    for case in cases:
+        if not case.get("match"):
+            issues.append(
+                f"paper space K={case['K']}: beam winner "
+                f"{case.get('winner')} != exhaustive winner "
+                f"{case.get('exhaustive_winner')}"
+            )
+        quality = float(case.get("quality_ratio", float("inf")))
+        if quality > max_quality:
+            issues.append(
+                f"paper space K={case['K']}: quality ratio {quality:.4f} "
+                f"> allowed {max_quality:g}"
+            )
+
+    wide = current.get("wide_space", {})
+    ratio = float(wide.get("eval_ratio", 0.0))
+    if ratio < min_eval_ratio:
+        issues.append(
+            f"wide space: eval ratio {ratio:.1f}x < required "
+            f"{min_eval_ratio:g}x (beam {wide.get('beam_evaluations')} "
+            f"vs exhaustive {wide.get('exhaustive_evaluations')} evaluations)"
+        )
+    cert = wide.get("certification")
+    if cert is None:
+        issues.append("wide space: winner carries no certification")
+    else:
+        if not cert.get("race_free"):
+            issues.append("wide space: winner is not proven race-free")
+        if cert.get("bank_status") == "rejected":
+            issues.append("wide space: winner was rejected by the bank certifier")
+        if not cert.get("accepted"):
+            issues.append("wide space: winner's certification was not accepted")
+
+    warm = current.get("warm_replay", {})
+    if int(warm.get("warm_evaluations", 1)) != 0:
+        issues.append(
+            f"warm replay performed {warm.get('warm_evaluations')} "
+            "model evaluation(s); the memoised store must make it zero"
+        )
+    if int(warm.get("warm_store_hits", 0)) <= 0:
+        issues.append("warm replay hit the store zero times")
+    if not warm.get("identical"):
+        issues.append("warm replay diverged from the cold run")
+    return issues
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -374,14 +455,30 @@ def main(argv=None) -> int:
         help="allowed relative headline-speedup loss vs the committed baseline "
         "(default 0.9: an order-of-magnitude check, not a tight gate)",
     )
+    parser.add_argument(
+        "--autotune-current", default=None,
+        help="freshly collected autotune benchmark "
+        "(benchmarks/bench_autotune.py output)",
+    )
+    parser.add_argument(
+        "--autotune-min-eval-ratio", type=float, default=10.0,
+        help="required exhaustive/beam evaluation-count ratio on the wide "
+        "space (default 10)",
+    )
+    parser.add_argument(
+        "--autotune-max-quality", type=float, default=1.01,
+        help="allowed beam/exhaustive modelled-seconds ratio on every "
+        "paper-space case (default 1.01)",
+    )
     args = parser.parse_args(argv)
 
     if (args.current is None and args.hotpath_current is None
             and args.sweep_current is None and args.serve_current is None
-            and args.fast_current is None):
+            and args.fast_current is None and args.autotune_current is None):
         parser.error(
             "nothing to gate: pass --current, --hotpath-current, "
-            "--sweep-current, --serve-current, and/or --fast-current"
+            "--sweep-current, --serve-current, --fast-current, "
+            "and/or --autotune-current"
         )
 
     failures = 0
@@ -502,6 +599,33 @@ def main(argv=None) -> int:
             print(
                 f"OK: fast summation within eps, largest case >= "
                 f"{args.fast_min_speedup:g}x dense in {args.fast_current}"
+            )
+
+    if args.autotune_current is not None:
+        try:
+            issues = check_autotune(
+                args.autotune_current,
+                args.autotune_min_eval_ratio,
+                args.autotune_max_quality,
+            )
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+            print(f"cannot load autotune benchmark: {exc}", file=sys.stderr)
+            return 2
+        if issues:
+            failures += 1
+            print(
+                f"REGRESSION: {len(issues)} autotuner issue(s) "
+                f"in {args.autotune_current}:",
+                file=sys.stderr,
+            )
+            for issue in issues:
+                print(f"  {issue}", file=sys.stderr)
+        else:
+            print(
+                f"OK: beam matches exhaustive on the paper space, "
+                f">= {args.autotune_min_eval_ratio:g}x fewer evaluations on "
+                f"the wide space, warm replay zero-eval "
+                f"in {args.autotune_current}"
             )
 
     return 1 if failures else 0
