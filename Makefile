@@ -30,7 +30,7 @@ docs:
 lint:
 	@if command -v ruff >/dev/null 2>&1; then ruff check src tools; \
 	else echo "ruff not installed; skipping (pip install ruff)"; fi
-	@if command -v mypy >/dev/null 2>&1; then mypy src/repro/analysis; \
+	@if command -v mypy >/dev/null 2>&1; then mypy src/repro/analysis src/repro/tune src/repro/perf; \
 	else echo "mypy not installed; skipping (pip install mypy)"; fi
 
 analyze:

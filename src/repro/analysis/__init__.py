@@ -1,6 +1,6 @@
 """Static analysis of the repository's kernels and invariants.
 
-Three analyzers, one subsystem (see docs/ANALYSIS.md):
+Four analyzers, one subsystem (see docs/ANALYSIS.md):
 
 * :mod:`repro.analysis.races` — GPUVerify-style barrier-interval race
   detection over symbolic SIMT token streams
@@ -17,13 +17,33 @@ Three analyzers, one subsystem (see docs/ANALYSIS.md):
   deterministic paths, float64-only ABFT checksums, ``is None`` hook
   guards, frozen config dataclasses), gated against a committed baseline
   (:mod:`repro.analysis.baseline`).
+* :mod:`repro.analysis.fpcert` — forward rounding-error certification of
+  reduction schedules: walks the reduction tree a schedule implies and
+  emits a machine-readable ``repro-fpcert/v1`` bound
+  ``|V_hat - V| <= coeff_q * sum|w|``, gating autotuner winners, the fast
+  engine's eps contract, and the fused ABFT tolerances.
 
-``repro analyze [race|banks|lint|all] --json`` exposes all three; the
-seeded negative controls live in :mod:`repro.analysis.mutants`.
+``repro analyze [race|banks|lint|fpcert|all] --json`` exposes all four;
+the seeded negative controls live in :mod:`repro.analysis.mutants`.
 """
 
 from .banks import BankCertificate, InstructionReport, certify_mapping, certify_tiling
 from .baseline import load_baseline, new_findings, save_baseline
+from .fpcert import (
+    DEFAULT_ULP_BUDGET,
+    FPCERT_SCHEMA,
+    AbftTolerances,
+    FpCertificate,
+    abft_tolerances,
+    certify_fast_contract,
+    certify_paper_accuracy,
+    certify_schedule,
+    gamma,
+    narrowed_accumulator_certificate,
+    paper_schedules,
+    uncompensated_two_pass_certificate,
+    unit_roundoff,
+)
 from .lint import RULES, LintFinding, lint_paths, lint_source
 from .races import (
     PAPER_K_VALUES,
@@ -36,8 +56,12 @@ from .schedules import certify_schedule_races, generic_schedule_kernel
 from .trace import AccessEvent, IntervalAccesses, KernelTrace, trace_kernel
 
 __all__ = [
+    "AbftTolerances",
     "AccessEvent",
     "BankCertificate",
+    "DEFAULT_ULP_BUDGET",
+    "FPCERT_SCHEMA",
+    "FpCertificate",
     "InstructionReport",
     "IntervalAccesses",
     "KernelTrace",
@@ -46,16 +70,25 @@ __all__ = [
     "RULES",
     "RaceReport",
     "RaceViolation",
+    "abft_tolerances",
+    "certify_fast_contract",
     "certify_mapping",
+    "certify_paper_accuracy",
     "certify_paper_kernels",
+    "certify_schedule",
     "certify_schedule_races",
     "certify_tiling",
     "detect_races",
+    "gamma",
     "generic_schedule_kernel",
     "lint_paths",
     "lint_source",
     "load_baseline",
+    "narrowed_accumulator_certificate",
     "new_findings",
+    "paper_schedules",
     "save_baseline",
     "trace_kernel",
+    "uncompensated_two_pass_certificate",
+    "unit_roundoff",
 ]

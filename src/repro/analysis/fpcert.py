@@ -1,0 +1,602 @@
+"""Static forward rounding-error certification of reduction schedules.
+
+The race and bank certifiers prove a schedule *executes* correctly; this
+module proves how far its *arithmetic* can drift.  It walks the reduction
+tree a schedule implies — the rank-``kc`` GEMM panel loop, the microtile
+reduce plan, the tx-order intra-CTA sum, the atomic or two-pass inter-CTA
+commit, and the accumulator dtype — and composes a Higham-style forward
+error bound level by level:
+
+* a length-``n`` summation in precision ``u`` satisfies
+  ``|fl(sum x) - sum x| <= gamma(n-1, u) * sum |x|`` with
+  ``gamma(n, u) = n*u / (1 - n*u)`` (Higham, *Accuracy and Stability of
+  Numerical Algorithms*, 2nd ed., Lemma 3.1/eq. 4.4); a dot product of
+  length ``n`` takes ``gamma(n, u)``;
+* the squared distance assembled as ``||a||^2 + ||b||^2 - 2 a.b`` from
+  float64-accumulated norms and the panel-looped GEMM inherits the sum of
+  those bounds plus the 3-op assembly rounding;
+* the kernel evaluation is a pointwise Lipschitz map of the squared
+  distance, so distance error enters through the kernel's Lipschitz
+  constant and the evaluation itself adds ``eval_ops`` rounded operations
+  on a value of magnitude at most ``kmax``;
+* every summation level multiplies weighted kernel values whose magnitude
+  is at most ``kmax * |w_j|``, so the whole reduction tree contributes
+  ``gamma(n_ops, u_acc) * kmax * sum|w|``.
+
+The headline quantity is ``coeff_q``: the certified bound is
+
+    ``max_i |V_hat[i] - V[i]| <= coeff_q * sum_j |w_j|``
+
+— deliberately the same normalization as :func:`repro.fast.accuracy.
+max_rel_error` and the fast engine's ``eps * sum|w|`` contract, so bounds
+compose across subsystems.  ``ulps = coeff_q / u_data`` expresses the bound
+in units of the data dtype's roundoff; certification compares it against a
+configurable ulp budget and additionally rejects *structural* violations
+(an accumulator narrower than the data, an uncompensated two-pass commit)
+regardless of budget.
+
+Certificates are emitted as machine-readable ``repro-fpcert/v1`` payloads;
+``repro analyze fpcert --json`` and the ``fpcert-smoke`` CI job surface
+them, ``repro.tune.certify`` gates every autotuner winner on them, and
+``repro.core.fused`` derives its ABFT checksum tolerances from the same
+gamma calculus (:func:`abft_tolerances`) instead of ad-hoc constants.
+
+The bounds here are *worst case* — every rounding at maximum magnitude and
+aligned sign.  The empirical harness (``benchmarks/bench_fpcert.py``)
+checks measured error never exceeds them; typical headroom is three to
+four orders of magnitude, which is exactly what a certificate should look
+like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.fused import microtile_reduce_plan
+from ..core.problem import PAPER_K_VALUES, PAPER_N, ProblemSpec
+from ..core.tiling import PAPER_TILING, TilingConfig
+
+__all__ = [
+    "AbftTolerances",
+    "DEFAULT_ULP_BUDGET",
+    "FPCERT_SCHEMA",
+    "FpCertificate",
+    "KERNEL_NUMERICS",
+    "KernelNumerics",
+    "abft_tolerances",
+    "certify_fast_contract",
+    "certify_paper_accuracy",
+    "certify_schedule",
+    "gamma",
+    "narrowed_accumulator_certificate",
+    "paper_schedules",
+    "reduce_plan_ops",
+    "uncompensated_two_pass_certificate",
+    "unit_roundoff",
+]
+
+FPCERT_SCHEMA = "repro-fpcert/v1"
+
+#: Default certification budget, in ulps of the data dtype.  Generous on
+#: purpose: the paper tilings land around 1e5 ulps in fp32 at K=256, real
+#: accuracy bugs (a narrowed accumulator) land around 1e13 — the budget
+#: separates regimes, it does not grade healthy schedules.
+DEFAULT_ULP_BUDGET = 1.0e8
+
+#: Structural violation tags (checked independently of the ulp budget).
+VIOLATION_NARROWED = "narrowed-accumulator"
+VIOLATION_UNCOMPENSATED = "uncompensated-two-pass"
+
+_ROUNDOFF = {"float32": 2.0**-24, "float64": 2.0**-53}
+
+
+def unit_roundoff(dtype: str) -> float:
+    """Unit roundoff u of an IEEE dtype name (fp32: 2^-24, fp64: 2^-53)."""
+    name = str(np.dtype(dtype))
+    if name not in _ROUNDOFF:
+        raise ValueError(f"no roundoff model for dtype {name!r}")
+    return _ROUNDOFF[name]
+
+
+def gamma(n: int, u: float) -> float:
+    """Higham's gamma_n(u) = n*u / (1 - n*u); the n-rounding error factor.
+
+    Raises if ``n*u >= 1`` — the bound is vacuous there (the analysis has
+    left the regime where first-order rounding accumulation makes sense).
+    """
+    if n < 0:
+        raise ValueError("gamma takes a non-negative operation count")
+    nu = n * u
+    if nu >= 1.0:
+        raise ValueError(f"gamma({n}, {u}) diverges: n*u = {nu} >= 1")
+    return nu / (1.0 - nu)
+
+
+# ---------------------------------------------------------------------------
+# kernel numerics registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KernelNumerics:
+    """Analytic facts the error analysis needs about one kernel.
+
+    ``kmax(h)`` bounds ``|k(d)|`` over squared distances ``d >= 0``;
+    ``lipschitz_sq(h)`` bounds ``|dk/dd|`` — the sensitivity to squared-
+    distance error (not to distance error); ``eval_ops`` counts rounded
+    floating-point operations in the evaluation body
+    (:mod:`repro.core.kernels` in-place forms, including the clamp).
+    """
+
+    name: str
+    kmax: Callable[[float], float]
+    lipschitz_sq: Callable[[float], float]
+    eval_ops: int
+
+    def describe(self, h: float) -> str:
+        return (
+            f"{self.name}: |k| <= {self.kmax(h):.3g}, "
+            f"|dk/d(d^2)| <= {self.lipschitz_sq(h):.3g}, "
+            f"{self.eval_ops} rounded eval ops (h={h:g})"
+        )
+
+
+#: Per-kernel bounds, each derivable in two lines from repro.core.kernels:
+#:
+#: * gaussian  k = exp(-d/2h^2):        kmax = 1,  |k'| = k/(2h^2) <= 1/(2h^2)
+#: * laplace   k = 1/sqrt(d + h^2):     kmax = 1/h, |k'| = k^3/2 <= 1/(2h^3)
+#: * polynomial k = 1/(1 + d/h^2):      kmax = 1,  |k'| = k^2/h^2 <= 1/h^2
+#: * matern32  k = (1+c r) e^{-c r},
+#:   r = sqrt(d)/h, c = sqrt(3):        kmax = 1,
+#:   dk/dd = -(c^2/(2h^2)) e^{-c r} so  |k'| <= 3/(2h^2)
+KERNEL_NUMERICS: Dict[str, KernelNumerics] = {
+    "gaussian": KernelNumerics(
+        "gaussian",
+        kmax=lambda h: 1.0,
+        lipschitz_sq=lambda h: 1.0 / (2.0 * h * h),
+        eval_ops=4,
+    ),
+    "laplace": KernelNumerics(
+        "laplace",
+        kmax=lambda h: 1.0 / h,
+        lipschitz_sq=lambda h: 1.0 / (2.0 * h * h * h),
+        eval_ops=4,
+    ),
+    "polynomial": KernelNumerics(
+        "polynomial",
+        kmax=lambda h: 1.0,
+        lipschitz_sq=lambda h: 1.0 / (h * h),
+        eval_ops=4,
+    ),
+    "matern32": KernelNumerics(
+        "matern32",
+        kmax=lambda h: 1.0,
+        lipschitz_sq=lambda h: 3.0 / (2.0 * h * h),
+        eval_ops=8,
+    ),
+}
+
+
+def reduce_plan_ops(plan: str, micro_n: int) -> int:
+    """Rounded additions in one microtile row-sum under ``plan``.
+
+    ``tree8`` is the probed pairwise tree (3 levels of adds on 8 lanes:
+    7 additions but only depth-3 error growth; the sequential worst case
+    of 7 is used for ``seq``/``sum`` — pairwise never exceeds sequential,
+    so charging the count keeps the bound valid for both shapes).
+    """
+    if micro_n < 1:
+        raise ValueError("micro_n must be positive")
+    if plan == "copy":
+        return 0
+    if plan == "tree8":
+        return 3
+    if plan in ("seq", "sum"):
+        return micro_n - 1
+    raise ValueError(f"unknown microtile reduce plan {plan!r}")
+
+
+# ---------------------------------------------------------------------------
+# the certificate
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FpCertificate:
+    """One ``repro-fpcert/v1`` certificate for one schedule on one problem."""
+
+    kernel: str
+    data_dtype: str
+    acc_dtype: str
+    reduction: str
+    compensated: bool
+    tiling: Dict[str, Any]
+    problem: Dict[str, Any]
+    levels: Dict[str, Any]
+    coeff_q: float
+    ulps: float
+    ulp_budget: float
+    violations: Tuple[str, ...]
+
+    @property
+    def certified(self) -> bool:
+        """No structural violation and the bound fits the ulp budget."""
+        return not self.violations and self.ulps <= self.ulp_budget
+
+    def bound_for(self, weight_l1: float) -> float:
+        """Absolute bound on ``max_i |V_hat[i] - V[i]`` for ``sum|w|``."""
+        return self.coeff_q * float(weight_l1)
+
+    def describe(self) -> str:
+        verdict = "certified" if self.certified else "REJECTED"
+        why = f" ({', '.join(self.violations)})" if self.violations else ""
+        return (
+            f"{self.kernel} {self.data_dtype}"
+            f"{'/acc-' + self.acc_dtype if self.acc_dtype != self.data_dtype else ''}"
+            f" K={self.problem['K']} {self.reduction}"
+            f"{'' if self.compensated else ' uncompensated'}: "
+            f"|V_hat - V| <= {self.coeff_q:.3e} * sum|w| "
+            f"({self.ulps:.3g} ulps vs budget {self.ulp_budget:.3g}) "
+            f"-> {verdict}{why}"
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "schema": FPCERT_SCHEMA,
+            "kernel": self.kernel,
+            "data_dtype": self.data_dtype,
+            "acc_dtype": self.acc_dtype,
+            "reduction": self.reduction,
+            "compensated": self.compensated,
+            "tiling": dict(self.tiling),
+            "problem": dict(self.problem),
+            "levels": dict(self.levels),
+            "coeff_q": self.coeff_q,
+            "ulps": self.ulps,
+            "ulp_budget": self.ulp_budget,
+            "violations": list(self.violations),
+            "certified": self.certified,
+        }
+
+
+def certify_schedule(
+    tiling: TilingConfig,
+    spec: ProblemSpec,
+    *,
+    reduction: str = "atomic",
+    compensated: bool = True,
+    acc_dtype: Optional[str] = None,
+    ulp_budget: float = DEFAULT_ULP_BUDGET,
+    point_scale: float = 1.0,
+) -> FpCertificate:
+    """Walk the reduction tree of one schedule and bound its forward error.
+
+    ``acc_dtype`` is the dtype every summation level accumulates in
+    (``None``: the data dtype, which is what both execution engines do);
+    ``compensated`` states whether a two-pass inter-CTA commit sums its
+    per-CTA partials with compensation (error-free up to the final two
+    roundings) or drops it.  ``point_scale`` is the coordinate box edge of
+    :func:`repro.core.problem.generate` — it scales the squared-distance
+    magnitudes the GEMM level sees.
+    """
+    if reduction not in ("atomic", "two-pass"):
+        raise ValueError(f"unknown reduction strategy {reduction!r}")
+    if spec.kernel not in KERNEL_NUMERICS:
+        raise ValueError(
+            f"no numerics model for kernel {spec.kernel!r}; "
+            f"known: {sorted(KERNEL_NUMERICS)}"
+        )
+    if ulp_budget <= 0:
+        raise ValueError("ulp_budget must be positive")
+    if point_scale <= 0:
+        raise ValueError("point_scale must be positive")
+
+    data_dtype = str(spec.np_dtype)
+    acc_name = str(np.dtype(acc_dtype)) if acc_dtype is not None else data_dtype
+    u_data = unit_roundoff(data_dtype)
+    u_acc = unit_roundoff(acc_name)
+    u64 = _ROUNDOFF["float64"]
+    numerics = KERNEL_NUMERICS[spec.kernel]
+
+    K = spec.K
+    k_iters = tiling.k_iterations(K)
+    grid_x, _ = tiling.grid(spec.M, spec.N)
+
+    # -- level 1: squared distance d = ||a||^2 + ||b||^2 - 2 a.b ------------
+    # Coordinates live in [0, point_scale)^K, so every norm and every dot
+    # product is bounded by radius2 = K * point_scale^2.
+    radius2 = K * point_scale * point_scale
+    # Norms: float64 einsum (K products + K-1 adds <= gamma(K, u64)), then
+    # one rounding on the cast back to the data dtype.
+    norm_err = (gamma(K, u64) + u_data) * radius2
+    # Dot product: the panel loop performs K products and K-1 in-panel adds
+    # plus k_iters - 1 panel-merge adds in the accumulator dtype; charging
+    # gamma(K + k_iters, u_acc) covers any BLAS-internal ordering too.
+    dot_err = gamma(K + k_iters, u_acc) * radius2
+    # Assembly: the *2 is exact; the two adds and one subtract round values
+    # of magnitude at most 4 * radius2 in the data dtype.
+    assemble_err = gamma(3, u_data) * 4.0 * radius2
+    delta_d = 2.0 * norm_err + 2.0 * dot_err + assemble_err
+
+    # -- level 2: pointwise kernel evaluation --------------------------------
+    lipschitz = numerics.lipschitz_sq(spec.h)
+    kmax = numerics.kmax(spec.h)
+    # eval_ops roundings on intermediates of magnitude <= kmax; the factor
+    # 2 is first-order slack for growth through the evaluation chain.
+    eval_err = 2.0 * numerics.eval_ops * u_data * kmax
+    kernel_err = lipschitz * delta_d + eval_err
+
+    # -- level 3: the reduction tree -----------------------------------------
+    plan = microtile_reduce_plan(tiling.micro_n, np.dtype(acc_name))
+    micro_ops = reduce_plan_ops(plan, tiling.micro_n)
+    intra_cta_ops = tiling.block_dim_x - 1
+    if reduction == "two-pass" and compensated:
+        # compensated two-pass: partials merge error-free up to the final
+        # rounding of the sum and of the compensation term
+        inter_cta_ops = 2
+    else:
+        # atomicAdd commits in hardware-arbitrary order; a plain two-pass
+        # sum is sequential — both are bounded by the full chain length
+        inter_cta_ops = max(grid_x - 1, 0)
+    # one rounding for the weight multiply, then every addition level
+    sum_ops = 1 + micro_ops + intra_cta_ops + inter_cta_ops
+    sum_err_coeff = gamma(sum_ops, u_acc) * kmax
+
+    # Each term |k_ij w_j| <= kmax |w_j|, so both the kernel-value error
+    # (per term, times |w_j|) and the summation rounding normalize by
+    # Q = sum|w|:   |V_hat_i - V_i| <= coeff_q * Q.
+    coeff_q = kernel_err + sum_err_coeff
+    ulps = coeff_q / u_data
+
+    violations: List[str] = []
+    if u_acc > u_data:
+        violations.append(VIOLATION_NARROWED)
+    if reduction == "two-pass" and not compensated:
+        violations.append(VIOLATION_UNCOMPENSATED)
+
+    return FpCertificate(
+        kernel=spec.kernel,
+        data_dtype=data_dtype,
+        acc_dtype=acc_name,
+        reduction=reduction,
+        compensated=compensated,
+        tiling={
+            "mc": tiling.mc,
+            "nc": tiling.nc,
+            "kc": tiling.kc,
+            "block_dim_x": tiling.block_dim_x,
+            "block_dim_y": tiling.block_dim_y,
+            "micro_m": tiling.micro_m,
+            "micro_n": tiling.micro_n,
+            "double_buffered": tiling.double_buffered,
+        },
+        problem={
+            "M": spec.M,
+            "N": spec.N,
+            "K": spec.K,
+            "h": spec.h,
+            "point_scale": point_scale,
+            "grid_x": grid_x,
+            "k_iterations": k_iters,
+        },
+        levels={
+            "distance": {
+                "radius2": radius2,
+                "norm_err": norm_err,
+                "dot_err": dot_err,
+                "assemble_err": assemble_err,
+                "delta_d": delta_d,
+            },
+            "kernel": {
+                "lipschitz_sq": lipschitz,
+                "kmax": kmax,
+                "eval_ops": numerics.eval_ops,
+                "eval_err": eval_err,
+                "bound": kernel_err,
+            },
+            "reduction": {
+                "microtile_plan": plan,
+                "microtile_ops": micro_ops,
+                "intra_cta_ops": intra_cta_ops,
+                "inter_cta_ops": inter_cta_ops,
+                "sum_ops": sum_ops,
+                "bound": sum_err_coeff,
+            },
+        },
+        coeff_q=coeff_q,
+        ulps=ulps,
+        ulp_budget=ulp_budget,
+        violations=tuple(violations),
+    )
+
+
+# ---------------------------------------------------------------------------
+# paper-schedule sweep + negative controls
+# ---------------------------------------------------------------------------
+
+
+def paper_schedules() -> List[Tuple[str, TilingConfig, str, bool]]:
+    """The ablation-bench schedule set: (name, tiling, reduction, compensated).
+
+    Mirrors the points the paper and the perf benches exercise: the design
+    point, single buffering, the 4x4 microtile, the kc sweep, and the
+    two-pass epilogue.
+    """
+    return [
+        ("paper-atomic", PAPER_TILING, "atomic", True),
+        ("single-buffered", TilingConfig(double_buffered=False), "atomic", True),
+        ("micro4x4", TilingConfig(block_dim_x=32, block_dim_y=32), "atomic", True),
+        ("kc4", TilingConfig(kc=4), "atomic", True),
+        ("kc16", TilingConfig(kc=16), "atomic", True),
+        ("paper-two-pass", PAPER_TILING, "two-pass", True),
+    ]
+
+
+def certify_paper_accuracy(
+    k_values: Sequence[int] = PAPER_K_VALUES,
+    *,
+    M: int = PAPER_N,
+    N: int = PAPER_N,
+    dtype: str = "float32",
+    kernel: str = "gaussian",
+    h: float = 1.0,
+    ulp_budget: float = DEFAULT_ULP_BUDGET,
+) -> List[Dict[str, Any]]:
+    """Certify every paper schedule at every requested K.
+
+    Returns one entry per (schedule, K) with the schedule name attached —
+    the shape the CLI verb, the CI smoke job, and the empirical harness
+    all consume.
+    """
+    out: List[Dict[str, Any]] = []
+    for name, tiling, reduction, compensated in paper_schedules():
+        for K in k_values:
+            spec = ProblemSpec(M=M, N=N, K=int(K), h=h, kernel=kernel, dtype=dtype)
+            cert = certify_schedule(
+                tiling, spec,
+                reduction=reduction, compensated=compensated,
+                ulp_budget=ulp_budget,
+            )
+            payload = cert.to_payload()
+            payload["schedule"] = name
+            out.append(payload)
+    return out
+
+
+def narrowed_accumulator_certificate(
+    ulp_budget: float = DEFAULT_ULP_BUDGET,
+) -> FpCertificate:
+    """Negative control: float64 data accumulated in a float32 register file.
+
+    Structurally violating (the accumulator is narrower than the data) and
+    quantitatively hopeless (~1e13 ulps of float64) — CI asserts this
+    certificate is rejected on both grounds.
+    """
+    spec = ProblemSpec(M=PAPER_N, N=PAPER_N, K=128, dtype="float64")
+    return certify_schedule(
+        PAPER_TILING, spec, acc_dtype="float32", ulp_budget=ulp_budget
+    )
+
+
+def uncompensated_two_pass_certificate(
+    ulp_budget: float = DEFAULT_ULP_BUDGET,
+) -> FpCertificate:
+    """Negative control: a two-pass commit with the compensation dropped.
+
+    The two-pass epilogue's whole claim is the deterministic, compensated
+    partial merge; dropping the compensation silently reverts to a long
+    sequential chain.  The certifier must flag it structurally even though
+    the quantitative bound may still fit the budget.
+    """
+    spec = ProblemSpec(M=PAPER_N, N=PAPER_N, K=128, dtype="float32")
+    return certify_schedule(
+        PAPER_TILING, spec,
+        reduction="two-pass", compensated=False, ulp_budget=ulp_budget,
+    )
+
+
+# ---------------------------------------------------------------------------
+# fast-engine contract composition
+# ---------------------------------------------------------------------------
+
+
+def certify_fast_contract(
+    spec: ProblemSpec,
+    eps: float,
+    tiling: TilingConfig = PAPER_TILING,
+) -> Dict[str, Any]:
+    """Statically verify the fast engine's ``eps * sum|w|`` contract composes.
+
+    The FGT/treecode engine promises ``|V - V_dense| <= eps * Q`` against
+    the *dense* result, and runs the dense batched engine as its near-field
+    primitive.  Composing with the dense certificate gives the true-value
+    bound ``|V - V_true| <= (eps + dense_coeff_q) * Q`` (plus one rounding
+    for the far/near merge).  The contract "composes" when the dense term
+    does not dominate the advertised eps — otherwise eps is marketing, not
+    a bound.
+    """
+    if eps <= 0:
+        raise ValueError("eps must be positive")
+    dense = certify_schedule(tiling, spec)
+    u_data = unit_roundoff(dense.data_dtype)
+    composed = eps + dense.coeff_q + u_data
+    return {
+        "schema": FPCERT_SCHEMA,
+        "kind": "fast-contract",
+        "eps": eps,
+        "dense_coeff_q": dense.coeff_q,
+        "composed_coeff_q": composed,
+        "composes": dense.coeff_q <= eps,
+        "dense": dense.to_payload(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# derived ABFT tolerances
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AbftTolerances:
+    """Certified relative checksum tolerances for the fused ABFT layer.
+
+    ``gemm_rtol`` gates ``|e^T subC - sum_p (e^T A_p) B_p|`` against the
+    column's absolute mass; ``reduce_rtol`` gates the weighted kernel-mass
+    checksum against the committed partial sum.  Both predictions start
+    from the *same rounded operands* the compute consumed, so kernel and
+    distance error cancel — only the differing reduction arithmetic (data-
+    dtype compute vs float64 prediction) can separate them.
+    """
+
+    gemm_rtol: float
+    reduce_rtol: float
+    headroom: float
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "gemm_rtol": self.gemm_rtol,
+            "reduce_rtol": self.reduce_rtol,
+            "headroom": self.headroom,
+        }
+
+
+def abft_tolerances(
+    dtype: str,
+    K: int,
+    tiling: TilingConfig = PAPER_TILING,
+    headroom: float = 4.0,
+) -> AbftTolerances:
+    """Derive the fused ABFT checksum tolerances from the gamma calculus.
+
+    GEMM check: the compute-side column sum accumulates K products over
+    k_iters panels in the data dtype, then mc column entries in float64;
+    the prediction accumulates the same K products in float64.  Worst-case
+    relative separation against the absolute column mass is
+    ``gamma(K + k_iters, u) + gamma(K + mc + k_iters, u64)``.
+
+    Reduction check: the committed partial performs the weight multiply,
+    the microtile plan, and the tx-order chain in the data dtype; the
+    float64 prediction sums all mc*nc weighted kernel values plus the
+    mc-element commit readback.  ``headroom`` (default 4x) absorbs the
+    difference between worst-case sign alignment and anything a healthy
+    run can produce — derived, not tuned: no clean run can trip it.
+    """
+    if headroom < 1.0:
+        raise ValueError("headroom must be >= 1")
+    u = unit_roundoff(dtype)
+    u64 = _ROUNDOFF["float64"]
+    k_iters = tiling.k_iterations(K)
+    gemm_rtol = headroom * (
+        gamma(K + k_iters, u) + gamma(K + tiling.mc + k_iters, u64)
+    )
+    plan = microtile_reduce_plan(tiling.micro_n, np.dtype(dtype))
+    n_intra = 1 + reduce_plan_ops(plan, tiling.micro_n) + (tiling.block_dim_x - 1)
+    reduce_rtol = headroom * (
+        gamma(n_intra, u) + gamma(tiling.mc * tiling.nc + tiling.mc, u64)
+    )
+    return AbftTolerances(
+        gemm_rtol=gemm_rtol, reduce_rtol=reduce_rtol, headroom=headroom
+    )

@@ -52,6 +52,16 @@ This pass turns those conventions into checkable rules:
     ``loop.run_in_executor`` (a nested *sync* helper is fine; the rule
     only fires in the async scope itself).
 
+``RA008 uncertified-mixed-accumulation``
+    accumulation of a float64-typed operand into a float32-typed target
+    (``acc += x64`` or ``np.add(acc32, x64, out=acc32)``) outside an
+    explicitly certified reduce plan (an enclosing function whose name
+    contains ``certified``).  Mixed-precision accumulation silently
+    narrows every partial to float32 — the exact failure mode the
+    accuracy certifier's narrowed-accumulator negative control models —
+    so it is only legal where a :mod:`repro.analysis.fpcert` certificate
+    covers the plan.
+
 ``RA007 leaky-span``
     a ``span(...)`` / ``tracer.span(...)`` call in serving code (any path
     with a ``serve`` directory component) that is not the context
@@ -86,6 +96,8 @@ RULES: Dict[str, str] = {
     "RA005": "config dataclass must be frozen with all state in digested fields",
     "RA006": "blocking call inside async def stalls the event loop",
     "RA007": "span() in serve code must be a with-statement context manager",
+    "RA008": "float64 operand accumulated into a float32 target outside a "
+             "certified reduce plan",
 }
 
 #: Configuration classes whose dataclass fields form digest key material.
@@ -213,6 +225,56 @@ def _is_narrowing_call(node: ast.Call) -> bool:
     return any(kw.arg == "dtype" and names_float32(kw.value) for kw in node.keywords)
 
 
+#: dtype spellings RA008 tracks (syntactic, literal-only: no flow analysis)
+_TRACKED_DTYPES: Tuple[str, ...] = ("float32", "float64")
+
+
+def _literal_dtype(expr: ast.AST) -> Optional[str]:
+    """``np.float32`` / bare ``float64`` / ``"float32"`` -> the dtype name."""
+    if isinstance(expr, ast.Attribute) and expr.attr in _TRACKED_DTYPES:
+        return expr.attr
+    if isinstance(expr, ast.Name) and expr.id in _TRACKED_DTYPES:
+        return expr.id
+    if isinstance(expr, ast.Constant) and expr.value in _TRACKED_DTYPES:
+        return str(expr.value)
+    return None
+
+
+def _expr_dtype(node: ast.AST, dtype_names: Dict[str, str]) -> Optional[str]:
+    """Syntactic dtype of an expression, when a literal pins it down.
+
+    Recognizes ``x.astype(np.float64)``, ``np.float64(...)``, any call
+    carrying ``dtype=np.float64``, and names bound to such expressions in
+    an enclosing scope.  Anything else (variable dtypes, arithmetic) is
+    ``None`` — untracked, never reported.
+    """
+    if isinstance(node, ast.Name):
+        return dtype_names.get(node.id)
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "astype":
+            for a in node.args:
+                dt = _literal_dtype(a)
+                if dt is not None:
+                    return dt
+        dt = _literal_dtype(node.func)
+        if dt is not None:
+            return dt
+        for kw in node.keywords:
+            if kw.arg == "dtype":
+                dt = _literal_dtype(kw.value)
+                if dt is not None:
+                    return dt
+    return None
+
+
+def _mentions_dtype(node: ast.AST, dtype_names: Dict[str, str], want: str) -> bool:
+    """Does any sub-expression of ``node`` carry dtype ``want``?"""
+    for sub in ast.walk(node):
+        if _expr_dtype(sub, dtype_names) == want:
+            return True
+    return False
+
+
 def _call_name(node: ast.AST) -> Optional[str]:
     if isinstance(node, ast.Call):
         if isinstance(node.func, ast.Name):
@@ -233,6 +295,8 @@ class _Linter(ast.NodeVisitor):
         # per-function-scope name tracking for RA002 / RA004
         self.set_names: List[Set[str]] = [set()]
         self.hot_names: List[Set[str]] = [set()]
+        # RA008: name -> literal dtype ("float32" | "float64") per scope
+        self.dtype_names: List[Dict[str, str]] = [{}]
         # RA006: is the innermost function scope an `async def`?
         self.async_scope: List[bool] = [False]
         # RA007: span() calls that ARE with-statement context expressions
@@ -266,9 +330,11 @@ class _Linter(ast.NodeVisitor):
         self.stack.append(name)
         self.set_names.append(set())
         self.hot_names.append(set())
+        self.dtype_names.append({})
         self.async_scope.append(is_async)
         self.generic_visit(node)
         self.async_scope.pop()
+        self.dtype_names.pop()
         self.hot_names.pop()
         self.set_names.pop()
         self.stack.pop()
@@ -304,6 +370,12 @@ class _Linter(ast.NodeVisitor):
             else:
                 for frame in self.hot_names:
                     frame.difference_update(targets)
+            dt = _expr_dtype(node.value, self._flat_dtypes())
+            for frame in self.dtype_names:
+                for t in targets:
+                    frame.pop(t, None)
+            if dt is not None:
+                self.dtype_names[-1].update({t: dt for t in targets})
         self.generic_visit(node)
 
     @staticmethod
@@ -311,6 +383,12 @@ class _Linter(ast.NodeVisitor):
         out: Set[str] = set()
         for f in frames:
             out |= f
+        return out
+
+    def _flat_dtypes(self) -> Dict[str, str]:
+        out: Dict[str, str] = {}
+        for frame in self.dtype_names:
+            out.update(frame)
         return out
 
     # -- RA002 -------------------------------------------------------------
@@ -364,8 +442,61 @@ class _Linter(ast.NodeVisitor):
                 "span() held as a value in serve code; it leaks (and corrupts "
                 "span nesting) on exception paths — use `with span(...):`",
             )
+        # RA008: np.add(acc32, x64, out=acc32) is an accumulation too
+        self._check_mixed_add_call(node)
         # RA003 context is handled in _check_checksum_fn via a sub-walk.
         self.generic_visit(node)
+
+    # -- RA008 -------------------------------------------------------------
+    def _in_certified_plan(self) -> bool:
+        """Escape hatch: an enclosing scope named *certified* owns the plan."""
+        return any("certified" in name.lower() for name in self.stack)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if (
+            isinstance(node.op, ast.Add)
+            and isinstance(node.target, ast.Name)
+            and not self._in_certified_plan()
+        ):
+            dtypes = self._flat_dtypes()
+            if dtypes.get(node.target.id) == "float32" and _mentions_dtype(
+                node.value, dtypes, "float64"
+            ):
+                self.emit(
+                    "RA008",
+                    node,
+                    f"float64 operand accumulated into float32 target "
+                    f"{node.target.id!r} outside a certified reduce plan; "
+                    "narrowing every partial voids the certified error bound",
+                )
+        self.generic_visit(node)
+
+    def _check_mixed_add_call(self, node: ast.Call) -> None:
+        f = node.func
+        if not (
+            isinstance(f, ast.Attribute)
+            and f.attr == "add"
+            and isinstance(f.value, ast.Name)
+            and f.value.id in ("np", "numpy")
+        ):
+            return
+        if self._in_certified_plan():
+            return
+        dtypes = self._flat_dtypes()
+        out_name: Optional[str] = None
+        for kw in node.keywords:
+            if kw.arg == "out" and isinstance(kw.value, ast.Name):
+                out_name = kw.value.id
+        if out_name is None or dtypes.get(out_name) != "float32":
+            return
+        if any(_mentions_dtype(a, dtypes, "float64") for a in node.args):
+            self.emit(
+                "RA008",
+                node,
+                f"np.add with a float64 operand into float32 out={out_name!r} "
+                "outside a certified reduce plan; narrowing every partial "
+                "voids the certified error bound",
+            )
 
     # -- RA007 -------------------------------------------------------------
     def _register_with_items(self, node: ast.With | ast.AsyncWith) -> None:

@@ -29,6 +29,13 @@ is itself broken.
   (skipped whenever ``admit`` raises) and the resolve span is never
   closed at all.  The RA007 lint rule must flag both ``span()`` calls
   when the source is linted under a ``serve/`` path.
+* :data:`NARROWED_ACCUMULATOR_MUTANT_SOURCE` — a reduction epilogue that
+  accumulates float64 partials into a float32 vector, once via ``+=``
+  and once via ``np.add(..., out=)``, with no certified reduce plan in
+  scope.  The RA008 lint rule must flag both accumulation sites; the
+  same narrowing, expressed as a schedule, is what
+  :func:`repro.analysis.fpcert.narrowed_accumulator_certificate` must
+  certified-reject.
 """
 
 from __future__ import annotations
@@ -51,6 +58,7 @@ __all__ = [
     "permuted_store_assignment",
     "BLOCKING_ASYNC_MUTANT_SOURCE",
     "LEAKY_SPAN_MUTANT_SOURCE",
+    "NARROWED_ACCUMULATOR_MUTANT_SOURCE",
 ]
 
 #: RA006 negative control: an async dispatcher that blocks the event loop.
@@ -86,6 +94,26 @@ def handle_solve(admission, engine, request):
     admit_span.__exit__(None, None, None)
     resolve_span = span("serve.resolve", id=request.id)  # BUG under test: leaks
     return engine.solve(request.spec())
+'''
+
+#: RA008 negative control: a reduction epilogue that narrows float64
+#: partials into a float32 accumulator — the fp32-narrowed-accumulator
+#: failure mode the accuracy certifier's negative control models, written
+#: as source.  No enclosing scope is named ``certified``, so lint must
+#: flag both accumulation sites (the ``+=`` and the ``np.add(out=)``).
+NARROWED_ACCUMULATOR_MUTANT_SOURCE = '''\
+import numpy as np
+
+
+def commit_partials(kernel_block, weights, grid_x):
+    """Seeded RA008 mutant: fp32 accumulator fed fp64 partials."""
+    acc = np.zeros(kernel_block.shape[0], dtype=np.float32)
+    partial = (kernel_block @ weights).astype(np.float64)
+    acc += partial  # BUG under test: narrows every float64 partial to fp32
+    for bx in range(grid_x):
+        chunk = kernel_block[:, bx].astype(np.float64)
+        np.add(acc, chunk, out=acc)  # BUG under test: same narrowing via ufunc
+    return acc
 '''
 
 

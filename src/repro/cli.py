@@ -303,14 +303,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "analyze",
-        help="static analysis: race detector, bank certifier, invariant lint",
+        help="static analysis: race detector, bank certifier, invariant "
+             "lint, accuracy certifier",
     )
-    p.add_argument("analyzer", choices=["race", "banks", "lint", "all"])
+    p.add_argument("analyzer", choices=["race", "banks", "lint", "fpcert", "all"])
     p.add_argument("--json", action="store_true", dest="as_json",
                    help="machine-readable report (schema repro-analysis/v1)")
     p.add_argument("--k-values", nargs="+", type=int, default=None, metavar="K",
-                   help="K values for the race certification "
+                   help="K values for the race and accuracy certifications "
                    "(default: the paper grid 32 64 128 256)")
+    p.add_argument("--ulp-budget", type=float, default=None, metavar="ULPS",
+                   help="accuracy-certification budget in data-dtype ulps "
+                   "(default: the fpcert module default)")
     p.add_argument("--layout", choices=["optimized", "naive"], default="optimized",
                    help="tile layout for the bank certificate")
     p.add_argument("--kc", type=int, default=8, help="k-panel depth for the certificate")
@@ -940,15 +944,22 @@ def _cmd_analyze(args) -> int:
     import os
 
     from .analysis import (
+        DEFAULT_ULP_BUDGET,
         PAPER_K_VALUES,
         certify_mapping,
+        certify_paper_accuracy,
         certify_paper_kernels,
         lint_paths,
         load_baseline,
         new_findings,
     )
 
-    doc: Dict = {"schema": ANALYSIS_SCHEMA, "analyzer": args.analyzer, "reports": {}}
+    doc: Dict = {
+        "schema": ANALYSIS_SCHEMA,
+        "version": __version__,
+        "analyzer": args.analyzer,
+        "reports": {},
+    }
     ok = True
     text: list[str] = []
 
@@ -989,6 +1000,25 @@ def _cmd_analyze(args) -> int:
         text.append(f"invariant lint over {', '.join(args.paths)}: "
                     f"{len(findings)} finding(s), {len(fresh)} new vs baseline")
         text += ["  " + f.describe() for f in fresh]
+
+    if args.analyzer in ("fpcert", "all"):
+        k_values = tuple(args.k_values) if args.k_values else PAPER_K_VALUES
+        budget = args.ulp_budget if args.ulp_budget else DEFAULT_ULP_BUDGET
+        certs = certify_paper_accuracy(k_values, ulp_budget=budget)
+        doc["reports"]["fpcert"] = certs
+        ok &= all(c["certified"] for c in certs)
+        text.append(f"accuracy certifier ({len(certs)} schedule x K point(s), "
+                    f"K={list(k_values)}, budget {budget:g} ulps):")
+        for c in certs:
+            verdict = "certified" if c["certified"] else "REJECTED"
+            text.append(
+                f"  {c['schedule']:>16} K={c['problem']['K']:<4} "
+                f"coeff_q={c['coeff_q']:.3e} ({c['ulps']:.3g} ulps) {verdict}"
+            )
+        if args.certificate and args.analyzer == "fpcert":
+            with open(args.certificate, "w", encoding="utf-8") as fh:
+                _json.dump(doc, fh, indent=2, sort_keys=True)
+            text.append(f"  certificates written to {args.certificate}")
 
     doc["ok"] = ok
     if args.as_json:

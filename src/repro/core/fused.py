@@ -85,16 +85,13 @@ __all__ = [
     "CtaDetection",
     "FusedKernelSummation",
     "fused_kernel_summation",
+    "microtile_reduce_plan",
 ]
 
 CtaOrder = Literal["rowmajor", "colmajor", "shuffled"]
 Engine = Literal["auto", "batched", "loop"]
 
 _log = get_logger("core.fused")
-
-#: default relative checksum tolerances per dtype, expressed against the
-#: L1 mass of the checked quantity (cancellation-safe; see ``_rtol``)
-_ABFT_RTOL = {"float32": 1e-4, "float64": 1e-11}
 
 #: memoised probe results: does the explicit pairs tree reproduce NumPy's
 #: 8-element last-axis reduction bit for bit on this build?
@@ -167,6 +164,17 @@ def _microtile_reduce_plan(micro_n: int, dt: np.dtype) -> str:
         plan = "sum"
     _REDUCE_PLANS[key] = plan
     return plan
+
+
+def microtile_reduce_plan(micro_n: int, dt: np.dtype) -> str:
+    """Resolved microtile reduce plan for this shape and dtype.
+
+    Public accessor for the probe-ladder result ("copy" | "tree8" | "seq"
+    | "sum") — the accuracy certifier (:mod:`repro.analysis.fpcert`) walks
+    the same plan the batched engine will execute, so its per-level
+    operation counts describe the real reduction tree, not an assumption.
+    """
+    return _microtile_reduce_plan(micro_n, np.dtype(dt))
 
 
 def _auto_chunk_rows(Np: int, itemsize: int, budget_bytes: int = 1 << 20) -> int:
@@ -252,8 +260,24 @@ class FusedKernelSummation:
             rng.shuffle(ctas)
         return ctas
 
-    def _rtol(self, dtype: np.dtype) -> float:
-        return self.abft_rtol if self.abft_rtol is not None else _ABFT_RTOL[str(dtype)]
+    def _abft_rtols(self, dtype: np.dtype, K: int) -> tuple[float, float]:
+        """(gemm, reduction) relative checksum tolerances.
+
+        An explicit ``abft_rtol`` override applies to both checks;
+        otherwise the tolerances are *derived* from the certified
+        rounding-error bounds of this tiling at this K
+        (:func:`repro.analysis.fpcert.abft_tolerances`) — worst-case
+        separations between the data-dtype compute and the float64
+        prediction, with headroom, so a clean run can never trip them.
+        """
+        if self.abft_rtol is not None:
+            return self.abft_rtol, self.abft_rtol
+        # local import to avoid a cycle at module load (analysis.fpcert
+        # imports this module for the reduce-plan metadata)
+        from ..analysis.fpcert import abft_tolerances
+
+        tols = abft_tolerances(str(dtype), K, self.tiling)
+        return tols.gemm_rtol, tols.reduce_rtol
 
     def __call__(self, data: ProblemData) -> np.ndarray:
         return self.run_with_stats(data)[0]
@@ -314,7 +338,7 @@ class FusedKernelSummation:
         # have zero norm and distance ||a||^2, which the kernel maps to a
         # nonzero value — mask them via zero weights (Wp pads with zeros).
         V = np.zeros(Mp, dtype=dt)
-        rtol = self._rtol(dt) if self.abft else 0.0
+        rtols = self._abft_rtols(dt, spec.K) if self.abft else (0.0, 0.0)
 
         if use_batched:
             report.ctas = grid_x * grid_y
@@ -343,7 +367,7 @@ class FusedKernelSummation:
                     for attempt in range(self.max_retries + 1):
                         delta, failed = self._cta_attempt(
                             Ap, Bp, Wp, na, nb, kf, spec.h, dt,
-                            (bx, by), (r0, r1, c0, c1), k_iters, inj, rtol,
+                            (bx, by), (r0, r1, c0, c1), k_iters, inj, rtols,
                         )
                         if not failed:
                             break
@@ -519,17 +543,18 @@ class FusedKernelSummation:
         bounds: Tuple[int, int, int, int],
         k_iters: int,
         inj: Optional[FaultInjector],
-        rtol: float,
+        rtols: Tuple[float, float],
     ) -> tuple[np.ndarray, list[str]]:
         """One execution of one CTA; returns (partial V slice, failed checks).
 
-        With ``inj is None`` and ``rtol == 0`` this performs exactly the
+        With ``inj is None`` and zero tolerances this performs exactly the
         pre-ABFT arithmetic in exactly the original order — no staging
         copies, no checksums — so clean results stay bit-identical.
         """
         t = self.tiling
         r0, r1, c0, c1 = bounds
-        check = rtol > 0.0
+        rtol_gemm, rtol_reduce = rtols
+        check = rtol_gemm > 0.0 or rtol_reduce > 0.0
         failed: list[str] = []
         where = f"cta({cta[0]},{cta[1]})"
 
@@ -562,7 +587,7 @@ class FusedKernelSummation:
 
         if check:
             actual_colsum = subC.sum(axis=0, dtype=np.float64)
-            tol = rtol * np.maximum(scale_colsum, 1.0)
+            tol = rtol_gemm * np.maximum(scale_colsum, 1.0)
             if np.any(np.abs(actual_colsum - pred_colsum) > tol):
                 failed.append("gemm-colsum")
 
@@ -598,7 +623,7 @@ class FusedKernelSummation:
 
         if check:
             s_act = float(partialV.sum(dtype=np.float64))
-            if abs(s_act - s_pred) > rtol * max(l1_mass, 1.0):
+            if abs(s_act - s_pred) > rtol_reduce * max(l1_mass, 1.0):
                 failed.append("reduction-sum")
 
         return partialV, failed

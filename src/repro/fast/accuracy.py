@@ -7,17 +7,30 @@ bound independent of weight cancellation in the true sums.
 the full dense reference is unaffordable, :func:`sampled_max_rel_error`
 evaluates the reference on a deterministic row subset (the error bound is
 per-row, so any subset measures the same contract on those rows).
+
+:func:`static_contract` is the *static* counterpart: it composes the
+advertised ``eps`` with the certified rounding-error bound of the dense
+near-field engine (:mod:`repro.analysis.fpcert`), turning the measured
+dense-relative contract into a provable true-value bound.
 """
 
 from __future__ import annotations
+
+from typing import Any, Dict
 
 import numpy as np
 
 from ..core.problem import ProblemData, ProblemSpec
 from ..core.reference import direct
+from ..core.tiling import PAPER_TILING, TilingConfig
 from ..errors import InvalidProblemError
 
-__all__ = ["max_rel_error", "sampled_max_rel_error", "reference_rows"]
+__all__ = [
+    "max_rel_error",
+    "reference_rows",
+    "sampled_max_rel_error",
+    "static_contract",
+]
 
 
 def max_rel_error(V: np.ndarray, V_ref: np.ndarray, W: np.ndarray) -> float:
@@ -65,3 +78,24 @@ def sampled_max_rel_error(
     )
     V_ref = direct(sub)
     return max_rel_error(np.asarray(V)[rows], V_ref, data.W)
+
+
+def static_contract(
+    spec: ProblemSpec, eps: float, tiling: TilingConfig = PAPER_TILING
+) -> Dict[str, Any]:
+    """Certified composition of ``eps * sum|w|`` with the dense bound.
+
+    Delegates to :func:`repro.analysis.fpcert.certify_fast_contract`:
+    the returned payload carries the near-field dense engine's certified
+    ``coeff_q``, the composed true-value coefficient ``eps + coeff_q + u``,
+    and ``composes`` — whether the dense rounding term stays within the
+    advertised eps (it does for float64 near fields at any practical eps;
+    it cannot for float32 below ~1e-5).
+    """
+    # local import: repro.analysis.fpcert imports repro.core.fused, which
+    # the fast package reaches through its engine anyway, but keeping the
+    # analysis dependency out of this module's load path lets accuracy
+    # measurement run without the analysis subsystem in play
+    from ..analysis.fpcert import certify_fast_contract
+
+    return certify_fast_contract(spec, eps, tiling)

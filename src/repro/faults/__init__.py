@@ -10,7 +10,9 @@ potential vector.  This package provides the robustness layer:
   (DRAM read, shared-memory staging, microtile accumulator, atomic commit),
   armed process-wide through the :func:`fault_injection` context manager;
 * ABFT detection and bounded re-execution live in
-  :class:`repro.core.fused.FusedKernelSummation` (``abft=True``);
+  :class:`repro.core.fused.FusedKernelSummation` (``abft=True``); its
+  checksum tolerances are *derived* from the certified rounding-error
+  bounds of the schedule (:func:`abft_checksum_tolerances`), not tuned;
 * :mod:`repro.faults.campaign` — a campaign driver sweeping fault rate x
   site and reporting detection / recovery / silent-corruption rates.
 
@@ -33,10 +35,26 @@ __all__ = [
     "fault_injection",
     "CampaignPoint",
     "CampaignResult",
+    "abft_checksum_tolerances",
     "run_campaign",
 ]
 
 _CAMPAIGN_EXPORTS = ("CampaignPoint", "CampaignResult", "run_campaign")
+
+
+def abft_checksum_tolerances(dtype: str, K: int, tiling=None, headroom: float = 4.0):
+    """Certified (gemm, reduction) checksum tolerances for the ABFT layer.
+
+    Thin lazy hop to :func:`repro.analysis.fpcert.abft_tolerances` — the
+    analysis package imports :mod:`repro.core`, which imports this
+    package's injection hooks, so the import must not run at module load.
+    """
+    from ..analysis.fpcert import abft_tolerances
+    from ..core.tiling import PAPER_TILING
+
+    return abft_tolerances(
+        dtype, K, tiling if tiling is not None else PAPER_TILING, headroom
+    )
 
 
 def __getattr__(name: str):

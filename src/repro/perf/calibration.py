@@ -77,7 +77,7 @@ class Calibration:
     #: Sustained fraction of peak bandwidth for long sequential streams.
     dram_streaming_efficiency: float = 0.70
 
-    def with_(self, **kwargs) -> "Calibration":
+    def with_(self, **kwargs: float) -> "Calibration":
         """Copy with selected knobs replaced (for what-if experiments)."""
         return replace(self, **kwargs)
 

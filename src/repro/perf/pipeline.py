@@ -11,7 +11,7 @@ ProfiledRun` so the experiment layer can pull any nvprof-style metric:
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, List
 
 from ..core.problem import ProblemSpec
 from ..core.tiling import PAPER_TILING, TilingConfig
@@ -50,7 +50,7 @@ def build_pipeline(
     tiling: TilingConfig = PAPER_TILING,
     device: DeviceSpec = GTX970,
     cal: Calibration = DEFAULT_CALIBRATION,
-    **kwargs,
+    **kwargs: Any,
 ) -> List[KernelLaunch]:
     """The kernel launches one implementation performs, in order.
 
@@ -88,7 +88,7 @@ def model_run(
     tiling: TilingConfig = PAPER_TILING,
     device: DeviceSpec = GTX970,
     cal: Calibration = DEFAULT_CALIBRATION,
-    **kwargs,
+    **kwargs: Any,
 ) -> ProfiledRun:
     """Model one implementation end to end; returns the profiled run."""
     with span(

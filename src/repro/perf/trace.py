@@ -23,10 +23,13 @@ granularity of the L2 interface.
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterator, Tuple
+from typing import TYPE_CHECKING, Iterator, Tuple
 
 from ..core.problem import ProblemSpec
 from ..core.tiling import PAPER_TILING, TilingConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from ..gpu.l2cache import CacheStats, L2Cache
 
 __all__ = [
     "AddressMap",
@@ -192,7 +195,9 @@ def evalsum_trace(spec: ProblemSpec) -> Iterator[Access]:
         yield addr, True
 
 
-def simulate_trace(trace: Iterator[Access], cache, batch: int = 1 << 16):
+def simulate_trace(
+    trace: Iterator[Access], cache: "L2Cache", batch: int = 1 << 16
+) -> "CacheStats":
     """Drive an :class:`~repro.gpu.l2cache.L2Cache` with a trace.
 
     Accesses are buffered into runs of the same read/write flag and fed to

@@ -15,15 +15,22 @@ supersedes that loop for real tuning work:
   seed, budget counted in requests so warm replays are bit-identical
   with zero model runs; and the memoised exhaustive baseline;
 * :mod:`repro.tune.certify` — the acceptance gates: the Fig.-5 bank
-  certifier and the shape-generic race detector walk the ranking
-  best-first, so every returned winner carries a bank verdict and a
-  race-free proof.
+  certifier, the shape-generic race detector, and the rounding-error
+  certifier (:mod:`repro.analysis.fpcert`) walk the ranking best-first,
+  so every returned winner carries a bank verdict, a race-free proof,
+  and an accuracy certificate within the ulp budget.
 
 CLI: ``repro autotune --search beam --beam-width 8 --budget 64
 --explain --json``.  See ``docs/AUTOTUNING.md``.
 """
 
-from .certify import CandidateCertification, certify_candidate
+from .certify import (
+    ACCURACY_CERTIFIED,
+    ACCURACY_REJECTED,
+    ACCURACY_SKIPPED,
+    CandidateCertification,
+    certify_candidate,
+)
 from .search import (
     EVAL_KIND,
     SearchStats,
@@ -45,6 +52,9 @@ from .space import (
 )
 
 __all__ = [
+    "ACCURACY_CERTIFIED",
+    "ACCURACY_REJECTED",
+    "ACCURACY_SKIPPED",
     "CandidateCertification",
     "certify_candidate",
     "EVAL_KIND",

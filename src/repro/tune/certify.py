@@ -15,22 +15,32 @@ static gates first:
 * **races** — :func:`repro.analysis.schedules.certify_schedule_races`
   replays the shape-generic schedule kernel symbolically and applies
   GPUVerify-style barrier-interval analysis.  This gate is *always*
-  applicable: every winner carries a definite race verdict.
+  applicable: every winner carries a definite race verdict;
+* **accuracy** — :func:`repro.analysis.fpcert.certify_schedule` walks the
+  candidate's reduction tree and bounds its worst-case rounding error.
+  The gate runs whenever the caller supplies the problem shape (the
+  bound depends on K and the grid); a candidate whose certified bound
+  exceeds the ulp budget, or that violates a structural contract
+  (narrowed accumulator, uncompensated two-pass commit), is
+  certified-reject.
 
-A candidate is **accepted** iff the bank gate did not reject it and the
-race gate proved it race-free.  The search drivers walk their ranking
-best-first through :func:`certify_candidate` and return the first
-accepted point — a certified-reject candidate can never win, which the
-negative-control tests pin with seeded conflicting mutants.
+A candidate is **accepted** iff the bank gate did not reject it, the
+race gate proved it race-free, and the accuracy gate (when it ran) did
+not reject it.  The search drivers walk their ranking best-first
+through :func:`certify_candidate` and return the first accepted point —
+a certified-reject candidate can never win, which the negative-control
+tests pin with seeded conflicting and accuracy mutants.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from ..analysis.banks import certify_tiling
+from ..analysis.fpcert import DEFAULT_ULP_BUDGET, certify_schedule
 from ..analysis.schedules import certify_schedule_races
+from ..core.problem import ProblemSpec
 from .space import ScheduleCandidate
 
 __all__ = ["CandidateCertification", "certify_candidate"]
@@ -38,6 +48,10 @@ __all__ = ["CandidateCertification", "certify_candidate"]
 BANK_CERTIFIED = "certified"
 BANK_INAPPLICABLE = "inapplicable"
 BANK_REJECTED = "rejected"
+
+ACCURACY_CERTIFIED = "certified"
+ACCURACY_REJECTED = "rejected"
+ACCURACY_SKIPPED = "skipped"  # no problem shape supplied; bound undefined
 
 
 @dataclass(frozen=True)
@@ -49,15 +63,22 @@ class CandidateCertification:
     race_free: bool
     bank_payload: Optional[Dict[str, Any]]
     race_payload: Dict[str, Any]
+    accuracy_status: str = ACCURACY_SKIPPED  # certified | rejected | skipped
+    accuracy_payload: Optional[Dict[str, Any]] = field(default=None)
 
     @property
     def accepted(self) -> bool:
-        return self.bank_status != BANK_REJECTED and self.race_free
+        return (
+            self.bank_status != BANK_REJECTED
+            and self.race_free
+            and self.accuracy_status != ACCURACY_REJECTED
+        )
 
     def describe(self) -> str:
         return (
             f"banks: {self.bank_status}, races: "
-            f"{'race-free' if self.race_free else 'VIOLATIONS'}"
+            f"{'race-free' if self.race_free else 'VIOLATIONS'}, "
+            f"accuracy: {self.accuracy_status}"
             f" -> {'accepted' if self.accepted else 'rejected'}"
         )
 
@@ -65,17 +86,26 @@ class CandidateCertification:
         return {
             "bank_status": self.bank_status,
             "race_free": self.race_free,
+            "accuracy_status": self.accuracy_status,
             "accepted": self.accepted,
             "banks": self.bank_payload,
             "races": self.race_payload,
+            "accuracy": self.accuracy_payload,
         }
 
 
 def certify_candidate(
     cand: ScheduleCandidate,
     layout: str = "optimized",
+    spec: Optional[ProblemSpec] = None,
+    ulp_budget: float = DEFAULT_ULP_BUDGET,
 ) -> CandidateCertification:
-    """Run both static gates on one candidate."""
+    """Run the static gates on one candidate.
+
+    ``spec`` arms the accuracy gate: the rounding-error bound depends on
+    the problem shape (K, the CTA grid), so without a spec the accuracy
+    verdict is ``skipped`` — never silently certified.
+    """
     tiling = cand.tiling
 
     cert = certify_tiling(tiling, layout)
@@ -88,10 +118,21 @@ def certify_candidate(
 
     races = certify_schedule_races(tiling, cand.reduction)
 
+    accuracy_status = ACCURACY_SKIPPED
+    accuracy_payload: Optional[Dict[str, Any]] = None
+    if spec is not None:
+        fp = certify_schedule(
+            tiling, spec, reduction=cand.reduction, ulp_budget=ulp_budget
+        )
+        accuracy_status = ACCURACY_CERTIFIED if fp.certified else ACCURACY_REJECTED
+        accuracy_payload = fp.to_payload()
+
     return CandidateCertification(
         candidate_key=cand.key(),
         bank_status=bank_status,
         race_free=races.ok,
         bank_payload=bank_payload,
         race_payload=races.to_payload(),
+        accuracy_status=accuracy_status,
+        accuracy_payload=accuracy_payload,
     )

@@ -272,8 +272,10 @@ def _finish(
             certification=None,
         )
 
+    # the default gate arms the accuracy certifier with the search's own
+    # problem shape, so every winner carries a rounding-error certificate
     gate: Certifier = certifier if certifier is not None else (
-        lambda c: certify_candidate(c, layout)
+        lambda c: certify_candidate(c, layout, spec=ev.spec)
     )
     for key in order:
         cand = ev.candidates[key]

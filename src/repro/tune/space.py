@@ -27,7 +27,7 @@ evolutionary driver expands: one step along any single axis.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Sequence, Tuple
+from typing import Any, List, Sequence, Tuple
 
 from ..core.autotune import candidate_tilings
 from ..core.tiling import TilingConfig
@@ -116,7 +116,9 @@ class ScheduleCandidate:
         return True
 
     @classmethod
-    def from_tiling(cls, tiling: TilingConfig, reduction: str = "atomic"):
+    def from_tiling(
+        cls, tiling: TilingConfig, reduction: str = "atomic"
+    ) -> "ScheduleCandidate":
         return cls(
             mc=tiling.mc,
             nc=tiling.nc,
@@ -205,7 +207,7 @@ def neighbors(
     """
     raw: List[ScheduleCandidate] = []
 
-    def try_add(**changes) -> None:
+    def try_add(**changes: Any) -> None:
         try:
             raw.append(replace(cand, **changes))
         except ValueError:

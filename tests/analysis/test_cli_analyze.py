@@ -97,6 +97,57 @@ class TestJsonSchema:
         assert doc["reports"]["lint"]["new"] == []
         assert doc["reports"]["lint"]["accepted"] == 1
 
+    def test_analyze_json_is_version_stamped(self, capsys):
+        """Every analyze document records the package version that
+        produced it, so archived certificates stay attributable."""
+        from repro import __version__
+
+        rc = main(["analyze", "banks", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == __version__
+
+    def test_fpcert_json_document(self, capsys):
+        rc = main(["analyze", "fpcert", "--k-values", "32", "64", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["analyzer"] == "fpcert"
+        assert doc["ok"] is True
+        certs = doc["reports"]["fpcert"]
+        from repro.analysis.fpcert import paper_schedules
+
+        assert len(certs) == 2 * len(paper_schedules())
+        for c in certs:
+            assert c["schema"] == "repro-fpcert/v1"
+            assert c["certified"] is True
+            assert c["problem"]["K"] in (32, 64)
+            assert c["coeff_q"] > 0
+
+    def test_fpcert_tiny_budget_fails(self, capsys):
+        rc = main(["analyze", "fpcert", "--k-values", "256",
+                   "--ulp-budget", "1e-3", "--json"])
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is False
+        assert not any(c["certified"] for c in doc["reports"]["fpcert"])
+
+    def test_fpcert_certificate_file_written(self, capsys, tmp_path):
+        cert_path = tmp_path / "fpcert.json"
+        rc = main(["analyze", "fpcert", "--k-values", "32",
+                   "--certificate", str(cert_path)])
+        assert rc == 0
+        doc = json.loads(cert_path.read_text())
+        assert doc["schema"] == ANALYSIS_SCHEMA
+        assert all(c["certified"] for c in doc["reports"]["fpcert"])
+
+    def test_fpcert_text_mode_prints_table(self, capsys):
+        rc = main(["analyze", "fpcert", "--k-values", "32"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "accuracy certifier" in out
+        assert "paper-atomic" in out
+        assert "certified" in out
+
     def test_certificate_file_written(self, capsys, tmp_path):
         cert_path = tmp_path / "cert.json"
         rc = main(["analyze", "banks", "--certificate", str(cert_path)])

@@ -1,0 +1,254 @@
+"""Rounding-error certifier tests (repro.analysis.fpcert).
+
+Pins the gamma calculus, the paper-schedule certificates, the structural
+negative controls, the machine-readable payload shape, the fast-engine
+contract composition, and the derived ABFT tolerances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fpcert import (
+    DEFAULT_ULP_BUDGET,
+    FPCERT_SCHEMA,
+    KERNEL_NUMERICS,
+    VIOLATION_NARROWED,
+    VIOLATION_UNCOMPENSATED,
+    abft_tolerances,
+    certify_fast_contract,
+    certify_paper_accuracy,
+    certify_schedule,
+    gamma,
+    narrowed_accumulator_certificate,
+    paper_schedules,
+    reduce_plan_ops,
+    uncompensated_two_pass_certificate,
+    unit_roundoff,
+)
+from repro.core.problem import PAPER_K_VALUES, ProblemSpec
+from repro.core.tiling import PAPER_TILING, TilingConfig
+
+
+class TestGammaCalculus:
+    def test_unit_roundoff_values(self):
+        assert unit_roundoff("float32") == 2.0**-24
+        assert unit_roundoff("float64") == 2.0**-53
+        assert unit_roundoff(np.float32) == 2.0**-24
+
+    def test_unit_roundoff_rejects_unmodelled_dtype(self):
+        with pytest.raises(ValueError):
+            unit_roundoff("float16")
+
+    def test_gamma_small_n_is_nearly_nu(self):
+        u = unit_roundoff("float32")
+        assert gamma(8, u) == pytest.approx(8 * u, rel=1e-5)
+
+    def test_gamma_monotone_in_n(self):
+        u = unit_roundoff("float32")
+        values = [gamma(n, u) for n in (1, 10, 100, 1000)]
+        assert values == sorted(values)
+
+    def test_gamma_diverges_outside_regime(self):
+        with pytest.raises(ValueError):
+            gamma(1 << 25, unit_roundoff("float32"))
+
+    def test_gamma_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            gamma(-1, 1e-7)
+
+    def test_reduce_plan_ops(self):
+        assert reduce_plan_ops("copy", 1) == 0
+        assert reduce_plan_ops("tree8", 8) == 3
+        assert reduce_plan_ops("seq", 4) == 3
+        with pytest.raises(ValueError):
+            reduce_plan_ops("mystery", 8)
+
+
+class TestCertifySchedule:
+    def _spec(self, K=64, dtype="float32", kernel="gaussian"):
+        return ProblemSpec(M=1024, N=1024, K=K, kernel=kernel, dtype=dtype)
+
+    def test_paper_point_is_certified(self):
+        cert = certify_schedule(PAPER_TILING, self._spec(K=256))
+        assert cert.certified
+        assert not cert.violations
+        assert cert.ulps <= DEFAULT_ULP_BUDGET
+
+    def test_bound_grows_with_k(self):
+        bounds = [
+            certify_schedule(PAPER_TILING, self._spec(K=K)).coeff_q
+            for K in PAPER_K_VALUES
+        ]
+        assert bounds == sorted(bounds)
+        assert bounds[0] > 0
+
+    def test_fp64_bound_far_below_fp32(self):
+        f32 = certify_schedule(PAPER_TILING, self._spec(dtype="float32"))
+        f64 = certify_schedule(PAPER_TILING, self._spec(dtype="float64"))
+        assert f64.coeff_q < f32.coeff_q * 1e-6
+
+    def test_compensated_two_pass_beats_atomic(self):
+        """Two roundings for the compensated merge vs a grid-length chain."""
+        atomic = certify_schedule(
+            PAPER_TILING, self._spec(), reduction="atomic"
+        )
+        two_pass = certify_schedule(
+            PAPER_TILING, self._spec(), reduction="two-pass"
+        )
+        assert two_pass.levels["reduction"]["inter_cta_ops"] == 2
+        assert (
+            two_pass.levels["reduction"]["inter_cta_ops"]
+            < atomic.levels["reduction"]["inter_cta_ops"]
+        )
+        assert two_pass.coeff_q <= atomic.coeff_q
+
+    def test_every_kernel_has_a_certificate(self):
+        for kernel in KERNEL_NUMERICS:
+            cert = certify_schedule(PAPER_TILING, self._spec(kernel=kernel))
+            assert cert.coeff_q > 0
+            assert cert.kernel == kernel
+
+    def test_unknown_kernel_rejected(self):
+        spec = ProblemSpec(M=1024, N=1024, K=64, kernel="septic")
+        with pytest.raises(ValueError, match="numerics model"):
+            certify_schedule(PAPER_TILING, spec)
+
+    def test_bad_reduction_rejected(self):
+        with pytest.raises(ValueError):
+            certify_schedule(PAPER_TILING, self._spec(), reduction="tree")
+
+    def test_bad_budget_and_scale_rejected(self):
+        with pytest.raises(ValueError):
+            certify_schedule(PAPER_TILING, self._spec(), ulp_budget=0.0)
+        with pytest.raises(ValueError):
+            certify_schedule(PAPER_TILING, self._spec(), point_scale=0.0)
+
+    def test_bound_for_scales_by_weight_mass(self):
+        cert = certify_schedule(PAPER_TILING, self._spec())
+        assert cert.bound_for(10.0) == pytest.approx(10.0 * cert.coeff_q)
+
+    def test_payload_schema_and_verdict(self):
+        payload = certify_schedule(PAPER_TILING, self._spec()).to_payload()
+        assert payload["schema"] == FPCERT_SCHEMA
+        assert payload["certified"] is True
+        assert payload["violations"] == []
+        assert set(payload["levels"]) == {"distance", "kernel", "reduction"}
+        assert payload["problem"]["K"] == 64
+
+    def test_describe_mentions_verdict(self):
+        cert = certify_schedule(PAPER_TILING, self._spec())
+        assert "certified" in cert.describe()
+        assert "sum|w|" in cert.describe()
+
+
+class TestNegativeControls:
+    def test_narrowed_accumulator_rejected(self):
+        cert = narrowed_accumulator_certificate()
+        assert not cert.certified
+        assert VIOLATION_NARROWED in cert.violations
+        # quantitatively hopeless too: the bound blows the budget on its own
+        assert cert.ulps > cert.ulp_budget
+
+    def test_uncompensated_two_pass_rejected(self):
+        cert = uncompensated_two_pass_certificate()
+        assert not cert.certified
+        assert VIOLATION_UNCOMPENSATED in cert.violations
+
+    def test_rejection_is_structural_not_budget(self):
+        """Even an infinite budget cannot certify a structural violation."""
+        cert = uncompensated_two_pass_certificate(ulp_budget=1e30)
+        assert not cert.certified
+
+    def test_rejected_payload_says_so(self):
+        payload = narrowed_accumulator_certificate().to_payload()
+        assert payload["certified"] is False
+        assert VIOLATION_NARROWED in payload["violations"]
+
+
+class TestPaperSweep:
+    def test_all_paper_schedules_certified(self):
+        certs = certify_paper_accuracy()
+        assert len(certs) == len(paper_schedules()) * len(PAPER_K_VALUES)
+        assert all(c["certified"] for c in certs)
+        assert all(c["schema"] == FPCERT_SCHEMA for c in certs)
+
+    def test_schedule_names_attached(self):
+        names = {c["schedule"] for c in certify_paper_accuracy(k_values=(32,))}
+        assert names == {name for name, *_ in paper_schedules()}
+
+    def test_tiny_budget_rejects_everything(self):
+        certs = certify_paper_accuracy(k_values=(256,), ulp_budget=1e-3)
+        assert not any(c["certified"] for c in certs)
+
+
+class TestFastContract:
+    def test_fp64_contract_composes(self):
+        spec = ProblemSpec(M=256, N=256, K=2, h=0.05, dtype="float64")
+        out = certify_fast_contract(spec, eps=1e-6)
+        assert out["composes"]
+        assert out["composed_coeff_q"] >= out["eps"]
+        assert out["schema"] == FPCERT_SCHEMA
+        assert out["dense"]["certified"]
+
+    def test_vanity_eps_does_not_compose(self):
+        """An eps below the dense rounding floor is marketing, not a bound."""
+        spec = ProblemSpec(M=256, N=256, K=2, h=0.05, dtype="float32")
+        out = certify_fast_contract(spec, eps=1e-12)
+        assert not out["composes"]
+
+    def test_bad_eps_rejected(self):
+        spec = ProblemSpec(M=256, N=256, K=2, dtype="float64")
+        with pytest.raises(ValueError):
+            certify_fast_contract(spec, eps=0.0)
+
+
+class TestAbftTolerances:
+    def test_positive_and_dtype_ordered(self):
+        f32 = abft_tolerances("float32", 64)
+        f64 = abft_tolerances("float64", 64)
+        assert 0 < f64.gemm_rtol < f32.gemm_rtol
+        assert 0 < f64.reduce_rtol < f32.reduce_rtol
+
+    def test_grow_with_k(self):
+        lo = abft_tolerances("float32", 32)
+        hi = abft_tolerances("float32", 256)
+        assert hi.gemm_rtol > lo.gemm_rtol
+
+    def test_headroom_scales_linearly(self):
+        base = abft_tolerances("float32", 64, headroom=1.0)
+        scaled = abft_tolerances("float32", 64, headroom=4.0)
+        assert scaled.gemm_rtol == pytest.approx(4.0 * base.gemm_rtol)
+        with pytest.raises(ValueError):
+            abft_tolerances("float32", 64, headroom=0.5)
+
+    def test_payload_roundtrip(self):
+        payload = abft_tolerances("float32", 64).to_payload()
+        assert set(payload) == {"gemm_rtol", "reduce_rtol", "headroom"}
+
+    def test_faults_wrapper_delegates(self):
+        from repro.faults import abft_checksum_tolerances
+
+        tols = abft_checksum_tolerances("float32", 64)
+        direct = abft_tolerances("float32", 64)
+        assert tols.gemm_rtol == direct.gemm_rtol
+
+
+class TestTilingSensitivity:
+    def test_smaller_kc_means_more_panel_merges(self):
+        spec = ProblemSpec(M=1024, N=1024, K=256)
+        kc4 = certify_schedule(TilingConfig(kc=4), spec)
+        kc16 = certify_schedule(TilingConfig(kc=16), spec)
+        assert kc4.problem["k_iterations"] > kc16.problem["k_iterations"]
+        assert kc4.coeff_q >= kc16.coeff_q
+
+    def test_grid_width_drives_atomic_chain(self):
+        spec = ProblemSpec(M=1024, N=4096, K=64)
+        wide = certify_schedule(PAPER_TILING, spec)
+        narrow = certify_schedule(
+            PAPER_TILING, ProblemSpec(M=1024, N=128, K=64)
+        )
+        assert (
+            wide.levels["reduction"]["inter_cta_ops"]
+            > narrow.levels["reduction"]["inter_cta_ops"]
+        )
+        assert wide.coeff_q > narrow.coeff_q

@@ -413,6 +413,91 @@ def test_ra007_seeded_mutant_is_caught():
     assert set(rules_of(findings)) == {"RA007"}
 
 
+# ---------------------------------------------------------------------------
+# RA008: float64 accumulation into a float32 target
+
+
+def test_ra008_augassign_narrows():
+    src = """
+    import numpy as np
+
+    def commit(partials):
+        acc = np.zeros(8, dtype=np.float32)
+        acc += partials.astype(np.float64)
+    """
+    assert rules_of(lint(src, rules={"RA008"})) == ["RA008"]
+
+
+def test_ra008_np_add_out_narrows():
+    src = """
+    import numpy as np
+
+    def commit(chunk):
+        acc = np.zeros(8, dtype=np.float32)
+        wide = chunk.astype(np.float64)
+        np.add(acc, wide, out=acc)
+    """
+    assert rules_of(lint(src, rules={"RA008"})) == ["RA008"]
+
+
+def test_ra008_certified_scope_is_exempt():
+    src = """
+    import numpy as np
+
+    def certified_commit(partials):
+        acc = np.zeros(8, dtype=np.float32)
+        acc += partials.astype(np.float64)
+    """
+    assert lint(src, rules={"RA008"}) == []
+
+
+def test_ra008_matching_dtypes_clean():
+    src = """
+    import numpy as np
+
+    def commit(partials):
+        acc = np.zeros(8, dtype=np.float64)
+        acc += partials.astype(np.float64)
+        acc32 = np.zeros(8, dtype=np.float32)
+        acc32 += partials.astype(np.float32)
+    """
+    assert lint(src, rules={"RA008"}) == []
+
+
+def test_ra008_untracked_operand_clean():
+    """No fp64 evidence in the value -> no finding (the rule must not guess)."""
+    src = """
+    import numpy as np
+
+    def commit(partials):
+        acc = np.zeros(8, dtype=np.float32)
+        acc += partials
+    """
+    assert lint(src, rules={"RA008"}) == []
+
+
+def test_ra008_rebinding_clears_tracking():
+    src = """
+    import numpy as np
+
+    def commit(partials):
+        acc = np.zeros(8, dtype=np.float32)
+        acc = np.zeros(8, dtype=np.float64)
+        acc += partials.astype(np.float64)
+    """
+    assert lint(src, rules={"RA008"}) == []
+
+
+def test_ra008_seeded_mutant_is_caught():
+    from repro.analysis.mutants import NARROWED_ACCUMULATOR_MUTANT_SOURCE
+
+    findings = lint_source(
+        NARROWED_ACCUMULATOR_MUTANT_SOURCE, path="<ra008-mutant>", rules={"RA008"}
+    )
+    assert len(findings) >= 2
+    assert set(rules_of(findings)) == {"RA008"}
+
+
 def test_ra004_energy_meter_accessor_guarded():
     findings = lint(
         """
@@ -485,4 +570,5 @@ def test_baseline_roundtrip(tmp_path):
 def test_rules_table_covers_all_emitted_rules():
     assert set(RULES) == {
         "RA001", "RA002", "RA003", "RA004", "RA005", "RA006", "RA007",
+        "RA008",
     }

@@ -12,6 +12,9 @@ from repro.tune import (
     paper_space,
 )
 from repro.tune.certify import (
+    ACCURACY_CERTIFIED,
+    ACCURACY_REJECTED,
+    ACCURACY_SKIPPED,
     BANK_INAPPLICABLE,
     BANK_REJECTED,
     CandidateCertification,
@@ -208,6 +211,51 @@ class TestCertificationGate:
         assert cert.accepted
         assert cert.bank_status == "certified"
         assert cert.race_free
+
+    def test_accuracy_gate_skipped_without_spec(self):
+        """No problem shape, no bound: the verdict must be skipped, never
+        silently certified."""
+        cand = ScheduleCandidate(mc=128, nc=128, kc=8, micro_m=8, micro_n=8)
+        cert = certify_candidate(cand)
+        assert cert.accuracy_status == ACCURACY_SKIPPED
+        assert cert.accuracy_payload is None
+        assert cert.accepted  # skipped does not reject
+
+    def test_accuracy_gate_certifies_paper_point(self):
+        cand = ScheduleCandidate(mc=128, nc=128, kc=8, micro_m=8, micro_n=8)
+        cert = certify_candidate(cand, spec=SPEC)
+        assert cert.accuracy_status == ACCURACY_CERTIFIED
+        assert cert.accepted
+        payload = cert.accuracy_payload
+        assert payload["schema"] == "repro-fpcert/v1"
+        assert payload["certified"] is True
+        assert payload["problem"]["K"] == SPEC.K
+        assert cert.to_payload()["accuracy_status"] == ACCURACY_CERTIFIED
+
+    def test_accuracy_gate_rejects_on_tiny_budget(self):
+        """A bound over budget must flip the combined verdict to rejected
+        even when banks and races both pass."""
+        cand = ScheduleCandidate(mc=128, nc=128, kc=8, micro_m=8, micro_n=8)
+        cert = certify_candidate(cand, spec=SPEC, ulp_budget=1e-3)
+        assert cert.accuracy_status == ACCURACY_REJECTED
+        assert cert.race_free  # only the accuracy gate fired
+        assert not cert.accepted
+        assert "accuracy: rejected" in cert.describe()
+
+    def test_accuracy_gate_covers_two_pass_reduction(self):
+        cand = ScheduleCandidate(mc=128, nc=128, kc=8, micro_m=8, micro_n=8,
+                                 reduction="two-pass")
+        cert = certify_candidate(cand, spec=SPEC)
+        assert cert.accuracy_status == ACCURACY_CERTIFIED
+        assert cert.accuracy_payload["reduction"] == "two-pass"
+
+    def test_search_winner_carries_accuracy_certificate(self):
+        """The default search gate arms the accuracy certifier with the
+        problem spec, so every returned winner has a bound."""
+        outcome = exhaustive_search(SPEC, space=small_space()[:3])
+        payload = outcome.certification.to_payload()
+        assert payload["accuracy_status"] == ACCURACY_CERTIFIED
+        assert payload["accuracy"]["schema"] == "repro-fpcert/v1"
 
     def test_outcome_json_round_trip(self):
         import json

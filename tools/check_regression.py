@@ -96,6 +96,7 @@ SWEEP_SCHEMA = "repro-sweep-bench/v1"
 SERVE_SCHEMA = "repro-serve-bench/v1"
 FAST_SCHEMA = "repro-fast-bench/v1"
 AUTOTUNE_SCHEMA = "repro-autotune-bench/v1"
+FPCERT_SCHEMA = "repro-fpcert-bench/v1"
 
 
 def _load_hotpath(path: str) -> dict:
@@ -360,6 +361,51 @@ def check_autotune(
     return issues
 
 
+def _load_fpcert(path: str) -> dict:
+    data = json.loads(pathlib.Path(path).read_text())
+    if data.get("schema") != FPCERT_SCHEMA:
+        raise ValueError(f"{path}: not a {FPCERT_SCHEMA} report")
+    return data
+
+
+def check_fpcert(current_path: str) -> list[str]:
+    """Violated accuracy-certificate claims, one message per issue.
+
+    These are proof claims, not noisy timings, so there is no tolerance
+    knob: a single measured error above its certified bound, a rejected
+    paper certificate, or an accepted negative control fails outright.
+    """
+    current = _load_fpcert(current_path)
+    issues = []
+    if current.get("quick"):
+        raise ValueError(f"{current_path}: --quick runs are never gated")
+
+    cases = current.get("cases", [])
+    if not cases:
+        raise ValueError(f"{current_path}: no validation cases")
+    for case in cases:
+        where = (f"{case.get('schedule')} K={case.get('K')} "
+                 f"engine={case.get('engine')}")
+        if not case.get("certified"):
+            issues.append(f"{where}: paper schedule was not certified")
+        if not case.get("ok"):
+            issues.append(
+                f"{where}: measured error {case.get('measured'):.3e} "
+                f"exceeds certified bound {case.get('bound'):.3e}"
+            )
+    controls = current.get("negative_controls", {})
+    for name in ("narrowed_accumulator", "uncompensated_two_pass"):
+        verdict = controls.get(name)
+        if verdict is None:
+            issues.append(f"negative control {name} missing from the report")
+        elif verdict.get("certified"):
+            issues.append(
+                f"negative control {name} was certified; the analyzer "
+                "cannot see planted accuracy bugs"
+            )
+    return issues
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -470,15 +516,21 @@ def main(argv=None) -> int:
         help="allowed beam/exhaustive modelled-seconds ratio on every "
         "paper-space case (default 1.01)",
     )
+    parser.add_argument(
+        "--fpcert-current", default=None,
+        help="freshly collected accuracy-certificate validation "
+        "(benchmarks/bench_fpcert.py output); gated with zero tolerance",
+    )
     args = parser.parse_args(argv)
 
     if (args.current is None and args.hotpath_current is None
             and args.sweep_current is None and args.serve_current is None
-            and args.fast_current is None and args.autotune_current is None):
+            and args.fast_current is None and args.autotune_current is None
+            and args.fpcert_current is None):
         parser.error(
             "nothing to gate: pass --current, --hotpath-current, "
             "--sweep-current, --serve-current, --fast-current, "
-            "and/or --autotune-current"
+            "--autotune-current, and/or --fpcert-current"
         )
 
     failures = 0
@@ -626,6 +678,27 @@ def main(argv=None) -> int:
                 f">= {args.autotune_min_eval_ratio:g}x fewer evaluations on "
                 f"the wide space, warm replay zero-eval "
                 f"in {args.autotune_current}"
+            )
+
+    if args.fpcert_current is not None:
+        try:
+            issues = check_fpcert(args.fpcert_current)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+            print(f"cannot load fpcert validation: {exc}", file=sys.stderr)
+            return 2
+        if issues:
+            failures += 1
+            print(
+                f"REGRESSION: {len(issues)} accuracy-certificate issue(s) "
+                f"in {args.fpcert_current}:",
+                file=sys.stderr,
+            )
+            for issue in issues:
+                print(f"  {issue}", file=sys.stderr)
+        else:
+            print(
+                f"OK: every measured error within its certified bound, "
+                f"both negative controls rejected in {args.fpcert_current}"
             )
 
     return 1 if failures else 0

@@ -18,10 +18,12 @@ any violation that is not in the accepted baseline:
 3. **race detector** — the fused CTA kernel, the unfused eval+sum tail,
    and the double-buffered panel loop at every paper K must certify
    race-free;
-4. **self-check** — the seeded mutants (missing barrier, permuted track
-   mapping, event-loop-blocking dispatcher, leaky-span handler) must
-   *fail* their analyses; a gate that cannot see planted bugs proves
-   nothing.
+4. **accuracy certifier** — every paper schedule at every paper K must
+   carry a ``repro-fpcert/v1`` certificate within the ulp budget;
+5. **self-check** — the seeded mutants (missing barrier, permuted track
+   mapping, event-loop-blocking dispatcher, leaky-span handler,
+   narrowed accumulator, uncompensated two-pass commit) must *fail*
+   their analyses; a gate that cannot see planted bugs proves nothing.
 """
 
 from __future__ import annotations
@@ -39,17 +41,21 @@ import numpy as np  # noqa: E402
 from repro.analysis import (  # noqa: E402
     PAPER_K_VALUES,
     certify_mapping,
+    certify_paper_accuracy,
     certify_paper_kernels,
     detect_races,
     lint_paths,
     load_baseline,
+    narrowed_accumulator_certificate,
     new_findings,
     save_baseline,
+    uncompensated_two_pass_certificate,
 )
 from repro.analysis.lint import lint_source  # noqa: E402
 from repro.analysis.mutants import (  # noqa: E402
     BLOCKING_ASYNC_MUTANT_SOURCE,
     LEAKY_SPAN_MUTANT_SOURCE,
+    NARROWED_ACCUMULATOR_MUTANT_SOURCE,
     permuted_store_assignment,
     stage_tile_missing_barrier_kernel,
 )
@@ -96,6 +102,27 @@ def run_races(k_values: tuple[int, ...]) -> int:
     return status
 
 
+def run_fpcert(
+    k_values: tuple[int, ...], certificate: pathlib.Path | None
+) -> int:
+    certs = certify_paper_accuracy(k_values)
+    bad = [c for c in certs if not c["certified"]]
+    worst = max(certs, key=lambda c: c["ulps"])
+    print(f"fpcert: {len(certs)} schedule x K certificate(s), "
+          f"{len(bad)} rejected, worst {worst['ulps']:.3g} ulps "
+          f"({worst['schedule']} K={worst['problem']['K']})")
+    for c in bad:
+        print(f"  REJECTED {c['schedule']} K={c['problem']['K']}: "
+              f"{c['ulps']:.3g} ulps, violations {c['violations']}")
+    if certificate is not None:
+        certificate.write_text(
+            json.dumps(certs, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"fpcert: certificates written to {certificate}")
+    return 1 if bad else 0
+
+
 def run_selfcheck() -> int:
     status = 0
     mutant_cert = certify_mapping("optimized", 8, store_fn=permuted_store_assignment)
@@ -140,6 +167,30 @@ def run_selfcheck() -> int:
     else:
         print(f"self-check: leaky-span mutant flagged "
               f"({len(ra007)} RA007 finding(s))")
+    ra008 = lint_source(
+        NARROWED_ACCUMULATOR_MUTANT_SOURCE, "<ra008-mutant>", rules=["RA008"]
+    )
+    if len(ra008) < 2:
+        print("SELF-CHECK FAILED: narrowed-accumulator mutant passed RA008 "
+              f"({len(ra008)} finding(s), expected >= 2)")
+        status = 1
+    else:
+        print(f"self-check: narrowed-accumulator mutant flagged "
+              f"({len(ra008)} RA008 finding(s))")
+    narrowed = narrowed_accumulator_certificate()
+    if narrowed.certified:
+        print("SELF-CHECK FAILED: narrowed-accumulator schedule certified")
+        status = 1
+    else:
+        print(f"self-check: narrowed-accumulator schedule certified-reject "
+              f"({narrowed.ulps:.3g} ulps, {list(narrowed.violations)})")
+    uncomp = uncompensated_two_pass_certificate()
+    if uncomp.certified:
+        print("SELF-CHECK FAILED: uncompensated two-pass schedule certified")
+        status = 1
+    else:
+        print(f"self-check: uncompensated two-pass schedule certified-reject "
+              f"({list(uncomp.violations)})")
     return status
 
 
@@ -147,6 +198,8 @@ def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     ap.add_argument("--certificate", default=None, metavar="PATH",
                     help="write the bank certificate JSON here")
+    ap.add_argument("--fpcert-certificate", default=None, metavar="PATH",
+                    help="write the accuracy certificates JSON here")
     ap.add_argument("--baseline", default=str(DEFAULT_BASELINE), metavar="PATH",
                     help="accepted lint findings (default: tools/analysis_baseline.json)")
     ap.add_argument("--k-values", nargs="+", type=int, default=list(PAPER_K_VALUES),
@@ -163,6 +216,10 @@ def main(argv: list[str] | None = None) -> int:
     status |= run_banks(pathlib.Path(args.certificate) if args.certificate else None)
     if not args.skip_races:
         status |= run_races(tuple(args.k_values))
+    status |= run_fpcert(
+        tuple(args.k_values),
+        pathlib.Path(args.fpcert_certificate) if args.fpcert_certificate else None,
+    )
     status |= run_selfcheck()
     print("analysis gate:", "OK" if status == 0 else "FAILED")
     return status
